@@ -1,0 +1,53 @@
+// Microbenchmark (google-benchmark): the actual wall-clock cost of each
+// congestion controller's per-ACK processing in *this* implementation.
+//
+// The paper's §5 calls for decomposing the per-mechanism energy cost of
+// CCAs ("maintained flow state, packet pacing, cwnd calculation
+// arithmetic"). This bench measures our implementations directly — a sanity
+// check that the relative compute-cost ordering assumed in
+// energy/calibration.h (baseline < reno < ... < bbr < bbr2) is reflected by
+// real code.
+
+#include <benchmark/benchmark.h>
+
+#include "cca/cca.h"
+
+using namespace greencc;
+
+namespace {
+
+void BM_CcaOnAck(benchmark::State& state, const std::string& name) {
+  cca::CcaConfig config;
+  config.mss_bytes = 1448;
+  auto cc = cca::make_cca(name, config);
+  cca::AckEvent ev;
+  ev.rtt = sim::SimTime::microseconds(100);
+  ev.srtt = sim::SimTime::microseconds(100);
+  ev.min_rtt = sim::SimTime::microseconds(100);
+  ev.acked_segments = 2;
+  ev.inflight = 50;
+  ev.delivery_rate_bps = 5e9;
+  std::int64_t delivered = 0;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ev.now = sim::SimTime::nanoseconds(t += 20'000);
+    ev.delivered = delivered += 2;
+    cc->on_ack(ev);
+    benchmark::DoNotOptimize(cc->cwnd_segments());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& name : cca::all_names()) {
+    benchmark::RegisterBenchmark(("on_ack/" + name).c_str(),
+                                 [name](benchmark::State& state) {
+                                   BM_CcaOnAck(state, name);
+                                 });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

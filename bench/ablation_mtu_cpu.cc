@@ -1,0 +1,62 @@
+// Ablation: where does the MTU effect come from? Compares the analytic
+// per-packet CPU caps of the work model against the throughput the full
+// simulator actually achieves per MTU, separating the host-capped regime
+// (small MTU) from the switch-capped regime (jumbo frames).
+
+#include <cstdio>
+#include <iostream>
+
+#include "app/scenario.h"
+#include "common.h"
+#include "stats/table.h"
+
+using namespace greencc;
+
+namespace {
+
+double measured_tput(int mtu, std::int64_t bytes) {
+  app::ScenarioConfig config;
+  config.tcp.mtu_bytes = mtu;
+  config.seed = 11;
+  app::Scenario scenario(config);
+  app::FlowSpec flow;
+  flow.cca = "cubic";
+  flow.bytes = bytes;
+  scenario.add_flow(flow);
+  const auto result = scenario.run();
+  return result.flows[0].avg_gbps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t bytes =
+      bench::flag_i64(argc, argv, "--bytes", 1'000'000'000);
+
+  bench::print_header(
+      "Ablation — MTU vs. host packet-processing limits",
+      "jumbo frames needed for line rate (§3); small MTUs are "
+      "receiver-CPU-bound, which is what makes them burn more energy");
+
+  const energy::WorkCalibration work;
+  stats::Table table({"mtu", "tx-cap[Gbps]", "rx-cap[Gbps]",
+                      "bottleneck", "measured[Gbps]"});
+  for (int mtu : {1500, 3000, 4500, 6000, 9000}) {
+    const double bits = mtu * 8.0;
+    const double tx_cap =
+        bits / (work.pkt_ns + mtu * work.byte_ns + 0.5 * work.ack_ns);
+    const double rx_cap = bits / (work.rx_pkt_ns + mtu * work.rx_byte_ns);
+    const double line = 10.0;
+    const double cap = std::min({tx_cap, rx_cap, line});
+    const char* bottleneck = cap == rx_cap   ? "receiver-cpu"
+                             : cap == tx_cap ? "sender-cpu"
+                                             : "switch";
+    table.add_row({std::to_string(mtu), stats::Table::num(tx_cap, 2),
+                   stats::Table::num(rx_cap, 2), bottleneck,
+                   stats::Table::num(measured_tput(mtu, bytes), 2)});
+  }
+  table.print(std::cout);
+  std::printf("\n(caps are per-core analytic limits: MTU*8 / per-packet "
+              "service time)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Microbenchmark (google-benchmark): raw event throughput of the simulator
+// core, the figure that bounds how many packet-events per wall-second the
+// experiment harness can process.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+using namespace greencc::sim;
+
+namespace {
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < batch; ++i) {
+      sim.schedule(SimTime::nanoseconds(i % 977), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1'000)->Arg(100'000);
+
+void BM_EventChain(benchmark::State& state) {
+  // Self-rescheduling event: the latency-critical simulator path.
+  for (auto _ : state) {
+    Simulator sim;
+    int remaining = 10'000;
+    std::function<void()> hop = [&] {
+      if (--remaining > 0) sim.schedule(SimTime::nanoseconds(10), hop);
+    };
+    sim.schedule(SimTime::nanoseconds(10), hop);
+    sim.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventChain);
+
+void BM_TimerRearm(benchmark::State& state) {
+  // The per-ACK RTO re-arm pattern: must be O(1)-ish, not one event each.
+  for (auto _ : state) {
+    Simulator sim;
+    Timer timer(sim, [] {});
+    for (int i = 0; i < 10'000; ++i) {
+      sim.schedule(SimTime::nanoseconds(i), [&] {
+        timer.arm(SimTime::milliseconds(200));
+      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_TimerRearm);
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngU64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

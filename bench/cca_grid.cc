@@ -1,0 +1,106 @@
+#include "cca_grid.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "app/runner.h"
+#include "cca/cca.h"
+#include "common.h"
+#include "stats/stats.h"
+
+namespace greencc::bench {
+
+namespace {
+
+std::string cache_tag(const GridOptions& options) {
+  std::ostringstream tag;
+  tag << "# greencc-grid bytes=" << options.bytes
+      << " repeats=" << options.repeats << " seed=" << options.base_seed;
+  for (int mtu : options.mtus) tag << " " << mtu;
+  return tag.str();
+}
+
+bool load_cache(const GridOptions& options,
+                std::vector<core::GridCell>& cells) {
+  if (options.cache_path.empty()) return false;
+  std::ifstream in(options.cache_path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != cache_tag(options)) return false;
+  while (std::getline(in, line)) {
+    std::istringstream row(line);
+    core::GridCell cell;
+    if (!(row >> cell.cca >> cell.mtu_bytes >> cell.energy_joules >>
+          cell.energy_stddev >> cell.power_watts >> cell.fct_sec >>
+          cell.retransmissions)) {
+      cells.clear();
+      return false;
+    }
+    cells.push_back(cell);
+  }
+  if (cells.empty()) return false;
+  std::fprintf(stderr, "  grid: loaded %zu cells from %s\n", cells.size(),
+               options.cache_path.c_str());
+  return true;
+}
+
+void save_cache(const GridOptions& options,
+                const std::vector<core::GridCell>& cells) {
+  if (options.cache_path.empty()) return;
+  std::ofstream out(options.cache_path);
+  if (!out) return;
+  out << cache_tag(options) << "\n";
+  out.precision(12);
+  for (const auto& cell : cells) {
+    out << cell.cca << ' ' << cell.mtu_bytes << ' ' << cell.energy_joules
+        << ' ' << cell.energy_stddev << ' ' << cell.power_watts << ' '
+        << cell.fct_sec << ' ' << cell.retransmissions << "\n";
+  }
+}
+
+}  // namespace
+
+std::vector<core::GridCell> run_cca_grid(const GridOptions& options) {
+  std::vector<core::GridCell> cells;
+  if (load_cache(options, cells)) return cells;
+  const double scale = scale_to_paper(options.bytes);
+
+  for (int mtu : options.mtus) {
+    for (const auto& name : cca::all_names()) {
+      auto builder = [&](std::uint64_t seed) {
+        app::ScenarioConfig config;
+        config.tcp.mtu_bytes = mtu;
+        config.seed = seed;
+        auto scenario = std::make_unique<app::Scenario>(config);
+        app::FlowSpec flow;
+        flow.cca = name;
+        flow.bytes = options.bytes;
+        scenario->add_flow(flow);
+        return scenario;
+      };
+      const auto agg =
+          app::run_repeated(builder, options.repeats, options.base_seed);
+
+      stats::Summary fct;
+      for (const auto& run : agg.runs) fct.add(run.flows[0].fct_sec);
+
+      core::GridCell cell;
+      cell.cca = name;
+      cell.mtu_bytes = mtu;
+      cell.energy_joules = agg.joules.mean() * scale;
+      cell.energy_stddev = agg.joules.stddev() * scale;
+      cell.power_watts = agg.watts.mean();
+      cell.fct_sec = fct.mean() * scale;
+      cell.retransmissions = agg.retransmissions.mean() * scale;
+      cells.push_back(cell);
+
+      std::fprintf(stderr, "  grid: mtu=%-5d %-10s E=%8.1f J  P=%6.2f W\n",
+                   mtu, name.c_str(), cell.energy_joules, cell.power_watts);
+    }
+  }
+  save_cache(options, cells);
+  return cells;
+}
+
+}  // namespace greencc::bench

@@ -1,0 +1,32 @@
+#pragma once
+
+// The CCA x MTU measurement grid behind Figures 5-8: every congestion
+// control algorithm of the paper at MTUs {1500, 3000, 6000, 9000}, repeated
+// with distinct seeds, energies/FCTs reported as 50 GB equivalents.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/efficiency.h"
+
+namespace greencc::bench {
+
+struct GridOptions {
+  std::int64_t bytes = 2'000'000'000;
+  int repeats = 3;
+  std::uint64_t base_seed = 1;
+  std::vector<int> mtus = {1500, 3000, 6000, 9000};
+  /// Figures 5-8 share one measurement grid. When non-empty, a finished
+  /// grid is written here and an existing file with matching parameters is
+  /// loaded instead of re-simulating (runs are deterministic per seed, so
+  /// the cache is exact). Delete the file to force a fresh run.
+  std::string cache_path = "cca_grid_cache.csv";
+};
+
+/// Runs the full grid and returns one cell per (CCA, MTU), with energy (J),
+/// power (W), FCT (s) and retransmissions scaled to the paper's 50 GB
+/// transfer size. Prints one progress line per cell to stderr.
+std::vector<core::GridCell> run_cca_grid(const GridOptions& options);
+
+}  // namespace greencc::bench

@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches: tiny flag parsing and
+// the scaling conventions (the paper transfers 50 GB per scenario; we default
+// to 2 GB simulated and report 50 GB equivalents, which is exact at steady
+// state because energy and completion time are linear in bytes there).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace greencc::bench {
+
+inline std::int64_t flag_i64(int argc, char** argv, const char* name,
+                             std::int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+inline double flag_double(int argc, char** argv, const char* name,
+                          double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+inline std::string flag_str(int argc, char** argv, const char* name,
+                            const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Paper transfer size and our simulated default.
+constexpr std::int64_t kPaperBytes = 50'000'000'000;   // 50 GB
+constexpr std::int64_t kDefaultBytes = 2'000'000'000;  // 2 GB simulated
+
+inline double scale_to_paper(std::int64_t simulated_bytes) {
+  return static_cast<double>(kPaperBytes) /
+         static_cast<double>(simulated_bytes);
+}
+
+inline void print_header(const char* figure, const char* paper_claim) {
+  std::printf("=== %s ===\n", figure);
+  std::printf("paper: %s\n\n", paper_claim);
+}
+
+}  // namespace greencc::bench

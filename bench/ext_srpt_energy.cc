@@ -1,0 +1,102 @@
+// Extension: energy of SRPT-like scheduling — §5: "to improve energy
+// efficiency, CCAs should aim to send as fast as possible for minimal
+// completion time. One intriguing approach would be to measure the energy
+// usage of existing transport protocols that approximate the Shortest
+// Remaining Processing Time first (SRPT) scheduling."
+//
+// A mixed workload (a few elephants + many mice) runs under four
+// scheduling policies; for each we report total energy, mean and p99-ish
+// flow completion time. Serial schedules all burn the same *busy* energy;
+// SRPT additionally minimizes mean FCT — greener *and* faster for the
+// average flow.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "app/scenario.h"
+#include "common.h"
+#include "core/scheduler.h"
+#include "stats/stats.h"
+#include "stats/table.h"
+
+using namespace greencc;
+
+namespace {
+
+struct Outcome {
+  double joules = 0.0;
+  double duration = 0.0;
+  double mean_fct = 0.0;
+  double max_fct = 0.0;
+  bool done = false;
+};
+
+Outcome run(core::SizedSchedule schedule,
+            const std::vector<std::int64_t>& sizes) {
+  app::ScenarioConfig config;
+  config.tcp.mtu_bytes = 9000;
+  config.seed = 31;
+  app::Scenario scenario(config);
+  for (const auto& spec : core::make_sized_schedule(schedule, sizes, "cubic")) {
+    scenario.add_flow(spec);
+  }
+  const auto r = scenario.run();
+  Outcome o;
+  o.done = r.all_completed;
+  o.joules = r.total_joules;
+  o.duration = r.duration_sec;
+  // SRPT optimizes time-to-completion from the experiment's start (a
+  // serialized flow "waits" before it runs), not the per-flow transfer time.
+  stats::Summary fct;
+  for (const auto& f : r.flows) fct.add(f.finished_at_sec);
+  o.mean_fct = fct.mean();
+  o.max_fct = fct.max();
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t unit =
+      bench::flag_i64(argc, argv, "--unit", 125'000'000);  // 1 Gbit
+
+  bench::print_header(
+      "Extension — energy of SRPT-like flow scheduling (§5)",
+      "sending as fast as possible minimizes completion time and energy; "
+      "SRPT ordering additionally minimizes *mean* FCT");
+
+  // 2 elephants + 6 mice (sizes in 1 Gbit units: 8, 6, 1 x6).
+  std::vector<std::int64_t> sizes = {8 * unit, unit, unit, 6 * unit,
+                                     unit,     unit, unit, unit};
+
+  stats::Table table({"schedule", "energy[J]", "duration[s]", "mean completion[s]",
+                      "last completion[s]"});
+  double fair_joules = 0.0;
+  for (auto schedule :
+       {core::SizedSchedule::kFairShare, core::SizedSchedule::kFifoSerial,
+        core::SizedSchedule::kLongestFirst,
+        core::SizedSchedule::kSrptSerial}) {
+    const auto o = run(schedule, sizes);
+    if (!o.done) {
+      std::printf("%s did not complete\n", to_string(schedule).c_str());
+      return 1;
+    }
+    if (schedule == core::SizedSchedule::kFairShare) fair_joules = o.joules;
+    table.add_row({to_string(schedule), stats::Table::num(o.joules, 1),
+                   stats::Table::num(o.duration, 2),
+                   stats::Table::num(o.mean_fct, 3),
+                   stats::Table::num(o.max_fct, 2)});
+  }
+  table.print(std::cout);
+
+  const auto srpt = run(core::SizedSchedule::kSrptSerial, sizes);
+  std::printf("\nSRPT saves %.1f%% energy over fair sharing and has the "
+              "lowest mean FCT of the serial orders\n",
+              100.0 * (fair_joules - srpt.joules) / fair_joules);
+  std::printf("(total duration is schedule-invariant — the bottleneck is "
+              "work-conserving — so the energy gap is pure idle-vs-active "
+              "host time, and the FCT gap is pure ordering)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 3: throughput over time for the two scheduling extremes.
+//
+// Left panel: both 10 Gbit CUBIC flows run concurrently at the fair share
+// (~5 Gb/s each) and finish together at ~2 s. Right panel: "full speed,
+// then idle" — flow 1 sends at line rate while flow 2 idles, then they
+// swap. Both panels carry the same average throughput per flow.
+
+#include <cstdio>
+#include <iostream>
+
+#include "app/scenario.h"
+#include "common.h"
+#include "core/scheduler.h"
+#include "stats/table.h"
+
+using namespace greencc;
+
+namespace {
+
+app::ScenarioResult run_schedule(core::Schedule schedule,
+                                 std::int64_t bytes) {
+  app::ScenarioConfig config;
+  config.tcp.mtu_bytes = 9000;
+  config.seed = 3;
+  config.report_interval = sim::SimTime::milliseconds(50);
+  app::Scenario scenario(config);
+  for (const auto& spec :
+       core::make_schedule(schedule, 2, bytes, "cubic", 10e9)) {
+    scenario.add_flow(spec);
+  }
+  return scenario.run();
+}
+
+void print_panel(const char* title, const app::ScenarioResult& result,
+                 const std::string& csv) {
+  std::printf("--- %s (total energy %.1f J over %.2f s) ---\n", title,
+              result.total_joules, result.duration_sec);
+  stats::Table table({"t[s]", "flow1[Gbps]", "flow2[Gbps]"});
+  const auto& a = result.flows[0].series;
+  const auto& b = result.flows[1].series;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    const double t = i < a.size() ? a[i].first : b[i].first;
+    table.add_row({stats::Table::num(t, 2),
+                   stats::Table::num(i < a.size() ? a[i].second : 0.0, 2),
+                   stats::Table::num(i < b.size() ? b[i].second : 0.0, 2)});
+  }
+  table.print(std::cout);
+  table.write_csv(csv);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t bytes =
+      bench::flag_i64(argc, argv, "--bytes", 1'250'000'000);  // 10 Gbit
+
+  bench::print_header(
+      "Figure 3 — throughput vs. time, fair share vs. full-speed-then-idle",
+      "fair: both at ~5 Gb/s for 2 s; FSI: each at ~10 Gb/s for 1 s while "
+      "the other idles; FSI uses less total energy");
+
+  const auto fair = run_schedule(core::Schedule::kFairShare, bytes);
+  const auto fsi = run_schedule(core::Schedule::kFullSpeedThenIdle, bytes);
+
+  print_panel("fair share", fair,
+              bench::flag_str(argc, argv, "--csv-fair", "fig3_fair.csv"));
+  print_panel("full speed, then idle", fsi,
+              bench::flag_str(argc, argv, "--csv-fsi", "fig3_fsi.csv"));
+
+  std::printf("energy: fair %.1f J vs FSI %.1f J -> FSI saves %.1f%%\n",
+              fair.total_joules, fsi.total_joules,
+              100.0 * (fair.total_joules - fsi.total_joules) /
+                  fair.total_joules);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// CCA energy audit: compare the energy footprint of every congestion
+// control algorithm on your workload — the §5 "benchmark for a standardized
+// evaluation" the paper calls for, in miniature.
+//
+//   ./build/examples/cca_energy_audit [mtu] [gigabytes]
+//
+// Prints joules per gigabyte, average power and retransmissions per
+// algorithm, plus the greenest/most wasteful spread.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "app/scenario.h"
+#include "cca/cca.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace greencc;
+
+  const int mtu = argc > 1 ? std::atoi(argv[1]) : 9000;
+  const double gigabytes = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  std::printf("CCA energy audit: %.1f GB per algorithm, MTU %d\n\n",
+              gigabytes, mtu);
+
+  struct Row {
+    std::string cca;
+    double j_per_gb;
+    double watts;
+    double gbps;
+    long long retx;
+  };
+  std::vector<Row> rows;
+
+  for (const auto& name : cca::all_names()) {
+    app::ScenarioConfig config;
+    config.tcp.mtu_bytes = mtu;
+    config.seed = 42;
+    app::Scenario scenario(config);
+    app::FlowSpec flow;
+    flow.cca = name;
+    flow.bytes = static_cast<std::int64_t>(gigabytes * 1e9);
+    scenario.add_flow(flow);
+    const auto result = scenario.run();
+    if (!result.all_completed) {
+      std::printf("%-10s did not complete before the deadline\n",
+                  name.c_str());
+      continue;
+    }
+    rows.push_back({name, result.total_joules / gigabytes,
+                    result.avg_watts, result.flows[0].avg_gbps,
+                    static_cast<long long>(result.flows[0].retransmissions)});
+  }
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.j_per_gb < b.j_per_gb; });
+
+  stats::Table table({"rank", "cca", "J/GB", "avg W", "Gb/s", "retx"});
+  int rank = 1;
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(rank++), row.cca,
+                   stats::Table::num(row.j_per_gb, 2),
+                   stats::Table::num(row.watts, 2),
+                   stats::Table::num(row.gbps, 2),
+                   std::to_string(row.retx)});
+  }
+  table.print(std::cout);
+
+  if (rows.size() >= 2) {
+    const double spread =
+        (rows.back().j_per_gb - rows.front().j_per_gb) / rows.back().j_per_gb;
+    std::printf("\ngreenest: %s; most wasteful: %s (spread %.1f%%)\n",
+                rows.front().cca.c_str(), rows.back().cca.c_str(),
+                100.0 * spread);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "app/runner.h"
+
+namespace greencc::app {
+
+RepeatResult run_repeated(
+    const std::function<std::unique_ptr<Scenario>(std::uint64_t seed)>& builder,
+    int repeats, std::uint64_t base_seed) {
+  RepeatResult agg;
+  for (int i = 0; i < repeats; ++i) {
+    auto scenario = builder(base_seed + static_cast<std::uint64_t>(i));
+    ScenarioResult result = scenario->run();
+    agg.joules.add(result.total_joules);
+    agg.watts.add(result.avg_watts);
+    agg.duration_sec.add(result.duration_sec);
+    std::int64_t retx = 0;
+    for (const auto& flow : result.flows) retx += flow.retransmissions;
+    agg.retransmissions.add(static_cast<double>(retx));
+    agg.runs.push_back(std::move(result));
+  }
+  return agg;
+}
+
+}  // namespace greencc::app

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "app/scenario.h"
+#include "stats/stats.h"
+
+namespace greencc::app {
+
+/// Aggregate of repeated scenario runs — the paper repeats every scenario
+/// 10 times and reports means with standard deviations.
+struct RepeatResult {
+  stats::Summary joules;
+  stats::Summary watts;
+  stats::Summary duration_sec;
+  stats::Summary retransmissions;
+  std::vector<ScenarioResult> runs;
+};
+
+/// Run `builder` `repeats` times with distinct seeds and aggregate.
+///
+/// The builder receives the run's seed and must return a fully configured
+/// Scenario (flows added). Seeds are `base_seed + i`, so any individual run
+/// can be reproduced exactly.
+RepeatResult run_repeated(
+    const std::function<std::unique_ptr<Scenario>(std::uint64_t seed)>& builder,
+    int repeats, std::uint64_t base_seed = 1);
+
+}  // namespace greencc::app

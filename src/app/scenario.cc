@@ -1,0 +1,430 @@
+#include "app/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cca/cca.h"
+
+namespace greencc::app {
+
+/// Dispatches packets to per-flow endpoints within one host.
+class Scenario::Demux : public net::PacketHandler {
+ public:
+  void attach(net::FlowId flow, net::PacketHandler* endpoint) {
+    endpoints_[flow] = endpoint;
+  }
+  void handle(net::Packet pkt) override {
+    auto it = endpoints_.find(pkt.flow);
+    if (it != endpoints_.end()) it->second->handle(pkt);
+  }
+
+ private:
+  std::unordered_map<net::FlowId, net::PacketHandler*> endpoints_;
+};
+
+/// One sender server: bonded NIC, an energy meter, and one CPU core (and
+/// one TCP sender) per flow placed on it — one iperf3 process per flow.
+struct Scenario::SenderHost {
+  net::HostId id = 0;
+  std::unique_ptr<Demux> ack_stack;
+  std::unique_ptr<net::BondedNic> nic;
+  std::unique_ptr<energy::HostEnergyMeter> meter;
+  std::vector<std::unique_ptr<energy::CpuCore>> cores;
+};
+
+struct Scenario::FlowState {
+  FlowSpec spec;
+  net::FlowId id = 0;
+  int host_index = 0;
+  double current_rate_bps = 0.0;  ///< live copy; 0 = unlimited
+  std::unique_ptr<tcp::TcpSender> sender;
+  std::unique_ptr<tcp::TcpReceiver> receiver;
+  sim::SimTime started = sim::SimTime::zero();
+  sim::SimTime completed = sim::SimTime::zero();
+  bool has_started = false;
+  bool done = false;
+  std::int64_t bytes_granted = 0;
+  std::int64_t last_report_segments = 0;
+  sim::SimTime last_report_time = sim::SimTime::zero();
+  std::vector<std::pair<double, double>> series;
+  std::vector<FlowResult::TraceSample> trace;
+};
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  switch_ = std::make_unique<net::Switch>(sim_);
+  build_receiver_host();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build_receiver_host() {
+  receiver_stack_ = std::make_unique<Demux>();
+
+  // Receiver packet-processing stage (softirq path): service rate depends
+  // on the MTU via the per-packet overhead; the backlog queue in front of
+  // it tail-drops, which is the end-host loss source at small MTUs.
+  net::PortConfig rx_proc;
+  rx_proc.rate_bps = 8.0 / config_.work.rx_byte_ns * 1e9;
+  rx_proc.per_packet_ns = config_.work.rx_pkt_ns;
+  rx_proc.propagation = sim::SimTime::zero();
+  rx_proc.queue_capacity_bytes = 1 << 30;  // packet cap governs
+  rx_proc.queue_capacity_packets =
+      static_cast<std::size_t>(config_.work.rx_backlog_packets);
+  rx_proc.drop_service_ns = config_.work.rx_drop_ns;
+  // ECN-capable flows get marked here too (RED-style qdisc marking at the
+  // host), at half the backlog depth — without this, ECN-driven algorithms
+  // are blind to the receiver-CPU bottleneck at small MTUs.
+  rx_proc.ecn_threshold_bytes =
+      config_.work.rx_backlog_packets / 2 * config_.tcp.mtu_bytes;
+  rx_backlog_ = std::make_unique<net::QueuedPort>(
+      sim_, "receiver:softirq", rx_proc, receiver_stack_.get());
+
+  // Switch -> receiver: the 10 Gb/s bottleneck of every experiment, with
+  // DCTCP-style step marking for ECN-capable traffic. With
+  // use_drr_bottleneck the egress becomes a per-flow weighted scheduler
+  // instead (Fig 1's split enforced in the network).
+  if (config_.use_drr_bottleneck) {
+    net::DrrPort::Config drr;
+    drr.rate_bps = config_.bottleneck_bps;
+    drr.propagation = config_.link_delay;
+    drr.per_flow_queue_bytes = config_.switch_queue_bytes / 2;
+    drr_bottleneck_ = std::make_unique<net::DrrPort>(sim_, "switch:drr", drr,
+                                                     rx_backlog_.get());
+    net::PortConfig ingress;  // wire-speed hop in front of the scheduler
+    ingress.rate_bps = config_.bottleneck_bps * 4;
+    ingress.propagation = sim::SimTime::zero();
+    bottleneck_port_ = &switch_->add_egress(kReceiverHost, ingress,
+                                            drr_bottleneck_.get());
+  } else {
+    net::PortConfig bottleneck;
+    bottleneck.rate_bps = config_.bottleneck_bps;
+    bottleneck.propagation = config_.link_delay;
+    bottleneck.queue_capacity_bytes = config_.switch_queue_bytes;
+    bottleneck.ecn_threshold_bytes = config_.ecn_threshold_bytes;
+    bottleneck.aqm = config_.bottleneck_aqm;
+    bottleneck_port_ = &switch_->add_egress(kReceiverHost, bottleneck,
+                                            rx_backlog_.get());
+  }
+
+  // Receiver -> switch: ACK return path, never congested.
+  net::PortConfig ack_port;
+  ack_port.rate_bps = config_.bottleneck_bps;
+  ack_port.propagation = config_.link_delay;
+  receiver_nic_ = std::make_unique<net::QueuedPort>(
+      sim_, "receiver:nic", ack_port, switch_.get());
+
+  if (config_.meter_receiver) {
+    // The receiver server as its own RAPL domain: one softirq/app core
+    // charged per processed packet, per backlog drop and per generated ACK.
+    receiver_meter_ = std::make_unique<energy::HostEnergyMeter>(
+        sim_, energy::PackagePowerModel(config_.power), config_.meter_tick);
+    receiver_core_ = std::make_unique<energy::CpuCore>();
+    receiver_core_->set_jitter(&rng_, config_.work_jitter);
+    receiver_meter_->attach_core(receiver_core_.get());
+    auto* meter = receiver_meter_.get();
+    auto* core = receiver_core_.get();
+    const auto* work = &config_.work;
+    auto* sim = &sim_;
+    rx_backlog_->set_on_transmit([meter, core, sim, work](std::int64_t b) {
+      meter->on_packet_sent(b);  // drives the pps/Gb/s power terms
+      core->charge(sim->now(),
+                   work->rx_pkt_ns +
+                       work->rx_byte_ns * static_cast<double>(b));
+    });
+    rx_backlog_->set_on_drop([core, sim, work](std::int64_t) {
+      core->charge(sim->now(), work->rx_drop_ns);
+    });
+    receiver_nic_->set_on_transmit([core, sim, work](std::int64_t) {
+      core->charge(sim->now(), work->ack_ns);  // ACK generation
+    });
+  }
+}
+
+Scenario::SenderHost& Scenario::sender_host(int index) {
+  while (static_cast<int>(senders_.size()) <= index) {
+    auto host = std::make_unique<SenderHost>();
+    host->id = static_cast<net::HostId>(senders_.size() + 1);
+    host->ack_stack = std::make_unique<Demux>();
+
+    net::PortConfig nic_port;
+    nic_port.rate_bps = config_.bottleneck_bps;
+    nic_port.propagation = config_.link_delay;
+    host->nic = std::make_unique<net::BondedNic>(
+        sim_, "sender" + std::to_string(host->id),
+        config_.sender_nic_ports, nic_port, switch_.get());
+
+    host->meter = std::make_unique<energy::HostEnergyMeter>(
+        sim_, energy::PackagePowerModel(config_.power), config_.meter_tick);
+    host->meter->set_stress_cores(config_.stress_cores);
+    auto* meter = host->meter.get();
+    host->nic->set_on_transmit(
+        [meter](std::int64_t bytes) { meter->on_packet_sent(bytes); });
+
+    // ACK return egress from the switch to this host.
+    net::PortConfig return_port;
+    return_port.rate_bps = config_.bottleneck_bps;
+    return_port.propagation = config_.link_delay;
+    switch_->add_egress(host->id, return_port, host->ack_stack.get());
+
+    // Hosts born mid-run (open-loop arrivals) start metering immediately.
+    if (metering_started_) host->meter->start();
+
+    senders_.push_back(std::move(host));
+  }
+  return *senders_[static_cast<std::size_t>(index)];
+}
+
+void Scenario::add_flow(const FlowSpec& spec) {
+  auto flow = std::make_unique<FlowState>();
+  flow->spec = spec;
+  flow->id = flows_.size() + 1;
+  flow->host_index = spec.sender_host >= 0
+                         ? spec.sender_host
+                         : static_cast<int>(flows_.size());
+
+  SenderHost& host = sender_host(flow->host_index);
+  auto core = std::make_unique<energy::CpuCore>();
+  core->set_jitter(&rng_, config_.work_jitter);
+  host.meter->attach_core(core.get());
+
+  cca::CcaConfig cca_config;
+  cca_config.mss_bytes = config_.tcp.mss_bytes();
+  cca_config.line_rate_bps = config_.bottleneck_bps;
+  cca_config.initial_cwnd = config_.tcp.initial_cwnd;
+  auto cc = cca::make_cca(spec.cca, cca_config);
+
+  flow->sender = std::make_unique<tcp::TcpSender>(
+      sim_, flow->id, host.id, kReceiverHost, config_.tcp, std::move(cc),
+      core.get(), host.nic.get(), config_.work);
+  host.ack_stack->attach(flow->id, flow->sender.get());
+
+  flow->receiver = std::make_unique<tcp::TcpReceiver>(
+      sim_, flow->id, kReceiverHost, config_.tcp, receiver_nic_.get());
+  receiver_stack_->attach(flow->id, flow->receiver.get());
+  if (drr_bottleneck_) drr_bottleneck_->set_weight(flow->id, spec.weight);
+
+  host.cores.push_back(std::move(core));
+  flows_.push_back(std::move(flow));
+}
+
+void Scenario::on_flow_complete(FlowState& flow) {
+  flow.done = true;
+  flow.completed = sim_.now();
+  last_completion_ = sim_.now();
+  ++completed_flows_;
+
+  // Start any flow chained behind this one ("full speed, then idle").
+  const int this_index = static_cast<int>(flow.id) - 1;
+  for (auto& next : flows_) {
+    if (!next->done && next->spec.start_after_flow == this_index &&
+        !next->has_started && next.get() != &flow) {
+      start_flow(*next);
+    }
+    // Release rate caps held only while this flow was running.
+    if (!next->done && next->spec.unlimit_after_flow == this_index &&
+        next.get() != &flow && next->current_rate_bps > 0.0) {
+      next->current_rate_bps = 0.0;
+      if (next->has_started) {
+        // Grant everything still owed and let TCP rip.
+        const std::int64_t mss = config_.tcp.mss_bytes();
+        const std::int64_t total =
+            (next->spec.bytes + mss - 1) / mss * mss;
+        const std::int64_t owed = total - next->bytes_granted;
+        if (owed > 0) {
+          next->bytes_granted = total;
+          next->sender->add_app_data(owed);
+          next->sender->mark_app_eof();
+          next->sender->start();
+        }
+      }
+    }
+  }
+
+  if (!open_loop_ && completed_flows_ == static_cast<int>(flows_.size())) {
+    sim_.stop();
+  }
+}
+
+void Scenario::spawn_flow(const FlowSpec& spec) {
+  if (!open_loop_) {
+    throw std::logic_error("spawn_flow requires enable_open_loop()");
+  }
+  add_flow(spec);
+  start_flow(*flows_.back());
+}
+
+void Scenario::start_flow(FlowState& flow) {
+  flow.started = sim_.now();
+  flow.has_started = true;
+  flow.last_report_time = sim_.now();
+  flow.current_rate_bps = flow.spec.rate_limit_bps;
+  auto* state = &flow;
+  flow.sender->set_on_complete([this, state] { on_flow_complete(*state); });
+
+  const std::int64_t mss = config_.tcp.mss_bytes();
+  const std::int64_t total =
+      (flow.spec.bytes + mss - 1) / mss * mss;  // whole segments
+
+  if (flow.spec.rate_limit_bps <= 0.0) {
+    flow.sender->add_app_data(total);
+    flow.sender->mark_app_eof();
+    flow.sender->start();
+    return;
+  }
+
+  // Application token bucket (iperf3 -b): grant bytes every 500 us.
+  const sim::SimTime refill = sim::SimTime::microseconds(500);
+  auto pump = std::make_shared<std::function<void()>>();
+  auto carry = std::make_shared<double>(0.0);
+  *pump = [this, state, total, refill, pump, carry] {
+    if (state->done || state->bytes_granted >= total) return;
+    if (state->current_rate_bps <= 0.0) return;  // released: handled above
+    *carry += state->current_rate_bps / 8.0 * refill.sec();
+    auto grant = static_cast<std::int64_t>(*carry);
+    grant = std::min(grant, total - state->bytes_granted);
+    if (grant > 0) {
+      *carry -= static_cast<double>(grant);
+      state->bytes_granted += grant;
+      state->sender->add_app_data(grant);
+      if (state->bytes_granted >= total) state->sender->mark_app_eof();
+      state->sender->start();
+    }
+    if (state->bytes_granted < total) sim_.schedule(refill, *pump);
+  };
+  sim_.schedule(sim::SimTime::zero(), *pump);
+}
+
+ScenarioResult Scenario::run() {
+  if (flows_.empty() && !open_loop_) {
+    throw std::logic_error("Scenario::run: no flows added");
+  }
+  experiment_start_ = sim_.now();
+
+  metering_started_ = true;
+  for (auto& host : senders_) {
+    host->meter->set_record_samples(record_power_);
+    host->meter->start();
+  }
+  if (receiver_meter_) receiver_meter_->start();
+
+  for (auto& flow : flows_) {
+    if (flow->spec.start_after_flow >= 0) continue;
+    sim_.schedule_at(std::max(sim_.now(), flow->spec.start_time),
+                     [this, f = flow.get()] { start_flow(*f); });
+  }
+
+  // Optional throughput reporter (Fig 3 time series).
+  std::shared_ptr<std::function<void()>> reporter;
+  if (config_.report_interval > sim::SimTime::zero()) {
+    reporter = std::make_shared<std::function<void()>>();
+    *reporter = [this, reporter] {
+      for (auto& flow : flows_) {
+        const std::int64_t segs = flow->sender->snd_una();
+        const double gbps =
+            static_cast<double>(segs - flow->last_report_segments) *
+            config_.tcp.mss_bytes() * 8.0 /
+            (sim_.now() - flow->last_report_time).sec() / 1e9;
+        flow->series.emplace_back(sim_.now().sec(), gbps);
+        flow->last_report_segments = segs;
+        flow->last_report_time = sim_.now();
+      }
+      sim_.schedule(config_.report_interval, *reporter);
+    };
+    sim_.schedule(config_.report_interval, *reporter);
+  }
+
+  // Optional transport-state tracer (cwnd / srtt / pipe + queue depth).
+  std::shared_ptr<std::function<void()>> tracer;
+  std::vector<std::pair<double, std::int64_t>> queue_series;
+  if (config_.trace_interval > sim::SimTime::zero()) {
+    tracer = std::make_shared<std::function<void()>>();
+    *tracer = [this, tracer, &queue_series] {
+      for (auto& flow : flows_) {
+        if (flow->done || !flow->has_started) continue;
+        FlowResult::TraceSample sample;
+        sample.t_sec = sim_.now().sec();
+        sample.cwnd_segments =
+            flow->sender->congestion_control().cwnd_segments();
+        sample.srtt_us = flow->sender->rtt().srtt().us();
+        sample.pipe_segments =
+            static_cast<double>(flow->sender->inflight_segments());
+        flow->trace.push_back(sample);
+      }
+      queue_series.emplace_back(sim_.now().sec(),
+                                bottleneck_port_->queue_bytes());
+      sim_.schedule(config_.trace_interval, *tracer);
+    };
+    sim_.schedule(config_.trace_interval, *tracer);
+  }
+
+  sim_.run_until(config_.deadline);
+
+  // Energy protocol: counters are read when the last flow completes, like
+  // the paper's before/after RAPL reads around the whole experiment.
+  ScenarioResult result;
+  result.all_completed = completed_flows_ == static_cast<int>(flows_.size());
+  const sim::SimTime end =
+      result.all_completed ? last_completion_ : sim_.now();
+  result.duration_sec = (end - experiment_start_).sec();
+
+  if (receiver_meter_) {
+    receiver_meter_->stop();
+    ScenarioResult::HostEnergy he;
+    he.host = 0;  // the receiver
+    he.joules = receiver_meter_->joules();
+    he.avg_watts =
+        result.duration_sec > 0 ? he.joules / result.duration_sec : 0.0;
+    result.total_joules += he.joules;
+    result.hosts.push_back(he);
+  }
+  for (auto& host : senders_) {
+    host->meter->stop();
+    ScenarioResult::HostEnergy he;
+    he.host = static_cast<int>(host->id);
+    he.joules = host->meter->joules();
+    he.avg_watts =
+        result.duration_sec > 0 ? he.joules / result.duration_sec : 0.0;
+    result.total_joules += he.joules;
+    result.hosts.push_back(he);
+    if (host->id == 1) {
+      for (const auto& s : host->meter->samples()) {
+        result.power_series.emplace_back(s.when.sec(), s.watts);
+      }
+    }
+  }
+  result.avg_watts =
+      result.duration_sec > 0 ? result.total_joules / result.duration_sec
+                              : 0.0;
+
+  for (auto& flow : flows_) {
+    FlowResult fr;
+    fr.flow = flow->id;
+    fr.cca = flow->spec.cca;
+    fr.bytes = flow->spec.bytes;
+    fr.fct_sec = flow->done ? (flow->completed - flow->started).sec() : -1.0;
+    fr.finished_at_sec =
+        flow->done ? (flow->completed - experiment_start_).sec() : -1.0;
+    fr.avg_gbps = fr.fct_sec > 0
+                      ? static_cast<double>(fr.bytes) * 8.0 / fr.fct_sec / 1e9
+                      : 0.0;
+    fr.delivered_bytes = std::min<std::int64_t>(
+        flow->sender->snd_una() * config_.tcp.mss_bytes(), flow->spec.bytes);
+    fr.retransmissions = flow->sender->stats().retransmissions;
+    fr.timeouts = flow->sender->stats().timeouts;
+    fr.segments_sent = flow->sender->stats().segments_sent;
+    fr.series = std::move(flow->series);
+    fr.trace = std::move(flow->trace);
+    result.flows.push_back(std::move(fr));
+  }
+  result.bottleneck = bottleneck_port_->queue_stats();
+  if (drr_bottleneck_) {
+    result.bottleneck.dropped += drr_bottleneck_->dropped();
+  }
+  result.rx_backlog = rx_backlog_->queue_stats();
+  result.queue_series = std::move(queue_series);
+  return result;
+}
+
+}  // namespace greencc::app

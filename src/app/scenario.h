@@ -1,0 +1,202 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "energy/calibration.h"
+#include "energy/cpu.h"
+#include "energy/meter.h"
+#include "net/packet.h"
+#include "net/drr.h"
+#include "net/switch.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+#include "tcp/tcp_config.h"
+
+namespace greencc::app {
+
+/// One flow of the experiment: an iperf3-like bulk transfer, optionally
+/// rate-limited (iperf3 -b) with an application-level token bucket.
+struct FlowSpec {
+  std::string cca = "cubic";
+  std::int64_t bytes = 1'250'000'000;  ///< 10 Gbit, the Fig 1 default
+  double rate_limit_bps = 0.0;         ///< 0 = unlimited
+  sim::SimTime start_time = sim::SimTime::zero();
+  /// Host to place the sender on; -1 allocates a dedicated host (the
+  /// default — each flow then has its own RAPL domain, the accounting the
+  /// paper's Fig 1 analysis uses).
+  int sender_host = -1;
+  /// If >= 0, ignore start_time and start when that flow (by add order)
+  /// completes — the "full speed, then idle" schedule of Figs 1/3.
+  int start_after_flow = -1;
+  /// If >= 0, drop this flow's rate limit once that flow (by add order)
+  /// completes — the Fig 1 weighted schedule: flow 2 is held to the
+  /// leftover bandwidth while flow 1 runs, then "uses the rest of the
+  /// link".
+  int unlimit_after_flow = -1;
+  /// Scheduling weight at a DRR bottleneck (use_drr_bottleneck). The Fig 1
+  /// split enforced in-network instead of at the application.
+  double weight = 1.0;
+};
+
+/// Testbed parameters mirroring §3 of the paper.
+struct ScenarioConfig {
+  tcp::TcpConfig tcp;
+  double bottleneck_bps = 10e9;
+  sim::SimTime link_delay = sim::SimTime::microseconds(5);
+  std::int64_t switch_queue_bytes = 1 << 20;
+  /// ECN step-marking threshold at the bottleneck, applied to ECN-capable
+  /// packets (only DCTCP sets ECT). ~65 full-size 1500B frames.
+  std::int64_t ecn_threshold_bytes = 100'000;
+  /// Full AQM override for the bottleneck queue (RED, CoDel); when mode is
+  /// kNone the step threshold above applies.
+  net::AqmConfig bottleneck_aqm;
+  int sender_nic_ports = 2;  ///< bonded 2x10G, as in the paper
+  /// Replace the bottleneck's FIFO with per-flow DRR scheduling (weights
+  /// from FlowSpec::weight). ECN step marking is FIFO-only.
+  bool use_drr_bottleneck = false;
+  int stress_cores = 0;      ///< background load on every sender host
+  energy::PowerCalibration power;
+  energy::WorkCalibration work;
+  sim::SimTime meter_tick = sim::SimTime::milliseconds(1);
+  sim::SimTime report_interval = sim::SimTime::zero();  ///< 0 = no series
+  /// When set, per-flow transport state (cwnd, srtt, pipe) and the
+  /// bottleneck queue depth are sampled at this interval into the result's
+  /// trace vectors — the window-dynamics view used when debugging a CCA.
+  sim::SimTime trace_interval = sim::SimTime::zero();
+  /// Meter the receiver server too (the paper's testbed has two metered
+  /// servers; its Fig 1 arithmetic, which we default to, accounts senders
+  /// only). When set, the receiver appears in ScenarioResult::hosts as
+  /// host 0 and its energy joins total_joules.
+  bool meter_receiver = false;
+  /// Run-to-run variability: per-work-item cost jitter amplitude (cache and
+  /// scheduling noise on real hosts; gives the stddev the paper reports
+  /// over its 10 repeats).
+  double work_jitter = 0.02;
+  std::uint64_t seed = 1;
+  sim::SimTime deadline = sim::SimTime::seconds(600.0);
+};
+
+/// Result of one finished flow.
+struct FlowResult {
+  net::FlowId flow = 0;
+  std::string cca;
+  std::int64_t bytes = 0;
+  std::int64_t delivered_bytes = 0;  ///< cumulatively ACKed (<= bytes)
+  double fct_sec = 0.0;      ///< completion minus this flow's own start
+  double finished_at_sec = 0.0;  ///< completion relative to experiment start
+                                 ///< (what SRPT-style orderings optimize)
+  double avg_gbps = 0.0;
+  std::int64_t retransmissions = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t segments_sent = 0;
+  /// Throughput time series (interval end time, Gb/s) when
+  /// `report_interval` is set.
+  std::vector<std::pair<double, double>> series;
+
+  /// Transport-state samples when `trace_interval` is set.
+  struct TraceSample {
+    double t_sec = 0.0;
+    double cwnd_segments = 0.0;
+    double srtt_us = 0.0;
+    double pipe_segments = 0.0;
+  };
+  std::vector<TraceSample> trace;
+};
+
+/// Result of one scenario run.
+struct ScenarioResult {
+  std::vector<FlowResult> flows;
+  double duration_sec = 0.0;      ///< start of experiment to last completion
+  double total_joules = 0.0;      ///< summed over sender hosts
+  double avg_watts = 0.0;         ///< total_joules / duration
+  struct HostEnergy {
+    int host = 0;
+    double joules = 0.0;
+    double avg_watts = 0.0;
+  };
+  std::vector<HostEnergy> hosts;
+  /// Bottleneck-port statistics (drops, marks).
+  net::QueueStats bottleneck;
+  /// Receiver softirq backlog statistics (end-host drops).
+  net::QueueStats rx_backlog;
+  bool all_completed = false;
+  /// Power samples of host 0 (populated when `record_power` set).
+  std::vector<std::pair<double, double>> power_series;
+  /// Bottleneck queue depth samples (time, bytes) when `trace_interval` set.
+  std::vector<std::pair<double, std::int64_t>> queue_series;
+};
+
+/// Builds and runs the paper's testbed: N sender hosts with bonded NICs, a
+/// switch whose egress to the single receiver host is the 10 Gb/s
+/// bottleneck, per-host RAPL-style energy metering, and one TCP flow per
+/// FlowSpec. The scenario owns every object for the duration of `run()`.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Add a flow before calling run().
+  void add_flow(const FlowSpec& spec);
+
+  /// Open-loop mode: run() no longer stops when every flow added so far
+  /// completes; it runs to the deadline while spawn_flow() injects arrivals.
+  void enable_open_loop() { open_loop_ = true; }
+
+  /// Inject and immediately start a flow while the simulator is running
+  /// (call from a scheduled event; requires enable_open_loop()).
+  void spawn_flow(const FlowSpec& spec);
+
+  /// Record host-0 power samples into the result (Fig 2/4 series).
+  void set_record_power(bool record) { record_power_ = record; }
+
+  /// Run until all flows complete (or the deadline hits) and report.
+  ScenarioResult run();
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct SenderHost;
+  struct FlowState;
+
+  void build_receiver_host();
+  SenderHost& sender_host(int index);
+  void start_flow(FlowState& flow);
+  void on_flow_complete(FlowState& flow);
+
+  ScenarioConfig config_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  std::unique_ptr<net::Switch> switch_;
+  std::vector<std::unique_ptr<SenderHost>> senders_;
+  std::vector<std::unique_ptr<FlowState>> flows_;
+
+  // Receiver side.
+  class Demux;
+  std::unique_ptr<Demux> receiver_stack_;
+  std::unique_ptr<net::QueuedPort> rx_backlog_;
+  std::unique_ptr<net::DrrPort> drr_bottleneck_;
+  std::unique_ptr<net::QueuedPort> receiver_nic_;
+  std::unique_ptr<energy::HostEnergyMeter> receiver_meter_;
+  std::unique_ptr<energy::CpuCore> receiver_core_;
+  net::QueuedPort* bottleneck_port_ = nullptr;
+
+  int completed_flows_ = 0;
+  bool open_loop_ = false;
+  bool metering_started_ = false;
+  sim::SimTime experiment_start_ = sim::SimTime::zero();
+  sim::SimTime last_completion_ = sim::SimTime::zero();
+  bool record_power_ = false;
+
+  static constexpr net::HostId kReceiverHost = 0;
+};
+
+}  // namespace greencc::app

@@ -1,0 +1,243 @@
+#include "app/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "app/scenario.h"
+#include "stats/stats.h"
+
+namespace greencc::app {
+
+namespace {
+
+class FixedSize final : public FlowSizeDistribution {
+ public:
+  explicit FixedSize(std::int64_t bytes) : bytes_(bytes) {}
+  std::int64_t sample(sim::Rng&) const override { return bytes_; }
+  double mean_bytes() const override { return static_cast<double>(bytes_); }
+  std::string name() const override {
+    return "fixed-" + std::to_string(bytes_);
+  }
+
+ private:
+  std::int64_t bytes_;
+};
+
+class BoundedPareto final : public FlowSizeDistribution {
+ public:
+  BoundedPareto(double alpha, std::int64_t lo, std::int64_t hi)
+      : alpha_(alpha), lo_(static_cast<double>(lo)),
+        hi_(static_cast<double>(hi)) {
+    if (alpha <= 0 || lo <= 0 || hi <= lo) {
+      throw std::invalid_argument("bounded_pareto: bad parameters");
+    }
+  }
+
+  std::int64_t sample(sim::Rng& rng) const override {
+    // Inverse CDF of the bounded Pareto.
+    const double u = rng.next_double();
+    const double la = std::pow(lo_, alpha_);
+    const double ha = std::pow(hi_, alpha_);
+    const double x =
+        std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+    return static_cast<std::int64_t>(x);
+  }
+
+  double mean_bytes() const override {
+    if (alpha_ == 1.0) {
+      return lo_ * hi_ / (hi_ - lo_) * std::log(hi_ / lo_);
+    }
+    const double la = std::pow(lo_, alpha_);
+    const double ha = std::pow(hi_, alpha_);
+    return la / (1.0 - la / ha) * (alpha_ / (alpha_ - 1.0)) *
+           (1.0 / std::pow(lo_, alpha_ - 1.0) -
+            1.0 / std::pow(hi_, alpha_ - 1.0));
+  }
+
+  std::string name() const override { return "bounded-pareto"; }
+
+ private:
+  double alpha_;
+  double lo_;
+  double hi_;
+};
+
+class EmpiricalCdf final : public FlowSizeDistribution {
+ public:
+  EmpiricalCdf(std::string name,
+               std::vector<std::pair<std::int64_t, double>> points)
+      : name_(std::move(name)), points_(std::move(points)) {
+    if (points_.size() < 2 || points_.back().second < 1.0) {
+      throw std::invalid_argument("empirical_cdf: need points up to p=1");
+    }
+    double prev_p = -1.0;
+    std::int64_t prev_b = -1;
+    for (const auto& [bytes, p] : points_) {
+      if (bytes <= prev_b || p < prev_p) {
+        throw std::invalid_argument("empirical_cdf: points not monotone");
+      }
+      prev_b = bytes;
+      prev_p = p;
+    }
+    // Mean via the trapezoid decomposition of the inverse CDF.
+    mean_ = 0.0;
+    double p0 = 0.0;
+    double b0 = static_cast<double>(points_.front().first);
+    for (const auto& [bytes, p] : points_) {
+      const double b1 = static_cast<double>(bytes);
+      mean_ += (p - p0) * (b0 + b1) / 2.0;
+      p0 = p;
+      b0 = b1;
+    }
+  }
+
+  std::int64_t sample(sim::Rng& rng) const override {
+    const double u = rng.next_double();
+    double p0 = 0.0;
+    double b0 = static_cast<double>(points_.front().first);
+    for (const auto& [bytes, p] : points_) {
+      const double b1 = static_cast<double>(bytes);
+      if (u <= p) {
+        const double frac = p > p0 ? (u - p0) / (p - p0) : 1.0;
+        return static_cast<std::int64_t>(b0 + frac * (b1 - b0));
+      }
+      p0 = p;
+      b0 = b1;
+    }
+    return points_.back().first;
+  }
+
+  double mean_bytes() const override { return mean_; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::int64_t, double>> points_;
+  double mean_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<FlowSizeDistribution> fixed_size(std::int64_t bytes) {
+  return std::make_unique<FixedSize>(bytes);
+}
+
+std::unique_ptr<FlowSizeDistribution> bounded_pareto(double alpha,
+                                                     std::int64_t min_bytes,
+                                                     std::int64_t max_bytes) {
+  return std::make_unique<BoundedPareto>(alpha, min_bytes, max_bytes);
+}
+
+std::unique_ptr<FlowSizeDistribution> empirical_cdf(
+    std::string name, std::vector<std::pair<std::int64_t, double>> points) {
+  return std::make_unique<EmpiricalCdf>(std::move(name), std::move(points));
+}
+
+std::unique_ptr<FlowSizeDistribution> websearch_workload() {
+  // Approximation of the DCTCP paper's web-search CDF.
+  return empirical_cdf("websearch", {{6'000, 0.15},
+                                     {13'000, 0.20},
+                                     {19'000, 0.30},
+                                     {33'000, 0.40},
+                                     {53'000, 0.53},
+                                     {133'000, 0.60},
+                                     {667'000, 0.70},
+                                     {1'333'000, 0.80},
+                                     {3'333'000, 0.90},
+                                     {6'667'000, 0.97},
+                                     {20'000'000, 1.00}});
+}
+
+std::unique_ptr<FlowSizeDistribution> datamining_workload() {
+  // Approximation of the VL2 data-mining CDF.
+  return empirical_cdf("datamining", {{100, 0.50},
+                                      {1'000, 0.60},
+                                      {10'000, 0.70},
+                                      {100'000, 0.75},
+                                      {1'000'000, 0.80},
+                                      {10'000'000, 0.90},
+                                      {100'000'000, 0.95},
+                                      {1'000'000'000, 1.00}});
+}
+
+WorkloadResult run_workload(const WorkloadConfig& config) {
+  if (config.sizes == nullptr) {
+    throw std::invalid_argument("run_workload: sizes distribution required");
+  }
+  if (config.load <= 0.0 || config.load >= 1.0) {
+    throw std::invalid_argument("run_workload: load must be in (0, 1)");
+  }
+
+  ScenarioConfig scenario_config;
+  scenario_config.tcp.mtu_bytes = config.mtu_bytes;
+  scenario_config.seed = config.seed;
+  scenario_config.deadline = config.horizon;
+  Scenario scenario(scenario_config);
+  scenario.enable_open_loop();
+
+  // Arrival process: Poisson with mean inter-arrival 1/lambda.
+  sim::Rng rng(config.seed * 7919 + 17);
+  const double lambda =
+      config.load * 10e9 / 8.0 / config.sizes->mean_bytes();  // flows/sec
+
+  auto& sim = scenario.simulator();
+  auto arrival = std::make_shared<std::function<void()>>();
+  auto next_host = std::make_shared<int>(0);
+  const auto* sizes = config.sizes;
+  const std::string cca = config.cca;
+  const int pool = config.sender_hosts;
+  *arrival = [&scenario, &sim, &rng, arrival, next_host, sizes, cca, pool,
+              lambda] {
+    FlowSpec spec;
+    spec.cca = cca;
+    spec.bytes = std::max<std::int64_t>(sizes->sample(rng), 1);
+    spec.sender_host = (*next_host)++ % pool;
+    scenario.spawn_flow(spec);
+    sim.schedule(sim::SimTime::seconds(rng.exponential(1.0 / lambda)),
+                 *arrival);
+  };
+  sim.schedule(sim::SimTime::seconds(rng.exponential(1.0 / lambda)),
+               *arrival);
+
+  const auto result = scenario.run();
+
+  WorkloadResult out;
+  out.flows_started = static_cast<int>(result.flows.size());
+  out.total_joules = result.total_joules;
+
+  const double base_rtt_sec = 30e-6;  // topology's unloaded RTT
+  std::vector<double> slowdowns, mice, elephants;
+  std::int64_t delivered_bytes = 0;
+  for (const auto& flow : result.flows) {
+    WorkloadFlowStats stats;
+    stats.bytes = flow.bytes;
+    stats.fct_sec = flow.fct_sec;
+    delivered_bytes += flow.delivered_bytes;
+    if (flow.fct_sec > 0) {
+      ++out.flows_completed;
+      const double ideal =
+          static_cast<double>(flow.bytes) * 8.0 / 10e9 + base_rtt_sec;
+      stats.slowdown = flow.fct_sec / ideal;
+      slowdowns.push_back(stats.slowdown);
+      if (flow.bytes < 100'000) mice.push_back(stats.slowdown);
+      if (flow.bytes >= 1'000'000) elephants.push_back(stats.slowdown);
+    }
+    out.flows.push_back(stats);
+  }
+  const double horizon_sec = config.horizon.sec();
+  out.goodput_gbps =
+      static_cast<double>(delivered_bytes) * 8.0 / horizon_sec / 1e9;
+  out.joules_per_gb = delivered_bytes > 0
+                          ? out.total_joules /
+                                (static_cast<double>(delivered_bytes) / 1e9)
+                          : 0.0;
+  out.mean_slowdown = stats::mean(slowdowns);
+  out.p99_slowdown = stats::percentile(slowdowns, 99.0);
+  out.mice_p99_slowdown = stats::percentile(mice, 99.0);
+  out.elephant_mean_slowdown = stats::mean(elephants);
+  return out;
+}
+
+}  // namespace greencc::app

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace greencc::app {
+
+/// Flow-size distributions for datacenter workloads — the §5 ask to test
+/// "with the sorts of workloads used in production data centers".
+class FlowSizeDistribution {
+ public:
+  virtual ~FlowSizeDistribution() = default;
+  virtual std::int64_t sample(sim::Rng& rng) const = 0;
+  virtual double mean_bytes() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// All flows the same size (the paper's own bulk-transfer workload).
+std::unique_ptr<FlowSizeDistribution> fixed_size(std::int64_t bytes);
+
+/// Bounded Pareto — the classic heavy tail.
+std::unique_ptr<FlowSizeDistribution> bounded_pareto(double alpha,
+                                                     std::int64_t min_bytes,
+                                                     std::int64_t max_bytes);
+
+/// Piecewise-linear empirical CDF given (bytes, cumulative probability)
+/// points sorted by bytes, ending at probability 1.
+std::unique_ptr<FlowSizeDistribution> empirical_cdf(
+    std::string name,
+    std::vector<std::pair<std::int64_t, double>> points);
+
+/// Approximation of the web-search workload CDF (DCTCP, Fig. 2 of Alizadeh
+/// et al. 2010): mostly short query/background flows with multi-MB tails.
+std::unique_ptr<FlowSizeDistribution> websearch_workload();
+
+/// Approximation of the data-mining workload CDF (VL2, Greenberg et al.
+/// 2009): >50% mice under 1 KB with a tail beyond 100 MB.
+std::unique_ptr<FlowSizeDistribution> datamining_workload();
+
+/// One finished (or unfinished) flow of an open-loop run.
+struct WorkloadFlowStats {
+  std::int64_t bytes = 0;
+  double fct_sec = -1.0;   ///< -1: still running at the horizon
+  double slowdown = 0.0;   ///< fct / ideal (line-rate serialization + RTT)
+};
+
+struct WorkloadConfig {
+  std::string cca = "cubic";
+  int mtu_bytes = 9000;
+  double load = 0.5;            ///< offered load as a fraction of 10 Gb/s
+  int sender_hosts = 8;         ///< arrivals round-robin across this pool
+  sim::SimTime horizon = sim::SimTime::seconds(2.0);
+  std::uint64_t seed = 1;
+  const FlowSizeDistribution* sizes = nullptr;  ///< required
+};
+
+struct WorkloadResult {
+  int flows_started = 0;
+  int flows_completed = 0;
+  double goodput_gbps = 0.0;     ///< delivered bytes over the horizon
+  double total_joules = 0.0;     ///< all sender hosts, horizon-long
+  double joules_per_gb = 0.0;
+  double mean_slowdown = 0.0;
+  double p99_slowdown = 0.0;
+  double mice_p99_slowdown = 0.0;      ///< flows < 100 KB
+  double elephant_mean_slowdown = 0.0; ///< flows >= 1 MB
+  std::vector<WorkloadFlowStats> flows;
+};
+
+/// Run an open-loop Poisson-arrival workload against the paper's testbed
+/// topology and report FCT slowdowns and energy. The arrival rate is
+/// derived from the target load: lambda = load * 10 Gb/s / mean flow size.
+WorkloadResult run_workload(const WorkloadConfig& config);
+
+}  // namespace greencc::app

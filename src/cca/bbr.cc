@@ -1,0 +1,188 @@
+#include "cca/bbr.h"
+
+#include <algorithm>
+
+namespace greencc::cca {
+
+namespace {
+constexpr double kDrainGain = 1.0 / 2.885;
+constexpr double kProbeGainUp = 1.25;
+constexpr double kProbeGainDown = 0.75;
+constexpr int kGainCycleLength = 8;
+constexpr double kMinCwnd = 4.0;
+}  // namespace
+
+Bbr::Bbr(const CcaConfig& config) : config_(config) {
+  pacing_gain_ = startup_gain();
+  cwnd_gain_ = startup_gain();
+  // Until the first bandwidth sample, pace at an initial-window estimate,
+  // as the kernel does (IW over the initial RTT estimate).
+  btl_bw_bps_ = static_cast<double>(config.initial_cwnd) * config.mss_bytes *
+                8.0 / config.expected_rtt.sec();
+}
+
+double Bbr::bdp_segments() const {
+  if (btl_bw_bps_ <= 0.0 || rt_prop_ == sim::SimTime::zero()) {
+    return static_cast<double>(config_.initial_cwnd);
+  }
+  return btl_bw_bps_ * rt_prop_.sec() / (config_.mss_bytes * 8.0);
+}
+
+void Bbr::update_filters(const AckEvent& ev) {
+  // Round accounting: a round trip ends when data sent after the previous
+  // round's end is delivered. Rounds are frozen during PROBE_RTT: with the
+  // window clamped to 4 segments, "rounds" would tick every 4 delivered
+  // segments and age the real bandwidth estimate out of the max filter.
+  if (ev.delivered >= next_round_delivered_ && mode_ != Mode::kProbeRtt) {
+    next_round_delivered_ = ev.delivered + ev.inflight;
+    ++round_count_;
+  }
+
+  // RTprop min filter with expiry. The expiry flag is latched *before* the
+  // stamp refresh: it is what sends v1 into PROBE_RTT (the kernel's
+  // bbr_update_min_rtt does the same).
+  if (ev.rtt > sim::SimTime::zero()) {
+    rt_prop_expired_ = rt_prop_stamp_ > sim::SimTime::zero() &&
+                       ev.now > rt_prop_stamp_ + probe_rtt_interval();
+    if (rt_prop_ == sim::SimTime::zero() || ev.rtt <= rt_prop_ ||
+        rt_prop_expired_) {
+      rt_prop_ = ev.rtt;
+      rt_prop_stamp_ = ev.now;
+    }
+  }
+
+  // BtlBw max filter over the last 10 rounds. App-limited samples only
+  // raise the estimate, never refresh it (they understate capacity).
+  if (ev.delivery_rate_bps > 0.0 &&
+      (!ev.app_limited || ev.delivery_rate_bps > btl_bw_bps_)) {
+    auto& slot = bw_window_[static_cast<std::size_t>(round_count_ % 10)];
+    if (slot.round != round_count_) {
+      slot = {0.0, round_count_};
+    }
+    slot.bps = std::max(slot.bps, ev.delivery_rate_bps);
+    double max_bw = 0.0;
+    for (const auto& s : bw_window_) {
+      if (round_count_ - s.round < 10) max_bw = std::max(max_bw, s.bps);
+    }
+    if (max_bw > 0.0) btl_bw_bps_ = max_bw;
+  }
+}
+
+void Bbr::advance_mode(const AckEvent& ev) {
+  switch (mode_) {
+    case Mode::kStartup: {
+      // Full pipe: bandwidth grew <25% for 3 consecutive rounds.
+      if (btl_bw_bps_ > full_bw_ * 1.25) {
+        full_bw_ = btl_bw_bps_;
+        full_bw_rounds_ = 0;
+      } else if (ev.delivered >= next_round_delivered_ - ev.inflight) {
+        // Evaluated once per round; round_count_ increments handled above.
+      }
+      if (btl_bw_bps_ <= full_bw_ * 1.25 && round_count_ > last_full_check_) {
+        ++full_bw_rounds_;
+        last_full_check_ = round_count_;
+      }
+      if (full_bw_rounds_ >= 3) {
+        mode_ = Mode::kDrain;
+        pacing_gain_ = kDrainGain;
+        cwnd_gain_ = startup_gain();
+      }
+      break;
+    }
+    case Mode::kDrain:
+      if (static_cast<double>(ev.inflight) <= bdp_segments()) {
+        mode_ = Mode::kProbeBw;
+        cycle_index_ = 0;
+        cycle_stamp_ = ev.now;
+        pacing_gain_ = kProbeGainUp;
+        cwnd_gain_ = 2.0;
+      }
+      break;
+    case Mode::kProbeBw: {
+      if (rt_prop_ > sim::SimTime::zero() &&
+          ev.now - cycle_stamp_ >= rt_prop_) {
+        cycle_index_ = (cycle_index_ + 1) % kGainCycleLength;
+        cycle_stamp_ = ev.now;
+      }
+      if (cycle_index_ == 0) {
+        pacing_gain_ = kProbeGainUp;
+      } else if (cycle_index_ == 1) {
+        pacing_gain_ = kProbeGainDown;
+      } else {
+        pacing_gain_ = cruise_gain();
+      }
+      cwnd_gain_ = 2.0;
+      // Time to re-probe min RTT?
+      const bool probe_due = probe_on_fixed_timer()
+                                 ? ev.now - last_probe_stamp_ >
+                                       probe_rtt_interval()
+                                 : rt_prop_expired_;
+      if (probe_due) {
+        mode_ = Mode::kProbeRtt;
+        probe_rtt_done_ = ev.now + probe_rtt_duration();
+        pacing_gain_ = 1.0;
+      }
+      break;
+    }
+    case Mode::kProbeRtt:
+      rt_prop_expired_ = false;
+      if (ev.now >= probe_rtt_done_) {
+        rt_prop_stamp_ = ev.now;
+        last_probe_stamp_ = ev.now;
+        mode_ = Mode::kProbeBw;
+        cycle_index_ = 2;  // resume cruising
+        cycle_stamp_ = ev.now;
+        pacing_gain_ = cruise_gain();
+        cwnd_gain_ = 2.0;
+      }
+      break;
+  }
+}
+
+void Bbr::on_ack(const AckEvent& ev) {
+  last_inflight_ = ev.inflight;
+  update_filters(ev);
+  advance_mode(ev);
+}
+
+void Bbr::on_loss(const LossEvent&) {
+  // v1 deliberately does not react to individual losses.
+}
+
+void Bbr::on_rto(sim::SimTime) {
+  // Conservative restart, mirroring bbr_undo/loss-recovery interplay: keep
+  // the model but restart the cycle.
+  mode_ = Mode::kStartup;
+  pacing_gain_ = startup_gain();
+  cwnd_gain_ = startup_gain();
+  full_bw_ = 0.0;
+  full_bw_rounds_ = 0;
+}
+
+double Bbr::cwnd_segments() const {
+  if (mode_ == Mode::kProbeRtt) return kMinCwnd;
+  return std::max(kMinCwnd, cwnd_gain_ * bdp_segments());
+}
+
+double Bbr::pacing_rate_bps() const {
+  return std::max(1e6, pacing_gain_ * btl_bw_bps_);
+}
+
+void Bbr2Alpha::on_ack(const AckEvent& ev) {
+  Bbr::on_ack(ev);
+  // v2 probes the inflight bound back up slowly when loss stays absent.
+  if (inflight_hi_ < 1e17 && !ev.in_recovery) {
+    inflight_hi_ += 0.02 * static_cast<double>(ev.acked_segments);
+  }
+}
+
+void Bbr2Alpha::on_loss(const LossEvent& ev) {
+  // v2 mechanism: bound inflight at beta * the inflight that saw loss.
+  inflight_hi_ = std::max(kMinCwnd, 0.7 * static_cast<double>(ev.inflight));
+}
+
+double Bbr2Alpha::cwnd_segments() const {
+  return std::min(Bbr::cwnd_segments(), inflight_hi_);
+}
+
+}  // namespace greencc::cca

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/calibration.h"
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace greencc::cca {
+
+/// Everything a congestion controller may look at when an ACK arrives.
+/// Mirrors (a simplified) `struct rate_sample` + `tcp_sock` view that Linux
+/// hands to its CC modules.
+struct AckEvent {
+  sim::SimTime now;
+  std::int64_t acked_segments = 0;   ///< newly cum-acked + newly sacked
+  std::int64_t ecn_echoed = 0;       ///< of those, how many carried CE echo
+  sim::SimTime rtt;                  ///< RTT sample of this ACK (0 if none)
+  sim::SimTime srtt;                 ///< smoothed RTT
+  sim::SimTime min_rtt;              ///< windowed minimum RTT
+  std::int64_t inflight = 0;         ///< packets outstanding after this ACK
+  std::int64_t delivered = 0;        ///< total segments delivered so far
+  double delivery_rate_bps = 0.0;    ///< rate sample (0 if not available)
+  bool app_limited = false;          ///< rate sample taken while app-limited
+  bool in_recovery = false;          ///< loss recovery in progress
+  /// Whether the sender was actually constrained by cwnd when this ACK's
+  /// data was in flight. Congestion-window validation (RFC 2861): loss-based
+  /// algorithms must not grow the window while the application, not the
+  /// window, limits sending. Defaults to true so unit drivers exercise
+  /// growth without extra setup.
+  bool cwnd_limited = true;
+
+  /// In-band telemetry reflected by the receiver (HPCC). Zero hops when the
+  /// path does not stamp INT or the algorithm did not request it.
+  std::uint8_t int_count = 0;
+  std::array<net::IntRecord, 4> int_hops{};
+};
+
+/// Reported once per loss-recovery episode (the Linux CA_Recovery entry),
+/// not per lost packet.
+struct LossEvent {
+  sim::SimTime now;
+  std::int64_t inflight = 0;
+  std::int64_t lost_segments = 0;
+};
+
+/// Congestion control algorithm interface.
+///
+/// Implementations own only their control state; all transport bookkeeping
+/// (scoreboard, timers, rate sampling) lives in tcp::TcpSender, which calls
+/// these hooks exactly the way the kernel drives its modules:
+///   * on_ack        - every ACK that advances delivery
+///   * on_loss       - entering fast-recovery (once per episode)
+///   * on_rto        - retransmission timeout fired
+///   * on_recovered  - recovery episode completed
+///
+/// `cwnd_segments()` is sampled after every hook. A non-zero
+/// `pacing_rate_bps()` makes the sender space packets out instead of
+/// transmitting cwnd-bursts (BBR-style).
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void on_ack(const AckEvent& ev) = 0;
+  virtual void on_loss(const LossEvent& ev) = 0;
+  virtual void on_rto(sim::SimTime now) = 0;
+  virtual void on_recovered(sim::SimTime /*now*/) {}
+
+  /// Current congestion window in segments (>= 1).
+  virtual double cwnd_segments() const = 0;
+
+  /// Pacing rate in bits/s; 0 disables pacing (pure window control).
+  virtual double pacing_rate_bps() const { return 0.0; }
+
+  /// Compute-cost model for the energy accounting (see calibration.h).
+  virtual energy::CcaCost cost() const = 0;
+
+  /// Whether the sender should mark packets ECN-capable (DCTCP, DCQCN).
+  virtual bool wants_ecn() const { return false; }
+
+  /// Whether the sender should request in-band telemetry stamping (HPCC).
+  virtual bool wants_int() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Link parameters a CCA may want at construction time.
+struct CcaConfig {
+  std::int32_t mss_bytes = 8948;           ///< segment payload size
+  double line_rate_bps = 10e9;             ///< for initial pacing estimates
+  sim::SimTime expected_rtt = sim::SimTime::microseconds(50);
+  std::int64_t initial_cwnd = 10;          ///< Linux default IW10
+};
+
+/// Factory registry. All ten algorithms of the paper register themselves;
+/// benches iterate `all_names()` to sweep the full grid.
+std::unique_ptr<CongestionControl> make_cca(const std::string& name,
+                                            const CcaConfig& config);
+const std::vector<std::string>& all_names();
+
+/// The production datacenter algorithms the paper's §5 asks the community
+/// to benchmark: Swift, DCQCN, HPCC and TIMELY. Constructed through the
+/// same factory; listed separately so the paper-grid benches stay exactly
+/// the paper's ten.
+const std::vector<std::string>& datacenter_names();
+
+}  // namespace greencc::cca

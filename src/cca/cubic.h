@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cmath>
+
+#include "cca/loss_based.h"
+
+namespace greencc::cca {
+
+/// CUBIC (RFC 8312, Linux tcp_cubic.c) — the kernel default and the
+/// algorithm of the paper's headline experiments (Figs 1-4).
+///
+/// After a loss at window W_max, the window follows
+///   W(t) = C * (t - K)^3 + W_max,  K = cbrt(W_max * beta_decr / C)
+/// so it rises quickly back toward W_max, plateaus, then probes. The
+/// TCP-friendly region keeps it at least as aggressive as Reno at small
+/// BDPs. Fast convergence lowers W_max when a flow is losing share.
+/// HyStart is not modelled (it only alters the first slow start; the
+/// paper's transfers are seconds long).
+class Cubic final : public LossBasedCca {
+ public:
+  using LossBasedCca::LossBasedCca;
+
+  std::string name() const override { return "cubic"; }
+
+  energy::CcaCost cost() const override {
+    // Cube root + cubic polynomial + TCP-friendly estimate per ACK.
+    return {.per_ack_ns = 190.0, .per_packet_ns = 0.0};
+  }
+
+ protected:
+  void congestion_avoidance(const AckEvent& ev) override {
+    if (epoch_start_ == sim::SimTime::zero()) {
+      // New epoch: anchor the cubic at the current window.
+      epoch_start_ = ev.now;
+      if (cwnd_ < w_max_) {
+        k_ = std::cbrt((w_max_ - cwnd_) / kC);
+        origin_ = w_max_;
+      } else {
+        k_ = 0.0;
+        origin_ = cwnd_;
+      }
+      w_est_ = cwnd_;
+    }
+
+    // Target window a full RTT in the future, as the kernel computes it.
+    const double t = (ev.now - epoch_start_ + ev.srtt).sec();
+    const double target = origin_ + kC * std::pow(t - k_, 3.0);
+
+    if (target > cwnd_) {
+      cwnd_ += (target - cwnd_) / cwnd_ *
+               static_cast<double>(ev.acked_segments);
+    } else {
+      // Plateau: probe very slowly (1% of a segment per RTT equivalent).
+      cwnd_ += 0.01 * static_cast<double>(ev.acked_segments) / cwnd_;
+    }
+
+    // TCP-friendly region (RFC 8312 §4.2): W_est grows Reno-like with the
+    // AIMD factor 3*b/(2-b).
+    const double b = 1.0 - kBeta;
+    w_est_ += 3.0 * b / (2.0 - b) * static_cast<double>(ev.acked_segments) /
+              cwnd_;
+    if (w_est_ > cwnd_) cwnd_ = w_est_;
+  }
+
+  double decrease_target(const LossEvent& ev) override {
+    const double w = std::max(static_cast<double>(ev.inflight), cwnd_);
+    // Fast convergence: release bandwidth when W_max is trending down.
+    w_max_ = w < w_max_ ? w * (2.0 - kBeta) / 2.0 : w;
+    epoch_start_ = sim::SimTime::zero();
+    return w * kBeta;
+  }
+
+  void on_rto_reset() { epoch_start_ = sim::SimTime::zero(); }
+
+ public:
+  void on_rto(sim::SimTime now) override {
+    LossBasedCca::on_rto(now);
+    epoch_start_ = sim::SimTime::zero();
+    w_max_ = 0.0;
+  }
+
+ private:
+  static constexpr double kC = 0.4;     // cubic scaling constant
+  static constexpr double kBeta = 0.7;  // multiplicative decrease factor
+
+  double w_max_ = 0.0;
+  double origin_ = 0.0;
+  double k_ = 0.0;
+  double w_est_ = 0.0;
+  sim::SimTime epoch_start_ = sim::SimTime::zero();
+};
+
+}  // namespace greencc::cca

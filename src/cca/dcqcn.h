@@ -1,0 +1,124 @@
+#pragma once
+
+#include <algorithm>
+
+#include "cca/cca.h"
+
+namespace greencc::cca {
+
+/// DCQCN (Zhu et al., SIGCOMM 2015) — the rate-based, ECN-driven congestion
+/// control of large RDMA deployments; §5 of the paper names it as a
+/// production algorithm to benchmark.
+///
+/// The reaction point keeps a current rate RC and target rate RT:
+///  * on congestion notification (ECE-marked ACK, the CNP equivalent):
+///      alpha <- (1-g)*alpha + g,  RT <- RC,  RC <- RC * (1 - alpha/2)
+///  * otherwise alpha decays every kAlphaTimer, and the rate recovers in
+///    stages every kRateTimer: five "fast recovery" stages of
+///    RC <- (RT+RC)/2, then additive stages RT += R_AI, then hyper
+///    increase RT += 10*R_AI.
+///
+/// DCQCN is rate-based: the sender paces at RC; the window is a loose cap
+/// of one (paced) bandwidth-delay product so it never gates before the
+/// rate limiter does. Hardware CNP coalescing (one CNP per 50 us) maps to
+/// per-ACK ECE marks coalesced by the receiver's delayed ACKs.
+class Dcqcn final : public CongestionControl {
+ public:
+  explicit Dcqcn(const CcaConfig& config)
+      : config_(config),
+        rc_bps_(config.line_rate_bps),
+        rt_bps_(config.line_rate_bps) {}
+
+  bool wants_ecn() const override { return true; }
+
+  void on_ack(const AckEvent& ev) override {
+    if (last_event_ == sim::SimTime::zero()) last_event_ = ev.now;
+
+    if (ev.ecn_echoed > 0) {
+      // Congestion notification. The NP generates at most one CNP per
+      // 50 us window, so marked ACKs inside the window are coalesced.
+      if (last_cut_ == sim::SimTime::zero() ||
+          ev.now - last_cut_ >= kCnpInterval) {
+        alpha_ = (1.0 - kG) * alpha_ + kG;
+        rt_bps_ = rc_bps_;
+        rc_bps_ = std::max(kMinRateBps, rc_bps_ * (1.0 - alpha_ / 2.0));
+        stage_ = 0;
+        last_cut_ = ev.now;
+        last_rate_timer_ = ev.now;
+        last_alpha_timer_ = ev.now;
+      }
+      return;
+    }
+
+    // Alpha decay timer.
+    while (ev.now - last_alpha_timer_ >= kAlphaTimer) {
+      alpha_ *= 1.0 - kG;
+      last_alpha_timer_ += kAlphaTimer;
+    }
+
+    // Rate increase timer (stage machine).
+    while (ev.now - last_rate_timer_ >= kRateTimer) {
+      last_rate_timer_ += kRateTimer;
+      ++stage_;
+      if (stage_ > kFastRecoveryStages) {
+        const double r_ai =
+            stage_ > 2 * kFastRecoveryStages ? 10.0 * kRaiBps : kRaiBps;
+        rt_bps_ = std::min(config_.line_rate_bps, rt_bps_ + r_ai);
+      }
+      rc_bps_ = std::min(config_.line_rate_bps, (rt_bps_ + rc_bps_) / 2.0);
+    }
+  }
+
+  void on_loss(const LossEvent&) override {
+    // RDMA fabrics are lossless (PFC); over a lossy path DCQCN treats loss
+    // like a congestion notification.
+    rt_bps_ = rc_bps_;
+    rc_bps_ = std::max(kMinRateBps, rc_bps_ * 0.5);
+    stage_ = 0;
+  }
+
+  void on_rto(sim::SimTime) override {
+    rc_bps_ = rt_bps_ = std::max(kMinRateBps, config_.line_rate_bps * 0.01);
+    stage_ = 0;
+  }
+
+  double cwnd_segments() const override {
+    // Loose cap: two paced BDPs at an assumed worst-case RTT.
+    const double bdp = rc_bps_ * (4.0 * config_.expected_rtt.sec()) /
+                       (config_.mss_bytes * 8.0);
+    return std::max(4.0, bdp);
+  }
+
+  double pacing_rate_bps() const override { return rc_bps_; }
+
+  energy::CcaCost cost() const override {
+    // Timer bookkeeping + the rate math of the NIC firmware emulation.
+    return {.per_ack_ns = 110.0, .per_packet_ns = 15.0};
+  }
+
+  std::string name() const override { return "dcqcn"; }
+
+  double alpha() const { return alpha_; }
+  double current_rate_bps() const { return rc_bps_; }
+
+ private:
+  static constexpr double kG = 1.0 / 16.0;
+  static constexpr double kRaiBps = 40e6;  // additive step (40 Mb/s)
+  static constexpr int kFastRecoveryStages = 5;
+  static constexpr double kMinRateBps = 10e6;
+  static constexpr sim::SimTime kAlphaTimer = sim::SimTime::microseconds(55);
+  static constexpr sim::SimTime kRateTimer = sim::SimTime::microseconds(55);
+  static constexpr sim::SimTime kCnpInterval = sim::SimTime::microseconds(50);
+
+  CcaConfig config_;
+  double rc_bps_;
+  double rt_bps_;
+  double alpha_ = 1.0;
+  int stage_ = 0;
+  sim::SimTime last_cut_ = sim::SimTime::zero();
+  sim::SimTime last_event_ = sim::SimTime::zero();
+  sim::SimTime last_alpha_timer_ = sim::SimTime::zero();
+  sim::SimTime last_rate_timer_ = sim::SimTime::zero();
+};
+
+}  // namespace greencc::cca

@@ -1,0 +1,77 @@
+#pragma once
+
+#include "cca/loss_based.h"
+
+namespace greencc::cca {
+
+/// DCTCP (Alizadeh et al. 2010, Linux tcp_dctcp.c): ECN-proportional
+/// multiplicative decrease. The receiver echoes CE marks; once per window
+/// the sender updates the moving fraction of marked segments
+///
+///   alpha = (1 - g) * alpha + g * F        (g = 1/16)
+///
+/// and, if any segment in the window was marked, shrinks
+///
+///   cwnd = cwnd * (1 - alpha / 2).
+///
+/// Loss handling is Reno's. Requires ECN marking at the bottleneck (the
+/// scenario topology enables a step-marking threshold when the flow's CCA
+/// wants ECN).
+class Dctcp final : public LossBasedCca {
+ public:
+  using LossBasedCca::LossBasedCca;
+
+  std::string name() const override { return "dctcp"; }
+
+  bool wants_ecn() const override { return true; }
+
+  energy::CcaCost cost() const override {
+    // alpha EWMA plus the CE bookkeeping on every ACK.
+    return {.per_ack_ns = 140.0, .per_packet_ns = 0.0};
+  }
+
+  void on_ack(const AckEvent& ev) override {
+    acked_in_window_ += ev.acked_segments;
+    marked_in_window_ += ev.ecn_echoed;
+
+    // Window boundary: one observation window is one RTT's worth of
+    // delivered data (the kernel uses snd_una crossing a recorded seq; with
+    // delivered counters this is equivalent).
+    if (ev.delivered >= next_window_delivered_) {
+      const double f =
+          acked_in_window_ > 0
+              ? static_cast<double>(marked_in_window_) /
+                    static_cast<double>(acked_in_window_)
+              : 0.0;
+      alpha_ = (1.0 - kG) * alpha_ + kG * f;
+      if (marked_in_window_ > 0 && !ev.in_recovery) {
+        cwnd_ = cwnd_ * (1.0 - alpha_ / 2.0);
+        ssthresh_ = cwnd_;
+        clamp();
+      }
+      acked_in_window_ = 0;
+      marked_in_window_ = 0;
+      next_window_delivered_ =
+          ev.delivered + static_cast<std::int64_t>(cwnd_);
+    }
+
+    LossBasedCca::on_ack(ev);
+  }
+
+  double alpha() const { return alpha_; }
+
+ protected:
+  void congestion_avoidance(const AckEvent& ev) override {
+    cwnd_ += static_cast<double>(ev.acked_segments) / cwnd_;
+  }
+
+ private:
+  static constexpr double kG = 1.0 / 16.0;
+
+  double alpha_ = 1.0;  // kernel starts alpha at 1 to be conservative
+  std::int64_t acked_in_window_ = 0;
+  std::int64_t marked_in_window_ = 0;
+  std::int64_t next_window_delivered_ = 0;
+};
+
+}  // namespace greencc::cca

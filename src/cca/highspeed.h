@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cmath>
+
+#include "cca/loss_based.h"
+
+namespace greencc::cca {
+
+/// HighSpeed TCP (RFC 3649): the AIMD increase a(w) and decrease b(w)
+/// parameters scale with the window so large-BDP flows recover quickly.
+///
+/// We use the analytic response function of RFC 3649 §5 rather than the
+/// precomputed 73-row kernel table: for w <= 38 behave exactly like Reno;
+/// above that,
+///   b(w) = (0.1 - 0.5) * (log w - log 38)/(log 83000 - log 38) + 0.5
+///   p(w) = 0.078 / w^1.2
+///   a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w))
+/// which is the formula the kernel table itself was generated from.
+class HighSpeed final : public LossBasedCca {
+ public:
+  using LossBasedCca::LossBasedCca;
+
+  std::string name() const override { return "highspeed"; }
+
+  energy::CcaCost cost() const override {
+    // Table walk + two multiplies per ACK in tcp_highspeed.c.
+    return {.per_ack_ns = 120.0, .per_packet_ns = 0.0};
+  }
+
+  static double a_of_w(double w) {
+    if (w <= kLowWindow) return 1.0;
+    const double b = b_of_w(w);
+    const double p = 0.078 / std::pow(w, 1.2);
+    return std::max(1.0, w * w * p * 2.0 * b / (2.0 - b));
+  }
+
+  static double b_of_w(double w) {
+    if (w <= kLowWindow) return 0.5;
+    const double frac = (std::log(w) - std::log(kLowWindow)) /
+                        (std::log(kHighWindow) - std::log(kLowWindow));
+    return std::max(0.1, 0.5 + (0.1 - 0.5) * frac);
+  }
+
+ protected:
+  void congestion_avoidance(const AckEvent& ev) override {
+    cwnd_ += a_of_w(cwnd_) * static_cast<double>(ev.acked_segments) / cwnd_;
+  }
+
+  double decrease_target(const LossEvent& ev) override {
+    const double w = std::max(static_cast<double>(ev.inflight), cwnd_);
+    return w * (1.0 - b_of_w(w));
+  }
+
+ private:
+  static constexpr double kLowWindow = 38.0;
+  static constexpr double kHighWindow = 83000.0;
+};
+
+}  // namespace greencc::cca

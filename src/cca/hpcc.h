@@ -1,0 +1,137 @@
+#pragma once
+
+#include <array>
+
+#include "cca/cca.h"
+
+namespace greencc::cca {
+
+/// HPCC (Li et al., SIGCOMM 2019) — High Precision Congestion Control,
+/// driven by per-hop in-band network telemetry (INT) from programmable
+/// switches; the third production algorithm the paper's §5 names.
+///
+/// Every ACK carries the INT stack the data packet collected (cumulative
+/// txBytes, queue depth, timestamp and speed per hop). The sender computes
+/// each link's normalized inflight
+///
+///   U_j = qlen / (B_j * T) + txRate_j / B_j
+///
+/// takes the bottleneck max, and sets the window multiplicatively towards
+/// the 95% utilization target eta with a small additive probe:
+///
+///   W = W_c / (maxU / eta) + W_ai
+///
+/// with the reference window W_c updated once per RTT (at most maxStage
+/// multiplicative steps per reference update, as in the paper's Alg. 1).
+class Hpcc final : public CongestionControl {
+ public:
+  explicit Hpcc(const CcaConfig& config)
+      : config_(config),
+        base_rtt_(config.expected_rtt),
+        cwnd_(bdp_segments()),
+        w_c_(cwnd_) {}
+
+  bool wants_int() const override { return true; }
+
+  void on_ack(const AckEvent& ev) override {
+    if (ev.int_count == 0) return;  // no telemetry, nothing to react to
+
+    // Per-RTT reference update: when everything sent at the last update
+    // has been delivered, commit W as the new reference W_c.
+    if (ev.delivered >= next_update_delivered_) {
+      w_c_ = cwnd_;
+      inc_stage_ = 0;
+      next_update_delivered_ = ev.delivered + ev.inflight;
+    }
+
+    const double max_u = measure_inflight(ev);
+    if (max_u <= 0.0) return;
+
+    const double k = std::max(max_u / kEta, 1e-3);
+    double w_new = w_c_ / k + kWai;
+    if (max_u < kEta && inc_stage_ >= kMaxStage) {
+      // Utilization below target and we already probed maxStage times
+      // against this reference: take the faster direct update.
+      w_new = cwnd_ / k + kWai;
+      w_c_ = w_new;
+      inc_stage_ = 0;
+      next_update_delivered_ = ev.delivered + ev.inflight;
+    } else {
+      ++inc_stage_;
+    }
+    cwnd_ = std::clamp(w_new, kMinCwnd, 2.0 * bdp_segments());
+  }
+
+  void on_loss(const LossEvent&) override {
+    // INT sees congestion long before loss; on an actual loss halve.
+    cwnd_ = std::max(kMinCwnd, cwnd_ * 0.5);
+  }
+
+  void on_rto(sim::SimTime) override { cwnd_ = kMinCwnd; }
+
+  double cwnd_segments() const override { return cwnd_; }
+
+  double pacing_rate_bps() const override {
+    // Pace the window over the base RTT (HPCC is window-limited + paced).
+    return cwnd_ * config_.mss_bytes * 8.0 / base_rtt_.sec();
+  }
+
+  energy::CcaCost cost() const override {
+    // Per-hop INT parsing and the utilization math dominate; the SIGCOMM
+    // paper implements this in NIC hardware precisely because it is heavy.
+    return {.per_ack_ns = 180.0, .per_packet_ns = 20.0};
+  }
+
+  std::string name() const override { return "hpcc"; }
+
+  double last_max_utilization() const { return last_max_u_; }
+
+ private:
+  double bdp_segments() const {
+    return std::max(kMinCwnd, config_.line_rate_bps * base_rtt_.sec() /
+                                  (config_.mss_bytes * 8.0));
+  }
+
+  /// Max over hops of the normalized inflight U_j; keeps the previous INT
+  /// stack for the txRate finite difference.
+  double measure_inflight(const AckEvent& ev) {
+    double max_u = 0.0;
+    for (std::uint8_t i = 0; i < ev.int_count && i < ev.int_hops.size();
+         ++i) {
+      const auto& hop = ev.int_hops[i];
+      const auto& prev = prev_hops_[i];
+      double u = static_cast<double>(hop.qlen_bytes) * 8.0 /
+                 (hop.link_bps * base_rtt_.sec());
+      if (have_prev_ && hop.ts > prev.ts) {
+        const double tx_rate_bps = (hop.tx_bytes - prev.tx_bytes) * 8.0 /
+                                   (hop.ts - prev.ts).sec();
+        u += tx_rate_bps / hop.link_bps;
+      }
+      max_u = std::max(max_u, u);
+    }
+    prev_hops_ = ev.int_hops;
+    have_prev_ = true;
+    // EWMA over roughly one base RTT, as in Alg. 1's tau/T weighting.
+    last_max_u_ = have_u_ ? 0.8 * last_max_u_ + 0.2 * max_u : max_u;
+    have_u_ = true;
+    return last_max_u_;
+  }
+
+  static constexpr double kEta = 0.95;   // target utilization
+  static constexpr double kWai = 0.08;   // additive probe (segments)
+  static constexpr int kMaxStage = 5;
+  static constexpr double kMinCwnd = 1.0;
+
+  CcaConfig config_;
+  sim::SimTime base_rtt_;
+  double cwnd_;
+  double w_c_;
+  int inc_stage_ = 0;
+  std::int64_t next_update_delivered_ = 0;
+  std::array<net::IntRecord, 4> prev_hops_{};
+  bool have_prev_ = false;
+  double last_max_u_ = 0.0;
+  bool have_u_ = false;
+};
+
+}  // namespace greencc::cca

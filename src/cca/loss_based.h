@@ -1,0 +1,67 @@
+#pragma once
+
+#include <algorithm>
+
+#include "cca/cca.h"
+
+namespace greencc::cca {
+
+/// Shared machinery of the loss-based window algorithms (Reno, CUBIC,
+/// Scalable, HighSpeed, Westwood, Vegas, DCTCP): a congestion window with
+/// slow start below ssthresh, and the standard RTO reaction (cwnd back to 1
+/// segment, ssthresh halved — RFC 5681 §3.1). Subclasses override the
+/// congestion-avoidance increase and the multiplicative decrease.
+class LossBasedCca : public CongestionControl {
+ public:
+  explicit LossBasedCca(const CcaConfig& config)
+      : config_(config), cwnd_(static_cast<double>(config.initial_cwnd)) {}
+
+  void on_ack(const AckEvent& ev) override {
+    if (ev.acked_segments <= 0) return;
+    if (ev.in_recovery) return;  // window frozen during recovery
+    if (!ev.cwnd_limited) return;  // RFC 2861: no growth when app-limited
+    if (cwnd_ < ssthresh_) {
+      // Slow start: one segment per acked segment, not beyond ssthresh.
+      cwnd_ = std::min(cwnd_ + static_cast<double>(ev.acked_segments),
+                       std::max(ssthresh_, cwnd_));
+      if (cwnd_ >= ssthresh_) congestion_avoidance(ev);
+    } else {
+      congestion_avoidance(ev);
+    }
+    clamp();
+  }
+
+  void on_loss(const LossEvent& ev) override {
+    ssthresh_ = std::max(2.0, decrease_target(ev));
+    cwnd_ = ssthresh_;
+    clamp();
+  }
+
+  void on_rto(sim::SimTime /*now*/) override {
+    ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+    cwnd_ = 1.0;
+  }
+
+  double cwnd_segments() const override { return cwnd_; }
+
+ protected:
+  /// Additive (or otherwise) increase while not in slow start.
+  virtual void congestion_avoidance(const AckEvent& ev) = 0;
+
+  /// New ssthresh/cwnd when entering fast recovery.
+  virtual double decrease_target(const LossEvent& ev) {
+    return std::max(static_cast<double>(ev.inflight), cwnd_) / 2.0;
+  }
+
+  void clamp() { cwnd_ = std::clamp(cwnd_, 1.0, kMaxCwnd); }
+
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  static constexpr double kMaxCwnd = 1 << 20;
+
+  CcaConfig config_;
+  double cwnd_;
+  double ssthresh_ = kMaxCwnd;
+};
+
+}  // namespace greencc::cca

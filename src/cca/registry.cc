@@ -1,0 +1,80 @@
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "cca/bbr.h"
+#include "cca/cca.h"
+#include "cca/cubic.h"
+#include "cca/dcqcn.h"
+#include "cca/dctcp.h"
+#include "cca/highspeed.h"
+#include "cca/hpcc.h"
+#include "cca/reno.h"
+#include "cca/scalable.h"
+#include "cca/swift.h"
+#include "cca/timely.h"
+#include "cca/vegas.h"
+#include "cca/westwood.h"
+
+namespace greencc::cca {
+
+namespace {
+
+using Factory =
+    std::function<std::unique_ptr<CongestionControl>(const CcaConfig&)>;
+
+template <typename T>
+std::unique_ptr<CongestionControl> make(const CcaConfig& config) {
+  return std::make_unique<T>(config);
+}
+
+// Ordered the way the paper's Figure 5 x-axis lists them.
+const std::map<std::string, Factory>& factories() {
+  static const std::map<std::string, Factory> kFactories = {
+      {"bbr", make<Bbr>},
+      {"westwood", make<Westwood>},
+      {"highspeed", make<HighSpeed>},
+      {"scalable", make<Scalable>},
+      {"reno", make<Reno>},
+      {"vegas", make<Vegas>},
+      {"dctcp", make<Dctcp>},
+      {"cubic", make<Cubic>},
+      {"baseline", make<ConstantCwndBaseline>},
+      {"bbr2", make<Bbr2Alpha>},
+      // The production datacenter algorithms of the paper's section 5
+      // (see datacenter_names()).
+      {"swift", make<Swift>},
+      {"dcqcn", make<Dcqcn>},
+      {"hpcc", make<Hpcc>},
+      {"timely", make<Timely>},
+  };
+  return kFactories;
+}
+
+}  // namespace
+
+std::unique_ptr<CongestionControl> make_cca(const std::string& name,
+                                            const CcaConfig& config) {
+  auto it = factories().find(name);
+  if (it == factories().end()) {
+    throw std::invalid_argument("unknown congestion control algorithm: " +
+                                name);
+  }
+  return it->second(config);
+}
+
+const std::vector<std::string>& all_names() {
+  // Figure 5's ordering (increasing energy at MTU 1500 in the paper).
+  static const std::vector<std::string> kNames = {
+      "bbr",  "westwood", "highspeed", "scalable", "reno",
+      "vegas", "dctcp",   "cubic",     "baseline", "bbr2"};
+  return kNames;
+}
+
+const std::vector<std::string>& datacenter_names() {
+  static const std::vector<std::string> kNames = {"swift", "dcqcn", "hpcc",
+                                                  "timely"};
+  return kNames;
+}
+
+}  // namespace greencc::cca

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "cca/loss_based.h"
+
+namespace greencc::cca {
+
+/// TCP Reno / NewReno congestion avoidance (RFC 5681): cwnd grows by one
+/// segment per RTT (1/cwnd per ACKed segment), halves on loss.
+class Reno final : public LossBasedCca {
+ public:
+  using LossBasedCca::LossBasedCca;
+
+  std::string name() const override { return "reno"; }
+
+  energy::CcaCost cost() const override {
+    // One addition and one divide per ACK in tcp_reno_cong_avoid().
+    return {.per_ack_ns = 70.0, .per_packet_ns = 0.0};
+  }
+
+ protected:
+  void congestion_avoidance(const AckEvent& ev) override {
+    cwnd_ += static_cast<double>(ev.acked_segments) / cwnd_;
+  }
+};
+
+/// The paper's custom baseline module: congestion control disabled, cwnd
+/// pinned to a large constant. "It uses a constantly large cwnd value while
+/// running the same logic for other TCP mechanisms, i.e., retransmission
+/// timeouts, selective acknowledgments, and loss recovery" (§4.3). The
+/// paper warns this collapses with competing flows; benches only ever run it
+/// alone, like the paper does.
+class ConstantCwndBaseline final : public CongestionControl {
+ public:
+  explicit ConstantCwndBaseline(const CcaConfig& config, double cwnd = 10000.0)
+      : config_(config), cwnd_(cwnd) {}
+
+  void on_ack(const AckEvent&) override {}
+  void on_loss(const LossEvent&) override {}
+  void on_rto(sim::SimTime) override {}
+
+  double cwnd_segments() const override { return cwnd_; }
+
+  energy::CcaCost cost() const override {
+    // No cwnd computation at all.
+    return {.per_ack_ns = 25.0, .per_packet_ns = 0.0};
+  }
+
+  std::string name() const override { return "baseline"; }
+
+ private:
+  [[maybe_unused]] CcaConfig config_;
+  double cwnd_;
+};
+
+}  // namespace greencc::cca

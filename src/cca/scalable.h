@@ -1,0 +1,30 @@
+#pragma once
+
+#include "cca/loss_based.h"
+
+namespace greencc::cca {
+
+/// Scalable TCP (Kelly 2003): MIMD — cwnd += 0.01 per ACKed segment in
+/// congestion avoidance, cwnd *= 0.875 on loss. Matches Linux
+/// tcp_scalable.c (TCP_SCALABLE_AI_CNT = 100, MD factor 1/8).
+class Scalable final : public LossBasedCca {
+ public:
+  using LossBasedCca::LossBasedCca;
+
+  std::string name() const override { return "scalable"; }
+
+  energy::CcaCost cost() const override {
+    return {.per_ack_ns = 70.0, .per_packet_ns = 0.0};
+  }
+
+ protected:
+  void congestion_avoidance(const AckEvent& ev) override {
+    cwnd_ += 0.01 * static_cast<double>(ev.acked_segments);
+  }
+
+  double decrease_target(const LossEvent& ev) override {
+    return std::max(static_cast<double>(ev.inflight), cwnd_) * 0.875;
+  }
+};
+
+}  // namespace greencc::cca

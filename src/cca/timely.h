@@ -1,0 +1,101 @@
+#pragma once
+
+#include <algorithm>
+
+#include "cca/cca.h"
+
+namespace greencc::cca {
+
+/// TIMELY (Mittal et al., SIGCOMM 2015) — RTT-gradient rate control, the
+/// delay-based counterpart of DCQCN in the datacenter CC literature the
+/// paper's §5 surveys (via the DCQCN-vs-TIMELY analysis it cites).
+///
+/// Per RTT sample:
+///   rtt_diff <- (1-a)*rtt_diff + a*(rtt - prev_rtt)
+///   g = rtt_diff / min_rtt            (normalized gradient)
+///   rtt < T_low  : rate += delta      (additive probe)
+///   rtt > T_high : rate *= 1 - b*(1 - T_high/rtt)
+///   otherwise    : g <= 0 ? rate += N*delta (HAI after 5 good samples)
+///                         : rate *= (1 - b*g)
+class Timely final : public CongestionControl {
+ public:
+  explicit Timely(const CcaConfig& config)
+      : config_(config),
+        rate_bps_(config.line_rate_bps * 0.1),
+        t_low_(config.expected_rtt * 2),
+        t_high_(config.expected_rtt * 10) {}
+
+  void on_ack(const AckEvent& ev) override {
+    if (ev.rtt <= sim::SimTime::zero()) return;
+    const double rtt = ev.rtt.sec();
+    if (prev_rtt_ == 0.0) {
+      prev_rtt_ = rtt;
+      return;
+    }
+    rtt_diff_ = (1.0 - kAlpha) * rtt_diff_ + kAlpha * (rtt - prev_rtt_);
+    prev_rtt_ = rtt;
+    const double min_rtt = ev.min_rtt > sim::SimTime::zero()
+                               ? ev.min_rtt.sec()
+                               : config_.expected_rtt.sec();
+    const double gradient = rtt_diff_ / min_rtt;
+
+    if (rtt < t_low_.sec()) {
+      rate_bps_ += kDeltaBps;
+      hai_count_ = 0;
+    } else if (rtt > t_high_.sec()) {
+      rate_bps_ *= 1.0 - kBeta * (1.0 - t_high_.sec() / rtt);
+      hai_count_ = 0;
+    } else if (gradient <= 0.0) {
+      const int n = ++hai_count_ >= kHaiThreshold ? 5 : 1;
+      rate_bps_ += n * kDeltaBps;
+    } else {
+      rate_bps_ *= 1.0 - kBeta * std::min(gradient, 1.0);
+      hai_count_ = 0;
+    }
+    rate_bps_ = std::clamp(rate_bps_, kMinRateBps, config_.line_rate_bps);
+  }
+
+  void on_loss(const LossEvent&) override {
+    rate_bps_ = std::max(kMinRateBps, rate_bps_ * 0.5);
+    hai_count_ = 0;
+  }
+
+  void on_rto(sim::SimTime) override {
+    rate_bps_ = std::max(kMinRateBps, config_.line_rate_bps * 0.01);
+    hai_count_ = 0;
+  }
+
+  double cwnd_segments() const override {
+    const double bdp = rate_bps_ * (4.0 * config_.expected_rtt.sec()) /
+                       (config_.mss_bytes * 8.0);
+    return std::max(4.0, bdp);
+  }
+
+  double pacing_rate_bps() const override { return rate_bps_; }
+
+  energy::CcaCost cost() const override {
+    // Gradient filter + rate update per completion event.
+    return {.per_ack_ns = 120.0, .per_packet_ns = 15.0};
+  }
+
+  std::string name() const override { return "timely"; }
+
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  static constexpr double kAlpha = 0.875;   // gradient EWMA weight
+  static constexpr double kBeta = 0.8;      // multiplicative decrease
+  static constexpr double kDeltaBps = 10e6; // additive step (10 Mb/s)
+  static constexpr int kHaiThreshold = 5;
+  static constexpr double kMinRateBps = 10e6;
+
+  CcaConfig config_;
+  double rate_bps_;
+  sim::SimTime t_low_;
+  sim::SimTime t_high_;
+  double prev_rtt_ = 0.0;
+  double rtt_diff_ = 0.0;
+  int hai_count_ = 0;
+};
+
+}  // namespace greencc::cca

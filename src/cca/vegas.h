@@ -1,0 +1,79 @@
+#pragma once
+
+#include "cca/loss_based.h"
+
+namespace greencc::cca {
+
+/// TCP Vegas (Brakmo et al. 1994, Linux tcp_vegas.c): delay-based
+/// congestion avoidance. Once per RTT, compare the expected rate
+/// (cwnd/baseRTT) to the actual rate (cwnd/RTT); the difference in segments
+/// queued at the bottleneck steers the window:
+///
+///   diff = cwnd * (RTT - baseRTT) / RTT
+///   diff < alpha (2): grow by one segment per RTT
+///   diff > beta  (4): shrink by one segment per RTT
+///
+/// Falls back to Reno behaviour in slow start and on loss.
+class Vegas final : public LossBasedCca {
+ public:
+  using LossBasedCca::LossBasedCca;
+
+  std::string name() const override { return "vegas"; }
+
+  energy::CcaCost cost() const override {
+    // Two divides and the min-RTT bookkeeping per ACK.
+    return {.per_ack_ns = 130.0, .per_packet_ns = 0.0};
+  }
+
+  void on_ack(const AckEvent& ev) override {
+    if (ev.rtt > sim::SimTime::zero() &&
+        (base_rtt_ == sim::SimTime::zero() || ev.rtt < base_rtt_)) {
+      base_rtt_ = ev.rtt;
+    }
+    if (ev.rtt > sim::SimTime::zero()) {
+      min_rtt_this_epoch_ = min_rtt_this_epoch_ == sim::SimTime::zero()
+                                ? ev.rtt
+                                : std::min(min_rtt_this_epoch_, ev.rtt);
+    }
+    if (ev.in_recovery || ev.acked_segments <= 0) return;
+
+    if (in_slow_start()) {
+      // Vegas doubles every *other* RTT in slow start; approximating with
+      // standard slow start changes only the first few RTTs of a transfer.
+      LossBasedCca::on_ack(ev);
+      epoch_start_ = ev.now;
+      return;
+    }
+
+    // One adjustment per RTT epoch.
+    if (ev.srtt > sim::SimTime::zero() && ev.now - epoch_start_ >= ev.srtt &&
+        base_rtt_ > sim::SimTime::zero() &&
+        min_rtt_this_epoch_ > sim::SimTime::zero()) {
+      const double rtt = min_rtt_this_epoch_.sec();
+      const double diff = cwnd_ * (rtt - base_rtt_.sec()) / rtt;
+      if (diff < kAlpha) {
+        if (ev.cwnd_limited) cwnd_ += 1.0;
+      } else if (diff > kBeta) {
+        cwnd_ -= 1.0;
+      }
+      clamp();
+      epoch_start_ = ev.now;
+      min_rtt_this_epoch_ = sim::SimTime::zero();
+    }
+  }
+
+ protected:
+  void congestion_avoidance(const AckEvent&) override {
+    // Handled by the per-RTT epoch logic in on_ack().
+  }
+
+ private:
+  static constexpr double kAlpha = 2.0;
+  static constexpr double kBeta = 4.0;
+
+  sim::SimTime base_rtt_ = sim::SimTime::zero();
+  sim::SimTime min_rtt_this_epoch_ = sim::SimTime::zero();
+  sim::SimTime epoch_start_ = sim::SimTime::zero();
+};
+
+}  // namespace greencc::cca

@@ -1,0 +1,74 @@
+#pragma once
+
+#include "cca/loss_based.h"
+
+namespace greencc::cca {
+
+/// TCP Westwood+ (Gerla et al. 2001, Linux tcp_westwood.c): Reno-style
+/// growth, but on loss the window is set from an end-to-end bandwidth
+/// estimate instead of blind halving:
+///
+///   ssthresh = BWE * RTTmin / MSS
+///
+/// The bandwidth estimate is a low-pass filter over per-RTT delivery
+/// samples, exactly the (7/8, 1/8) first-order filter the kernel uses.
+class Westwood final : public LossBasedCca {
+ public:
+  using LossBasedCca::LossBasedCca;
+
+  std::string name() const override { return "westwood"; }
+
+  energy::CcaCost cost() const override {
+    // Bandwidth filter update + westwood_update_window() per ACK.
+    return {.per_ack_ns = 150.0, .per_packet_ns = 0.0};
+  }
+
+  void on_ack(const AckEvent& ev) override {
+    update_bandwidth(ev);
+    LossBasedCca::on_ack(ev);
+  }
+
+  double bandwidth_estimate_bps() const { return bw_est_bps_; }
+
+ protected:
+  void congestion_avoidance(const AckEvent& ev) override {
+    cwnd_ += static_cast<double>(ev.acked_segments) / cwnd_;
+  }
+
+  double decrease_target(const LossEvent& ev) override {
+    if (bw_est_bps_ <= 0.0 || min_rtt_ == sim::SimTime::zero()) {
+      return std::max(static_cast<double>(ev.inflight), cwnd_) / 2.0;
+    }
+    const double bdp_segments =
+        bw_est_bps_ * min_rtt_.sec() / (config_.mss_bytes * 8.0);
+    return bdp_segments;
+  }
+
+ private:
+  void update_bandwidth(const AckEvent& ev) {
+    if (ev.min_rtt > sim::SimTime::zero() &&
+        (min_rtt_ == sim::SimTime::zero() || ev.min_rtt < min_rtt_)) {
+      min_rtt_ = ev.min_rtt;
+    }
+    acked_since_sample_ += ev.acked_segments;
+    // One bandwidth sample per RTT, as in westwood_update_window().
+    const sim::SimTime interval = ev.now - last_sample_time_;
+    if (ev.srtt > sim::SimTime::zero() && interval >= ev.srtt) {
+      const double sample_bps = static_cast<double>(acked_since_sample_) *
+                                config_.mss_bytes * 8.0 / interval.sec();
+      // First-order filter: new = 7/8 old + 1/8 sample (after seeding).
+      bw_est_bps_ = bw_est_bps_ == 0.0
+                        ? sample_bps
+                        : 0.875 * bw_est_bps_ + 0.125 * sample_bps;
+      acked_since_sample_ = 0;
+      last_sample_time_ = ev.now;
+    }
+  }
+
+  double bw_est_bps_ = 0.0;
+  std::int64_t acked_since_sample_ = 0;
+  sim::SimTime last_sample_time_ = sim::SimTime::zero();
+  sim::SimTime min_rtt_ = sim::SimTime::zero();
+};
+
+}  // namespace greencc::cca

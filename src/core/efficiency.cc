@@ -1,0 +1,81 @@
+#include "core/efficiency.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/stats.h"
+
+namespace greencc::core {
+
+namespace {
+std::pair<std::vector<double>, std::vector<double>> columns(
+    const std::vector<GridCell>& cells, double GridCell::*x,
+    double GridCell::*y, const std::string& exclude, int mtu_bytes = 0) {
+  std::vector<double> xs, ys;
+  for (const auto& cell : cells) {
+    if (!exclude.empty() && cell.cca == exclude) continue;
+    if (mtu_bytes != 0 && cell.mtu_bytes != mtu_bytes) continue;
+    xs.push_back(cell.*x);
+    ys.push_back(cell.*y);
+  }
+  return {std::move(xs), std::move(ys)};
+}
+}  // namespace
+
+double EfficiencyReport::corr_energy_power(int mtu_bytes) const {
+  auto [xs, ys] = columns(cells_, &GridCell::energy_joules,
+                          &GridCell::power_watts, "", mtu_bytes);
+  return stats::pearson(xs, ys);
+}
+
+double EfficiencyReport::corr_energy_fct() const {
+  auto [xs, ys] =
+      columns(cells_, &GridCell::energy_joules, &GridCell::fct_sec, "");
+  return stats::pearson(xs, ys);
+}
+
+double EfficiencyReport::corr_energy_retx(const std::string& exclude) const {
+  auto [xs, ys] = columns(cells_, &GridCell::energy_joules,
+                          &GridCell::retransmissions, exclude);
+  return stats::pearson(xs, ys);
+}
+
+const GridCell* EfficiencyReport::find(const std::string& cca,
+                                       int mtu) const {
+  for (const auto& cell : cells_) {
+    if (cell.cca == cca && cell.mtu_bytes == mtu) return &cell;
+  }
+  return nullptr;
+}
+
+double EfficiencyReport::mtu_savings(const std::string& cca) const {
+  int min_mtu = std::numeric_limits<int>::max();
+  int max_mtu = 0;
+  for (const auto& cell : cells_) {
+    if (cell.cca != cca) continue;
+    min_mtu = std::min(min_mtu, cell.mtu_bytes);
+    max_mtu = std::max(max_mtu, cell.mtu_bytes);
+  }
+  const GridCell* small = find(cca, min_mtu);
+  const GridCell* large = find(cca, max_mtu);
+  if (small == nullptr || large == nullptr || small == large) {
+    throw std::invalid_argument("mtu_savings: need at least two MTUs for " +
+                                cca);
+  }
+  return (small->energy_joules - large->energy_joules) /
+         small->energy_joules;
+}
+
+double EfficiencyReport::savings_vs(const std::string& cca,
+                                    const std::string& baseline_cca,
+                                    int mtu_bytes) const {
+  const GridCell* a = find(cca, mtu_bytes);
+  const GridCell* b = find(baseline_cca, mtu_bytes);
+  if (a == nullptr || b == nullptr) {
+    throw std::invalid_argument("savings_vs: missing grid cell");
+  }
+  return (b->energy_joules - a->energy_joules) / b->energy_joules;
+}
+
+}  // namespace greencc::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace greencc::core {
+
+/// One cell of the CCA x MTU measurement grid behind Figs 5-8: the mean of
+/// the repeated runs of one (algorithm, MTU) scenario.
+struct GridCell {
+  std::string cca;
+  int mtu_bytes = 0;
+  double energy_joules = 0.0;
+  double energy_stddev = 0.0;
+  double power_watts = 0.0;
+  double fct_sec = 0.0;
+  double retransmissions = 0.0;
+};
+
+/// Cross-metric analysis over the measurement grid, producing the
+/// correlation figures the paper reports:
+///  * corr(total energy, average power) ~ -0.8   (§4.3, Figs 5 vs 6)
+///  * corr(total energy, retransmissions) ~ 0.47 excluding BBR2 (§4.5, Fig 8)
+class EfficiencyReport {
+ public:
+  void add(GridCell cell) { cells_.push_back(std::move(cell)); }
+  const std::vector<GridCell>& cells() const { return cells_; }
+
+  /// When `mtu_bytes` is non-zero, restrict to that MTU's cells: the
+  /// paper's -0.8 compares the CCA orderings of Fig 5 vs Fig 6 at fixed
+  /// MTU, where the (energy, power) relation is inverse; pooling MTUs
+  /// instead lets the MTU effect (small MTU -> more power *and* more
+  /// energy) dominate with the opposite sign.
+  double corr_energy_power(int mtu_bytes = 0) const;
+  double corr_energy_fct() const;
+  /// `exclude` names a CCA left out (the paper excludes the "highly
+  /// variable BBR2 measurements"); empty string excludes nothing.
+  double corr_energy_retx(const std::string& exclude = "") const;
+
+  /// Mean energy reduction (fraction) from the smallest to the largest MTU
+  /// for one algorithm (§4.4: 13.4%..31.9% going 1500 -> 9000).
+  double mtu_savings(const std::string& cca) const;
+
+  /// Energy of `cca` relative to `baseline_cca` at the given MTU:
+  /// (E_base - E_cca) / E_base (§4.3: 8.2%..14.2% for everything but BBR2).
+  double savings_vs(const std::string& cca, const std::string& baseline_cca,
+                    int mtu_bytes) const;
+
+ private:
+  const GridCell* find(const std::string& cca, int mtu) const;
+  std::vector<GridCell> cells_;
+};
+
+}  // namespace greencc::core

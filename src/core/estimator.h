@@ -1,0 +1,31 @@
+#pragma once
+
+namespace greencc::core {
+
+/// Fleet-scale extrapolation of per-host savings, reproducing §4.2's
+/// back-of-envelope: "The energy to run a typical data center rack is on
+/// the order of $10k/year. With around 100k racks in a typical data center,
+/// a 1% improvement corresponds to a cost savings of on the order of
+/// $10 million/year."
+struct SavingsEstimator {
+  double rack_cost_usd_per_year = 10'000.0;  ///< [Schmitt 2021]
+  int racks = 100'000;                       ///< [Leonard 2021]
+
+  double fleet_cost_usd_per_year() const {
+    return rack_cost_usd_per_year * racks;
+  }
+
+  /// Dollars saved per year by an energy reduction of `savings_fraction`.
+  double usd_per_year(double savings_fraction) const {
+    return fleet_cost_usd_per_year() * savings_fraction;
+  }
+
+  /// Energy saved per year, assuming a $/kWh price (US industrial average
+  /// ~$0.08/kWh), expressed in GWh. Context for the TWh figures in §1.
+  double gwh_per_year(double savings_fraction,
+                      double usd_per_kwh = 0.08) const {
+    return usd_per_year(savings_fraction) / usd_per_kwh / 1e6;
+  }
+};
+
+}  // namespace greencc::core

@@ -1,0 +1,108 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace greencc::core {
+
+std::string to_string(Schedule schedule) {
+  switch (schedule) {
+    case Schedule::kFairShare:
+      return "fair-share";
+    case Schedule::kWeighted:
+      return "weighted";
+    case Schedule::kFullSpeedThenIdle:
+      return "full-speed-then-idle";
+  }
+  return "?";
+}
+
+std::vector<app::FlowSpec> make_schedule(Schedule schedule, int flows,
+                                         std::int64_t bytes_per_flow,
+                                         const std::string& cca,
+                                         double bottleneck_bps,
+                                         double fraction) {
+  if (flows < 1) throw std::invalid_argument("make_schedule: flows < 1");
+  std::vector<app::FlowSpec> specs;
+  for (int i = 0; i < flows; ++i) {
+    app::FlowSpec spec;
+    spec.cca = cca;
+    spec.bytes = bytes_per_flow;
+    switch (schedule) {
+      case Schedule::kFairShare:
+        break;  // all unlimited, all start at once
+      case Schedule::kWeighted:
+        if (flows != 2) {
+          throw std::invalid_argument("kWeighted is a two-flow schedule");
+        }
+        // Flow 0 takes `fraction` of the link; flow 1 is work-conserving
+        // and mops up the rest (and the whole link once flow 0 is done).
+        if (i == 0) spec.rate_limit_bps = fraction * bottleneck_bps;
+        break;
+      case Schedule::kFullSpeedThenIdle:
+        if (i > 0) spec.start_after_flow = i - 1;
+        break;
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::string to_string(SizedSchedule schedule) {
+  switch (schedule) {
+    case SizedSchedule::kFairShare:
+      return "fair-share";
+    case SizedSchedule::kFifoSerial:
+      return "fifo-serial";
+    case SizedSchedule::kSrptSerial:
+      return "srpt-serial";
+    case SizedSchedule::kLongestFirst:
+      return "longest-first";
+  }
+  return "?";
+}
+
+std::vector<app::FlowSpec> make_sized_schedule(
+    SizedSchedule schedule, const std::vector<std::int64_t>& bytes,
+    const std::string& cca) {
+  if (bytes.empty()) {
+    throw std::invalid_argument("make_sized_schedule: no transfers");
+  }
+  // Order of execution (indices into `bytes`).
+  std::vector<std::size_t> order(bytes.size());
+  std::iota(order.begin(), order.end(), 0);
+  switch (schedule) {
+    case SizedSchedule::kFairShare:
+    case SizedSchedule::kFifoSerial:
+      break;
+    case SizedSchedule::kSrptSerial:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return bytes[a] < bytes[b];
+                       });
+      break;
+    case SizedSchedule::kLongestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return bytes[a] > bytes[b];
+                       });
+      break;
+  }
+
+  // Flows are added in input order (stable flow identities); the chain is
+  // expressed through start_after_flow in execution order.
+  std::vector<app::FlowSpec> specs(bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    specs[i].cca = cca;
+    specs[i].bytes = bytes[i];
+  }
+  if (schedule != SizedSchedule::kFairShare) {
+    for (std::size_t pos = 1; pos < order.size(); ++pos) {
+      specs[order[pos]].start_after_flow = static_cast<int>(order[pos - 1]);
+    }
+  }
+  return specs;
+}
+
+}  // namespace greencc::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/scenario.h"
+
+namespace greencc::core {
+
+/// Flow-scheduling strategies compared throughout the paper. A scheduler
+/// turns a set of transfers into FlowSpecs for the scenario builder.
+enum class Schedule {
+  /// Every flow unlimited; the CCA converges to the TCP fair share.
+  kFairShare,
+  /// Flow 1 rate-limited to `fraction` of capacity, flow 2 work-conserving
+  /// (the Fig 1 sweep's interior points).
+  kWeighted,
+  /// Flows run one after another at line rate — the paper's most
+  /// energy-efficient, least fair schedule (SRPT-like serialization).
+  kFullSpeedThenIdle,
+};
+
+std::string to_string(Schedule schedule);
+
+/// Build the flow specs for `flows` equal transfers of `bytes_per_flow`
+/// using `cca`, under the given schedule. `fraction` only applies to
+/// kWeighted.
+std::vector<app::FlowSpec> make_schedule(Schedule schedule, int flows,
+                                         std::int64_t bytes_per_flow,
+                                         const std::string& cca,
+                                         double bottleneck_bps,
+                                         double fraction = 0.5);
+
+/// How to order transfers of *different* sizes — the §5 direction of
+/// approximating Shortest Remaining Processing Time first (pFabric, Homa,
+/// Aeolus, PIAS): "to improve energy efficiency, CCAs should aim to send as
+/// fast as possible for minimal completion time ... measure the energy
+/// usage of existing transport protocols that approximate [SRPT]".
+enum class SizedSchedule {
+  kFairShare,       ///< all transfers run concurrently
+  kFifoSerial,      ///< run one at a time, arrival (input) order
+  kSrptSerial,      ///< run one at a time, shortest first
+  kLongestFirst,    ///< run one at a time, longest first (the anti-SRPT)
+};
+
+std::string to_string(SizedSchedule schedule);
+
+/// Build FlowSpecs for transfers of the given sizes under the policy.
+/// Serial policies chain flows via start_after_flow in the chosen order.
+std::vector<app::FlowSpec> make_sized_schedule(
+    SizedSchedule schedule, const std::vector<std::int64_t>& bytes,
+    const std::string& cca);
+
+}  // namespace greencc::core

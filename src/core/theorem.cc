@@ -1,0 +1,69 @@
+#include "core/theorem.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace greencc::core {
+
+double Theorem1::total_power(std::span<const double> throughputs,
+                             const PowerFn& p) {
+  double total = 0.0;
+  for (double x : throughputs) total += p(x);
+  return total;
+}
+
+double Theorem1::fair_power(double capacity, int flows, const PowerFn& p) {
+  if (flows <= 0) throw std::invalid_argument("fair_power: flows <= 0");
+  return flows * p(capacity / flows);
+}
+
+int Theorem1::count_violations(double capacity, int flows, const PowerFn& p,
+                               int trials, sim::Rng& rng, double tolerance) {
+  if (flows < 2) throw std::invalid_argument("count_violations: flows < 2");
+  const double fair = fair_power(capacity, flows, p);
+  int violations = 0;
+  std::vector<double> alloc(static_cast<std::size_t>(flows));
+  for (int t = 0; t < trials; ++t) {
+    // Random point on the simplex sum = C via normalized exponentials.
+    double sum = 0.0;
+    for (auto& a : alloc) {
+      a = rng.exponential(1.0);
+      sum += a;
+    }
+    bool is_fair = true;
+    for (auto& a : alloc) {
+      a *= capacity / sum;
+      if (std::abs(a - capacity / flows) > 1e-12) is_fair = false;
+    }
+    if (is_fair) continue;  // the theorem compares against *other* points
+    if (total_power(alloc, p) >= fair - tolerance) ++violations;
+  }
+  return violations;
+}
+
+bool Theorem1::is_strictly_concave(double capacity, const PowerFn& p,
+                                   int steps, double tolerance) {
+  if (steps < 3) throw std::invalid_argument("is_strictly_concave: steps < 3");
+  // Midpoint criterion on a uniform grid: p((a+b)/2) > (p(a)+p(b))/2.
+  const double h = capacity / steps;
+  for (int i = 0; i + 2 <= steps; ++i) {
+    const double a = i * h;
+    const double b = (i + 2) * h;
+    const double mid = (i + 1) * h;
+    if (p(mid) <= (p(a) + p(b)) / 2.0 + tolerance) return false;
+  }
+  return true;
+}
+
+double Theorem1::fsi_savings(double capacity, int flows, const PowerFn& p) {
+  if (flows < 1) throw std::invalid_argument("fsi_savings: flows < 1");
+  // Both schedules take total time T = n * bits / C; energies below are per
+  // unit T (the bits cancel in the ratio).
+  const double n = flows;
+  const double e_fair = n * p(capacity / n);          // all senders, all of T
+  const double e_fsi = p(capacity) + (n - 1) * p(0.0);  // one active at a time
+  if (e_fair <= 0.0) return 0.0;
+  return (e_fair - e_fsi) / e_fair;
+}
+
+}  // namespace greencc::core

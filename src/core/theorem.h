@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "sim/rng.h"
+
+namespace greencc::core {
+
+/// Utilities around Theorem 1 of the paper:
+///
+///   Let x in R^n_{>0} be flow throughputs sharing a link of capacity C and
+///   P(x) = sum_i p(x_i). If p is strictly concave, the fair allocation
+///   x* = (C/n, ..., C/n) maximizes P over all allocations with sum = C:
+///   fairness is the *least* energy-efficient operating point.
+///
+/// `p` is any per-flow power function (the calibrated model provides one);
+/// the tests sweep synthetic concave/convex/linear families through these
+/// helpers as property checks.
+class Theorem1 {
+ public:
+  using PowerFn = std::function<double(double)>;
+
+  /// P(x) = sum p(x_i).
+  static double total_power(std::span<const double> throughputs,
+                            const PowerFn& p);
+
+  /// Power of the fair allocation (C/n each).
+  static double fair_power(double capacity, int flows, const PowerFn& p);
+
+  /// Sample `trials` random allocations y with sum(y) = C and verify
+  /// P(fair) > P(y) for every one. Returns the number of violations
+  /// (0 when the theorem holds on every sample).
+  static int count_violations(double capacity, int flows, const PowerFn& p,
+                              int trials, sim::Rng& rng,
+                              double tolerance = 1e-9);
+
+  /// Numerically check strict concavity of p on [0, capacity] with `steps`
+  /// samples.
+  static bool is_strictly_concave(double capacity, const PowerFn& p,
+                                  int steps = 64, double tolerance = 0.0);
+
+  /// Energy of a "full speed, then idle" schedule relative to fair sharing
+  /// for n identical flows, each with `bits` to send over capacity C:
+  /// returns (E_fair - E_fsi) / E_fair. Positive iff FSI saves energy.
+  /// Derivation: fair runs n flows at C/n for T = n*bits/C; FSI runs each
+  /// flow at C for T/n while the other n-1 hosts idle at p(0).
+  static double fsi_savings(double capacity, int flows, const PowerFn& p);
+};
+
+}  // namespace greencc::core

@@ -1,0 +1,24 @@
+#include "energy/cpu.h"
+
+#include <algorithm>
+
+namespace greencc::energy {
+
+sim::SimTime CpuCore::acquire(sim::SimTime now, double work_ns) {
+  if (rng_ != nullptr && jitter_ > 0.0) {
+    work_ns *= 1.0 + jitter_ * rng_->uniform(-1.0, 1.0);
+  }
+  const sim::SimTime start = std::max(now, busy_until_);
+  busy_until_ = start + sim::SimTime::nanoseconds(
+                            static_cast<std::int64_t>(work_ns));
+  assigned_ns_ += work_ns;
+  return busy_until_;
+}
+
+double CpuCore::busy_ns_until(sim::SimTime now) const {
+  const double backlog_ns =
+      busy_until_ > now ? static_cast<double>((busy_until_ - now).ns()) : 0.0;
+  return assigned_ns_ - backlog_ns;
+}
+
+}  // namespace greencc::energy

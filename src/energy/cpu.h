@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace greencc::energy {
+
+/// Work-accounted CPU core.
+///
+/// Each flow's transmit path runs on one core (one iperf3 process per flow in
+/// the paper's setup). The core serializes work: a packet handed to a busy
+/// core starts processing only when the backlog drains, which is what caps a
+/// single flow's throughput at small MTUs (Section 4.4's mechanism). The core
+/// also keeps an exact busy-time integral so the energy meter can compute
+/// utilization over each sampling window.
+class CpuCore {
+ public:
+  /// Charge `work_ns` of core time starting no earlier than `now`; returns
+  /// the completion time (when the result of the work — e.g. a packet handed
+  /// to the NIC — becomes available).
+  sim::SimTime acquire(sim::SimTime now, double work_ns);
+
+  /// Charge work that does not gate any event (e.g. ACK processing): it
+  /// extends the busy integral but the caller does not wait for it.
+  void charge(sim::SimTime now, double work_ns) { acquire(now, work_ns); }
+
+  /// Completed busy time (ns) up to `now`. Exact via
+  /// completed = assigned - backlog(now).
+  ///
+  /// Precondition: `now` must not precede the latest acquire()/charge()
+  /// call (the backlog identity only holds looking forward from the last
+  /// assignment). The energy meter samples in event order, which satisfies
+  /// this by construction.
+  double busy_ns_until(sim::SimTime now) const;
+
+  /// Earliest time new work could start.
+  sim::SimTime free_at() const { return busy_until_; }
+
+  bool busy_at(sim::SimTime now) const { return busy_until_ > now; }
+
+  /// Multiply every work item by (1 + amplitude * U(-1,1)): cache and
+  /// scheduler noise on a real host. This is what gives repeated runs the
+  /// run-to-run spread the paper reports as error bars.
+  void set_jitter(sim::Rng* rng, double amplitude) {
+    rng_ = rng;
+    jitter_ = amplitude;
+  }
+
+ private:
+  sim::SimTime busy_until_ = sim::SimTime::zero();
+  double assigned_ns_ = 0.0;
+  sim::Rng* rng_ = nullptr;
+  double jitter_ = 0.0;
+};
+
+}  // namespace greencc::energy

@@ -1,0 +1,93 @@
+#include "energy/meter.h"
+
+#include <algorithm>
+
+namespace greencc::energy {
+
+HostEnergyMeter::HostEnergyMeter(sim::Simulator& sim, PackagePowerModel model,
+                                 sim::SimTime tick)
+    : sim_(sim), model_(std::move(model)), tick_len_(tick) {
+  last_watts_ = model_.watts(HostActivity{});
+}
+
+void HostEnergyMeter::attach_core(CpuCore* core) {
+  cores_.push_back(core);
+  last_busy_ns_.push_back(core->busy_ns_until(sim_.now()));
+}
+
+void HostEnergyMeter::start() {
+  if (running_) return;
+  running_ = true;
+  start_time_ = last_tick_ = sim_.now();
+  rapl_.advance(sim_.now(), 0.0);  // align the counter's clock
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    last_busy_ns_[i] = cores_[i]->busy_ns_until(sim_.now());
+  }
+  last_tx_bytes_ = tx_bytes_;
+  last_tx_packets_ = tx_packets_;
+  sim_.schedule(tick_len_, [this] { tick(); });
+}
+
+void HostEnergyMeter::stop() {
+  if (!running_) return;
+  integrate_to_now();
+  running_ = false;
+}
+
+void HostEnergyMeter::tick() {
+  if (!running_) return;
+  integrate_to_now();
+  sim_.schedule(tick_len_, [this] { tick(); });
+}
+
+double HostEnergyMeter::instantaneous_watts(sim::SimTime window_start,
+                                            sim::SimTime now) {
+  const double window_ns = static_cast<double>((now - window_start).ns());
+  HostActivity activity;
+  activity.stress_cores = stress_cores_;
+  activity.net_core_utils.reserve(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const double busy = cores_[i]->busy_ns_until(now);
+    const double delta = std::max(0.0, busy - last_busy_ns_[i]);
+    last_busy_ns_[i] = busy;
+    activity.net_core_utils.push_back(window_ns > 0 ? delta / window_ns : 0.0);
+  }
+  const double bytes = static_cast<double>(tx_bytes_ - last_tx_bytes_);
+  const double packets = static_cast<double>(tx_packets_ - last_tx_packets_);
+  last_tx_bytes_ = tx_bytes_;
+  last_tx_packets_ = tx_packets_;
+  activity.net_gbps =
+      window_ns > 0 ? bytes * 8.0 / window_ns : 0.0;  // B/ns == Gb/s / 8
+  activity.net_pps = window_ns > 0 ? packets * 1e9 / window_ns : 0.0;
+  return model_.watts(activity);
+}
+
+void HostEnergyMeter::integrate_to_now() {
+  const sim::SimTime now = sim_.now();
+  if (now <= last_tick_) return;
+  // The window's power is computed from the utilization over the window and
+  // applied retroactively across it (RAPL's own model updates are similarly
+  // windowed, at ~1 ms granularity).
+  last_watts_ = instantaneous_watts(last_tick_, now);
+  rapl_.advance(now, last_watts_);
+  if (record_samples_) samples_.push_back({now, last_watts_});
+  last_tick_ = now;
+}
+
+std::uint64_t HostEnergyMeter::read_energy_uj() {
+  if (running_) integrate_to_now();
+  return rapl_.energy_uj();
+}
+
+double HostEnergyMeter::joules() {
+  if (running_) integrate_to_now();
+  return rapl_.joules();
+}
+
+double HostEnergyMeter::average_watts() {
+  const double elapsed = (sim_.now() - start_time_).sec();
+  if (elapsed <= 0.0) return last_watts_;
+  return joules() / elapsed;
+}
+
+}  // namespace greencc::energy

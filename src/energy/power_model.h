@@ -1,0 +1,54 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "energy/calibration.h"
+
+namespace greencc::energy {
+
+/// Instantaneous activity snapshot of one host, the input to the power model.
+struct HostActivity {
+  /// Utilization in [0,1] of each network-active core (one per flow/process,
+  /// mirroring one iperf3 process per flow in the paper's setup).
+  std::vector<double> net_core_utils;
+  /// Number of cores kept busy by the background `stress` workload (§4.2).
+  int stress_cores = 0;
+  /// Aggregate transmit rate in Gb/s (drives the load/network interaction).
+  double net_gbps = 0.0;
+  /// Aggregate transmit packet rate (drives the interrupt/wakeup term).
+  double net_pps = 0.0;
+};
+
+/// Package power model for one server, calibrated to the paper (see
+/// calibration.h for the fit). Strictly concave in network throughput, which
+/// is the property Theorem 1 and the headline Fig 1 result rest on.
+class PackagePowerModel {
+ public:
+  explicit PackagePowerModel(PowerCalibration calib = {}) : calib_(calib) {}
+
+  /// Total package power in watts for the given activity.
+  double watts(const HostActivity& activity) const;
+
+  /// Power of a single-flow sender at `gbps` average throughput with the
+  /// given work-per-Gbps and packets-per-Gb ratios (utilization =
+  /// gbps * util_per_gbps, pps = gbps * pps_per_gbps). This is the
+  /// closed-form p(x) of Fig 2, used by the analysis library; the simulator
+  /// computes the same quantity from measured work instead.
+  double single_flow_watts(double gbps, double util_per_gbps,
+                           double pps_per_gbps = 0.0,
+                           double load_fraction = 0.0) const;
+
+  /// Concave per-core network power component f(u), u in [0,1].
+  double core_power(double utilization) const;
+
+  /// Marginal-network-power attenuation on loaded packages, phi(L) in (0,1].
+  double phi(double load_fraction) const;
+
+  const PowerCalibration& calibration() const { return calib_; }
+
+ private:
+  PowerCalibration calib_;
+};
+
+}  // namespace greencc::energy

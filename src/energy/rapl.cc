@@ -1,0 +1,15 @@
+#include "energy/rapl.h"
+
+#include <stdexcept>
+
+namespace greencc::energy {
+
+void RaplCounter::advance(sim::SimTime now, double watts) {
+  if (now < last_update_) {
+    throw std::logic_error("RaplCounter::advance: time went backwards");
+  }
+  joules_ += watts * (now - last_update_).sec();
+  last_update_ = now;
+}
+
+}  // namespace greencc::energy

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace greencc::energy {
+
+/// RAPL-style cumulative energy counter.
+///
+/// Mirrors the measurement protocol of the paper: Intel RAPL exposes a
+/// monotonically increasing microjoule counter per package; the experiment
+/// harness reads it before and after a run and reports the difference. Our
+/// counter is advanced by the energy meter with (elapsed-time x power)
+/// increments.
+class RaplCounter {
+ public:
+  /// Integrate `watts` of constant power from the last update until `now`.
+  void advance(sim::SimTime now, double watts);
+
+  /// Cumulative energy in microjoules (the unit of the real interface).
+  std::uint64_t energy_uj() const {
+    return static_cast<std::uint64_t>(joules_ * 1e6);
+  }
+
+  /// Cumulative energy in joules.
+  double joules() const { return joules_; }
+
+  sim::SimTime last_update() const { return last_update_; }
+
+ private:
+  double joules_ = 0.0;
+  sim::SimTime last_update_ = sim::SimTime::zero();
+};
+
+}  // namespace greencc::energy

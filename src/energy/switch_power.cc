@@ -1,0 +1,95 @@
+#include "energy/switch_power.h"
+
+#include <algorithm>
+
+namespace greencc::energy {
+
+SwitchEnergyMeter::SwitchEnergyMeter(sim::Simulator& sim,
+                                     SwitchPowerConfig config,
+                                     PortPowerProfile profile,
+                                     sim::SimTime tick)
+    : sim_(sim), config_(config), profile_(profile), tick_len_(tick) {}
+
+void SwitchEnergyMeter::attach_port(const net::QueuedPort* port) {
+  PortState state;
+  state.port = port;
+  state.last_bytes = port->bytes_sent();
+  state.last_active = sim_.now();
+  ports_.push_back(state);
+}
+
+void SwitchEnergyMeter::start() {
+  if (running_) return;
+  running_ = true;
+  start_time_ = last_tick_ = sim_.now();
+  for (auto& p : ports_) {
+    p.last_bytes = p.port->bytes_sent();
+    p.last_active = sim_.now();
+  }
+  sim_.schedule(tick_len_, [this] { tick(); });
+}
+
+void SwitchEnergyMeter::stop() {
+  if (!running_) return;
+  integrate_to_now();
+  running_ = false;
+}
+
+double SwitchEnergyMeter::port_watts(double utilization,
+                                     sim::SimTime idle_for) const {
+  switch (profile_) {
+    case PortPowerProfile::kConstant:
+      return config_.port_full_watts;
+    case PortPowerProfile::kRateAdaptive:
+      // A port serving <= low_rate_fraction of its line rate steps down to
+      // its low-speed mode; anything above needs the full-rate mode.
+      return utilization <= config_.low_rate_fraction
+                 ? config_.port_low_watts
+                 : config_.port_full_watts;
+    case PortPowerProfile::kSleepCapable:
+      if (utilization <= 0.0 && idle_for >= config_.sleep_after) {
+        return config_.port_sleep_watts;
+      }
+      return utilization <= config_.low_rate_fraction
+                 ? config_.port_low_watts
+                 : config_.port_full_watts;
+  }
+  return config_.port_full_watts;
+}
+
+void SwitchEnergyMeter::integrate_to_now() {
+  const sim::SimTime now = sim_.now();
+  if (now <= last_tick_) return;
+  const double window_sec = (now - last_tick_).sec();
+  double watts = config_.chassis_watts;
+  for (auto& p : ports_) {
+    const std::int64_t bytes = p.port->bytes_sent();
+    const double delta = static_cast<double>(bytes - p.last_bytes);
+    p.last_bytes = bytes;
+    const double util =
+        delta * 8.0 / (p.port->config().rate_bps * window_sec);
+    if (delta > 0) p.last_active = now;
+    watts += port_watts(util, now - p.last_active);
+  }
+  joules_ += watts * window_sec;
+  last_tick_ = now;
+}
+
+void SwitchEnergyMeter::tick() {
+  if (!running_) return;
+  integrate_to_now();
+  sim_.schedule(tick_len_, [this] { tick(); });
+}
+
+double SwitchEnergyMeter::joules() {
+  if (running_) integrate_to_now();
+  return joules_;
+}
+
+double SwitchEnergyMeter::average_watts() {
+  const double elapsed = (sim_.now() - start_time_).sec();
+  if (elapsed <= 0.0) return config_.chassis_watts;
+  return joules() / elapsed;
+}
+
+}  // namespace greencc::energy

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/port.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace greencc::energy {
+
+/// Port power profiles for networking equipment, §5's last research
+/// direction. The paper cites two observations:
+///  * measured switches draw near-constant power regardless of load
+///    (Fan et al. 2007, Kazandjieva et al. 2013) — `kConstant`;
+///  * equipment *should* reduce power at low load via rate adaptation and
+///    sleeping (Nedevschi et al. 2008) — `kRateAdaptive`, `kSleepCapable`.
+/// "If a data center contained such equipment, our results imply that there
+/// could be significant power savings by increasing load imbalance across
+/// data center links."
+enum class PortPowerProfile {
+  kConstant,      ///< admin-up port draws full power at any load
+  kRateAdaptive,  ///< discrete rate steps: a lightly-loaded port drops to a
+                  ///< lower-speed, lower-power mode
+  kSleepCapable,  ///< rate adaptation + deep sleep after an idle period
+};
+
+struct SwitchPowerConfig {
+  double chassis_watts = 150.0;     ///< fans, CPU, fabric (Tofino-class)
+  double port_full_watts = 2.5;     ///< port in its full-rate mode
+  double port_low_watts = 0.5;      ///< port stepped down to its low rate
+  double port_sleep_watts = 0.1;    ///< port in deep sleep
+  double low_rate_fraction = 0.1;   ///< low mode serves up to this load
+  sim::SimTime sleep_after = sim::SimTime::milliseconds(1);
+};
+
+/// Integrates switch energy from per-port activity, sampling each port's
+/// transmitted bytes on a fixed tick (like HostEnergyMeter does for hosts).
+class SwitchEnergyMeter {
+ public:
+  SwitchEnergyMeter(sim::Simulator& sim, SwitchPowerConfig config,
+                    PortPowerProfile profile,
+                    sim::SimTime tick = sim::SimTime::milliseconds(1));
+
+  /// Register an egress port to meter. Ports must outlive the meter.
+  void attach_port(const net::QueuedPort* port);
+
+  void start();
+  void stop();
+
+  double joules();
+  double average_watts();
+
+  /// Power of one port at the given utilization/idle time, exposed for
+  /// tests and analytical use.
+  double port_watts(double utilization, sim::SimTime idle_for) const;
+
+ private:
+  void tick();
+  void integrate_to_now();
+
+  struct PortState {
+    const net::QueuedPort* port;
+    std::int64_t last_bytes = 0;
+    sim::SimTime last_active;
+  };
+
+  sim::Simulator& sim_;
+  SwitchPowerConfig config_;
+  PortPowerProfile profile_;
+  sim::SimTime tick_len_;
+  std::vector<PortState> ports_;
+  double joules_ = 0.0;
+  sim::SimTime start_time_;
+  sim::SimTime last_tick_;
+  bool running_ = false;
+};
+
+}  // namespace greencc::energy

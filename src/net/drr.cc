@@ -1,0 +1,112 @@
+#include "net/drr.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace greencc::net {
+
+DrrPort::FlowState& DrrPort::flow_state(FlowId flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    FlowState state;
+    state.queue =
+        std::make_unique<DropTailQueue>(config_.per_flow_queue_bytes);
+    it = flows_.emplace(flow, std::move(state)).first;
+  }
+  return it->second;
+}
+
+void DrrPort::set_weight(FlowId flow, double weight) {
+  if (weight <= 0.0) {
+    throw std::invalid_argument("DrrPort::set_weight: weight must be > 0");
+  }
+  flow_state(flow).weight = weight;
+}
+
+std::int64_t DrrPort::queued_bytes(FlowId flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.queue->bytes();
+}
+
+std::int64_t DrrPort::total_queued_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& [flow, state] : flows_) total += state.queue->bytes();
+  return total;
+}
+
+void DrrPort::handle(Packet pkt) {
+  FlowState& state = flow_state(pkt.flow);
+  if (!state.queue->enqueue(pkt, sim_.now())) {
+    ++dropped_;
+    return;
+  }
+  if (!state.in_round) {
+    state.in_round = true;
+    state.deficit = 0;
+    active_.push_back(pkt.flow);
+  }
+  if (!transmitting_) start_transmission();
+}
+
+void DrrPort::start_transmission() {
+  // Classic DRR, one packet per transmission slot: visit flows round-robin,
+  // top each flow's deficit up by weight * quantum on arrival, and send its
+  // head packets while the deficit covers them. A flow that empties leaves
+  // the round (and forfeits its deficit); a flow whose deficit is exhausted
+  // keeps the remainder for its next visit.
+  int safety = 100'000;  // progress is guaranteed; this guards regressions
+  while (!active_.empty()) {
+    --safety;
+    assert(safety > 0 && "DrrPort: scheduler failed to make progress");
+    if (safety <= 0) break;
+    if (round_index_ >= active_.size()) round_index_ = 0;
+    const FlowId flow = active_[round_index_];
+    FlowState& state = flows_.at(flow);
+
+    if (state.queue->empty()) {
+      state.in_round = false;
+      state.deficit = 0;
+      active_.erase(active_.begin() +
+                    static_cast<std::ptrdiff_t>(round_index_));
+      topped_up_ = false;
+      continue;
+    }
+
+    if (!topped_up_) {
+      state.deficit += static_cast<std::int64_t>(
+          state.weight * static_cast<double>(config_.base_quantum_bytes));
+      topped_up_ = true;
+    }
+
+    const Packet* head = state.queue->peek();
+    if (state.deficit >= head->size_bytes) {
+      const Packet pkt = *state.queue->dequeue(sim_.now());
+      state.deficit -= pkt.size_bytes;
+      if (state.queue->empty()) {
+        state.in_round = false;
+        state.deficit = 0;
+        active_.erase(active_.begin() +
+                      static_cast<std::ptrdiff_t>(round_index_));
+        topped_up_ = false;
+      }
+      transmitting_ = true;
+      ++packets_sent_;
+      const sim::SimTime ser =
+          sim::serialization_delay(pkt.size_bytes, config_.rate_bps);
+      sim_.schedule(ser, [this, pkt] {
+        sim_.schedule(config_.propagation,
+                      [this, pkt] { next_->handle(pkt); });
+        transmitting_ = false;
+        start_transmission();
+      });
+      return;
+    }
+
+    // Deficit exhausted for this visit: move on, keeping the remainder.
+    ++round_index_;
+    topped_up_ = false;
+  }
+  transmitting_ = false;
+}
+
+}  // namespace greencc::net

@@ -1,0 +1,53 @@
+#include "net/port.h"
+
+namespace greencc::net {
+
+void QueuedPort::handle(Packet pkt) {
+  if (!queue_.enqueue(pkt, sim_.now())) {  // tail drop or AQM
+    pending_drop_penalty_ns_ += config_.drop_service_ns;
+    if (on_drop_) on_drop_(pkt.size_bytes);
+    return;
+  }
+  if (!transmitting_) start_transmission();
+}
+
+void QueuedPort::start_transmission() {
+  auto pkt = queue_.dequeue(sim_.now());
+  if (!pkt) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  ++packets_sent_;
+  bytes_sent_ += pkt->size_bytes;
+  if (on_transmit_) on_transmit_(pkt->size_bytes);
+  // Stamp in-band telemetry at departure (INT sink is the receiver).
+  if (pkt->int_enabled && pkt->int_count < pkt->int_hops.size()) {
+    auto& hop = pkt->int_hops[pkt->int_count++];
+    hop.tx_bytes = static_cast<double>(bytes_sent_);
+    hop.qlen_bytes = queue_.bytes();
+    hop.ts = sim_.now();
+    // Report the *effective* service rate for this packet size: a
+    // processing stage with per-packet overhead drains slower than its
+    // nominal bit rate, and that is the utilization INT readers must see.
+    const double bits = static_cast<double>(pkt->size_bytes) * 8.0;
+    hop.link_bps = config_.per_packet_ns > 0.0
+                       ? bits / (bits / config_.rate_bps +
+                                 config_.per_packet_ns * 1e-9)
+                       : config_.rate_bps;
+  }
+  const sim::SimTime ser =
+      sim::serialization_delay(pkt->size_bytes, config_.rate_bps) +
+      sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+          config_.per_packet_ns + pending_drop_penalty_ns_));
+  pending_drop_penalty_ns_ = 0.0;
+  // Deliver after serialization + propagation; free the transmitter after
+  // serialization only.
+  sim_.schedule(ser, [this, p = *pkt]() mutable {
+    sim_.schedule(config_.propagation,
+                  [this, p]() mutable { next_->handle(p); });
+    start_transmission();
+  });
+}
+
+}  // namespace greencc::net

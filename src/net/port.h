@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace greencc::net {
+
+/// Configuration of a queued transmission port (NIC port or switch egress).
+struct PortConfig {
+  double rate_bps = 10e9;                              ///< line rate
+  sim::SimTime propagation = sim::SimTime::microseconds(5);
+  std::int64_t queue_capacity_bytes = 1 << 20;         ///< 1 MiB buffer
+  std::int64_t ecn_threshold_bytes = 0;                ///< 0 = no marking
+  /// Full AQM configuration; used when `aqm.mode != kNone`, otherwise the
+  /// legacy ecn_threshold_bytes shorthand applies.
+  AqmConfig aqm;
+  /// Fixed per-packet service overhead on top of serialization. Models a
+  /// packet-processing stage (e.g. the receiver's softirq path) rather than
+  /// a wire, making the service rate MTU-dependent.
+  double per_packet_ns = 0.0;
+  /// Queue capacity in packets (0 = bytes cap only). The kernel's netdev
+  /// backlog is packet-counted, which matters when sweeping the MTU.
+  std::size_t queue_capacity_packets = 0;
+  /// Service time consumed by a *dropped* packet (a backlog drop happens
+  /// after DMA and first touch, so it still costs the processing stage).
+  double drop_service_ns = 0.0;
+};
+
+inline AqmConfig step_ecn_config(std::int64_t threshold_bytes) {
+  AqmConfig aqm;
+  if (threshold_bytes > 0) {
+    aqm.mode = AqmMode::kStepEcn;
+    aqm.step_threshold_bytes = threshold_bytes;
+  }
+  return aqm;
+}
+
+/// A queue feeding a serializing transmitter over a propagation-delay link —
+/// the standard queue+server model of one output port.
+///
+/// Packets arrive through `handle()`; when the transmitter is idle the head
+/// packet serializes for size/rate seconds, then arrives at the downstream
+/// handler after the propagation delay. Everything is event-driven; an idle
+/// port costs no events.
+class QueuedPort : public PacketHandler {
+ public:
+  QueuedPort(sim::Simulator& sim, std::string name, const PortConfig& config,
+             PacketHandler* next)
+      : sim_(sim),
+        name_(std::move(name)),
+        config_(config),
+        queue_(config.queue_capacity_bytes,
+               config.aqm.mode != AqmMode::kNone
+                   ? config.aqm
+                   : step_ecn_config(config.ecn_threshold_bytes),
+               config.queue_capacity_packets),
+        next_(next) {}
+
+  void handle(Packet pkt) override;
+
+  /// Downstream handler can be set after construction to break wiring cycles.
+  void set_next(PacketHandler* next) { next_ = next; }
+
+  /// Invoked with the wire size of every packet that starts transmission
+  /// (used by the host energy meter to track the Gb/s term).
+  void set_on_transmit(std::function<void(std::int64_t)> cb) {
+    on_transmit_ = std::move(cb);
+  }
+
+  /// Invoked with the wire size of every packet the queue drops (the
+  /// receiver's energy meter charges DMA+first-touch work for these).
+  void set_on_drop(std::function<void(std::int64_t)> cb) {
+    on_drop_ = std::move(cb);
+  }
+
+  const QueueStats& queue_stats() const { return queue_.stats(); }
+  std::int64_t queue_bytes() const { return queue_.bytes(); }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+  const std::string& name() const { return name_; }
+  const PortConfig& config() const { return config_; }
+
+ private:
+  void start_transmission();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  PortConfig config_;
+  DropTailQueue queue_;
+  PacketHandler* next_;
+  std::function<void(std::int64_t)> on_transmit_;
+  std::function<void(std::int64_t)> on_drop_;
+  bool transmitting_ = false;
+  double pending_drop_penalty_ns_ = 0.0;
+  std::uint64_t packets_sent_ = 0;
+  std::int64_t bytes_sent_ = 0;
+};
+
+}  // namespace greencc::net

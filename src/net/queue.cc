@@ -1,0 +1,164 @@
+#include "net/queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greencc::net {
+
+DropTailQueue::DropTailQueue(std::int64_t capacity_bytes,
+                             std::int64_t ecn_threshold_bytes,
+                             std::size_t capacity_packets)
+    : capacity_bytes_(capacity_bytes),
+      capacity_packets_(capacity_packets),
+      rng_(AqmConfig{}.red_seed) {
+  if (ecn_threshold_bytes > 0) {
+    aqm_.mode = AqmMode::kStepEcn;
+    aqm_.step_threshold_bytes = ecn_threshold_bytes;
+  }
+}
+
+DropTailQueue::DropTailQueue(std::int64_t capacity_bytes,
+                             const AqmConfig& aqm,
+                             std::size_t capacity_packets)
+    : capacity_bytes_(capacity_bytes),
+      capacity_packets_(capacity_packets),
+      aqm_(aqm),
+      rng_(aqm.red_seed) {}
+
+bool DropTailQueue::fits(const Packet& pkt) const {
+  if (bytes_ + pkt.size_bytes > capacity_bytes_) return false;
+  if (capacity_packets_ > 0 && entries_.size() >= capacity_packets_) {
+    return false;
+  }
+  return true;
+}
+
+void DropTailQueue::push(Packet pkt, sim::SimTime now) {
+  bytes_ += pkt.size_bytes;
+  stats_.max_bytes_seen = std::max(stats_.max_bytes_seen, bytes_);
+  ++stats_.enqueued;
+  entries_.push_back({pkt, now});
+}
+
+Packet DropTailQueue::pop() {
+  Packet pkt = entries_.front().pkt;
+  entries_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  return pkt;
+}
+
+bool DropTailQueue::red_admit(Packet& pkt, sim::SimTime now) {
+  // Idle correction: an empty queue ages the average as if (idle / s)
+  // minimum-size packets had passed (Floyd & Jacobson, section 3).
+  if (red_was_empty_ && entries_.empty()) {
+    const double idle_packets =
+        (now - red_empty_since_).sec() / aqm_.red_idle_packet_time.sec();
+    if (idle_packets > 0) {
+      red_avg_ *= std::pow(1.0 - aqm_.red_weight, idle_packets);
+    }
+  }
+  red_avg_ = (1.0 - aqm_.red_weight) * red_avg_ +
+             aqm_.red_weight * static_cast<double>(bytes_);
+  if (red_avg_ < static_cast<double>(aqm_.red_min_bytes)) {
+    red_count_ = -1;
+    return true;
+  }
+  double p;
+  if (red_avg_ >= static_cast<double>(aqm_.red_max_bytes)) {
+    p = 1.0;
+  } else {
+    p = aqm_.red_max_probability *
+        (red_avg_ - static_cast<double>(aqm_.red_min_bytes)) /
+        static_cast<double>(aqm_.red_max_bytes - aqm_.red_min_bytes);
+    // Uniformize inter-mark spacing (the count correction of the paper).
+    ++red_count_;
+    const double denom = 1.0 - static_cast<double>(red_count_) * p;
+    if (denom > 0) p = std::min(1.0, p / denom);
+  }
+  if (rng_.next_double() < p) {
+    red_count_ = 0;
+    if (pkt.ecn_capable && red_avg_ <
+        static_cast<double>(aqm_.red_max_bytes)) {
+      pkt.ce = true;
+      ++stats_.ecn_marked;
+      return true;  // marked, still enqueued
+    }
+    return false;  // dropped by RED
+  }
+  return true;
+}
+
+bool DropTailQueue::enqueue(Packet pkt, sim::SimTime now) {
+  if (!fits(pkt)) {
+    ++stats_.dropped;
+    return false;
+  }
+  switch (aqm_.mode) {
+    case AqmMode::kNone:
+    case AqmMode::kCodel:  // CoDel acts at dequeue time
+      break;
+    case AqmMode::kStepEcn:
+      if (aqm_.step_threshold_bytes > 0 && pkt.ecn_capable &&
+          bytes_ >= aqm_.step_threshold_bytes) {
+        pkt.ce = true;
+        ++stats_.ecn_marked;
+      }
+      break;
+    case AqmMode::kRed:
+      if (!red_admit(pkt, now)) {
+        ++stats_.dropped;
+        return false;
+      }
+      break;
+  }
+  push(pkt, now);
+  red_was_empty_ = false;
+  return true;
+}
+
+void DropTailQueue::codel_prune(sim::SimTime now) {
+  // CoDel: while the head's sojourn time has exceeded `target` for at
+  // least one `interval`, drop heads at a rate that grows with the square
+  // root of the drop count.
+  while (!entries_.empty()) {
+    const sim::SimTime sojourn = now - entries_.front().enqueued_at;
+    if (sojourn < aqm_.codel_target || bytes_ <= 2 * 9'018) {
+      // Below target (or nearly empty): leave dropping state.
+      codel_first_above_ = sim::SimTime::zero();
+      codel_dropping_ = false;
+      return;
+    }
+    if (!codel_dropping_) {
+      if (codel_first_above_ == sim::SimTime::zero()) {
+        codel_first_above_ = now + aqm_.codel_interval;
+        return;  // give the queue one interval to drain on its own
+      }
+      if (now < codel_first_above_) return;
+      // Entered the dropping state.
+      codel_dropping_ = true;
+      codel_drop_count_ = codel_drop_count_ > 2 ? codel_drop_count_ - 2 : 1;
+      codel_next_drop_ = now;
+    }
+    if (now < codel_next_drop_) return;
+    Packet dropped = pop();
+    (void)dropped;
+    ++stats_.dropped;
+    ++codel_drop_count_;
+    codel_next_drop_ =
+        now + aqm_.codel_interval.scaled(
+                  1.0 / std::sqrt(static_cast<double>(codel_drop_count_)));
+  }
+}
+
+std::optional<Packet> DropTailQueue::dequeue(sim::SimTime now) {
+  if (aqm_.mode == AqmMode::kCodel) codel_prune(now);
+  if (entries_.empty()) return std::nullopt;
+  Packet pkt = pop();
+  if (entries_.empty()) {
+    red_was_empty_ = true;
+    red_empty_since_ = now;
+  }
+  return pkt;
+}
+
+}  // namespace greencc::net

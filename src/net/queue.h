@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace greencc::net {
+
+/// Statistics kept by every queue; benches and tests read these.
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t ecn_marked = 0;
+  std::int64_t max_bytes_seen = 0;
+};
+
+/// Queue management discipline applied on top of the tail-drop FIFO.
+enum class AqmMode {
+  kNone,     ///< pure tail drop
+  kStepEcn,  ///< DCTCP-style step marking at a fixed threshold
+  kRed,      ///< Random Early Detection (Floyd & Jacobson 1993): EWMA queue
+             ///< average, probabilistic mark (ECT) or drop between thresholds
+  kCodel,    ///< CoDel (Nichols & Jacobson 2012): sojourn-time-driven head
+             ///< dropping with the sqrt control law
+};
+
+/// AQM parameters. Defaults are scaled for the 10 Gb/s / tens-of-us RTT
+/// datacenter regime of the paper's testbed rather than the WAN values of
+/// the original papers.
+struct AqmConfig {
+  AqmMode mode = AqmMode::kNone;
+
+  // kStepEcn
+  std::int64_t step_threshold_bytes = 0;
+
+  // kRed
+  std::int64_t red_min_bytes = 60'000;
+  std::int64_t red_max_bytes = 180'000;
+  double red_max_probability = 0.1;
+  double red_weight = 0.002;  ///< EWMA weight per arrival
+  /// Typical packet transmission time, used to age the average across idle
+  /// periods (the original paper's m = idle/s correction) — without it a
+  /// drained queue keeps its stale high average and RED death-spirals
+  /// low-BDP flows.
+  sim::SimTime red_idle_packet_time = sim::SimTime::nanoseconds(1'200);
+  std::uint64_t red_seed = 99;
+
+  // kCodel
+  sim::SimTime codel_target = sim::SimTime::microseconds(50);
+  sim::SimTime codel_interval = sim::SimTime::milliseconds(1);
+};
+
+/// Tail-drop FIFO with optional AQM, modelling one output queue.
+///
+/// Capacity is bytes and/or packets. Enqueue/dequeue take the current time
+/// to drive RED's average and CoDel's sojourn logic; kNone/kStepEcn users
+/// may pass the default zero.
+class DropTailQueue {
+ public:
+  DropTailQueue(std::int64_t capacity_bytes,
+                std::int64_t ecn_threshold_bytes = 0,
+                std::size_t capacity_packets = 0);
+
+  DropTailQueue(std::int64_t capacity_bytes, const AqmConfig& aqm,
+                std::size_t capacity_packets = 0);
+
+  /// Returns false (and counts a drop) if the packet did not fit or the
+  /// AQM chose to drop it.
+  bool enqueue(Packet pkt, sim::SimTime now = sim::SimTime::zero());
+
+  /// Pop the head (CoDel may drop heads first), or nullopt when empty.
+  std::optional<Packet> dequeue(sim::SimTime now = sim::SimTime::zero());
+
+  /// The head packet without removing it, or nullptr when empty.
+  const Packet* peek() const {
+    return entries_.empty() ? nullptr : &entries_.front().pkt;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::int64_t bytes() const { return bytes_; }
+  std::size_t packets() const { return entries_.size(); }
+  std::int64_t capacity_bytes() const { return capacity_bytes_; }
+  const QueueStats& stats() const { return stats_; }
+  double red_average_bytes() const { return red_avg_; }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    sim::SimTime enqueued_at;
+  };
+
+  bool fits(const Packet& pkt) const;
+  void push(Packet pkt, sim::SimTime now);
+  Packet pop();
+  bool red_admit(Packet& pkt, sim::SimTime now);
+  void codel_prune(sim::SimTime now);
+
+  std::int64_t capacity_bytes_;
+  std::size_t capacity_packets_;  ///< 0 = unlimited (bytes cap only)
+  AqmConfig aqm_;
+  sim::Rng rng_;
+  std::int64_t bytes_ = 0;
+  std::deque<Entry> entries_;
+  QueueStats stats_;
+
+  // RED state.
+  double red_avg_ = 0.0;
+  int red_count_ = -1;  ///< packets since last mark/drop
+  sim::SimTime red_empty_since_ = sim::SimTime::zero();
+  bool red_was_empty_ = true;
+
+  // CoDel state.
+  bool codel_dropping_ = false;
+  sim::SimTime codel_first_above_ = sim::SimTime::zero();
+  sim::SimTime codel_next_drop_ = sim::SimTime::zero();
+  int codel_drop_count_ = 0;
+};
+
+}  // namespace greencc::net

@@ -1,0 +1,63 @@
+#include "net/switch.h"
+
+#include <stdexcept>
+
+namespace greencc::net {
+
+QueuedPort& Switch::add_egress(HostId host, const PortConfig& config,
+                               PacketHandler* next) {
+  auto port = std::make_unique<QueuedPort>(
+      sim_, name_ + ":egress" + std::to_string(host), config, next);
+  auto [it, inserted] = egress_.emplace(host, std::move(port));
+  if (!inserted) {
+    throw std::logic_error("Switch::add_egress: duplicate host " +
+                           std::to_string(host));
+  }
+  return *it->second;
+}
+
+void Switch::handle(Packet pkt) {
+  auto it = egress_.find(pkt.dst);
+  if (it == egress_.end()) {
+    ++unroutable_;
+    return;
+  }
+  it->second->handle(pkt);
+}
+
+QueuedPort& Switch::egress(HostId host) {
+  auto it = egress_.find(host);
+  if (it == egress_.end()) {
+    throw std::out_of_range("Switch::egress: unknown host " +
+                            std::to_string(host));
+  }
+  return *it->second;
+}
+
+BondedNic::BondedNic(sim::Simulator& sim, std::string name, int num_ports,
+                     const PortConfig& port_config, PacketHandler* next) {
+  if (num_ports < 1) {
+    throw std::invalid_argument("BondedNic: need at least one port");
+  }
+  for (int i = 0; i < num_ports; ++i) {
+    ports_.push_back(std::make_unique<QueuedPort>(
+        sim, name + ":port" + std::to_string(i), port_config, next));
+  }
+}
+
+void BondedNic::handle(Packet pkt) {
+  ports_[next_port_]->handle(pkt);
+  next_port_ = (next_port_ + 1) % ports_.size();
+}
+
+void BondedNic::set_on_transmit(std::function<void(std::int64_t)> cb) {
+  for (auto& port : ports_) port->set_on_transmit(cb);
+}
+
+std::int64_t BondedNic::bytes_sent() const {
+  std::int64_t total = 0;
+  for (const auto& port : ports_) total += port->bytes_sent();
+  return total;
+}
+
+}  // namespace greencc::net

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/port.h"
+#include "sim/simulator.h"
+
+namespace greencc::net {
+
+/// Output-queued switch.
+///
+/// Ingress is non-blocking (the paper's Tofino forwards at line rate across
+/// all ports); contention happens only at the egress port queue of the
+/// destination, which is exactly where the 10 Gb/s bottleneck of every
+/// experiment lives. Forwarding is by destination host id.
+class Switch : public PacketHandler {
+ public:
+  explicit Switch(sim::Simulator& sim, std::string name = "switch")
+      : sim_(sim), name_(std::move(name)) {}
+
+  /// Create the egress port towards `host` and return it (for wiring the
+  /// downstream handler and reading stats).
+  QueuedPort& add_egress(HostId host, const PortConfig& config,
+                         PacketHandler* next);
+
+  void handle(Packet pkt) override;
+
+  QueuedPort& egress(HostId host);
+  std::uint64_t unroutable_packets() const { return unroutable_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  std::unordered_map<HostId, std::unique_ptr<QueuedPort>> egress_;
+  std::uint64_t unroutable_ = 0;
+};
+
+/// Bonded sender NIC: `n` physical ports sprayed round-robin per packet, as
+/// in the paper's 2x10 Gb/s sender bond ("packets are sent round-robin among
+/// the two"), ensuring the switch — not the sender NIC — is the bottleneck.
+class BondedNic : public PacketHandler {
+ public:
+  BondedNic(sim::Simulator& sim, std::string name, int num_ports,
+            const PortConfig& port_config, PacketHandler* next);
+
+  void handle(Packet pkt) override;
+
+  /// Register a transmit-bytes callback across all member ports.
+  void set_on_transmit(std::function<void(std::int64_t)> cb);
+
+  QueuedPort& port(int i) { return *ports_.at(static_cast<std::size_t>(i)); }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+  std::int64_t bytes_sent() const;
+
+ private:
+  std::vector<std::unique_ptr<QueuedPort>> ports_;
+  std::size_t next_port_ = 0;
+};
+
+}  // namespace greencc::net

@@ -1,0 +1,29 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace greencc::sim {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF sampling; 1 - u avoids log(0).
+  return -mean * std::log(1.0 - next_double());
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  have_cached_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+}  // namespace greencc::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace greencc::sim {
+
+/// Deterministic pseudo-random number generator (xoshiro256++).
+///
+/// Experiments must be exactly reproducible from a seed: the paper repeats
+/// every scenario 10 times and reports standard deviations, and our test
+/// suite asserts bit-identical reruns. `std::mt19937` would work but its
+/// distributions are not guaranteed identical across standard library
+/// implementations; we therefore implement both the generator and the
+/// distributions we need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state, as
+    // recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97f4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method would be faster, but modulo bias
+    // at our bounds (<< 2^64) is negligible and this keeps the code obvious.
+    return next_u64() % bound;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Exponentially distributed double with the given mean.
+  double exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean, double stddev);
+
+  /// True with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace greencc::sim

@@ -1,0 +1,88 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace greencc::sim {
+
+void Simulator::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::schedule_at: time is in the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+bool Simulator::dispatch_next() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback has to be moved out, so we
+  // const_cast the node we are about to pop. This is safe: the move does not
+  // change the ordering fields.
+  Event& top = const_cast<Event&>(queue_.top());
+  assert(top.when >= now_);
+  now_ = top.when;
+  Callback cb = std::move(top.cb);
+  queue_.pop();
+  ++events_executed_;
+  cb();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && dispatch_next()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().when <= deadline) {
+    dispatch_next();
+  }
+  if (now_ < deadline && !stopped_) now_ = deadline;
+}
+
+void Timer::arm(SimTime delay) {
+  armed_ = true;
+  expiry_ = sim_.now() + delay;
+  ensure_event_at(expiry_);
+}
+
+void Timer::ensure_event_at(SimTime when) {
+  // If an event is already pending at or before `when`, it will notice the
+  // (possibly pushed-out) deadline when it fires and re-schedule itself.
+  if (event_pending_ && event_time_ <= when) return;
+  event_pending_ = true;
+  event_time_ = when;
+  std::weak_ptr<bool> alive = alive_;
+  sim_.schedule_at(when, [this, alive] {
+    if (auto locked = alive.lock(); locked && *locked) on_event();
+  });
+}
+
+void Timer::on_event() {
+  event_pending_ = false;
+  if (!armed_) return;
+  if (expiry_ > sim_.now()) {
+    // Deadline moved out since this event was scheduled: chase it.
+    ensure_event_at(expiry_);
+    return;
+  }
+  armed_ = false;
+  on_expire_();
+}
+
+std::string SimTime::to_string() const {
+  const double s = sec();
+  char buf[32];
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    snprintf(buf, sizeof(buf), "%.3fms", ms());
+  } else {
+    snprintf(buf, sizeof(buf), "%.3fus", us());
+  }
+  return buf;
+}
+
+}  // namespace greencc::sim

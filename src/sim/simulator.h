@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace greencc::sim {
+
+/// Discrete-event simulator.
+///
+/// A single-threaded event loop with a virtual clock. Events scheduled for
+/// the same instant execute in scheduling order (a monotonically increasing
+/// sequence number breaks ties), which makes every run fully deterministic.
+///
+/// Ownership: callbacks are `std::function<void()>`; any state they capture
+/// must outlive the simulator run. Network elements typically capture `this`
+/// and are owned by the experiment scenario, which also owns the simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run `delay` after the current time.
+  void schedule(SimTime delay, Callback cb) { schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Schedule `cb` at an absolute time (must not be in the past).
+  void schedule_at(SimTime when, Callback cb);
+
+  /// Run until the event queue drains or `stop()` is called.
+  void run();
+
+  /// Run until the clock reaches `deadline` (events at exactly `deadline`
+  /// still execute) or the queue drains.
+  void run_until(SimTime deadline);
+
+  /// Abort the run loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (instrumentation / microbenchmarks).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events waiting in the queue.
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_next();
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// One-shot, re-armable timer (the pattern used for TCP retransmission
+/// timeouts).
+///
+/// Re-arming a timer on every ACK would flood the event queue with stale
+/// events. Instead the timer keeps at most one pending simulator event: when
+/// that event fires before the desired expiry (because the deadline was
+/// pushed out in the meantime) it silently re-schedules itself for the
+/// current deadline.
+class Timer {
+ public:
+  /// `on_expire` runs when the armed deadline passes. The callback must
+  /// outlive the timer.
+  Timer(Simulator& sim, std::function<void()> on_expire)
+      : sim_(sim), on_expire_(std::move(on_expire)) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
+
+  /// (Re)arm to fire `delay` from now. Replaces any previous deadline.
+  void arm(SimTime delay);
+
+  /// Disarm; a pending simulator event becomes a no-op.
+  void cancel() { armed_ = false; }
+
+  bool armed() const { return armed_; }
+  SimTime expiry() const { return expiry_; }
+
+ private:
+  void ensure_event_at(SimTime when);
+  void on_event();
+
+  Simulator& sim_;
+  std::function<void()> on_expire_;
+  bool armed_ = false;
+  SimTime expiry_ = SimTime::zero();
+  bool event_pending_ = false;
+  SimTime event_time_ = SimTime::zero();
+  // Liveness guard: a pending simulator event holds a weak reference to this
+  // flag, so an event firing after the timer's destruction is a no-op rather
+  // than a use-after-free.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace greencc::sim

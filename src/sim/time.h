@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace greencc::sim {
+
+/// Simulated time with nanosecond resolution.
+///
+/// A strong type wrapping a signed 64-bit nanosecond count. The range
+/// (+/- ~292 years) is far beyond any experiment length. All simulator,
+/// network and transport code exchanges `SimTime` values rather than raw
+/// integers so that unit mistakes (e.g. microseconds where nanoseconds were
+/// meant) cannot compile silently.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Factory functions make the unit explicit at every construction site.
+  static constexpr SimTime nanoseconds(std::int64_t ns) { return SimTime{ns}; }
+  static constexpr SimTime microseconds(std::int64_t us) {
+    return SimTime{us * 1'000};
+  }
+  static constexpr SimTime milliseconds(std::int64_t ms) {
+    return SimTime{ms * 1'000'000};
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() { return SimTime{INT64_MAX}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return a * k; }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ / k};
+  }
+  /// Ratio of two durations (e.g. rtt / min_rtt).
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  /// Scale a duration by a floating point factor (used by pacing math).
+  constexpr SimTime scaled(double f) const {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(ns_) * f)};
+  }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Duration needed to serialize `bytes` onto a link of `bits_per_sec`.
+constexpr SimTime serialization_delay(std::int64_t bytes, double bits_per_sec) {
+  return SimTime::nanoseconds(
+      static_cast<std::int64_t>(static_cast<double>(bytes) * 8.0 * 1e9 /
+                                bits_per_sec));
+}
+
+}  // namespace greencc::sim

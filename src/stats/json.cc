@@ -1,0 +1,146 @@
+#include "stats/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace greencc::stats {
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) return;  // root value
+  if (stack_.back() == Frame::kObject && !pending_key_) {
+    throw std::logic_error("JsonWriter: value in object without key");
+  }
+  if (stack_.back() == Frame::kArray) {
+    if (has_items_.back()) out_ << ',';
+    has_items_.back() = true;
+  }
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != Frame::kObject) {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  if (pending_key_) throw std::logic_error("JsonWriter: duplicate key call");
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || pending_key_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  out_ << '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  out_ << ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  out_ << '"' << escape(v) << '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.10g", v);
+    out_ << buf;
+  } else {
+    out_ << "null";  // JSON has no NaN/Inf
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: unclosed containers");
+  }
+  return out_.str();
+}
+
+}  // namespace greencc::stats

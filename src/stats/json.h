@@ -1,0 +1,58 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace greencc::stats {
+
+/// Minimal streaming JSON writer (objects, arrays, scalars, escaping).
+///
+/// The CLI emits machine-readable results (`--json`) so experiment sweeps
+/// can be driven from scripts, like `iperf3 -J`. The writer validates
+/// nesting at runtime and throws on misuse.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value inside an object.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v) {
+    return value(static_cast<std::int64_t>(v));
+  }
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The completed document. Throws if containers are still open.
+  std::string str() const;
+
+  static std::string escape(const std::string& raw);
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void before_value();
+
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+}  // namespace greencc::stats

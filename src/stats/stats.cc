@@ -1,0 +1,119 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace greencc::stats {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  Summary s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson: length mismatch");
+  }
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("linear_fit: length mismatch");
+  }
+  const std::size_t n = xs.size();
+  if (n < 2) return {mean(ys), 0.0};
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  if (sxx == 0.0) return {my, 0.0};
+  const double slope = sxy / sxx;
+  return {my - slope * mx, slope};
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double jain_index(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double s = 0.0, s2 = 0.0;
+  for (double x : xs) {
+    s += x;
+    s2 += x * x;
+  }
+  if (s2 == 0.0) return 1.0;
+  return s * s / (static_cast<double>(xs.size()) * s2);
+}
+
+bool is_strictly_concave(std::span<const double> xs, std::span<const double> ys,
+                         double tolerance) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("is_strictly_concave: length mismatch");
+  }
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+    const double x0 = xs[i - 1], x1 = xs[i], x2 = xs[i + 1];
+    if (!(x0 < x1 && x1 < x2)) {
+      throw std::invalid_argument("is_strictly_concave: x not increasing");
+    }
+    const double t = (x1 - x0) / (x2 - x0);
+    const double chord = ys[i - 1] + t * (ys[i + 1] - ys[i - 1]);
+    if (ys[i] <= chord + tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace greencc::stats

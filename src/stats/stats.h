@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace greencc::stats {
+
+/// Streaming accumulator for mean / variance (Welford's algorithm).
+///
+/// Used wherever the paper reports a mean with standard deviation over 10
+/// repeats of a scenario. Welford's update is numerically stable for the
+/// small counts and large magnitudes (energies in joules, times in ns) we
+/// feed it.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sample; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than 2 samples.
+double stddev(std::span<const double> xs);
+
+/// Pearson correlation coefficient of paired samples.
+///
+/// The paper reports corr(energy, power) = -0.8 (Fig 5 vs Fig 6) and
+/// corr(energy, retransmissions) = 0.47 (Fig 8). Returns 0 when either
+/// sample is constant or the spans are shorter than 2.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Least-squares fit y = a + b*x. Returns {intercept, slope}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// p-th percentile (0..100) by linear interpolation on the sorted sample.
+double percentile(std::vector<double> xs, double p);
+
+/// Jain's fairness index of an allocation: (sum x)^2 / (n * sum x^2).
+/// Equals 1 for a perfectly fair allocation, 1/n for a fully unfair one.
+double jain_index(std::span<const double> xs);
+
+/// Numerically check strict concavity of samples (x_i, y_i) with x sorted
+/// strictly increasing: every interior point must lie above the chord of its
+/// neighbours by at least `tolerance`.
+bool is_strictly_concave(std::span<const double> xs, std::span<const double> ys,
+                         double tolerance = 0.0);
+
+}  // namespace greencc::stats

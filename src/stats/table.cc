@@ -1,0 +1,71 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace greencc::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      // Cells are simple numbers/identifiers; quote only if a comma appears.
+      if (row[c].find(',') != std::string::npos) {
+        out << '"' << row[c] << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace greencc::stats

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace greencc::stats {
+
+/// Minimal fixed-column table printer used by every bench binary.
+///
+/// The paper's figures are reproduced as text tables (one bench per figure);
+/// this type renders aligned columns to stdout and, optionally, a CSV file so
+/// the series can be re-plotted.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  /// Write as CSV (headers + rows).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace greencc::stats

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/seq_range_set.h"
+#include "tcp/tcp_config.h"
+
+namespace greencc::tcp {
+
+/// TCP receiver endpoint: reassembly, delayed ACKs, SACK generation and
+/// DCTCP-style ECN echo.
+///
+/// ACK policy mirrors the kernel: every `delack_segments`-th in-order
+/// segment is acknowledged immediately, out-of-order arrivals and CE-state
+/// changes force an immediate (dup-)ACK with SACK blocks, and a short
+/// delayed-ACK timer flushes anything left over so the sender never stalls
+/// on the last odd segment.
+class TcpReceiver : public net::PacketHandler {
+ public:
+  TcpReceiver(sim::Simulator& sim, net::FlowId flow, net::HostId self,
+              const TcpConfig& config, net::PacketHandler* nic);
+
+  /// Data segments from the network arrive here.
+  void handle(net::Packet pkt) override;
+
+  std::int64_t rcv_nxt() const { return rcv_nxt_; }
+  std::int64_t segments_received() const { return segments_received_; }
+  std::int64_t duplicate_segments() const { return duplicate_segments_; }
+  std::int64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  void send_ack(const net::Packet& trigger);
+  void on_delack_timeout();
+
+  sim::Simulator& sim_;
+  net::FlowId flow_;
+  net::HostId self_;
+  TcpConfig config_;
+  net::PacketHandler* nic_;
+
+  std::int64_t rcv_nxt_ = 0;
+  SeqRangeSet out_of_order_;
+  /// Recently arrived out-of-order sequence numbers, newest first: SACK
+  /// blocks are generated from these, so the advertised blocks are the most
+  /// recently changed ones (RFC 2018), not merely the lowest. With many
+  /// holes this is what lets the sender eventually learn about everything
+  /// that did arrive.
+  std::deque<std::int64_t> recent_ooo_;
+  int unacked_segments_ = 0;
+  std::int32_t pending_ce_ = 0;
+  bool have_trigger_ = false;
+  net::Packet last_trigger_;  ///< echo source for rate-sample fields
+  sim::Timer delack_timer_;
+
+  std::int64_t segments_received_ = 0;
+  std::int64_t duplicate_segments_ = 0;
+  std::int64_t acks_sent_ = 0;
+};
+
+}  // namespace greencc::tcp

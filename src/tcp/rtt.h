@@ -1,0 +1,59 @@
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.h"
+
+namespace greencc::tcp {
+
+/// RFC 6298 RTT estimator with a windowed minimum.
+///
+/// srtt/rttvar follow the classic (1/8, 1/4) exponential filters; the RTO is
+/// srtt + 4*rttvar clamped to [min_rto, max_rto] with Linux's 200 ms default
+/// floor — which matters for energy: a flow stalled in RTO burns idle power
+/// while its completion time grows (the paper's baseline module hits this).
+class RttEstimator {
+ public:
+  RttEstimator(sim::SimTime min_rto, sim::SimTime max_rto)
+      : min_rto_(min_rto), max_rto_(max_rto) {}
+
+  void add_sample(sim::SimTime rtt, sim::SimTime now) {
+    if (rtt <= sim::SimTime::zero()) return;
+    if (srtt_ == sim::SimTime::zero()) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+    } else {
+      const sim::SimTime err =
+          rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;  // |rtt - srtt|
+      rttvar_ = (3 * rttvar_ + err) / 4;
+      srtt_ = (7 * srtt_ + rtt) / 8;
+    }
+    // Windowed min-RTT (10 s window, as tcp_min_rtt in Linux).
+    if (min_rtt_ == sim::SimTime::zero() || rtt <= min_rtt_ ||
+        now - min_rtt_stamp_ > kMinRttWindow) {
+      min_rtt_ = rtt;
+      min_rtt_stamp_ = now;
+    }
+  }
+
+  sim::SimTime srtt() const { return srtt_; }
+  sim::SimTime rttvar() const { return rttvar_; }
+  sim::SimTime min_rtt() const { return min_rtt_; }
+
+  sim::SimTime rto() const {
+    if (srtt_ == sim::SimTime::zero()) return sim::SimTime::seconds(1.0);
+    return std::clamp(srtt_ + 4 * rttvar_, min_rto_, max_rto_);
+  }
+
+ private:
+  static constexpr sim::SimTime kMinRttWindow = sim::SimTime::seconds(10.0);
+
+  sim::SimTime min_rto_;
+  sim::SimTime max_rto_;
+  sim::SimTime srtt_ = sim::SimTime::zero();
+  sim::SimTime rttvar_ = sim::SimTime::zero();
+  sim::SimTime min_rtt_ = sim::SimTime::zero();
+  sim::SimTime min_rtt_stamp_ = sim::SimTime::zero();
+};
+
+}  // namespace greencc::tcp

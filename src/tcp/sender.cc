@@ -1,0 +1,372 @@
+#include "tcp/sender.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace greencc::tcp {
+
+TcpSender::TcpSender(sim::Simulator& sim, net::FlowId flow, net::HostId src,
+                     net::HostId dst, const TcpConfig& config,
+                     std::unique_ptr<cca::CongestionControl> cc,
+                     energy::CpuCore* core, net::PacketHandler* nic,
+                     energy::WorkCalibration work)
+    : sim_(sim),
+      flow_(flow),
+      src_(src),
+      dst_(dst),
+      config_(config),
+      cc_(std::move(cc)),
+      core_(core),
+      nic_(nic),
+      work_(work),
+      rtt_(config.min_rto, config.max_rto),
+      rto_timer_(sim, [this] { on_rto(); }),
+      tlp_timer_(sim, [this] { on_tlp(); }),
+      pace_timer_(sim, [this] { maybe_send(); }) {}
+
+TcpSender::~TcpSender() = default;
+
+void TcpSender::add_app_data(std::int64_t bytes) {
+  leftover_bytes_ += bytes;
+  const std::int64_t segments = leftover_bytes_ / config_.mss_bytes();
+  app_limit_segments_ += segments;
+  leftover_bytes_ -= segments * config_.mss_bytes();
+  app_limited_now_ = false;
+}
+
+std::int64_t TcpSender::inflight_segments() const { return pipe_; }
+
+bool TcpSender::can_send() const {
+  const auto cwnd = static_cast<std::int64_t>(cc_->cwnd_segments());
+  if (pipe_ >= cwnd) return false;
+  return !retx_queue_.empty() || snd_nxt_ < app_limit_segments_;
+}
+
+double TcpSender::pacing_interval_ns(std::int32_t wire_bytes) const {
+  const double rate = cc_->pacing_rate_bps();
+  if (rate <= 0.0) return 0.0;
+  return static_cast<double>(wire_bytes) * 8.0 * 1e9 / rate;
+}
+
+void TcpSender::maybe_send() {
+  while (can_send()) {
+    if (cc_->pacing_rate_bps() > 0.0 && sim_.now() < next_pacing_time_) {
+      // One coalesced wakeup; re-arming replaces any earlier deadline.
+      pace_timer_.arm(next_pacing_time_ - sim_.now());
+      return;
+    }
+    if (!retx_queue_.empty()) {
+      const std::int64_t seq = *retx_queue_.begin();
+      retx_queue_.erase(retx_queue_.begin());
+      send_segment(seq, /*is_retx=*/true);
+    } else {
+      send_segment(snd_nxt_, /*is_retx=*/false);
+      ++snd_nxt_;
+    }
+  }
+  // Stopped with window open but no data: the flow is application-limited,
+  // which taints subsequent delivery-rate samples (BBR must not mistake an
+  // idle app for a slow network) and freezes loss-based window growth
+  // (RFC 2861 congestion-window validation).
+  cwnd_limited_now_ =
+      pipe_ >= static_cast<std::int64_t>(cc_->cwnd_segments());
+  if (retx_queue_.empty() && snd_nxt_ >= app_limit_segments_ &&
+      !cwnd_limited_now_) {
+    app_limited_now_ = true;
+  }
+}
+
+void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
+  const std::int32_t wire_bytes = config_.mss_bytes() + config_.header_bytes;
+  const auto cost = cc_->cost();
+  double work_ns = work_.pkt_ns +
+                   work_.byte_ns * static_cast<double>(wire_bytes) +
+                   cost.per_packet_ns;
+  if (is_retx) work_ns += work_.retx_ns;
+  const sim::SimTime release = core_->acquire(sim_.now(), work_ns);
+
+  net::Packet pkt;
+  pkt.flow = flow_;
+  pkt.src = src_;
+  pkt.dst = dst_;
+  pkt.seq = seq;
+  pkt.size_bytes = wire_bytes;
+  pkt.ecn_capable = cc_->wants_ecn();
+  pkt.int_enabled = cc_->wants_int();
+  pkt.sent_time = release;
+  pkt.delivered_at_send = delivered_;
+  pkt.delivered_time_at_send = delivered_time_;
+  pkt.app_limited = app_limited_now_;
+  pkt.is_retx = is_retx;
+
+  auto& seg = scoreboard_[seq];
+  if (is_retx) {
+    ++seg.transmissions;
+    ++stats_.retransmissions;
+    // The retransmitted copy is back in flight; it can be declared lost
+    // again by RACK once something sent after it is delivered.
+    if (seg.lost) {
+      seg.lost = false;
+      --lost_out_;
+    }
+    if (!seg.in_pipe) {
+      seg.in_pipe = true;
+      ++pipe_;
+    }
+  } else {
+    seg = SegState{};
+    seg.in_pipe = true;
+    ++pipe_;
+    unsacked_.insert(seq);
+  }
+  xmit_order_.emplace(release, XmitRecord{seq, seg.transmissions});
+  seg.sent_time = release;
+  seg.delivered_at_send = delivered_;
+  seg.delivered_time_at_send = delivered_time_;
+  seg.app_limited = app_limited_now_;
+  ++stats_.segments_sent;
+
+  sim_.schedule_at(release, [this, pkt] { nic_->handle(pkt); });
+
+  if (cc_->pacing_rate_bps() > 0.0) {
+    const double interval = pacing_interval_ns(wire_bytes);
+    const sim::SimTime base = std::max(next_pacing_time_, sim_.now());
+    next_pacing_time_ =
+        base + sim::SimTime::nanoseconds(static_cast<std::int64_t>(interval));
+  }
+  arm_rto();
+}
+
+void TcpSender::handle(net::Packet pkt) {
+  if (!pkt.is_ack) return;  // data towards a sender endpoint: ignore
+  process_ack(pkt);
+}
+
+void TcpSender::process_ack(const net::Packet& ack) {
+  const sim::SimTime now = sim_.now();
+  ++stats_.acks_received;
+  const auto cost = cc_->cost();
+  core_->charge(now, work_.ack_ns + cost.per_ack_ns);
+
+  std::int64_t newly_delivered = 0;
+  sim::SimTime rtt_sample = sim::SimTime::zero();
+  const std::int64_t prev_una = snd_una_;
+
+  // --- cumulative advance ---
+  if (ack.ack_seq > snd_una_) {
+    for (auto it = scoreboard_.begin();
+         it != scoreboard_.end() && it->first < ack.ack_seq;) {
+      SegState& seg = it->second;
+      if (!seg.sacked) {
+        ++newly_delivered;
+        if (seg.transmissions == 1) {
+          rtt_sample = now - seg.sent_time;  // Karn: first transmissions only
+        }
+        rack_xmit_time_ = std::max(rack_xmit_time_, seg.sent_time);
+      }
+      if (seg.in_pipe) --pipe_;
+      if (seg.sacked) --sacked_out_;
+      if (seg.lost) --lost_out_;
+      retx_queue_.erase(it->first);
+      unsacked_.erase(it->first);
+      it = scoreboard_.erase(it);
+    }
+    snd_una_ = ack.ack_seq;
+  }
+
+  // --- SACK blocks (via the unsacked index: O(newly sacked)) ---
+  for (const auto& block : ack.sack) {
+    if (block.empty()) continue;
+    for (auto it = unsacked_.lower_bound(block.start);
+         it != unsacked_.end() && *it < block.end;) {
+      const std::int64_t seq = *it;
+      auto seg_it = scoreboard_.find(seq);
+      if (seg_it == scoreboard_.end()) {
+        it = unsacked_.erase(it);  // stale (should not happen)
+        continue;
+      }
+      SegState& seg = seg_it->second;
+      seg.sacked = true;
+      ++sacked_out_;
+      ++newly_delivered;
+      if (seg.lost) {
+        seg.lost = false;
+        --lost_out_;
+        retx_queue_.erase(seq);
+      }
+      if (seg.in_pipe) {
+        seg.in_pipe = false;
+        --pipe_;
+      }
+      if (seg.transmissions == 1) {
+        rtt_sample = now - seg.sent_time;
+      }
+      rack_xmit_time_ = std::max(rack_xmit_time_, seg.sent_time);
+      highest_sacked_ = std::max(highest_sacked_, seq);
+      it = unsacked_.erase(it);
+    }
+  }
+
+  if (rtt_sample > sim::SimTime::zero()) rtt_.add_sample(rtt_sample, now);
+
+  if (newly_delivered > 0) {
+    delivered_ += newly_delivered;
+    delivered_time_ = now;
+    stats_.delivered_segments = delivered_;
+  }
+  if (ack.ece) stats_.ecn_echoes += ack.ece_count;
+
+  // --- RACK loss detection ---
+  const std::int64_t newly_lost = detect_losses_rack();
+  if (newly_lost > 0 && !in_recovery_) enter_recovery(newly_lost);
+
+  if (in_recovery_ && snd_una_ >= recovery_point_) {
+    in_recovery_ = false;
+    cc_->on_recovered(now);
+  }
+  if (snd_una_ > prev_una) {
+    rto_backoff_ = 0;
+    tlp_allowed_ = true;  // forward progress: a new probe may be sent later
+  }
+
+  // --- delivery-rate sample (tcp_rate_gen equivalent) ---
+  double delivery_rate_bps = 0.0;
+  if (ack.delivered_time_at_send > sim::SimTime::zero() ||
+      ack.delivered_at_send > 0) {
+    const sim::SimTime interval = now - ack.delivered_time_at_send;
+    const std::int64_t delta = delivered_ - ack.delivered_at_send;
+    if (interval > sim::SimTime::zero() && delta > 0) {
+      delivery_rate_bps = static_cast<double>(delta) * config_.mss_bytes() *
+                          8.0 / interval.sec();
+    }
+  }
+
+  // --- feed the congestion controller ---
+  cca::AckEvent ev;
+  ev.now = now;
+  ev.acked_segments = newly_delivered;
+  ev.ecn_echoed = ack.ece ? ack.ece_count : 0;
+  ev.rtt = rtt_sample;
+  ev.srtt = rtt_.srtt();
+  ev.min_rtt = rtt_.min_rtt();
+  ev.inflight = pipe_;
+  ev.delivered = delivered_;
+  ev.delivery_rate_bps = delivery_rate_bps;
+  ev.app_limited = ack.app_limited;
+  ev.in_recovery = in_recovery_;
+  ev.cwnd_limited = cwnd_limited_now_;
+  ev.int_count = ack.int_count;
+  ev.int_hops = ack.int_hops;
+  cc_->on_ack(ev);
+
+  // --- RTO management & completion ---
+  if (pipe_ > 0 || !retx_queue_.empty() ||
+      snd_una_ < app_limit_segments_) {
+    arm_rto();
+  } else {
+    rto_timer_.cancel();
+    tlp_timer_.cancel();
+  }
+
+  if (!completed_ && complete()) {
+    completed_ = true;
+    rto_timer_.cancel();
+    tlp_timer_.cancel();
+    if (on_complete_) on_complete_();
+    return;
+  }
+
+  maybe_send();
+}
+
+void TcpSender::mark_lost(std::int64_t seq, SegState& seg) {
+  seg.lost = true;
+  ++lost_out_;
+  if (seg.in_pipe) {
+    seg.in_pipe = false;
+    --pipe_;
+  }
+  retx_queue_.insert(seq);
+}
+
+std::int64_t TcpSender::detect_losses_rack() {
+  if (rack_xmit_time_ == sim::SimTime::zero()) return 0;
+  // Reordering window: a quarter of the min RTT (RFC 8985's default).
+  const sim::SimTime reo_wnd =
+      rtt_.min_rtt() > sim::SimTime::zero() ? rtt_.min_rtt() / 4
+                                            : sim::SimTime::microseconds(10);
+  std::int64_t newly_lost = 0;
+  while (!xmit_order_.empty()) {
+    const auto it = xmit_order_.begin();
+    if (it->first + reo_wnd >= rack_xmit_time_) break;
+    const XmitRecord rec = it->second;
+    xmit_order_.erase(it);
+    auto seg_it = scoreboard_.find(rec.seq);
+    if (seg_it == scoreboard_.end()) continue;         // already cum-acked
+    SegState& seg = seg_it->second;
+    if (seg.sacked || seg.lost) continue;              // delivered or queued
+    if (seg.transmissions != rec.transmission) continue;  // stale record
+    mark_lost(rec.seq, seg);
+    ++newly_lost;
+  }
+  return newly_lost;
+}
+
+void TcpSender::enter_recovery(std::int64_t newly_lost) {
+  in_recovery_ = true;
+  recovery_point_ = snd_nxt_;
+  ++stats_.recoveries;
+  cca::LossEvent ev;
+  ev.now = sim_.now();
+  ev.inflight = pipe_;
+  ev.lost_segments = newly_lost;
+  cc_->on_loss(ev);
+}
+
+void TcpSender::on_rto() {
+  if (completed_) return;
+  ++stats_.timeouts;
+  core_->charge(sim_.now(), work_.timeout_ns);
+  cc_->on_rto(sim_.now());
+  in_recovery_ = false;
+
+  // Everything outstanding is presumed lost; retransmit in order.
+  for (std::int64_t seq : unsacked_) {
+    SegState& seg = scoreboard_.at(seq);
+    if (seg.lost) continue;
+    mark_lost(seq, seg);
+  }
+  rto_backoff_ = std::min(rto_backoff_ + 1, 10);
+  arm_rto();
+  maybe_send();
+}
+
+void TcpSender::arm_rto() {
+  sim::SimTime timeout = rtt_.rto();
+  for (int i = 0; i < rto_backoff_; ++i) {
+    timeout = std::min(timeout * 2, config_.max_rto);
+  }
+  rto_timer_.arm(timeout);
+  // Tail-loss probe (RFC 8985): a quick retransmission of the newest
+  // outstanding segment well before the RTO, so that a lost tail still
+  // produces SACK feedback and fast recovery instead of a 200 ms stall.
+  if (tlp_allowed_ && rtt_.srtt() > sim::SimTime::zero()) {
+    const sim::SimTime pto =
+        std::min(2 * rtt_.srtt() + sim::SimTime::milliseconds(1), timeout / 2);
+    tlp_timer_.arm(pto);
+  }
+}
+
+void TcpSender::on_tlp() {
+  if (completed_ || !tlp_allowed_) return;
+  // Probe with the highest unsacked in-flight segment, if any.
+  for (auto it = unsacked_.rbegin(); it != unsacked_.rend(); ++it) {
+    const auto seg_it = scoreboard_.find(*it);
+    if (seg_it == scoreboard_.end() || seg_it->second.lost) continue;
+    tlp_allowed_ = false;
+    send_segment(*it, /*is_retx=*/true);
+    return;
+  }
+}
+
+}  // namespace greencc::tcp

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "cca/cca.h"
+#include "energy/calibration.h"
+#include "energy/cpu.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/rtt.h"
+#include "tcp/tcp_config.h"
+
+namespace greencc::tcp {
+
+/// TCP bulk-data sender.
+///
+/// Implements the transport machinery the Linux stack provides to every CC
+/// module: a SACK scoreboard, RFC 6675-style fast retransmit/recovery, RTO
+/// with exponential backoff, delivery-rate sampling (for BBR), optional
+/// pacing, and ECN negotiation. The congestion controller is a plug-in; the
+/// sender consults `cwnd_segments()` / `pacing_rate_bps()` after feeding it
+/// the ACK/loss events.
+///
+/// Energy coupling: every transmitted segment, processed ACK, retransmission
+/// and timeout charges the host CPU core (see WorkCalibration); the core in
+/// turn gates packet release, so at small MTUs the CPU — not the NIC — is
+/// the throughput bottleneck, exactly the effect §4.4 of the paper measures.
+///
+/// The connection starts established (no handshake): the paper's unit of
+/// measurement is a multi-second bulk transfer where setup cost is noise.
+class TcpSender : public net::PacketHandler {
+ public:
+  TcpSender(sim::Simulator& sim, net::FlowId flow, net::HostId src,
+            net::HostId dst, const TcpConfig& config,
+            std::unique_ptr<cca::CongestionControl> cc,
+            energy::CpuCore* core, net::PacketHandler* nic,
+            energy::WorkCalibration work = {});
+  ~TcpSender();
+
+  /// Queue `bytes` of application data (converted to whole segments).
+  void add_app_data(std::int64_t bytes);
+
+  /// Declare that no more application data is coming. Completion is only
+  /// reported after this: a rate-limited app that has merely drained its
+  /// token bucket has not finished its transfer.
+  void mark_app_eof() { app_eof_ = true; }
+
+  /// True once the app signalled EOF and everything queued has been
+  /// cumulatively ACKed.
+  bool complete() const {
+    return app_eof_ && snd_una_ >= app_limit_segments_ &&
+           app_limit_segments_ > 0;
+  }
+
+  /// Invoked once when `complete()` first becomes true.
+  void set_on_complete(std::function<void()> cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  /// Kick the send loop (call after add_app_data / at flow start).
+  void start() { maybe_send(); }
+
+  /// ACKs from the network arrive here.
+  void handle(net::Packet pkt) override;
+
+  const TcpStats& stats() const { return stats_; }
+  const cca::CongestionControl& congestion_control() const { return *cc_; }
+  std::int64_t inflight_segments() const;
+  std::int64_t snd_una() const { return snd_una_; }
+  std::int64_t snd_nxt() const { return snd_nxt_; }
+  bool in_recovery() const { return in_recovery_; }
+  const RttEstimator& rtt() const { return rtt_; }
+
+ private:
+  struct SegState {
+    sim::SimTime sent_time;
+    std::int64_t delivered_at_send = 0;
+    sim::SimTime delivered_time_at_send;
+    bool app_limited = false;
+    bool sacked = false;
+    bool lost = false;
+    bool in_pipe = false;  ///< currently counted in the pipe estimate
+    int transmissions = 1;
+  };
+
+  void maybe_send();
+  bool can_send() const;
+  void send_segment(std::int64_t seq, bool is_retx);
+  void process_ack(const net::Packet& ack);
+  void enter_recovery(std::int64_t newly_lost);
+  /// RACK-style loss detection (RFC 8985): a segment is lost once a segment
+  /// transmitted sufficiently later has been delivered. Returns the number
+  /// of segments newly marked lost.
+  std::int64_t detect_losses_rack();
+  void mark_lost(std::int64_t seq, SegState& seg);
+  void on_rto();
+  void on_tlp();
+  void arm_rto();
+  double pacing_interval_ns(std::int32_t wire_bytes) const;
+
+  sim::Simulator& sim_;
+  net::FlowId flow_;
+  net::HostId src_;
+  net::HostId dst_;
+  TcpConfig config_;
+  std::unique_ptr<cca::CongestionControl> cc_;
+  energy::CpuCore* core_;
+  net::PacketHandler* nic_;
+  energy::WorkCalibration work_;
+
+  // --- sequence state (segment indices) ---
+  std::int64_t snd_una_ = 0;   ///< lowest unacked segment
+  std::int64_t snd_nxt_ = 0;   ///< next never-sent segment
+  std::int64_t app_limit_segments_ = 0;  ///< data available from the app
+  std::int64_t leftover_bytes_ = 0;      ///< sub-segment remainder
+
+  // --- scoreboard ---
+  std::map<std::int64_t, SegState> scoreboard_;  ///< un-cum-acked segments
+  /// Segments in the scoreboard that are not (yet) SACKed. SACK blocks can
+  /// span thousands of already-delivered segments; iterating this index
+  /// instead of the raw range keeps ACK processing O(newly-sacked), not
+  /// O(window) — essential for the baseline's 10k-segment pinned window.
+  std::set<std::int64_t> unsacked_;
+  std::set<std::int64_t> retx_queue_;            ///< lost, awaiting re-send
+  /// Transmissions ordered by send time, for RACK: (xmit time, seq,
+  /// transmission number). Entries are lazily discarded when stale.
+  struct XmitRecord {
+    std::int64_t seq;
+    int transmission;
+  };
+  std::multimap<sim::SimTime, XmitRecord> xmit_order_;
+  /// Send time of the most recently delivered (sacked/acked) transmission.
+  sim::SimTime rack_xmit_time_ = sim::SimTime::zero();
+  std::int64_t sacked_out_ = 0;
+  std::int64_t lost_out_ = 0;
+  std::int64_t pipe_ = 0;  ///< RFC 6675 pipe: segments believed in flight
+  std::int64_t highest_sacked_ = -1;
+
+  // --- recovery state ---
+  bool in_recovery_ = false;
+  std::int64_t recovery_point_ = 0;
+
+  // --- delivery accounting (rate samples) ---
+  std::int64_t delivered_ = 0;
+  sim::SimTime delivered_time_ = sim::SimTime::zero();
+
+  // --- timers / pacing ---
+  RttEstimator rtt_;
+  sim::Timer rto_timer_;
+  sim::Timer tlp_timer_;
+  sim::Timer pace_timer_;  ///< single coalesced pacing wakeup
+  bool tlp_allowed_ = true;  ///< one probe per stall episode
+  int rto_backoff_ = 0;
+  sim::SimTime next_pacing_time_ = sim::SimTime::zero();
+
+  bool app_limited_now_ = false;
+  bool cwnd_limited_now_ = false;  ///< last send attempt hit the window
+  bool app_eof_ = false;
+  TcpStats stats_;
+  std::function<void()> on_complete_;
+  bool completed_ = false;
+};
+
+}  // namespace greencc::tcp

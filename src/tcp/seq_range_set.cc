@@ -1,0 +1,82 @@
+#include "tcp/seq_range_set.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace greencc::tcp {
+
+void SeqRangeSet::insert(std::int64_t start, std::int64_t end) {
+  if (end <= start) {
+    throw std::invalid_argument("SeqRangeSet::insert: empty range");
+  }
+  // Find the first range that could touch [start, end): the predecessor of
+  // start, if it reaches start, else the first range starting >= start.
+  auto it = ranges_.upper_bound(start);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) it = prev;
+  }
+  // Absorb every overlapping/adjacent range.
+  while (it != ranges_.end() && it->first <= end) {
+    start = std::min(start, it->first);
+    end = std::max(end, it->second);
+    it = ranges_.erase(it);
+  }
+  ranges_.emplace(start, end);
+}
+
+bool SeqRangeSet::contains(std::int64_t seq) const {
+  auto it = ranges_.upper_bound(seq);
+  if (it == ranges_.begin()) return false;
+  --it;
+  return seq < it->second;
+}
+
+void SeqRangeSet::erase_below(std::int64_t seq) {
+  auto it = ranges_.begin();
+  while (it != ranges_.end() && it->second <= seq) {
+    it = ranges_.erase(it);
+  }
+  if (it != ranges_.end() && it->first < seq) {
+    const std::int64_t end = it->second;
+    ranges_.erase(it);
+    ranges_.emplace(seq, end);
+  }
+}
+
+std::int64_t SeqRangeSet::contiguous_end(std::int64_t seq) const {
+  auto it = ranges_.upper_bound(seq);
+  if (it == ranges_.begin()) return seq;
+  --it;
+  return seq < it->second ? it->second : seq;
+}
+
+SeqRangeSet::Block SeqRangeSet::range_containing(std::int64_t seq) const {
+  auto it = ranges_.upper_bound(seq);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (seq < prev->second) return {prev->first, prev->second};
+  }
+  return {seq, seq};
+}
+
+std::vector<SeqRangeSet::Block> SeqRangeSet::blocks_above(
+    std::int64_t above, std::size_t max_blocks) const {
+  std::vector<Block> out;
+  for (auto it = ranges_.upper_bound(above);
+       it != ranges_.end() && out.size() < max_blocks; ++it) {
+    out.push_back({it->first, it->second});
+  }
+  // A range may straddle `above`: include its tail.
+  auto it = ranges_.upper_bound(above);
+  if (it != ranges_.begin()) {
+    --it;
+    if (it->second > above && out.size() < max_blocks) {
+      out.insert(out.begin(), {above, it->second});
+      if (out.size() > max_blocks) out.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace greencc::tcp

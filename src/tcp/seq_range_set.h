@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace greencc::tcp {
+
+/// An ordered set of disjoint half-open segment ranges [start, end).
+///
+/// Used by the receiver to track out-of-order data (the reassembly queue)
+/// and to generate SACK blocks. Ranges merge on insert, so memory is bounded
+/// by the number of holes, not the number of segments.
+class SeqRangeSet {
+ public:
+  /// Insert [start, end), merging with any adjacent/overlapping ranges.
+  void insert(std::int64_t start, std::int64_t end);
+
+  /// True if `seq` is contained in some range.
+  bool contains(std::int64_t seq) const;
+
+  /// Remove everything below `seq` (delivered to the application).
+  void erase_below(std::int64_t seq);
+
+  /// If a range starts exactly at `seq`, return its end; otherwise `seq`.
+  /// (How far the cumulative ACK can advance once `seq` arrives.)
+  std::int64_t contiguous_end(std::int64_t seq) const;
+
+  /// Up to `max_blocks` ranges strictly above `above`, lowest first.
+  struct Block {
+    std::int64_t start;
+    std::int64_t end;
+  };
+
+  /// The range containing `seq`; {seq, seq} if not contained.
+  Block range_containing(std::int64_t seq) const;
+  std::vector<Block> blocks_above(std::int64_t above,
+                                  std::size_t max_blocks) const;
+
+  bool empty() const { return ranges_.empty(); }
+  std::size_t range_count() const { return ranges_.size(); }
+
+ private:
+  // start -> end
+  std::map<std::int64_t, std::int64_t> ranges_;
+};
+
+}  // namespace greencc::tcp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace greencc::tcp {
+
+/// Transport parameters shared by sender and receiver.
+///
+/// `mtu_bytes` is the wire MTU as the paper sweeps it (1500/3000/6000/9000);
+/// the MSS is derived by subtracting the 52 bytes of IPv4 + TCP headers with
+/// timestamps, matching what iperf3 over Linux would use.
+struct TcpConfig {
+  std::int32_t mtu_bytes = 9000;
+  std::int32_t header_bytes = 52;
+  std::int32_t ack_bytes = 64;  ///< wire size of a pure ACK
+
+  sim::SimTime min_rto = sim::SimTime::milliseconds(200);  // Linux default
+  sim::SimTime max_rto = sim::SimTime::seconds(30.0);
+
+  int dupack_threshold = 3;     ///< RFC 6675 DupThresh in segments
+  int delack_segments = 2;      ///< ACK every n-th in-order segment
+  sim::SimTime delack_timeout = sim::SimTime::microseconds(500);
+
+  std::int64_t initial_cwnd = 10;  // IW10
+
+  std::int32_t mss_bytes() const { return mtu_bytes - header_bytes; }
+};
+
+/// Per-flow transport statistics, the counters `iperf3 -J` would report.
+struct TcpStats {
+  std::int64_t segments_sent = 0;       ///< data segments put on the wire
+  std::int64_t retransmissions = 0;     ///< of those, retransmitted ones
+  std::int64_t timeouts = 0;            ///< RTO episodes
+  std::int64_t recoveries = 0;          ///< fast-recovery episodes
+  std::int64_t delivered_segments = 0;  ///< cumulative, incl. sacked
+  std::int64_t acks_received = 0;
+  std::int64_t ecn_echoes = 0;
+};
+
+}  // namespace greencc::tcp

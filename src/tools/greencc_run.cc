@@ -1,0 +1,281 @@
+// greencc_run — the command-line experiment driver, an iperf3-like front
+// door to the testbed:
+//
+//   greencc_run --cca cubic --mtu 9000 --bytes 2e9
+//   greencc_run --cca cubic,bbr,dctcp --flows 2 --schedule fsi --repeats 5
+//   greencc_run --schedule srpt --sizes 1e9,2.5e8,2.5e8 --json out.json
+//   greencc_run --list-ccas
+//
+// Prints the paper-style measurement summary per run (energy, power, FCT,
+// retransmissions) and optionally a machine-readable JSON document.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/runner.h"
+#include "cca/cca.h"
+#include "core/scheduler.h"
+#include "stats/json.h"
+#include "stats/table.h"
+
+using namespace greencc;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> ccas = {"cubic"};
+  int mtu = 9000;
+  std::int64_t bytes = 2'000'000'000;
+  std::vector<std::int64_t> sizes;  // overrides bytes/flows when set
+  int flows = 1;
+  std::string schedule = "fair";  // fair | fsi | srpt | weighted:<f>
+  int load_pct = 0;
+  int repeats = 1;
+  std::uint64_t seed = 1;
+  double rate_limit_gbps = 0.0;
+  std::string json_path;
+  bool list_ccas = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::printf(
+      "greencc_run — energy measurement of congestion-controlled "
+      "transfers\n\n"
+      "  --cca a[,b,...]      algorithms to run (default cubic); see "
+      "--list-ccas\n"
+      "  --mtu N              wire MTU in bytes (default 9000)\n"
+      "  --bytes N            bytes per flow (default 2e9; accepts 2e9 "
+      "notation)\n"
+      "  --flows N            equal flows per run (default 1)\n"
+      "  --sizes a,b,...      per-flow sizes; implies --flows\n"
+      "  --schedule S         fair | fsi | srpt | weighted:<fraction>\n"
+      "  --rate G             app rate limit per flow in Gb/s (0 = none)\n"
+      "  --load P             background load percent on sender hosts\n"
+      "  --repeats K          repeated runs with seeds seed..seed+K-1\n"
+      "  --seed S             base RNG seed (default 1)\n"
+      "  --json FILE          write machine-readable results\n"
+      "  --list-ccas          list available algorithms and exit\n");
+}
+
+std::int64_t parse_bytes(const std::string& s) {
+  return static_cast<std::int64_t>(std::stod(s));
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream stream(s);
+  std::string item;
+  while (std::getline(stream, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else if (arg == "--list-ccas") {
+      opt.list_ccas = true;
+    } else if (arg == "--cca") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.ccas = split(v, ',');
+    } else if (arg == "--mtu") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.mtu = std::atoi(v);
+    } else if (arg == "--bytes") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.bytes = parse_bytes(v);
+    } else if (arg == "--sizes") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      for (const auto& item : split(v, ',')) {
+        opt.sizes.push_back(parse_bytes(item));
+      }
+    } else if (arg == "--flows") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.flows = std::atoi(v);
+    } else if (arg == "--schedule") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.schedule = v;
+    } else if (arg == "--rate") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.rate_limit_gbps = std::atof(v);
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.load_pct = std::atoi(v);
+    } else if (arg == "--repeats") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.repeats = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.json_path = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+std::vector<app::FlowSpec> build_flows(const Options& opt,
+                                       const std::string& cca) {
+  if (!opt.sizes.empty()) {
+    const auto policy = opt.schedule == "srpt"
+                            ? core::SizedSchedule::kSrptSerial
+                        : opt.schedule == "fsi"
+                            ? core::SizedSchedule::kFifoSerial
+                            : core::SizedSchedule::kFairShare;
+    return core::make_sized_schedule(policy, opt.sizes, cca);
+  }
+  core::Schedule policy = core::Schedule::kFairShare;
+  double fraction = 0.5;
+  if (opt.schedule == "fsi") {
+    policy = core::Schedule::kFullSpeedThenIdle;
+  } else if (opt.schedule.rfind("weighted:", 0) == 0) {
+    policy = core::Schedule::kWeighted;
+    fraction = std::atof(opt.schedule.c_str() + 9);
+  } else if (opt.schedule == "srpt") {
+    policy = core::Schedule::kFullSpeedThenIdle;  // equal sizes: same thing
+  } else if (opt.schedule != "fair") {
+    throw std::invalid_argument("unknown schedule: " + opt.schedule);
+  }
+  auto specs =
+      core::make_schedule(policy, opt.flows, opt.bytes, cca, 10e9, fraction);
+  if (opt.rate_limit_gbps > 0.0) {
+    for (auto& spec : specs) spec.rate_limit_bps = opt.rate_limit_gbps * 1e9;
+  }
+  return specs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) return 2;
+  const Options& opt = *parsed;
+
+  if (opt.help) {
+    print_usage();
+    return 0;
+  }
+  if (opt.list_ccas) {
+    std::printf("paper algorithms   :");
+    for (const auto& name : cca::all_names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\ndatacenter (ext.)  :");
+    for (const auto& name : cca::datacenter_names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  stats::JsonWriter json;
+  json.begin_object();
+  json.key("runs").begin_array();
+
+  stats::Table table({"cca", "energy[J]", "sd", "power[W]", "duration[s]",
+                      "retx", "completed"});
+
+  for (const auto& cca_name : opt.ccas) {
+    auto builder = [&](std::uint64_t seed) {
+      app::ScenarioConfig config;
+      config.tcp.mtu_bytes = opt.mtu;
+      config.seed = seed;
+      config.stress_cores = opt.load_pct * 32 / 100;
+      auto scenario = std::make_unique<app::Scenario>(config);
+      for (const auto& spec : build_flows(opt, cca_name)) {
+        scenario->add_flow(spec);
+      }
+      return scenario;
+    };
+
+    app::RepeatResult agg;
+    try {
+      agg = app::run_repeated(builder, opt.repeats, opt.seed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", cca_name.c_str(), e.what());
+      return 1;
+    }
+
+    bool all_done = true;
+    for (const auto& run : agg.runs) all_done &= run.all_completed;
+
+    table.add_row({cca_name, stats::Table::num(agg.joules.mean(), 1),
+                   stats::Table::num(agg.joules.stddev(), 2),
+                   stats::Table::num(agg.watts.mean(), 2),
+                   stats::Table::num(agg.duration_sec.mean(), 3),
+                   stats::Table::num(agg.retransmissions.mean(), 0),
+                   all_done ? "yes" : "NO"});
+
+    json.begin_object();
+    json.field("cca", cca_name);
+    json.field("mtu", opt.mtu);
+    json.field("schedule", opt.schedule);
+    json.field("load_pct", opt.load_pct);
+    json.field("repeats", opt.repeats);
+    json.field("energy_joules_mean", agg.joules.mean());
+    json.field("energy_joules_stddev", agg.joules.stddev());
+    json.field("power_watts_mean", agg.watts.mean());
+    json.field("duration_sec_mean", agg.duration_sec.mean());
+    json.field("retransmissions_mean", agg.retransmissions.mean());
+    json.field("all_completed", all_done);
+    json.key("flows").begin_array();
+    for (const auto& flow : agg.runs.front().flows) {
+      json.begin_object();
+      json.field("cca", flow.cca);
+      json.field("bytes", flow.bytes);
+      json.field("fct_sec", flow.fct_sec);
+      json.field("finished_at_sec", flow.finished_at_sec);
+      json.field("avg_gbps", flow.avg_gbps);
+      json.field("retransmissions", flow.retransmissions);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+  json.end_array();
+  json.end_object();
+
+  table.print(std::cout);
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    out << json.str() << "\n";
+    std::printf("\nwrote %s\n", opt.json_path.c_str());
+  }
+  return 0;
+}

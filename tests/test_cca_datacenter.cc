@@ -1,0 +1,333 @@
+// Unit and integration tests for the production datacenter algorithms the
+// paper's §5 asks the community to benchmark: Swift, DCQCN, HPCC, TIMELY —
+// plus the INT telemetry substrate HPCC depends on.
+
+#include <gtest/gtest.h>
+
+#include "app/scenario.h"
+#include "cca/dcqcn.h"
+#include "cca/hpcc.h"
+#include "cca/swift.h"
+#include "cca/timely.h"
+
+namespace greencc::cca {
+namespace {
+
+using sim::SimTime;
+
+CcaConfig config() {
+  CcaConfig c;
+  c.mss_bytes = 8948;
+  c.initial_cwnd = 10;
+  c.line_rate_bps = 10e9;
+  c.expected_rtt = SimTime::microseconds(50);
+  return c;
+}
+
+AckEvent ack(SimTime now, SimTime rtt, std::int64_t marked = 0) {
+  AckEvent ev;
+  ev.now = now;
+  ev.acked_segments = 2;
+  ev.ecn_echoed = marked;
+  ev.rtt = rtt;
+  ev.srtt = rtt;
+  ev.min_rtt = SimTime::microseconds(50);
+  ev.inflight = 20;
+  ev.delivered = 1;
+  return ev;
+}
+
+// --- registry ---
+
+TEST(Datacenter, RegistryListsAllFour) {
+  const auto& names = datacenter_names();
+  EXPECT_EQ(names.size(), 4u);
+  for (const auto& name : names) {
+    auto cc = make_cca(name, config());
+    EXPECT_EQ(cc->name(), name);
+    EXPECT_GE(cc->cwnd_segments(), 1.0);
+  }
+}
+
+TEST(Datacenter, PaperGridStaysTen) {
+  // The paper-figure benches must keep sweeping exactly the paper's ten.
+  EXPECT_EQ(all_names().size(), 10u);
+  for (const auto& name : datacenter_names()) {
+    EXPECT_EQ(std::count(all_names().begin(), all_names().end(), name), 0)
+        << name;
+  }
+}
+
+TEST(Datacenter, CapabilityFlags) {
+  EXPECT_TRUE(make_cca("dcqcn", config())->wants_ecn());
+  EXPECT_TRUE(make_cca("hpcc", config())->wants_int());
+  EXPECT_FALSE(make_cca("swift", config())->wants_int());
+  EXPECT_FALSE(make_cca("timely", config())->wants_ecn());
+  // The rate-based three pace; Swift is window-based (its sub-one-cwnd
+  // pacing regime is clamped away, see swift.h).
+  for (const char* name : {"dcqcn", "hpcc", "timely"}) {
+    EXPECT_GT(make_cca(name, config())->pacing_rate_bps(), 0.0) << name;
+  }
+  EXPECT_EQ(make_cca("swift", config())->pacing_rate_bps(), 0.0);
+}
+
+// --- Swift ---
+
+TEST(Swift, GrowsBelowTargetDelay) {
+  Swift swift(config());
+  const double w0 = swift.cwnd_segments();
+  SimTime now = SimTime::microseconds(100);
+  for (int i = 0; i < 50; ++i) {
+    swift.on_ack(ack(now, SimTime::microseconds(60)));  // below target
+    now += SimTime::microseconds(10);
+  }
+  EXPECT_GT(swift.cwnd_segments(), w0);
+}
+
+TEST(Swift, ShrinksAboveTargetDelay) {
+  Swift swift(config());
+  SimTime now = SimTime::microseconds(100);
+  for (int i = 0; i < 50; ++i) {
+    swift.on_ack(ack(now, SimTime::microseconds(60)));
+    now += SimTime::microseconds(10);
+  }
+  const double grown = swift.cwnd_segments();
+  for (int i = 0; i < 50; ++i) {
+    swift.on_ack(ack(now, SimTime::milliseconds(2)));  // far above target
+    now += SimTime::microseconds(200);
+  }
+  EXPECT_LT(swift.cwnd_segments(), grown);
+}
+
+TEST(Swift, DecreaseRateLimitedToOncePerRtt) {
+  Swift swift(config());
+  SimTime now = SimTime::microseconds(100);
+  for (int i = 0; i < 50; ++i) {
+    swift.on_ack(ack(now, SimTime::microseconds(60)));
+    now += SimTime::microseconds(10);
+  }
+  const double before = swift.cwnd_segments();
+  // Two over-target ACKs back-to-back: only the first may cut.
+  swift.on_ack(ack(now, SimTime::milliseconds(1)));
+  const double after_one = swift.cwnd_segments();
+  swift.on_ack(ack(now + SimTime::microseconds(1), SimTime::milliseconds(1)));
+  EXPECT_LT(after_one, before);
+  EXPECT_DOUBLE_EQ(swift.cwnd_segments(), after_one);
+}
+
+TEST(Swift, FlowScalingRaisesTargetForSmallWindows) {
+  Swift small(config());
+  CcaConfig big_config = config();
+  big_config.initial_cwnd = 1000;
+  Swift big(big_config);
+  EXPECT_GT(small.target_delay_sec(), big.target_delay_sec());
+}
+
+// --- DCQCN ---
+
+TEST(Dcqcn, StartsAtLineRate) {
+  Dcqcn d(config());
+  EXPECT_DOUBLE_EQ(d.pacing_rate_bps(), 10e9);
+}
+
+TEST(Dcqcn, CnpCutsRate) {
+  Dcqcn d(config());
+  d.on_ack(ack(SimTime::milliseconds(1), SimTime::microseconds(60), 2));
+  EXPECT_LT(d.pacing_rate_bps(), 10e9);
+  // alpha rose towards 1.
+  EXPECT_GT(d.alpha(), 0.9);
+}
+
+TEST(Dcqcn, CnpsCoalescedWithinWindow) {
+  Dcqcn d(config());
+  d.on_ack(ack(SimTime::milliseconds(1), SimTime::microseconds(60), 2));
+  const double after_one = d.pacing_rate_bps();
+  // 10 more marked ACKs within 50 us: no further cuts.
+  for (int i = 1; i <= 10; ++i) {
+    d.on_ack(ack(SimTime::milliseconds(1) + SimTime::microseconds(i),
+                 SimTime::microseconds(60), 2));
+  }
+  EXPECT_DOUBLE_EQ(d.pacing_rate_bps(), after_one);
+  // But a mark after the window cuts again.
+  d.on_ack(ack(SimTime::milliseconds(1) + SimTime::microseconds(60),
+               SimTime::microseconds(60), 2));
+  EXPECT_LT(d.pacing_rate_bps(), after_one);
+}
+
+TEST(Dcqcn, RateRecoversWithoutMarks) {
+  Dcqcn d(config());
+  SimTime now = SimTime::milliseconds(1);
+  d.on_ack(ack(now, SimTime::microseconds(60), 2));
+  const double cut = d.pacing_rate_bps();
+  // Clean ACKs for several milliseconds: fast recovery + additive stages.
+  for (int i = 0; i < 200; ++i) {
+    now += SimTime::microseconds(55);
+    d.on_ack(ack(now, SimTime::microseconds(60)));
+  }
+  EXPECT_GT(d.pacing_rate_bps(), cut * 1.5);
+}
+
+TEST(Dcqcn, AlphaDecaysWhenClean) {
+  Dcqcn d(config());
+  SimTime now = SimTime::milliseconds(1);
+  d.on_ack(ack(now, SimTime::microseconds(60), 2));
+  const double alpha_after_mark = d.alpha();
+  for (int i = 0; i < 100; ++i) {
+    now += SimTime::microseconds(55);
+    d.on_ack(ack(now, SimTime::microseconds(60)));
+  }
+  EXPECT_LT(d.alpha(), alpha_after_mark * 0.2);
+}
+
+// --- TIMELY ---
+
+TEST(Timely, AdditiveIncreaseBelowTlow) {
+  Timely t(config());
+  const double r0 = t.rate_bps();
+  SimTime now = SimTime::milliseconds(1);
+  for (int i = 0; i < 20; ++i) {
+    t.on_ack(ack(now, SimTime::microseconds(60)));  // < T_low = 100 us
+    now += SimTime::microseconds(20);
+  }
+  EXPECT_GT(t.rate_bps(), r0);
+}
+
+TEST(Timely, MultiplicativeDecreaseAboveThigh) {
+  Timely t(config());
+  SimTime now = SimTime::milliseconds(1);
+  for (int i = 0; i < 20; ++i) {
+    t.on_ack(ack(now, SimTime::microseconds(60)));
+    now += SimTime::microseconds(20);
+  }
+  const double grown = t.rate_bps();
+  for (int i = 0; i < 10; ++i) {
+    t.on_ack(ack(now, SimTime::milliseconds(2)));  // >> T_high = 500 us
+    now += SimTime::microseconds(20);
+  }
+  EXPECT_LT(t.rate_bps(), grown);
+}
+
+TEST(Timely, GradientReactsBetweenThresholds) {
+  Timely t(config());
+  SimTime now = SimTime::milliseconds(1);
+  // Prime with a mid-band RTT.
+  t.on_ack(ack(now, SimTime::microseconds(200)));
+  // Rising RTTs in the band -> positive gradient -> decrease.
+  double rtt_us = 200;
+  for (int i = 0; i < 10; ++i) {
+    now += SimTime::microseconds(20);
+    rtt_us += 30;
+    t.on_ack(ack(now, SimTime::nanoseconds(
+                          static_cast<std::int64_t>(rtt_us * 1000))));
+  }
+  const double after_rising = t.rate_bps();
+  // Falling RTTs -> negative gradient -> increase.
+  for (int i = 0; i < 10; ++i) {
+    now += SimTime::microseconds(20);
+    rtt_us -= 30;
+    t.on_ack(ack(now, SimTime::nanoseconds(
+                          static_cast<std::int64_t>(rtt_us * 1000))));
+  }
+  EXPECT_GT(t.rate_bps(), after_rising);
+}
+
+// --- HPCC (unit level) ---
+
+AckEvent int_ack(SimTime now, double tx_bytes, std::int64_t qlen,
+                 double link_bps, std::int64_t delivered) {
+  AckEvent ev = ack(now, SimTime::microseconds(60));
+  ev.delivered = delivered;
+  ev.int_count = 1;
+  ev.int_hops[0] = {tx_bytes, qlen, now - SimTime::microseconds(30),
+                    link_bps};
+  return ev;
+}
+
+TEST(Hpcc, ShrinksWhenLinkOverUtilized) {
+  Hpcc h(config());
+  const double w0 = h.cwnd_segments();
+  SimTime now = SimTime::milliseconds(1);
+  double tx = 0.0;
+  // Deep queue + txRate ~ link rate: U >> eta.
+  for (int i = 0; i < 40; ++i) {
+    tx += 125'000.0;  // 10G over 100 us intervals
+    h.on_ack(int_ack(now, tx, 200'000, 10e9, i * 2));
+    now += SimTime::microseconds(100);
+  }
+  EXPECT_LT(h.cwnd_segments(), w0);
+}
+
+TEST(Hpcc, GrowsWhenLinkUnderUtilized) {
+  Hpcc h(config());
+  SimTime now = SimTime::milliseconds(1);
+  double tx = 0.0;
+  // First drive it down...
+  for (int i = 0; i < 40; ++i) {
+    tx += 125'000.0;
+    h.on_ack(int_ack(now, tx, 200'000, 10e9, i * 2));
+    now += SimTime::microseconds(100);
+  }
+  const double low = h.cwnd_segments();
+  // ...then show an idle link: tiny txRate, empty queue.
+  for (int i = 0; i < 200; ++i) {
+    tx += 1'000.0;
+    h.on_ack(int_ack(now, tx, 0, 10e9, 100 + i * 2));
+    now += SimTime::microseconds(100);
+  }
+  EXPECT_GT(h.cwnd_segments(), low);
+}
+
+TEST(Hpcc, IgnoresAcksWithoutTelemetry) {
+  Hpcc h(config());
+  const double w0 = h.cwnd_segments();
+  h.on_ack(ack(SimTime::milliseconds(1), SimTime::microseconds(60)));
+  EXPECT_DOUBLE_EQ(h.cwnd_segments(), w0);
+}
+
+// --- end-to-end: all four complete transfers and INT flows through ---
+
+class DatacenterEndToEnd : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatacenterEndToEnd, CompletesAtBothMtus) {
+  for (int mtu : {1500, 9000}) {
+    app::ScenarioConfig cfg;
+    cfg.tcp.mtu_bytes = mtu;
+    cfg.seed = 13;
+    app::Scenario scenario(cfg);
+    app::FlowSpec flow;
+    flow.cca = GetParam();
+    flow.bytes = 125'000'000;
+    scenario.add_flow(flow);
+    const auto r = scenario.run();
+    ASSERT_TRUE(r.all_completed) << GetParam() << " mtu " << mtu;
+    EXPECT_GT(r.flows[0].avg_gbps, 1.0) << GetParam() << " mtu " << mtu;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFour, DatacenterEndToEnd,
+                         ::testing::Values("swift", "dcqcn", "hpcc",
+                                           "timely"));
+
+TEST(Datacenter, HpccKeepsSwitchQueueShort) {
+  // HPCC's 95% target leaves headroom: the bottleneck queue should stay far
+  // shallower than a loss-based CCA's.
+  auto run = [](const std::string& cca) {
+    app::ScenarioConfig cfg;
+    cfg.tcp.mtu_bytes = 9000;
+    cfg.seed = 13;
+    app::Scenario scenario(cfg);
+    app::FlowSpec flow;
+    flow.cca = cca;
+    flow.bytes = 250'000'000;
+    scenario.add_flow(flow);
+    return scenario.run();
+  };
+  const auto hpcc = run("hpcc");
+  const auto cubic = run("cubic");
+  ASSERT_TRUE(hpcc.all_completed);
+  EXPECT_LT(hpcc.bottleneck.max_bytes_seen, cubic.bottleneck.max_bytes_seen);
+  EXPECT_EQ(hpcc.bottleneck.dropped, 0u);
+}
+
+}  // namespace
+}  // namespace greencc::cca

@@ -1,0 +1,112 @@
+#include "cca/dctcp.h"
+
+#include <gtest/gtest.h>
+
+namespace greencc::cca {
+namespace {
+
+using sim::SimTime;
+
+CcaConfig config() {
+  CcaConfig c;
+  c.mss_bytes = 1448;
+  c.initial_cwnd = 10;
+  return c;
+}
+
+AckEvent ack_marked(std::int64_t acked, std::int64_t marked,
+                    std::int64_t delivered) {
+  AckEvent ev;
+  ev.now = SimTime::milliseconds(1);
+  ev.acked_segments = acked;
+  ev.ecn_echoed = marked;
+  ev.rtt = SimTime::microseconds(100);
+  ev.srtt = SimTime::microseconds(100);
+  ev.min_rtt = SimTime::microseconds(100);
+  ev.inflight = 20;
+  ev.delivered = delivered;
+  return ev;
+}
+
+TEST(Dctcp, WantsEcn) {
+  Dctcp d(config());
+  EXPECT_TRUE(d.wants_ecn());
+}
+
+TEST(Dctcp, AlphaStartsConservative) {
+  Dctcp d(config());
+  EXPECT_DOUBLE_EQ(d.alpha(), 1.0);
+}
+
+// Deliver one full window per step so the per-window alpha update fires
+// every iteration (a window boundary is one cwnd of delivered data).
+void run_windows(Dctcp& d, int windows, double mark_fraction,
+                 std::int64_t& delivered) {
+  for (int w = 0; w < windows; ++w) {
+    const auto acked =
+        static_cast<std::int64_t>(d.cwnd_segments()) + 1;
+    delivered += acked;
+    const auto marked =
+        static_cast<std::int64_t>(mark_fraction * static_cast<double>(acked));
+    d.on_ack(ack_marked(acked, marked, delivered));
+  }
+}
+
+TEST(Dctcp, AlphaDecaysWithoutMarks) {
+  Dctcp d(config());
+  std::int64_t delivered = 0;
+  run_windows(d, 60, 0.0, delivered);
+  // alpha *= (15/16) per unmarked window: after 60 windows ~0.02.
+  EXPECT_LT(d.alpha(), 0.05);
+}
+
+TEST(Dctcp, AlphaConvergesToMarkFraction) {
+  Dctcp d(config());
+  std::int64_t delivered = 0;
+  // Persistently mark 25% of each window.
+  run_windows(d, 200, 0.25, delivered);
+  EXPECT_NEAR(d.alpha(), 0.25, 0.05);
+}
+
+TEST(Dctcp, ProportionalDecreaseGentlerThanHalving) {
+  // With a small alpha, the multiplicative decrease (1 - alpha/2) barely
+  // moves the window — DCTCP's core property.
+  Dctcp d(config());
+  std::int64_t delivered = 0;
+  // Drive alpha down with unmarked windows while growing the window.
+  run_windows(d, 60, 0.0, delivered);
+  const double alpha = d.alpha();
+  ASSERT_LT(alpha, 0.1);
+  const double before = d.cwnd_segments();
+  const auto acked = static_cast<std::int64_t>(before) + 1;
+  delivered += acked;
+  d.on_ack(ack_marked(acked, 3, delivered));  // marked window -> decrease
+  const double after = d.cwnd_segments();
+  EXPECT_GT(after, before * (1.0 - alpha / 2.0) - 1.0);
+  EXPECT_GT(after, before * 0.8);  // far gentler than Reno's halving
+}
+
+TEST(Dctcp, FullMarkingKeepsAlphaAtOne) {
+  // alpha ~= 1 with every segment marked: decrease approaches halving.
+  Dctcp d(config());
+  std::int64_t delivered = 0;
+  run_windows(d, 30, 1.0, delivered);
+  EXPECT_NEAR(d.alpha(), 1.0, 0.05);
+}
+
+TEST(Dctcp, LossFallsBackToReno) {
+  Dctcp d(config());
+  std::int64_t delivered = 0;
+  for (int i = 0; i < 90; ++i) {
+    d.on_ack(ack_marked(1, 0, ++delivered));
+  }
+  const double before = d.cwnd_segments();
+  LossEvent ev;
+  ev.now = SimTime::milliseconds(2);
+  ev.inflight = static_cast<std::int64_t>(before);
+  d.on_loss(ev);
+  EXPECT_NEAR(d.cwnd_segments(), before / 2.0, 1.0);
+}
+
+}  // namespace
+}  // namespace greencc::cca

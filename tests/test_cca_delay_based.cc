@@ -1,0 +1,120 @@
+// Vegas: delay-based congestion avoidance.
+
+#include <gtest/gtest.h>
+
+#include "cca/vegas.h"
+
+namespace greencc::cca {
+namespace {
+
+using sim::SimTime;
+
+CcaConfig config() {
+  CcaConfig c;
+  c.mss_bytes = 1448;
+  c.initial_cwnd = 10;
+  return c;
+}
+
+// Emit one RTT epoch worth of ACKs with a given measured RTT; Vegas adjusts
+// once per epoch.
+void run_epoch(Vegas& v, SimTime& now, SimTime rtt, int acks = 10) {
+  for (int i = 0; i < acks; ++i) {
+    AckEvent ev;
+    ev.now = now;
+    ev.acked_segments = 1;
+    ev.rtt = rtt;
+    ev.srtt = rtt;
+    ev.min_rtt = rtt;
+    ev.inflight = 10;
+    ev.delivered = 1;
+    v.on_ack(ev);
+  }
+  now += rtt;
+}
+
+TEST(Vegas, ExitsSlowStartThenHoldsWithLowDelay) {
+  Vegas v(config());
+  // Leave slow start via a loss.
+  LossEvent loss;
+  loss.now = SimTime::milliseconds(1);
+  loss.inflight = 20;
+  v.on_loss(loss);
+  const double w0 = v.cwnd_segments();
+  EXPECT_LT(w0, 20.0);
+}
+
+TEST(Vegas, GrowsWhenQueueingDelayLow) {
+  Vegas v(config());
+  LossEvent loss;
+  loss.now = SimTime::zero();
+  loss.inflight = 20;
+  v.on_loss(loss);  // leave slow start (ssthresh = cwnd)
+  const double w0 = v.cwnd_segments();
+
+  SimTime now = SimTime::milliseconds(1);
+  const SimTime base = SimTime::microseconds(100);
+  // RTT equals baseRTT: diff = 0 < alpha, so +1 segment per epoch.
+  for (int e = 0; e < 5; ++e) run_epoch(v, now, base);
+  EXPECT_NEAR(v.cwnd_segments(), w0 + 4.0, 1.5);
+}
+
+TEST(Vegas, ShrinksWhenQueueingDelayHigh) {
+  Vegas v(config());
+  LossEvent loss;
+  loss.now = SimTime::zero();
+  loss.inflight = 20;
+  v.on_loss(loss);
+  SimTime now = SimTime::milliseconds(1);
+  const SimTime base = SimTime::microseconds(100);
+  run_epoch(v, now, base);  // establish baseRTT
+
+  const double w0 = v.cwnd_segments();
+  // RTT is now 2x base: diff = cwnd*(rtt-base)/rtt = cwnd/2 > beta.
+  for (int e = 0; e < 5; ++e) {
+    run_epoch(v, now, SimTime::microseconds(200));
+  }
+  EXPECT_LT(v.cwnd_segments(), w0);
+}
+
+TEST(Vegas, StableInsideAlphaBetaBand) {
+  Vegas v(config());
+  LossEvent loss;
+  loss.now = SimTime::zero();
+  loss.inflight = 20;
+  v.on_loss(loss);
+  SimTime now = SimTime::milliseconds(1);
+  const SimTime base = SimTime::microseconds(100);
+  run_epoch(v, now, base);
+  const double w = v.cwnd_segments();
+  // Choose an RTT so that diff = w*(rtt-base)/rtt lands between alpha (2)
+  // and beta (4): rtt = base * w / (w - 3).
+  const auto rtt = SimTime::nanoseconds(
+      static_cast<std::int64_t>(base.ns() * w / (w - 3.0)));
+  for (int e = 0; e < 10; ++e) run_epoch(v, now, rtt);
+  EXPECT_NEAR(v.cwnd_segments(), w, 1.0);
+}
+
+TEST(Vegas, LossStillHalves) {
+  Vegas v(config());
+  // Slow start up.
+  SimTime now = SimTime::milliseconds(1);
+  for (int i = 0; i < 50; ++i) {
+    AckEvent ev;
+    ev.now = now;
+    ev.acked_segments = 1;
+    ev.rtt = SimTime::microseconds(100);
+    ev.srtt = SimTime::microseconds(100);
+    ev.inflight = 10;
+    v.on_ack(ev);
+  }
+  const double before = v.cwnd_segments();
+  LossEvent loss;
+  loss.now = now;
+  loss.inflight = static_cast<std::int64_t>(before);
+  v.on_loss(loss);
+  EXPECT_NEAR(v.cwnd_segments(), before / 2.0, 1.0);
+}
+
+}  // namespace
+}  // namespace greencc::cca

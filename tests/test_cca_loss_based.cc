@@ -1,0 +1,236 @@
+// Unit tests for the loss-based window algorithms sharing the
+// LossBasedCca machinery: Reno, Scalable, HighSpeed, Westwood and the
+// constant-cwnd baseline. CUBIC and DCTCP have dedicated files.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cca/cca.h"
+#include "cca/highspeed.h"
+#include "cca/reno.h"
+#include "cca/scalable.h"
+#include "cca/westwood.h"
+
+namespace greencc::cca {
+namespace {
+
+using sim::SimTime;
+
+CcaConfig config() {
+  CcaConfig c;
+  c.mss_bytes = 1448;
+  c.initial_cwnd = 10;
+  return c;
+}
+
+AckEvent ack_of(std::int64_t acked, std::int64_t inflight = 10,
+                SimTime now = SimTime::milliseconds(1)) {
+  AckEvent ev;
+  ev.now = now;
+  ev.acked_segments = acked;
+  ev.rtt = SimTime::microseconds(100);
+  ev.srtt = SimTime::microseconds(100);
+  ev.min_rtt = SimTime::microseconds(100);
+  ev.inflight = inflight;
+  ev.delivered = acked;
+  return ev;
+}
+
+LossEvent loss_of(std::int64_t inflight) {
+  LossEvent ev;
+  ev.now = SimTime::milliseconds(1);
+  ev.inflight = inflight;
+  ev.lost_segments = 1;
+  return ev;
+}
+
+// --- generic contract, parameterized over the loss-based family ---
+
+class LossBasedContract : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<CongestionControl> cc_ = make_cca(GetParam(), config());
+};
+
+TEST_P(LossBasedContract, StartsAtInitialWindow) {
+  EXPECT_DOUBLE_EQ(cc_->cwnd_segments(), 10.0);
+}
+
+TEST_P(LossBasedContract, SlowStartDoublesPerRtt) {
+  // One ACK per delivered segment: cwnd should grow by ~1 per ACK in slow
+  // start (exponential per RTT).
+  const double before = cc_->cwnd_segments();
+  for (int i = 0; i < 10; ++i) cc_->on_ack(ack_of(1));
+  EXPECT_NEAR(cc_->cwnd_segments(), before + 10.0, 1e-9);
+}
+
+TEST_P(LossBasedContract, LossShrinksWindow) {
+  for (int i = 0; i < 30; ++i) cc_->on_ack(ack_of(1));
+  const double before = cc_->cwnd_segments();
+  cc_->on_loss(loss_of(static_cast<std::int64_t>(before)));
+  EXPECT_LT(cc_->cwnd_segments(), before);
+  EXPECT_GE(cc_->cwnd_segments(), 2.0);
+}
+
+TEST_P(LossBasedContract, RtoCollapsesToOneSegment) {
+  for (int i = 0; i < 30; ++i) cc_->on_ack(ack_of(1));
+  cc_->on_rto(SimTime::milliseconds(5));
+  EXPECT_DOUBLE_EQ(cc_->cwnd_segments(), 1.0);
+}
+
+TEST_P(LossBasedContract, WindowNeverBelowOne) {
+  for (int i = 0; i < 5; ++i) {
+    cc_->on_rto(SimTime::milliseconds(i + 1));
+    cc_->on_loss(loss_of(1));
+    EXPECT_GE(cc_->cwnd_segments(), 1.0);
+  }
+}
+
+TEST_P(LossBasedContract, RecoveryFreezesGrowth) {
+  for (int i = 0; i < 20; ++i) cc_->on_ack(ack_of(1));
+  const double before = cc_->cwnd_segments();
+  auto ev = ack_of(1);
+  ev.in_recovery = true;
+  for (int i = 0; i < 10; ++i) cc_->on_ack(ev);
+  EXPECT_DOUBLE_EQ(cc_->cwnd_segments(), before);
+}
+
+TEST_P(LossBasedContract, NoPacingByDefault) {
+  EXPECT_DOUBLE_EQ(cc_->pacing_rate_bps(), 0.0);
+}
+
+TEST_P(LossBasedContract, CostIsPositive) {
+  EXPECT_GT(cc_->cost().per_ack_ns, 0.0);
+  EXPECT_GE(cc_->cost().per_packet_ns, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, LossBasedContract,
+                         ::testing::Values("reno", "scalable", "highspeed",
+                                           "westwood"));
+
+// --- Reno specifics ---
+
+TEST(Reno, CongestionAvoidanceGrowsOnePerRtt) {
+  Reno reno(config());
+  for (int i = 0; i < 30; ++i) reno.on_ack(ack_of(1));  // slow start to 40
+  const double w = reno.cwnd_segments();
+  reno.on_loss(loss_of(static_cast<std::int64_t>(w)));  // enter CA
+  const double after_loss = reno.cwnd_segments();
+  EXPECT_NEAR(after_loss, w / 2.0, 1.0);
+  // One RTT worth of ACKs (cwnd segments) grows the window by ~1.
+  const int acks = static_cast<int>(after_loss);
+  for (int i = 0; i < acks; ++i) reno.on_ack(ack_of(1));
+  EXPECT_NEAR(reno.cwnd_segments(), after_loss + 1.0, 0.1);
+}
+
+TEST(Reno, HalvesOnLoss) {
+  Reno reno(config());
+  for (int i = 0; i < 54; ++i) reno.on_ack(ack_of(1));
+  EXPECT_NEAR(reno.cwnd_segments(), 64.0, 1e-9);
+  reno.on_loss(loss_of(64));
+  EXPECT_NEAR(reno.cwnd_segments(), 32.0, 1e-9);
+}
+
+// --- Scalable specifics ---
+
+TEST(Scalable, MimdGrowth) {
+  Scalable s(config());
+  for (int i = 0; i < 90; ++i) s.on_ack(ack_of(1));  // slow start to 100
+  s.on_loss(loss_of(100));
+  const double w0 = s.cwnd_segments();
+  EXPECT_NEAR(w0, 87.5, 0.5);  // 0.875 decrease
+  for (int i = 0; i < 100; ++i) s.on_ack(ack_of(1));
+  // +0.01 per acked segment.
+  EXPECT_NEAR(s.cwnd_segments(), w0 + 1.0, 1e-6);
+}
+
+// --- HighSpeed specifics ---
+
+TEST(HighSpeed, RenoCompatibleAtSmallWindows) {
+  EXPECT_DOUBLE_EQ(HighSpeed::a_of_w(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(HighSpeed::b_of_w(10.0), 0.5);
+  EXPECT_DOUBLE_EQ(HighSpeed::a_of_w(38.0), 1.0);
+  EXPECT_DOUBLE_EQ(HighSpeed::b_of_w(38.0), 0.5);
+}
+
+TEST(HighSpeed, IncreaseGrowsWithWindow) {
+  double prev = HighSpeed::a_of_w(50.0);
+  for (double w : {100.0, 1000.0, 10000.0, 83000.0}) {
+    const double a = HighSpeed::a_of_w(w);
+    EXPECT_GT(a, prev) << "w=" << w;
+    prev = a;
+  }
+}
+
+TEST(HighSpeed, DecreaseShrinksWithWindow) {
+  double prev = HighSpeed::b_of_w(50.0);
+  for (double w : {100.0, 1000.0, 10000.0, 83000.0}) {
+    const double b = HighSpeed::b_of_w(w);
+    EXPECT_LT(b, prev) << "w=" << w;
+    EXPECT_GE(b, 0.1);
+    prev = b;
+  }
+}
+
+TEST(HighSpeed, Rfc3649ReferencePoint) {
+  // RFC 3649: at the reference window 83000, b(w) bottoms out at 0.1 and
+  // a(w) lands in the tens.
+  EXPECT_NEAR(HighSpeed::b_of_w(83000.0), 0.1, 1e-9);
+  EXPECT_GT(HighSpeed::a_of_w(83000.0), 50.0);
+  EXPECT_LT(HighSpeed::a_of_w(83000.0), 90.0);
+}
+
+// --- Westwood specifics ---
+
+TEST(Westwood, BandwidthEstimateConverges) {
+  Westwood w(config());
+  // Deliver 100 segments per 1 ms RTT: 1448*8*100 / 1 ms = 1.158 Gb/s.
+  SimTime now = SimTime::zero();
+  for (int rtt = 0; rtt < 50; ++rtt) {
+    for (int i = 0; i < 100; ++i) {
+      auto ev = ack_of(1, 100, now);
+      ev.srtt = SimTime::milliseconds(1);
+      w.on_ack(ev);
+    }
+    now += SimTime::milliseconds(1);
+  }
+  EXPECT_NEAR(w.bandwidth_estimate_bps(), 1448 * 8 * 100 * 1000.0, 2e8);
+}
+
+TEST(Westwood, LossSetsWindowToBdp) {
+  Westwood w(config());
+  SimTime now = SimTime::zero();
+  for (int rtt = 0; rtt < 50; ++rtt) {
+    for (int i = 0; i < 100; ++i) {
+      auto ev = ack_of(1, 100, now);
+      ev.srtt = SimTime::milliseconds(1);
+      ev.rtt = SimTime::milliseconds(1);
+      ev.min_rtt = SimTime::milliseconds(1);
+      w.on_ack(ev);
+    }
+    now += SimTime::milliseconds(1);
+  }
+  w.on_loss(loss_of(200));
+  // BWE * RTTmin / MSS ~= 100 segments.
+  EXPECT_NEAR(w.cwnd_segments(), 100.0, 15.0);
+}
+
+// --- baseline ---
+
+TEST(Baseline, WindowNeverMoves) {
+  ConstantCwndBaseline base(config(), 10'000.0);
+  EXPECT_DOUBLE_EQ(base.cwnd_segments(), 10'000.0);
+  base.on_ack(ack_of(100));
+  base.on_loss(loss_of(10'000));
+  base.on_rto(SimTime::seconds(1.0));
+  EXPECT_DOUBLE_EQ(base.cwnd_segments(), 10'000.0);
+}
+
+TEST(Baseline, CheapestPerAck) {
+  ConstantCwndBaseline base(config());
+  Reno reno(config());
+  EXPECT_LT(base.cost().per_ack_ns, reno.cost().per_ack_ns);
+}
+
+}  // namespace
+}  // namespace greencc::cca

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cca/cca.h"
+
+namespace greencc::cca {
+namespace {
+
+TEST(Registry, ListsAllTenAlgorithmsOfThePaper) {
+  const auto& names = all_names();
+  EXPECT_EQ(names.size(), 10u);
+  for (const char* expected :
+       {"reno", "cubic", "dctcp", "bbr", "bbr2", "vegas", "scalable",
+        "westwood", "highspeed", "baseline"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(Registry, ConstructsEveryListedAlgorithm) {
+  for (const auto& name : all_names()) {
+    auto cc = make_cca(name, CcaConfig{});
+    ASSERT_NE(cc, nullptr) << name;
+    EXPECT_EQ(cc->name(), name);
+    EXPECT_GE(cc->cwnd_segments(), 1.0) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_cca("quic-magic", CcaConfig{}), std::invalid_argument);
+  EXPECT_THROW(make_cca("", CcaConfig{}), std::invalid_argument);
+}
+
+TEST(Registry, OnlyDctcpWantsEcn) {
+  for (const auto& name : all_names()) {
+    auto cc = make_cca(name, CcaConfig{});
+    EXPECT_EQ(cc->wants_ecn(), name == "dctcp") << name;
+  }
+}
+
+TEST(Registry, OnlyBbrFamilyPaces) {
+  for (const auto& name : all_names()) {
+    auto cc = make_cca(name, CcaConfig{});
+    const bool paces = cc->pacing_rate_bps() > 0.0;
+    EXPECT_EQ(paces, name == "bbr" || name == "bbr2") << name;
+  }
+}
+
+TEST(Registry, InitialCwndHonoured) {
+  CcaConfig config;
+  config.initial_cwnd = 4;
+  for (const auto& name : all_names()) {
+    if (name == "baseline" || name == "bbr" || name == "bbr2") continue;
+    auto cc = make_cca(name, config);
+    EXPECT_DOUBLE_EQ(cc->cwnd_segments(), 4.0) << name;
+  }
+}
+
+TEST(Registry, DistinctInstancesAreIndependent) {
+  auto a = make_cca("reno", CcaConfig{});
+  auto b = make_cca("reno", CcaConfig{});
+  AckEvent ev;
+  ev.now = sim::SimTime::milliseconds(1);
+  ev.acked_segments = 5;
+  a->on_ack(ev);
+  EXPECT_GT(a->cwnd_segments(), b->cwnd_segments());
+}
+
+}  // namespace
+}  // namespace greencc::cca

@@ -1,0 +1,51 @@
+// Smoke tests for the greencc_run CLI: flags parse, runs complete, JSON is
+// written. The binary path is injected by CMake.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string(GREENCC_RUN_PATH) + " " + args + " > /dev/null 2>&1";
+  return std::system(cmd.c_str());
+}
+
+TEST(Cli, HelpAndListExitCleanly) {
+  EXPECT_EQ(run_cli("--help"), 0);
+  EXPECT_EQ(run_cli("--list-ccas"), 0);
+}
+
+TEST(Cli, UnknownFlagFails) { EXPECT_NE(run_cli("--frobnicate"), 0); }
+
+TEST(Cli, UnknownCcaFails) {
+  EXPECT_NE(run_cli("--cca not-a-cca --bytes 1e6"), 0);
+}
+
+TEST(Cli, RunsAndWritesJson) {
+  const std::string json = ::testing::TempDir() + "/cli_out.json";
+  ASSERT_EQ(run_cli("--cca cubic --bytes 5e7 --json " + json), 0);
+  std::ifstream in(json);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  EXPECT_NE(doc.find("\"cca\":\"cubic\""), std::string::npos);
+  EXPECT_NE(doc.find("\"all_completed\":true"), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST(Cli, SrptScheduleWithSizes) {
+  EXPECT_EQ(run_cli("--schedule srpt --sizes 5e7,2e7,1e7"), 0);
+}
+
+TEST(Cli, FsiScheduleMultiFlow) {
+  EXPECT_EQ(run_cli("--flows 2 --schedule fsi --bytes 5e7"), 0);
+}
+
+}  // namespace

@@ -1,0 +1,255 @@
+// Tests for the analysis half of the core library: the Fig 1 closed-form
+// allocation sweep, the flow schedulers, the fleet savings estimator and the
+// cross-metric efficiency report.
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.h"
+#include "core/efficiency.h"
+#include "core/estimator.h"
+#include "core/scheduler.h"
+
+namespace greencc::core {
+namespace {
+
+AllocationAnalysis analysis() {
+  const energy::PowerCalibration calib;
+  return AllocationAnalysis(energy::PackagePowerModel{}, 10e9,
+                            calib.fig2_util_per_gbps,
+                            calib.fig2_pps_per_gbps);
+}
+
+constexpr double kTenGbit = 10e9;  // bits per flow, as in Fig 1
+
+// --- AllocationAnalysis (Fig 1 closed form) ---
+
+TEST(Allocation, FairSplitHasZeroSavings) {
+  const auto r = analysis().energy_at_fraction(0.5, kTenGbit);
+  EXPECT_NEAR(r.savings_vs_fair, 0.0, 1e-9);
+  EXPECT_NEAR(r.duration_sec, 2.0, 1e-9);
+}
+
+TEST(Allocation, FullSpeedThenIdleSavesSixteenPercent) {
+  const auto r = analysis().energy_at_fraction(1.0, kTenGbit);
+  EXPECT_NEAR(r.savings_vs_fair, 0.163, 0.01);
+}
+
+TEST(Allocation, SavingsMonotoneInUnfairness) {
+  double prev = -1.0;
+  for (double f : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}) {
+    const auto r = analysis().energy_at_fraction(f, kTenGbit);
+    EXPECT_GT(r.savings_vs_fair, prev) << f;
+    prev = r.savings_vs_fair;
+  }
+}
+
+TEST(Allocation, DurationInvariant) {
+  // The bottleneck is work-conserving: every split finishes in 2 s.
+  for (double f : {0.5, 0.7, 0.9, 1.0}) {
+    EXPECT_NEAR(analysis().energy_at_fraction(f, kTenGbit).duration_sec, 2.0,
+                1e-9)
+        << f;
+  }
+}
+
+TEST(Allocation, OutOfRangeFractionThrows) {
+  EXPECT_THROW(analysis().energy_at_fraction(0.4, kTenGbit),
+               std::invalid_argument);
+  EXPECT_THROW(analysis().energy_at_fraction(1.1, kTenGbit),
+               std::invalid_argument);
+}
+
+TEST(Allocation, SweepMatchesPointQueries) {
+  const std::vector<double> fractions = {0.5, 0.75, 1.0};
+  const auto sweep = analysis().sweep(fractions, kTenGbit);
+  ASSERT_EQ(sweep.size(), 3u);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto point =
+        analysis().energy_at_fraction(fractions[i], kTenGbit);
+    EXPECT_DOUBLE_EQ(sweep[i].energy_joules, point.energy_joules);
+  }
+}
+
+TEST(Allocation, LoadedHostsShrinkSavings) {
+  const double idle = analysis().energy_at_fraction(1.0, kTenGbit, 0.0)
+                          .savings_vs_fair;
+  const double quarter = analysis().energy_at_fraction(1.0, kTenGbit, 0.25)
+                             .savings_vs_fair;
+  const double three_quarters =
+      analysis().energy_at_fraction(1.0, kTenGbit, 0.75).savings_vs_fair;
+  EXPECT_GT(idle, quarter);
+  EXPECT_GT(quarter, three_quarters);
+  EXPECT_NEAR(quarter, 0.01, 0.005);           // §4.2: ~1%
+  EXPECT_NEAR(three_quarters, 0.0017, 0.002);  // §4.2: ~0.17%
+}
+
+// --- Schedulers ---
+
+TEST(Scheduler, FairShareLeavesFlowsUnlimited) {
+  const auto specs =
+      make_schedule(Schedule::kFairShare, 3, 1'000'000, "cubic", 10e9);
+  ASSERT_EQ(specs.size(), 3u);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.rate_limit_bps, 0.0);
+    EXPECT_EQ(s.start_after_flow, -1);
+    EXPECT_EQ(s.cca, "cubic");
+  }
+}
+
+TEST(Scheduler, WeightedLimitsFirstFlow) {
+  const auto specs =
+      make_schedule(Schedule::kWeighted, 2, 1'000'000, "cubic", 10e9, 0.7);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_NEAR(specs[0].rate_limit_bps, 7e9, 1.0);
+  EXPECT_EQ(specs[1].rate_limit_bps, 0.0);
+}
+
+TEST(Scheduler, WeightedRequiresTwoFlows) {
+  EXPECT_THROW(
+      make_schedule(Schedule::kWeighted, 3, 1'000'000, "cubic", 10e9),
+      std::invalid_argument);
+}
+
+TEST(Scheduler, FullSpeedThenIdleChains) {
+  const auto specs = make_schedule(Schedule::kFullSpeedThenIdle, 4,
+                                   1'000'000, "cubic", 10e9);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].start_after_flow, -1);
+  EXPECT_EQ(specs[1].start_after_flow, 0);
+  EXPECT_EQ(specs[2].start_after_flow, 1);
+  EXPECT_EQ(specs[3].start_after_flow, 2);
+}
+
+TEST(Scheduler, Names) {
+  EXPECT_EQ(to_string(Schedule::kFairShare), "fair-share");
+  EXPECT_EQ(to_string(Schedule::kFullSpeedThenIdle), "full-speed-then-idle");
+  EXPECT_EQ(to_string(SizedSchedule::kSrptSerial), "srpt-serial");
+  EXPECT_EQ(to_string(SizedSchedule::kLongestFirst), "longest-first");
+}
+
+// --- sized schedules (SRPT and friends) ---
+
+TEST(SizedScheduler, FairShareRunsAllConcurrently) {
+  const auto specs = make_sized_schedule(SizedSchedule::kFairShare,
+                                         {100, 300, 200}, "cubic");
+  for (const auto& s : specs) EXPECT_EQ(s.start_after_flow, -1);
+}
+
+TEST(SizedScheduler, FifoChainsInInputOrder) {
+  const auto specs = make_sized_schedule(SizedSchedule::kFifoSerial,
+                                         {100, 300, 200}, "cubic");
+  EXPECT_EQ(specs[0].start_after_flow, -1);
+  EXPECT_EQ(specs[1].start_after_flow, 0);
+  EXPECT_EQ(specs[2].start_after_flow, 1);
+}
+
+TEST(SizedScheduler, SrptChainsShortestFirst) {
+  // Sizes 100 (idx 0), 300 (idx 1), 200 (idx 2): execution order 0, 2, 1.
+  const auto specs = make_sized_schedule(SizedSchedule::kSrptSerial,
+                                         {100, 300, 200}, "cubic");
+  EXPECT_EQ(specs[0].start_after_flow, -1);  // shortest starts first
+  EXPECT_EQ(specs[2].start_after_flow, 0);   // then 200 after 100
+  EXPECT_EQ(specs[1].start_after_flow, 2);   // then 300 after 200
+}
+
+TEST(SizedScheduler, LongestFirstReverses) {
+  const auto specs = make_sized_schedule(SizedSchedule::kLongestFirst,
+                                         {100, 300, 200}, "cubic");
+  EXPECT_EQ(specs[1].start_after_flow, -1);  // longest first
+  EXPECT_EQ(specs[2].start_after_flow, 1);
+  EXPECT_EQ(specs[0].start_after_flow, 2);
+}
+
+TEST(SizedScheduler, StableForTies) {
+  const auto specs = make_sized_schedule(SizedSchedule::kSrptSerial,
+                                         {100, 100, 100}, "cubic");
+  EXPECT_EQ(specs[0].start_after_flow, -1);
+  EXPECT_EQ(specs[1].start_after_flow, 0);
+  EXPECT_EQ(specs[2].start_after_flow, 1);
+}
+
+TEST(SizedScheduler, EmptyThrows) {
+  EXPECT_THROW(make_sized_schedule(SizedSchedule::kSrptSerial, {}, "cubic"),
+               std::invalid_argument);
+}
+
+// --- SavingsEstimator (§4.2's $10M/year) ---
+
+TEST(Estimator, PaperHeadlineNumber) {
+  SavingsEstimator est;
+  // "a 1% improvement corresponds to a cost savings of on the order of
+  // $10 million/year".
+  EXPECT_NEAR(est.usd_per_year(0.01), 10e6, 1e-6);
+}
+
+TEST(Estimator, ScalesLinearly) {
+  SavingsEstimator est;
+  EXPECT_DOUBLE_EQ(est.usd_per_year(0.16), 16.0 * est.usd_per_year(0.01));
+}
+
+TEST(Estimator, EnergyConversion) {
+  SavingsEstimator est;
+  // $10M/yr at $0.08/kWh = 125 GWh/yr.
+  EXPECT_NEAR(est.gwh_per_year(0.01), 125.0, 0.1);
+}
+
+// --- EfficiencyReport ---
+
+EfficiencyReport synthetic_grid() {
+  EfficiencyReport report;
+  // Two CCAs x two MTUs with an inverse energy/power relation.
+  report.add({.cca = "fast", .mtu_bytes = 1500, .energy_joules = 100.0,
+              .energy_stddev = 0.0, .power_watts = 40.0, .fct_sec = 10.0,
+              .retransmissions = 50.0});
+  report.add({.cca = "fast", .mtu_bytes = 9000, .energy_joules = 70.0,
+              .energy_stddev = 0.0, .power_watts = 36.0, .fct_sec = 7.0,
+              .retransmissions = 20.0});
+  report.add({.cca = "slow", .mtu_bytes = 1500, .energy_joules = 130.0,
+              .energy_stddev = 0.0, .power_watts = 39.0, .fct_sec = 14.0,
+              .retransmissions = 400.0});
+  report.add({.cca = "slow", .mtu_bytes = 9000, .energy_joules = 90.0,
+              .energy_stddev = 0.0, .power_watts = 35.0, .fct_sec = 9.0,
+              .retransmissions = 100.0});
+  return report;
+}
+
+TEST(Efficiency, NegativeEnergyPowerCorrelationWithinMtu) {
+  // At fixed MTU, lower power <=> longer runtime <=> more energy.
+  EXPECT_LT(synthetic_grid().corr_energy_power(1500), 0.0);
+  EXPECT_LT(synthetic_grid().corr_energy_power(9000), 0.0);
+}
+
+TEST(Efficiency, PooledCorrelationFlipsSign) {
+  // Pooled across MTUs the MTU effect dominates: high power and high
+  // energy move together (the small-MTU cells).
+  EXPECT_GT(synthetic_grid().corr_energy_power(0), 0.0);
+}
+
+TEST(Efficiency, PositiveEnergyFctCorrelation) {
+  EXPECT_GT(synthetic_grid().corr_energy_fct(), 0.9);
+}
+
+TEST(Efficiency, RetxCorrelationAndExclusion) {
+  auto report = synthetic_grid();
+  const double with_all = report.corr_energy_retx();
+  const double excluding = report.corr_energy_retx("slow");
+  EXPECT_GT(with_all, 0.0);
+  // Excluding a CCA leaves only the two "fast" cells.
+  EXPECT_NE(with_all, excluding);
+}
+
+TEST(Efficiency, MtuSavings) {
+  EXPECT_NEAR(synthetic_grid().mtu_savings("fast"), 0.3, 1e-9);
+  EXPECT_THROW(synthetic_grid().mtu_savings("nope"), std::invalid_argument);
+}
+
+TEST(Efficiency, SavingsVsBaseline) {
+  // "fast" uses (130-100)/130 less energy than "slow" at MTU 1500.
+  EXPECT_NEAR(synthetic_grid().savings_vs("fast", "slow", 1500), 30.0 / 130.0,
+              1e-9);
+  EXPECT_THROW(synthetic_grid().savings_vs("fast", "slow", 4242),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greencc::core

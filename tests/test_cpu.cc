@@ -1,0 +1,99 @@
+#include "energy/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace greencc::energy {
+namespace {
+
+using sim::SimTime;
+
+TEST(CpuCore, IdleCoreStartsImmediately) {
+  CpuCore core;
+  const SimTime done = core.acquire(SimTime::microseconds(10), 500.0);
+  EXPECT_EQ(done, SimTime::microseconds(10) + SimTime::nanoseconds(500));
+}
+
+TEST(CpuCore, BackToBackWorkSerializes) {
+  CpuCore core;
+  const SimTime t = SimTime::zero();
+  const SimTime d1 = core.acquire(t, 1000.0);
+  const SimTime d2 = core.acquire(t, 1000.0);
+  EXPECT_EQ(d1, SimTime::nanoseconds(1000));
+  EXPECT_EQ(d2, SimTime::nanoseconds(2000));
+}
+
+TEST(CpuCore, IdleGapResetsStart) {
+  CpuCore core;
+  core.acquire(SimTime::zero(), 1000.0);
+  // Next work arrives long after the first completes.
+  const SimTime done = core.acquire(SimTime::microseconds(10), 1000.0);
+  EXPECT_EQ(done, SimTime::microseconds(11));
+}
+
+TEST(CpuCore, BusyIntegralExactAcrossBacklog) {
+  CpuCore core;
+  core.acquire(SimTime::zero(), 10'000.0);  // busy until 10 us
+  // At t = 4 us, 4 us of work is complete, 6 us still backlogged.
+  EXPECT_DOUBLE_EQ(core.busy_ns_until(SimTime::microseconds(4)), 4'000.0);
+  EXPECT_DOUBLE_EQ(core.busy_ns_until(SimTime::microseconds(10)), 10'000.0);
+  // After completion the integral stays flat.
+  EXPECT_DOUBLE_EQ(core.busy_ns_until(SimTime::microseconds(20)), 10'000.0);
+}
+
+TEST(CpuCore, BusyIntegralMonotoneInEventOrder) {
+  // Interleave acquires and samples the way the simulator does: time only
+  // moves forward. The integral must be monotone and total to the assigned
+  // work.
+  CpuCore core;
+  double prev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    core.acquire(SimTime::microseconds(i * 2), 1500.0);
+    const double b = core.busy_ns_until(SimTime::microseconds(i * 2));
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_DOUBLE_EQ(core.busy_ns_until(SimTime::microseconds(100)), 15'000.0);
+}
+
+TEST(CpuCore, BusyAtReflectsBacklog) {
+  CpuCore core;
+  EXPECT_FALSE(core.busy_at(SimTime::zero()));
+  core.acquire(SimTime::zero(), 2'000.0);
+  EXPECT_TRUE(core.busy_at(SimTime::nanoseconds(1'000)));
+  EXPECT_FALSE(core.busy_at(SimTime::nanoseconds(2'000)));
+}
+
+TEST(CpuCore, JitterPerturbsWithinAmplitude) {
+  sim::Rng rng(99);
+  CpuCore core;
+  core.set_jitter(&rng, 0.1);
+  for (int i = 0; i < 1000; ++i) {
+    CpuCore fresh;
+    fresh.set_jitter(&rng, 0.1);
+    const SimTime done = fresh.acquire(SimTime::zero(), 1000.0);
+    EXPECT_GE(done.ns(), 900);
+    EXPECT_LE(done.ns(), 1100);
+  }
+}
+
+TEST(CpuCore, JitterIsDeterministicPerSeed) {
+  sim::Rng rng1(7), rng2(7);
+  CpuCore a, b;
+  a.set_jitter(&rng1, 0.05);
+  b.set_jitter(&rng2, 0.05);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.acquire(SimTime::zero(), 1000.0),
+              b.acquire(SimTime::zero(), 1000.0));
+  }
+}
+
+TEST(CpuCore, NoJitterByDefault) {
+  CpuCore core;
+  EXPECT_EQ(core.acquire(SimTime::zero(), 1234.0),
+            SimTime::nanoseconds(1234));
+}
+
+}  // namespace
+}  // namespace greencc::energy

@@ -1,0 +1,85 @@
+#include "stats/json.h"
+
+#include <gtest/gtest.h>
+
+namespace greencc::stats {
+namespace {
+
+TEST(Json, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(Json, ScalarFields) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "cubic");
+  w.field("count", std::int64_t{42});
+  w.field("watts", 35.5);
+  w.field("done", true);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"cubic\",\"count\":42,\"watts\":35.5,\"done\":true}");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("runs").begin_array();
+  w.begin_object().field("id", 1).end_object();
+  w.begin_object().field("id", 2).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"runs\":[{\"id\":1},{\"id\":2}]}");
+}
+
+TEST(Json, ArrayOfScalars) {
+  JsonWriter w;
+  w.begin_array().value(1).value(2).value(3).end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string("x\x01y")), "x\\u0001y");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array().value(1.0 / 0.0).value(0.0 / 0.0).end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, ValueWithoutKeyThrows) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.value(1), std::logic_error);
+}
+
+TEST(Json, KeyOutsideObjectThrows) {
+  JsonWriter w;
+  w.begin_array();
+  EXPECT_THROW(w.key("oops"), std::logic_error);
+}
+
+TEST(Json, MismatchedCloseThrows) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.end_array(), std::logic_error);
+}
+
+TEST(Json, UnclosedDocumentThrowsOnStr) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.str(), std::logic_error);
+}
+
+TEST(Json, WritingPastCompleteThrows) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_THROW(w.begin_object(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace greencc::stats

@@ -1,0 +1,125 @@
+#include "energy/meter.h"
+
+#include <gtest/gtest.h>
+
+#include "energy/power_model.h"
+#include "sim/simulator.h"
+
+namespace greencc::energy {
+namespace {
+
+using sim::SimTime;
+using sim::Simulator;
+
+TEST(Meter, IdleHostDrawsIdlePower) {
+  Simulator sim;
+  HostEnergyMeter meter(sim, PackagePowerModel{});
+  meter.start();
+  sim.run_until(SimTime::seconds(2.0));
+  meter.stop();
+  const PowerCalibration c;
+  EXPECT_NEAR(meter.joules(), c.idle_watts * 2.0, 0.01);
+  EXPECT_NEAR(meter.average_watts(), c.idle_watts, 0.01);
+}
+
+TEST(Meter, BusyCoreRaisesPower) {
+  Simulator sim;
+  HostEnergyMeter meter(sim, PackagePowerModel{});
+  CpuCore core;
+  meter.attach_core(&core);
+  meter.start();
+  // Keep the core 50% busy: 0.5 ms of work per 1 ms tick.
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule(SimTime::milliseconds(i), [&core, &sim] {
+      core.acquire(sim.now(), 0.5e6);
+    });
+  }
+  sim.run_until(SimTime::seconds(1.0));
+  meter.stop();
+  PackagePowerModel model{};
+  HostActivity half;
+  half.net_core_utils = {0.5};
+  EXPECT_NEAR(meter.average_watts(), model.watts(half), 0.2);
+}
+
+TEST(Meter, PacketAccountingDrivesPpsAndGbps) {
+  Simulator sim;
+  HostEnergyMeter meter(sim, PackagePowerModel{});
+  meter.start();
+  // 100k packets of 1250 B over 1 s = 100 kpps, 1 Gb/s.
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule(SimTime::milliseconds(i), [&meter] {
+      for (int k = 0; k < 100; ++k) meter.on_packet_sent(1250);
+    });
+  }
+  sim.run_until(SimTime::seconds(1.0));
+  meter.stop();
+  PackagePowerModel model{};
+  HostActivity expect;
+  expect.net_pps = 100'000;
+  expect.net_gbps = 1.0;
+  EXPECT_NEAR(meter.average_watts(), model.watts(expect), 0.2);
+}
+
+TEST(Meter, StressCoresCounted) {
+  Simulator sim;
+  HostEnergyMeter meter(sim, PackagePowerModel{});
+  meter.set_stress_cores(8);
+  meter.start();
+  sim.run_until(SimTime::seconds(1.0));
+  meter.stop();
+  const PowerCalibration c;
+  EXPECT_NEAR(meter.average_watts(), c.idle_watts + 8 * c.stress_core_watts,
+              0.05);
+}
+
+TEST(Meter, ReadEnergyMidRunIsPartial) {
+  Simulator sim;
+  HostEnergyMeter meter(sim, PackagePowerModel{});
+  meter.start();
+  std::uint64_t mid = 0;
+  sim.schedule(SimTime::seconds(1.0), [&] { mid = meter.read_energy_uj(); });
+  sim.run_until(SimTime::seconds(2.0));
+  const std::uint64_t end = meter.read_energy_uj();
+  const PowerCalibration c;
+  EXPECT_NEAR(static_cast<double>(mid) / 1e6, c.idle_watts, 0.05);
+  EXPECT_NEAR(static_cast<double>(end - mid) / 1e6, c.idle_watts, 0.05);
+}
+
+TEST(Meter, StopFreezesIntegration) {
+  Simulator sim;
+  HostEnergyMeter meter(sim, PackagePowerModel{});
+  meter.start();
+  sim.schedule(SimTime::seconds(1.0), [&] { meter.stop(); });
+  sim.run_until(SimTime::seconds(5.0));
+  const PowerCalibration c;
+  EXPECT_NEAR(meter.joules(), c.idle_watts * 1.0, 0.05);
+}
+
+TEST(Meter, RecordsPowerSamples) {
+  Simulator sim;
+  HostEnergyMeter meter(sim, PackagePowerModel{},
+                        SimTime::milliseconds(10));
+  meter.set_record_samples(true);
+  meter.start();
+  sim.run_until(SimTime::milliseconds(100));
+  meter.stop();
+  EXPECT_GE(meter.samples().size(), 9u);
+  for (const auto& s : meter.samples()) {
+    EXPECT_GT(s.watts, 0.0);
+  }
+}
+
+TEST(Meter, SubTickAccuracy) {
+  // Energy over a partial tick must still integrate correctly.
+  Simulator sim;
+  HostEnergyMeter meter(sim, PackagePowerModel{}, SimTime::milliseconds(10));
+  meter.start();
+  sim.run_until(SimTime::milliseconds(15));  // 1.5 ticks
+  meter.stop();
+  const PowerCalibration c;
+  EXPECT_NEAR(meter.joules(), c.idle_watts * 0.015, 1e-3);
+}
+
+}  // namespace
+}  // namespace greencc::energy

@@ -1,0 +1,144 @@
+#include "net/port.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace greencc::net {
+namespace {
+
+using sim::SimTime;
+using sim::Simulator;
+
+class Collector : public PacketHandler {
+ public:
+  explicit Collector(Simulator& sim) : sim_(sim) {}
+  void handle(Packet pkt) override {
+    arrivals.emplace_back(sim_.now(), pkt);
+  }
+  std::vector<std::pair<SimTime, Packet>> arrivals;
+
+ private:
+  Simulator& sim_;
+};
+
+Packet pkt_of(std::int64_t seq, std::int32_t size) {
+  Packet p;
+  p.seq = seq;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(QueuedPort, SerializationPlusPropagation) {
+  Simulator sim;
+  Collector sink(sim);
+  PortConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.propagation = SimTime::microseconds(5);
+  QueuedPort port(sim, "p", cfg, &sink);
+  port.handle(pkt_of(0, 1500));  // 1.2 us serialization
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].first,
+            SimTime::nanoseconds(1200) + SimTime::microseconds(5));
+}
+
+TEST(QueuedPort, BackToBackPacketsSpaceAtLineRate) {
+  Simulator sim;
+  Collector sink(sim);
+  PortConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.propagation = SimTime::zero();
+  QueuedPort port(sim, "p", cfg, &sink);
+  for (int i = 0; i < 3; ++i) port.handle(pkt_of(i, 1500));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(sink.arrivals[0].first, SimTime::nanoseconds(1200));
+  EXPECT_EQ(sink.arrivals[1].first, SimTime::nanoseconds(2400));
+  EXPECT_EQ(sink.arrivals[2].first, SimTime::nanoseconds(3600));
+}
+
+TEST(QueuedPort, PerPacketOverheadSlowsService) {
+  Simulator sim;
+  Collector sink(sim);
+  PortConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.propagation = SimTime::zero();
+  cfg.per_packet_ns = 800.0;
+  QueuedPort port(sim, "p", cfg, &sink);
+  port.handle(pkt_of(0, 1500));
+  sim.run();
+  EXPECT_EQ(sink.arrivals[0].first, SimTime::nanoseconds(2000));
+}
+
+TEST(QueuedPort, IdlePortResumesCleanly) {
+  Simulator sim;
+  Collector sink(sim);
+  PortConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.propagation = SimTime::zero();
+  QueuedPort port(sim, "p", cfg, &sink);
+  port.handle(pkt_of(0, 1500));
+  sim.run();
+  // Second packet long after the first drained.
+  sim.schedule(SimTime::microseconds(100) - sim.now(),
+               [&] { port.handle(pkt_of(1, 1500)); });
+  sim.run();
+  EXPECT_EQ(sink.arrivals[1].first,
+            SimTime::microseconds(100) + SimTime::nanoseconds(1200));
+}
+
+TEST(QueuedPort, TailDropWhenQueueFull) {
+  Simulator sim;
+  Collector sink(sim);
+  PortConfig cfg;
+  cfg.rate_bps = 1e9;
+  cfg.queue_capacity_bytes = 3000;
+  cfg.propagation = SimTime::zero();
+  QueuedPort port(sim, "p", cfg, &sink);
+  // First goes straight to the transmitter (leaves the queue immediately);
+  // next two fill the queue; the rest drop.
+  for (int i = 0; i < 6; ++i) port.handle(pkt_of(i, 1500));
+  sim.run();
+  EXPECT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(port.queue_stats().dropped, 3u);
+}
+
+TEST(QueuedPort, DropServicePenaltyDelaysNextPacket) {
+  Simulator sim;
+  Collector sink(sim);
+  PortConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.propagation = SimTime::zero();
+  cfg.queue_capacity_bytes = 1500;  // room for exactly one queued packet
+  cfg.drop_service_ns = 1000.0;
+  QueuedPort port(sim, "p", cfg, &sink);
+  port.handle(pkt_of(0, 1500));  // transmitting
+  port.handle(pkt_of(1, 1500));  // queued
+  port.handle(pkt_of(2, 1500));  // dropped -> 1000 ns penalty
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].first, SimTime::nanoseconds(1200));
+  // Packet 1's service charges the accumulated drop penalty.
+  EXPECT_EQ(sink.arrivals[1].first, SimTime::nanoseconds(1200 + 1200 + 1000));
+}
+
+TEST(QueuedPort, TransmitCallbackSeesWireBytes) {
+  Simulator sim;
+  Collector sink(sim);
+  PortConfig cfg;
+  QueuedPort port(sim, "p", cfg, &sink);
+  std::int64_t seen = 0;
+  port.set_on_transmit([&](std::int64_t b) { seen += b; });
+  port.handle(pkt_of(0, 1500));
+  port.handle(pkt_of(1, 9000));
+  sim.run();
+  EXPECT_EQ(seen, 10'500);
+  EXPECT_EQ(port.bytes_sent(), 10'500);
+  EXPECT_EQ(port.packets_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace greencc::net

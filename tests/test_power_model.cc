@@ -1,0 +1,168 @@
+#include "energy/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/stats.h"
+
+namespace greencc::energy {
+namespace {
+
+// The Fig 2 operating point: a CUBIC sender at MTU 9000 (see calibration.h).
+PackagePowerModel model() { return PackagePowerModel{}; }
+
+double p(double gbps, double load = 0.0) {
+  const PowerCalibration c;
+  return model().single_flow_watts(gbps, c.fig2_util_per_gbps,
+                                   c.fig2_pps_per_gbps, load);
+}
+
+// --- The paper's published anchors (Fig 2 / §4.1) ---
+
+TEST(PowerModel, IdleAnchor) { EXPECT_NEAR(p(0.0), 21.49, 0.01); }
+
+TEST(PowerModel, FiveGbpsAnchor) { EXPECT_NEAR(p(5.0), 34.23, 0.05); }
+
+TEST(PowerModel, TenGbpsAnchor) { EXPECT_NEAR(p(10.0), 35.82, 0.05); }
+
+TEST(PowerModel, MarginalPowerDecreases) {
+  // §4.1: +5 Gb/s from idle costs ~12.7 W (+60%), +5 Gb/s from 5 Gb/s only
+  // ~1.6 W (+5%).
+  EXPECT_NEAR(p(5.0) - p(0.0), 12.74, 0.1);
+  EXPECT_NEAR(p(10.0) - p(5.0), 1.59, 0.1);
+}
+
+TEST(PowerModel, StrictlyConcaveInThroughput) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 40; ++i) {
+    xs.push_back(i * 0.25);
+    ys.push_back(p(i * 0.25));
+  }
+  EXPECT_TRUE(stats::is_strictly_concave(xs, ys));
+}
+
+TEST(PowerModel, MonotoneIncreasingInThroughput) {
+  double prev = p(0.0);
+  for (int i = 1; i <= 40; ++i) {
+    const double cur = p(i * 0.25);
+    EXPECT_GT(cur, prev) << "at " << i * 0.25 << " Gb/s";
+    prev = cur;
+  }
+}
+
+// --- The Fig 1 / Theorem 1 consequence, closed form ---
+
+TEST(PowerModel, FullSpeedThenIdleBeatsFairBy16Percent) {
+  // Two flows, 10 Gbit each, 10 Gb/s link. Fair: both at 5 for 2 s.
+  // FSI: each host at 10 for 1 s + idle for 1 s.
+  const double fair = 2.0 * p(5.0) * 2.0;
+  const double fsi = 2.0 * (p(10.0) * 1.0 + p(0.0) * 1.0);
+  const double savings = (fair - fsi) / fair;
+  EXPECT_NEAR(savings, 0.163, 0.01);  // the paper reports 16%
+}
+
+// --- Composition ---
+
+TEST(PowerModel, StressCoresAddLinearly) {
+  HostActivity idle;
+  HostActivity stressed;
+  stressed.stress_cores = 8;
+  const PowerCalibration c;
+  EXPECT_NEAR(model().watts(stressed) - model().watts(idle),
+              8 * c.stress_core_watts, 1e-9);
+}
+
+TEST(PowerModel, PpsTermIsLinear) {
+  HostActivity a, b;
+  a.net_pps = 100'000;
+  b.net_pps = 200'000;
+  const PowerCalibration c;
+  const double base = model().watts(HostActivity{});
+  EXPECT_NEAR(model().watts(a) - base, c.omega_watts_per_pps * 1e5, 1e-9);
+  EXPECT_NEAR(model().watts(b) - model().watts(a),
+              c.omega_watts_per_pps * 1e5, 1e-9);
+}
+
+TEST(PowerModel, MultipleCoresSum) {
+  HostActivity one, two;
+  one.net_core_utils = {0.5};
+  two.net_core_utils = {0.5, 0.5};
+  const double base = model().watts(HostActivity{});
+  const double one_core = model().watts(one) - base;
+  const double two_cores = model().watts(two) - base;
+  EXPECT_NEAR(two_cores, 2.0 * one_core, 1e-9);
+}
+
+TEST(PowerModel, UtilizationClamped) {
+  // A core cannot contribute more than f(1).
+  EXPECT_DOUBLE_EQ(model().core_power(1.5), model().core_power(1.0));
+  EXPECT_DOUBLE_EQ(model().core_power(-0.5), model().core_power(0.0));
+  EXPECT_DOUBLE_EQ(model().core_power(0.0), 0.0);
+}
+
+// --- phi(L): the loaded-host attenuation (§4.2) ---
+
+TEST(PowerModel, PhiNearOneWhenIdle) { EXPECT_NEAR(model().phi(0.0), 1.0, 0.01); }
+
+TEST(PowerModel, PhiMonotoneDecreasing) {
+  double prev = model().phi(0.0);
+  for (int i = 1; i <= 10; ++i) {
+    const double cur = model().phi(i * 0.1);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PowerModel, PhiStaysPositive) {
+  EXPECT_GT(model().phi(1.0), 0.0);
+}
+
+// §4.2's savings triple: the FSI saving collapses to ~1% at 25% load and
+// ~0.17% at 75% load.
+class LoadedSavings
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(LoadedSavings, MatchesPaper) {
+  const auto [load, expected, tol] = GetParam();
+  const double fair = 2.0 * p(5.0, load) * 2.0;
+  const double fsi = 2.0 * (p(10.0, load) + p(0.0, load));
+  const double savings = (fair - fsi) / fair;
+  EXPECT_NEAR(savings, expected, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTriple, LoadedSavings,
+    ::testing::Values(std::make_tuple(0.0, 0.163, 0.01),
+                      std::make_tuple(0.25, 0.01, 0.005),
+                      std::make_tuple(0.75, 0.0017, 0.002)));
+
+// Savings must decrease monotonically with background load.
+TEST(PowerModel, SavingsShrinkWithLoad) {
+  double prev = 1.0;
+  for (double load : {0.0, 0.125, 0.25, 0.5, 0.75, 1.0}) {
+    const double fair = 2.0 * p(5.0, load) * 2.0;
+    const double fsi = 2.0 * (p(10.0, load) + p(0.0, load));
+    const double savings = (fair - fsi) / fair;
+    EXPECT_LT(savings, prev) << "load " << load;
+    EXPECT_GE(savings, 0.0) << "load " << load;
+    prev = savings;
+  }
+}
+
+// Fig 4's absolute levels: ~100 W at 75% load with idle network, ~120 W at
+// 10 Gb/s.
+TEST(PowerModel, LoadedHostAbsoluteLevels) {
+  EXPECT_NEAR(p(0.0, 0.75), 100.7, 3.0);
+  EXPECT_NEAR(p(10.0, 0.75), 121.0, 4.0);
+}
+
+TEST(PowerModel, CalibrationIsAdjustable) {
+  PowerCalibration calib;
+  calib.idle_watts = 50.0;
+  PackagePowerModel custom(calib);
+  EXPECT_NEAR(custom.watts(HostActivity{}), 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace greencc::energy

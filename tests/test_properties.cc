@@ -1,0 +1,180 @@
+// Cross-cutting property tests: invariants that must hold for every
+// algorithm, MTU and loss pattern the testbed can produce.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "app/scenario.h"
+#include "cca/cca.h"
+#include "energy/cpu.h"
+#include "net/port.h"
+#include "sim/simulator.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+
+namespace greencc {
+namespace {
+
+using sim::SimTime;
+using sim::Simulator;
+
+// ---------------------------------------------------------------------------
+// Packet conservation: every segment handed to the wire is either received
+// (possibly as a duplicate) or dropped at a queue. Checked over a direct
+// sender->port->receiver wiring where every counter is visible.
+// ---------------------------------------------------------------------------
+
+class Conservation
+    : public ::testing::TestWithParam<std::tuple<std::string, std::int64_t>> {
+};
+
+TEST_P(Conservation, WireAccountingBalances) {
+  const auto& [cca_name, queue_bytes] = GetParam();
+
+  Simulator sim;
+  energy::CpuCore core;
+  tcp::TcpConfig tcp_config;
+  cca::CcaConfig cca_config;
+  cca_config.mss_bytes = tcp_config.mss_bytes();
+
+  net::PortConfig forward_config;
+  forward_config.rate_bps = 1e9;  // slow bottleneck: creates loss
+  forward_config.queue_capacity_bytes = queue_bytes;
+  forward_config.propagation = SimTime::microseconds(5);
+  net::QueuedPort forward(sim, "fwd", forward_config, nullptr);
+
+  net::PortConfig reverse_config;
+  reverse_config.propagation = SimTime::microseconds(5);
+  net::QueuedPort reverse(sim, "rev", reverse_config, nullptr);
+
+  tcp::TcpSender sender(sim, 1, 1, 2, tcp_config,
+                        cca::make_cca(cca_name, cca_config), &core,
+                        &forward);
+  tcp::TcpReceiver receiver(sim, 1, 2, tcp_config, &reverse);
+  forward.set_next(&receiver);
+  reverse.set_next(&sender);
+
+  sender.add_app_data(3'000'000);
+  sender.mark_app_eof();
+  sender.start();
+  sim.run_until(SimTime::seconds(60.0));
+
+  ASSERT_TRUE(sender.complete()) << cca_name;
+
+  // Conservation over the forward direction.
+  const auto sent = sender.stats().segments_sent;
+  const auto received = receiver.segments_received();
+  const auto dropped = static_cast<std::int64_t>(
+      forward.queue_stats().dropped);
+  EXPECT_EQ(sent, received + dropped) << cca_name;
+
+  // Stream completeness: the receiver's in-order point equals the stream
+  // length, and unique deliveries equal unique sends.
+  EXPECT_EQ(receiver.rcv_nxt(), sender.snd_nxt()) << cca_name;
+  EXPECT_EQ(received - receiver.duplicate_segments(), sender.snd_nxt())
+      << cca_name;
+
+  // Retransmissions cover exactly the drops plus any spurious copies
+  // (which the receiver saw as duplicates).
+  EXPECT_EQ(sender.stats().retransmissions,
+            dropped + receiver.duplicate_segments())
+      << cca_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CcasAndQueues, Conservation,
+    ::testing::Combine(::testing::Values("reno", "cubic", "scalable",
+                                         "westwood", "highspeed", "vegas",
+                                         "dctcp", "bbr", "swift"),
+                       ::testing::Values(30'000, 100'000)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_q" +
+             std::to_string(std::get<1>(info.param) / 1000) + "k";
+    });
+
+// ---------------------------------------------------------------------------
+// Every algorithm (the paper's ten + the datacenter four) completes a
+// transfer at every MTU, and the energy accounting stays self-consistent.
+// ---------------------------------------------------------------------------
+
+class EveryCcaEveryMtu
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(EveryCcaEveryMtu, CompletesWithConsistentEnergy) {
+  const auto& [cca_name, mtu] = GetParam();
+  app::ScenarioConfig config;
+  config.tcp.mtu_bytes = mtu;
+  config.seed = 5;
+  app::Scenario scenario(config);
+  app::FlowSpec flow;
+  flow.cca = cca_name;
+  flow.bytes = 60'000'000;
+  scenario.add_flow(flow);
+  const auto r = scenario.run();
+
+  ASSERT_TRUE(r.all_completed) << cca_name << " mtu " << mtu;
+  EXPECT_GT(r.flows[0].avg_gbps, 0.5) << cca_name << " mtu " << mtu;
+  // Energy = integral of power: average power must lie between idle and
+  // the model's plausible ceiling.
+  EXPECT_GT(r.avg_watts, 21.49);
+  EXPECT_LT(r.avg_watts, 60.0);
+  EXPECT_NEAR(r.total_joules, r.avg_watts * r.duration_sec,
+              0.02 * r.total_joules);
+}
+
+std::vector<std::tuple<std::string, int>> every_cca_every_mtu() {
+  std::vector<std::tuple<std::string, int>> cases;
+  for (const auto& name : cca::all_names()) {
+    for (int mtu : {1500, 3000, 6000, 9000}) {
+      cases.emplace_back(name, mtu);
+    }
+  }
+  for (const auto& name : cca::datacenter_names()) {
+    for (int mtu : {1500, 9000}) {
+      cases.emplace_back(name, mtu);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EveryCcaEveryMtu,
+                         ::testing::ValuesIn(every_cca_every_mtu()),
+                         [](const auto& info) {
+                           return std::get<0>(info.param) + "_" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds give bit-identical results for every
+// algorithm family (window, rate-based, INT-driven).
+// ---------------------------------------------------------------------------
+
+class DeterminismByFamily : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismByFamily, SameSeedSameJoules) {
+  auto run = [&] {
+    app::ScenarioConfig config;
+    config.tcp.mtu_bytes = 3000;
+    config.seed = 99;
+    app::Scenario scenario(config);
+    app::FlowSpec flow;
+    flow.cca = GetParam();
+    flow.bytes = 50'000'000;
+    scenario.add_flow(flow);
+    return scenario.run();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.total_joules, b.total_joules);
+  EXPECT_EQ(a.flows[0].retransmissions, b.flows[0].retransmissions);
+  EXPECT_DOUBLE_EQ(a.flows[0].fct_sec, b.flows[0].fct_sec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, DeterminismByFamily,
+                         ::testing::Values("cubic", "bbr", "dcqcn", "hpcc",
+                                           "baseline"));
+
+}  // namespace
+}  // namespace greencc

@@ -1,0 +1,106 @@
+#include "net/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace greencc::net {
+namespace {
+
+Packet data_packet(std::int64_t seq, std::int32_t size, bool ect = false) {
+  Packet p;
+  p.seq = seq;
+  p.size_bytes = size;
+  p.ecn_capable = ect;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(10'000);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.enqueue(data_packet(i, 100)));
+  for (int i = 0; i < 5; ++i) {
+    auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTailQueue, ByteAccounting) {
+  DropTailQueue q(10'000);
+  q.enqueue(data_packet(0, 1500));
+  q.enqueue(data_packet(1, 500));
+  EXPECT_EQ(q.bytes(), 2000);
+  EXPECT_EQ(q.packets(), 2u);
+  q.dequeue();
+  EXPECT_EQ(q.bytes(), 500);
+}
+
+TEST(DropTailQueue, DropsWhenBytesFull) {
+  DropTailQueue q(3'000);
+  EXPECT_TRUE(q.enqueue(data_packet(0, 1500)));
+  EXPECT_TRUE(q.enqueue(data_packet(1, 1500)));
+  EXPECT_FALSE(q.enqueue(data_packet(2, 1500)));
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.stats().enqueued, 2u);
+}
+
+TEST(DropTailQueue, DropsWhenPacketCapFull) {
+  DropTailQueue q(1 << 20, 0, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.enqueue(data_packet(i, 100)));
+  EXPECT_FALSE(q.enqueue(data_packet(3, 100)));
+  EXPECT_EQ(q.stats().dropped, 1u);
+  // Space frees after a dequeue.
+  q.dequeue();
+  EXPECT_TRUE(q.enqueue(data_packet(4, 100)));
+}
+
+TEST(DropTailQueue, ZeroPacketCapMeansUnlimited) {
+  DropTailQueue q(1 << 20, 0, 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(q.enqueue(data_packet(i, 100)));
+  }
+}
+
+TEST(DropTailQueue, EcnMarksAboveThreshold) {
+  DropTailQueue q(1 << 20, 3'000);
+  // Below threshold: no mark.
+  q.enqueue(data_packet(0, 1500, true));
+  q.enqueue(data_packet(1, 1500, true));
+  // Queue depth now 3000 >= threshold: next ECT packet gets CE.
+  q.enqueue(data_packet(2, 1500, true));
+  EXPECT_EQ(q.stats().ecn_marked, 1u);
+  auto p0 = q.dequeue();
+  auto p1 = q.dequeue();
+  auto p2 = q.dequeue();
+  EXPECT_FALSE(p0->ce);
+  EXPECT_FALSE(p1->ce);
+  EXPECT_TRUE(p2->ce);
+}
+
+TEST(DropTailQueue, NonEctPacketsNeverMarked) {
+  DropTailQueue q(1 << 20, 100);
+  q.enqueue(data_packet(0, 1500, false));
+  q.enqueue(data_packet(1, 1500, false));
+  q.enqueue(data_packet(2, 1500, false));
+  EXPECT_EQ(q.stats().ecn_marked, 0u);
+}
+
+TEST(DropTailQueue, MaxBytesSeenTracksHighWater) {
+  DropTailQueue q(1 << 20);
+  q.enqueue(data_packet(0, 4000));
+  q.enqueue(data_packet(1, 4000));
+  q.dequeue();
+  q.enqueue(data_packet(2, 1000));
+  EXPECT_EQ(q.stats().max_bytes_seen, 8000);
+}
+
+TEST(DropTailQueue, EmptyReporting) {
+  DropTailQueue q(1000);
+  EXPECT_TRUE(q.empty());
+  q.enqueue(data_packet(0, 100));
+  EXPECT_FALSE(q.empty());
+  q.dequeue();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace greencc::net

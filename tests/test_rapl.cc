@@ -1,0 +1,65 @@
+#include "energy/rapl.h"
+
+#include <gtest/gtest.h>
+
+namespace greencc::energy {
+namespace {
+
+using sim::SimTime;
+
+TEST(Rapl, StartsAtZero) {
+  RaplCounter rapl;
+  EXPECT_EQ(rapl.energy_uj(), 0u);
+  EXPECT_DOUBLE_EQ(rapl.joules(), 0.0);
+}
+
+TEST(Rapl, IntegratesConstantPower) {
+  RaplCounter rapl;
+  rapl.advance(SimTime::seconds(2.0), 10.0);  // 10 W for 2 s = 20 J
+  EXPECT_NEAR(rapl.joules(), 20.0, 1e-9);
+  EXPECT_EQ(rapl.energy_uj(), 20'000'000u);
+}
+
+TEST(Rapl, AccumulatesSegments) {
+  RaplCounter rapl;
+  rapl.advance(SimTime::seconds(1.0), 5.0);   // 5 J
+  rapl.advance(SimTime::seconds(3.0), 20.0);  // + 2 s * 20 W = 40 J
+  EXPECT_NEAR(rapl.joules(), 45.0, 1e-9);
+}
+
+TEST(Rapl, ZeroDurationAddsNothing) {
+  RaplCounter rapl;
+  rapl.advance(SimTime::seconds(1.0), 5.0);
+  rapl.advance(SimTime::seconds(1.0), 100.0);
+  EXPECT_NEAR(rapl.joules(), 5.0, 1e-9);
+}
+
+TEST(Rapl, MonotoneCounter) {
+  RaplCounter rapl;
+  double prev = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    rapl.advance(SimTime::seconds(i * 0.5), 7.5);
+    EXPECT_GE(rapl.joules(), prev);
+    prev = rapl.joules();
+  }
+}
+
+TEST(Rapl, TimeBackwardsThrows) {
+  RaplCounter rapl;
+  rapl.advance(SimTime::seconds(2.0), 1.0);
+  EXPECT_THROW(rapl.advance(SimTime::seconds(1.0), 1.0), std::logic_error);
+}
+
+TEST(Rapl, BeforeAfterReadProtocol) {
+  // The measurement protocol of §3: read the counter before and after; the
+  // difference is the experiment's energy.
+  RaplCounter rapl;
+  rapl.advance(SimTime::seconds(10.0), 21.49);  // pre-experiment idle
+  const auto before = rapl.energy_uj();
+  rapl.advance(SimTime::seconds(12.0), 35.82);  // the experiment
+  const auto after = rapl.energy_uj();
+  EXPECT_NEAR(static_cast<double>(after - before) / 1e6, 2.0 * 35.82, 1e-3);
+}
+
+}  // namespace
+}  // namespace greencc::energy

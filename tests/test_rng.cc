@@ -1,0 +1,114 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace greencc::sim {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next_u64());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), first[i]);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.01);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.5);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BitsLookUniform) {
+  // Cheap sanity: each of the 64 bit positions should be set ~half the time.
+  Rng rng(10);
+  int counts[64] = {};
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t v = rng.next_u64();
+    for (int b = 0; b < 64; ++b) {
+      if (v & (1ULL << b)) ++counts[b];
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(static_cast<double>(counts[b]) / n, 0.5, 0.05)
+        << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace greencc::sim

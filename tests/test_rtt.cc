@@ -1,0 +1,86 @@
+#include "tcp/rtt.h"
+
+#include <gtest/gtest.h>
+
+namespace greencc::tcp {
+namespace {
+
+using sim::SimTime;
+
+RttEstimator make() {
+  return RttEstimator(SimTime::milliseconds(200), SimTime::seconds(30.0));
+}
+
+TEST(Rtt, InitialRtoIsOneSecond) {
+  auto rtt = make();
+  EXPECT_EQ(rtt.rto(), SimTime::seconds(1.0));
+}
+
+TEST(Rtt, FirstSampleSeedsFilters) {
+  auto rtt = make();
+  rtt.add_sample(SimTime::milliseconds(100), SimTime::zero());
+  EXPECT_EQ(rtt.srtt(), SimTime::milliseconds(100));
+  EXPECT_EQ(rtt.rttvar(), SimTime::milliseconds(50));
+  // RTO = srtt + 4*rttvar = 300 ms, above the floor.
+  EXPECT_EQ(rtt.rto(), SimTime::milliseconds(300));
+}
+
+TEST(Rtt, ExponentialSmoothing) {
+  auto rtt = make();
+  rtt.add_sample(SimTime::milliseconds(100), SimTime::zero());
+  rtt.add_sample(SimTime::milliseconds(200), SimTime::zero());
+  // srtt = 7/8*100 + 1/8*200 = 112.5 ms
+  EXPECT_EQ(rtt.srtt(), SimTime::microseconds(112'500));
+  // rttvar = 3/4*50 + 1/4*|200-100| = 62.5 ms
+  EXPECT_EQ(rtt.rttvar(), SimTime::microseconds(62'500));
+}
+
+TEST(Rtt, ConvergesToSteadyValue) {
+  auto rtt = make();
+  for (int i = 0; i < 100; ++i) {
+    rtt.add_sample(SimTime::microseconds(50), SimTime::zero());
+  }
+  EXPECT_NEAR(rtt.srtt().us(), 50.0, 1.0);
+  EXPECT_LT(rtt.rttvar(), SimTime::microseconds(5));
+}
+
+TEST(Rtt, RtoClampedToFloor) {
+  // Datacenter RTTs with Linux's 200 ms min RTO: the floor dominates.
+  auto rtt = make();
+  for (int i = 0; i < 50; ++i) {
+    rtt.add_sample(SimTime::microseconds(30), SimTime::zero());
+  }
+  EXPECT_EQ(rtt.rto(), SimTime::milliseconds(200));
+}
+
+TEST(Rtt, RtoClampedToCeiling) {
+  RttEstimator rtt(SimTime::milliseconds(200), SimTime::seconds(2.0));
+  rtt.add_sample(SimTime::seconds(10.0), SimTime::zero());
+  EXPECT_EQ(rtt.rto(), SimTime::seconds(2.0));
+}
+
+TEST(Rtt, MinRttTracksMinimum) {
+  auto rtt = make();
+  rtt.add_sample(SimTime::microseconds(100), SimTime::zero());
+  rtt.add_sample(SimTime::microseconds(40), SimTime::zero());
+  rtt.add_sample(SimTime::microseconds(90), SimTime::zero());
+  EXPECT_EQ(rtt.min_rtt(), SimTime::microseconds(40));
+}
+
+TEST(Rtt, MinRttWindowExpires) {
+  auto rtt = make();
+  rtt.add_sample(SimTime::microseconds(40), SimTime::zero());
+  // 11 seconds later (window is 10 s), a larger sample replaces the min.
+  rtt.add_sample(SimTime::microseconds(90), SimTime::seconds(11.0));
+  EXPECT_EQ(rtt.min_rtt(), SimTime::microseconds(90));
+}
+
+TEST(Rtt, IgnoresNonPositiveSamples) {
+  auto rtt = make();
+  rtt.add_sample(SimTime::zero(), SimTime::zero());
+  EXPECT_EQ(rtt.srtt(), SimTime::zero());
+  EXPECT_EQ(rtt.rto(), SimTime::seconds(1.0));
+}
+
+}  // namespace
+}  // namespace greencc::tcp

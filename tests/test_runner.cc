@@ -1,0 +1,55 @@
+#include "app/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace greencc::app {
+namespace {
+
+std::unique_ptr<Scenario> build(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.tcp.mtu_bytes = 9000;
+  config.seed = seed;
+  auto scenario = std::make_unique<Scenario>(config);
+  FlowSpec flow;
+  flow.bytes = 62'500'000;  // 0.5 Gbit, keeps the test fast
+  scenario->add_flow(flow);
+  return scenario;
+}
+
+TEST(Runner, AggregatesRequestedRepeats) {
+  const auto agg = run_repeated(build, 5, /*base_seed=*/100);
+  EXPECT_EQ(agg.joules.count(), 5u);
+  EXPECT_EQ(agg.runs.size(), 5u);
+  for (const auto& run : agg.runs) {
+    EXPECT_TRUE(run.all_completed);
+  }
+}
+
+TEST(Runner, ReportsSpreadAcrossSeeds) {
+  const auto agg = run_repeated(build, 5, 100);
+  EXPECT_GT(agg.joules.mean(), 0.0);
+  // Seeds differ, so the work jitter produces a non-zero but small spread.
+  EXPECT_GT(agg.joules.stddev(), 0.0);
+  EXPECT_LT(agg.joules.stddev() / agg.joules.mean(), 0.1);
+}
+
+TEST(Runner, ReproducibleForSameBaseSeed) {
+  const auto a = run_repeated(build, 3, 42);
+  const auto b = run_repeated(build, 3, 42);
+  EXPECT_DOUBLE_EQ(a.joules.mean(), b.joules.mean());
+  EXPECT_DOUBLE_EQ(a.duration_sec.mean(), b.duration_sec.mean());
+}
+
+TEST(Runner, DistinctBaseSeedsDiffer) {
+  const auto a = run_repeated(build, 3, 1);
+  const auto b = run_repeated(build, 3, 1000);
+  EXPECT_NE(a.joules.mean(), b.joules.mean());
+}
+
+TEST(Runner, TracksRetransmissions) {
+  const auto agg = run_repeated(build, 3, 7);
+  EXPECT_GE(agg.retransmissions.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace greencc::app

@@ -1,0 +1,154 @@
+#include "tcp/seq_range_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace greencc::tcp {
+namespace {
+
+TEST(SeqRangeSet, EmptyByDefault) {
+  SeqRangeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_EQ(s.contiguous_end(5), 5);
+}
+
+TEST(SeqRangeSet, SingleInsertContains) {
+  SeqRangeSet s;
+  s.insert(10, 15);
+  for (std::int64_t i = 10; i < 15; ++i) EXPECT_TRUE(s.contains(i));
+  EXPECT_FALSE(s.contains(9));
+  EXPECT_FALSE(s.contains(15));
+}
+
+TEST(SeqRangeSet, EmptyRangeThrows) {
+  SeqRangeSet s;
+  EXPECT_THROW(s.insert(5, 5), std::invalid_argument);
+  EXPECT_THROW(s.insert(5, 3), std::invalid_argument);
+}
+
+TEST(SeqRangeSet, AdjacentRangesMerge) {
+  SeqRangeSet s;
+  s.insert(0, 5);
+  s.insert(5, 10);
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_EQ(s.contiguous_end(0), 10);
+}
+
+TEST(SeqRangeSet, OverlappingRangesMerge) {
+  SeqRangeSet s;
+  s.insert(0, 6);
+  s.insert(4, 10);
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_EQ(s.contiguous_end(0), 10);
+}
+
+TEST(SeqRangeSet, BridgingInsertMergesBothSides) {
+  SeqRangeSet s;
+  s.insert(0, 3);
+  s.insert(6, 9);
+  EXPECT_EQ(s.range_count(), 2u);
+  s.insert(3, 6);
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_EQ(s.contiguous_end(0), 9);
+}
+
+TEST(SeqRangeSet, DisjointRangesStaySeparate) {
+  SeqRangeSet s;
+  s.insert(0, 2);
+  s.insert(10, 12);
+  EXPECT_EQ(s.range_count(), 2u);
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(SeqRangeSet, EraseBelowTrims) {
+  SeqRangeSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  s.erase_below(5);
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(25));
+  s.erase_below(30);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SeqRangeSet, ContiguousEndMidRange) {
+  SeqRangeSet s;
+  s.insert(5, 10);
+  EXPECT_EQ(s.contiguous_end(7), 10);
+  EXPECT_EQ(s.contiguous_end(10), 10);  // 10 not contained
+  EXPECT_EQ(s.contiguous_end(4), 4);
+}
+
+TEST(SeqRangeSet, BlocksAboveReturnsLowestFirst) {
+  SeqRangeSet s;
+  s.insert(10, 12);
+  s.insert(20, 25);
+  s.insert(30, 31);
+  const auto blocks = s.blocks_above(0, 2);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].start, 10);
+  EXPECT_EQ(blocks[0].end, 12);
+  EXPECT_EQ(blocks[1].start, 20);
+}
+
+TEST(SeqRangeSet, BlocksAboveSkipsLowerRanges) {
+  SeqRangeSet s;
+  s.insert(10, 12);
+  s.insert(20, 25);
+  const auto blocks = s.blocks_above(15, 3);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].start, 20);
+}
+
+TEST(SeqRangeSet, RangeContaining) {
+  SeqRangeSet s;
+  s.insert(10, 20);
+  const auto r = s.range_containing(15);
+  EXPECT_EQ(r.start, 10);
+  EXPECT_EQ(r.end, 20);
+  const auto miss = s.range_containing(25);
+  EXPECT_EQ(miss.start, 25);
+  EXPECT_EQ(miss.end, 25);
+}
+
+// Property test: random inserts/erases agree with a reference std::set of
+// individual sequence numbers.
+class SeqRangeSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeqRangeSetProperty, MatchesReferenceSet) {
+  std::uint64_t state = GetParam();
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  SeqRangeSet s;
+  std::set<std::int64_t> ref;
+  for (int op = 0; op < 500; ++op) {
+    const auto kind = next() % 10;
+    if (kind < 7) {
+      const std::int64_t start = static_cast<std::int64_t>(next() % 200);
+      const std::int64_t len = 1 + static_cast<std::int64_t>(next() % 10);
+      s.insert(start, start + len);
+      for (std::int64_t i = start; i < start + len; ++i) ref.insert(i);
+    } else {
+      const std::int64_t below = static_cast<std::int64_t>(next() % 200);
+      s.erase_below(below);
+      ref.erase(ref.begin(), ref.lower_bound(below));
+    }
+    // Spot-check membership at random points.
+    for (int probe = 0; probe < 10; ++probe) {
+      const std::int64_t q = static_cast<std::int64_t>(next() % 220);
+      ASSERT_EQ(s.contains(q), ref.count(q) > 0)
+          << "op " << op << " seq " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeqRangeSetProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 42, 1234));
+
+}  // namespace
+}  // namespace greencc::tcp

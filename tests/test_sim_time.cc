@@ -1,0 +1,71 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace greencc::sim {
+namespace {
+
+TEST(SimTime, FactoriesAgree) {
+  EXPECT_EQ(SimTime::microseconds(1), SimTime::nanoseconds(1'000));
+  EXPECT_EQ(SimTime::milliseconds(1), SimTime::microseconds(1'000));
+  EXPECT_EQ(SimTime::seconds(1.0), SimTime::milliseconds(1'000));
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+}
+
+TEST(SimTime, ConversionRoundTrips) {
+  const SimTime t = SimTime::nanoseconds(1'234'567'890);
+  EXPECT_EQ(t.ns(), 1'234'567'890);
+  EXPECT_DOUBLE_EQ(t.us(), 1'234'567.890);
+  EXPECT_DOUBLE_EQ(t.ms(), 1'234.567890);
+  EXPECT_DOUBLE_EQ(t.sec(), 1.234567890);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::microseconds(10);
+  const SimTime b = SimTime::microseconds(3);
+  EXPECT_EQ((a + b).ns(), 13'000);
+  EXPECT_EQ((a - b).ns(), 7'000);
+  EXPECT_EQ((a * 3).ns(), 30'000);
+  EXPECT_EQ((3 * a).ns(), 30'000);
+  EXPECT_EQ((a / 2).ns(), 5'000);
+  EXPECT_DOUBLE_EQ(a / b, 10.0 / 3.0);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::microseconds(5);
+  t += SimTime::microseconds(2);
+  EXPECT_EQ(t, SimTime::microseconds(7));
+  t -= SimTime::microseconds(4);
+  EXPECT_EQ(t, SimTime::microseconds(3));
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::nanoseconds(1), SimTime::nanoseconds(2));
+  EXPECT_GT(SimTime::seconds(1.0), SimTime::milliseconds(999));
+  EXPECT_LE(SimTime::zero(), SimTime::zero());
+  EXPECT_GE(SimTime::max(), SimTime::seconds(1e9));
+}
+
+TEST(SimTime, Scaled) {
+  const SimTime t = SimTime::microseconds(100);
+  EXPECT_EQ(t.scaled(0.5), SimTime::microseconds(50));
+  EXPECT_EQ(t.scaled(2.0), SimTime::microseconds(200));
+}
+
+TEST(SimTime, SerializationDelayMatchesRateMath) {
+  // 1500 bytes at 10 Gb/s = 1.2 us.
+  EXPECT_EQ(serialization_delay(1500, 10e9), SimTime::nanoseconds(1'200));
+  // 9000 bytes at 10 Gb/s = 7.2 us.
+  EXPECT_EQ(serialization_delay(9000, 10e9), SimTime::nanoseconds(7'200));
+  // 64 bytes at 1 Gb/s = 512 ns.
+  EXPECT_EQ(serialization_delay(64, 1e9), SimTime::nanoseconds(512));
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::seconds(1.5).to_string(), "1.500s");
+  EXPECT_EQ(SimTime::milliseconds(250).to_string(), "250.000ms");
+  EXPECT_EQ(SimTime::microseconds(42).to_string(), "42.000us");
+}
+
+}  // namespace
+}  // namespace greencc::sim

@@ -1,0 +1,188 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace greencc::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.events_executed(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(SimTime::microseconds(30), [&] { order.push_back(3); });
+  sim.schedule(SimTime::microseconds(10), [&] { order.push_back(1); });
+  sim.schedule(SimTime::microseconds(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::microseconds(30));
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule(SimTime::microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = SimTime::zero();
+  sim.schedule(SimTime::milliseconds(7), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::milliseconds(7));
+}
+
+TEST(Simulator, NestedSchedulingWorks) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sim.schedule(SimTime::microseconds(1), tick);
+  };
+  sim.schedule(SimTime::microseconds(1), tick);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), SimTime::microseconds(5));
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule(SimTime::microseconds(10), [&] {
+    EXPECT_THROW(sim.schedule_at(SimTime::microseconds(5), [] {}),
+                 std::logic_error);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime::milliseconds(1), [&] { ++fired; });
+  sim.schedule(SimTime::milliseconds(10), [&] { ++fired; });
+  sim.run_until(SimTime::milliseconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::milliseconds(5));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // Continue to completion.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesDeadlineEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(SimTime::milliseconds(5), [&] { fired = true; });
+  sim.run_until(SimTime::milliseconds(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StopAbortsLoop) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(SimTime::microseconds(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 42; ++i) sim.schedule(SimTime::microseconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 42u);
+}
+
+// --- Timer ---
+
+TEST(Timer, FiresAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  timer.arm(SimTime::milliseconds(3));
+  EXPECT_TRUE(timer.armed());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.armed());
+  EXPECT_EQ(sim.now(), SimTime::milliseconds(3));
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  timer.arm(SimTime::milliseconds(3));
+  sim.schedule(SimTime::milliseconds(1), [&] { timer.cancel(); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RearmPushesDeadlineOut) {
+  Simulator sim;
+  std::vector<SimTime> fire_times;
+  Timer timer(sim, [&] { fire_times.push_back(sim.now()); });
+  timer.arm(SimTime::milliseconds(2));
+  // Re-arm shortly before expiry, pushing the deadline to t=1ms+2ms.
+  sim.schedule(SimTime::milliseconds(1), [&] { timer.arm(SimTime::milliseconds(2)); });
+  sim.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], SimTime::milliseconds(3));
+}
+
+TEST(Timer, RepeatedRearmDoesNotAccumulateEvents) {
+  // The coalescing behaviour that keeps TCP's per-ACK RTO re-arming cheap:
+  // thousands of arm() calls must not create thousands of events.
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule(SimTime::microseconds(i), [&] {
+      timer.arm(SimTime::milliseconds(10));
+    });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // 1000 arming events + 1 pending timer event + a small number of chase
+  // re-schedules; far fewer than one event per arm.
+  EXPECT_LT(sim.events_executed(), 1010u);
+}
+
+TEST(Timer, ArmAfterFireWorks) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  timer.arm(SimTime::milliseconds(1));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  timer.arm(SimTime::milliseconds(1));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Timer, DestructionWithPendingEventIsSafe) {
+  Simulator sim;
+  int fired = 0;
+  {
+    auto timer = std::make_unique<Timer>(sim, [&] { ++fired; });
+    timer->arm(SimTime::milliseconds(1));
+  }  // timer destroyed; its pending event must be a no-op
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace greencc::sim

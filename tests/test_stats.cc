@@ -1,0 +1,157 @@
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace greencc::stats {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, StableForLargeOffsets) {
+  // Welford must not lose precision with a large common offset.
+  Summary s;
+  for (double x : {1e9 + 1, 1e9 + 2, 1e9 + 3}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(MeanStddev, SpanHelpers) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y_pos = {2, 4, 6, 8, 10};
+  const std::vector<double> y_neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 1, 4, 3, 5};
+  EXPECT_NEAR(pearson(x, y), 0.8, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_EQ(pearson(x, c), 0.0);
+}
+
+TEST(Pearson, MismatchThrows) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_THROW(pearson(x, y), std::invalid_argument);
+}
+
+TEST(LinearFit, RecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+TEST(LinearFit, ConstantXGivesZeroSlope) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 5, 9};
+  const auto fit = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(JainIndex, FairAndUnfairExtremes) {
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{5, 5, 5, 5}), 1.0);
+  // Fully unfair: index = 1/n.
+  EXPECT_NEAR(jain_index(std::vector<double>{10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+// Property: Jain's index is always in [1/n, 1] for non-negative allocations.
+class JainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(JainProperty, Bounded) {
+  const int n = GetParam();
+  std::vector<double> xs(static_cast<size_t>(n));
+  std::uint64_t state = 12345 + static_cast<std::uint64_t>(n);
+  for (int trial = 0; trial < 100; ++trial) {
+    bool all_zero = true;
+    for (auto& x : xs) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      x = static_cast<double>(state >> 40);
+      if (x != 0.0) all_zero = false;
+    }
+    if (all_zero) continue;
+    const double j = jain_index(xs);
+    EXPECT_GE(j, 1.0 / n - 1e-12);
+    EXPECT_LE(j, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JainProperty,
+                         ::testing::Values(1, 2, 3, 5, 10, 100));
+
+TEST(Concavity, DetectsConcaveConvexLinear) {
+  std::vector<double> xs, concave, convex, linear;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i;
+    xs.push_back(x);
+    concave.push_back(std::sqrt(x + 1.0));
+    convex.push_back(x * x);
+    linear.push_back(2.0 * x + 1.0);
+  }
+  EXPECT_TRUE(is_strictly_concave(xs, concave));
+  EXPECT_FALSE(is_strictly_concave(xs, convex));
+  EXPECT_FALSE(is_strictly_concave(xs, linear));
+}
+
+TEST(Concavity, NonIncreasingXThrows) {
+  const std::vector<double> xs = {0, 2, 1};
+  const std::vector<double> ys = {0, 1, 2};
+  EXPECT_THROW(is_strictly_concave(xs, ys), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greencc::stats

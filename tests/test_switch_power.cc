@@ -1,0 +1,125 @@
+#include "energy/switch_power.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace greencc::energy {
+namespace {
+
+using sim::SimTime;
+using sim::Simulator;
+
+class Sink : public net::PacketHandler {
+ public:
+  void handle(net::Packet) override {}
+};
+
+net::Packet pkt(std::int32_t size) {
+  net::Packet p;
+  p.size_bytes = size;
+  return p;
+}
+
+SwitchPowerConfig config() { return SwitchPowerConfig{}; }
+
+TEST(SwitchPower, PortWattsPerProfile) {
+  Simulator sim;
+  const auto idle_long = SimTime::seconds(1.0);
+  const auto idle_short = SimTime::microseconds(10);
+
+  SwitchEnergyMeter constant(sim, config(), PortPowerProfile::kConstant);
+  EXPECT_DOUBLE_EQ(constant.port_watts(0.0, idle_long), 2.5);
+  EXPECT_DOUBLE_EQ(constant.port_watts(1.0, idle_short), 2.5);
+
+  SwitchEnergyMeter adaptive(sim, config(), PortPowerProfile::kRateAdaptive);
+  EXPECT_DOUBLE_EQ(adaptive.port_watts(0.0, idle_long), 0.5);   // low mode
+  EXPECT_DOUBLE_EQ(adaptive.port_watts(0.05, idle_short), 0.5); // low mode
+  EXPECT_DOUBLE_EQ(adaptive.port_watts(0.5, idle_short), 2.5);  // full mode
+
+  SwitchEnergyMeter sleepy(sim, config(), PortPowerProfile::kSleepCapable);
+  EXPECT_DOUBLE_EQ(sleepy.port_watts(0.0, idle_long), 0.1);    // asleep
+  EXPECT_DOUBLE_EQ(sleepy.port_watts(0.0, idle_short), 0.5);   // not yet
+  EXPECT_DOUBLE_EQ(sleepy.port_watts(0.5, idle_short), 2.5);
+}
+
+TEST(SwitchPower, IdleSwitchDrawsChassisPlusPortFloor) {
+  Simulator sim;
+  Sink sink;
+  net::PortConfig port_config;
+  net::QueuedPort port(sim, "p", port_config, &sink);
+  SwitchEnergyMeter meter(sim, config(), PortPowerProfile::kSleepCapable);
+  meter.attach_port(&port);
+  meter.start();
+  sim.run_until(SimTime::seconds(1.0));
+  meter.stop();
+  // Chassis 150 W + a sleeping port 0.1 W (after the first ms at low mode).
+  EXPECT_NEAR(meter.average_watts(), 150.1, 0.05);
+}
+
+TEST(SwitchPower, BusyPortDrawsFullMode) {
+  Simulator sim;
+  Sink sink;
+  net::PortConfig port_config;
+  port_config.rate_bps = 10e9;
+  port_config.propagation = SimTime::zero();
+  net::QueuedPort port(sim, "p", port_config, &sink);
+  SwitchEnergyMeter meter(sim, config(), PortPowerProfile::kSleepCapable);
+  meter.attach_port(&port);
+  meter.start();
+  // Keep the port ~50% utilized: one 1500 B packet every 2.4 us.
+  for (int i = 0; i < 100'000; ++i) {
+    sim.schedule(SimTime::nanoseconds(i * 2'400),
+                 [&port] { port.handle(pkt(1500)); });
+  }
+  sim.run_until(SimTime::milliseconds(240));
+  meter.stop();
+  EXPECT_NEAR(meter.average_watts(), 150.0 + 2.5, 0.1);
+}
+
+TEST(SwitchPower, ConstantProfileIsLoadInvariant) {
+  // The paper's cited measurement: load does not change the power draw of
+  // legacy equipment.
+  for (bool busy : {false, true}) {
+    Simulator sim;
+    Sink sink;
+    net::PortConfig port_config;
+    port_config.propagation = SimTime::zero();
+    net::QueuedPort port(sim, "p", port_config, &sink);
+    SwitchEnergyMeter meter(sim, config(), PortPowerProfile::kConstant);
+    meter.attach_port(&port);
+    meter.start();
+    if (busy) {
+      for (int i = 0; i < 1000; ++i) {
+        sim.schedule(SimTime::microseconds(i * 10),
+                     [&port] { port.handle(pkt(1500)); });
+      }
+    }
+    sim.run_until(SimTime::milliseconds(10));
+    meter.stop();
+    EXPECT_NEAR(meter.average_watts(), 152.5, 0.01) << busy;
+  }
+}
+
+TEST(SwitchPower, SleepRequiresSustainedIdle) {
+  Simulator sim;
+  Sink sink;
+  net::PortConfig port_config;
+  port_config.propagation = SimTime::zero();
+  net::QueuedPort port(sim, "p", port_config, &sink);
+  SwitchEnergyMeter meter(sim, config(), PortPowerProfile::kSleepCapable);
+  meter.attach_port(&port);
+  meter.start();
+  // Activity every 0.5 ms keeps the port from ever reaching the 1 ms sleep
+  // threshold.
+  for (int i = 0; i < 40; ++i) {
+    sim.schedule(SimTime::microseconds(i * 500),
+                 [&port] { port.handle(pkt(1500)); });
+  }
+  sim.run_until(SimTime::milliseconds(20));
+  meter.stop();
+  EXPECT_GT(meter.average_watts(), 150.4);  // never fell to 0.1 W floor
+}
+
+}  // namespace
+}  // namespace greencc::energy

@@ -1,0 +1,162 @@
+#include "app/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace greencc::app {
+namespace {
+
+TEST(Distributions, FixedSizeIsConstant) {
+  sim::Rng rng(1);
+  const auto dist = fixed_size(12'345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist->sample(rng), 12'345);
+  EXPECT_DOUBLE_EQ(dist->mean_bytes(), 12'345.0);
+}
+
+TEST(Distributions, BoundedParetoStaysInBounds) {
+  sim::Rng rng(2);
+  const auto dist = bounded_pareto(1.2, 1'000, 10'000'000);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto x = dist->sample(rng);
+    ASSERT_GE(x, 1'000);
+    ASSERT_LE(x, 10'000'000);
+  }
+}
+
+TEST(Distributions, BoundedParetoSampleMeanMatchesAnalytic) {
+  sim::Rng rng(3);
+  const auto dist = bounded_pareto(1.5, 1'000, 1'000'000);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(dist->sample(rng));
+  }
+  EXPECT_NEAR(sum / n, dist->mean_bytes(), 0.05 * dist->mean_bytes());
+}
+
+TEST(Distributions, BoundedParetoRejectsBadParameters) {
+  EXPECT_THROW(bounded_pareto(0.0, 1, 10), std::invalid_argument);
+  EXPECT_THROW(bounded_pareto(1.2, 10, 10), std::invalid_argument);
+}
+
+TEST(Distributions, EmpiricalCdfInterpolates) {
+  sim::Rng rng(4);
+  const auto dist = empirical_cdf("test", {{100, 0.5}, {1'000, 1.0}});
+  int low = 0, high = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto x = dist->sample(rng);
+    ASSERT_GE(x, 100);
+    ASSERT_LE(x, 1'000);
+    (x <= 550 ? low : high) += 1;
+  }
+  // Half the mass sits in each segment... the first segment collapses to
+  // its anchor region; just require both segments are hit.
+  EXPECT_GT(low, 1'000);
+  EXPECT_GT(high, 1'000);
+}
+
+TEST(Distributions, EmpiricalCdfSampleMeanMatchesAnalytic) {
+  sim::Rng rng(5);
+  const auto dist = websearch_workload();
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(dist->sample(rng));
+  }
+  EXPECT_NEAR(sum / n, dist->mean_bytes(), 0.05 * dist->mean_bytes());
+}
+
+TEST(Distributions, EmpiricalCdfValidation) {
+  EXPECT_THROW(empirical_cdf("bad", {{100, 0.5}}), std::invalid_argument);
+  EXPECT_THROW(empirical_cdf("bad", {{100, 0.5}, {50, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(empirical_cdf("bad", {{100, 0.5}, {200, 0.4}}),
+               std::invalid_argument);
+  EXPECT_THROW(empirical_cdf("bad", {{100, 0.5}, {200, 0.9}}),
+               std::invalid_argument);
+}
+
+TEST(Distributions, WorkloadShapes) {
+  // Data mining is mice-heavier but has a far heavier tail, so its mean is
+  // an order of magnitude above web search's.
+  const auto web = websearch_workload();
+  const auto mining = datamining_workload();
+  EXPECT_GT(mining->mean_bytes(), 5.0 * web->mean_bytes());
+  sim::Rng rng(6);
+  int web_mice = 0, mining_mice = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (web->sample(rng) < 10'000) ++web_mice;
+    if (mining->sample(rng) < 10'000) ++mining_mice;
+  }
+  EXPECT_GT(mining_mice, web_mice);
+}
+
+// --- open-loop runs ---
+
+TEST(Workload, RequiresDistributionAndSaneLoad) {
+  WorkloadConfig config;
+  EXPECT_THROW(run_workload(config), std::invalid_argument);
+  const auto dist = fixed_size(100'000);
+  config.sizes = dist.get();
+  config.load = 1.5;
+  EXPECT_THROW(run_workload(config), std::invalid_argument);
+}
+
+TEST(Workload, DeliversApproximatelyOfferedLoad) {
+  const auto dist = fixed_size(500'000);
+  WorkloadConfig config;
+  config.sizes = dist.get();
+  config.load = 0.4;
+  config.horizon = sim::SimTime::seconds(1.0);
+  config.seed = 9;
+  const auto r = run_workload(config);
+  EXPECT_GT(r.flows_started, 100);
+  EXPECT_NEAR(r.goodput_gbps, 4.0, 0.8);
+  EXPECT_GT(r.total_joules, 0.0);
+  EXPECT_GT(r.joules_per_gb, 0.0);
+}
+
+TEST(Workload, SlowdownsAreAtLeastOne) {
+  const auto dist = websearch_workload();
+  WorkloadConfig config;
+  config.sizes = dist.get();
+  config.load = 0.3;
+  config.horizon = sim::SimTime::seconds(0.5);
+  const auto r = run_workload(config);
+  EXPECT_GT(r.flows_completed, 0);
+  EXPECT_GE(r.mean_slowdown, 1.0);
+  EXPECT_GE(r.p99_slowdown, r.mean_slowdown);
+}
+
+TEST(Workload, HigherLoadAmortizesIdleEnergy) {
+  // The fleet-level concavity claim: joules per delivered GB fall as the
+  // hosts get busier.
+  const auto dist = fixed_size(1'000'000);
+  auto run_at = [&](double load) {
+    WorkloadConfig config;
+    config.sizes = dist.get();
+    config.load = load;
+    config.horizon = sim::SimTime::seconds(1.0);
+    config.seed = 21;
+    return run_workload(config).joules_per_gb;
+  };
+  EXPECT_GT(run_at(0.2), run_at(0.7));
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  const auto dist = websearch_workload();
+  WorkloadConfig config;
+  config.sizes = dist.get();
+  config.load = 0.3;
+  config.horizon = sim::SimTime::seconds(0.3);
+  config.seed = 33;
+  const auto a = run_workload(config);
+  const auto b = run_workload(config);
+  EXPECT_EQ(a.flows_started, b.flows_started);
+  EXPECT_DOUBLE_EQ(a.total_joules, b.total_joules);
+  EXPECT_DOUBLE_EQ(a.p99_slowdown, b.p99_slowdown);
+}
+
+}  // namespace
+}  // namespace greencc::app
