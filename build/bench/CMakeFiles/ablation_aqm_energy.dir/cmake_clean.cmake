@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aqm_energy.dir/ablation_aqm_energy.cc.o"
+  "CMakeFiles/ablation_aqm_energy.dir/ablation_aqm_energy.cc.o.d"
+  "ablation_aqm_energy"
+  "ablation_aqm_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aqm_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_collapse.dir/ablation_baseline_collapse.cc.o"
+  "CMakeFiles/ablation_baseline_collapse.dir/ablation_baseline_collapse.cc.o.d"
+  "ablation_baseline_collapse"
+  "ablation_baseline_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cca_microcost.dir/ablation_cca_microcost.cc.o"
+  "CMakeFiles/ablation_cca_microcost.dir/ablation_cca_microcost.cc.o.d"
+  "ablation_cca_microcost"
+  "ablation_cca_microcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cca_microcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

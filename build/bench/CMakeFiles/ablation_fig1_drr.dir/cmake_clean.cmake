@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fig1_drr.dir/ablation_fig1_drr.cc.o"
+  "CMakeFiles/ablation_fig1_drr.dir/ablation_fig1_drr.cc.o.d"
+  "ablation_fig1_drr"
+  "ablation_fig1_drr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fig1_drr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

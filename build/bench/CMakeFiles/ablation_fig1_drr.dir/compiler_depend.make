@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_fig1_drr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mtu_cpu.dir/ablation_mtu_cpu.cc.o"
+  "CMakeFiles/ablation_mtu_cpu.dir/ablation_mtu_cpu.cc.o.d"
+  "ablation_mtu_cpu"
+  "ablation_mtu_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mtu_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

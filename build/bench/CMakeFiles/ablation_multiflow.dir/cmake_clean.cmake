@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiflow.dir/ablation_multiflow.cc.o"
+  "CMakeFiles/ablation_multiflow.dir/ablation_multiflow.cc.o.d"
+  "ablation_multiflow"
+  "ablation_multiflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

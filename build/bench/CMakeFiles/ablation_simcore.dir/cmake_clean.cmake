@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_simcore.dir/ablation_simcore.cc.o"
+  "CMakeFiles/ablation_simcore.dir/ablation_simcore.cc.o.d"
+  "ablation_simcore"
+  "ablation_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

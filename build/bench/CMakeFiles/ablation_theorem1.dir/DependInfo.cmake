@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_theorem1.cc" "bench/CMakeFiles/ablation_theorem1.dir/ablation_theorem1.cc.o" "gcc" "bench/CMakeFiles/ablation_theorem1.dir/ablation_theorem1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/greencc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/greencc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/greencc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/greencc_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/greencc_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/greencc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/greencc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/greencc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_datacenter_ccas.dir/ext_datacenter_ccas.cc.o"
+  "CMakeFiles/ext_datacenter_ccas.dir/ext_datacenter_ccas.cc.o.d"
+  "ext_datacenter_ccas"
+  "ext_datacenter_ccas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_datacenter_ccas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_incast.dir/ext_incast.cc.o"
+  "CMakeFiles/ext_incast.dir/ext_incast.cc.o.d"
+  "ext_incast"
+  "ext_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_production_workload.dir/ext_production_workload.cc.o"
+  "CMakeFiles/ext_production_workload.dir/ext_production_workload.cc.o.d"
+  "ext_production_workload"
+  "ext_production_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_production_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_production_workload.
+# This may be replaced when dependencies are built.

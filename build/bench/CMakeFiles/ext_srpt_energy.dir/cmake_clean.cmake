@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_srpt_energy.dir/ext_srpt_energy.cc.o"
+  "CMakeFiles/ext_srpt_energy.dir/ext_srpt_energy.cc.o.d"
+  "ext_srpt_energy"
+  "ext_srpt_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_srpt_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_switch_energy.dir/ext_switch_energy.cc.o"
+  "CMakeFiles/ext_switch_energy.dir/ext_switch_energy.cc.o.d"
+  "ext_switch_energy"
+  "ext_switch_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_switch_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_unfair_savings.dir/fig1_unfair_savings.cc.o"
+  "CMakeFiles/fig1_unfair_savings.dir/fig1_unfair_savings.cc.o.d"
+  "fig1_unfair_savings"
+  "fig1_unfair_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_unfair_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_power_curve.dir/fig2_power_curve.cc.o"
+  "CMakeFiles/fig2_power_curve.dir/fig2_power_curve.cc.o.d"
+  "fig2_power_curve"
+  "fig2_power_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_power_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_timeseries.dir/fig3_timeseries.cc.o"
+  "CMakeFiles/fig3_timeseries.dir/fig3_timeseries.cc.o.d"
+  "fig3_timeseries"
+  "fig3_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_loaded_hosts.dir/fig4_loaded_hosts.cc.o"
+  "CMakeFiles/fig4_loaded_hosts.dir/fig4_loaded_hosts.cc.o.d"
+  "fig4_loaded_hosts"
+  "fig4_loaded_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_loaded_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

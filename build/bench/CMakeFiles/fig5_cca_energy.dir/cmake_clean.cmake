@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cca_energy.dir/fig5_cca_energy.cc.o"
+  "CMakeFiles/fig5_cca_energy.dir/fig5_cca_energy.cc.o.d"
+  "fig5_cca_energy"
+  "fig5_cca_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cca_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cca_power.dir/fig6_cca_power.cc.o"
+  "CMakeFiles/fig6_cca_power.dir/fig6_cca_power.cc.o.d"
+  "fig6_cca_power"
+  "fig6_cca_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cca_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

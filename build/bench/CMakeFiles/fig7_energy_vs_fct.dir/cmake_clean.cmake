@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_energy_vs_fct.dir/fig7_energy_vs_fct.cc.o"
+  "CMakeFiles/fig7_energy_vs_fct.dir/fig7_energy_vs_fct.cc.o.d"
+  "fig7_energy_vs_fct"
+  "fig7_energy_vs_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_energy_vs_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

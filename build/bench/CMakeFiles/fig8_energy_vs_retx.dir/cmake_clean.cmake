@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_energy_vs_retx.dir/fig8_energy_vs_retx.cc.o"
+  "CMakeFiles/fig8_energy_vs_retx.dir/fig8_energy_vs_retx.cc.o.d"
+  "fig8_energy_vs_retx"
+  "fig8_energy_vs_retx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_energy_vs_retx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_energy_audit.dir/cca_energy_audit.cpp.o"
+  "CMakeFiles/cca_energy_audit.dir/cca_energy_audit.cpp.o.d"
+  "cca_energy_audit"
+  "cca_energy_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_energy_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

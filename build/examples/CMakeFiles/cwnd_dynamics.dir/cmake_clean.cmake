@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwnd_dynamics.dir/cwnd_dynamics.cpp.o"
+  "CMakeFiles/cwnd_dynamics.dir/cwnd_dynamics.cpp.o.d"
+  "cwnd_dynamics"
+  "cwnd_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwnd_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

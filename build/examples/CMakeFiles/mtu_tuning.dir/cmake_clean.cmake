@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtu_tuning.dir/mtu_tuning.cpp.o"
+  "CMakeFiles/mtu_tuning.dir/mtu_tuning.cpp.o.d"
+  "mtu_tuning"
+  "mtu_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtu_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

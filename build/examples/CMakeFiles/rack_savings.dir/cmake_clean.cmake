@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_savings.dir/rack_savings.cpp.o"
+  "CMakeFiles/rack_savings.dir/rack_savings.cpp.o.d"
+  "rack_savings"
+  "rack_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/runner.cc" "src/app/CMakeFiles/greencc_app.dir/runner.cc.o" "gcc" "src/app/CMakeFiles/greencc_app.dir/runner.cc.o.d"
+  "/root/repo/src/app/scenario.cc" "src/app/CMakeFiles/greencc_app.dir/scenario.cc.o" "gcc" "src/app/CMakeFiles/greencc_app.dir/scenario.cc.o.d"
+  "/root/repo/src/app/workload.cc" "src/app/CMakeFiles/greencc_app.dir/workload.cc.o" "gcc" "src/app/CMakeFiles/greencc_app.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/greencc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/greencc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/greencc_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/greencc_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/greencc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/greencc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

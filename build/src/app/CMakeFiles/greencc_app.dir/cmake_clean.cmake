@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencc_app.dir/runner.cc.o"
+  "CMakeFiles/greencc_app.dir/runner.cc.o.d"
+  "CMakeFiles/greencc_app.dir/scenario.cc.o"
+  "CMakeFiles/greencc_app.dir/scenario.cc.o.d"
+  "CMakeFiles/greencc_app.dir/workload.cc.o"
+  "CMakeFiles/greencc_app.dir/workload.cc.o.d"
+  "libgreencc_app.a"
+  "libgreencc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

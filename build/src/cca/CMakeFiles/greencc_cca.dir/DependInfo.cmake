@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cca/bbr.cc" "src/cca/CMakeFiles/greencc_cca.dir/bbr.cc.o" "gcc" "src/cca/CMakeFiles/greencc_cca.dir/bbr.cc.o.d"
+  "/root/repo/src/cca/registry.cc" "src/cca/CMakeFiles/greencc_cca.dir/registry.cc.o" "gcc" "src/cca/CMakeFiles/greencc_cca.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/greencc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/greencc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/greencc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencc_cca.dir/bbr.cc.o"
+  "CMakeFiles/greencc_cca.dir/bbr.cc.o.d"
+  "CMakeFiles/greencc_cca.dir/registry.cc.o"
+  "CMakeFiles/greencc_cca.dir/registry.cc.o.d"
+  "libgreencc_cca.a"
+  "libgreencc_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencc_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

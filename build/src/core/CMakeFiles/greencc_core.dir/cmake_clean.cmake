@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencc_core.dir/allocation.cc.o"
+  "CMakeFiles/greencc_core.dir/allocation.cc.o.d"
+  "CMakeFiles/greencc_core.dir/efficiency.cc.o"
+  "CMakeFiles/greencc_core.dir/efficiency.cc.o.d"
+  "CMakeFiles/greencc_core.dir/scheduler.cc.o"
+  "CMakeFiles/greencc_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/greencc_core.dir/theorem.cc.o"
+  "CMakeFiles/greencc_core.dir/theorem.cc.o.d"
+  "libgreencc_core.a"
+  "libgreencc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/cpu.cc" "src/energy/CMakeFiles/greencc_energy.dir/cpu.cc.o" "gcc" "src/energy/CMakeFiles/greencc_energy.dir/cpu.cc.o.d"
+  "/root/repo/src/energy/meter.cc" "src/energy/CMakeFiles/greencc_energy.dir/meter.cc.o" "gcc" "src/energy/CMakeFiles/greencc_energy.dir/meter.cc.o.d"
+  "/root/repo/src/energy/power_model.cc" "src/energy/CMakeFiles/greencc_energy.dir/power_model.cc.o" "gcc" "src/energy/CMakeFiles/greencc_energy.dir/power_model.cc.o.d"
+  "/root/repo/src/energy/rapl.cc" "src/energy/CMakeFiles/greencc_energy.dir/rapl.cc.o" "gcc" "src/energy/CMakeFiles/greencc_energy.dir/rapl.cc.o.d"
+  "/root/repo/src/energy/switch_power.cc" "src/energy/CMakeFiles/greencc_energy.dir/switch_power.cc.o" "gcc" "src/energy/CMakeFiles/greencc_energy.dir/switch_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/greencc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/greencc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencc_energy.dir/cpu.cc.o"
+  "CMakeFiles/greencc_energy.dir/cpu.cc.o.d"
+  "CMakeFiles/greencc_energy.dir/meter.cc.o"
+  "CMakeFiles/greencc_energy.dir/meter.cc.o.d"
+  "CMakeFiles/greencc_energy.dir/power_model.cc.o"
+  "CMakeFiles/greencc_energy.dir/power_model.cc.o.d"
+  "CMakeFiles/greencc_energy.dir/rapl.cc.o"
+  "CMakeFiles/greencc_energy.dir/rapl.cc.o.d"
+  "CMakeFiles/greencc_energy.dir/switch_power.cc.o"
+  "CMakeFiles/greencc_energy.dir/switch_power.cc.o.d"
+  "libgreencc_energy.a"
+  "libgreencc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgreencc_energy.a"
+)

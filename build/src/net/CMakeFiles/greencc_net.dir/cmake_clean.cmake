@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencc_net.dir/drr.cc.o"
+  "CMakeFiles/greencc_net.dir/drr.cc.o.d"
+  "CMakeFiles/greencc_net.dir/port.cc.o"
+  "CMakeFiles/greencc_net.dir/port.cc.o.d"
+  "CMakeFiles/greencc_net.dir/queue.cc.o"
+  "CMakeFiles/greencc_net.dir/queue.cc.o.d"
+  "CMakeFiles/greencc_net.dir/switch.cc.o"
+  "CMakeFiles/greencc_net.dir/switch.cc.o.d"
+  "libgreencc_net.a"
+  "libgreencc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

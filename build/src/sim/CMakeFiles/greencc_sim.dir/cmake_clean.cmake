@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencc_sim.dir/rng.cc.o"
+  "CMakeFiles/greencc_sim.dir/rng.cc.o.d"
+  "CMakeFiles/greencc_sim.dir/simulator.cc.o"
+  "CMakeFiles/greencc_sim.dir/simulator.cc.o.d"
+  "libgreencc_sim.a"
+  "libgreencc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

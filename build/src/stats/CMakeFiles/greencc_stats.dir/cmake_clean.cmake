@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencc_stats.dir/json.cc.o"
+  "CMakeFiles/greencc_stats.dir/json.cc.o.d"
+  "CMakeFiles/greencc_stats.dir/stats.cc.o"
+  "CMakeFiles/greencc_stats.dir/stats.cc.o.d"
+  "CMakeFiles/greencc_stats.dir/table.cc.o"
+  "CMakeFiles/greencc_stats.dir/table.cc.o.d"
+  "libgreencc_stats.a"
+  "libgreencc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

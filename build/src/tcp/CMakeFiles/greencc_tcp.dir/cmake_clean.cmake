@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencc_tcp.dir/receiver.cc.o"
+  "CMakeFiles/greencc_tcp.dir/receiver.cc.o.d"
+  "CMakeFiles/greencc_tcp.dir/sender.cc.o"
+  "CMakeFiles/greencc_tcp.dir/sender.cc.o.d"
+  "CMakeFiles/greencc_tcp.dir/seq_range_set.cc.o"
+  "CMakeFiles/greencc_tcp.dir/seq_range_set.cc.o.d"
+  "libgreencc_tcp.a"
+  "libgreencc_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencc_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencc_run.dir/greencc_run.cc.o"
+  "CMakeFiles/greencc_run.dir/greencc_run.cc.o.d"
+  "greencc_run"
+  "greencc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

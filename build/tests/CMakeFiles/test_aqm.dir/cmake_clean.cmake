@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aqm.dir/test_aqm.cc.o"
+  "CMakeFiles/test_aqm.dir/test_aqm.cc.o.d"
+  "test_aqm"
+  "test_aqm.pdb"
+  "test_aqm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cca_bbr.dir/test_cca_bbr.cc.o"
+  "CMakeFiles/test_cca_bbr.dir/test_cca_bbr.cc.o.d"
+  "test_cca_bbr"
+  "test_cca_bbr.pdb"
+  "test_cca_bbr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cca_bbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

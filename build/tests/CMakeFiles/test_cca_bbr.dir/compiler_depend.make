@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_cca_bbr.
+# This may be replaced when dependencies are built.

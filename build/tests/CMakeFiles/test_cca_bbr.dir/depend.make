@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cca_bbr.
+# This may be replaced when dependencies are built.

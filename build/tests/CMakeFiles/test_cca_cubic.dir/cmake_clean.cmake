@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cca_cubic.dir/test_cca_cubic.cc.o"
+  "CMakeFiles/test_cca_cubic.dir/test_cca_cubic.cc.o.d"
+  "test_cca_cubic"
+  "test_cca_cubic.pdb"
+  "test_cca_cubic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cca_cubic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cca_datacenter.dir/test_cca_datacenter.cc.o"
+  "CMakeFiles/test_cca_datacenter.dir/test_cca_datacenter.cc.o.d"
+  "test_cca_datacenter"
+  "test_cca_datacenter.pdb"
+  "test_cca_datacenter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cca_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

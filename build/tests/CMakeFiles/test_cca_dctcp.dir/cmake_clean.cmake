@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cca_dctcp.dir/test_cca_dctcp.cc.o"
+  "CMakeFiles/test_cca_dctcp.dir/test_cca_dctcp.cc.o.d"
+  "test_cca_dctcp"
+  "test_cca_dctcp.pdb"
+  "test_cca_dctcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cca_dctcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

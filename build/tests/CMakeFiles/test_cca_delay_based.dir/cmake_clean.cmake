@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cca_delay_based.dir/test_cca_delay_based.cc.o"
+  "CMakeFiles/test_cca_delay_based.dir/test_cca_delay_based.cc.o.d"
+  "test_cca_delay_based"
+  "test_cca_delay_based.pdb"
+  "test_cca_delay_based[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cca_delay_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cca_registry.dir/test_cca_registry.cc.o"
+  "CMakeFiles/test_cca_registry.dir/test_cca_registry.cc.o.d"
+  "test_cca_registry"
+  "test_cca_registry.pdb"
+  "test_cca_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cca_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drr.dir/test_drr.cc.o"
+  "CMakeFiles/test_drr.dir/test_drr.cc.o.d"
+  "test_drr"
+  "test_drr.pdb"
+  "test_drr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_range_set.dir/test_seq_range_set.cc.o"
+  "CMakeFiles/test_seq_range_set.dir/test_seq_range_set.cc.o.d"
+  "test_seq_range_set"
+  "test_seq_range_set.pdb"
+  "test_seq_range_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_range_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

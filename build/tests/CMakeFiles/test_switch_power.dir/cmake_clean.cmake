@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_power.dir/test_switch_power.cc.o"
+  "CMakeFiles/test_switch_power.dir/test_switch_power.cc.o.d"
+  "test_switch_power"
+  "test_switch_power.pdb"
+  "test_switch_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
