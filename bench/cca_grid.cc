@@ -4,7 +4,8 @@
 #include <fstream>
 #include <sstream>
 
-#include "app/runner.h"
+#include "app/parallel_runner.h"
+#include "app/scenario.h"
 #include "cca/cca.h"
 #include "common.h"
 #include "stats/stats.h"
@@ -14,8 +15,12 @@ namespace greencc::bench {
 namespace {
 
 std::string cache_tag(const GridOptions& options) {
+  // v2: per-run seeds switched from base_seed+i to the mixed
+  // (base_seed, cell, repeat) derivation; v1 caches hold different numbers
+  // and must not be loaded. `jobs` is deliberately absent — it cannot
+  // change the results.
   std::ostringstream tag;
-  tag << "# greencc-grid bytes=" << options.bytes
+  tag << "# greencc-grid v2 bytes=" << options.bytes
       << " repeats=" << options.repeats << " seed=" << options.base_seed;
   for (int mtu : options.mtus) tag << " " << mtu;
   return tag.str();
@@ -48,15 +53,22 @@ bool load_cache(const GridOptions& options,
 void save_cache(const GridOptions& options,
                 const std::vector<core::GridCell>& cells) {
   if (options.cache_path.empty()) return;
-  std::ofstream out(options.cache_path);
-  if (!out) return;
-  out << cache_tag(options) << "\n";
-  out.precision(12);
-  for (const auto& cell : cells) {
-    out << cell.cca << ' ' << cell.mtu_bytes << ' ' << cell.energy_joules
-        << ' ' << cell.energy_stddev << ' ' << cell.power_watts << ' '
-        << cell.fct_sec << ' ' << cell.retransmissions << "\n";
+  // Write-then-rename so a concurrent grid process (or a crash mid-write)
+  // can never leave a truncated cache that a later run would half-parse.
+  const std::string tmp_path = options.cache_path + ".tmp";
+  {
+    std::ofstream out(tmp_path);
+    if (!out) return;
+    out << cache_tag(options) << "\n";
+    out.precision(12);
+    for (const auto& cell : cells) {
+      out << cell.cca << ' ' << cell.mtu_bytes << ' ' << cell.energy_joules
+          << ' ' << cell.energy_stddev << ' ' << cell.power_watts << ' '
+          << cell.fct_sec << ' ' << cell.retransmissions << "\n";
+    }
+    if (!out) return;
   }
+  std::rename(tmp_path.c_str(), options.cache_path.c_str());
 }
 
 }  // namespace
@@ -66,38 +78,72 @@ std::vector<core::GridCell> run_cca_grid(const GridOptions& options) {
   if (load_cache(options, cells)) return cells;
   const double scale = scale_to_paper(options.bytes);
 
+  // Flatten the grid: cell index is mtu-major (the historical iteration
+  // order), and every (cell, repeat) pair is one independent task, so the
+  // pool stays busy even when a single cell's repeats are slow.
+  struct CellSpec {
+    std::string cca;
+    int mtu = 0;
+  };
+  std::vector<CellSpec> specs;
   for (int mtu : options.mtus) {
-    for (const auto& name : cca::all_names()) {
-      auto builder = [&](std::uint64_t seed) {
-        app::ScenarioConfig config;
-        config.tcp.mtu_bytes = mtu;
-        config.seed = seed;
-        auto scenario = std::make_unique<app::Scenario>(config);
-        app::FlowSpec flow;
-        flow.cca = name;
-        flow.bytes = options.bytes;
-        scenario->add_flow(flow);
-        return scenario;
-      };
-      const auto agg =
-          app::run_repeated(builder, options.repeats, options.base_seed);
+    for (const auto& name : cca::all_names()) specs.push_back({name, mtu});
+  }
+  const auto repeats = static_cast<std::size_t>(std::max(options.repeats, 0));
+  const std::size_t total = specs.size() * repeats;
+  std::vector<app::ScenarioResult> runs(total);
 
-      stats::Summary fct;
-      for (const auto& run : agg.runs) fct.add(run.flows[0].fct_sec);
+  app::ParallelRunner pool(
+      options.jobs, [&specs, repeats](std::size_t done, std::size_t n,
+                                      std::size_t index, double secs) {
+        const CellSpec& spec = specs[index / repeats];
+        std::fprintf(stderr,
+                     "  grid: [%3zu/%zu] mtu=%-5d %-10s rep=%zu  %6.2fs\n",
+                     done, n, spec.mtu, spec.cca.c_str(), index % repeats,
+                     secs);
+      });
+  pool.for_each_index(total, [&](std::size_t t) {
+    const std::size_t cell = t / repeats;
+    const std::size_t rep = t % repeats;
+    app::ScenarioConfig config;
+    config.tcp.mtu_bytes = specs[cell].mtu;
+    config.seed = app::derive_seed(options.base_seed, cell, rep);
+    app::Scenario scenario(std::move(config));
+    app::FlowSpec flow;
+    flow.cca = specs[cell].cca;
+    flow.bytes = options.bytes;
+    scenario.add_flow(flow);
+    runs[t] = scenario.run();
+  });
 
-      core::GridCell cell;
-      cell.cca = name;
-      cell.mtu_bytes = mtu;
-      cell.energy_joules = agg.joules.mean() * scale;
-      cell.energy_stddev = agg.joules.stddev() * scale;
-      cell.power_watts = agg.watts.mean();
-      cell.fct_sec = fct.mean() * scale;
-      cell.retransmissions = agg.retransmissions.mean() * scale;
-      cells.push_back(cell);
-
-      std::fprintf(stderr, "  grid: mtu=%-5d %-10s E=%8.1f J  P=%6.2f W\n",
-                   mtu, name.c_str(), cell.energy_joules, cell.power_watts);
+  // Aggregate serially in cell order once the pool drained: independent of
+  // thread count and completion order, so the cells (and the CSV/cache
+  // written from them) are byte-identical for any --jobs value.
+  for (std::size_t c = 0; c < specs.size(); ++c) {
+    stats::Summary joules, watts, retxs, fct;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      const auto& run = runs[c * repeats + rep];
+      joules.add(run.total_joules);
+      watts.add(run.avg_watts);
+      std::int64_t retx = 0;
+      for (const auto& flow : run.flows) retx += flow.retransmissions;
+      retxs.add(static_cast<double>(retx));
+      fct.add(run.flows[0].fct_sec);
     }
+
+    core::GridCell cell;
+    cell.cca = specs[c].cca;
+    cell.mtu_bytes = specs[c].mtu;
+    cell.energy_joules = joules.mean() * scale;
+    cell.energy_stddev = joules.stddev() * scale;
+    cell.power_watts = watts.mean();
+    cell.fct_sec = fct.mean() * scale;
+    cell.retransmissions = retxs.mean() * scale;
+    cells.push_back(cell);
+
+    std::fprintf(stderr, "  grid: mtu=%-5d %-10s E=%8.1f J  P=%6.2f W\n",
+                 cell.mtu_bytes, cell.cca.c_str(), cell.energy_joules,
+                 cell.power_watts);
   }
   save_cache(options, cells);
   return cells;

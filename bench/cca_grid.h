@@ -16,6 +16,11 @@ struct GridOptions {
   std::int64_t bytes = 2'000'000'000;
   int repeats = 3;
   std::uint64_t base_seed = 1;
+  /// Worker threads for the (CCA x MTU x repeat) sweep; 1 = serial, <= 0 =
+  /// all hardware threads. Per-run seeds are derived from (base_seed, cell,
+  /// repeat), so the resulting cells — and any CSV written from them — are
+  /// byte-identical for every jobs value.
+  int jobs = 1;
   std::vector<int> mtus = {1500, 3000, 6000, 9000};
   /// Figures 5-8 share one measurement grid. When non-empty, a finished
   /// grid is written here and an existing file with matching parameters is

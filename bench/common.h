@@ -37,6 +37,13 @@ inline std::string flag_str(int argc, char** argv, const char* name,
   return fallback;
 }
 
+/// Worker threads for grid/repeat sweeps (`--jobs N`; N <= 0 means all
+/// hardware threads). Every bench that fans out over scenarios accepts it;
+/// results are deterministic regardless of the value.
+inline int flag_jobs(int argc, char** argv) {
+  return static_cast<int>(flag_i64(argc, argv, "--jobs", 1));
+}
+
 /// Paper transfer size and our simulated default.
 constexpr std::int64_t kPaperBytes = 50'000'000'000;   // 50 GB
 constexpr std::int64_t kDefaultBytes = 2'000'000'000;  // 2 GB simulated

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
       bench::flag_i64(argc, argv, "--bytes", bench::kDefaultBytes);
   const int repeats =
       static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 3));
+  const int jobs = bench::flag_jobs(argc, argv);
   const double scale = bench::scale_to_paper(bytes);
 
   bench::print_header(
@@ -56,7 +57,11 @@ int main(int argc, char** argv) {
         scenario->add_flow(flow);
         return scenario;
       };
-      const auto agg = app::run_repeated(builder, repeats, 1);
+      app::RepeatOptions repeat_options;
+      repeat_options.repeats = repeats;
+      repeat_options.jobs = jobs;
+      repeat_options.cell_index = cells.size();  // one cell per (MTU, CCA)
+      const auto agg = app::run_repeated(builder, repeat_options);
       stats::Summary fct;
       for (const auto& run : agg.runs) fct.add(run.flows[0].fct_sec);
       cells.push_back({name, mtu, agg.joules.mean() * scale / 1e3,

@@ -23,7 +23,7 @@ using namespace greencc;
 namespace {
 
 app::RepeatResult run_fraction(double fraction, std::int64_t bytes,
-                               int repeats) {
+                               int repeats, int jobs) {
   auto builder = [&](std::uint64_t seed) {
     app::ScenarioConfig config;
     config.tcp.mtu_bytes = 9000;
@@ -43,7 +43,13 @@ app::RepeatResult run_fraction(double fraction, std::int64_t bytes,
     for (const auto& spec : specs) scenario->add_flow(spec);
     return scenario;
   };
-  return app::run_repeated(builder, repeats, 1);
+  app::RepeatOptions options;
+  options.repeats = repeats;
+  options.jobs = jobs;
+  // Each fraction is one grid cell: mix it into the seeds so repeats stay
+  // statistically independent across the sweep.
+  options.cell_index = static_cast<std::uint64_t>(fraction * 100.0);
+  return app::run_repeated(builder, options);
 }
 
 }  // namespace
@@ -53,6 +59,7 @@ int main(int argc, char** argv) {
       bench::flag_i64(argc, argv, "--bytes", 1'250'000'000);  // 10 Gbit
   const int repeats =
       static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 5));
+  const int jobs = bench::flag_jobs(argc, argv);
 
   bench::print_header(
       "Figure 1 — energy savings vs. bandwidth fraction of flow 1",
@@ -66,12 +73,12 @@ int main(int argc, char** argv) {
   stats::Table table({"fraction", "achieved", "energy[J]", "stddev",
                       "savings[%]", "closed-form[%]"});
 
-  const auto fair = run_fraction(0.5, bytes, repeats);
+  const auto fair = run_fraction(0.5, bytes, repeats, jobs);
   const double fair_joules = fair.joules.mean();
 
   for (double f : {0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95,
                    1.0}) {
-    const auto agg = f == 0.5 ? fair : run_fraction(f, bytes, repeats);
+    const auto agg = f == 0.5 ? fair : run_fraction(f, bytes, repeats, jobs);
     // Achieved fraction: flow 1's average share of the link while it ran.
     stats::Summary achieved;
     for (const auto& run : agg.runs) {
@@ -92,7 +99,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   table.write_csv(bench::flag_str(argc, argv, "--csv", "fig1.csv"));
 
-  const auto fsi = run_fraction(1.0, bytes, repeats);
+  const auto fsi = run_fraction(1.0, bytes, repeats, jobs);
   const double headline = (fair_joules - fsi.joules.mean()) / fair_joules;
   std::printf(
       "\nfull-speed-then-idle saves %.1f%% over the fair allocation "

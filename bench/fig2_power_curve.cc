@@ -20,7 +20,8 @@ using namespace greencc;
 
 namespace {
 
-double measured_power(double gbps, std::int64_t bytes, int repeats) {
+double measured_power(double gbps, std::int64_t bytes, int repeats,
+                      int jobs) {
   auto builder = [&](std::uint64_t seed) {
     app::ScenarioConfig config;
     config.tcp.mtu_bytes = 9000;
@@ -33,7 +34,12 @@ double measured_power(double gbps, std::int64_t bytes, int repeats) {
     scenario->add_flow(flow);
     return scenario;
   };
-  return app::run_repeated(builder, repeats, 1).watts.mean();
+  app::RepeatOptions options;
+  options.repeats = repeats;
+  options.jobs = jobs;
+  // One cell per target bitrate, so seeds never overlap along the curve.
+  options.cell_index = static_cast<std::uint64_t>(gbps * 10.0);
+  return app::run_repeated(builder, options).watts.mean();
 }
 
 double idle_power(int repeats) {
@@ -50,6 +56,7 @@ double idle_power(int repeats) {
 int main(int argc, char** argv) {
   const int repeats =
       static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 3));
+  const int jobs = bench::flag_jobs(argc, argv);
 
   bench::print_header(
       "Figure 2 — power vs. average throughput (CUBIC, MTU 9000)",
@@ -70,7 +77,7 @@ int main(int argc, char** argv) {
     const auto bytes = static_cast<std::int64_t>(gbps * 1e9 * 1.5 / 8.0);
     const double rate_limit = gbps >= 10.0 ? 0.0 : gbps;
     const double watts =
-        measured_power(rate_limit, bytes, repeats);
+        measured_power(rate_limit, bytes, repeats, jobs);
     rows.emplace_back(gbps, watts);
     xs.push_back(gbps);
     ys.push_back(watts);

@@ -19,7 +19,7 @@ using namespace greencc;
 
 namespace {
 
-double measured_power(double gbps, int stress_cores, int repeats) {
+double measured_power(double gbps, int stress_cores, int repeats, int jobs) {
   auto builder = [&](std::uint64_t seed) {
     app::ScenarioConfig config;
     config.tcp.mtu_bytes = 9000;
@@ -33,7 +33,13 @@ double measured_power(double gbps, int stress_cores, int repeats) {
     scenario->add_flow(flow);
     return scenario;
   };
-  return app::run_repeated(builder, repeats, 1).watts.mean();
+  app::RepeatOptions options;
+  options.repeats = repeats;
+  options.jobs = jobs;
+  // One cell per (load, bitrate) point of the power matrix.
+  options.cell_index = static_cast<std::uint64_t>(stress_cores) * 100 +
+                       static_cast<std::uint64_t>(gbps * 10.0);
+  return app::run_repeated(builder, options).watts.mean();
 }
 
 double idle_power(int stress_cores) {
@@ -48,6 +54,7 @@ double idle_power(int stress_cores) {
 int main(int argc, char** argv) {
   const int repeats =
       static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 3));
+  const int jobs = bench::flag_jobs(argc, argv);
 
   bench::print_header(
       "Figure 4 — power vs. bitrate under background load (+ §4.2 savings)",
@@ -64,9 +71,9 @@ int main(int argc, char** argv) {
     const int cores = loads_pct[col] * 32 / 100;
     p[0][col] = idle_power(cores);
     for (int gbps = 2; gbps <= 10; gbps += 2) {
-      p[gbps][col] = measured_power(gbps, cores, repeats);
+      p[gbps][col] = measured_power(gbps, cores, repeats, jobs);
     }
-    p[5][col] = measured_power(5.0, cores, repeats);
+    p[5][col] = measured_power(5.0, cores, repeats, jobs);
   }
   for (int gbps : {0, 2, 4, 5, 6, 8, 10}) {
     table.add_row({stats::Table::num(gbps, 0),

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   options.bytes = bench::flag_i64(argc, argv, "--bytes", bench::kDefaultBytes);
   options.repeats =
       static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 3));
+  options.jobs = bench::flag_jobs(argc, argv);
   options.cache_path =
       bench::flag_str(argc, argv, "--cache", options.cache_path);
 

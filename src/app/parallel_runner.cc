@@ -1,0 +1,133 @@
+#include "app/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace greencc::app {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t cell_index,
+                          std::uint64_t repeat_index) {
+  // Golden-ratio multiples keep distinct (cell, repeat) pairs at distinct
+  // pre-mix values even when base_seed is small; the SplitMix64 finalizer
+  // then avalanches every input bit across the output.
+  std::uint64_t x = base_seed;
+  x += 0x9E3779B97F4A7C15ULL * (cell_index + 1);
+  x += 0xD1B54A32D192ED03ULL * (repeat_index + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+namespace {
+
+/// One worker's slice of the index space: [next, last). The owner takes
+/// from the front, thieves take from the back. A mutex per slice keeps the
+/// protocol obvious and is uncontended except at steal time; per-run
+/// simulations are many orders of magnitude slower than the lock.
+struct Slice {
+  std::mutex mu;
+  std::size_t next = 0;
+  std::size_t last = 0;
+
+  bool take_front(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (next >= last) return false;
+    out = next++;
+    return true;
+  }
+
+  bool steal_back(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (next >= last) return false;
+    out = --last;
+    return true;
+  }
+};
+
+}  // namespace
+
+ParallelRunner::ParallelRunner(int jobs, ProgressFn progress)
+    : jobs_(jobs), progress_(std::move(progress)) {
+  if (jobs_ <= 0) {
+    jobs_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs_ <= 0) jobs_ = 1;
+  }
+}
+
+void ParallelRunner::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& task) const {
+  if (n == 0) return;
+
+  std::atomic<std::size_t> completed{0};
+  std::mutex progress_mu;
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto run_one = [&](std::size_t index) {
+    const auto started = std::chrono::steady_clock::now();
+    try {
+      task(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    const std::size_t done = completed.fetch_add(1) + 1;
+    if (progress_) {
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress_(done, n, index, secs);
+    }
+  };
+
+  const auto workers = std::min(static_cast<std::size_t>(jobs_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  // Worker w starts owning the contiguous slice [w*n/W, (w+1)*n/W).
+  std::vector<Slice> slices(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    slices[w].next = w * n / workers;
+    slices[w].last = (w + 1) * n / workers;
+  }
+
+  auto worker_loop = [&](std::size_t me) {
+    std::size_t index;
+    for (;;) {
+      if (slices[me].take_front(index)) {
+        run_one(index);
+        continue;
+      }
+      // Own slice dry: scan the other slices for work to steal. Indices are
+      // only ever consumed, so an unsuccessful full scan means the
+      // remaining work is already in flight on other workers.
+      bool stole = false;
+      for (std::size_t off = 1; off < workers && !stole; ++off) {
+        stole = slices[(me + off) % workers].steal_back(index);
+      }
+      if (!stole) return;
+      run_one(index);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker_loop, w);
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace greencc::app

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace greencc::app {
+
+/// Deterministic per-run seed derivation, shared by the serial and parallel
+/// experiment paths.
+///
+/// The historical scheme `base_seed + i` hands adjacent grid cells
+/// overlapping seed sequences (cell A's repeat 1 reruns cell B's repeat 0
+/// exactly), so repeats were not statistically independent across cells.
+/// Here the three coordinates are combined with golden-ratio multiples and
+/// pushed through the SplitMix64 finalizer: changing any coordinate by one
+/// scrambles the whole 64-bit output, and the derivation depends only on
+/// (base_seed, cell, repeat) — never on thread count or completion order.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t cell_index,
+                          std::uint64_t repeat_index);
+
+/// Progress callback: (completed so far, total, task index, seconds the
+/// task took). Invoked under an internal mutex, so implementations may
+/// print to stderr without further locking.
+using ProgressFn =
+    std::function<void(std::size_t, std::size_t, std::size_t, double)>;
+
+/// A small work-stealing thread pool for embarrassingly parallel experiment
+/// sweeps (repeat loops, CCA x MTU grids).
+///
+/// `for_each_index(n, task)` runs task(0..n-1) across `jobs` worker threads
+/// and blocks until every index has finished. Each worker owns a contiguous
+/// slice of the index space and steals from the tail of other workers'
+/// slices when its own runs dry, so uneven per-task cost (slow CCAs, small
+/// MTUs) cannot idle the pool.
+///
+/// Determinism contract: the pool imposes no shared mutable state on tasks.
+/// Each task must write only to its own result slot and every simulation
+/// seeds its own RNG (via derive_seed); under that contract results are
+/// bit-identical for any thread count and any completion order — only the
+/// interleaving of progress lines may differ.
+class ParallelRunner {
+ public:
+  /// jobs <= 0 selects std::thread::hardware_concurrency(); jobs == 1 runs
+  /// every task inline on the calling thread (the exact serial path).
+  explicit ParallelRunner(int jobs = 1, ProgressFn progress = nullptr);
+
+  int jobs() const { return jobs_; }
+
+  /// Run task(i) for every i in [0, n); blocks until all tasks completed.
+  /// The first exception thrown by any task is rethrown on the calling
+  /// thread after the remaining tasks finish.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& task) const;
+
+ private:
+  int jobs_;
+  ProgressFn progress_;
+};
+
+}  // namespace greencc::app

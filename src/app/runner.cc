@@ -1,14 +1,39 @@
 #include "app/runner.h"
 
+#include <algorithm>
+#include <cstdio>
+
 namespace greencc::app {
 
 RepeatResult run_repeated(
     const std::function<std::unique_ptr<Scenario>(std::uint64_t seed)>& builder,
-    int repeats, std::uint64_t base_seed) {
+    const RepeatOptions& options) {
+  const auto repeats = static_cast<std::size_t>(std::max(options.repeats, 0));
+  std::vector<ScenarioResult> runs(repeats);
+
+  ProgressFn progress;
+  if (options.progress) {
+    progress = [&options](std::size_t done, std::size_t total,
+                          std::size_t index, double secs) {
+      std::fprintf(stderr, "  %s: [%zu/%zu] repeat %zu seed=%llu  %.2fs\n",
+                   options.label.c_str(), done, total, index,
+                   static_cast<unsigned long long>(derive_seed(
+                       options.base_seed, options.cell_index, index)),
+                   secs);
+    };
+  }
+
+  ParallelRunner pool(options.jobs, std::move(progress));
+  pool.for_each_index(repeats, [&](std::size_t i) {
+    auto scenario =
+        builder(derive_seed(options.base_seed, options.cell_index, i));
+    runs[i] = scenario->run();
+  });
+
+  // Aggregate serially in repeat order after the pool drained: bit-identical
+  // to the jobs=1 path regardless of completion order.
   RepeatResult agg;
-  for (int i = 0; i < repeats; ++i) {
-    auto scenario = builder(base_seed + static_cast<std::uint64_t>(i));
-    ScenarioResult result = scenario->run();
+  for (auto& result : runs) {
     agg.joules.add(result.total_joules);
     agg.watts.add(result.avg_watts);
     agg.duration_sec.add(result.duration_sec);
@@ -18,6 +43,15 @@ RepeatResult run_repeated(
     agg.runs.push_back(std::move(result));
   }
   return agg;
+}
+
+RepeatResult run_repeated(
+    const std::function<std::unique_ptr<Scenario>(std::uint64_t seed)>& builder,
+    int repeats, std::uint64_t base_seed) {
+  RepeatOptions options;
+  options.repeats = repeats;
+  options.base_seed = base_seed;
+  return run_repeated(builder, options);
 }
 
 }  // namespace greencc::app

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "app/parallel_runner.h"
 #include "app/scenario.h"
 #include "stats/stats.h"
 
@@ -18,11 +20,36 @@ struct RepeatResult {
   std::vector<ScenarioResult> runs;
 };
 
-/// Run `builder` `repeats` times with distinct seeds and aggregate.
+/// How to repeat (and optionally parallelize) a scenario.
+struct RepeatOptions {
+  int repeats = 1;
+  std::uint64_t base_seed = 1;
+  /// Grid-cell coordinate mixed into the per-run seed. Callers sweeping a
+  /// grid (CCA x MTU, fraction, load) give every cell a distinct index so
+  /// repeats are statistically independent across cells; a single-cell
+  /// caller leaves it 0.
+  std::uint64_t cell_index = 0;
+  /// Worker threads for the repeats; 1 = serial on the calling thread,
+  /// <= 0 = all hardware threads. Results are bit-identical regardless.
+  int jobs = 1;
+  /// Emit one wall-clock line per finished run to stderr.
+  bool progress = false;
+  std::string label = "run";  ///< prefix for progress lines
+};
+
+/// Run `builder` `options.repeats` times with distinct seeds and aggregate.
 ///
 /// The builder receives the run's seed and must return a fully configured
-/// Scenario (flows added). Seeds are `base_seed + i`, so any individual run
-/// can be reproduced exactly.
+/// Scenario (flows added). Seeds are `derive_seed(base_seed, cell_index,
+/// i)` — see parallel_runner.h — so any individual run can be reproduced
+/// exactly and repeats never overlap across grid cells. Aggregation happens
+/// in repeat order after all runs finish, so the result is bit-identical
+/// for any `jobs` value.
+RepeatResult run_repeated(
+    const std::function<std::unique_ptr<Scenario>(std::uint64_t seed)>& builder,
+    const RepeatOptions& options);
+
+/// Serial convenience overload (jobs = 1, cell_index = 0).
 RepeatResult run_repeated(
     const std::function<std::unique_ptr<Scenario>(std::uint64_t seed)>& builder,
     int repeats, std::uint64_t base_seed = 1);

@@ -104,6 +104,9 @@ void Scenario::build_receiver_host() {
     bottleneck.queue_capacity_bytes = config_.switch_queue_bytes;
     bottleneck.ecn_threshold_bytes = config_.ecn_threshold_bytes;
     bottleneck.aqm = config_.bottleneck_aqm;
+    // CoDel's "nearly empty" floor is two MTUs; tie it to the MTU this
+    // experiment actually runs rather than the AqmConfig default.
+    bottleneck.aqm.mtu_bytes = config_.tcp.mtu_bytes;
     bottleneck_port_ = &switch_->add_egress(kReceiverHost, bottleneck,
                                             rx_backlog_.get());
   }

@@ -56,6 +56,12 @@ bool DropTailQueue::red_admit(Packet& pkt, sim::SimTime now) {
     if (idle_packets > 0) {
       red_avg_ *= std::pow(1.0 - aqm_.red_weight, idle_packets);
     }
+    // This arrival accounts the idle period whether or not RED then drops
+    // the packet: restart the idle clock so a following arrival does not
+    // decay the average for the same interval a second time. (Previously
+    // only a successful enqueue cleared the idle state, so a RED drop left
+    // it stale and the correction was re-applied.)
+    red_empty_since_ = now;
   }
   red_avg_ = (1.0 - aqm_.red_weight) * red_avg_ +
              aqm_.red_weight * static_cast<double>(bytes_);
@@ -122,7 +128,7 @@ void DropTailQueue::codel_prune(sim::SimTime now) {
   // root of the drop count.
   while (!entries_.empty()) {
     const sim::SimTime sojourn = now - entries_.front().enqueued_at;
-    if (sojourn < aqm_.codel_target || bytes_ <= 2 * 9'018) {
+    if (sojourn < aqm_.codel_target || bytes_ <= 2 * aqm_.mtu_bytes) {
       // Below target (or nearly empty): leave dropping state.
       codel_first_above_ = sim::SimTime::zero();
       codel_dropping_ = false;

@@ -52,6 +52,15 @@ struct AqmConfig {
   // kCodel
   sim::SimTime codel_target = sim::SimTime::microseconds(50);
   sim::SimTime codel_interval = sim::SimTime::milliseconds(1);
+
+  /// Wire MTU of the traffic traversing this queue. CoDel leaves its
+  /// dropping state once fewer than two MTUs' worth of bytes remain — the
+  /// "nearly empty" guard of Nichols & Jacobson 2012. Scenario propagates
+  /// the experiment's configured MTU here; a previous revision hardcoded
+  /// the 9018-byte jumbo frame, which silently disabled CoDel entirely for
+  /// 1500-byte-MTU experiments (the queue never drained below ~18 KB of
+  /// small frames while standing).
+  std::int64_t mtu_bytes = 1'500;
 };
 
 /// Tail-drop FIFO with optional AQM, modelling one output queue.

@@ -39,6 +39,8 @@ struct Options {
   int load_pct = 0;
   int repeats = 1;
   std::uint64_t seed = 1;
+  int jobs = 1;
+  bool progress = false;
   double rate_limit_gbps = 0.0;
   std::string json_path;
   bool list_ccas = false;
@@ -59,8 +61,14 @@ void print_usage() {
       "  --schedule S         fair | fsi | srpt | weighted:<fraction>\n"
       "  --rate G             app rate limit per flow in Gb/s (0 = none)\n"
       "  --load P             background load percent on sender hosts\n"
-      "  --repeats K          repeated runs with seeds seed..seed+K-1\n"
+      "  --repeats K          repeated runs; per-run seeds are splitmix-"
+      "derived\n"
+      "                       from (seed, cca index, repeat)\n"
       "  --seed S             base RNG seed (default 1)\n"
+      "  --jobs N             worker threads for the repeats (default 1; "
+      "0 = all\n"
+      "                       cores); results identical for any N\n"
+      "  --progress           print one wall-clock line per finished run\n"
       "  --json FILE          write machine-readable results\n"
       "  --list-ccas          list available algorithms and exit\n");
 }
@@ -136,6 +144,12 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.jobs = std::atoi(v);
+    } else if (arg == "--progress") {
+      opt.progress = true;
     } else if (arg == "--json") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -209,6 +223,7 @@ int main(int argc, char** argv) {
   stats::Table table({"cca", "energy[J]", "sd", "power[W]", "duration[s]",
                       "retx", "completed"});
 
+  std::uint64_t cca_index = 0;
   for (const auto& cca_name : opt.ccas) {
     auto builder = [&](std::uint64_t seed) {
       app::ScenarioConfig config;
@@ -222,9 +237,17 @@ int main(int argc, char** argv) {
       return scenario;
     };
 
+    app::RepeatOptions repeat_options;
+    repeat_options.repeats = opt.repeats;
+    repeat_options.base_seed = opt.seed;
+    repeat_options.cell_index = cca_index++;  // one cell per algorithm
+    repeat_options.jobs = opt.jobs;
+    repeat_options.progress = opt.progress;
+    repeat_options.label = cca_name;
+
     app::RepeatResult agg;
     try {
-      agg = app::run_repeated(builder, opt.repeats, opt.seed);
+      agg = app::run_repeated(builder, repeat_options);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s: %s\n", cca_name.c_str(), e.what());
       return 1;

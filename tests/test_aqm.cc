@@ -116,6 +116,59 @@ TEST(Codel, RecoversWhenQueueDrains) {
   EXPECT_EQ(q.stats().dropped, dropped_before);
 }
 
+TEST(Codel, EngagesAt1500ByteMtu) {
+  // Regression: the "nearly empty" floor used to hardcode two 9018-byte
+  // jumbo frames, so at MTU 1500 a standing queue of ~12 KB (eight full
+  // frames — far above two MTUs) never tripped CoDel at all.
+  AqmConfig aqm = codel_config();
+  aqm.mtu_bytes = 1'500;
+  DropTailQueue q(1 << 20, aqm);
+  for (int i = 0; i < 8; ++i) q.enqueue(pkt_of(1'500), SimTime::zero());
+  // Drain slowly: sojourn is milliseconds against a 50 us target.
+  int delivered = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (q.dequeue(SimTime::milliseconds(5 + 5 * i)).has_value()) ++delivered;
+  }
+  EXPECT_GT(q.stats().dropped, 0u);
+  EXPECT_LT(delivered, 8);
+}
+
+TEST(Red, DropDoesNotReapplyIdleDecay) {
+  // Regression: a RED drop used to leave the idle bookkeeping stale (only a
+  // successful enqueue cleared it), so the arrival after the drop decayed
+  // red_avg_ for the same idle period a second time.
+  AqmConfig aqm;
+  aqm.mode = AqmMode::kRed;
+  aqm.red_min_bytes = 5'000;
+  aqm.red_max_bytes = 20'000;
+  aqm.red_weight = 0.25;
+  aqm.red_idle_packet_time = SimTime::milliseconds(1);
+  DropTailQueue q(1 << 20, aqm);
+
+  // Pump the average well above red_max with ECT packets (marked, not
+  // dropped, while the average is still below red_max), then drain fully.
+  for (int i = 0; i < 1000 && q.red_average_bytes() < 2.0 * 20'000; ++i) {
+    q.enqueue(pkt_of(9'000, true), SimTime::zero());
+  }
+  ASSERT_GE(q.red_average_bytes(), 2.0 * 20'000);
+  while (q.dequeue(SimTime::milliseconds(1)).has_value()) {
+  }
+
+  // First arrival after 1 ms idle: one idle-packet decay step, then the
+  // EWMA update; the average is still >= red_max, so the non-ECT packet is
+  // dropped deterministically (p = 1).
+  ASSERT_FALSE(q.enqueue(pkt_of(1'500, false), SimTime::milliseconds(2)));
+  const double after_drop = q.red_average_bytes();
+  ASSERT_GE(after_drop, 20'000.0);
+
+  // Second arrival at the same instant: zero further idle time has passed,
+  // so the average must take exactly one EWMA step toward the (empty)
+  // queue — no re-applied idle decay for the interval the dropped arrival
+  // already accounted.
+  q.enqueue(pkt_of(1'500, false), SimTime::milliseconds(2));
+  EXPECT_DOUBLE_EQ(q.red_average_bytes(), (1.0 - 0.25) * after_drop);
+}
+
 // --- end-to-end: RED marking drives DCTCP through the scenario ---
 
 TEST(AqmEndToEnd, RedMarkedBottleneckDrivesDctcp) {

@@ -46,6 +46,16 @@ TEST(Runner, DistinctBaseSeedsDiffer) {
   EXPECT_NE(a.joules.mean(), b.joules.mean());
 }
 
+TEST(Runner, LegacyOverloadMatchesOptionsPath) {
+  const auto a = run_repeated(build, 3, 42);
+  RepeatOptions options;
+  options.repeats = 3;
+  options.base_seed = 42;
+  const auto b = run_repeated(build, options);
+  EXPECT_DOUBLE_EQ(a.joules.mean(), b.joules.mean());
+  EXPECT_DOUBLE_EQ(a.duration_sec.mean(), b.duration_sec.mean());
+}
+
 TEST(Runner, TracksRetransmissions) {
   const auto agg = run_repeated(build, 3, 7);
   EXPECT_GE(agg.retransmissions.mean(), 0.0);
