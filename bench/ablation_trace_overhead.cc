@@ -1,0 +1,71 @@
+// Microbenchmark (google-benchmark): cost of the tracing hooks on a full
+// scenario run. The contract is that a traced-off run (no sink attached)
+// pays only an untaken branch per potential event site — this bench is the
+// guard that keeps that true, alongside ablation_simcore for the raw
+// simulator core.
+//
+//   BM_ScenarioUntraced     — baseline, sink pointer nullptr everywhere
+//   BM_ScenarioFilteredOut  — sink attached but mask selects nothing:
+//                             the per-event branch is taken, emit() drops
+//                             the event before formatting
+//   BM_ScenarioCounted      — in-memory sink accepting every class
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "app/scenario.h"
+#include "trace/trace.h"
+
+using namespace greencc;
+
+namespace {
+
+// Big enough to overflow the bottleneck (drops, retransmits — the traced
+// code paths), small enough for benchmark iterations.
+std::unique_ptr<app::Scenario> make_scenario() {
+  app::ScenarioConfig config;
+  config.tcp.mtu_bytes = 9000;
+  auto scenario = std::make_unique<app::Scenario>(config);
+  app::FlowSpec flow;
+  flow.bytes = 25'000'000;
+  scenario->add_flow(flow);
+  return scenario;
+}
+
+void BM_ScenarioUntraced(benchmark::State& state) {
+  for (auto _ : state) {
+    auto scenario = make_scenario();
+    const auto r = scenario->run();
+    benchmark::DoNotOptimize(r.total_joules);
+  }
+}
+BENCHMARK(BM_ScenarioUntraced)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioFilteredOut(benchmark::State& state) {
+  for (auto _ : state) {
+    auto scenario = make_scenario();
+    trace::VectorTraceSink sink(0);  // wants() nothing
+    scenario->set_trace_sink(&sink);
+    const auto r = scenario->run();
+    benchmark::DoNotOptimize(r.total_joules);
+    benchmark::DoNotOptimize(sink.events_emitted());
+  }
+}
+BENCHMARK(BM_ScenarioFilteredOut)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioCounted(benchmark::State& state) {
+  for (auto _ : state) {
+    auto scenario = make_scenario();
+    trace::VectorTraceSink sink;
+    scenario->set_trace_sink(&sink);
+    const auto r = scenario->run();
+    benchmark::DoNotOptimize(r.total_joules);
+    benchmark::DoNotOptimize(sink.events().size());
+  }
+}
+BENCHMARK(BM_ScenarioCounted)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -13,13 +13,21 @@ RepeatResult run_repeated(
 
   ProgressFn progress;
   if (options.progress) {
-    progress = [&options](std::size_t done, std::size_t total,
-                          std::size_t index, double secs) {
-      std::fprintf(stderr, "  %s: [%zu/%zu] repeat %zu seed=%llu  %.2fs\n",
+    // The pool invokes this after runs[index] is written, so the run's
+    // profile is safe to read here.
+    progress = [&options, &runs](std::size_t done, std::size_t total,
+                                 std::size_t index, double secs) {
+      const RunProfile& prof = runs[index].profile;
+      std::fprintf(stderr,
+                   "  %s: [%zu/%zu] repeat %zu seed=%llu  %.2fs  "
+                   "%llu events (%.2fM ev/s, peak queue %llu)\n",
                    options.label.c_str(), done, total, index,
                    static_cast<unsigned long long>(derive_seed(
                        options.base_seed, options.cell_index, index)),
-                   secs);
+                   secs,
+                   static_cast<unsigned long long>(prof.events_executed),
+                   prof.events_per_sec / 1e6,
+                   static_cast<unsigned long long>(prof.peak_pending_events));
     };
   }
 
@@ -27,7 +35,14 @@ RepeatResult run_repeated(
   pool.for_each_index(repeats, [&](std::size_t i) {
     auto scenario =
         builder(derive_seed(options.base_seed, options.cell_index, i));
+    std::unique_ptr<trace::TraceSink> sink;
+    if (options.trace_sink_factory) {
+      sink = options.trace_sink_factory(i);
+      if (sink) scenario->set_trace_sink(sink.get());
+    }
     runs[i] = scenario->run();
+    // scenario (the only holder of the sink pointer) dies before the sink.
+    scenario.reset();
   });
 
   // Aggregate serially in repeat order after the pool drained: bit-identical

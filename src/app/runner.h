@@ -1,12 +1,15 @@
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "app/parallel_runner.h"
 #include "app/scenario.h"
 #include "stats/stats.h"
+#include "trace/trace.h"
 
 namespace greencc::app {
 
@@ -35,6 +38,13 @@ struct RepeatOptions {
   /// Emit one wall-clock line per finished run to stderr.
   bool progress = false;
   std::string label = "run";  ///< prefix for progress lines
+  /// When set, called once per run with the repeat index; the returned sink
+  /// is attached to that run's scenario and destroyed (flushing it) right
+  /// after the run finishes. One sink per run keeps parallel repeats
+  /// race-free — sinks are never shared across worker threads. Return
+  /// nullptr to leave a particular run untraced.
+  std::function<std::unique_ptr<trace::TraceSink>(std::size_t run_index)>
+      trace_sink_factory;
 };
 
 /// Run `builder` `options.repeats` times with distinct seeds and aggregate.

@@ -1,12 +1,17 @@
 #include "app/scenario.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "cca/cca.h"
 
 namespace greencc::app {
+
+namespace {
+constexpr std::string_view kScenarioSrc = "scenario";
+}  // namespace
 
 /// Dispatches packets to per-flow endpoints within one host.
 class Scenario::Demux : public net::PacketHandler {
@@ -169,7 +174,12 @@ Scenario::SenderHost& Scenario::sender_host(int index) {
     net::PortConfig return_port;
     return_port.rate_bps = config_.bottleneck_bps;
     return_port.propagation = config_.link_delay;
-    switch_->add_egress(host->id, return_port, host->ack_stack.get());
+    net::QueuedPort& ret =
+        switch_->add_egress(host->id, return_port, host->ack_stack.get());
+    if (trace_) {
+      host->nic->set_trace(trace_);
+      ret.set_trace(trace_);
+    }
 
     // Hosts born mid-run (open-loop arrivals) start metering immediately.
     if (metering_started_) host->meter->start();
@@ -206,10 +216,28 @@ void Scenario::add_flow(const FlowSpec& spec) {
   flow->receiver = std::make_unique<tcp::TcpReceiver>(
       sim_, flow->id, kReceiverHost, config_.tcp, receiver_nic_.get());
   receiver_stack_->attach(flow->id, flow->receiver.get());
+  if (trace_) {
+    flow->sender->set_trace(trace_);
+    flow->receiver->set_trace(trace_);
+  }
   if (drr_bottleneck_) drr_bottleneck_->set_weight(flow->id, spec.weight);
 
   host.cores.push_back(std::move(core));
   flows_.push_back(std::move(flow));
+}
+
+void Scenario::set_trace_sink(trace::TraceSink* sink) {
+  trace_ = sink;
+  // Everything built so far; components created after this call are wired
+  // at creation (sender_host / add_flow check trace_).
+  switch_->set_trace(sink);
+  rx_backlog_->set_trace(sink);
+  receiver_nic_->set_trace(sink);
+  for (auto& host : senders_) host->nic->set_trace(sink);
+  for (auto& flow : flows_) {
+    flow->sender->set_trace(sink);
+    flow->receiver->set_trace(sink);
+  }
 }
 
 void Scenario::on_flow_complete(FlowState& flow) {
@@ -217,6 +245,11 @@ void Scenario::on_flow_complete(FlowState& flow) {
   flow.completed = sim_.now();
   last_completion_ = sim_.now();
   ++completed_flows_;
+  if (trace_) {
+    trace_->emit({sim_.now(), trace::EventClass::kFlowFinish, flow.id,
+                  kScenarioSrc, -1, (flow.completed - flow.started).sec(),
+                  0.0});
+  }
 
   // Start any flow chained behind this one ("full speed, then idle").
   const int this_index = static_cast<int>(flow.id) - 1;
@@ -263,6 +296,11 @@ void Scenario::start_flow(FlowState& flow) {
   flow.has_started = true;
   flow.last_report_time = sim_.now();
   flow.current_rate_bps = flow.spec.rate_limit_bps;
+  if (trace_) {
+    trace_->emit({sim_.now(), trace::EventClass::kFlowStart, flow.id,
+                  kScenarioSrc, -1, static_cast<double>(flow.spec.bytes),
+                  0.0});
+  }
   auto* state = &flow;
   flow.sender->set_on_complete([this, state] { on_flow_complete(*state); });
 
@@ -362,11 +400,25 @@ ScenarioResult Scenario::run() {
     sim_.schedule(config_.trace_interval, *tracer);
   }
 
+  // Profile the simulator's own execution, not scenario setup: wall-clock
+  // and event counts bracket run_until alone.
+  const std::uint64_t events_before = sim_.events_executed();
+  const auto wall_start = std::chrono::steady_clock::now();
   sim_.run_until(config_.deadline);
+  const auto wall_end = std::chrono::steady_clock::now();
 
   // Energy protocol: counters are read when the last flow completes, like
   // the paper's before/after RAPL reads around the whole experiment.
   ScenarioResult result;
+  result.profile.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.profile.events_executed = sim_.events_executed() - events_before;
+  result.profile.peak_pending_events = sim_.peak_pending_events();
+  result.profile.events_per_sec =
+      result.profile.wall_seconds > 0.0
+          ? static_cast<double>(result.profile.events_executed) /
+                result.profile.wall_seconds
+          : 0.0;
   result.all_completed = completed_flows_ == static_cast<int>(flows_.size());
   const sim::SimTime end =
       result.all_completed ? last_completion_ : sim_.now();
@@ -427,7 +479,40 @@ ScenarioResult Scenario::run() {
   }
   result.rx_backlog = rx_backlog_->queue_stats();
   result.queue_series = std::move(queue_series);
+  collect_counters(result);
   return result;
+}
+
+void Scenario::collect_counters(ScenarioResult& result) {
+  // Pull-model snapshot: readers over counters the components already keep,
+  // registered only here at end of run — the simulation hot path never sees
+  // the registry.
+  trace::CounterRegistry reg;
+  switch_->register_counters(reg);  // every egress port + unroutable
+  rx_backlog_->register_counters(reg);
+  receiver_nic_->register_counters(reg);
+  if (drr_bottleneck_) {
+    reg.add("switch:drr.dropped", [this] {
+      return static_cast<std::uint64_t>(drr_bottleneck_->dropped());
+    });
+  }
+  if (receiver_meter_) {
+    receiver_meter_->register_counters(reg, "host0.meter.");
+  }
+  for (auto& host : senders_) {
+    host->nic->register_counters(reg);
+    host->meter->register_counters(
+        reg, "host" + std::to_string(host->id) + ".meter.");
+  }
+  result.counters = reg.snapshot();
+
+  // Per-flow transport counters, matched to result.flows by index.
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    trace::CounterRegistry flow_reg;
+    flows_[i]->sender->register_counters(flow_reg, "sender.");
+    flows_[i]->receiver->register_counters(flow_reg, "receiver.");
+    result.flows[i].counters = flow_reg.snapshot();
+  }
 }
 
 }  // namespace greencc::app

@@ -17,6 +17,8 @@
 #include "tcp/receiver.h"
 #include "tcp/sender.h"
 #include "tcp/tcp_config.h"
+#include "trace/counters.h"
+#include "trace/trace.h"
 
 namespace greencc::app {
 
@@ -107,6 +109,19 @@ struct FlowResult {
     double pipe_segments = 0.0;
   };
   std::vector<TraceSample> trace;
+
+  /// This flow's transport counters ("sender.retransmissions",
+  /// "receiver.acks_sent", ...), snapshotted at end of run.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Execution profile of one scenario run — how hard the simulator worked,
+/// as opposed to what the simulated network did.
+struct RunProfile {
+  double wall_seconds = 0.0;            ///< host wall-clock spent in run()
+  std::uint64_t events_executed = 0;    ///< simulator events dispatched
+  std::uint64_t peak_pending_events = 0;  ///< event-queue high-water mark
+  double events_per_sec = 0.0;          ///< executed / wall_seconds
 };
 
 /// Result of one scenario run.
@@ -130,6 +145,11 @@ struct ScenarioResult {
   std::vector<std::pair<double, double>> power_series;
   /// Bottleneck queue depth samples (time, bytes) when `trace_interval` set.
   std::vector<std::pair<double, std::int64_t>> queue_series;
+  /// Network- and energy-side counters (switch ports, receiver backlog,
+  /// NICs, meters), snapshotted at end of run, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Simulator execution profile of this run.
+  RunProfile profile;
 };
 
 /// Builds and runs the paper's testbed: N sender hosts with bonded NICs, a
@@ -158,6 +178,13 @@ class Scenario {
   /// Record host-0 power samples into the result (Fig 2/4 series).
   void set_record_power(bool record) { record_power_ = record; }
 
+  /// Attach a structured-event sink for this run (call before run(); the
+  /// sink must outlive it). Every flow's sender and receiver, every NIC
+  /// port and the bottleneck queue then share one time-ordered stream.
+  /// nullptr (the default) keeps tracing compiled out of the hot path —
+  /// each event site is a single untaken branch.
+  void set_trace_sink(trace::TraceSink* sink);
+
   /// Run until all flows complete (or the deadline hits) and report.
   ScenarioResult run();
 
@@ -171,6 +198,7 @@ class Scenario {
   SenderHost& sender_host(int index);
   void start_flow(FlowState& flow);
   void on_flow_complete(FlowState& flow);
+  void collect_counters(ScenarioResult& result);
 
   ScenarioConfig config_;
   sim::Simulator sim_;
@@ -195,6 +223,7 @@ class Scenario {
   sim::SimTime experiment_start_ = sim::SimTime::zero();
   sim::SimTime last_completion_ = sim::SimTime::zero();
   bool record_power_ = false;
+  trace::TraceSink* trace_ = nullptr;
 
   static constexpr net::HostId kReceiverHost = 0;
 };

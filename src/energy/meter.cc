@@ -90,4 +90,11 @@ double HostEnergyMeter::average_watts() {
   return joules() / elapsed;
 }
 
+void HostEnergyMeter::register_counters(trace::CounterRegistry& reg,
+                                        const std::string& prefix) {
+  reg.add(prefix + "tx_packets", &tx_packets_);
+  reg.add(prefix + "tx_bytes", &tx_bytes_);
+  reg.add(prefix + "energy_uj", [this] { return read_energy_uj(); });
+}
+
 }  // namespace greencc::energy

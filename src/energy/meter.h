@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "energy/cpu.h"
@@ -8,6 +9,7 @@
 #include "energy/rapl.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "trace/counters.h"
 
 namespace greencc::energy {
 
@@ -63,6 +65,12 @@ class HostEnergyMeter {
   };
   const std::vector<PowerSample>& samples() const { return samples_; }
   void set_record_samples(bool record) { record_samples_ = record; }
+
+  /// Register "<prefix>tx_packets", "<prefix>tx_bytes" and the RAPL-style
+  /// "<prefix>energy_uj" reading. Non-const: reading energy integrates the
+  /// meter up to now, exactly like a real RAPL read.
+  void register_counters(trace::CounterRegistry& reg,
+                         const std::string& prefix);
 
  private:
   void tick();

@@ -3,12 +3,32 @@
 namespace greencc::net {
 
 void QueuedPort::handle(Packet pkt) {
+  // Tracing off: trace_ is nullptr and each site is one untaken branch —
+  // the traced-off path must stay at current speed (guarded by
+  // bench/ablation_trace_overhead). Drop and ECN-mark events are emitted
+  // by the queue itself, which sees every AQM decision (CoDel drops at
+  // dequeue time, where this port never handles the packet).
   if (!queue_.enqueue(pkt, sim_.now())) {  // tail drop or AQM
     pending_drop_penalty_ns_ += config_.drop_service_ns;
     if (on_drop_) on_drop_(pkt.size_bytes);
     return;
   }
+  if (trace_) {
+    trace_->emit({sim_.now(), trace::EventClass::kEnqueue, pkt.flow, name_,
+                  pkt.seq, static_cast<double>(queue_.bytes())});
+  }
   if (!transmitting_) start_transmission();
+}
+
+void QueuedPort::register_counters(trace::CounterRegistry& reg) const {
+  const QueueStats* stats = &queue_.stats();
+  reg.add(name_ + ".enqueued", &stats->enqueued);
+  reg.add(name_ + ".dropped", &stats->dropped);
+  reg.add(name_ + ".ecn_marked", &stats->ecn_marked);
+  reg.add(name_ + ".peak_bytes", &stats->max_bytes_seen);
+  reg.add(name_ + ".peak_packets", &stats->max_packets_seen);
+  reg.add(name_ + ".packets_sent", &packets_sent_);
+  reg.add(name_ + ".bytes_sent", &bytes_sent_);
 }
 
 void QueuedPort::start_transmission() {

@@ -8,6 +8,8 @@
 #include "net/queue.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "trace/counters.h"
+#include "trace/trace.h"
 
 namespace greencc::net {
 
@@ -79,6 +81,19 @@ class QueuedPort : public PacketHandler {
     on_drop_ = std::move(cb);
   }
 
+  /// Attach this run's event sink (nullptr = tracing off). When off, the
+  /// packet path pays exactly one branch per event site. The port emits
+  /// enqueue events; the queue emits drop and ECN-mark events under this
+  /// port's name.
+  void set_trace(trace::TraceSink* sink) {
+    trace_ = sink;
+    queue_.set_trace(sink, name_);
+  }
+
+  /// Register this port's queue and transmit counters under its name
+  /// ("<name>.enqueued", "<name>.dropped", ...).
+  void register_counters(trace::CounterRegistry& reg) const;
+
   const QueueStats& queue_stats() const { return queue_.stats(); }
   std::int64_t queue_bytes() const { return queue_.bytes(); }
   std::uint64_t packets_sent() const { return packets_sent_; }
@@ -94,6 +109,7 @@ class QueuedPort : public PacketHandler {
   PortConfig config_;
   DropTailQueue queue_;
   PacketHandler* next_;
+  trace::TraceSink* trace_ = nullptr;
   std::function<void(std::int64_t)> on_transmit_;
   std::function<void(std::int64_t)> on_drop_;
   bool transmitting_ = false;

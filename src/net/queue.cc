@@ -25,6 +25,12 @@ DropTailQueue::DropTailQueue(std::int64_t capacity_bytes,
       aqm_(aqm),
       rng_(aqm.red_seed) {}
 
+void DropTailQueue::trace_event(trace::EventClass cls, const Packet& pkt,
+                                sim::SimTime now) const {
+  trace_->emit(
+      {now, cls, pkt.flow, trace_src_, pkt.seq, static_cast<double>(bytes_)});
+}
+
 bool DropTailQueue::fits(const Packet& pkt) const {
   if (bytes_ + pkt.size_bytes > capacity_bytes_) return false;
   if (capacity_packets_ > 0 && entries_.size() >= capacity_packets_) {
@@ -38,6 +44,9 @@ void DropTailQueue::push(Packet pkt, sim::SimTime now) {
   stats_.max_bytes_seen = std::max(stats_.max_bytes_seen, bytes_);
   ++stats_.enqueued;
   entries_.push_back({pkt, now});
+  stats_.max_packets_seen =
+      std::max(stats_.max_packets_seen,
+               static_cast<std::uint64_t>(entries_.size()));
 }
 
 Packet DropTailQueue::pop() {
@@ -87,6 +96,7 @@ bool DropTailQueue::red_admit(Packet& pkt, sim::SimTime now) {
         static_cast<double>(aqm_.red_max_bytes)) {
       pkt.ce = true;
       ++stats_.ecn_marked;
+      if (trace_) trace_event(trace::EventClass::kEcnMark, pkt, now);
       return true;  // marked, still enqueued
     }
     return false;  // dropped by RED
@@ -97,6 +107,7 @@ bool DropTailQueue::red_admit(Packet& pkt, sim::SimTime now) {
 bool DropTailQueue::enqueue(Packet pkt, sim::SimTime now) {
   if (!fits(pkt)) {
     ++stats_.dropped;
+    if (trace_) trace_event(trace::EventClass::kDrop, pkt, now);
     return false;
   }
   switch (aqm_.mode) {
@@ -108,11 +119,13 @@ bool DropTailQueue::enqueue(Packet pkt, sim::SimTime now) {
           bytes_ >= aqm_.step_threshold_bytes) {
         pkt.ce = true;
         ++stats_.ecn_marked;
+        if (trace_) trace_event(trace::EventClass::kEcnMark, pkt, now);
       }
       break;
     case AqmMode::kRed:
       if (!red_admit(pkt, now)) {
         ++stats_.dropped;
+        if (trace_) trace_event(trace::EventClass::kDrop, pkt, now);
         return false;
       }
       break;
@@ -147,8 +160,8 @@ void DropTailQueue::codel_prune(sim::SimTime now) {
     }
     if (now < codel_next_drop_) return;
     Packet dropped = pop();
-    (void)dropped;
     ++stats_.dropped;
+    if (trace_) trace_event(trace::EventClass::kDrop, dropped, now);
     ++codel_drop_count_;
     codel_next_drop_ =
         now + aqm_.codel_interval.scaled(

@@ -3,10 +3,13 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "net/packet.h"
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace greencc::net {
 
@@ -15,7 +18,12 @@ struct QueueStats {
   std::uint64_t enqueued = 0;
   std::uint64_t dropped = 0;
   std::uint64_t ecn_marked = 0;
+  /// Peak occupancy over the queue's lifetime, in both units. Queue-sizing
+  /// claims (how much buffer a CCA actually needs) read these directly
+  /// instead of requiring a trace run; the packet peak is what matters for
+  /// packet-counted buffers like the receiver backlog.
   std::int64_t max_bytes_seen = 0;
+  std::uint64_t max_packets_seen = 0;
 };
 
 /// Queue management discipline applied on top of the tail-drop FIFO.
@@ -89,6 +97,15 @@ class DropTailQueue {
     return entries_.empty() ? nullptr : &entries_.front().pkt;
   }
 
+  /// Attach this run's event sink (nullptr = off). The queue emits drop
+  /// and ECN-mark events labelled `src` (its owning port's name); every
+  /// drop site reports, including CoDel's dequeue-time head drops that the
+  /// owning port never sees.
+  void set_trace(trace::TraceSink* sink, std::string src) {
+    trace_ = sink;
+    trace_src_ = std::move(src);
+  }
+
   bool empty() const { return entries_.empty(); }
   std::int64_t bytes() const { return bytes_; }
   std::size_t packets() const { return entries_.size(); }
@@ -107,6 +124,8 @@ class DropTailQueue {
   Packet pop();
   bool red_admit(Packet& pkt, sim::SimTime now);
   void codel_prune(sim::SimTime now);
+  void trace_event(trace::EventClass cls, const Packet& pkt,
+                   sim::SimTime now) const;
 
   std::int64_t capacity_bytes_;
   std::size_t capacity_packets_;  ///< 0 = unlimited (bytes cap only)
@@ -115,6 +134,8 @@ class DropTailQueue {
   std::int64_t bytes_ = 0;
   std::deque<Entry> entries_;
   QueueStats stats_;
+  trace::TraceSink* trace_ = nullptr;
+  std::string trace_src_;
 
   // RED state.
   double red_avg_ = 0.0;

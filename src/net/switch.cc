@@ -25,6 +25,15 @@ void Switch::handle(Packet pkt) {
   it->second->handle(pkt);
 }
 
+void Switch::set_trace(trace::TraceSink* sink) {
+  for (auto& [host, port] : egress_) port->set_trace(sink);
+}
+
+void Switch::register_counters(trace::CounterRegistry& reg) const {
+  reg.add(name_ + ".unroutable_packets", &unroutable_);
+  for (const auto& [host, port] : egress_) port->register_counters(reg);
+}
+
 QueuedPort& Switch::egress(HostId host) {
   auto it = egress_.find(host);
   if (it == egress_.end()) {
@@ -52,6 +61,14 @@ void BondedNic::handle(Packet pkt) {
 
 void BondedNic::set_on_transmit(std::function<void(std::int64_t)> cb) {
   for (auto& port : ports_) port->set_on_transmit(cb);
+}
+
+void BondedNic::set_trace(trace::TraceSink* sink) {
+  for (auto& port : ports_) port->set_trace(sink);
+}
+
+void BondedNic::register_counters(trace::CounterRegistry& reg) const {
+  for (const auto& port : ports_) port->register_counters(reg);
 }
 
 std::int64_t BondedNic::bytes_sent() const {

@@ -29,6 +29,15 @@ class Switch : public PacketHandler {
 
   void handle(Packet pkt) override;
 
+  /// Attach this run's event sink to every egress port (see
+  /// QueuedPort::set_trace). Ports added later are not retro-wired; the
+  /// scenario wires them at creation.
+  void set_trace(trace::TraceSink* sink);
+
+  /// Register "<name>.unroutable_packets" plus every egress port's queue
+  /// and transmit counters.
+  void register_counters(trace::CounterRegistry& reg) const;
+
   QueuedPort& egress(HostId host);
   std::uint64_t unroutable_packets() const { return unroutable_; }
 
@@ -51,6 +60,12 @@ class BondedNic : public PacketHandler {
 
   /// Register a transmit-bytes callback across all member ports.
   void set_on_transmit(std::function<void(std::int64_t)> cb);
+
+  /// Attach this run's event sink to every member port.
+  void set_trace(trace::TraceSink* sink);
+
+  /// Register every member port's counters.
+  void register_counters(trace::CounterRegistry& reg) const;
 
   QueuedPort& port(int i) { return *ports_.at(static_cast<std::size_t>(i)); }
   int num_ports() const { return static_cast<int>(ports_.size()); }

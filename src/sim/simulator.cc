@@ -11,6 +11,7 @@ void Simulator::schedule_at(SimTime when, Callback cb) {
     throw std::logic_error("Simulator::schedule_at: time is in the past");
   }
   queue_.push(Event{when, next_seq_++, std::move(cb)});
+  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
 }
 
 bool Simulator::dispatch_next() {

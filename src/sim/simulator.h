@@ -52,6 +52,11 @@ class Simulator {
   /// Number of events waiting in the queue.
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// High-water mark of `pending_events()` over the simulator's lifetime —
+  /// the run-profiling figure that bounds event-queue memory and heap-op
+  /// cost (push/pop are O(log pending)).
+  std::size_t peak_pending_events() const { return peak_pending_; }
+
  private:
   struct Event {
     SimTime when;
@@ -70,6 +75,7 @@ class Simulator {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::size_t peak_pending_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };

@@ -129,6 +129,13 @@ JsonWriter& JsonWriter::value(std::int64_t v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(bool v) {
   before_value();
   out_ << (v ? "true" : "false");

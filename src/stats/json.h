@@ -26,9 +26,10 @@ class JsonWriter {
   JsonWriter& value(double v);
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
-  JsonWriter& value(std::uint64_t v) {
-    return value(static_cast<std::int64_t>(v));
-  }
+  /// Unsigned values keep their own emission path: casting through
+  /// std::int64_t would serialize counters above 2^63-1 (events executed,
+  /// RAPL µJ readings) as negative numbers.
+  JsonWriter& value(std::uint64_t v);
   JsonWriter& value(bool v);
 
   /// key + value in one call.

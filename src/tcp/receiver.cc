@@ -103,7 +103,19 @@ void TcpReceiver::send_ack(const net::Packet& trigger) {
   unacked_segments_ = 0;
   delack_timer_.cancel();
   ++acks_sent_;
+  if (trace_) {
+    trace_->emit({sim_.now(), trace::EventClass::kAckSent, flow_,
+                  "tcp:receiver", rcv_nxt_,
+                  static_cast<double>(ack.ece_count)});
+  }
   nic_->handle(ack);
+}
+
+void TcpReceiver::register_counters(trace::CounterRegistry& reg,
+                                    const std::string& prefix) const {
+  reg.add(prefix + "segments_received", &segments_received_);
+  reg.add(prefix + "duplicate_segments", &duplicate_segments_);
+  reg.add(prefix + "acks_sent", &acks_sent_);
 }
 
 void TcpReceiver::on_delack_timeout() {

@@ -3,10 +3,14 @@
 #include <cstdint>
 #include <deque>
 
+#include <string>
+
 #include "net/packet.h"
 #include "sim/simulator.h"
 #include "tcp/seq_range_set.h"
 #include "tcp/tcp_config.h"
+#include "trace/counters.h"
+#include "trace/trace.h"
 
 namespace greencc::tcp {
 
@@ -25,6 +29,15 @@ class TcpReceiver : public net::PacketHandler {
 
   /// Data segments from the network arrive here.
   void handle(net::Packet pkt) override;
+
+  /// Attach this run's event sink (nullptr = tracing off). The receiver
+  /// emits ack_sent events under src "tcp:receiver", completing the
+  /// per-flow sender/receiver view of one time-ordered stream.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
+  /// Register this flow's receive-side counters over the live fields.
+  void register_counters(trace::CounterRegistry& reg,
+                         const std::string& prefix) const;
 
   std::int64_t rcv_nxt() const { return rcv_nxt_; }
   std::int64_t segments_received() const { return segments_received_; }
@@ -55,6 +68,7 @@ class TcpReceiver : public net::PacketHandler {
   net::Packet last_trigger_;  ///< echo source for rate-sample fields
   sim::Timer delack_timer_;
 
+  trace::TraceSink* trace_ = nullptr;
   std::int64_t segments_received_ = 0;
   std::int64_t duplicate_segments_ = 0;
   std::int64_t acks_sent_ = 0;

@@ -5,6 +5,10 @@
 
 namespace greencc::tcp {
 
+namespace {
+constexpr std::string_view kTraceSrc = "tcp:sender";
+}  // namespace
+
 TcpSender::TcpSender(sim::Simulator& sim, net::FlowId flow, net::HostId src,
                      net::HostId dst, const TcpConfig& config,
                      std::unique_ptr<cca::CongestionControl> cc,
@@ -103,6 +107,10 @@ void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
   if (is_retx) {
     ++seg.transmissions;
     ++stats_.retransmissions;
+    if (trace_) {
+      trace_->emit({sim_.now(), trace::EventClass::kRetransmit, flow_,
+                    kTraceSrc, seq, cc_->cwnd_segments()});
+    }
     // The retransmitted copy is back in flight; it can be declared lost
     // again by RACK once something sent after it is delivered.
     if (seg.lost) {
@@ -223,6 +231,10 @@ void TcpSender::process_ack(const net::Packet& ack) {
   if (in_recovery_ && snd_una_ >= recovery_point_) {
     in_recovery_ = false;
     cc_->on_recovered(now);
+    if (trace_) {
+      trace_->emit({now, trace::EventClass::kRecoveryExit, flow_, kTraceSrc,
+                    snd_una_, cc_->cwnd_segments()});
+    }
   }
   if (snd_una_ > prev_una) {
     rto_backoff_ = 0;
@@ -258,6 +270,7 @@ void TcpSender::process_ack(const net::Packet& ack) {
   ev.int_count = ack.int_count;
   ev.int_hops = ack.int_hops;
   cc_->on_ack(ev);
+  if (trace_) trace_cwnd();
 
   // --- RTO management & completion ---
   if (pipe_ > 0 || !retx_queue_.empty() ||
@@ -321,6 +334,12 @@ void TcpSender::enter_recovery(std::int64_t newly_lost) {
   ev.inflight = pipe_;
   ev.lost_segments = newly_lost;
   cc_->on_loss(ev);
+  if (trace_) {
+    trace_->emit({sim_.now(), trace::EventClass::kRecoveryEnter, flow_,
+                  kTraceSrc, recovery_point_, cc_->cwnd_segments(),
+                  static_cast<double>(newly_lost)});
+    trace_cwnd();
+  }
 }
 
 void TcpSender::on_rto() {
@@ -329,6 +348,11 @@ void TcpSender::on_rto() {
   core_->charge(sim_.now(), work_.timeout_ns);
   cc_->on_rto(sim_.now());
   in_recovery_ = false;
+  if (trace_) {
+    trace_->emit({sim_.now(), trace::EventClass::kRto, flow_, kTraceSrc,
+                  snd_una_, static_cast<double>(rto_backoff_)});
+    trace_cwnd();
+  }
 
   // Everything outstanding is presumed lost; retransmit in order.
   for (std::int64_t seq : unsacked_) {
@@ -364,9 +388,34 @@ void TcpSender::on_tlp() {
     const auto seg_it = scoreboard_.find(*it);
     if (seg_it == scoreboard_.end() || seg_it->second.lost) continue;
     tlp_allowed_ = false;
+    if (trace_) {
+      trace_->emit({sim_.now(), trace::EventClass::kTlp, flow_, kTraceSrc,
+                    *it, static_cast<double>(pipe_)});
+    }
     send_segment(*it, /*is_retx=*/true);
     return;
   }
+}
+
+void TcpSender::trace_cwnd() {
+  // Only called with trace_ set; emits one event per *change* so a stable
+  // window costs nothing even while tracing.
+  const double cwnd = cc_->cwnd_segments();
+  if (cwnd == last_traced_cwnd_) return;
+  last_traced_cwnd_ = cwnd;
+  trace_->emit({sim_.now(), trace::EventClass::kCwnd, flow_, kTraceSrc,
+                snd_una_, cwnd, rtt_.srtt().us()});
+}
+
+void TcpSender::register_counters(trace::CounterRegistry& reg,
+                                  const std::string& prefix) const {
+  reg.add(prefix + "segments_sent", &stats_.segments_sent);
+  reg.add(prefix + "retransmissions", &stats_.retransmissions);
+  reg.add(prefix + "timeouts", &stats_.timeouts);
+  reg.add(prefix + "recoveries", &stats_.recoveries);
+  reg.add(prefix + "delivered_segments", &stats_.delivered_segments);
+  reg.add(prefix + "acks_received", &stats_.acks_received);
+  reg.add(prefix + "ecn_echoes", &stats_.ecn_echoes);
 }
 
 }  // namespace greencc::tcp

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "cca/cca.h"
 #include "energy/calibration.h"
@@ -13,6 +14,8 @@
 #include "sim/simulator.h"
 #include "tcp/rtt.h"
 #include "tcp/tcp_config.h"
+#include "trace/counters.h"
+#include "trace/trace.h"
 
 namespace greencc::tcp {
 
@@ -67,6 +70,16 @@ class TcpSender : public net::PacketHandler {
   /// ACKs from the network arrive here.
   void handle(net::Packet pkt) override;
 
+  /// Attach this run's event sink (nullptr = tracing off). The sender
+  /// emits retransmit, RTO, recovery enter/exit, cwnd-change and TLP
+  /// events under src "tcp:sender".
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
+  /// Register this flow's transport counters ("<prefix>retransmissions",
+  /// "<prefix>timeouts", ...) over the live TcpStats fields.
+  void register_counters(trace::CounterRegistry& reg,
+                         const std::string& prefix) const;
+
   const TcpStats& stats() const { return stats_; }
   const cca::CongestionControl& congestion_control() const { return *cc_; }
   std::int64_t inflight_segments() const;
@@ -101,6 +114,8 @@ class TcpSender : public net::PacketHandler {
   void on_tlp();
   void arm_rto();
   double pacing_interval_ns(std::int32_t wire_bytes) const;
+  /// Emit a cwnd event if the controller's window moved since last emit.
+  void trace_cwnd();
 
   sim::Simulator& sim_;
   net::FlowId flow_;
@@ -160,6 +175,8 @@ class TcpSender : public net::PacketHandler {
   bool app_limited_now_ = false;
   bool cwnd_limited_now_ = false;  ///< last send attempt hit the window
   bool app_eof_ = false;
+  trace::TraceSink* trace_ = nullptr;
+  double last_traced_cwnd_ = -1.0;
   TcpStats stats_;
   std::function<void()> on_complete_;
   bool completed_ = false;

@@ -24,6 +24,7 @@
 #include "core/scheduler.h"
 #include "stats/json.h"
 #include "stats/table.h"
+#include "trace/trace.h"
 
 using namespace greencc;
 
@@ -43,6 +44,9 @@ struct Options {
   bool progress = false;
   double rate_limit_gbps = 0.0;
   std::string json_path;
+  std::string trace_out;
+  trace::ClassMask trace_mask = trace::kAllClasses;
+  bool counters = false;
   bool list_ccas = false;
   bool help = false;
 };
@@ -69,7 +73,15 @@ void print_usage() {
       "0 = all\n"
       "                       cores); results identical for any N\n"
       "  --progress           print one wall-clock line per finished run\n"
-      "  --json FILE          write machine-readable results\n"
+      "  --json FILE          write machine-readable results (includes run\n"
+      "                       profile and counters)\n"
+      "  --trace-out FILE     write a JSONL event trace; with multiple runs\n"
+      "                       each gets FILE.<cca>-r<repeat>\n"
+      "  --trace-filter C,..  event classes to trace (default all): enqueue\n"
+      "                       drop ecn_mark retransmit rto recovery_enter\n"
+      "                       recovery_exit cwnd tlp flow_start flow_finish\n"
+      "                       ack_sent\n"
+      "  --counters           print per-scenario counters after the summary\n"
       "  --list-ccas          list available algorithms and exit\n");
 }
 
@@ -154,6 +166,21 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.json_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.trace_out = v;
+    } else if (arg == "--trace-filter") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      try {
+        opt.trace_mask = trace::parse_class_list(v);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--trace-filter: %s\n", e.what());
+        return std::nullopt;
+      }
+    } else if (arg == "--counters") {
+      opt.counters = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return std::nullopt;
@@ -192,6 +219,14 @@ std::vector<app::FlowSpec> build_flows(const Options& opt,
   return specs;
 }
 
+/// One total run traces straight into FILE; sweeps and repeats each get
+/// their own file so parallel runs never share a sink.
+std::string trace_file_name(const Options& opt, const std::string& cca,
+                            std::size_t run_index) {
+  if (opt.ccas.size() == 1 && opt.repeats <= 1) return opt.trace_out;
+  return opt.trace_out + "." + cca + "-r" + std::to_string(run_index);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,6 +257,7 @@ int main(int argc, char** argv) {
 
   stats::Table table({"cca", "energy[J]", "sd", "power[W]", "duration[s]",
                       "retx", "completed"});
+  std::string counters_text;
 
   std::uint64_t cca_index = 0;
   for (const auto& cca_name : opt.ccas) {
@@ -244,6 +280,14 @@ int main(int argc, char** argv) {
     repeat_options.jobs = opt.jobs;
     repeat_options.progress = opt.progress;
     repeat_options.label = cca_name;
+    if (!opt.trace_out.empty()) {
+      repeat_options.trace_sink_factory =
+          [&opt, cca_name](std::size_t run_index)
+          -> std::unique_ptr<trace::TraceSink> {
+        return std::make_unique<trace::JsonlTraceSink>(
+            trace_file_name(opt, cca_name, run_index), opt.trace_mask);
+      };
+    }
 
     app::RepeatResult agg;
     try {
@@ -275,6 +319,32 @@ int main(int argc, char** argv) {
     json.field("duration_sec_mean", agg.duration_sec.mean());
     json.field("retransmissions_mean", agg.retransmissions.mean());
     json.field("all_completed", all_done);
+
+    // Simulator execution profile, aggregated over the repeats: total work
+    // and the worst event-queue high-water mark.
+    double wall_total = 0.0;
+    std::uint64_t events_total = 0;
+    std::uint64_t peak_pending = 0;
+    for (const auto& run : agg.runs) {
+      wall_total += run.profile.wall_seconds;
+      events_total += run.profile.events_executed;
+      peak_pending = std::max(peak_pending, run.profile.peak_pending_events);
+    }
+    json.key("profile").begin_object();
+    json.field("wall_seconds", wall_total);
+    json.field("events_executed", events_total);
+    json.field("peak_pending_events", peak_pending);
+    json.field("events_per_sec",
+               wall_total > 0 ? static_cast<double>(events_total) / wall_total
+                              : 0.0);
+    json.end_object();
+
+    json.key("counters").begin_object();
+    for (const auto& [name, v] : agg.runs.front().counters) {
+      json.field(name, v);
+    }
+    json.end_object();
+
     json.key("flows").begin_array();
     for (const auto& flow : agg.runs.front().flows) {
       json.begin_object();
@@ -284,16 +354,29 @@ int main(int argc, char** argv) {
       json.field("finished_at_sec", flow.finished_at_sec);
       json.field("avg_gbps", flow.avg_gbps);
       json.field("retransmissions", flow.retransmissions);
+      json.key("counters").begin_object();
+      for (const auto& [name, v] : flow.counters) {
+        json.field(name, v);
+      }
+      json.end_object();
       json.end_object();
     }
     json.end_array();
     json.end_object();
+
+    if (opt.counters) {
+      counters_text += "\ncounters (" + cca_name + ", repeat 0):\n";
+      for (const auto& [name, v] : agg.runs.front().counters) {
+        counters_text += "  " + name + " = " + std::to_string(v) + "\n";
+      }
+    }
   }
 
   json.end_array();
   json.end_object();
 
   table.print(std::cout);
+  if (!counters_text.empty()) std::fputs(counters_text.c_str(), stdout);
 
   if (!opt.json_path.empty()) {
     std::ofstream out(opt.json_path);

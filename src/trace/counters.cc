@@ -1,0 +1,40 @@
+#include "trace/counters.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace greencc::trace {
+
+void CounterRegistry::add(std::string name, Reader reader) {
+  for (const auto& [existing, unused] : entries_) {
+    if (existing == name) {
+      throw std::logic_error("CounterRegistry: duplicate counter '" + name +
+                             "'");
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(reader));
+}
+
+void CounterRegistry::add(std::string name, const std::uint64_t* value) {
+  add(std::move(name), [value] { return *value; });
+}
+
+void CounterRegistry::add(std::string name, const std::int64_t* value) {
+  add(std::move(name), [value] {
+    return *value > 0 ? static_cast<std::uint64_t>(*value) : 0;
+  });
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, reader] : entries_) {
+    out.emplace_back(name, reader());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace greencc::trace

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace greencc::trace {
+
+/// Registry of named monotonic counters, pull-model (Prometheus-collector
+/// style): components *register* a reader over counters they already
+/// maintain, and `snapshot()` materializes (name, value) pairs on demand.
+///
+/// The pull model keeps every component hot path untouched — registration
+/// happens once (typically at end of run, before the snapshot) and costs
+/// nothing while the simulation executes. Names are hierarchical by
+/// convention: "<component>.<counter>", e.g. "switch:egress0.dropped" or
+/// "sender.retransmissions".
+class CounterRegistry {
+ public:
+  using Reader = std::function<std::uint64_t()>;
+
+  /// Register a counter. Throws std::logic_error on a duplicate name —
+  /// a duplicate always indicates a wiring bug (two components claiming
+  /// the same identity).
+  void add(std::string name, Reader reader);
+
+  /// Convenience: read a live unsigned counter by address. The pointee
+  /// must outlive the registry's last snapshot.
+  void add(std::string name, const std::uint64_t* value);
+
+  /// Convenience for signed counters (TcpStats et al.); negative values
+  /// clamp to zero rather than wrapping.
+  void add(std::string name, const std::int64_t* value);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Current value of every counter, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+ private:
+  std::vector<std::pair<std::string, Reader>> entries_;
+};
+
+}  // namespace greencc::trace

@@ -1,0 +1,103 @@
+#include "trace/trace.h"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/json.h"
+
+namespace greencc::trace {
+
+namespace {
+
+constexpr std::size_t kNumClasses =
+    static_cast<std::size_t>(EventClass::kNumClasses);
+
+constexpr std::array<std::string_view, kNumClasses> kClassNames = {
+    "enqueue",        "drop",          "ecn_mark", "retransmit",
+    "rto",            "recovery_enter", "recovery_exit", "cwnd",
+    "tlp",            "flow_start",    "flow_finish",   "ack_sent",
+};
+
+}  // namespace
+
+std::string_view class_name(EventClass c) {
+  const auto i = static_cast<std::size_t>(c);
+  return i < kNumClasses ? kClassNames[i] : "unknown";
+}
+
+ClassMask parse_class_list(const std::string& csv) {
+  ClassMask mask = 0;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    bool found = false;
+    for (std::size_t i = 0; i < kNumClasses; ++i) {
+      if (item == kClassNames[i]) {
+        mask |= class_bit(static_cast<EventClass>(i));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string valid;
+      for (const auto& name : kClassNames) {
+        if (!valid.empty()) valid += ", ";
+        valid += name;
+      }
+      throw std::invalid_argument("unknown trace class '" + item +
+                                  "' (valid: " + valid + ")");
+    }
+  }
+  return mask;
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path, ClassMask mask)
+    : TraceSink(mask),
+      owned_(std::make_unique<std::ofstream>(path)),
+      out_(owned_.get()) {
+  if (!owned_->is_open()) {
+    throw std::runtime_error("JsonlTraceSink: cannot open " + path);
+  }
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out, ClassMask mask)
+    : TraceSink(mask), out_(&out) {}
+
+JsonlTraceSink::~JsonlTraceSink() = default;
+
+void JsonlTraceSink::record(const Event& e) {
+  // Hand-formatted for the per-packet hot path; strings still go through
+  // the shared JSON escaping so component names can never corrupt a line.
+  char buf[160];
+  int n = std::snprintf(buf, sizeof(buf), "{\"t\":%.9f,\"ev\":\"", e.t.sec());
+  out_->write(buf, n);
+  const auto ev = class_name(e.cls);
+  out_->write(ev.data(), static_cast<std::streamsize>(ev.size()));
+  *out_ << "\",\"src\":\"" << stats::JsonWriter::escape(std::string(e.src))
+        << "\",\"flow\":" << e.flow;
+  if (e.seq >= 0) {
+    n = std::snprintf(buf, sizeof(buf), ",\"seq\":%lld",
+                      static_cast<long long>(e.seq));
+    out_->write(buf, n);
+  }
+  n = std::snprintf(buf, sizeof(buf), ",\"value\":%.10g", e.value);
+  out_->write(buf, n);
+  if (e.aux != 0.0) {
+    n = std::snprintf(buf, sizeof(buf), ",\"aux\":%.10g", e.aux);
+    out_->write(buf, n);
+  }
+  out_->write("}\n", 2);
+}
+
+std::uint64_t VectorTraceSink::count(EventClass c) const {
+  std::uint64_t n = 0;
+  for (const auto& e : events_) {
+    if (e.cls == c) ++n;
+  }
+  return n;
+}
+
+}  // namespace greencc::trace

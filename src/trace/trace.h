@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace greencc::trace {
+
+/// Classes of traced events. Each maps 1:1 to a stable wire name (see
+/// `class_name`) used in the JSONL output and in `--trace-filter` lists.
+enum class EventClass : std::uint32_t {
+  kEnqueue = 0,    ///< packet admitted to a queue (value = queue bytes after)
+  kDrop,           ///< packet dropped (tail drop or AQM; value = queue bytes)
+  kEcnMark,        ///< CE mark applied by a queue (value = queue bytes)
+  kRetransmit,     ///< sender retransmitted a segment (value = cwnd)
+  kRto,            ///< retransmission timeout fired (value = backoff level)
+  kRecoveryEnter,  ///< fast recovery entered (seq = recovery point)
+  kRecoveryExit,   ///< fast recovery left (value = cwnd)
+  kCwnd,           ///< CCA changed its window (value = cwnd, aux = srtt us)
+  kTlp,            ///< tail-loss probe sent (seq = probed segment)
+  kFlowStart,      ///< flow began transmitting (value = bytes to send)
+  kFlowFinish,     ///< flow fully acknowledged (value = FCT seconds)
+  kAckSent,        ///< receiver emitted an ACK (seq = rcv_nxt, value = ECE)
+  kNumClasses,     // sentinel, keep last
+};
+
+/// Bitmask over event classes, for sink-side filtering.
+using ClassMask = std::uint32_t;
+
+constexpr ClassMask class_bit(EventClass c) {
+  return ClassMask{1} << static_cast<std::uint32_t>(c);
+}
+
+constexpr ClassMask kAllClasses =
+    (ClassMask{1} << static_cast<std::uint32_t>(EventClass::kNumClasses)) - 1;
+
+/// Stable wire name of a class ("drop", "ecn_mark", ...).
+std::string_view class_name(EventClass c);
+
+/// Parse a comma-separated list of class names into a mask. Throws
+/// std::invalid_argument on an unknown name (listing the valid ones).
+ClassMask parse_class_list(const std::string& csv);
+
+/// One typed, timestamped event. Events are tiny value types; producers
+/// build them on the stack only when a sink is attached, so a traced-off
+/// run pays a single branch-on-nullptr per potential event site.
+///
+/// `src` identifies the emitting component (a queue/port name such as
+/// "switch:egress0", or "tcp:sender" / "tcp:receiver"); it must point at
+/// storage that outlives the emit call — sinks serialize immediately.
+struct Event {
+  sim::SimTime t;
+  EventClass cls = EventClass::kEnqueue;
+  std::uint64_t flow = 0;   ///< 0 when the event is not flow-specific
+  std::string_view src{};   ///< emitting component
+  std::int64_t seq = -1;    ///< segment index where applicable, else -1
+  double value = 0.0;       ///< class-specific primary value (see EventClass)
+  double aux = 0.0;         ///< class-specific secondary value
+};
+
+/// Destination of a run's event stream.
+///
+/// Ownership and threading: one sink belongs to exactly one scenario run.
+/// The simulator is single-threaded, so events arrive in non-decreasing
+/// simulated-time order and no locking is needed; parallel repeats
+/// (`--jobs N`) are race-free because every run owns a distinct sink.
+class TraceSink {
+ public:
+  explicit TraceSink(ClassMask mask = kAllClasses) : mask_(mask) {}
+  virtual ~TraceSink() = default;
+
+  bool wants(EventClass c) const { return (mask_ & class_bit(c)) != 0; }
+  ClassMask mask() const { return mask_; }
+
+  /// Filtered entry point used by producers.
+  void emit(const Event& e) {
+    if (!wants(e.cls)) return;
+    ++events_emitted_;
+    record(e);
+  }
+
+  std::uint64_t events_emitted() const { return events_emitted_; }
+
+ protected:
+  virtual void record(const Event& e) = 0;
+
+ private:
+  ClassMask mask_;
+  std::uint64_t events_emitted_ = 0;
+};
+
+/// Sink writing one JSON object per line (JSONL), the format every trace
+/// consumer (jq, pandas.read_json(lines=True)) ingests directly:
+///
+///   {"t":0.001234,"ev":"drop","src":"switch:egress0","flow":1,
+///    "seq":4242,"value":1048576}
+///
+/// `seq` is omitted when negative and `aux` when zero; all other fields are
+/// always present. String escaping reuses stats::JsonWriter::escape.
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Write to an owned file (truncates). Throws std::runtime_error if the
+  /// file cannot be opened.
+  explicit JsonlTraceSink(const std::string& path,
+                          ClassMask mask = kAllClasses);
+
+  /// Write to a caller-owned stream (must outlive the sink).
+  explicit JsonlTraceSink(std::ostream& out, ClassMask mask = kAllClasses);
+
+  ~JsonlTraceSink() override;
+
+ protected:
+  void record(const Event& e) override;
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+};
+
+/// Sink collecting events in memory — the assertion surface for tests.
+class VectorTraceSink : public TraceSink {
+ public:
+  explicit VectorTraceSink(ClassMask mask = kAllClasses) : TraceSink(mask) {}
+
+  const std::vector<Event>& events() const { return events_; }
+  std::uint64_t count(EventClass c) const;
+
+ protected:
+  void record(const Event& e) override { events_.push_back(e); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace greencc::trace

@@ -40,6 +40,74 @@ TEST(Cli, RunsAndWritesJson) {
   std::remove(json.c_str());
 }
 
+TEST(Cli, JsonIncludesProfileAndCounters) {
+  const std::string json = ::testing::TempDir() + "/cli_prof.json";
+  ASSERT_EQ(run_cli("--cca cubic --bytes 5e7 --json " + json), 0);
+  std::ifstream in(json);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  EXPECT_NE(doc.find("\"profile\":{"), std::string::npos);
+  EXPECT_NE(doc.find("\"events_executed\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"peak_pending_events\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(doc.find("\"switch:egress0.dropped\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"sender.retransmissions\":"), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST(Cli, TraceOutWritesJsonl) {
+  const std::string trace = ::testing::TempDir() + "/cli_trace.jsonl";
+  ASSERT_EQ(run_cli("--cca cubic --bytes 5e7 --trace-out " + trace), 0);
+  std::ifstream in(trace);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  ASSERT_TRUE(std::getline(in, first));
+  EXPECT_EQ(first.rfind("{\"t\":", 0), 0u) << first;
+  std::stringstream buffer;
+  buffer << first << in.rdbuf();
+  const std::string doc = buffer.str();
+  EXPECT_NE(doc.find("\"ev\":\"flow_start\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ev\":\"flow_finish\""), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, TraceFilterRestrictsClasses) {
+  const std::string trace = ::testing::TempDir() + "/cli_trace_drop.jsonl";
+  ASSERT_EQ(run_cli("--cca cubic --bytes 5e7 --trace-out " + trace +
+                    " --trace-filter drop,retransmit"),
+            0);
+  std::ifstream in(trace);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  EXPECT_EQ(doc.find("\"ev\":\"enqueue\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ev\":\"drop\""), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, BadTraceFilterFails) {
+  EXPECT_NE(run_cli("--trace-filter not-a-class --bytes 1e6"), 0);
+}
+
+TEST(Cli, CountersFlagRuns) {
+  EXPECT_EQ(run_cli("--cca cubic --bytes 2e7 --counters"), 0);
+}
+
+TEST(Cli, PerRepeatTraceFiles) {
+  const std::string base = ::testing::TempDir() + "/cli_multi.jsonl";
+  ASSERT_EQ(
+      run_cli("--cca cubic --bytes 2e7 --repeats 2 --trace-out " + base), 0);
+  for (int r = 0; r < 2; ++r) {
+    const std::string path = base + ".cubic-r" + std::to_string(r);
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::remove(path.c_str());
+  }
+}
+
 TEST(Cli, SrptScheduleWithSizes) {
   EXPECT_EQ(run_cli("--schedule srpt --sizes 5e7,2e7,1e7"), 0);
 }

@@ -23,6 +23,17 @@ TEST(Json, ScalarFields) {
             "{\"name\":\"cubic\",\"count\":42,\"watts\":35.5,\"done\":true}");
 }
 
+TEST(Json, Uint64AboveInt64MaxStaysUnsigned) {
+  // Regression: value(std::uint64_t) used to cast through std::int64_t,
+  // turning counters past 2^63-1 (RAPL µJ readings, event totals) negative.
+  JsonWriter w;
+  w.begin_object();
+  w.field("energy_uj", std::uint64_t{18'446'744'073'709'551'615ull});
+  w.field("small", std::uint64_t{7});
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"energy_uj\":18446744073709551615,\"small\":7}");
+}
+
 TEST(Json, NestedContainers) {
   JsonWriter w;
   w.begin_object();

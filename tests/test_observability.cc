@@ -1,0 +1,246 @@
+// End-to-end observability tests: a traced scenario's event stream must
+// agree with the aggregate statistics the result already reports, counters
+// must match the per-flow transport stats, run profiling must be populated,
+// and parallel repeats with per-run sinks must stay bit-identical (the
+// `concurrency` label puts this file under the ThreadSanitizer build).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "app/runner.h"
+#include "app/scenario.h"
+#include "trace/trace.h"
+
+namespace greencc::app {
+namespace {
+
+using sim::SimTime;
+using trace::EventClass;
+
+// Small enough to run in milliseconds, big enough to overflow the
+// bottleneck queue and force drops + retransmissions.
+ScenarioConfig lossy_config(std::uint64_t seed = 1) {
+  ScenarioConfig config;
+  config.tcp.mtu_bytes = 9000;
+  config.seed = seed;
+  return config;
+}
+
+constexpr std::int64_t kTransfer = 50'000'000;
+
+std::uint64_t find_counter(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters,
+    const std::string& name) {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return 0;
+}
+
+TEST(Observability, EventCountsMatchAggregateStats) {
+  Scenario s(lossy_config());
+  FlowSpec flow;
+  flow.bytes = kTransfer;
+  s.add_flow(flow);
+  trace::VectorTraceSink sink;
+  s.set_trace_sink(&sink);
+  const auto r = s.run();
+  ASSERT_TRUE(r.all_completed);
+
+  // Every queue drop (bottleneck + receiver backlog + NICs, which never
+  // drop here) appears exactly once in the stream.
+  EXPECT_EQ(sink.count(EventClass::kDrop),
+            r.bottleneck.dropped + r.rx_backlog.dropped);
+  EXPECT_GT(sink.count(EventClass::kDrop), 0u);
+
+  std::int64_t retx = 0;
+  for (const auto& f : r.flows) retx += f.retransmissions;
+  EXPECT_EQ(sink.count(EventClass::kRetransmit),
+            static_cast<std::uint64_t>(retx));
+
+  std::int64_t rtos = 0;
+  for (const auto& f : r.flows) rtos += f.timeouts;
+  EXPECT_EQ(sink.count(EventClass::kRto), static_cast<std::uint64_t>(rtos));
+
+  EXPECT_EQ(sink.count(EventClass::kEcnMark),
+            r.bottleneck.ecn_marked + r.rx_backlog.ecn_marked);
+
+  EXPECT_EQ(sink.count(EventClass::kFlowStart), r.flows.size());
+  EXPECT_EQ(sink.count(EventClass::kFlowFinish), r.flows.size());
+}
+
+TEST(Observability, EventsAreTimeOrdered) {
+  Scenario s(lossy_config());
+  FlowSpec flow;
+  flow.bytes = kTransfer;
+  s.add_flow(flow);
+  trace::VectorTraceSink sink;
+  s.set_trace_sink(&sink);
+  const auto r = s.run();
+  ASSERT_TRUE(r.all_completed);
+  ASSERT_GT(sink.events().size(), 100u);
+  for (std::size_t i = 1; i < sink.events().size(); ++i) {
+    ASSERT_LE(sink.events()[i - 1].t, sink.events()[i].t) << i;
+  }
+}
+
+TEST(Observability, FilterMasksUnwantedClasses) {
+  Scenario s(lossy_config());
+  FlowSpec flow;
+  flow.bytes = kTransfer;
+  s.add_flow(flow);
+  trace::VectorTraceSink sink(trace::class_bit(EventClass::kDrop) |
+                              trace::class_bit(EventClass::kRetransmit));
+  s.set_trace_sink(&sink);
+  const auto r = s.run();
+  ASSERT_TRUE(r.all_completed);
+  EXPECT_GT(sink.count(EventClass::kDrop), 0u);
+  EXPECT_EQ(sink.count(EventClass::kEnqueue), 0u);
+  EXPECT_EQ(sink.count(EventClass::kCwnd), 0u);
+  EXPECT_EQ(sink.count(EventClass::kAckSent), 0u);
+}
+
+TEST(Observability, CountersMatchFlowAndQueueStats) {
+  Scenario s(lossy_config());
+  FlowSpec flow;
+  flow.bytes = kTransfer;
+  s.add_flow(flow);
+  const auto r = s.run();
+  ASSERT_TRUE(r.all_completed);
+
+  EXPECT_EQ(find_counter(r.counters, "switch:egress0.dropped"),
+            r.bottleneck.dropped);
+  EXPECT_EQ(find_counter(r.counters, "switch:egress0.peak_bytes"),
+            static_cast<std::uint64_t>(r.bottleneck.max_bytes_seen));
+  EXPECT_EQ(find_counter(r.counters, "receiver:softirq.dropped"),
+            r.rx_backlog.dropped);
+  EXPECT_EQ(find_counter(r.counters, "switch.unroutable_packets"), 0u);
+  EXPECT_GT(find_counter(r.counters, "host1.meter.tx_bytes"),
+            static_cast<std::uint64_t>(kTransfer));
+  EXPECT_GT(find_counter(r.counters, "host1.meter.energy_uj"), 0u);
+
+  ASSERT_EQ(r.flows.size(), 1u);
+  const auto& fc = r.flows[0].counters;
+  EXPECT_EQ(find_counter(fc, "sender.retransmissions"),
+            static_cast<std::uint64_t>(r.flows[0].retransmissions));
+  EXPECT_EQ(find_counter(fc, "sender.segments_sent"),
+            static_cast<std::uint64_t>(r.flows[0].segments_sent));
+  EXPECT_GT(find_counter(fc, "receiver.acks_sent"), 0u);
+
+  // Names are sorted, making the snapshot diffable across runs.
+  EXPECT_TRUE(std::is_sorted(
+      r.counters.begin(), r.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(Observability, RunProfilePopulated) {
+  Scenario s(lossy_config());
+  FlowSpec flow;
+  flow.bytes = kTransfer;
+  s.add_flow(flow);
+  const auto r = s.run();
+  ASSERT_TRUE(r.all_completed);
+  EXPECT_GT(r.profile.events_executed, 1000u);
+  EXPECT_GT(r.profile.peak_pending_events, 0u);
+  EXPECT_GT(r.profile.wall_seconds, 0.0);
+  EXPECT_GT(r.profile.events_per_sec, 0.0);
+}
+
+TEST(Observability, JsonlStreamMatchesQueueStats) {
+  const std::string path = ::testing::TempDir() + "/obs_trace.jsonl";
+  ScenarioResult r;
+  {
+    Scenario s(lossy_config());
+    FlowSpec flow;
+    flow.bytes = kTransfer;
+    s.add_flow(flow);
+    trace::JsonlTraceSink sink(path);
+    s.set_trace_sink(&sink);
+    r = s.run();
+  }  // sink flushed
+  ASSERT_TRUE(r.all_completed);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::uint64_t lines = 0, drops = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_EQ(line.front(), '{') << line;
+    ASSERT_EQ(line.back(), '}') << line;
+    if (line.find("\"ev\":\"drop\"") != std::string::npos) ++drops;
+  }
+  EXPECT_GT(lines, 100u);
+  EXPECT_EQ(drops, r.bottleneck.dropped + r.rx_backlog.dropped);
+  std::remove(path.c_str());
+}
+
+// Per-run sinks must keep parallel repeats race-free and bit-identical.
+// Forwards into externally owned vector sinks so the events survive the
+// runner destroying the per-run sink.
+class ForwardingSink : public trace::TraceSink {
+ public:
+  explicit ForwardingSink(trace::VectorTraceSink* target) : target_(target) {}
+
+ protected:
+  void record(const trace::Event& e) override { target_->emit(e); }
+
+ private:
+  trace::VectorTraceSink* target_;
+};
+
+TEST(Observability, ParallelTracedRepeatsAreDeterministic) {
+  constexpr int kRepeats = 4;
+  auto builder = [](std::uint64_t seed) {
+    auto s = std::make_unique<Scenario>(lossy_config(seed));
+    FlowSpec flow;
+    flow.bytes = kTransfer;
+    s->add_flow(flow);
+    return s;
+  };
+
+  auto run_with_jobs = [&](int jobs,
+                           std::vector<trace::VectorTraceSink>& sinks) {
+    RepeatOptions options;
+    options.repeats = kRepeats;
+    options.jobs = jobs;
+    options.trace_sink_factory =
+        [&sinks](std::size_t i) -> std::unique_ptr<trace::TraceSink> {
+      return std::make_unique<ForwardingSink>(&sinks[i]);
+    };
+    return run_repeated(builder, options);
+  };
+
+  std::vector<trace::VectorTraceSink> serial_sinks(kRepeats);
+  std::vector<trace::VectorTraceSink> parallel_sinks(kRepeats);
+  const auto serial = run_with_jobs(1, serial_sinks);
+  const auto parallel = run_with_jobs(4, parallel_sinks);
+
+  for (int i = 0; i < kRepeats; ++i) {
+    EXPECT_DOUBLE_EQ(serial.runs[i].total_joules,
+                     parallel.runs[i].total_joules);
+    EXPECT_EQ(serial.runs[i].bottleneck.dropped,
+              parallel.runs[i].bottleneck.dropped);
+    // Identical event streams, run by run.
+    ASSERT_EQ(serial_sinks[i].events().size(),
+              parallel_sinks[i].events().size());
+    ASSERT_GT(serial_sinks[i].events().size(), 100u);
+    for (std::size_t k = 0; k < serial_sinks[i].events().size(); ++k) {
+      const auto& a = serial_sinks[i].events()[k];
+      const auto& b = parallel_sinks[i].events()[k];
+      ASSERT_EQ(a.t, b.t);
+      ASSERT_EQ(a.cls, b.cls);
+      ASSERT_EQ(a.flow, b.flow);
+      ASSERT_EQ(a.seq, b.seq);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace greencc::app

@@ -93,6 +93,18 @@ TEST(DropTailQueue, MaxBytesSeenTracksHighWater) {
   EXPECT_EQ(q.stats().max_bytes_seen, 8000);
 }
 
+TEST(DropTailQueue, MaxPacketsSeenTracksHighWater) {
+  DropTailQueue q(1 << 20, 0, 8);
+  for (int i = 0; i < 5; ++i) q.enqueue(data_packet(i, 100));
+  for (int i = 0; i < 4; ++i) q.dequeue();
+  q.enqueue(data_packet(5, 100));
+  EXPECT_EQ(q.stats().max_packets_seen, 5u);
+  // Draining never lowers the high-water mark.
+  while (q.dequeue()) {
+  }
+  EXPECT_EQ(q.stats().max_packets_seen, 5u);
+}
+
 TEST(DropTailQueue, EmptyReporting) {
   DropTailQueue q(1000);
   EXPECT_TRUE(q.empty());

@@ -265,6 +265,68 @@ TEST(Scenario, TracerSamplesTransportState) {
   EXPECT_FALSE(r.queue_series.empty());
 }
 
+TEST(Scenario, TracerSamplesAtConfiguredCadence) {
+  auto config = small_config();
+  config.trace_interval = SimTime::milliseconds(5);
+  Scenario s(config);
+  FlowSpec flow;
+  flow.bytes = kSmallTransfer;
+  s.add_flow(flow);
+  const auto r = s.run();
+  ASSERT_TRUE(r.all_completed);
+  const auto& trace = r.flows[0].trace;
+  ASSERT_GT(trace.size(), 3u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_NEAR(trace[i].t_sec - trace[i - 1].t_sec, 0.005, 1e-9) << i;
+  }
+  // The queue series shares the same clock ticks.
+  ASSERT_EQ(r.queue_series.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.queue_series[i].first, trace[i].t_sec);
+  }
+}
+
+TEST(Scenario, TracerTimestampsStrictlyIncrease) {
+  auto config = small_config();
+  config.trace_interval = SimTime::milliseconds(2);
+  Scenario s(config);
+  FlowSpec flow;
+  flow.bytes = kSmallTransfer;
+  s.add_flow(flow);
+  const auto r = s.run();
+  ASSERT_TRUE(r.all_completed);
+  const auto& trace = r.flows[0].trace;
+  ASSERT_GT(trace.size(), 2u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].t_sec, trace[i - 1].t_sec) << i;
+  }
+}
+
+TEST(Scenario, TracerStopsSamplingCompletedFlows) {
+  // Flow 1 finishes long before flow 0; its samples must stop at its own
+  // completion rather than running on to the end of the experiment.
+  auto config = small_config();
+  config.trace_interval = SimTime::milliseconds(2);
+  Scenario s(config);
+  FlowSpec big;
+  big.bytes = kSmallTransfer;
+  s.add_flow(big);
+  FlowSpec small;
+  small.bytes = kSmallTransfer / 10;
+  small.sender_host = 1;
+  s.add_flow(small);
+  const auto r = s.run();
+  ASSERT_TRUE(r.all_completed);
+  ASSERT_EQ(r.flows.size(), 2u);
+  const double small_done = r.flows[1].finished_at_sec;
+  ASSERT_GT(small_done, 0.0);
+  EXPECT_LT(r.flows[1].finished_at_sec, r.flows[0].finished_at_sec);
+  ASSERT_FALSE(r.flows[1].trace.empty());
+  EXPECT_LE(r.flows[1].trace.back().t_sec, small_done);
+  // The longer flow keeps sampling past the short one's completion.
+  EXPECT_GT(r.flows[0].trace.back().t_sec, small_done);
+}
+
 TEST(Scenario, NoTraceByDefault) {
   Scenario s(small_config());
   FlowSpec flow;

@@ -1,0 +1,139 @@
+// Unit tests for the structured-event tracing layer: class names and
+// filter parsing, sink filtering, JSONL formatting, and the counter
+// registry.
+
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/counters.h"
+
+namespace greencc::trace {
+namespace {
+
+using sim::SimTime;
+
+Event make_event(EventClass cls, double t_sec = 1.0) {
+  Event e;
+  e.t = SimTime::seconds(t_sec);
+  e.cls = cls;
+  e.flow = 3;
+  e.src = "switch:egress0";
+  e.seq = 42;
+  e.value = 9000.0;
+  return e;
+}
+
+TEST(TraceClasses, EveryClassHasAStableName) {
+  for (std::uint32_t i = 0;
+       i < static_cast<std::uint32_t>(EventClass::kNumClasses); ++i) {
+    const auto name = class_name(static_cast<EventClass>(i));
+    EXPECT_FALSE(name.empty()) << i;
+    // Round trip through the filter parser.
+    EXPECT_EQ(parse_class_list(std::string(name)),
+              class_bit(static_cast<EventClass>(i)));
+  }
+}
+
+TEST(TraceClasses, ParseListCombinesBits) {
+  const auto mask = parse_class_list("drop,ecn_mark,rto");
+  EXPECT_EQ(mask, class_bit(EventClass::kDrop) |
+                      class_bit(EventClass::kEcnMark) |
+                      class_bit(EventClass::kRto));
+}
+
+TEST(TraceClasses, ParseListRejectsUnknownNames) {
+  EXPECT_THROW(parse_class_list("drop,bogus"), std::invalid_argument);
+  // An empty list is an empty mask, not an error.
+  EXPECT_EQ(parse_class_list(""), 0u);
+}
+
+TEST(TraceSinkTest, MaskFiltersBeforeRecording) {
+  VectorTraceSink sink(class_bit(EventClass::kDrop));
+  sink.emit(make_event(EventClass::kDrop));
+  sink.emit(make_event(EventClass::kEnqueue));
+  sink.emit(make_event(EventClass::kDrop));
+  EXPECT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events_emitted(), 2u);
+  EXPECT_EQ(sink.count(EventClass::kDrop), 2u);
+  EXPECT_EQ(sink.count(EventClass::kEnqueue), 0u);
+  EXPECT_TRUE(sink.wants(EventClass::kDrop));
+  EXPECT_FALSE(sink.wants(EventClass::kEnqueue));
+}
+
+TEST(JsonlSink, FormatsOneObjectPerLine) {
+  std::ostringstream out;
+  {
+    JsonlTraceSink sink(out);
+    sink.emit(make_event(EventClass::kDrop, 0.001234));
+    auto e = make_event(EventClass::kFlowStart, 2.0);
+    e.seq = -1;       // omitted
+    e.value = 5e8;
+    e.aux = 0.0;      // omitted
+    sink.emit(e);
+  }
+  EXPECT_EQ(out.str(),
+            "{\"t\":0.001234000,\"ev\":\"drop\",\"src\":\"switch:egress0\","
+            "\"flow\":3,\"seq\":42,\"value\":9000}\n"
+            "{\"t\":2.000000000,\"ev\":\"flow_start\","
+            "\"src\":\"switch:egress0\",\"flow\":3,\"value\":500000000}\n");
+}
+
+TEST(JsonlSink, IncludesAuxWhenNonZero) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  auto e = make_event(EventClass::kCwnd);
+  e.aux = 12.5;
+  sink.emit(e);
+  EXPECT_NE(out.str().find("\"aux\":12.5"), std::string::npos);
+}
+
+TEST(JsonlSink, ThrowsWhenFileCannotBeOpened) {
+  EXPECT_THROW(JsonlTraceSink("/nonexistent-dir/trace.jsonl"),
+               std::runtime_error);
+}
+
+TEST(Counters, SnapshotIsNameSorted) {
+  CounterRegistry reg;
+  std::uint64_t b = 2;
+  std::int64_t a = 1;
+  reg.add("zeta", [] { return std::uint64_t{3}; });
+  reg.add("alpha", &a);
+  reg.add("mid", &b);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "alpha");
+  EXPECT_EQ(snap[0].second, 1u);
+  EXPECT_EQ(snap[1].first, "mid");
+  EXPECT_EQ(snap[1].second, 2u);
+  EXPECT_EQ(snap[2].first, "zeta");
+  EXPECT_EQ(snap[2].second, 3u);
+}
+
+TEST(Counters, ReadersSeeLiveValues) {
+  CounterRegistry reg;
+  std::uint64_t c = 0;
+  reg.add("c", &c);
+  c = 17;
+  EXPECT_EQ(reg.snapshot()[0].second, 17u);
+}
+
+TEST(Counters, DuplicateNameThrows) {
+  CounterRegistry reg;
+  std::uint64_t c = 0;
+  reg.add("c", &c);
+  EXPECT_THROW(reg.add("c", &c), std::logic_error);
+}
+
+TEST(Counters, NegativeSignedCountersClampToZero) {
+  CounterRegistry reg;
+  std::int64_t c = -5;
+  reg.add("c", &c);
+  EXPECT_EQ(reg.snapshot()[0].second, 0u);
+}
+
+}  // namespace
+}  // namespace greencc::trace
