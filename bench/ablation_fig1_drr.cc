@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   stats::Table table({"weight frac", "achieved", "energy[J]", "savings[%]",
                       "closed-form[%]"});
   for (double f : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    // lint-allow: float-eq (f iterates literal values; 0.5 compares exact)
     const auto r = f == 0.5 ? fair : run_weighted(f, bytes, 1);
     if (!r.all_completed) {
       std::printf("fraction %.2f did not complete\n", f);

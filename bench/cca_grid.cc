@@ -108,6 +108,7 @@ std::vector<core::GridCell> run_cca_grid(const GridOptions& options) {
     app::ScenarioConfig config;
     config.tcp.mtu_bytes = specs[cell].mtu;
     config.seed = app::derive_seed(options.base_seed, cell, rep);
+    config.audit_interval = options.audit_interval;
     app::Scenario scenario(std::move(config));
     app::FlowSpec flow;
     flow.cca = specs[cell].cca;

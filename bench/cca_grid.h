@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/efficiency.h"
+#include "sim/time.h"
 
 namespace greencc::bench {
 
@@ -27,6 +28,11 @@ struct GridOptions {
   /// loaded instead of re-simulating (runs are deterministic per seed, so
   /// the cache is exact). Delete the file to force a fresh run.
   std::string cache_path = "cca_grid_cache.csv";
+  /// When positive, every run carries an invariant auditor walking the
+  /// topology at this sim-time cadence (the `audit` preset's sweep). The
+  /// auditor does not touch the measured quantities — it only reads — so a
+  /// clean audited grid is numerically identical to an unaudited one.
+  sim::SimTime audit_interval = sim::SimTime::zero();
 };
 
 /// Runs the full grid and returns one cell per (CCA, MTU), with energy (J),

@@ -23,6 +23,17 @@ int main(int argc, char** argv) {
   options.jobs = bench::flag_jobs(argc, argv);
   options.cache_path =
       bench::flag_str(argc, argv, "--cache", options.cache_path);
+  if (bench::flag_set(argc, argv, "--audit")) {
+    // Audited sweeps bypass the cache: the point is to re-run the
+    // simulations under the invariant checker, not to reload numbers.
+    options.audit_interval = sim::SimTime::milliseconds(10);
+    options.cache_path.clear();
+  }
+  // --mtu M restricts the sweep to one MTU (used by the audit preset to
+  // keep the checked sweep cheap); default remains the full paper set.
+  if (const std::int64_t mtu = bench::flag_i64(argc, argv, "--mtu", 0); mtu) {
+    options.mtus = {static_cast<int>(mtu)};
+  }
   const std::string csv_path =
       bench::flag_str(argc, argv, "--csv", "cca_grid.csv");
 

@@ -44,6 +44,14 @@ inline int flag_jobs(int argc, char** argv) {
   return static_cast<int>(flag_i64(argc, argv, "--jobs", 1));
 }
 
+/// Presence flag (no value): true when `name` appears anywhere on the line.
+inline bool flag_set(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
 /// Paper transfer size and our simulated default.
 constexpr std::int64_t kPaperBytes = 50'000'000'000;   // 50 GB
 constexpr std::int64_t kDefaultBytes = 2'000'000'000;  // 2 GB simulated

@@ -43,7 +43,8 @@ class FlowDemux : public net::PacketHandler {
 /// Two senders, two parallel 10 Gb/s paths, a static flow->path placement.
 struct TwoPathFabric {
   TwoPathFabric(sim::Simulator& sim, bool packed, std::int64_t bytes,
-                double rate_bps) {
+                double rate_bps)
+      : sim_(&sim), total_bytes_(bytes), rate_bps_(rate_bps) {
     net::PortConfig path_config;
     path_config.rate_bps = 10e9;
     path_config.propagation = sim::SimTime::microseconds(5);
@@ -69,25 +70,10 @@ struct TwoPathFabric {
           sim, i + 1, 0, tcp_config, ack_path.get());
 
       // App-level 5 Gb/s token bucket (the flows are meant to *fit*
-      // side-by-side on one 10 Gb/s link).
-      auto pump = std::make_shared<std::function<void()>>();
-      auto granted = std::make_shared<std::int64_t>(0);
-      tcp::TcpSender* sender = senders[i].get();
-      *pump = [&sim, sender, granted, bytes, rate_bps, pump] {
-        const auto grant = static_cast<std::int64_t>(rate_bps / 8.0 * 500e-6);
-        const auto left = bytes - *granted;
-        const auto now_grant = std::min<std::int64_t>(grant, left);
-        if (now_grant > 0) {
-          *granted += now_grant;
-          sender->add_app_data(now_grant);
-          if (*granted >= bytes) sender->mark_app_eof();
-          sender->start();
-        }
-        if (*granted < bytes) {
-          sim.schedule(sim::SimTime::microseconds(500), *pump);
-        }
-      };
-      sim.schedule(sim::SimTime::zero(), *pump);
+      // side-by-side on one 10 Gb/s link). The pump reschedules itself
+      // through the fabric (which outlives the run) instead of an owning
+      // shared_ptr closure, which would self-reference and leak.
+      sim.schedule(sim::SimTime::zero(), [this, i] { pump(i); });
     }
 
     // Demux by flow id on both directions.
@@ -113,8 +99,27 @@ struct TwoPathFabric {
   std::unique_ptr<tcp::TcpReceiver> receivers[2];
 
  private:
+  void pump(int i) {
+    const auto grant = static_cast<std::int64_t>(rate_bps_ / 8.0 * 500e-6);
+    const auto left = total_bytes_ - granted_[i];
+    const auto now_grant = std::min<std::int64_t>(grant, left);
+    if (now_grant > 0) {
+      granted_[i] += now_grant;
+      senders[i]->add_app_data(now_grant);
+      if (granted_[i] >= total_bytes_) senders[i]->mark_app_eof();
+      senders[i]->start();
+    }
+    if (granted_[i] < total_bytes_) {
+      sim_->schedule(sim::SimTime::microseconds(500), [this, i] { pump(i); });
+    }
+  }
+
   std::unique_ptr<FlowDemux> rx_demux;
   std::unique_ptr<FlowDemux> ack_demux;
+  sim::Simulator* sim_;
+  std::int64_t total_bytes_;
+  double rate_bps_;
+  std::int64_t granted_[2] = {0, 0};
 };
 
 struct Outcome {

@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
 
   for (double f : {0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95,
                    1.0}) {
+    // lint-allow: float-eq (f iterates literal values; 0.5 compares exact)
     const auto agg = f == 0.5 ? fair : run_fraction(f, bytes, repeats, jobs);
     // Achieved fraction: flow 1's average share of the link while it ran.
     stats::Summary achieved;

@@ -50,6 +50,7 @@ struct Scenario::FlowState {
   bool has_started = false;
   bool done = false;
   std::int64_t bytes_granted = 0;
+  double rate_carry_bytes = 0.0;  ///< token-bucket fractional remainder
   std::int64_t last_report_segments = 0;
   sim::SimTime last_report_time = sim::SimTime::zero();
   std::vector<std::pair<double, double>> series;
@@ -58,7 +59,17 @@ struct Scenario::FlowState {
 
 Scenario::Scenario(ScenarioConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.audit_interval > sim::SimTime::zero()) {
+    check::InvariantAuditor::Config audit;
+    audit.cadence = config_.audit_interval;
+    auditor_ = std::make_unique<check::InvariantAuditor>(audit);
+    auditor_->watch_simulator(&sim_);
+    // Every queue of the topology reports drops to the ledger (wired at
+    // each creation site below), so the global in-flight bound is sound.
+    auditor_->set_complete_topology(true);
+  }
   switch_ = std::make_unique<net::Switch>(sim_);
+  if (auditor_) auditor_->watch_switch("switch", switch_.get());
   build_receiver_host();
 }
 
@@ -123,6 +134,19 @@ void Scenario::build_receiver_host() {
   receiver_nic_ = std::make_unique<net::QueuedPort>(
       sim_, "receiver:nic", ack_port, switch_.get());
 
+  if (auditor_) {
+    check::PacketLedger* ledger = &auditor_->ledger();
+    switch_->set_ledger(ledger);  // bottleneck (or DRR ingress) egress
+    rx_backlog_->set_ledger(ledger);
+    receiver_nic_->set_ledger(ledger);
+    auditor_->watch_port(rx_backlog_.get());
+    auditor_->watch_port(receiver_nic_.get());
+    if (drr_bottleneck_) {
+      drr_bottleneck_->set_ledger(ledger);
+      auditor_->watch_drr("switch:drr", drr_bottleneck_.get());
+    }
+  }
+
   if (config_.meter_receiver) {
     // The receiver server as its own RAPL domain: one softirq/app core
     // charged per processed packet, per backlog drop and per generated ACK.
@@ -180,6 +204,12 @@ Scenario::SenderHost& Scenario::sender_host(int index) {
       host->nic->set_trace(trace_);
       ret.set_trace(trace_);
     }
+    if (auditor_) {
+      host->nic->set_ledger(&auditor_->ledger());
+      ret.set_ledger(&auditor_->ledger());
+      auditor_->watch_nic("sender" + std::to_string(host->id),
+                          host->nic.get());
+    }
 
     // Hosts born mid-run (open-loop arrivals) start metering immediately.
     if (metering_started_) host->meter->start();
@@ -221,6 +251,9 @@ void Scenario::add_flow(const FlowSpec& spec) {
     flow->receiver->set_trace(trace_);
   }
   if (drr_bottleneck_) drr_bottleneck_->set_weight(flow->id, spec.weight);
+  if (auditor_) {
+    auditor_->watch_flow(flow->id, flow->sender.get(), flow->receiver.get());
+  }
 
   host.cores.push_back(std::move(core));
   flows_.push_back(std::move(flow));
@@ -316,25 +349,29 @@ void Scenario::start_flow(FlowState& flow) {
   }
 
   // Application token bucket (iperf3 -b): grant bytes every 500 us.
+  sim_.schedule(sim::SimTime::zero(), [this, state] { pump_flow(*state); });
+}
+
+void Scenario::pump_flow(FlowState& flow) {
+  const std::int64_t mss = config_.tcp.mss_bytes();
+  const std::int64_t total =
+      (flow.spec.bytes + mss - 1) / mss * mss;  // whole segments
   const sim::SimTime refill = sim::SimTime::microseconds(500);
-  auto pump = std::make_shared<std::function<void()>>();
-  auto carry = std::make_shared<double>(0.0);
-  *pump = [this, state, total, refill, pump, carry] {
-    if (state->done || state->bytes_granted >= total) return;
-    if (state->current_rate_bps <= 0.0) return;  // released: handled above
-    *carry += state->current_rate_bps / 8.0 * refill.sec();
-    auto grant = static_cast<std::int64_t>(*carry);
-    grant = std::min(grant, total - state->bytes_granted);
-    if (grant > 0) {
-      *carry -= static_cast<double>(grant);
-      state->bytes_granted += grant;
-      state->sender->add_app_data(grant);
-      if (state->bytes_granted >= total) state->sender->mark_app_eof();
-      state->sender->start();
-    }
-    if (state->bytes_granted < total) sim_.schedule(refill, *pump);
-  };
-  sim_.schedule(sim::SimTime::zero(), *pump);
+  if (flow.done || flow.bytes_granted >= total) return;
+  if (flow.current_rate_bps <= 0.0) return;  // released: handled elsewhere
+  flow.rate_carry_bytes += flow.current_rate_bps / 8.0 * refill.sec();
+  auto grant = static_cast<std::int64_t>(flow.rate_carry_bytes);
+  grant = std::min(grant, total - flow.bytes_granted);
+  if (grant > 0) {
+    flow.rate_carry_bytes -= static_cast<double>(grant);
+    flow.bytes_granted += grant;
+    flow.sender->add_app_data(grant);
+    if (flow.bytes_granted >= total) flow.sender->mark_app_eof();
+    flow.sender->start();
+  }
+  if (flow.bytes_granted < total) {
+    sim_.schedule(refill, [this, state = &flow] { pump_flow(*state); });
+  }
 }
 
 ScenarioResult Scenario::run() {
@@ -360,7 +397,10 @@ ScenarioResult Scenario::run() {
   std::shared_ptr<std::function<void()>> reporter;
   if (config_.report_interval > sim::SimTime::zero()) {
     reporter = std::make_shared<std::function<void()>>();
-    *reporter = [this, reporter] {
+    // Self-capture must be weak: a by-value shared_ptr capture would make
+    // the function own itself and leak. The strong ref above outlives
+    // run_until, so lock() succeeds for every in-run tick.
+    *reporter = [this, weak = std::weak_ptr<std::function<void()>>(reporter)] {
       for (auto& flow : flows_) {
         const std::int64_t segs = flow->sender->snd_una();
         const double gbps =
@@ -371,7 +411,9 @@ ScenarioResult Scenario::run() {
         flow->last_report_segments = segs;
         flow->last_report_time = sim_.now();
       }
-      sim_.schedule(config_.report_interval, *reporter);
+      if (auto self = weak.lock()) {
+        sim_.schedule(config_.report_interval, *self);
+      }
     };
     sim_.schedule(config_.report_interval, *reporter);
   }
@@ -381,7 +423,9 @@ ScenarioResult Scenario::run() {
   std::vector<std::pair<double, std::int64_t>> queue_series;
   if (config_.trace_interval > sim::SimTime::zero()) {
     tracer = std::make_shared<std::function<void()>>();
-    *tracer = [this, tracer, &queue_series] {
+    // Weak self-capture for the same reason as the reporter above.
+    *tracer = [this, weak = std::weak_ptr<std::function<void()>>(tracer),
+               &queue_series] {
       for (auto& flow : flows_) {
         if (flow->done || !flow->has_started) continue;
         FlowResult::TraceSample sample;
@@ -395,17 +439,32 @@ ScenarioResult Scenario::run() {
       }
       queue_series.emplace_back(sim_.now().sec(),
                                 bottleneck_port_->queue_bytes());
-      sim_.schedule(config_.trace_interval, *tracer);
+      if (auto self = weak.lock()) {
+        sim_.schedule(config_.trace_interval, *self);
+      }
     };
     sim_.schedule(config_.trace_interval, *tracer);
+  }
+
+  if (auditor_) {
+    auditor_->set_trace(trace_);
+    auditor_->arm(sim_);
   }
 
   // Profile the simulator's own execution, not scenario setup: wall-clock
   // and event counts bracket run_until alone.
   const std::uint64_t events_before = sim_.events_executed();
+  // lint-allow: wall-clock (run profile measures host time, not sim results)
   const auto wall_start = std::chrono::steady_clock::now();
   sim_.run_until(config_.deadline);
-  const auto wall_end = std::chrono::steady_clock::now();
+  const auto wall_end = std::chrono::steady_clock::now();  // lint-allow: wall-clock
+
+  if (auditor_) {
+    // Final end-of-run walk: the cadence may not land on the last event,
+    // and a run is only certified clean if its terminal state audits too.
+    auditor_->disarm();
+    auditor_->check_now();
+  }
 
   // Energy protocol: counters are read when the last flow completes, like
   // the paper's before/after RAPL reads around the whole experiment.

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/auditor.h"
 #include "energy/calibration.h"
 #include "energy/cpu.h"
 #include "energy/meter.h"
@@ -82,6 +83,12 @@ struct ScenarioConfig {
   double work_jitter = 0.02;
   std::uint64_t seed = 1;
   sim::SimTime deadline = sim::SimTime::seconds(600.0);
+  /// When set, an InvariantAuditor walks the whole topology at this
+  /// simulated-time cadence (plus once at end of run) and aborts — with a
+  /// structured report through the trace sink — on the first broken
+  /// invariant. Zero (the default) keeps the audit layer entirely out of
+  /// the run; measurement builds pay nothing.
+  sim::SimTime audit_interval = sim::SimTime::zero();
 };
 
 /// Result of one finished flow.
@@ -190,6 +197,9 @@ class Scenario {
 
   sim::Simulator& simulator() { return sim_; }
 
+  /// The run's invariant auditor, or nullptr when `audit_interval` is zero.
+  check::InvariantAuditor* auditor() { return auditor_.get(); }
+
  private:
   struct SenderHost;
   struct FlowState;
@@ -197,12 +207,14 @@ class Scenario {
   void build_receiver_host();
   SenderHost& sender_host(int index);
   void start_flow(FlowState& flow);
+  void pump_flow(FlowState& flow);
   void on_flow_complete(FlowState& flow);
   void collect_counters(ScenarioResult& result);
 
   ScenarioConfig config_;
   sim::Simulator sim_;
   sim::Rng rng_;
+  std::unique_ptr<check::InvariantAuditor> auditor_;
   std::unique_ptr<net::Switch> switch_;
   std::vector<std::unique_ptr<SenderHost>> senders_;
   std::vector<std::unique_ptr<FlowState>> flows_;

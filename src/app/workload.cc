@@ -46,6 +46,7 @@ class BoundedPareto final : public FlowSizeDistribution {
   }
 
   double mean_bytes() const override {
+    // lint-allow: float-eq (exact special case: the alpha=1 closed form)
     if (alpha_ == 1.0) {
       return lo_ * hi_ / (hi_ - lo_) * std::log(hi_ / lo_);
     }
@@ -183,23 +184,26 @@ WorkloadResult run_workload(const WorkloadConfig& config) {
       config.load * 10e9 / 8.0 / config.sizes->mean_bytes();  // flows/sec
 
   auto& sim = scenario.simulator();
-  auto arrival = std::make_shared<std::function<void()>>();
-  auto next_host = std::make_shared<int>(0);
   const auto* sizes = config.sizes;
   const std::string cca = config.cca;
   const int pool = config.sender_hosts;
-  *arrival = [&scenario, &sim, &rng, arrival, next_host, sizes, cca, pool,
-              lambda] {
+  int next_host = 0;
+  // The closure reschedules itself through a reference capture rather than
+  // an owning shared_ptr (which would cycle and leak); every local it
+  // references outlives scenario.run(), after which no events fire.
+  std::function<void()> arrival;
+  arrival = [&scenario, &sim, &rng, &arrival, &next_host, sizes, cca, pool,
+             lambda] {
     FlowSpec spec;
     spec.cca = cca;
     spec.bytes = std::max<std::int64_t>(sizes->sample(rng), 1);
-    spec.sender_host = (*next_host)++ % pool;
+    spec.sender_host = next_host++ % pool;
     scenario.spawn_flow(spec);
     sim.schedule(sim::SimTime::seconds(rng.exponential(1.0 / lambda)),
-                 *arrival);
+                 arrival);
   };
   sim.schedule(sim::SimTime::seconds(rng.exponential(1.0 / lambda)),
-               *arrival);
+               arrival);
 
   const auto result = scenario.run();
 

@@ -28,6 +28,7 @@ class Timely final : public CongestionControl {
   void on_ack(const AckEvent& ev) override {
     if (ev.rtt <= sim::SimTime::zero()) return;
     const double rtt = ev.rtt.sec();
+    // lint-allow: float-eq (0.0 is the exact "no sample yet" sentinel)
     if (prev_rtt_ == 0.0) {
       prev_rtt_ = rtt;
       return;

@@ -57,6 +57,7 @@ class Westwood final : public LossBasedCca {
       const double sample_bps = static_cast<double>(acked_since_sample_) *
                                 config_.mss_bytes * 8.0 / interval.sec();
       // First-order filter: new = 7/8 old + 1/8 sample (after seeding).
+      // lint-allow: float-eq (0.0 is the exact "unseeded filter" sentinel)
       bw_est_bps_ = bw_est_bps_ == 0.0
                         ? sample_bps
                         : 0.875 * bw_est_bps_ + 0.125 * sample_bps;

@@ -1,0 +1,302 @@
+#include "check/auditor.h"
+
+#include <cmath>
+#include <utility>
+
+#include "check/check.h"
+
+namespace greencc::check {
+
+namespace {
+
+std::string flow_tag(const std::string& side, net::FlowId flow) {
+  return side + "(flow " + std::to_string(flow) + ")";
+}
+
+}  // namespace
+
+void InvariantAuditor::watch_queue(std::string name,
+                                   const net::DropTailQueue* queue) {
+  queues_.emplace_back(std::move(name), queue);
+}
+
+void InvariantAuditor::watch_port(const net::QueuedPort* port) {
+  ports_.push_back(port);
+}
+
+void InvariantAuditor::watch_drr(std::string name, const net::DrrPort* port) {
+  drrs_.emplace_back(std::move(name), port);
+}
+
+void InvariantAuditor::watch_switch(std::string name, const net::Switch* sw) {
+  switches_.emplace_back(std::move(name), sw);
+}
+
+void InvariantAuditor::watch_nic(std::string name, const net::BondedNic* nic) {
+  nics_.emplace_back(std::move(name), nic);
+}
+
+void InvariantAuditor::watch_flow(net::FlowId flow,
+                                  const tcp::TcpSender* sender,
+                                  const tcp::TcpReceiver* receiver) {
+  flows_.push_back(FlowWatch{flow, sender, receiver});
+}
+
+void InvariantAuditor::wrap(const std::string& component,
+                            const std::string& invariant,
+                            const std::vector<std::string>& problems,
+                            std::vector<Violation>& out) const {
+  for (const auto& problem : problems) {
+    out.push_back(Violation{component, invariant, problem});
+  }
+}
+
+void InvariantAuditor::audit_simulator_state(sim::SimTime now,
+                                             std::size_t pending,
+                                             std::size_t peak_pending,
+                                             std::uint64_t events_executed,
+                                             std::vector<Violation>& out) {
+  if (have_sim_state_ && now < last_now_) {
+    out.push_back({"simulator", "sim.time_monotonic",
+                   "clock regressed from " + last_now_.to_string() + " to " +
+                       now.to_string()});
+  }
+  if (peak_pending < pending) {
+    out.push_back({"simulator", "sim.heap_high_water",
+                   "peak_pending_events " + std::to_string(peak_pending) +
+                       " below current pending " + std::to_string(pending)});
+  }
+  if (have_sim_state_ && peak_pending < last_peak_) {
+    out.push_back({"simulator", "sim.heap_high_water",
+                   "peak_pending_events regressed from " +
+                       std::to_string(last_peak_) + " to " +
+                       std::to_string(peak_pending)});
+  }
+  if (have_sim_state_ && events_executed < last_executed_) {
+    out.push_back({"simulator", "sim.events_monotonic",
+                   "events_executed regressed from " +
+                       std::to_string(last_executed_) + " to " +
+                       std::to_string(events_executed)});
+  }
+  have_sim_state_ = true;
+  last_now_ = std::max(last_now_, now);
+  last_peak_ = std::max(last_peak_, peak_pending);
+  last_executed_ = std::max(last_executed_, events_executed);
+}
+
+void InvariantAuditor::audit_flow_progress(net::FlowId flow,
+                                           std::int64_t snd_una,
+                                           std::int64_t rcv_nxt,
+                                           std::vector<Violation>& out) {
+  auto [it, inserted] = progress_.try_emplace(flow);
+  FlowProgress& prev = it->second;
+  if (!inserted && snd_una < prev.snd_una) {
+    out.push_back({flow_tag("tcp:sender", flow), "tcp.cumack_monotonic",
+                   "snd_una regressed from " + std::to_string(prev.snd_una) +
+                       " to " + std::to_string(snd_una)});
+  }
+  if (!inserted && rcv_nxt < prev.rcv_nxt) {
+    out.push_back({flow_tag("tcp:receiver", flow), "tcp.rcvnxt_monotonic",
+                   "rcv_nxt regressed from " + std::to_string(prev.rcv_nxt) +
+                       " to " + std::to_string(rcv_nxt)});
+  }
+  // The sender can only have learned of data the receiver already holds:
+  // an ACK in flight carries an older (smaller) rcv_nxt, never a newer one.
+  if (snd_una > rcv_nxt) {
+    out.push_back({flow_tag("tcp", flow), "tcp.cumack_bound",
+                   "snd_una " + std::to_string(snd_una) +
+                       " ahead of receiver rcv_nxt " +
+                       std::to_string(rcv_nxt)});
+  }
+  prev.snd_una = std::max(prev.snd_una, snd_una);
+  prev.rcv_nxt = std::max(prev.rcv_nxt, rcv_nxt);
+}
+
+void InvariantAuditor::audit_flow_conservation(
+    net::FlowId flow, std::int64_t data_sent, std::int64_t data_delivered,
+    std::int64_t data_dropped, std::int64_t acks_sent,
+    std::int64_t acks_received, std::int64_t acks_dropped,
+    std::vector<Violation>& out) {
+  const std::int64_t data_in_flight = data_sent - data_delivered - data_dropped;
+  if (data_in_flight < 0) {
+    out.push_back(
+        {flow_tag("flow", flow), "conservation.data",
+         "sent " + std::to_string(data_sent) + " < delivered " +
+             std::to_string(data_delivered) + " + dropped " +
+             std::to_string(data_dropped) +
+             " (implied in-flight " + std::to_string(data_in_flight) + ")"});
+  }
+  const std::int64_t acks_in_flight = acks_sent - acks_received - acks_dropped;
+  if (acks_in_flight < 0) {
+    out.push_back(
+        {flow_tag("flow", flow), "conservation.ack",
+         "acks sent " + std::to_string(acks_sent) + " < received " +
+             std::to_string(acks_received) + " + dropped " +
+             std::to_string(acks_dropped) +
+             " (implied in-flight " + std::to_string(acks_in_flight) + ")"});
+  }
+}
+
+void InvariantAuditor::audit_cca(net::FlowId flow,
+                                 const cca::CongestionControl& cc,
+                                 std::vector<Violation>& out) const {
+  const std::string component = flow_tag("cca:" + cc.name(), flow);
+  const double cwnd = cc.cwnd_segments();
+  if (!std::isfinite(cwnd)) {
+    out.push_back({component, "cca.cwnd_sane", "cwnd is not finite"});
+  } else if (cwnd < 1.0 - 1e-9) {
+    out.push_back({component, "cca.cwnd_sane",
+                   "cwnd " + std::to_string(cwnd) +
+                       " below the contract minimum of 1 segment"});
+  } else if (cwnd > 1e9) {
+    out.push_back({component, "cca.cwnd_sane",
+                   "cwnd " + std::to_string(cwnd) +
+                       " absurdly large (> 1e9 segments)"});
+  }
+  const double pacing = cc.pacing_rate_bps();
+  if (!std::isfinite(pacing) || pacing < 0.0) {
+    out.push_back({component, "cca.pacing_sane",
+                   "pacing rate " + std::to_string(pacing) +
+                       " negative or not finite"});
+  } else if (pacing > 1e15) {
+    out.push_back({component, "cca.pacing_sane",
+                   "pacing rate " + std::to_string(pacing) +
+                       " absurdly large (> 1 Pb/s)"});
+  }
+}
+
+std::int64_t InvariantAuditor::total_queued_packets() const {
+  std::int64_t total = 0;
+  for (const auto& [name, queue] : queues_) {
+    total += static_cast<std::int64_t>(queue->packets());
+  }
+  for (const auto* port : ports_) {
+    total += static_cast<std::int64_t>(port->queue_packets());
+  }
+  for (const auto& [name, drr] : drrs_) total += drr->total_queued_packets();
+  for (const auto& [name, sw] : switches_) total += sw->total_queued_packets();
+  for (const auto& [name, nic] : nics_) total += nic->total_queued_packets();
+  return total;
+}
+
+std::vector<Violation> InvariantAuditor::run_once() {
+  std::vector<Violation> out;
+  std::vector<std::string> problems;
+
+  if (sim_) {
+    audit_simulator_state(sim_->now(), sim_->pending_events(),
+                          sim_->peak_pending_events(),
+                          sim_->events_executed(), out);
+  }
+  for (const auto& [name, queue] : queues_) {
+    problems.clear();
+    queue->audit(problems);
+    wrap(name, "queue.accounting", problems, out);
+  }
+  for (const auto* port : ports_) {
+    problems.clear();
+    port->audit(problems);
+    wrap(port->name(), "port.accounting", problems, out);
+  }
+  for (const auto& [name, drr] : drrs_) {
+    problems.clear();
+    drr->audit(problems);
+    wrap(name, "drr.scheduler", problems, out);
+  }
+  for (const auto& [name, sw] : switches_) {
+    problems.clear();
+    sw->audit(problems);
+    wrap(name, "switch.accounting", problems, out);
+  }
+  for (const auto& [name, nic] : nics_) {
+    problems.clear();
+    nic->audit(problems);
+    wrap(name, "nic.accounting", problems, out);
+  }
+
+  std::int64_t implied_in_flight = 0;
+  for (const auto& fw : flows_) {
+    problems.clear();
+    fw.sender->audit(problems);
+    wrap(flow_tag("tcp:sender", fw.flow), "tcp.scoreboard", problems, out);
+    problems.clear();
+    fw.receiver->audit(problems);
+    wrap(flow_tag("tcp:receiver", fw.flow), "tcp.reassembly", problems, out);
+
+    audit_cca(fw.flow, fw.sender->congestion_control(), out);
+    audit_flow_progress(fw.flow, fw.sender->snd_una(), fw.receiver->rcv_nxt(),
+                        out);
+
+    const std::int64_t data_sent = fw.sender->stats().segments_sent;
+    const std::int64_t data_delivered = fw.receiver->segments_received();
+    const std::int64_t data_dropped = ledger_.data_drops(fw.flow);
+    const std::int64_t acks_sent = fw.receiver->acks_sent();
+    const std::int64_t acks_received = fw.sender->stats().acks_received;
+    const std::int64_t acks_dropped = ledger_.ack_drops(fw.flow);
+    audit_flow_conservation(fw.flow, data_sent, data_delivered, data_dropped,
+                            acks_sent, acks_received, acks_dropped, out);
+    implied_in_flight +=
+        std::max<std::int64_t>(0, data_sent - data_delivered - data_dropped) +
+        std::max<std::int64_t>(0, acks_sent - acks_received - acks_dropped);
+  }
+
+  // Topology-wide bound: every in-flight packet sits in exactly one queue
+  // or is referenced by exactly one pending simulator event (release,
+  // serialization or propagation). Pending events over-count (timers,
+  // meters, this audit), so the bound is loose — but a leak that fabricates
+  // packets blows straight through it.
+  if (complete_topology_ && sim_) {
+    const std::int64_t capacity =
+        total_queued_packets() +
+        static_cast<std::int64_t>(sim_->pending_events());
+    if (implied_in_flight > capacity) {
+      out.push_back(
+          {"topology", "conservation.global",
+           "implied in-flight " + std::to_string(implied_in_flight) +
+               " exceeds queue occupancy + pending events " +
+               std::to_string(capacity)});
+    }
+  }
+
+  ++audits_run_;
+  return out;
+}
+
+void InvariantAuditor::check_now() {
+  last_violations_ = run_once();
+  if (last_violations_.empty()) return;
+
+  const sim::SimTime now = sim_ ? sim_->now() : last_now_;
+  if (trace_) {
+    for (std::size_t i = 0; i < last_violations_.size(); ++i) {
+      const Violation& v = last_violations_[i];
+      trace::Event event;
+      event.t = now;
+      event.cls = trace::EventClass::kInvariant;
+      event.src = v.component;
+      event.seq = -1;
+      event.value = static_cast<double>(i);
+      event.detail = v.message;
+      trace_->emit(event);
+    }
+  }
+  GREENCC_CHECK(last_violations_.empty())
+      << last_violations_.size() << " invariant violation(s) at t="
+      << now.to_string() << "; first: " << last_violations_.front().to_string()
+      << " (audit #" << audits_run_ << ")";
+}
+
+void InvariantAuditor::arm(sim::Simulator& sim) {
+  armed_ = true;
+  schedule_next(sim);
+}
+
+void InvariantAuditor::schedule_next(sim::Simulator& sim) {
+  sim.schedule(config_.cadence, [this, &sim] {
+    if (!armed_) return;
+    check_now();
+    schedule_next(sim);
+  });
+}
+
+}  // namespace greencc::check

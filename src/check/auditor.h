@@ -1,0 +1,191 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cca/cca.h"
+#include "check/ledger.h"
+#include "net/drr.h"
+#include "net/port.h"
+#include "net/switch.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+#include "trace/trace.h"
+
+namespace greencc::check {
+
+/// One broken invariant, as reported by a component walk.
+struct Violation {
+  std::string component;  ///< emitting component ("switch:egress0", ...)
+  std::string invariant;  ///< invariant class ("queue.accounting", ...)
+  std::string message;    ///< human-readable detail
+
+  std::string to_string() const {
+    return component + " [" + invariant + "] " + message;
+  }
+};
+
+/// Walks the live topology and verifies the accounting invariants the
+/// paper's energy numbers rest on: a simulator that loses or double-counts
+/// packets produces wrong retransmission counts, wrong FCTs and therefore
+/// wrong joules — silently.
+///
+/// The auditor holds non-owning pointers to the components it watches (the
+/// scenario registers everything it builds) and re-derives each layer's
+/// books from first principles at every audit:
+///
+///   * simulator  — event time never regresses, heap high-water marks and
+///     executed-event counts are monotone and mutually consistent
+///   * queues     — byte/packet occupancy equals the sum over entries, and
+///     enqueued == dequeued + head-dropped + still-queued (both units)
+///   * ports      — transmit counters equal the queue's dequeue counters;
+///     a backlogged port is never idle between events
+///   * DRR        — active-list membership matches queue backlogs, deficits
+///     never go negative, per-flow queues audit like any queue
+///   * TCP        — scoreboard flag counts equal the cached aggregates
+///     (pipe/sacked_out/lost_out), index sets agree with the scoreboard,
+///     SACK ranges are disjoint and ordered, cumulative ACK and rcv_nxt
+///     never regress, in-flight respects the cwnd high-water bound
+///   * CCA        — cwnd and pacing rate are finite, positive and sane
+///   * end-to-end — per flow, sent == delivered + dropped + in_flight with
+///     in_flight >= 0; topology-wide, implied in-flight never exceeds what
+///     queues and pending events can physically hold
+///
+/// Violations are emitted as `invariant` trace events through the run's
+/// TraceSink (so a failing grid cell is diagnosable from its trace file)
+/// and then raised through GREENCC_CHECK, which aborts — or throws, under a
+/// test-installed failure handler.
+///
+/// Lifetime: the auditor must outlive both the watched components and any
+/// events it scheduled (arm()); the owning scenario satisfies both by
+/// construction. Not thread-safe; one auditor per (single-threaded)
+/// simulator, which keeps parallel repeats race-free the same way sinks
+/// are.
+class InvariantAuditor {
+ public:
+  struct Config {
+    /// Simulated-time interval between topology walks (arm()).
+    sim::SimTime cadence = sim::SimTime::milliseconds(10);
+  };
+
+  InvariantAuditor() = default;
+  explicit InvariantAuditor(Config config) : config_(config) {}
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  // --- registration (all pointers non-owning, must outlive the auditor) ---
+  void watch_simulator(const sim::Simulator* sim) { sim_ = sim; }
+  void watch_queue(std::string name, const net::DropTailQueue* queue);
+  void watch_port(const net::QueuedPort* port);
+  void watch_drr(std::string name, const net::DrrPort* port);
+  void watch_switch(std::string name, const net::Switch* sw);
+  void watch_nic(std::string name, const net::BondedNic* nic);
+  void watch_flow(net::FlowId flow, const tcp::TcpSender* sender,
+                  const tcp::TcpReceiver* receiver);
+
+  /// The run's drop ledger; wire into every queue (set_ledger) before
+  /// traffic flows so the conservation equation balances.
+  PacketLedger& ledger() { return ledger_; }
+
+  /// Declare that every queue of the topology reports to the ledger. Only
+  /// then is the topology-wide in-flight upper bound checked (a partially
+  /// wired topology under-counts drops, which would false-fire it).
+  void set_complete_topology(bool complete) { complete_topology_ = complete; }
+
+  /// Violations are additionally emitted as `invariant` events here.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
+  /// Walk everything once; returns the violations found (empty = healthy).
+  /// Also advances the monotonicity high-water marks.
+  std::vector<Violation> run_once();
+
+  /// run_once(), then report-and-abort on any violation: each violation is
+  /// emitted through the trace sink, then GREENCC_CHECK(false) raises a
+  /// summary through the failure handler.
+  void check_now();
+
+  /// Schedule check_now() every `cadence` on `sim` until disarm(). The
+  /// recurring event keeps the queue non-empty: drive an armed simulator
+  /// with run_until(deadline), not run().
+  void arm(sim::Simulator& sim);
+  void disarm() { armed_ = false; }
+
+  std::uint64_t audits_run() const { return audits_run_; }
+
+  // --- raw-state seams -----------------------------------------------
+  // run_once() feeds these with live values; unit tests feed them with
+  // deliberately corrupted ones to prove each invariant class fires.
+
+  /// Event-time monotonicity and heap high-water sanity.
+  void audit_simulator_state(sim::SimTime now, std::size_t pending,
+                             std::size_t peak_pending,
+                             std::uint64_t events_executed,
+                             std::vector<Violation>& out);
+
+  /// Cumulative-ACK / rcv_nxt forward progress for one flow.
+  void audit_flow_progress(net::FlowId flow, std::int64_t snd_una,
+                           std::int64_t rcv_nxt,
+                           std::vector<Violation>& out);
+
+  /// Per-flow conservation: sent == delivered + dropped + in_flight.
+  void audit_flow_conservation(net::FlowId flow, std::int64_t data_sent,
+                               std::int64_t data_delivered,
+                               std::int64_t data_dropped,
+                               std::int64_t acks_sent,
+                               std::int64_t acks_received,
+                               std::int64_t acks_dropped,
+                               std::vector<Violation>& out);
+
+  /// CCA sanity over a controller's current outputs.
+  void audit_cca(net::FlowId flow, const cca::CongestionControl& cc,
+                 std::vector<Violation>& out) const;
+
+ private:
+  struct FlowWatch {
+    net::FlowId flow = 0;
+    const tcp::TcpSender* sender = nullptr;
+    const tcp::TcpReceiver* receiver = nullptr;
+  };
+  struct FlowProgress {
+    std::int64_t snd_una = 0;
+    std::int64_t rcv_nxt = 0;
+  };
+
+  void wrap(const std::string& component, const std::string& invariant,
+            const std::vector<std::string>& problems,
+            std::vector<Violation>& out) const;
+  std::int64_t total_queued_packets() const;
+  void schedule_next(sim::Simulator& sim);
+
+  Config config_;
+  const sim::Simulator* sim_ = nullptr;
+  std::vector<std::pair<std::string, const net::DropTailQueue*>> queues_;
+  std::vector<const net::QueuedPort*> ports_;
+  std::vector<std::pair<std::string, const net::DrrPort*>> drrs_;
+  std::vector<std::pair<std::string, const net::Switch*>> switches_;
+  std::vector<std::pair<std::string, const net::BondedNic*>> nics_;
+  std::vector<FlowWatch> flows_;
+  PacketLedger ledger_;
+  bool complete_topology_ = false;
+  trace::TraceSink* trace_ = nullptr;
+  bool armed_ = false;
+  std::uint64_t audits_run_ = 0;
+
+  // Monotonicity high-water marks.
+  bool have_sim_state_ = false;
+  sim::SimTime last_now_ = sim::SimTime::zero();
+  std::size_t last_peak_ = 0;
+  std::uint64_t last_executed_ = 0;
+  std::map<net::FlowId, FlowProgress> progress_;
+
+  // Kept alive so trace events' string_views stay valid for sink readers.
+  std::vector<Violation> last_violations_;
+};
+
+}  // namespace greencc::check

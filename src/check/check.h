@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// GREENCC_CHECK / GREENCC_DCHECK — the project's runtime invariant macros.
+///
+/// Both are message-streaming (glog-style):
+///
+///   GREENCC_CHECK(bytes_ >= 0) << "queue " << name_ << " bytes went "
+///                              << bytes_;
+///
+/// GREENCC_CHECK is evaluated in every build flavor: it costs one
+/// well-predicted branch when the condition holds and the stream operands
+/// are never evaluated on the healthy path. Unlike a bare assert() it
+/// survives RelWithDebInfo (NDEBUG) builds, so the few always-on machine
+/// invariants (event-time monotonicity, scheduler progress) keep guarding
+/// release experiment runs.
+///
+/// GREENCC_DCHECK compiles to nothing unless the tree is configured with
+/// -DGREENCC_AUDIT=ON (the `audit` CMake preset), which defines
+/// GREENCC_AUDIT. Use it for per-packet/per-ACK checks that are too hot to
+/// pay for in measurement builds. The condition and stream operands still
+/// typecheck when compiled out (they sit behind a constant-folded branch),
+/// so an audit build can never be broken by a stale check.
+///
+/// Failure behavior: the failure message — file:line, the condition text
+/// and the streamed context — goes through the installed FailureHandler.
+/// The default handler prints to stderr and aborts. Tests install a
+/// throwing handler (see ScopedFailureHandler) to prove invariants actually
+/// fire on corrupted state.
+namespace greencc::check {
+
+/// Everything known about one failed check.
+struct FailureInfo {
+  const char* file = "";
+  int line = 0;
+  const char* condition = "";
+  std::string message;
+
+  std::string to_string() const {
+    std::string out = std::string(file) + ":" + std::to_string(line) +
+                      ": check failed: " + condition;
+    if (!message.empty()) out += " — " + message;
+    return out;
+  }
+};
+
+/// A handler may throw (tests) or return (then the process aborts).
+using FailureHandler = void (*)(const FailureInfo&);
+
+namespace detail {
+inline FailureHandler& handler_slot() {
+  static FailureHandler handler = nullptr;  // nullptr = print + abort
+  return handler;
+}
+}  // namespace detail
+
+/// Install a failure handler; returns the previous one. Not thread-safe:
+/// install before spawning workers (tests are single-threaded at setup).
+inline FailureHandler set_failure_handler(FailureHandler handler) {
+  FailureHandler old = detail::handler_slot();
+  detail::handler_slot() = handler;
+  return old;
+}
+
+/// Route a failure through the installed handler; abort if it returns.
+[[noreturn]] inline void fail(const FailureInfo& info) {
+  if (FailureHandler handler = detail::handler_slot()) handler(info);
+  std::fprintf(stderr, "GREENCC_CHECK %s\n", info.to_string().c_str());
+  std::abort();
+}
+
+/// RAII helper for tests: installs a handler for the enclosing scope.
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(FailureHandler handler)
+      : previous_(set_failure_handler(handler)) {}
+  ~ScopedFailureHandler() { set_failure_handler(previous_); }
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+
+ private:
+  FailureHandler previous_;
+};
+
+/// Exception a test handler can throw to observe the failure.
+struct CheckFailedError {
+  FailureInfo info;
+};
+
+/// Handler that throws CheckFailedError (for EXPECT_THROW-style tests).
+[[noreturn]] inline void throwing_failure_handler(const FailureInfo& info) {
+  throw CheckFailedError{info};
+}
+
+/// Collects the streamed message; its destructor fires the failure at the
+/// end of the full expression, after all operands have been streamed.
+class Failer {
+ public:
+  Failer(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+  Failer(const Failer&) = delete;
+  Failer& operator=(const Failer&) = delete;
+
+  // noexcept(false): a test-installed handler reports by throwing.
+  ~Failer() noexcept(false) {
+    fail(FailureInfo{file_, line_, condition_, stream_.str()});
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+/// Makes the streaming arm of the ternary void-typed. operator& binds
+/// looser than operator<<, so the whole `Failer().stream() << a << b`
+/// chain is evaluated first — and only when the condition is false.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace greencc::check
+
+#define GREENCC_CHECK(condition)                                   \
+  (condition) ? (void)0                                            \
+              : ::greencc::check::Voidify() &                      \
+                    ::greencc::check::Failer(__FILE__, __LINE__,   \
+                                             #condition)           \
+                        .stream()
+
+#ifdef GREENCC_AUDIT
+#define GREENCC_DCHECK(condition) GREENCC_CHECK(condition)
+#else
+// Compiled out, but the condition and streamed operands still typecheck:
+// `true || (condition)` folds to true, the streaming arm is dead code.
+#define GREENCC_DCHECK(condition)                                  \
+  (true || (condition)) ? (void)0                                  \
+                        : ::greencc::check::Voidify() &            \
+                              ::greencc::check::Failer(            \
+                                  __FILE__, __LINE__, #condition)  \
+                                  .stream()
+#endif

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/packet.h"
+
+namespace greencc::check {
+
+/// Per-flow packet-loss ledger, the drop side of the end-to-end
+/// conservation invariant
+///
+///     sent == delivered + dropped + in_flight        (per flow)
+///
+/// Senders already count transmissions and receivers arrivals, but drops
+/// happen inside queues that know the packet's flow only at the drop site.
+/// In audit mode every DropTailQueue gets a pointer to the run's ledger and
+/// reports each dropped packet here; the InvariantAuditor then solves the
+/// equation for in_flight and checks it stays within physical bounds.
+///
+/// Header-only on purpose: queues call it from their drop sites, and the
+/// net layer must not link against the audit library (which itself links
+/// net). The hot path pays one branch-on-nullptr per drop — and drops are
+/// already the slow path.
+class PacketLedger {
+ public:
+  void on_drop(const net::Packet& pkt) {
+    if (pkt.is_ack) {
+      ++ack_drops_[pkt.flow];
+    } else {
+      ++data_drops_[pkt.flow];
+    }
+  }
+
+  std::int64_t data_drops(net::FlowId flow) const {
+    auto it = data_drops_.find(flow);
+    return it == data_drops_.end() ? 0 : it->second;
+  }
+
+  std::int64_t ack_drops(net::FlowId flow) const {
+    auto it = ack_drops_.find(flow);
+    return it == ack_drops_.end() ? 0 : it->second;
+  }
+
+ private:
+  // std::map: deterministic iteration if anyone ever walks these.
+  std::map<net::FlowId, std::int64_t> data_drops_;
+  std::map<net::FlowId, std::int64_t> ack_drops_;
+};
+
+}  // namespace greencc::check

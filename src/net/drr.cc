@@ -1,7 +1,10 @@
 #include "net/drr.h"
 
-#include <cassert>
+#include <algorithm>
 #include <stdexcept>
+
+#include "check/check.h"
+#include "check/ledger.h"
 
 namespace greencc::net {
 
@@ -11,9 +14,15 @@ DrrPort::FlowState& DrrPort::flow_state(FlowId flow) {
     FlowState state;
     state.queue =
         std::make_unique<DropTailQueue>(config_.per_flow_queue_bytes);
+    state.queue->set_ledger(ledger_);
     it = flows_.emplace(flow, std::move(state)).first;
   }
   return it->second;
+}
+
+void DrrPort::set_ledger(check::PacketLedger* ledger) {
+  ledger_ = ledger;
+  for (auto& [flow, state] : flows_) state.queue->set_ledger(ledger);
 }
 
 void DrrPort::set_weight(FlowId flow, double weight) {
@@ -32,6 +41,76 @@ std::int64_t DrrPort::total_queued_bytes() const {
   std::int64_t total = 0;
   for (const auto& [flow, state] : flows_) total += state.queue->bytes();
   return total;
+}
+
+std::int64_t DrrPort::total_queued_packets() const {
+  std::int64_t total = 0;
+  for (const auto& [flow, state] : flows_) {
+    total += static_cast<std::int64_t>(state.queue->packets());
+  }
+  return total;
+}
+
+void DrrPort::audit(std::vector<std::string>& problems) const {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const FlowId flow = active_[i];
+    const auto it = flows_.find(flow);
+    if (it == flows_.end()) {
+      problems.push_back("active list holds unknown flow " +
+                         std::to_string(flow));
+      continue;
+    }
+    if (!it->second.in_round) {
+      problems.push_back("flow " + std::to_string(flow) +
+                         " on the active list but not marked in_round");
+    }
+    if (std::count(active_.begin(), active_.end(), flow) > 1) {
+      problems.push_back("flow " + std::to_string(flow) +
+                         " appears more than once on the active list");
+    }
+  }
+  for (const auto& [flow, state] : flows_) {
+    const bool listed =
+        std::find(active_.begin(), active_.end(), flow) != active_.end();
+    if (state.in_round != listed) {
+      problems.push_back("flow " + std::to_string(flow) + " in_round=" +
+                         (state.in_round ? "true" : "false") +
+                         " disagrees with active-list membership");
+    }
+    // A backlogged flow must be scheduled — unless the head packet of a
+    // transmission is still serializing (then the flow re-enters on the
+    // completion event). in_round=false with a backlog is only legal while
+    // transmitting_ covers exactly that window.
+    if (!state.queue->empty() && !state.in_round && !transmitting_) {
+      problems.push_back("flow " + std::to_string(flow) +
+                         " backlogged but absent from an idle scheduler");
+    }
+    if (state.deficit < 0) {
+      problems.push_back("flow " + std::to_string(flow) +
+                         " has negative deficit " +
+                         std::to_string(state.deficit));
+    }
+    if (!state.in_round && state.deficit != 0) {
+      problems.push_back("flow " + std::to_string(flow) +
+                         " carries deficit " + std::to_string(state.deficit) +
+                         " while out of the round");
+    }
+    if (state.weight <= 0.0) {
+      problems.push_back("flow " + std::to_string(flow) +
+                         " has non-positive weight " +
+                         std::to_string(state.weight));
+    }
+    const std::size_t before = problems.size();
+    state.queue->audit(problems);
+    for (std::size_t i = before; i < problems.size(); ++i) {
+      problems[i] = "flow " + std::to_string(flow) + " queue: " + problems[i];
+    }
+  }
+  if (round_index_ > active_.size()) {
+    problems.push_back("round index " + std::to_string(round_index_) +
+                       " beyond active list size " +
+                       std::to_string(active_.size()));
+  }
 }
 
 void DrrPort::handle(Packet pkt) {
@@ -57,7 +136,10 @@ void DrrPort::start_transmission() {
   int safety = 100'000;  // progress is guaranteed; this guards regressions
   while (!active_.empty()) {
     --safety;
-    assert(safety > 0 && "DrrPort: scheduler failed to make progress");
+    GREENCC_CHECK(safety > 0)
+        << "DrrPort " << name_ << ": scheduler failed to make progress with "
+        << active_.size() << " active flow(s), round_index=" << round_index_
+        << ", total backlog " << total_queued_bytes() << " bytes";
     if (safety <= 0) break;
     if (round_index_ >= active_.size()) round_index_ = 0;
     const FlowId flow = active_[round_index_];

@@ -41,12 +41,25 @@ class DrrPort : public PacketHandler {
 
   void set_next(PacketHandler* next) { next_ = next; }
 
+  /// Attach the run's drop ledger; propagated to every per-flow queue,
+  /// including ones created lazily by later arrivals.
+  void set_ledger(check::PacketLedger* ledger);
+
+  /// Verify scheduler bookkeeping: active-list membership matches queue
+  /// backlogs (every backlogged flow is in exactly one round slot, no flow
+  /// appears twice), deficits are non-negative and only carried by active
+  /// flows, and each per-flow queue's own books balance.
+  void audit(std::vector<std::string>& problems) const;
+
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t dropped() const { return dropped_; }
   std::int64_t queued_bytes(FlowId flow) const;
   std::int64_t total_queued_bytes() const;
+  std::int64_t total_queued_packets() const;
 
  private:
+  friend struct check::AuditCorruptor;  // tests corrupt private state
+
   struct FlowState {
     std::unique_ptr<DropTailQueue> queue;
     double weight = 1.0;
@@ -62,6 +75,7 @@ class DrrPort : public PacketHandler {
   Config config_;
   PacketHandler* next_;
   std::map<FlowId, FlowState> flows_;
+  check::PacketLedger* ledger_ = nullptr;
   std::vector<FlowId> active_;  ///< round-robin list of backlogged flows
   std::size_t round_index_ = 0;
   bool topped_up_ = false;  ///< current flow already got this visit's quantum

@@ -31,6 +31,30 @@ void QueuedPort::register_counters(trace::CounterRegistry& reg) const {
   reg.add(name_ + ".bytes_sent", &bytes_sent_);
 }
 
+void QueuedPort::audit(std::vector<std::string>& problems) const {
+  const QueueStats& stats = queue_.stats();
+  // Every transmitted packet was dequeued by this port, and CoDel head
+  // drops are the only other way out of the queue.
+  const std::uint64_t expected_sent = stats.dequeued;
+  if (packets_sent_ != expected_sent) {
+    problems.push_back("packets_sent " + std::to_string(packets_sent_) +
+                       " != queue dequeued " + std::to_string(expected_sent));
+  }
+  if (bytes_sent_ != stats.dequeued_bytes) {
+    problems.push_back("bytes_sent " + std::to_string(bytes_sent_) +
+                       " != queue dequeued_bytes " +
+                       std::to_string(stats.dequeued_bytes));
+  }
+  // Work-conserving transmitter: an idle port implies an empty queue (the
+  // converse does not hold — the last packet may still be serializing).
+  if (!transmitting_ && !queue_.empty()) {
+    problems.push_back("idle transmitter with " +
+                       std::to_string(queue_.packets()) +
+                       " packet(s) backlogged");
+  }
+  queue_.audit(problems);
+}
+
 void QueuedPort::start_transmission() {
   auto pkt = queue_.dequeue(sim_.now());
   if (!pkt) {

@@ -94,14 +94,26 @@ class QueuedPort : public PacketHandler {
   /// ("<name>.enqueued", "<name>.dropped", ...).
   void register_counters(trace::CounterRegistry& reg) const;
 
+  /// Attach the run's drop ledger to this port's queue.
+  void set_ledger(check::PacketLedger* ledger) { queue_.set_ledger(ledger); }
+
+  /// Cross-check the transmit counters against the queue's dequeue books
+  /// and verify the port is never idle with a backlog; see
+  /// InvariantAuditor. Appends discrepancies to `problems`.
+  void audit(std::vector<std::string>& problems) const;
+
   const QueueStats& queue_stats() const { return queue_.stats(); }
   std::int64_t queue_bytes() const { return queue_.bytes(); }
+  std::size_t queue_packets() const { return queue_.packets(); }
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::int64_t bytes_sent() const { return bytes_sent_; }
+  bool transmitting() const { return transmitting_; }
   const std::string& name() const { return name_; }
   const PortConfig& config() const { return config_; }
 
  private:
+  friend struct check::AuditCorruptor;  // tests corrupt private state
+
   void start_transmission();
 
   sim::Simulator& sim_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/ledger.h"
+
 namespace greencc::net {
 
 DropTailQueue::DropTailQueue(std::int64_t capacity_bytes,
@@ -43,6 +45,7 @@ void DropTailQueue::push(Packet pkt, sim::SimTime now) {
   bytes_ += pkt.size_bytes;
   stats_.max_bytes_seen = std::max(stats_.max_bytes_seen, bytes_);
   ++stats_.enqueued;
+  stats_.enqueued_bytes += pkt.size_bytes;
   entries_.push_back({pkt, now});
   stats_.max_packets_seen =
       std::max(stats_.max_packets_seen,
@@ -107,6 +110,7 @@ bool DropTailQueue::red_admit(Packet& pkt, sim::SimTime now) {
 bool DropTailQueue::enqueue(Packet pkt, sim::SimTime now) {
   if (!fits(pkt)) {
     ++stats_.dropped;
+    if (ledger_) ledger_->on_drop(pkt);
     if (trace_) trace_event(trace::EventClass::kDrop, pkt, now);
     return false;
   }
@@ -125,6 +129,7 @@ bool DropTailQueue::enqueue(Packet pkt, sim::SimTime now) {
     case AqmMode::kRed:
       if (!red_admit(pkt, now)) {
         ++stats_.dropped;
+        if (ledger_) ledger_->on_drop(pkt);
         if (trace_) trace_event(trace::EventClass::kDrop, pkt, now);
         return false;
       }
@@ -161,6 +166,9 @@ void DropTailQueue::codel_prune(sim::SimTime now) {
     if (now < codel_next_drop_) return;
     Packet dropped = pop();
     ++stats_.dropped;
+    ++stats_.dropped_head;
+    stats_.dropped_head_bytes += dropped.size_bytes;
+    if (ledger_) ledger_->on_drop(dropped);
     if (trace_) trace_event(trace::EventClass::kDrop, dropped, now);
     ++codel_drop_count_;
     codel_next_drop_ =
@@ -173,11 +181,71 @@ std::optional<Packet> DropTailQueue::dequeue(sim::SimTime now) {
   if (aqm_.mode == AqmMode::kCodel) codel_prune(now);
   if (entries_.empty()) return std::nullopt;
   Packet pkt = pop();
+  ++stats_.dequeued;
+  stats_.dequeued_bytes += pkt.size_bytes;
   if (entries_.empty()) {
     red_was_empty_ = true;
     red_empty_since_ = now;
   }
   return pkt;
+}
+
+void DropTailQueue::audit(std::vector<std::string>& problems) const {
+  std::int64_t listed_bytes = 0;
+  for (const auto& entry : entries_) listed_bytes += entry.pkt.size_bytes;
+  if (listed_bytes != bytes_) {
+    problems.push_back("cached bytes " + std::to_string(bytes_) +
+                       " != sum over entries " + std::to_string(listed_bytes));
+  }
+  if (bytes_ < 0) {
+    problems.push_back("byte occupancy negative: " + std::to_string(bytes_));
+  }
+  const std::uint64_t accounted =
+      stats_.dequeued + stats_.dropped_head +
+      static_cast<std::uint64_t>(entries_.size());
+  if (stats_.enqueued != accounted) {
+    problems.push_back(
+        "packet books do not balance: enqueued " +
+        std::to_string(stats_.enqueued) + " != dequeued " +
+        std::to_string(stats_.dequeued) + " + head-dropped " +
+        std::to_string(stats_.dropped_head) + " + queued " +
+        std::to_string(entries_.size()));
+  }
+  const std::int64_t accounted_bytes =
+      stats_.dequeued_bytes + stats_.dropped_head_bytes + bytes_;
+  if (stats_.enqueued_bytes != accounted_bytes) {
+    problems.push_back(
+        "byte books do not balance: enqueued " +
+        std::to_string(stats_.enqueued_bytes) + " != dequeued " +
+        std::to_string(stats_.dequeued_bytes) + " + head-dropped " +
+        std::to_string(stats_.dropped_head_bytes) + " + queued " +
+        std::to_string(bytes_));
+  }
+  if (stats_.dropped_head > stats_.dropped) {
+    problems.push_back("head drops " + std::to_string(stats_.dropped_head) +
+                       " exceed total drops " + std::to_string(stats_.dropped));
+  }
+  if (stats_.max_bytes_seen < bytes_) {
+    problems.push_back("byte high-water " +
+                       std::to_string(stats_.max_bytes_seen) +
+                       " below current occupancy " + std::to_string(bytes_));
+  }
+  if (stats_.max_packets_seen < entries_.size()) {
+    problems.push_back("packet high-water " +
+                       std::to_string(stats_.max_packets_seen) +
+                       " below current occupancy " +
+                       std::to_string(entries_.size()));
+  }
+  if (capacity_bytes_ > 0 && bytes_ > capacity_bytes_) {
+    problems.push_back("occupancy " + std::to_string(bytes_) +
+                       " exceeds byte capacity " +
+                       std::to_string(capacity_bytes_));
+  }
+  if (capacity_packets_ > 0 && entries_.size() > capacity_packets_) {
+    problems.push_back("occupancy " + std::to_string(entries_.size()) +
+                       " exceeds packet capacity " +
+                       std::to_string(capacity_packets_));
+  }
 }
 
 }  // namespace greencc::net

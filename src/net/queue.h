@@ -5,19 +5,38 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 #include "trace/trace.h"
 
+namespace greencc::check {
+class PacketLedger;
+struct AuditCorruptor;
+}  // namespace greencc::check
+
 namespace greencc::net {
 
 /// Statistics kept by every queue; benches and tests read these.
+///
+/// The counters are double-entry books for the audit layer: packets that
+/// were admitted (`enqueued`) either left through the front (`dequeued`),
+/// were head-dropped by CoDel (`dropped_head`) or are still queued, and
+/// the same holds for the byte-unit columns. `dropped` counts every drop —
+/// tail, RED and CoDel head — so `dropped >= dropped_head` always;
+/// tail/RED-dropped packets were never admitted and appear in no other
+/// column.
 struct QueueStats {
   std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t dropped_head = 0;  ///< CoDel head drops (subset of dropped)
   std::uint64_t ecn_marked = 0;
+  std::int64_t enqueued_bytes = 0;
+  std::int64_t dequeued_bytes = 0;
+  std::int64_t dropped_head_bytes = 0;
   /// Peak occupancy over the queue's lifetime, in both units. Queue-sizing
   /// claims (how much buffer a CCA actually needs) read these directly
   /// instead of requiring a trace run; the packet peak is what matters for
@@ -106,6 +125,17 @@ class DropTailQueue {
     trace_src_ = std::move(src);
   }
 
+  /// Attach the run's drop ledger (nullptr = off). Every drop site reports
+  /// the dropped packet so the auditor's per-flow conservation equation
+  /// balances; see check::PacketLedger.
+  void set_ledger(check::PacketLedger* ledger) { ledger_ = ledger; }
+
+  /// Re-derive this queue's books from first principles and append a
+  /// description of every discrepancy to `problems` (empty = healthy):
+  /// cached byte/packet occupancy must match the entry list, and the
+  /// enqueue/dequeue/head-drop counters must conserve in both units.
+  void audit(std::vector<std::string>& problems) const;
+
   bool empty() const { return entries_.empty(); }
   std::int64_t bytes() const { return bytes_; }
   std::size_t packets() const { return entries_.size(); }
@@ -114,6 +144,8 @@ class DropTailQueue {
   double red_average_bytes() const { return red_avg_; }
 
  private:
+  friend struct check::AuditCorruptor;  // tests corrupt private state
+
   struct Entry {
     Packet pkt;
     sim::SimTime enqueued_at;
@@ -136,6 +168,7 @@ class DropTailQueue {
   QueueStats stats_;
   trace::TraceSink* trace_ = nullptr;
   std::string trace_src_;
+  check::PacketLedger* ledger_ = nullptr;
 
   // RED state.
   double red_avg_ = 0.0;

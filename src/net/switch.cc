@@ -1,5 +1,6 @@
 #include "net/switch.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace greencc::net {
@@ -26,12 +27,51 @@ void Switch::handle(Packet pkt) {
 }
 
 void Switch::set_trace(trace::TraceSink* sink) {
+  // lint-allow: unordered-iter (applies to every port; order-insensitive)
   for (auto& [host, port] : egress_) port->set_trace(sink);
 }
 
 void Switch::register_counters(trace::CounterRegistry& reg) const {
   reg.add(name_ + ".unroutable_packets", &unroutable_);
+  // lint-allow: unordered-iter (snapshot() sorts by name before reporting)
   for (const auto& [host, port] : egress_) port->register_counters(reg);
+}
+
+void Switch::set_ledger(check::PacketLedger* ledger) {
+  // lint-allow: unordered-iter (applies to every port; order-insensitive)
+  for (auto& [host, port] : egress_) port->set_ledger(ledger);
+}
+
+void Switch::audit(std::vector<std::string>& problems) const {
+  if (unroutable_ > 0) {
+    problems.push_back(std::to_string(unroutable_) +
+                       " packet(s) arrived with no egress for their "
+                       "destination");
+  }
+  // egress_ is an unordered_map; audit in host order so a report with
+  // several findings reads the same across runs and platforms.
+  std::vector<HostId> hosts;
+  hosts.reserve(egress_.size());
+  // lint-allow: unordered-iter (collected keys are sorted just below)
+  for (const auto& [host, port] : egress_) hosts.push_back(host);
+  std::sort(hosts.begin(), hosts.end());
+  for (const HostId host : hosts) {
+    const QueuedPort& port = *egress_.at(host);
+    const std::size_t before = problems.size();
+    port.audit(problems);
+    for (std::size_t i = before; i < problems.size(); ++i) {
+      problems[i] = port.name() + ": " + problems[i];
+    }
+  }
+}
+
+std::int64_t Switch::total_queued_packets() const {
+  std::int64_t total = 0;
+  // lint-allow: unordered-iter (commutative sum; order-insensitive)
+  for (const auto& [host, port] : egress_) {
+    total += static_cast<std::int64_t>(port->queue_packets());
+  }
+  return total;
 }
 
 QueuedPort& Switch::egress(HostId host) {
@@ -74,6 +114,32 @@ void BondedNic::register_counters(trace::CounterRegistry& reg) const {
 std::int64_t BondedNic::bytes_sent() const {
   std::int64_t total = 0;
   for (const auto& port : ports_) total += port->bytes_sent();
+  return total;
+}
+
+void BondedNic::set_ledger(check::PacketLedger* ledger) {
+  for (auto& port : ports_) port->set_ledger(ledger);
+}
+
+void BondedNic::audit(std::vector<std::string>& problems) const {
+  if (next_port_ >= ports_.size()) {
+    problems.push_back("spray cursor " + std::to_string(next_port_) +
+                       " beyond port count " + std::to_string(ports_.size()));
+  }
+  for (const auto& port : ports_) {
+    const std::size_t before = problems.size();
+    port->audit(problems);
+    for (std::size_t i = before; i < problems.size(); ++i) {
+      problems[i] = port->name() + ": " + problems[i];
+    }
+  }
+}
+
+std::int64_t BondedNic::total_queued_packets() const {
+  std::int64_t total = 0;
+  for (const auto& port : ports_) {
+    total += static_cast<std::int64_t>(port->queue_packets());
+  }
   return total;
 }
 

@@ -38,10 +38,21 @@ class Switch : public PacketHandler {
   /// and transmit counters.
   void register_counters(trace::CounterRegistry& reg) const;
 
+  /// Attach the run's drop ledger to every egress port. Like set_trace,
+  /// ports added later are not retro-wired.
+  void set_ledger(check::PacketLedger* ledger);
+
+  /// Audit every egress port (in host order, for deterministic reports)
+  /// and flag any unroutable packets — a wired topology routes everything.
+  void audit(std::vector<std::string>& problems) const;
+
   QueuedPort& egress(HostId host);
   std::uint64_t unroutable_packets() const { return unroutable_; }
+  std::int64_t total_queued_packets() const;
 
  private:
+  friend struct check::AuditCorruptor;  // tests corrupt private state
+
   sim::Simulator& sim_;
   std::string name_;
   std::unordered_map<HostId, std::unique_ptr<QueuedPort>> egress_;
@@ -67,11 +78,20 @@ class BondedNic : public PacketHandler {
   /// Register every member port's counters.
   void register_counters(trace::CounterRegistry& reg) const;
 
+  /// Attach the run's drop ledger to every member port.
+  void set_ledger(check::PacketLedger* ledger);
+
+  /// Audit every member port and the round-robin spray cursor.
+  void audit(std::vector<std::string>& problems) const;
+
   QueuedPort& port(int i) { return *ports_.at(static_cast<std::size_t>(i)); }
   int num_ports() const { return static_cast<int>(ports_.size()); }
   std::int64_t bytes_sent() const;
+  std::int64_t total_queued_packets() const;
 
  private:
+  friend struct check::AuditCorruptor;  // tests corrupt private state
+
   std::vector<std::unique_ptr<QueuedPort>> ports_;
   std::size_t next_port_ = 0;
 };

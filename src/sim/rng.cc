@@ -19,6 +19,7 @@ double Rng::normal(double mean, double stddev) {
     u = uniform(-1.0, 1.0);
     v = uniform(-1.0, 1.0);
     s = u * u + v * v;
+    // lint-allow: float-eq (exact rejection bound of Marsaglia polar)
   } while (s >= 1.0 || s == 0.0);
   const double factor = std::sqrt(-2.0 * std::log(s) / s);
   cached_normal_ = v * factor;

@@ -1,8 +1,9 @@
 #include "sim/simulator.h"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "check/check.h"
 
 namespace greencc::sim {
 
@@ -20,7 +21,10 @@ bool Simulator::dispatch_next() {
   // const_cast the node we are about to pop. This is safe: the move does not
   // change the ordering fields.
   Event& top = const_cast<Event&>(queue_.top());
-  assert(top.when >= now_);
+  GREENCC_CHECK(top.when >= now_)
+      << "event scheduled in the past: head at " << top.when.to_string()
+      << " but the clock already reads " << now_.to_string() << " (seq "
+      << top.seq << ", " << queue_.size() << " pending)";
   now_ = top.when;
   Callback cb = std::move(top.cb);
   queue_.pop();

@@ -55,6 +55,7 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
     sxx += dx * dx;
     syy += dy * dy;
   }
+  // lint-allow: float-eq (exact degenerate case: constant series)
   if (sxx == 0.0 || syy == 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
 }
@@ -72,6 +73,7 @@ LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
     sxy += (xs[i] - mx) * (ys[i] - my);
     sxx += (xs[i] - mx) * (xs[i] - mx);
   }
+  // lint-allow: float-eq (exact degenerate case: all x identical)
   if (sxx == 0.0) return {my, 0.0};
   const double slope = sxy / sxx;
   return {my - slope * mx, slope};
@@ -95,6 +97,7 @@ double jain_index(std::span<const double> xs) {
     s += x;
     s2 += x * x;
   }
+  // lint-allow: float-eq (exact degenerate case: all-zero series)
   if (s2 == 0.0) return 1.0;
   return s * s / (static_cast<double>(xs.size()) * s2);
 }

@@ -124,4 +124,46 @@ void TcpReceiver::on_delack_timeout() {
   }
 }
 
+void TcpReceiver::audit(std::vector<std::string>& problems) const {
+  std::string why;
+  if (!out_of_order_.well_formed(&why)) {
+    problems.push_back("reassembly queue malformed: " + why);
+  }
+  // Everything at or below rcv_nxt was delivered and erased; a range
+  // starting exactly at rcv_nxt would have advanced the cumulative ACK.
+  if (!out_of_order_.empty() && out_of_order_.front().start <= rcv_nxt_) {
+    problems.push_back("reassembly queue holds [" +
+                       std::to_string(out_of_order_.front().start) + ", " +
+                       std::to_string(out_of_order_.front().end) +
+                       ") at or below rcv_nxt " + std::to_string(rcv_nxt_));
+  }
+  // SACK hints must refer to data the receiver actually has: still
+  // buffered, or already delivered past the cumulative ACK.
+  for (std::int64_t seq : recent_ooo_) {
+    if (seq >= rcv_nxt_ && !out_of_order_.contains(seq)) {
+      problems.push_back("recent out-of-order hint " + std::to_string(seq) +
+                         " neither delivered nor buffered");
+    }
+  }
+  // A delayed-ACK debt at the threshold (or any pending CE echo) forces an
+  // immediate ACK inside the handler, so neither survives to an event
+  // boundary.
+  if (unacked_segments_ < 0 || unacked_segments_ >= config_.delack_segments) {
+    problems.push_back("delayed-ACK debt " +
+                       std::to_string(unacked_segments_) +
+                       " outside [0, " +
+                       std::to_string(config_.delack_segments) + ")");
+  }
+  if (pending_ce_ != 0) {
+    problems.push_back(std::to_string(pending_ce_) +
+                       " CE mark(s) pending outside the receive handler");
+  }
+  if (rcv_nxt_ < 0 || segments_received_ < 0 || acks_sent_ < 0) {
+    problems.push_back("negative counter: rcv_nxt " +
+                       std::to_string(rcv_nxt_) + ", segments_received " +
+                       std::to_string(segments_received_) + ", acks_sent " +
+                       std::to_string(acks_sent_));
+  }
+}
+
 }  // namespace greencc::tcp

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include <string>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/simulator.h"
@@ -44,7 +45,18 @@ class TcpReceiver : public net::PacketHandler {
   std::int64_t duplicate_segments() const { return duplicate_segments_; }
   std::int64_t acks_sent() const { return acks_sent_; }
 
+  /// Verify reassembly-queue consistency at an event boundary: the
+  /// out-of-order set is well-formed, sits strictly above rcv_nxt (anything
+  /// at or below it was delivered and erased), recent-arrival hints refer
+  /// to buffered or delivered data, and the delayed-ACK debt respects its
+  /// threshold (a CE arrival or threshold hit forces an immediate ACK, so
+  /// pending CE echoes never outlive the handler). Appends discrepancies
+  /// to `problems`.
+  void audit(std::vector<std::string>& problems) const;
+
  private:
+  friend struct check::AuditCorruptor;  // tests corrupt private state
+
   void send_ack(const net::Packet& trigger);
   void on_delack_timeout();
 

@@ -1,7 +1,8 @@
 #include "tcp/sender.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.h"
 
 namespace greencc::tcp {
 
@@ -81,6 +82,11 @@ void TcpSender::maybe_send() {
 }
 
 void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
+  GREENCC_DCHECK(seq >= snd_una_)
+      << "flow " << flow_ << ": transmitting segment " << seq
+      << " already cumulatively acked (snd_una " << snd_una_ << ")";
+  cwnd_hw_ = std::max(cwnd_hw_,
+                      static_cast<std::int64_t>(cc_->cwnd_segments()));
   const std::int32_t wire_bytes = config_.mss_bytes() + config_.header_bytes;
   const auto cost = cc_->cost();
   double work_ns = work_.pkt_ns +
@@ -127,6 +133,10 @@ void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
     ++pipe_;
     unsacked_.insert(seq);
   }
+  GREENCC_DCHECK(pipe_ <= cwnd_hw_ + 1)
+      << "flow " << flow_ << ": pipe " << pipe_
+      << " exceeds the window high-water mark " << cwnd_hw_
+      << " plus the TLP probe";
   xmit_order_.emplace(release, XmitRecord{seq, seg.transmissions});
   seg.sent_time = release;
   seg.delivered_at_send = delivered_;
@@ -180,6 +190,10 @@ void TcpSender::process_ack(const net::Packet& ack) {
       it = scoreboard_.erase(it);
     }
     snd_una_ = ack.ack_seq;
+    GREENCC_DCHECK(pipe_ >= 0 && sacked_out_ >= 0 && lost_out_ >= 0)
+        << "flow " << flow_ << ": aggregate went negative after cumulative "
+        << "advance to " << snd_una_ << " (pipe " << pipe_ << ", sacked_out "
+        << sacked_out_ << ", lost_out " << lost_out_ << ")";
   }
 
   // --- SACK blocks (via the unsacked index: O(newly sacked)) ---
@@ -405,6 +419,124 @@ void TcpSender::trace_cwnd() {
   last_traced_cwnd_ = cwnd;
   trace_->emit({sim_.now(), trace::EventClass::kCwnd, flow_, kTraceSrc,
                 snd_una_, cwnd, rtt_.srtt().us()});
+}
+
+void TcpSender::audit(std::vector<std::string>& problems) const {
+  auto tag = [this](const std::string& what) {
+    return "flow " + std::to_string(flow_) + ": " + what;
+  };
+
+  if (snd_una_ < 0 || snd_una_ > snd_nxt_) {
+    problems.push_back(tag("sequence space inverted: snd_una " +
+                           std::to_string(snd_una_) + ", snd_nxt " +
+                           std::to_string(snd_nxt_)));
+  }
+  if (snd_nxt_ > app_limit_segments_) {
+    problems.push_back(tag("snd_nxt " + std::to_string(snd_nxt_) +
+                           " beyond available app data " +
+                           std::to_string(app_limit_segments_)));
+  }
+
+  // Re-derive the cached aggregates from the per-segment flags.
+  std::int64_t sacked = 0, lost = 0, in_pipe = 0;
+  for (const auto& [seq, seg] : scoreboard_) {
+    if (seq < snd_una_ || seq >= snd_nxt_) {
+      problems.push_back(tag("scoreboard entry " + std::to_string(seq) +
+                             " outside [snd_una " + std::to_string(snd_una_) +
+                             ", snd_nxt " + std::to_string(snd_nxt_) + ")"));
+    }
+    if (seg.sacked) ++sacked;
+    if (seg.lost) ++lost;
+    if (seg.in_pipe) ++in_pipe;
+    if (seg.sacked && seg.lost) {
+      problems.push_back(tag("segment " + std::to_string(seq) +
+                             " both sacked and lost"));
+    }
+    if (seg.sacked && seg.in_pipe) {
+      problems.push_back(tag("segment " + std::to_string(seq) +
+                             " sacked yet still counted in the pipe"));
+    }
+    if (seg.transmissions < 1) {
+      problems.push_back(tag("segment " + std::to_string(seq) +
+                             " on the scoreboard with " +
+                             std::to_string(seg.transmissions) +
+                             " transmissions"));
+    }
+    if (!seg.sacked && unsacked_.count(seq) == 0) {
+      problems.push_back(tag("unsacked segment " + std::to_string(seq) +
+                             " missing from the unsacked index"));
+    }
+  }
+  if (sacked != sacked_out_) {
+    problems.push_back(tag("sacked_out " + std::to_string(sacked_out_) +
+                           " != " + std::to_string(sacked) +
+                           " sacked flags on the scoreboard"));
+  }
+  if (lost != lost_out_) {
+    problems.push_back(tag("lost_out " + std::to_string(lost_out_) + " != " +
+                           std::to_string(lost) +
+                           " lost flags on the scoreboard"));
+  }
+  if (in_pipe != pipe_) {
+    problems.push_back(tag("pipe " + std::to_string(pipe_) + " != " +
+                           std::to_string(in_pipe) +
+                           " in_pipe flags on the scoreboard"));
+  }
+
+  // Index sets point back into the scoreboard with the matching flags.
+  for (const std::int64_t seq : unsacked_) {
+    const auto it = scoreboard_.find(seq);
+    if (it == scoreboard_.end()) {
+      problems.push_back(tag("unsacked index holds " + std::to_string(seq) +
+                             " which is not on the scoreboard"));
+    } else if (it->second.sacked) {
+      problems.push_back(tag("unsacked index holds sacked segment " +
+                             std::to_string(seq)));
+    }
+  }
+  for (const std::int64_t seq : retx_queue_) {
+    const auto it = scoreboard_.find(seq);
+    if (it == scoreboard_.end()) {
+      problems.push_back(tag("retransmission queue holds " +
+                             std::to_string(seq) +
+                             " which is not on the scoreboard"));
+      continue;
+    }
+    if (!it->second.lost || it->second.sacked || it->second.in_pipe) {
+      problems.push_back(tag("retransmission queue holds segment " +
+                             std::to_string(seq) +
+                             " that is not (lost, un-sacked, out of pipe)"));
+    }
+  }
+
+  if (highest_sacked_ >= snd_nxt_) {
+    problems.push_back(tag("highest_sacked " +
+                           std::to_string(highest_sacked_) +
+                           " at or beyond snd_nxt " +
+                           std::to_string(snd_nxt_)));
+  }
+  if (pipe_ > cwnd_hw_ + 1) {
+    problems.push_back(tag("pipe " + std::to_string(pipe_) +
+                           " exceeds the window high-water mark " +
+                           std::to_string(cwnd_hw_) + " plus the TLP probe"));
+  }
+  if (stats_.retransmissions > stats_.segments_sent) {
+    problems.push_back(tag("retransmissions " +
+                           std::to_string(stats_.retransmissions) +
+                           " exceed segments_sent " +
+                           std::to_string(stats_.segments_sent)));
+  }
+  if (stats_.delivered_segments != delivered_) {
+    problems.push_back(tag("stats.delivered_segments " +
+                           std::to_string(stats_.delivered_segments) +
+                           " != delivery accounting " +
+                           std::to_string(delivered_)));
+  }
+  if (in_recovery_ && recovery_point_ > snd_nxt_) {
+    problems.push_back(tag("recovery point " +
+                           std::to_string(recovery_point_) +
+                           " beyond snd_nxt " + std::to_string(snd_nxt_)));
+  }
 }
 
 void TcpSender::register_counters(trace::CounterRegistry& reg,

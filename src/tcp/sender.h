@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "cca/cca.h"
 #include "energy/calibration.h"
@@ -16,6 +17,10 @@
 #include "tcp/tcp_config.h"
 #include "trace/counters.h"
 #include "trace/trace.h"
+
+namespace greencc::check {
+struct AuditCorruptor;
+}  // namespace greencc::check
 
 namespace greencc::tcp {
 
@@ -88,7 +93,16 @@ class TcpSender : public net::PacketHandler {
   bool in_recovery() const { return in_recovery_; }
   const RttEstimator& rtt() const { return rtt_; }
 
+  /// Re-derive the scoreboard's cached aggregates (pipe / sacked_out /
+  /// lost_out) from the per-segment flags, cross-check the index sets
+  /// (unsacked, retransmission queue) against the scoreboard, and verify
+  /// the sequence-space and in-flight bounds. Appends one line per
+  /// discrepancy to `problems` (empty = healthy).
+  void audit(std::vector<std::string>& problems) const;
+
  private:
+  friend struct check::AuditCorruptor;  // tests corrupt private state
+
   struct SegState {
     sim::SimTime sent_time;
     std::int64_t delivered_at_send = 0;
@@ -154,6 +168,10 @@ class TcpSender : public net::PacketHandler {
   std::int64_t lost_out_ = 0;
   std::int64_t pipe_ = 0;  ///< RFC 6675 pipe: segments believed in flight
   std::int64_t highest_sacked_ = -1;
+  /// High-water mark of the controller's window, sampled at every send.
+  /// pipe_ can exceed the *current* cwnd (the window shrinks on loss while
+  /// flight is full) but never this mark + 1 (the +1 is the TLP probe).
+  std::int64_t cwnd_hw_ = 0;
 
   // --- recovery state ---
   bool in_recovery_ = false;

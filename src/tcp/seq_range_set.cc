@@ -60,6 +60,35 @@ SeqRangeSet::Block SeqRangeSet::range_containing(std::int64_t seq) const {
   return {seq, seq};
 }
 
+SeqRangeSet::Block SeqRangeSet::front() const {
+  if (ranges_.empty()) return {0, 0};
+  return {ranges_.begin()->first, ranges_.begin()->second};
+}
+
+bool SeqRangeSet::well_formed(std::string* why) const {
+  const std::int64_t* prev_end = nullptr;
+  for (const auto& [start, end] : ranges_) {
+    if (end <= start) {
+      if (why) {
+        *why = "empty range [" + std::to_string(start) + ", " +
+               std::to_string(end) + ")";
+      }
+      return false;
+    }
+    // Adjacent ranges (prev_end == start) must have merged on insert.
+    if (prev_end != nullptr && *prev_end >= start) {
+      if (why) {
+        *why = "range starting at " + std::to_string(start) +
+               " touches previous range ending at " +
+               std::to_string(*prev_end);
+      }
+      return false;
+    }
+    prev_end = &end;
+  }
+  return true;
+}
+
 std::vector<SeqRangeSet::Block> SeqRangeSet::blocks_above(
     std::int64_t above, std::size_t max_blocks) const {
   std::vector<Block> out;

@@ -2,7 +2,12 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
+
+namespace greencc::check {
+struct AuditCorruptor;
+}  // namespace greencc::check
 
 namespace greencc::tcp {
 
@@ -40,7 +45,18 @@ class SeqRangeSet {
   bool empty() const { return ranges_.empty(); }
   std::size_t range_count() const { return ranges_.size(); }
 
+  /// The lowest range, or {0, 0} when empty.
+  Block front() const;
+
+  /// Structural invariant: every range is non-empty, ranges are strictly
+  /// separated (merging on insert leaves no two adjacent or overlapping
+  /// ranges). Returns false and explains via `why` (if non-null) on the
+  /// first violation.
+  bool well_formed(std::string* why = nullptr) const;
+
  private:
+  friend struct check::AuditCorruptor;  // tests corrupt private state
+
   // start -> end
   std::map<std::int64_t, std::int64_t> ranges_;
 };

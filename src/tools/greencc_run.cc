@@ -46,6 +46,7 @@ struct Options {
   std::string json_path;
   std::string trace_out;
   trace::ClassMask trace_mask = trace::kAllClasses;
+  bool audit = false;
   bool counters = false;
   bool list_ccas = false;
   bool help = false;
@@ -80,7 +81,9 @@ void print_usage() {
       "  --trace-filter C,..  event classes to trace (default all): enqueue\n"
       "                       drop ecn_mark retransmit rto recovery_enter\n"
       "                       recovery_exit cwnd tlp flow_start flow_finish\n"
-      "                       ack_sent\n"
+      "                       ack_sent invariant\n"
+      "  --audit              run the invariant auditor every 10 ms of sim\n"
+      "                       time (aborts the run on the first violation)\n"
       "  --counters           print per-scenario counters after the summary\n"
       "  --list-ccas          list available algorithms and exit\n");
 }
@@ -179,6 +182,8 @@ std::optional<Options> parse(int argc, char** argv) {
         std::fprintf(stderr, "--trace-filter: %s\n", e.what());
         return std::nullopt;
       }
+    } else if (arg == "--audit") {
+      opt.audit = true;
     } else if (arg == "--counters") {
       opt.counters = true;
     } else {
@@ -266,6 +271,9 @@ int main(int argc, char** argv) {
       config.tcp.mtu_bytes = opt.mtu;
       config.seed = seed;
       config.stress_cores = opt.load_pct * 32 / 100;
+      if (opt.audit) {
+        config.audit_interval = sim::SimTime::milliseconds(10);
+      }
       auto scenario = std::make_unique<app::Scenario>(config);
       for (const auto& spec : build_flows(opt, cca_name)) {
         scenario->add_flow(spec);

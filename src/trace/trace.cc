@@ -18,6 +18,7 @@ constexpr std::array<std::string_view, kNumClasses> kClassNames = {
     "enqueue",        "drop",          "ecn_mark", "retransmit",
     "rto",            "recovery_enter", "recovery_exit", "cwnd",
     "tlp",            "flow_start",    "flow_finish",   "ack_sent",
+    "invariant",
 };
 
 }  // namespace
@@ -85,9 +86,14 @@ void JsonlTraceSink::record(const Event& e) {
   }
   n = std::snprintf(buf, sizeof(buf), ",\"value\":%.10g", e.value);
   out_->write(buf, n);
+  // lint-allow: float-eq (0.0 is the exact "field unset" sentinel)
   if (e.aux != 0.0) {
     n = std::snprintf(buf, sizeof(buf), ",\"aux\":%.10g", e.aux);
     out_->write(buf, n);
+  }
+  if (!e.detail.empty()) {
+    *out_ << ",\"detail\":\""
+          << stats::JsonWriter::escape(std::string(e.detail)) << "\"";
   }
   out_->write("}\n", 2);
 }

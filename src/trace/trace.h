@@ -27,6 +27,7 @@ enum class EventClass : std::uint32_t {
   kFlowStart,      ///< flow began transmitting (value = bytes to send)
   kFlowFinish,     ///< flow fully acknowledged (value = FCT seconds)
   kAckSent,        ///< receiver emitted an ACK (seq = rcv_nxt, value = ECE)
+  kInvariant,      ///< invariant violation (src = component, detail = why)
   kNumClasses,     // sentinel, keep last
 };
 
@@ -62,6 +63,8 @@ struct Event {
   std::int64_t seq = -1;    ///< segment index where applicable, else -1
   double value = 0.0;       ///< class-specific primary value (see EventClass)
   double aux = 0.0;         ///< class-specific secondary value
+  std::string_view detail{};  ///< free-form context (invariant messages);
+                              ///< same lifetime contract as `src`
 };
 
 /// Destination of a run's event stream.

@@ -1,0 +1,102 @@
+#include "check/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace greencc::check {
+namespace {
+
+// Every test installs the throwing handler so a fired check surfaces as a
+// catchable CheckFailedError instead of aborting the test binary.
+
+TEST(Check, PassingCheckIsSilent) {
+  ScopedFailureHandler guard(&throwing_failure_handler);
+  EXPECT_NO_THROW(GREENCC_CHECK(1 + 1 == 2) << "never evaluated");
+}
+
+TEST(Check, FailingCheckFiresHandler) {
+  ScopedFailureHandler guard(&throwing_failure_handler);
+  EXPECT_THROW(GREENCC_CHECK(false), CheckFailedError);
+}
+
+TEST(Check, FailureCarriesConditionAndLocation) {
+  ScopedFailureHandler guard(&throwing_failure_handler);
+  try {
+    GREENCC_CHECK(2 < 1) << "context " << 42;
+    FAIL() << "check did not fire";
+  } catch (const CheckFailedError& e) {
+    EXPECT_STREQ(e.info.condition, "2 < 1");
+    EXPECT_EQ(e.info.message, "context 42");
+    EXPECT_GT(e.info.line, 0);
+    EXPECT_NE(std::string(e.info.file).find("test_check.cc"),
+              std::string::npos);
+    const std::string rendered = e.info.to_string();
+    EXPECT_NE(rendered.find("check failed: 2 < 1"), std::string::npos);
+    EXPECT_NE(rendered.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, StreamOperandsNotEvaluatedWhenHealthy) {
+  ScopedFailureHandler guard(&throwing_failure_handler);
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return "msg";
+  };
+  GREENCC_CHECK(true) << touch();
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(GREENCC_CHECK(false) << touch(), CheckFailedError);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, HandlerInstallationNestsAndRestores) {
+  FailureHandler before = set_failure_handler(nullptr);
+  set_failure_handler(before);  // restore; we only wanted to read it
+  {
+    ScopedFailureHandler outer(&throwing_failure_handler);
+    {
+      ScopedFailureHandler inner(&throwing_failure_handler);
+      EXPECT_THROW(GREENCC_CHECK(false), CheckFailedError);
+    }
+    // inner popped; outer still installed
+    EXPECT_THROW(GREENCC_CHECK(false), CheckFailedError);
+  }
+  FailureHandler after = set_failure_handler(nullptr);
+  set_failure_handler(after);
+  EXPECT_EQ(before, after);
+}
+
+TEST(Check, DcheckConditionAndStreamTypecheckWhenCompiledOut) {
+  ScopedFailureHandler guard(&throwing_failure_handler);
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+#ifdef GREENCC_AUDIT
+  // Audit build: DCHECK is a real check.
+  EXPECT_THROW(GREENCC_DCHECK(touch()) << "audit", CheckFailedError);
+  EXPECT_EQ(evaluations, 1);
+#else
+  // Measurement build: the condition is dead code — never evaluated, never
+  // fired — but it still had to compile, which is the point.
+  EXPECT_NO_THROW(GREENCC_DCHECK(touch()) << "compiled out");
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(Check, MacroBindsAsSingleStatementInIfElse) {
+  ScopedFailureHandler guard(&throwing_failure_handler);
+  // A macro that expands to more than one statement would attach the else
+  // to the wrong if here (or not compile).
+  bool reached_else = false;
+  if (false)
+    GREENCC_CHECK(true) << "untaken";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+}  // namespace
+}  // namespace greencc::check

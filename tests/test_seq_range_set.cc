@@ -114,6 +114,79 @@ TEST(SeqRangeSet, RangeContaining) {
   EXPECT_EQ(miss.end, 25);
 }
 
+TEST(SeqRangeSet, FrontReturnsLowestRange) {
+  SeqRangeSet s;
+  EXPECT_EQ(s.front().start, 0);
+  EXPECT_EQ(s.front().end, 0);
+  s.insert(20, 25);
+  s.insert(5, 8);
+  EXPECT_EQ(s.front().start, 5);
+  EXPECT_EQ(s.front().end, 8);
+}
+
+TEST(SeqRangeSet, WellFormedAfterAdversarialInserts) {
+  // Every insert pattern that has historically broken interval sets:
+  // re-inserting contained ranges, swallowing many ranges at once,
+  // extending by one on either side, exact duplicates.
+  SeqRangeSet s;
+  s.insert(10, 20);
+  s.insert(10, 20);  // exact duplicate
+  s.insert(12, 18);  // strictly inside
+  s.insert(9, 21);   // strictly outside
+  EXPECT_EQ(s.range_count(), 1u);
+  s.insert(30, 32);
+  s.insert(40, 42);
+  s.insert(50, 52);
+  s.insert(31, 51);  // swallows the middle range, truncates both ends
+  EXPECT_EQ(s.range_count(), 2u);
+  EXPECT_TRUE(s.contains(45));
+  std::string why;
+  EXPECT_TRUE(s.well_formed(&why)) << why;
+}
+
+TEST(SeqRangeSet, InsertSpanningManyRangesMergesAll) {
+  SeqRangeSet s;
+  for (std::int64_t i = 0; i < 10; ++i) s.insert(i * 10, i * 10 + 3);
+  ASSERT_EQ(s.range_count(), 10u);
+  s.insert(1, 95);
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_EQ(s.contiguous_end(0), 95);
+  std::string why;
+  EXPECT_TRUE(s.well_formed(&why)) << why;
+}
+
+TEST(SeqRangeSet, BlocksAboveStraddlingRangeIsIncluded) {
+  // A range that starts at or below `above` but extends past it still
+  // represents receivable data above the cumulative ACK.
+  SeqRangeSet s;
+  s.insert(10, 30);
+  const auto blocks = s.blocks_above(20, 3);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].end, 30);
+}
+
+TEST(SeqRangeSet, EraseBelowKeepsWellFormed) {
+  SeqRangeSet s;
+  for (std::int64_t i = 0; i < 8; ++i) s.insert(i * 10, i * 10 + 5);
+  for (std::int64_t cut : {3, 11, 25, 44, 80}) {
+    s.erase_below(cut);
+    std::string why;
+    ASSERT_TRUE(s.well_formed(&why)) << "after erase_below(" << cut
+                                     << "): " << why;
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SeqRangeSet, WellFormedExplainsNothingWhenHealthy) {
+  SeqRangeSet s;
+  s.insert(0, 4);
+  s.insert(10, 14);
+  std::string why = "untouched";
+  EXPECT_TRUE(s.well_formed(&why));
+  EXPECT_EQ(why, "untouched");  // only written on violation
+  EXPECT_TRUE(s.well_formed(nullptr));
+}
+
 // Property test: random inserts/erases agree with a reference std::set of
 // individual sequence numbers.
 class SeqRangeSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
@@ -144,6 +217,8 @@ TEST_P(SeqRangeSetProperty, MatchesReferenceSet) {
       ASSERT_EQ(s.contains(q), ref.count(q) > 0)
           << "op " << op << " seq " << q;
     }
+    std::string why;
+    ASSERT_TRUE(s.well_formed(&why)) << "op " << op << ": " << why;
   }
 }
 

@@ -121,6 +121,7 @@ TEST_P(JainProperty, Bounded) {
     for (auto& x : xs) {
       state = state * 6364136223846793005ULL + 1442695040888963407ULL;
       x = static_cast<double>(state >> 40);
+      // lint-allow: float-eq (integer-valued by construction)
       if (x != 0.0) all_zero = false;
     }
     if (all_zero) continue;

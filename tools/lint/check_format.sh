@@ -1,0 +1,36 @@
+#!/bin/sh
+# Format check against the project .clang-format. Degrades gracefully: when
+# clang-format is not installed the check is skipped (exit 0 with a notice),
+# so the `lint` ctest label stays green on minimal containers while still
+# enforcing format wherever the tool exists.
+#
+# Usage: check_format.sh [repo_root]
+set -eu
+
+repo_root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)}
+cd "$repo_root"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found - skipping (install it to enforce .clang-format)"
+  exit 0
+fi
+
+# Tracked C++ sources only; build trees and vendored files never qualify.
+files=$(git ls-files '*.cc' '*.h' 2>/dev/null || true)
+if [ -z "$files" ]; then
+  # Not a git checkout (tarball export): fall back to the source roots.
+  files=$(find src tests bench examples -name '*.cc' -o -name '*.h' 2>/dev/null)
+fi
+
+status=0
+for f in $files; do
+  if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "check_format: $f is not clang-format clean"
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_format: run 'clang-format -i' on the files above"
+fi
+exit "$status"

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Nondeterminism lint for the greencc tree.
+
+The simulator's contract is bit-identical results for a given seed, on any
+machine, at any thread count. The classic ways C++ code breaks that contract
+are cheap to catch with a grep-shaped scan, so this lint bans them outright:
+
+  wall-clock       std::chrono::{system,steady,high_resolution}_clock,
+                   time(nullptr)/time(0), gettimeofday, clock() — wall time
+                   must never feed simulated results. (Profiling wall time is
+                   fine; annotate the site.)
+  libc-rand        rand()/srand()/drand48()/std::random_device — all
+                   randomness must come from the seeded sim::Rng.
+  unordered-iter   range-for over a std::unordered_{map,set}: iteration
+                   order is implementation-defined, so anything
+                   order-sensitive built from it diverges across platforms.
+  float-eq         == / != against a floating-point literal: exact equality
+                   on computed floats is almost always a latent bug. Exact
+                   sentinel checks (x == 0.0 meaning "unset") are legitimate;
+                   annotate them.
+
+A finding is suppressed by a `lint-allow: <rule>` comment on the same line
+or the line above, which doubles as documentation for why the site is safe:
+
+    const auto t0 = std::chrono::steady_clock::now();  // lint-allow: wall-clock (profiling only)
+
+Exit status: 0 when clean, 1 with one "file:line: [rule] ..." per finding.
+Stdlib only; no third-party dependencies.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOTS = ("src", "tests", "bench", "examples")
+SUFFIXES = (".cc", ".h")
+ALLOW = "lint-allow:"
+
+WALL_CLOCK = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|\bgettimeofday\s*\("
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+    r"|\bclock\s*\(\s*\)"
+)
+LIBC_RAND = re.compile(
+    r"(?<![\w:])s?rand\s*\(" r"|\brandom_device\b" r"|\b[dl]rand48\s*\("
+)
+# A float literal: 1.0, .5, 2e9, 1.5e-3, 1.f — but not a plain integer.
+_FLOAT = r"(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)[fF]?"
+FLOAT_EQ = re.compile(rf"[=!]=\s*(?:{_FLOAT})(?![\w.])|(?:{_FLOAT})\s*[=!]=")
+UNORDERED_DECL = re.compile(r"\bunordered_(?:multi)?(?:map|set)\s*<[^;=()]*>\s+(\w+)\s*[;{{=]")
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*\*?(\w+)\s*\)")
+
+RULES = (
+    ("wall-clock", WALL_CLOCK),
+    ("libc-rand", LIBC_RAND),
+    ("float-eq", FLOAT_EQ),
+)
+
+
+def strip_code_noise(line: str) -> str:
+    """Remove string/char literals and the trailing // comment, so the rule
+    regexes only see code. Crude but sufficient for this tree's style."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def allowed(rule: str, lines: list, index: int) -> bool:
+    for probe in (index, index - 1):
+        if probe < 0:
+            continue
+        comment = lines[probe].partition("//")[2]
+        if ALLOW in comment and rule in comment.split(ALLOW, 1)[1]:
+            return True
+    return False
+
+
+def unordered_names(path: pathlib.Path, text: str) -> set:
+    """Identifiers declared as unordered containers in this file or its
+    paired header/source (same stem), so switch.cc sees egress_ from
+    switch.h."""
+    names = set(UNORDERED_DECL.findall(text))
+    for sibling_suffix in SUFFIXES:
+        sibling = path.with_suffix(sibling_suffix)
+        if sibling != path and sibling.exists():
+            names |= set(UNORDERED_DECL.findall(sibling.read_text()))
+    return names
+
+
+def lint_file(path: pathlib.Path) -> list:
+    text = path.read_text()
+    lines = text.splitlines()
+    unordered = unordered_names(path, text)
+    findings = []
+    in_block_comment = False
+    for i, raw in enumerate(lines):
+        if in_block_comment:
+            if "*/" in raw:
+                in_block_comment = False
+            continue
+        if raw.lstrip().startswith("/*") or raw.lstrip().startswith("*"):
+            if "/*" in raw and "*/" not in raw:
+                in_block_comment = True
+            continue
+        code = strip_code_noise(raw)
+        for rule, pattern in RULES:
+            if pattern.search(code) and not allowed(rule, lines, i):
+                findings.append((i + 1, rule, raw.strip()))
+        for_match = RANGE_FOR.search(code)
+        if for_match and (
+            for_match.group(1) in unordered or "unordered" in code
+        ):
+            if not allowed("unordered-iter", lines, i):
+                findings.append((i + 1, "unordered-iter", raw.strip()))
+    return findings
+
+
+def main() -> int:
+    repo = pathlib.Path(__file__).resolve().parent.parent.parent
+    failed = 0
+    for root in ROOTS:
+        base = repo / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SUFFIXES or not path.is_file():
+                continue
+            for line_no, rule, snippet in lint_file(path):
+                rel = path.relative_to(repo)
+                print(f"{rel}:{line_no}: [{rule}] {snippet}")
+                failed += 1
+    if failed:
+        print(
+            f"\n{failed} nondeterminism finding(s). Fix them, or mark a "
+            f"deliberate site with `// lint-allow: <rule> (reason)`.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
