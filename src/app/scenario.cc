@@ -97,6 +97,21 @@ void Scenario::build_receiver_host() {
   rx_backlog_ = std::make_unique<net::QueuedPort>(
       sim_, "receiver:softirq", rx_proc, receiver_stack_.get());
 
+  // Fault injection: the impairment stage sits on the bottleneck wire, in
+  // front of the receiver backlog, so injected loss/reorder/corruption hits
+  // exactly where real link impairments would — after the switch queue,
+  // before end-host processing. Its RNG streams are re-derived from the
+  // run seed so parallel repeats stay independent and deterministic.
+  net::PacketHandler* bottleneck_sink = rx_backlog_.get();
+  if (config_.faults.active()) {
+    fault::ImpairmentConfig impair = config_.faults.impair;
+    impair.seed = sim::mix_seed(config_.seed, sim::site_hash("fault:data"),
+                                impair.seed);
+    impaired_link_ = std::make_unique<fault::ImpairedLink>(
+        sim_, "fault:data", impair, rx_backlog_.get());
+    bottleneck_sink = impaired_link_.get();
+  }
+
   // Switch -> receiver: the 10 Gb/s bottleneck of every experiment, with
   // DCTCP-style step marking for ECN-capable traffic. With
   // use_drr_bottleneck the egress becomes a per-flow weighted scheduler
@@ -107,7 +122,7 @@ void Scenario::build_receiver_host() {
     drr.propagation = config_.link_delay;
     drr.per_flow_queue_bytes = config_.switch_queue_bytes / 2;
     drr_bottleneck_ = std::make_unique<net::DrrPort>(sim_, "switch:drr", drr,
-                                                     rx_backlog_.get());
+                                                     bottleneck_sink);
     net::PortConfig ingress;  // wire-speed hop in front of the scheduler
     ingress.rate_bps = config_.bottleneck_bps * 4;
     ingress.propagation = sim::SimTime::zero();
@@ -124,7 +139,7 @@ void Scenario::build_receiver_host() {
     // experiment actually runs rather than the AqmConfig default.
     bottleneck.aqm.mtu_bytes = config_.tcp.mtu_bytes;
     bottleneck_port_ = &switch_->add_egress(kReceiverHost, bottleneck,
-                                            rx_backlog_.get());
+                                            bottleneck_sink);
   }
 
   // Receiver -> switch: ACK return path, never congested.
@@ -141,6 +156,10 @@ void Scenario::build_receiver_host() {
     receiver_nic_->set_ledger(ledger);
     auditor_->watch_port(rx_backlog_.get());
     auditor_->watch_port(receiver_nic_.get());
+    if (impaired_link_) {
+      impaired_link_->set_ledger(ledger);
+      auditor_->watch_impairment(impaired_link_.get());
+    }
     if (drr_bottleneck_) {
       drr_bottleneck_->set_ledger(ledger);
       auditor_->watch_drr("switch:drr", drr_bottleneck_.get());
@@ -266,6 +285,7 @@ void Scenario::set_trace_sink(trace::TraceSink* sink) {
   switch_->set_trace(sink);
   rx_backlog_->set_trace(sink);
   receiver_nic_->set_trace(sink);
+  if (impaired_link_) impaired_link_->set_trace(sink);
   for (auto& host : senders_) host->nic->set_trace(sink);
   for (auto& flow : flows_) {
     flow->sender->set_trace(sink);
@@ -451,6 +471,12 @@ ScenarioResult Scenario::run() {
     auditor_->arm(sim_);
   }
 
+  // Arm the fault timetable (link flaps, re-rating) against the bottleneck.
+  if (!config_.faults.schedule.empty()) {
+    config_.faults.schedule.arm(sim_, bottleneck_port_, impaired_link_.get(),
+                                trace_);
+  }
+
   // Profile the simulator's own execution, not scenario setup: wall-clock
   // and event counts bracket run_until alone.
   const std::uint64_t events_before = sim_.events_executed();
@@ -550,6 +576,7 @@ void Scenario::collect_counters(ScenarioResult& result) {
   switch_->register_counters(reg);  // every egress port + unroutable
   rx_backlog_->register_counters(reg);
   receiver_nic_->register_counters(reg);
+  if (impaired_link_) impaired_link_->register_counters(reg);
   if (drr_bottleneck_) {
     reg.add("switch:drr.dropped", [this] {
       return static_cast<std::uint64_t>(drr_bottleneck_->dropped());

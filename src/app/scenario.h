@@ -8,6 +8,7 @@
 
 #include "check/auditor.h"
 #include "energy/calibration.h"
+#include "fault/plan.h"
 #include "energy/cpu.h"
 #include "energy/meter.h"
 #include "net/packet.h"
@@ -89,6 +90,13 @@ struct ScenarioConfig {
   /// invariant. Zero (the default) keeps the audit layer entirely out of
   /// the run; measurement builds pay nothing.
   sim::SimTime audit_interval = sim::SimTime::zero();
+  /// Fault injection (src/fault/): when active, an ImpairedLink is
+  /// installed on the bottleneck link in front of the receiver backlog and
+  /// the plan's schedule of link events is armed against the bottleneck
+  /// port. The impairment RNG is re-derived from (seed, plan seed) per run,
+  /// so repeats stay independent and `--jobs` determinism holds. Inactive
+  /// (the default) builds no fault machinery at all.
+  fault::FaultPlan faults;
 };
 
 /// Result of one finished flow.
@@ -223,6 +231,7 @@ class Scenario {
   class Demux;
   std::unique_ptr<Demux> receiver_stack_;
   std::unique_ptr<net::QueuedPort> rx_backlog_;
+  std::unique_ptr<fault::ImpairedLink> impaired_link_;
   std::unique_ptr<net::DrrPort> drr_bottleneck_;
   std::unique_ptr<net::QueuedPort> receiver_nic_;
   std::unique_ptr<energy::HostEnergyMeter> receiver_meter_;

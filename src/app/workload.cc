@@ -170,18 +170,25 @@ WorkloadResult run_workload(const WorkloadConfig& config) {
   if (config.load <= 0.0 || config.load >= 1.0) {
     throw std::invalid_argument("run_workload: load must be in (0, 1)");
   }
+  if (config.bottleneck_bps <= 0.0) {
+    throw std::invalid_argument("run_workload: bottleneck_bps must be > 0");
+  }
 
   ScenarioConfig scenario_config;
+  scenario_config.bottleneck_bps = config.bottleneck_bps;
   scenario_config.tcp.mtu_bytes = config.mtu_bytes;
   scenario_config.seed = config.seed;
   scenario_config.deadline = config.horizon;
   Scenario scenario(scenario_config);
   scenario.enable_open_loop();
 
-  // Arrival process: Poisson with mean inter-arrival 1/lambda.
-  sim::Rng rng(config.seed * 7919 + 17);
-  const double lambda =
-      config.load * 10e9 / 8.0 / config.sizes->mean_bytes();  // flows/sec
+  // Arrival process: Poisson with mean inter-arrival 1/lambda. The arrival
+  // RNG gets its own mix_seed site so it can never collide with the
+  // scenario's internal streams (or the fault subsystem's) at nearby seeds.
+  sim::Rng rng(sim::mix_seed(config.seed,
+                             sim::site_hash("workload:arrivals"), 0));
+  const double lambda = config.load * config.bottleneck_bps / 8.0 /
+                        config.sizes->mean_bytes();  // flows/sec
 
   auto& sim = scenario.simulator();
   const auto* sizes = config.sizes;
@@ -221,8 +228,9 @@ WorkloadResult run_workload(const WorkloadConfig& config) {
     delivered_bytes += flow.delivered_bytes;
     if (flow.fct_sec > 0) {
       ++out.flows_completed;
-      const double ideal =
-          static_cast<double>(flow.bytes) * 8.0 / 10e9 + base_rtt_sec;
+      const double ideal = static_cast<double>(flow.bytes) * 8.0 /
+                               config.bottleneck_bps +
+                           base_rtt_sec;
       stats.slowdown = flow.fct_sec / ideal;
       slowdowns.push_back(stats.slowdown);
       if (flow.bytes < 100'000) mice.push_back(stats.slowdown);

@@ -52,7 +52,11 @@ struct WorkloadFlowStats {
 struct WorkloadConfig {
   std::string cca = "cubic";
   int mtu_bytes = 9000;
-  double load = 0.5;            ///< offered load as a fraction of 10 Gb/s
+  /// Bottleneck line rate. Drives the scenario topology, the Poisson
+  /// arrival rate (load is a fraction of *this* rate) and the ideal-FCT
+  /// baseline slowdowns are computed against.
+  double bottleneck_bps = 10e9;
+  double load = 0.5;            ///< offered load, fraction of bottleneck_bps
   int sender_hosts = 8;         ///< arrivals round-robin across this pool
   sim::SimTime horizon = sim::SimTime::seconds(2.0);
   std::uint64_t seed = 1;
@@ -74,7 +78,8 @@ struct WorkloadResult {
 
 /// Run an open-loop Poisson-arrival workload against the paper's testbed
 /// topology and report FCT slowdowns and energy. The arrival rate is
-/// derived from the target load: lambda = load * 10 Gb/s / mean flow size.
+/// derived from the target load:
+/// lambda = load * bottleneck_bps / mean flow size.
 WorkloadResult run_workload(const WorkloadConfig& config);
 
 }  // namespace greencc::app

@@ -42,6 +42,10 @@ void InvariantAuditor::watch_flow(net::FlowId flow,
   flows_.push_back(FlowWatch{flow, sender, receiver});
 }
 
+void InvariantAuditor::watch_impairment(const fault::ImpairedLink* link) {
+  impairments_.push_back(link);
+}
+
 void InvariantAuditor::wrap(const std::string& component,
                             const std::string& invariant,
                             const std::vector<std::string>& problems,
@@ -113,26 +117,36 @@ void InvariantAuditor::audit_flow_progress(net::FlowId flow,
 }
 
 void InvariantAuditor::audit_flow_conservation(
-    net::FlowId flow, std::int64_t data_sent, std::int64_t data_delivered,
-    std::int64_t data_dropped, std::int64_t acks_sent,
-    std::int64_t acks_received, std::int64_t acks_dropped,
+    net::FlowId flow, std::int64_t data_sent, std::int64_t data_injected,
+    std::int64_t data_delivered, std::int64_t data_dropped,
+    std::int64_t data_fault_dropped, std::int64_t acks_sent,
+    std::int64_t acks_injected, std::int64_t acks_received,
+    std::int64_t acks_dropped, std::int64_t acks_fault_dropped,
     std::vector<Violation>& out) {
-  const std::int64_t data_in_flight = data_sent - data_delivered - data_dropped;
+  const std::int64_t data_in_flight = data_sent + data_injected -
+                                      data_delivered - data_dropped -
+                                      data_fault_dropped;
   if (data_in_flight < 0) {
     out.push_back(
         {flow_tag("flow", flow), "conservation.data",
-         "sent " + std::to_string(data_sent) + " < delivered " +
+         "sent " + std::to_string(data_sent) + " + injected " +
+             std::to_string(data_injected) + " < delivered " +
              std::to_string(data_delivered) + " + dropped " +
-             std::to_string(data_dropped) +
+             std::to_string(data_dropped) + " + fault-dropped " +
+             std::to_string(data_fault_dropped) +
              " (implied in-flight " + std::to_string(data_in_flight) + ")"});
   }
-  const std::int64_t acks_in_flight = acks_sent - acks_received - acks_dropped;
+  const std::int64_t acks_in_flight = acks_sent + acks_injected -
+                                      acks_received - acks_dropped -
+                                      acks_fault_dropped;
   if (acks_in_flight < 0) {
     out.push_back(
         {flow_tag("flow", flow), "conservation.ack",
-         "acks sent " + std::to_string(acks_sent) + " < received " +
+         "acks sent " + std::to_string(acks_sent) + " + injected " +
+             std::to_string(acks_injected) + " < received " +
              std::to_string(acks_received) + " + dropped " +
-             std::to_string(acks_dropped) +
+             std::to_string(acks_dropped) + " + fault-dropped " +
+             std::to_string(acks_fault_dropped) +
              " (implied in-flight " + std::to_string(acks_in_flight) + ")"});
   }
 }
@@ -213,6 +227,11 @@ std::vector<Violation> InvariantAuditor::run_once() {
     nic->audit(problems);
     wrap(name, "nic.accounting", problems, out);
   }
+  for (const auto* link : impairments_) {
+    problems.clear();
+    link->audit(problems);
+    wrap(link->name(), "fault.accounting", problems, out);
+  }
 
   std::int64_t implied_in_flight = 0;
   for (const auto& fw : flows_) {
@@ -228,16 +247,24 @@ std::vector<Violation> InvariantAuditor::run_once() {
                         out);
 
     const std::int64_t data_sent = fw.sender->stats().segments_sent;
+    const std::int64_t data_injected = ledger_.data_injected(fw.flow);
     const std::int64_t data_delivered = fw.receiver->segments_received();
     const std::int64_t data_dropped = ledger_.data_drops(fw.flow);
+    const std::int64_t data_faulted = ledger_.data_fault_drops(fw.flow);
     const std::int64_t acks_sent = fw.receiver->acks_sent();
+    const std::int64_t acks_injected = ledger_.ack_injected(fw.flow);
     const std::int64_t acks_received = fw.sender->stats().acks_received;
     const std::int64_t acks_dropped = ledger_.ack_drops(fw.flow);
-    audit_flow_conservation(fw.flow, data_sent, data_delivered, data_dropped,
-                            acks_sent, acks_received, acks_dropped, out);
+    const std::int64_t acks_faulted = ledger_.ack_fault_drops(fw.flow);
+    audit_flow_conservation(fw.flow, data_sent, data_injected, data_delivered,
+                            data_dropped, data_faulted, acks_sent,
+                            acks_injected, acks_received, acks_dropped,
+                            acks_faulted, out);
     implied_in_flight +=
-        std::max<std::int64_t>(0, data_sent - data_delivered - data_dropped) +
-        std::max<std::int64_t>(0, acks_sent - acks_received - acks_dropped);
+        std::max<std::int64_t>(0, data_sent + data_injected - data_delivered -
+                                      data_dropped - data_faulted) +
+        std::max<std::int64_t>(0, acks_sent + acks_injected - acks_received -
+                                      acks_dropped - acks_faulted);
   }
 
   // Topology-wide bound: every in-flight packet sits in exactly one queue

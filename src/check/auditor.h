@@ -9,6 +9,7 @@
 
 #include "cca/cca.h"
 #include "check/ledger.h"
+#include "fault/impairment.h"
 #include "net/drr.h"
 #include "net/port.h"
 #include "net/switch.h"
@@ -88,6 +89,7 @@ class InvariantAuditor {
   void watch_nic(std::string name, const net::BondedNic* nic);
   void watch_flow(net::FlowId flow, const tcp::TcpSender* sender,
                   const tcp::TcpReceiver* receiver);
+  void watch_impairment(const fault::ImpairedLink* link);
 
   /// The run's drop ledger; wire into every queue (set_ledger) before
   /// traffic flows so the conservation equation balances.
@@ -133,13 +135,23 @@ class InvariantAuditor {
                            std::int64_t rcv_nxt,
                            std::vector<Violation>& out);
 
-  /// Per-flow conservation: sent == delivered + dropped + in_flight.
+  /// Per-flow conservation:
+  ///   sent + injected == delivered + dropped + fault_dropped + in_flight.
+  /// `injected` credits packets fabricated by fault duplication (arrivals
+  /// with no matching transmission) and `fault_dropped` debits packets the
+  /// impairment layer removed non-congestively (loss, corruption,
+  /// link-down); both are zero for unimpaired runs, collapsing the equation
+  /// to the classic sent == delivered + dropped + in_flight.
   void audit_flow_conservation(net::FlowId flow, std::int64_t data_sent,
+                               std::int64_t data_injected,
                                std::int64_t data_delivered,
                                std::int64_t data_dropped,
+                               std::int64_t data_fault_dropped,
                                std::int64_t acks_sent,
+                               std::int64_t acks_injected,
                                std::int64_t acks_received,
                                std::int64_t acks_dropped,
+                               std::int64_t acks_fault_dropped,
                                std::vector<Violation>& out);
 
   /// CCA sanity over a controller's current outputs.
@@ -170,6 +182,7 @@ class InvariantAuditor {
   std::vector<std::pair<std::string, const net::DrrPort*>> drrs_;
   std::vector<std::pair<std::string, const net::Switch*>> switches_;
   std::vector<std::pair<std::string, const net::BondedNic*>> nics_;
+  std::vector<const fault::ImpairedLink*> impairments_;
   std::vector<FlowWatch> flows_;
   PacketLedger ledger_;
   bool complete_topology_ = false;

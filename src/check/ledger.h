@@ -10,13 +10,22 @@ namespace greencc::check {
 /// Per-flow packet-loss ledger, the drop side of the end-to-end
 /// conservation invariant
 ///
-///     sent == delivered + dropped + in_flight        (per flow)
+///     sent + injected == delivered + dropped + fault_dropped + in_flight
 ///
-/// Senders already count transmissions and receivers arrivals, but drops
-/// happen inside queues that know the packet's flow only at the drop site.
-/// In audit mode every DropTailQueue gets a pointer to the run's ledger and
-/// reports each dropped packet here; the InvariantAuditor then solves the
-/// equation for in_flight and checks it stays within physical bounds.
+/// (per flow). Senders already count transmissions and receivers arrivals,
+/// but drops happen inside queues that know the packet's flow only at the
+/// drop site. In audit mode every DropTailQueue gets a pointer to the run's
+/// ledger and reports each dropped packet here; the InvariantAuditor then
+/// solves the equation for in_flight and checks it stays within physical
+/// bounds.
+///
+/// The fault-injection subsystem (src/fault/) extends the books with two
+/// more columns: `fault_drops` for packets it removed non-congestively
+/// (i.i.d./burst loss, corruption surfacing as a receiver checksum drop,
+/// link-down discards) and `injected` for packets it fabricated
+/// (duplication) that arrive at a receiver without a matching sender
+/// transmission. Both are distinct accounts — congestive and injected loss
+/// must never be conflated, or an impaired run could hide a real leak.
 ///
 /// Header-only on purpose: queues call it from their drop sites, and the
 /// net layer must not link against the audit library (which itself links
@@ -25,6 +34,11 @@ namespace greencc::check {
 class PacketLedger {
  public:
   void on_drop(const net::Packet& pkt) {
+    // A corrupted packet was accounted as a fault drop at the moment the
+    // impairment stage damaged it (its eventual checksum discard being
+    // deterministic); if congestion happens to drop it first, counting it
+    // again would double-book the loss.
+    if (pkt.corrupted) return;
     if (pkt.is_ack) {
       ++ack_drops_[pkt.flow];
     } else {
@@ -32,20 +46,61 @@ class PacketLedger {
     }
   }
 
-  std::int64_t data_drops(net::FlowId flow) const {
-    auto it = data_drops_.find(flow);
-    return it == data_drops_.end() ? 0 : it->second;
+  /// An injected fault removed this packet from the network (loss,
+  /// corruption, link-down). Reported by fault::ImpairedLink, never by
+  /// queues.
+  void on_fault_drop(const net::Packet& pkt) {
+    if (pkt.is_ack) {
+      ++ack_fault_drops_[pkt.flow];
+    } else {
+      ++data_fault_drops_[pkt.flow];
+    }
   }
 
+  /// An injected fault fabricated this packet (duplication): one extra
+  /// arrival with no matching transmission, credited to the sent side.
+  void on_fault_inject(const net::Packet& pkt) {
+    if (pkt.is_ack) {
+      ++ack_injected_[pkt.flow];
+    } else {
+      ++data_injected_[pkt.flow];
+    }
+  }
+
+  std::int64_t data_drops(net::FlowId flow) const {
+    return lookup(data_drops_, flow);
+  }
   std::int64_t ack_drops(net::FlowId flow) const {
-    auto it = ack_drops_.find(flow);
-    return it == ack_drops_.end() ? 0 : it->second;
+    return lookup(ack_drops_, flow);
+  }
+  std::int64_t data_fault_drops(net::FlowId flow) const {
+    return lookup(data_fault_drops_, flow);
+  }
+  std::int64_t ack_fault_drops(net::FlowId flow) const {
+    return lookup(ack_fault_drops_, flow);
+  }
+  std::int64_t data_injected(net::FlowId flow) const {
+    return lookup(data_injected_, flow);
+  }
+  std::int64_t ack_injected(net::FlowId flow) const {
+    return lookup(ack_injected_, flow);
   }
 
  private:
+  using Account = std::map<net::FlowId, std::int64_t>;
+
+  static std::int64_t lookup(const Account& account, net::FlowId flow) {
+    auto it = account.find(flow);
+    return it == account.end() ? 0 : it->second;
+  }
+
   // std::map: deterministic iteration if anyone ever walks these.
-  std::map<net::FlowId, std::int64_t> data_drops_;
-  std::map<net::FlowId, std::int64_t> ack_drops_;
+  Account data_drops_;
+  Account ack_drops_;
+  Account data_fault_drops_;
+  Account ack_fault_drops_;
+  Account data_injected_;
+  Account ack_injected_;
 };
 
 }  // namespace greencc::check

@@ -1,0 +1,134 @@
+#include "fault/plan.h"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace greencc::fault {
+
+namespace {
+
+double parse_number(const std::string& key, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault spec: bad number '" + text +
+                                "' for key '" + key + "'");
+  }
+}
+
+double parse_probability(const std::string& key, const std::string& text) {
+  const double v = parse_number(key, text);
+  if (v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("fault spec: '" + key + "=" + text +
+                                "' must lie in [0, 1]");
+  }
+  return v;
+}
+
+}  // namespace
+
+ImpairmentConfig parse_impairments(const std::string& spec) {
+  ImpairmentConfig config;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("fault spec: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "loss") {
+      config.loss_rate = parse_probability(key, value);
+    } else if (key == "corrupt") {
+      config.corrupt_rate = parse_probability(key, value);
+    } else if (key == "reorder") {
+      config.reorder_rate = parse_probability(key, value);
+    } else if (key == "reorder_delay_us") {
+      config.reorder_delay = sim::SimTime::nanoseconds(
+          static_cast<std::int64_t>(parse_number(key, value) * 1e3));
+    } else if (key == "dup") {
+      config.duplicate_rate = parse_probability(key, value);
+    } else if (key == "jitter_us") {
+      config.jitter_max = sim::SimTime::nanoseconds(
+          static_cast<std::int64_t>(parse_number(key, value) * 1e3));
+    } else if (key == "ge_p") {
+      config.ge_p_bad = parse_probability(key, value);
+    } else if (key == "ge_r") {
+      config.ge_p_good = parse_probability(key, value);
+    } else if (key == "ge_loss") {
+      config.ge_loss_bad = parse_probability(key, value);
+    } else if (key == "seed") {
+      config.seed = static_cast<std::uint64_t>(parse_number(key, value));
+    } else {
+      throw std::invalid_argument(
+          "fault spec: unknown key '" + key +
+          "' (valid: loss, corrupt, reorder, reorder_delay_us, dup, "
+          "jitter_us, ge_p, ge_r, ge_loss, seed)");
+    }
+  }
+  if (config.ge_p_bad > 0.0 && config.ge_p_good <= 0.0) {
+    throw std::invalid_argument(
+        "fault spec: ge_p needs ge_r > 0 (or bursts never end)");
+  }
+  return config;
+}
+
+FaultSchedule parse_fault_events(const std::string& spec) {
+  FaultSchedule schedule;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const auto at_pos = item.rfind('@');
+    if (at_pos == std::string::npos) {
+      throw std::invalid_argument(
+          "fault events: expected '<event>@<seconds>', got '" + item + "'");
+    }
+    FaultEvent event;
+    const std::string when = item.substr(at_pos + 1);
+    const double sec = parse_number("@", when);
+    if (sec < 0.0) {
+      throw std::invalid_argument("fault events: time must be >= 0 in '" +
+                                  item + "'");
+    }
+    event.at = sim::SimTime::seconds(sec);
+    const std::string what = item.substr(0, at_pos);
+    if (what == "down") {
+      event.kind = FaultEvent::Kind::kLinkDown;
+    } else if (what == "up") {
+      event.kind = FaultEvent::Kind::kLinkUp;
+    } else if (what.rfind("rate=", 0) == 0) {
+      event.kind = FaultEvent::Kind::kRate;
+      event.rate_bps = parse_number("rate", what.substr(5));
+      if (event.rate_bps <= 0.0) {
+        throw std::invalid_argument("fault events: rate must be > 0 in '" +
+                                    item + "'");
+      }
+    } else if (what.rfind("delay_us=", 0) == 0) {
+      event.kind = FaultEvent::Kind::kDelay;
+      const double us = parse_number("delay_us", what.substr(9));
+      if (us < 0.0) {
+        throw std::invalid_argument(
+            "fault events: delay must be >= 0 in '" + item + "'");
+      }
+      event.delay =
+          sim::SimTime::nanoseconds(static_cast<std::int64_t>(us * 1e3));
+    } else {
+      throw std::invalid_argument(
+          "fault events: unknown event '" + what +
+          "' (valid: down, up, rate=<bps>, delay_us=<us>)");
+    }
+    schedule.add(event);
+  }
+  return schedule;
+}
+
+}  // namespace greencc::fault

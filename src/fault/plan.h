@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+
+#include "fault/impairment.h"
+#include "fault/schedule.h"
+
+namespace greencc::fault {
+
+/// Everything a scenario needs to know about fault injection: an
+/// impairment-stage config plus a timetable of link events. Defaults to
+/// fully inert — a default-constructed plan changes nothing about a run.
+struct FaultPlan {
+  ImpairmentConfig impair;
+  FaultSchedule schedule;
+
+  /// Install the impairment stage even if every rate is zero. Set by the
+  /// `--impair` parser so that "present but disabled" is expressible — the
+  /// determinism suite asserts that such a stage leaves a run
+  /// byte-identical to one with no stage at all.
+  bool install = false;
+
+  /// True when the scenario must build fault machinery at all.
+  bool active() const { return install || !schedule.empty(); }
+};
+
+/// Parse a `--impair` spec: comma-separated key=value pairs.
+///
+///   loss=1e-3            i.i.d. loss probability
+///   corrupt=1e-4         corruption probability
+///   reorder=0.01         reorder probability
+///   reorder_delay_us=200 re-injection delay (default 100)
+///   dup=1e-3             duplication probability
+///   jitter_us=50         max uniform jitter
+///   ge_p=0.001           Gilbert–Elliott P(good->bad)
+///   ge_r=0.1             Gilbert–Elliott P(bad->good)
+///   ge_loss=1.0          drop probability in the bad state (default 1)
+///   seed=7               impairment RNG seed (mixed with the run seed)
+///
+/// An empty spec ("") is valid and yields an all-zero config with
+/// `install` semantics (the caller sets FaultPlan::install). Throws
+/// std::invalid_argument on unknown keys, malformed pairs or out-of-range
+/// values (probabilities must lie in [0, 1]).
+ImpairmentConfig parse_impairments(const std::string& spec);
+
+/// Parse a `--fault-events` spec: comma-separated timed events, each
+/// suffixed `@<seconds>`:
+///
+///   down@0.5        link goes down at t=0.5s
+///   up@0.6          link comes back at t=0.6s
+///   rate=5e9@1.0    bottleneck re-rated to 5 Gb/s at t=1.0s
+///   delay_us=50@2.0 propagation set to 50us at t=2.0s
+///
+/// Throws std::invalid_argument on malformed specs.
+FaultSchedule parse_fault_events(const std::string& spec);
+
+}  // namespace greencc::fault

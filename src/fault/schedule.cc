@@ -1,0 +1,61 @@
+#include "fault/schedule.h"
+
+#include <stdexcept>
+
+namespace greencc::fault {
+
+void FaultSchedule::arm(sim::Simulator& sim, net::QueuedPort* port,
+                        ImpairedLink* link, trace::TraceSink* sink) const {
+  for (const auto& event : events_) {
+    switch (event.kind) {
+      case FaultEvent::Kind::kLinkDown:
+      case FaultEvent::Kind::kLinkUp:
+        if (link == nullptr) {
+          throw std::logic_error(
+              "FaultSchedule: link down/up event without an impairment "
+              "stage to apply it to");
+        }
+        break;
+      case FaultEvent::Kind::kRate:
+        if (port == nullptr || event.rate_bps <= 0.0) {
+          throw std::logic_error(
+              "FaultSchedule: rate event needs a port and a positive rate");
+        }
+        break;
+      case FaultEvent::Kind::kDelay:
+        if (port == nullptr || event.delay < sim::SimTime::zero()) {
+          throw std::logic_error(
+              "FaultSchedule: delay event needs a port and a non-negative "
+              "delay");
+        }
+        break;
+    }
+    sim.schedule_at(event.at, [this, event, port, link, sink, &sim]() {
+      ++fired_;
+      switch (event.kind) {
+        case FaultEvent::Kind::kLinkDown:
+          link->set_link_down(true);  // emits its own fault_link event
+          break;
+        case FaultEvent::Kind::kLinkUp:
+          link->set_link_down(false);
+          break;
+        case FaultEvent::Kind::kRate:
+          port->set_rate(event.rate_bps);
+          if (sink != nullptr) {
+            sink->emit({sim.now(), trace::EventClass::kFaultLink, 0,
+                        port->name(), -1, 0.0, event.rate_bps, "rate"});
+          }
+          break;
+        case FaultEvent::Kind::kDelay:
+          port->set_propagation(event.delay);
+          if (sink != nullptr) {
+            sink->emit({sim.now(), trace::EventClass::kFaultLink, 0,
+                        port->name(), -1, 0.0, event.delay.us(), "delay"});
+          }
+          break;
+      }
+    });
+  }
+}
+
+}  // namespace greencc::fault

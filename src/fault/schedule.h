@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "net/port.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "trace/trace.h"
+
+#include "fault/impairment.h"
+
+namespace greencc::fault {
+
+/// One timed fault event applied to the bottleneck link.
+struct FaultEvent {
+  enum class Kind {
+    kLinkDown,  ///< discard everything arriving at the impairment stage
+    kLinkUp,    ///< restore forwarding
+    kRate,      ///< re-rate the bottleneck port to `rate_bps`
+    kDelay,     ///< change the bottleneck propagation delay to `delay`
+  };
+
+  sim::SimTime at;            ///< absolute simulated time
+  Kind kind = Kind::kLinkDown;
+  double rate_bps = 0.0;      ///< kRate only
+  sim::SimTime delay;         ///< kDelay only
+};
+
+/// A deterministic timetable of link events (down/up flaps, bandwidth and
+/// delay changes). Events are plain simulator callbacks scheduled up front
+/// by `arm()`, so they interleave with packet events under the simulator's
+/// usual same-time FIFO rule — no polling, no wall clock.
+class FaultSchedule {
+ public:
+  void add(FaultEvent event) { events_.push_back(event); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Schedule every event against its targets. `link` receives down/up
+  /// flaps (may be null if none are scheduled); `port` receives rate and
+  /// delay changes (may be null likewise). Each fired event also emits a
+  /// fault_link trace event on `sink` when attached.
+  ///
+  /// Call once per run, before sim.run(); the schedule must outlive it.
+  void arm(sim::Simulator& sim, net::QueuedPort* port, ImpairedLink* link,
+           trace::TraceSink* sink) const;
+
+  /// Number of events that have fired so far (test/bench surface).
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+  mutable std::uint64_t fired_ = 0;
+};
+
+}  // namespace greencc::fault

@@ -66,6 +66,12 @@ struct Packet {
   sim::SimTime delivered_time_at_send; ///< time of that delivery count
   bool app_limited = false;            ///< sender was app-limited at send
   bool is_retx = false;                ///< retransmission of an earlier seq
+
+  /// Payload damaged in flight (fault injection). The wire carries the
+  /// packet normally — it costs bandwidth and receiver processing — but the
+  /// receiving endpoint's checksum rejects it, so the transport never sees
+  /// it. Set only by fault::ImpairedLink.
+  bool corrupted = false;
 };
 
 /// Anything that can accept a packet (switch port, host stack, sink).

@@ -10,7 +10,7 @@ void QueuedPort::handle(Packet pkt) {
   // dequeue time, where this port never handles the packet).
   if (!queue_.enqueue(pkt, sim_.now())) {  // tail drop or AQM
     pending_drop_penalty_ns_ += config_.drop_service_ns;
-    if (on_drop_) on_drop_(pkt.size_bytes);
+    for (const auto& cb : on_drop_) cb(pkt.size_bytes);
     return;
   }
   if (trace_) {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "net/packet.h"
 #include "net/queue.h"
@@ -75,10 +76,31 @@ class QueuedPort : public PacketHandler {
     on_transmit_ = std::move(cb);
   }
 
-  /// Invoked with the wire size of every packet the queue drops (the
-  /// receiver's energy meter charges DMA+first-touch work for these).
+  /// Subscribe to drops: `cb` is invoked with the wire size of every packet
+  /// the queue rejects (the receiver's energy meter charges DMA+first-touch
+  /// work for these; the fault layer and tests subscribe too). Subscribers
+  /// run in registration order and cannot be removed — components register
+  /// once at wiring time.
+  void add_on_drop(std::function<void(std::int64_t)> cb) {
+    on_drop_.push_back(std::move(cb));
+  }
+
+  /// Backwards-compatible alias for add_on_drop (historically the port held
+  /// a single callback; it now appends).
   void set_on_drop(std::function<void(std::int64_t)> cb) {
-    on_drop_ = std::move(cb);
+    add_on_drop(std::move(cb));
+  }
+
+  /// Change the line rate mid-run (FaultSchedule's bandwidth events). The
+  /// packet currently serializing finishes at the old rate; the next
+  /// transmission picks up the new one. Must be > 0.
+  void set_rate(double rate_bps) { config_.rate_bps = rate_bps; }
+
+  /// Change the propagation delay mid-run. Packets already serialized keep
+  /// the delay they departed with; the next one to finish serialization
+  /// propagates at the new value.
+  void set_propagation(sim::SimTime propagation) {
+    config_.propagation = propagation;
   }
 
   /// Attach this run's event sink (nullptr = tracing off). When off, the
@@ -123,7 +145,7 @@ class QueuedPort : public PacketHandler {
   PacketHandler* next_;
   trace::TraceSink* trace_ = nullptr;
   std::function<void(std::int64_t)> on_transmit_;
-  std::function<void(std::int64_t)> on_drop_;
+  std::vector<std::function<void(std::int64_t)>> on_drop_;
   bool transmitting_ = false;
   double pending_drop_penalty_ns_ = 0.0;
   std::uint64_t packets_sent_ = 0;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace greencc::sim {
 
@@ -78,5 +79,39 @@ class Rng {
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };
+
+/// Derive an independent RNG stream seed from a base seed and two stream
+/// coordinates (a site identifier and a stream index within the site).
+///
+/// Same construction as the experiment layer's per-run seed derivation:
+/// golden-ratio multiples keep distinct coordinates at distinct pre-mix
+/// values even for small inputs, and the SplitMix64 finalizer avalanches
+/// every input bit. Subsystems that own several RNG streams (one per
+/// impairment type per link, say) derive each from (seed, site, stream) so
+/// that enabling, disabling or reordering one stream never perturbs the
+/// draw sequence of another.
+constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t site,
+                                 std::uint64_t stream) {
+  std::uint64_t x = seed;
+  x += 0x9E3779B97F4A7C15ULL * (site + 1);
+  x += 0xD1B54A32D192ED03ULL * (stream + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Stable 64-bit hash of a site name (FNV-1a), for use as the `site`
+/// coordinate of mix_seed when sites are identified by string.
+constexpr std::uint64_t site_hash(std::string_view name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
 
 }  // namespace greencc::sim

@@ -16,6 +16,13 @@ TcpReceiver::TcpReceiver(sim::Simulator& sim, net::FlowId flow,
 
 void TcpReceiver::handle(net::Packet pkt) {
   if (pkt.is_ack || pkt.flow != flow_) return;
+  if (pkt.corrupted) {
+    // Checksum failure: the segment consumed wire bandwidth and receive
+    // processing but never reaches the transport — no reassembly, no ACK.
+    // The injecting ImpairedLink already reported the loss to the ledger.
+    ++checksum_drops_;
+    return;
+  }
   ++segments_received_;
   if (pkt.ce) ++pending_ce_;
 
@@ -116,6 +123,7 @@ void TcpReceiver::register_counters(trace::CounterRegistry& reg,
   reg.add(prefix + "segments_received", &segments_received_);
   reg.add(prefix + "duplicate_segments", &duplicate_segments_);
   reg.add(prefix + "acks_sent", &acks_sent_);
+  reg.add(prefix + "checksum_drops", &checksum_drops_);
 }
 
 void TcpReceiver::on_delack_timeout() {

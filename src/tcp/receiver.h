@@ -44,6 +44,9 @@ class TcpReceiver : public net::PacketHandler {
   std::int64_t segments_received() const { return segments_received_; }
   std::int64_t duplicate_segments() const { return duplicate_segments_; }
   std::int64_t acks_sent() const { return acks_sent_; }
+  /// Segments discarded by the checksum (fault-injected corruption); they
+  /// never count as received.
+  std::int64_t checksum_drops() const { return checksum_drops_; }
 
   /// Verify reassembly-queue consistency at an event boundary: the
   /// out-of-order set is well-formed, sits strictly above rcv_nxt (anything
@@ -84,6 +87,7 @@ class TcpReceiver : public net::PacketHandler {
   std::int64_t segments_received_ = 0;
   std::int64_t duplicate_segments_ = 0;
   std::int64_t acks_sent_ = 0;
+  std::int64_t checksum_drops_ = 0;
 };
 
 }  // namespace greencc::tcp

@@ -157,6 +157,13 @@ void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
 
 void TcpSender::handle(net::Packet pkt) {
   if (!pkt.is_ack) return;  // data towards a sender endpoint: ignore
+  if (pkt.corrupted) {
+    // Checksum failure on the ACK path: the packet cost wire bandwidth but
+    // carries no usable feedback. The injecting ImpairedLink already
+    // reported the loss to the ledger.
+    ++stats_.checksum_drops;
+    return;
+  }
   process_ack(pkt);
 }
 
@@ -548,6 +555,7 @@ void TcpSender::register_counters(trace::CounterRegistry& reg,
   reg.add(prefix + "delivered_segments", &stats_.delivered_segments);
   reg.add(prefix + "acks_received", &stats_.acks_received);
   reg.add(prefix + "ecn_echoes", &stats_.ecn_echoes);
+  reg.add(prefix + "checksum_drops", &stats_.checksum_drops);
 }
 
 }  // namespace greencc::tcp

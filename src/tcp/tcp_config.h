@@ -37,6 +37,9 @@ struct TcpStats {
   std::int64_t delivered_segments = 0;  ///< cumulative, incl. sacked
   std::int64_t acks_received = 0;
   std::int64_t ecn_echoes = 0;
+  /// ACKs discarded by the checksum (fault-injected corruption); the
+  /// transport never processes them, so they are not in acks_received.
+  std::int64_t checksum_drops = 0;
 };
 
 }  // namespace greencc::tcp

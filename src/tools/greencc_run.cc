@@ -22,6 +22,7 @@
 #include "app/runner.h"
 #include "cca/cca.h"
 #include "core/scheduler.h"
+#include "fault/plan.h"
 #include "stats/json.h"
 #include "stats/table.h"
 #include "trace/trace.h"
@@ -45,6 +46,9 @@ struct Options {
   double rate_limit_gbps = 0.0;
   std::string json_path;
   std::string trace_out;
+  std::string impair_spec;
+  bool have_impair = false;
+  std::string fault_events_spec;
   trace::ClassMask trace_mask = trace::kAllClasses;
   bool audit = false;
   bool counters = false;
@@ -81,7 +85,14 @@ void print_usage() {
       "  --trace-filter C,..  event classes to trace (default all): enqueue\n"
       "                       drop ecn_mark retransmit rto recovery_enter\n"
       "                       recovery_exit cwnd tlp flow_start flow_finish\n"
-      "                       ack_sent invariant\n"
+      "                       ack_sent invariant fault_loss fault_corrupt\n"
+      "                       fault_reorder fault_duplicate fault_link\n"
+      "  --impair SPEC        impair the bottleneck link, e.g.\n"
+      "                       'loss=1e-3,reorder=0.01' (keys: loss corrupt\n"
+      "                       reorder reorder_delay_us dup jitter_us ge_p\n"
+      "                       ge_r ge_loss seed)\n"
+      "  --fault-events SPEC  timed link events, e.g.\n"
+      "                       'down@0.5,up@0.6,rate=5e9@1.0,delay_us=50@2.0'\n"
       "  --audit              run the invariant auditor every 10 ms of sim\n"
       "                       time (aborts the run on the first violation)\n"
       "  --counters           print per-scenario counters after the summary\n"
@@ -182,6 +193,15 @@ std::optional<Options> parse(int argc, char** argv) {
         std::fprintf(stderr, "--trace-filter: %s\n", e.what());
         return std::nullopt;
       }
+    } else if (arg == "--impair") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.impair_spec = v;
+      opt.have_impair = true;
+    } else if (arg == "--fault-events") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.fault_events_spec = v;
     } else if (arg == "--audit") {
       opt.audit = true;
     } else if (arg == "--counters") {
@@ -256,6 +276,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  fault::FaultPlan fault_plan;
+  try {
+    if (opt.have_impair) {
+      fault_plan.impair = fault::parse_impairments(opt.impair_spec);
+      fault_plan.install = true;
+    }
+    if (!opt.fault_events_spec.empty()) {
+      fault_plan.schedule = fault::parse_fault_events(opt.fault_events_spec);
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
   stats::JsonWriter json;
   json.begin_object();
   json.key("runs").begin_array();
@@ -271,6 +305,7 @@ int main(int argc, char** argv) {
       config.tcp.mtu_bytes = opt.mtu;
       config.seed = seed;
       config.stress_cores = opt.load_pct * 32 / 100;
+      config.faults = fault_plan;
       if (opt.audit) {
         config.audit_interval = sim::SimTime::milliseconds(10);
       }

@@ -18,7 +18,8 @@ constexpr std::array<std::string_view, kNumClasses> kClassNames = {
     "enqueue",        "drop",          "ecn_mark", "retransmit",
     "rto",            "recovery_enter", "recovery_exit", "cwnd",
     "tlp",            "flow_start",    "flow_finish",   "ack_sent",
-    "invariant",
+    "invariant",      "fault_loss",    "fault_corrupt", "fault_reorder",
+    "fault_duplicate", "fault_link",
 };
 
 }  // namespace

@@ -28,6 +28,12 @@ enum class EventClass : std::uint32_t {
   kFlowFinish,     ///< flow fully acknowledged (value = FCT seconds)
   kAckSent,        ///< receiver emitted an ACK (seq = rcv_nxt, value = ECE)
   kInvariant,      ///< invariant violation (src = component, detail = why)
+  kFaultLoss,      ///< injected non-congestive loss (detail = iid/burst/down)
+  kFaultCorrupt,   ///< packet corrupted in flight (receiver checksum-drops it)
+  kFaultReorder,   ///< packet held for delayed re-injection (value = delay us)
+  kFaultDuplicate, ///< duplicate copy injected (value = extra copies)
+  kFaultLink,      ///< scheduled link event (value = 1 down / 0 up,
+                   ///< detail = down/up/rate/delay; aux = new rate or us)
   kNumClasses,     // sentinel, keep last
 };
 

@@ -439,19 +439,22 @@ TEST(Auditor, HealthyCcaAuditsClean) {
 TEST(Auditor, FiresOnNegativeDataInFlight) {
   InvariantAuditor auditor;
   std::vector<Violation> out;
-  auditor.audit_flow_conservation(1, /*data_sent=*/10, /*data_delivered=*/8,
-                                  /*data_dropped=*/5, /*acks_sent=*/0,
-                                  /*acks_received=*/0, /*acks_dropped=*/0,
-                                  out);
+  auditor.audit_flow_conservation(1, /*data_sent=*/10, /*data_injected=*/0,
+                                  /*data_delivered=*/8, /*data_dropped=*/5,
+                                  /*data_fault_dropped=*/0, /*acks_sent=*/0,
+                                  /*acks_injected=*/0, /*acks_received=*/0,
+                                  /*acks_dropped=*/0,
+                                  /*acks_fault_dropped=*/0, out);
   EXPECT_TRUE(fires(out, "conservation.data")) << render(out);
 }
 
 TEST(Auditor, FiresOnNegativeAckInFlight) {
   InvariantAuditor auditor;
   std::vector<Violation> out;
-  auditor.audit_flow_conservation(1, 0, 0, 0, /*acks_sent=*/3,
-                                  /*acks_received=*/4, /*acks_dropped=*/0,
-                                  out);
+  auditor.audit_flow_conservation(1, 0, 0, 0, 0, 0, /*acks_sent=*/3,
+                                  /*acks_injected=*/0, /*acks_received=*/4,
+                                  /*acks_dropped=*/0,
+                                  /*acks_fault_dropped=*/0, out);
   EXPECT_TRUE(fires(out, "conservation.ack")) << render(out);
 }
 

@@ -125,6 +125,50 @@ TEST(QueuedPort, DropServicePenaltyDelaysNextPacket) {
   EXPECT_EQ(sink.arrivals[1].first, SimTime::nanoseconds(1200 + 1200 + 1000));
 }
 
+TEST(QueuedPort, AllDropSubscribersSeeEveryDrop) {
+  // The drop site fans out to every subscriber in registration order: the
+  // receiver's energy meter and the fault/test layers observe the same
+  // drops without displacing one another.
+  Simulator sim;
+  Collector sink(sim);
+  PortConfig cfg;
+  cfg.rate_bps = 1e9;
+  cfg.queue_capacity_bytes = 3000;
+  cfg.propagation = SimTime::zero();
+  QueuedPort port(sim, "p", cfg, &sink);
+  std::vector<std::pair<int, std::int64_t>> calls;
+  port.add_on_drop([&](std::int64_t b) { calls.emplace_back(1, b); });
+  port.set_on_drop([&](std::int64_t b) { calls.emplace_back(2, b); });
+  for (int i = 0; i < 5; ++i) port.handle(pkt_of(i, 1500));
+  sim.run();
+  ASSERT_EQ(port.queue_stats().dropped, 2u);
+  ASSERT_EQ(calls.size(), 4u);
+  EXPECT_EQ(calls[0], (std::pair<int, std::int64_t>{1, 1500}));
+  EXPECT_EQ(calls[1], (std::pair<int, std::int64_t>{2, 1500}));
+  EXPECT_EQ(calls[2], (std::pair<int, std::int64_t>{1, 1500}));
+  EXPECT_EQ(calls[3], (std::pair<int, std::int64_t>{2, 1500}));
+}
+
+TEST(QueuedPort, MidRunRerateAndRedelayApplyToNextTransmission) {
+  Simulator sim;
+  Collector sink(sim);
+  PortConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.propagation = SimTime::zero();
+  QueuedPort port(sim, "p", cfg, &sink);
+  port.handle(pkt_of(0, 1500));  // 1.2 us at 10G
+  sim.run();
+  port.set_rate(1e9);
+  port.set_propagation(SimTime::microseconds(7));
+  sim.schedule(SimTime::microseconds(10) - sim.now(),
+               [&] { port.handle(pkt_of(1, 1500)); });
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].first, SimTime::nanoseconds(1200));
+  // 12 us serialization at the new rate plus the new propagation delay.
+  EXPECT_EQ(sink.arrivals[1].first, SimTime::microseconds(10 + 12 + 7));
+}
+
 TEST(QueuedPort, TransmitCallbackSeesWireBytes) {
   Simulator sim;
   Collector sink(sim);

@@ -144,6 +144,29 @@ TEST(Workload, HigherLoadAmortizesIdleEnergy) {
   EXPECT_GT(run_at(0.2), run_at(0.7));
 }
 
+TEST(Workload, BottleneckRateDrivesArrivalsAndIdealFct) {
+  // Regression: lambda and the ideal-FCT baseline were hardcoded to 10 Gb/s,
+  // so a 1 Gb/s bottleneck got 10x the intended arrival rate and slowdowns
+  // below one. At the same fractional load the slower link must see ~10x
+  // fewer flows and still report slowdowns >= 1.
+  const auto dist = fixed_size(500'000);
+  WorkloadConfig config;
+  config.sizes = dist.get();
+  config.load = 0.4;
+  config.horizon = sim::SimTime::seconds(1.0);
+  config.seed = 9;
+  const auto fast = run_workload(config);
+  config.bottleneck_bps = 1e9;
+  const auto slow = run_workload(config);
+  EXPECT_GT(slow.flows_started, 10);
+  EXPECT_LT(slow.flows_started, fast.flows_started / 5);
+  EXPECT_NEAR(slow.goodput_gbps, 0.4, 0.1);
+  EXPECT_GE(slow.mean_slowdown, 1.0);
+
+  config.bottleneck_bps = 0.0;
+  EXPECT_THROW(run_workload(config), std::invalid_argument);
+}
+
 TEST(Workload, DeterministicPerSeed) {
   const auto dist = websearch_workload();
   WorkloadConfig config;

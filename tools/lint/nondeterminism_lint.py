@@ -18,6 +18,12 @@ are cheap to catch with a grep-shaped scan, so this lint bans them outright:
                    on computed floats is almost always a latent bug. Exact
                    sentinel checks (x == 0.0 meaning "unset") are legitimate;
                    annotate them.
+  seed-arith       sim::Rng seeded with ad-hoc arithmetic on a seed
+                   (seed * 7919 + 17, seed + i): nearby seeds produce
+                   overlapping or correlated streams, the hazard the fault
+                   subsystem's per-stage streams must never inherit. Derive
+                   with sim::mix_seed(seed, site, stream) /
+                   app::derive_seed instead.
 
 A finding is suppressed by a `lint-allow: <rule>` comment on the same line
 or the line above, which doubles as documentation for why the site is safe:
@@ -48,6 +54,10 @@ LIBC_RAND = re.compile(
 # A float literal: 1.0, .5, 2e9, 1.5e-3, 1.f — but not a plain integer.
 _FLOAT = r"(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)[fF]?"
 FLOAT_EQ = re.compile(rf"[=!]=\s*(?:{_FLOAT})(?![\w.])|(?:{_FLOAT})\s*[=!]=")
+# Rng constructions (both `Rng(expr)` and `Rng name(expr)`) whose argument
+# does arithmetic on an identifier ending in "seed". mix_seed/derive_seed
+# calls never match: their own opening paren stops the [^()]* run.
+SEED_ARITH = re.compile(r"\bRng\b[^();=]*\(\s*[^()]*seed\b[^()]*[-+*^%][^()]*\)")
 UNORDERED_DECL = re.compile(r"\bunordered_(?:multi)?(?:map|set)\s*<[^;=()]*>\s+(\w+)\s*[;{{=]")
 RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*\*?(\w+)\s*\)")
 
@@ -55,6 +65,7 @@ RULES = (
     ("wall-clock", WALL_CLOCK),
     ("libc-rand", LIBC_RAND),
     ("float-eq", FLOAT_EQ),
+    ("seed-arith", SEED_ARITH),
 )
 
 
