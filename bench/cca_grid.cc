@@ -1,27 +1,45 @@
 #include "cca_grid.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "app/parallel_runner.h"
 #include "app/scenario.h"
 #include "cca/cca.h"
 #include "common.h"
+#include "robust/journal.h"
 #include "stats/stats.h"
 
 namespace greencc::bench {
 
 namespace {
 
+/// Hash of every option that can change the grid's numbers. Binds both the
+/// CSV cache and the resume journal: a file written under a different
+/// configuration is regenerated, never half-reused. `jobs` and the
+/// supervision knobs are deliberately absent — they cannot change what a
+/// *completed* cell measured.
+std::uint64_t grid_config_hash(const GridOptions& options) {
+  std::ostringstream canon;
+  canon << "grid bytes=" << options.bytes << " repeats=" << options.repeats
+        << " seed=" << options.base_seed << " mtus=";
+  for (int mtu : options.mtus) canon << mtu << ",";
+  return robust::fnv1a64(canon.str());
+}
+
 std::string cache_tag(const GridOptions& options) {
-  // v2: per-run seeds switched from base_seed+i to the mixed
-  // (base_seed, cell, repeat) derivation; v1 caches hold different numbers
-  // and must not be loaded. `jobs` is deliberately absent — it cannot
-  // change the results.
+  // v3: the header now carries a schema version plus the config hash above,
+  // so staleness is detected even for parameters the old free-form tag did
+  // not spell out. v1/v2 caches (different seed derivation, no hash) fail
+  // the comparison and are regenerated.
   std::ostringstream tag;
-  tag << "# greencc-grid v2 bytes=" << options.bytes
-      << " repeats=" << options.repeats << " seed=" << options.base_seed;
+  tag << "# greencc-grid v3 config=" << std::hex << std::setw(16)
+      << std::setfill('0') << grid_config_hash(options) << std::dec
+      << " bytes=" << options.bytes << " repeats=" << options.repeats
+      << " seed=" << options.base_seed;
   for (int mtu : options.mtus) tag << " " << mtu;
   return tag.str();
 }
@@ -71,9 +89,67 @@ void save_cache(const GridOptions& options,
   std::rename(tmp_path.c_str(), options.cache_path.c_str());
 }
 
+/// Journal payload for one (cell, repeat) run: exactly the scalars the
+/// aggregation below reads. %.17g round-trips IEEE doubles exactly, so a
+/// resumed sweep aggregates bit-identical values to an uninterrupted one.
+std::string encode_run(const app::ScenarioResult& run) {
+  std::int64_t retx = 0;
+  for (const auto& flow : run.flows) retx += flow.retransmissions;
+  const double fct = run.flows.empty() ? 0.0 : run.flows[0].fct_sec;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%.17g %.17g %.17g %" PRId64 " %d",
+                run.total_joules, run.avg_watts, fct, retx,
+                run.all_completed ? 1 : 0);
+  return buf;
+}
+
+bool decode_run(const std::string& payload, app::ScenarioResult& run) {
+  double joules = 0.0, watts = 0.0, fct = 0.0;
+  long long retx = 0;
+  int completed = 0;
+  if (std::sscanf(payload.c_str(), "%lg %lg %lg %lld %d", &joules, &watts,
+                  &fct, &retx, &completed) != 5) {
+    return false;
+  }
+  run.total_joules = joules;
+  run.avg_watts = watts;
+  run.flows.resize(1);
+  run.flows[0].fct_sec = fct;
+  run.flows[0].retransmissions = retx;
+  run.all_completed = completed != 0;
+  run.stop_reason = completed ? "completed" : "deadline";
+  return true;
+}
+
 }  // namespace
 
-std::vector<core::GridCell> run_cca_grid(const GridOptions& options) {
+void apply_supervisor_flags(int argc, char** argv, GridOptions& options) {
+  options.cell_deadline_sec =
+      flag_double(argc, argv, "--deadline", options.cell_deadline_sec);
+  options.event_budget = static_cast<std::uint64_t>(flag_i64(
+      argc, argv, "--event-budget",
+      static_cast<std::int64_t>(options.event_budget)));
+  options.max_attempts = static_cast<int>(flag_i64(
+      argc, argv, "--retries", options.max_attempts - 1)) + 1;
+  options.journal_path =
+      flag_str(argc, argv, "--journal", options.journal_path);
+  options.resume = flag_set(argc, argv, "--resume") || options.resume;
+  if (options.resume && options.journal_path.empty()) {
+    std::string stem = options.cache_path;
+    if (const auto dot = stem.rfind('.'); dot != std::string::npos) {
+      stem.erase(dot);
+    }
+    if (stem.empty()) stem = "sweep";
+    options.journal_path = stem + "_journal.jsonl";
+  }
+}
+
+std::vector<core::GridCell> run_cca_grid(const GridOptions& options,
+                                         robust::SweepReport* report_out) {
+  robust::SweepReport local_report;
+  robust::SweepReport& report = report_out ? *report_out : local_report;
+  report = robust::SweepReport{};
+
   std::vector<core::GridCell> cells;
   if (load_cache(options, cells)) return cells;
   const double scale = scale_to_paper(options.bytes);
@@ -92,44 +168,84 @@ std::vector<core::GridCell> run_cca_grid(const GridOptions& options) {
   const auto repeats = static_cast<std::size_t>(std::max(options.repeats, 0));
   const std::size_t total = specs.size() * repeats;
   std::vector<app::ScenarioResult> runs(total);
+  // A run slot is aggregated only when its task completed (fresh or
+  // restored from the journal); cut/quarantined tasks leave it absent.
+  // Each task writes only its own slot, per the pool's determinism
+  // contract, so no locking is needed.
+  std::vector<char> present(total, 0);
 
-  app::ParallelRunner pool(
-      options.jobs, [&specs, repeats](std::size_t done, std::size_t n,
-                                      std::size_t index, double secs) {
-        const CellSpec& spec = specs[index / repeats];
-        std::fprintf(stderr,
-                     "  grid: [%3zu/%zu] mtu=%-5d %-10s rep=%zu  %6.2fs\n",
-                     done, n, spec.mtu, spec.cca.c_str(), index % repeats,
-                     secs);
-      });
-  pool.for_each_index(total, [&](std::size_t t) {
+  robust::SupervisorOptions sup;
+  sup.jobs = options.jobs;
+  sup.max_attempts = std::max(options.max_attempts, 1);
+  sup.cell_deadline_sec = options.cell_deadline_sec;
+  sup.event_budget = options.event_budget;
+  sup.journal_path = options.journal_path;
+  sup.config_hash = grid_config_hash(options);
+  sup.resume = options.resume;
+  sup.progress = [&specs, repeats](std::size_t done, std::size_t n,
+                                   std::size_t index, double secs) {
+    const CellSpec& spec = specs[index / repeats];
+    std::fprintf(stderr, "  grid: [%3zu/%zu] mtu=%-5d %-10s rep=%zu  %6.2fs\n",
+                 done, n, spec.mtu, spec.cca.c_str(), index % repeats, secs);
+  };
+
+  robust::CellHooks hooks;
+  hooks.run = [&](std::size_t t, robust::CellContext& ctx) -> std::string {
     const std::size_t cell = t / repeats;
     const std::size_t rep = t % repeats;
     app::ScenarioConfig config;
     config.tcp.mtu_bytes = specs[cell].mtu;
     config.seed = app::derive_seed(options.base_seed, cell, rep);
     config.audit_interval = options.audit_interval;
+    ctx.set_seed(config.seed);
     app::Scenario scenario(std::move(config));
     app::FlowSpec flow;
     flow.cca = specs[cell].cca;
     flow.bytes = options.bytes;
     scenario.add_flow(flow);
-    runs[t] = scenario.run();
-  });
+    // The guard is constructed after the scenario so it is destroyed first,
+    // while the simulator is still alive for its snapshot.
+    auto watch = ctx.watch(scenario.simulator());
+    app::ScenarioResult result = scenario.run();
+    if (ctx.cut() || result.stop_reason == "stopped" ||
+        result.stop_reason == "budget_exhausted") {
+      // Truncated run: never published, never journaled. The supervisor
+      // records the cell as timed out (or not-run under shutdown).
+      return {};
+    }
+    std::string payload = encode_run(result);
+    runs[t] = std::move(result);
+    present[t] = 1;
+    return payload;
+  };
+  hooks.restore = [&](std::size_t t, const std::string& payload) {
+    app::ScenarioResult run;
+    if (!decode_run(payload, run)) return;  // malformed: cell stays absent
+    runs[t] = std::move(run);
+    present[t] = 1;
+  };
+
+  robust::SweepSupervisor supervisor(std::move(sup));
+  report = supervisor.run(total, hooks);
 
   // Aggregate serially in cell order once the pool drained: independent of
   // thread count and completion order, so the cells (and the CSV/cache
-  // written from them) are byte-identical for any --jobs value.
+  // written from them) are byte-identical for any --jobs value. Absent
+  // repeats (quarantined/timed-out/not-run) are skipped; a cell with no
+  // surviving repeat carries zeros — the health report, not the numbers,
+  // discloses the gap.
   for (std::size_t c = 0; c < specs.size(); ++c) {
     stats::Summary joules, watts, retxs, fct;
     for (std::size_t rep = 0; rep < repeats; ++rep) {
-      const auto& run = runs[c * repeats + rep];
+      const std::size_t t = c * repeats + rep;
+      if (!present[t]) continue;
+      const auto& run = runs[t];
       joules.add(run.total_joules);
       watts.add(run.avg_watts);
       std::int64_t retx = 0;
       for (const auto& flow : run.flows) retx += flow.retransmissions;
       retxs.add(static_cast<double>(retx));
-      fct.add(run.flows[0].fct_sec);
+      fct.add(run.flows.empty() ? 0.0 : run.flows[0].fct_sec);
     }
 
     core::GridCell cell;
@@ -146,8 +262,14 @@ std::vector<core::GridCell> run_cca_grid(const GridOptions& options) {
                  cell.mtu_bytes, cell.cca.c_str(), cell.energy_joules,
                  cell.power_watts);
   }
-  save_cache(options, cells);
+  // A partial sweep must never poison the shared cache: later runs would
+  // reload zeros for the quarantined cells with no sign anything failed.
+  if (report.complete()) save_cache(options, cells);
   return cells;
+}
+
+std::vector<core::GridCell> run_cca_grid(const GridOptions& options) {
+  return run_cca_grid(options, nullptr);
 }
 
 }  // namespace greencc::bench

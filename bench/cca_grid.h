@@ -3,12 +3,20 @@
 // The CCA x MTU measurement grid behind Figures 5-8: every congestion
 // control algorithm of the paper at MTUs {1500, 3000, 6000, 9000}, repeated
 // with distinct seeds, energies/FCTs reported as 50 GB equivalents.
+//
+// The sweep runs under the robust::SweepSupervisor: per-cell wall
+// deadlines and event budgets, retry-then-quarantine for throwing cells, a
+// crash-safe journal with --resume, and graceful SIGINT/SIGTERM. With all
+// supervision options at their defaults the behavior degrades to the bare
+// pool, except that a throwing cell quarantines (partial results) instead
+// of aborting the whole grid.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/efficiency.h"
+#include "robust/supervisor.h"
 #include "sim/time.h"
 
 namespace greencc::bench {
@@ -26,18 +34,52 @@ struct GridOptions {
   /// Figures 5-8 share one measurement grid. When non-empty, a finished
   /// grid is written here and an existing file with matching parameters is
   /// loaded instead of re-simulating (runs are deterministic per seed, so
-  /// the cache is exact). Delete the file to force a fresh run.
+  /// the cache is exact). The header carries a schema version and a config
+  /// hash; a cache written by an older binary or a different sweep config
+  /// is regenerated, never silently reused. Delete the file to force a
+  /// fresh run. A partial sweep (quarantined/timed-out/interrupted cells)
+  /// is never cached.
   std::string cache_path = "cca_grid_cache.csv";
   /// When positive, every run carries an invariant auditor walking the
   /// topology at this sim-time cadence (the `audit` preset's sweep). The
   /// auditor does not touch the measured quantities — it only reads — so a
   /// clean audited grid is numerically identical to an unaudited one.
   sim::SimTime audit_interval = sim::SimTime::zero();
+
+  // --- supervision (robust::SweepSupervisor) ---
+  /// Wall-clock deadline per (cell, repeat) run; 0 = none. A cell cut by
+  /// the watchdog is reported timed_out, not aggregated.
+  double cell_deadline_sec = 0.0;
+  /// Simulator event budget per run; 0 = none. Catches scenarios that spin
+  /// without advancing wall time.
+  std::uint64_t event_budget = 0;
+  /// Attempts per run before quarantine (1 = no retries).
+  int max_attempts = 1;
+  /// Crash-safe journal of completed (cell, repeat) results; empty = off.
+  std::string journal_path;
+  /// Replay a matching journal and re-run only missing cells. Bit-identical
+  /// to an uninterrupted run: seeds derive from (base_seed, cell, repeat).
+  bool resume = false;
 };
+
+/// Parse the shared supervision flags every grid bench accepts —
+/// `--deadline SEC --event-budget N --retries K --journal FILE --resume` —
+/// into `options` (retries K means K extra attempts, so max_attempts is
+/// K + 1). `--resume` without `--journal` selects the default journal path
+/// "<cache stem>_journal.jsonl".
+void apply_supervisor_flags(int argc, char** argv, GridOptions& options);
 
 /// Runs the full grid and returns one cell per (CCA, MTU), with energy (J),
 /// power (W), FCT (s) and retransmissions scaled to the paper's 50 GB
 /// transfer size. Prints one progress line per cell to stderr.
+///
+/// With `report` non-null, the supervisor's health report (per-cell
+/// outcomes and wall times) is written there; callers should exit
+/// robust::kPartialResultsExit when !report->complete(). Cells whose every
+/// repeat failed carry zeros — the report, not the numbers, discloses the
+/// gap.
+std::vector<core::GridCell> run_cca_grid(const GridOptions& options,
+                                         robust::SweepReport* report);
 std::vector<core::GridCell> run_cca_grid(const GridOptions& options);
 
 }  // namespace greencc::bench

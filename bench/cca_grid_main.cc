@@ -3,17 +3,28 @@
 // row per cell. Output is deterministic: for a fixed (bytes, repeats, seed)
 // the CSV is byte-identical whatever the thread count.
 //
-//   cca_grid --jobs 8 --repeats 3 --csv grid.csv --cache ""
+// The sweep runs supervised: `--deadline SEC` and `--event-budget N` bound
+// each run, `--retries K` re-attempts throwing cells before quarantine,
+// `--journal FILE` appends each finished run crash-safely and `--resume`
+// replays it, re-running only what is missing. SIGINT/SIGTERM stop
+// dispatch, flush the journal and exit 75 (partial results) instead of
+// dying mid-write.
+//
+//   cca_grid --jobs 8 --repeats 3 --csv grid.csv --cache "" \
+//            --journal grid_journal.jsonl --deadline 120 --retries 2
 
 #include <cstdio>
 #include <fstream>
 
 #include "cca_grid.h"
 #include "common.h"
+#include "robust/shutdown.h"
 
 using namespace greencc;
 
 int main(int argc, char** argv) {
+  robust::install_shutdown_handler();
+
   bench::GridOptions options;
   options.bytes = bench::flag_i64(argc, argv, "--bytes", bench::kDefaultBytes);
   options.repeats =
@@ -34,6 +45,7 @@ int main(int argc, char** argv) {
   if (const std::int64_t mtu = bench::flag_i64(argc, argv, "--mtu", 0); mtu) {
     options.mtus = {static_cast<int>(mtu)};
   }
+  bench::apply_supervisor_flags(argc, argv, options);
   const std::string csv_path =
       bench::flag_str(argc, argv, "--csv", "cca_grid.csv");
 
@@ -41,7 +53,9 @@ int main(int argc, char** argv) {
       "CCA x MTU measurement grid (shared by Figures 5-8)",
       "energy, power, FCT and retransmissions per cell, 50 GB-equivalent");
 
-  const auto cells = bench::run_cca_grid(options);
+  robust::SweepReport report;
+  const auto cells = bench::run_cca_grid(options, &report);
+  std::fprintf(stderr, "  %s\n", report.summary().c_str());
 
   std::ofstream out(csv_path);
   if (!out) {
@@ -58,5 +72,5 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %zu cells to %s (jobs=%d)\n", cells.size(),
               csv_path.c_str(), options.jobs);
-  return 0;
+  return report.complete() ? 0 : robust::kPartialResultsExit;
 }

@@ -9,26 +9,37 @@
 //
 //   ext_energy_under_loss [--bytes N] [--repeats K] [--jobs N]
 //                         [--seed S] [--csv FILE] [--audit]
+//                         [--deadline SEC] [--event-budget N] [--retries K]
+//                         [--journal FILE] [--resume]
 //
 // One row per (loss rate, CCA): J/GB, goodput, retransmissions, FCT. The
 // CSV is byte-identical for any --jobs value (per-(cell,repeat) derived
-// seeds, serial aggregation), which the determinism suite asserts.
+// seeds, serial aggregation), which the determinism suite asserts. The
+// sweep runs under the robust::SweepSupervisor — this is the supervised
+// impaired sweep the audit and tsan presets exercise.
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "app/parallel_runner.h"
 #include "app/scenario.h"
 #include "common.h"
+#include "robust/journal.h"
+#include "robust/shutdown.h"
+#include "robust/supervisor.h"
 #include "stats/stats.h"
 #include "stats/table.h"
 
 using namespace greencc;
 
 int main(int argc, char** argv) {
+  robust::install_shutdown_handler();
+
   // Loss stretches FCTs ~10x at the high end; a modest default transfer
   // keeps the full sweep minutes, not hours. --bytes scales it back up.
   const std::int64_t bytes =
@@ -61,21 +72,44 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::size_t>(std::max(repeats, 1));
   const std::size_t total = specs.size() * reps;
   std::vector<app::ScenarioResult> runs(total);
+  std::vector<char> present(total, 0);
 
-  app::ParallelRunner pool(
-      jobs, [&specs, reps](std::size_t done, std::size_t n, std::size_t index,
-                           double secs) {
-        const CellSpec& spec = specs[index / reps];
-        std::fprintf(stderr,
-                     "  loss-sweep: [%3zu/%zu] loss=%-7g %-9s rep=%zu"
-                     "  %6.2fs\n",
-                     done, n, spec.loss, spec.cca.c_str(), index % reps, secs);
-      });
-  pool.for_each_index(total, [&](std::size_t t) {
+  // Binds the journal to everything that can change the numbers (`jobs`
+  // and the supervision knobs deliberately excluded).
+  std::ostringstream canon;
+  canon << "loss-sweep bytes=" << bytes << " repeats=" << repeats
+        << " seed=" << base_seed << " cells=";
+  for (const auto& spec : specs) canon << spec.loss << ":" << spec.cca << ",";
+
+  robust::SupervisorOptions sup;
+  sup.jobs = jobs;
+  sup.max_attempts =
+      static_cast<int>(bench::flag_i64(argc, argv, "--retries", 0)) + 1;
+  sup.cell_deadline_sec = bench::flag_double(argc, argv, "--deadline", 0.0);
+  sup.event_budget = static_cast<std::uint64_t>(
+      bench::flag_i64(argc, argv, "--event-budget", 0));
+  sup.journal_path = bench::flag_str(argc, argv, "--journal", "");
+  sup.config_hash = robust::fnv1a64(canon.str());
+  sup.resume = bench::flag_set(argc, argv, "--resume");
+  if (sup.resume && sup.journal_path.empty()) {
+    sup.journal_path = "ext_energy_under_loss_journal.jsonl";
+  }
+  sup.progress = [&specs, reps](std::size_t done, std::size_t n,
+                                std::size_t index, double secs) {
+    const CellSpec& spec = specs[index / reps];
+    std::fprintf(stderr,
+                 "  loss-sweep: [%3zu/%zu] loss=%-7g %-9s rep=%zu"
+                 "  %6.2fs\n",
+                 done, n, spec.loss, spec.cca.c_str(), index % reps, secs);
+  };
+
+  robust::CellHooks hooks;
+  hooks.run = [&](std::size_t t, robust::CellContext& ctx) -> std::string {
     const std::size_t cell = t / reps;
     const std::size_t rep = t % reps;
     app::ScenarioConfig config;
     config.seed = app::derive_seed(base_seed, cell, rep);
+    ctx.set_seed(config.seed);
     if (audit) config.audit_interval = sim::SimTime::milliseconds(10);
     config.faults.impair.loss_rate = specs[cell].loss;
     config.faults.install = true;  // stage present even at loss 0
@@ -89,17 +123,64 @@ int main(int argc, char** argv) {
     // column monotone in the loss rate.
     flow.rate_limit_bps = 9e9;
     scenario.add_flow(flow);
-    runs[t] = scenario.run();
-  });
+    auto watch = ctx.watch(scenario.simulator());
+    app::ScenarioResult result = scenario.run();
+    if (ctx.cut() || result.stop_reason == "stopped" ||
+        result.stop_reason == "budget_exhausted") {
+      return {};  // truncated run: neither published nor journaled
+    }
+    // %.17g round-trips doubles exactly: a resumed sweep aggregates
+    // bit-identical values to an uninterrupted one.
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "%.17g %.17g %.17g %" PRId64 " %" PRId64 " %d",
+                  result.total_joules, result.flows[0].avg_gbps,
+                  result.flows[0].fct_sec, result.flows[0].delivered_bytes,
+                  result.flows[0].retransmissions,
+                  result.all_completed ? 1 : 0);
+    runs[t] = std::move(result);
+    present[t] = 1;
+    return buf;
+  };
+  hooks.restore = [&](std::size_t t, const std::string& payload) {
+    double joules = 0.0, gbps = 0.0, fct = 0.0;
+    long long delivered = 0, retx = 0;
+    int completed = 0;
+    if (std::sscanf(payload.c_str(), "%lg %lg %lg %lld %lld %d", &joules,
+                    &gbps, &fct, &delivered, &retx, &completed) != 6) {
+      return;  // malformed: cell stays absent and is not aggregated
+    }
+    app::ScenarioResult run;
+    run.total_joules = joules;
+    run.flows.resize(1);
+    run.flows[0].avg_gbps = gbps;
+    run.flows[0].fct_sec = fct;
+    run.flows[0].delivered_bytes = delivered;
+    run.flows[0].retransmissions = retx;
+    run.all_completed = completed != 0;
+    runs[t] = std::move(run);
+    present[t] = 1;
+  };
+
+  robust::SweepSupervisor supervisor(std::move(sup));
+  const robust::SweepReport report = supervisor.run(total, hooks);
+  std::fprintf(stderr, "  %s\n", report.summary().c_str());
 
   // Serial aggregation in cell order: byte-identical for any --jobs value.
+  // Absent repeats (cut/quarantined/not-run) are skipped; the health line
+  // above discloses them.
   stats::Table table({"loss", "cca", "J/GB", "sd", "goodput[Gbps]", "retx",
                       "fct[s]", "completed"});
   for (std::size_t c = 0; c < specs.size(); ++c) {
     stats::Summary jpgb, gbps, retxs, fct;
     bool all_done = true;
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      const auto& run = runs[c * reps + rep];
+      const std::size_t t = c * reps + rep;
+      if (!present[t]) {
+        all_done = false;
+        continue;
+      }
+      const auto& run = runs[t];
       all_done &= run.all_completed;
       const double gb = static_cast<double>(run.flows[0].delivered_bytes) / 1e9;
       jpgb.add(gb > 0 ? run.total_joules / gb : 0.0);
@@ -123,5 +204,5 @@ int main(int argc, char** argv) {
       "bottleneck's injected i.i.d. drop rate. Loss-based CCAs pay for "
       "every spurious cut with idle watts; model-based ones mostly "
       "don't.)\n");
-  return 0;
+  return report.complete() ? 0 : robust::kPartialResultsExit;
 }

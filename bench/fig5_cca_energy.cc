@@ -10,11 +10,13 @@
 #include "cca_grid.h"
 #include "common.h"
 #include "core/efficiency.h"
+#include "robust/shutdown.h"
 #include "stats/table.h"
 
 using namespace greencc;
 
 int main(int argc, char** argv) {
+  robust::install_shutdown_handler();
   bench::GridOptions options;
   options.bytes = bench::flag_i64(argc, argv, "--bytes", bench::kDefaultBytes);
   options.repeats =
@@ -22,13 +24,16 @@ int main(int argc, char** argv) {
   options.jobs = bench::flag_jobs(argc, argv);
   options.cache_path =
       bench::flag_str(argc, argv, "--cache", options.cache_path);
+  bench::apply_supervisor_flags(argc, argv, options);
 
   bench::print_header(
       "Figure 5 — energy per CCA and MTU (50 GB-equivalent transfers)",
       "all CCAs except BBR2 use 8.2-14.2% less energy than the constant-cwnd "
       "baseline; BBR vs BBR2 differ ~40%; larger MTUs save 13.4-31.9%");
 
-  const auto cells = bench::run_cca_grid(options);
+  robust::SweepReport health;
+  const auto cells = bench::run_cca_grid(options, &health);
+  std::fprintf(stderr, "  %s\n", health.summary().c_str());
   core::EfficiencyReport report;
   for (const auto& cell : cells) report.add(cell);
 
@@ -78,5 +83,5 @@ int main(int argc, char** argv) {
     std::printf("  %-10s %5.1f%%\n", name.c_str(),
                 100.0 * report.mtu_savings(name));
   }
-  return 0;
+  return health.complete() ? 0 : robust::kPartialResultsExit;
 }

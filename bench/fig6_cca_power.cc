@@ -11,11 +11,13 @@
 #include "cca_grid.h"
 #include "common.h"
 #include "core/efficiency.h"
+#include "robust/shutdown.h"
 #include "stats/table.h"
 
 using namespace greencc;
 
 int main(int argc, char** argv) {
+  robust::install_shutdown_handler();
   bench::GridOptions options;
   options.bytes = bench::flag_i64(argc, argv, "--bytes", bench::kDefaultBytes);
   options.repeats =
@@ -23,13 +25,16 @@ int main(int argc, char** argv) {
   options.jobs = bench::flag_jobs(argc, argv);
   options.cache_path =
       bench::flag_str(argc, argv, "--cache", options.cache_path);
+  bench::apply_supervisor_flags(argc, argv, options);
 
   bench::print_header(
       "Figure 6 — average power per CCA and MTU",
       "power ordering nearly inverts the energy ordering: "
       "corr(energy, power) ~ -0.8");
 
-  const auto cells = bench::run_cca_grid(options);
+  robust::SweepReport health;
+  const auto cells = bench::run_cca_grid(options, &health);
+  std::fprintf(stderr, "  %s\n", health.summary().c_str());
   core::EfficiencyReport report;
   for (const auto& cell : cells) report.add(cell);
 
@@ -69,5 +74,5 @@ int main(int argc, char** argv) {
   }
   std::printf("power spread across CCAs at MTU 1500: %.1f%% "
               "(paper: ~14%%)\n", 100.0 * (hi - lo) / hi);
-  return 0;
+  return health.complete() ? 0 : robust::kPartialResultsExit;
 }

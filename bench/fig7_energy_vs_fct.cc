@@ -12,12 +12,14 @@
 #include "cca_grid.h"
 #include "common.h"
 #include "core/efficiency.h"
+#include "robust/shutdown.h"
 #include "stats/stats.h"
 #include "stats/table.h"
 
 using namespace greencc;
 
 int main(int argc, char** argv) {
+  robust::install_shutdown_handler();
   bench::GridOptions options;
   options.bytes = bench::flag_i64(argc, argv, "--bytes", bench::kDefaultBytes);
   options.repeats =
@@ -25,13 +27,16 @@ int main(int argc, char** argv) {
   options.jobs = bench::flag_jobs(argc, argv);
   options.cache_path =
       bench::flag_str(argc, argv, "--cache", options.cache_path);
+  bench::apply_supervisor_flags(argc, argv, options);
 
   bench::print_header(
       "Figure 7 — energy vs. flow completion time (50 GB equivalents)",
       "energy is strongly correlated with FCT; MTU-1500 runs cluster at "
       "long FCT / high energy, jumbo-frame runs at short FCT / low energy");
 
-  auto cells = bench::run_cca_grid(options);
+  robust::SweepReport health;
+  auto cells = bench::run_cca_grid(options, &health);
+  std::fprintf(stderr, "  %s\n", health.summary().c_str());
   std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
     return a.fct_sec < b.fct_sec;
   });
@@ -58,5 +63,5 @@ int main(int argc, char** argv) {
   std::printf("clusters: MTU1500 mean FCT %.1f s vs larger MTUs %.1f s "
               "(paper: ~60-90 s vs ~45-57 s)\n",
               small_mtu.mean(), large_mtu.mean());
-  return 0;
+  return health.complete() ? 0 : robust::kPartialResultsExit;
 }

@@ -13,11 +13,13 @@
 #include "cca_grid.h"
 #include "common.h"
 #include "core/efficiency.h"
+#include "robust/shutdown.h"
 #include "stats/table.h"
 
 using namespace greencc;
 
 int main(int argc, char** argv) {
+  robust::install_shutdown_handler();
   bench::GridOptions options;
   options.bytes = bench::flag_i64(argc, argv, "--bytes", bench::kDefaultBytes);
   options.repeats =
@@ -25,13 +27,16 @@ int main(int argc, char** argv) {
   options.jobs = bench::flag_jobs(argc, argv);
   options.cache_path =
       bench::flag_str(argc, argv, "--cache", options.cache_path);
+  bench::apply_supervisor_flags(argc, argv, options);
 
   bench::print_header(
       "Figure 8 — energy vs. retransmissions (50 GB equivalents)",
       "corr(energy, retx) ~ 0.47 excluding BBR2; the baseline has by far "
       "the most retransmissions and above-average energy");
 
-  auto cells = bench::run_cca_grid(options);
+  robust::SweepReport health;
+  auto cells = bench::run_cca_grid(options, &health);
+  std::fprintf(stderr, "  %s\n", health.summary().c_str());
   std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
     return a.retransmissions < b.retransmissions;
   });
@@ -68,5 +73,5 @@ int main(int argc, char** argv) {
   }
   std::printf("baseline has the most retransmissions at every MTU: %s\n",
               baseline_max ? "PASS" : "FAIL");
-  return 0;
+  return health.complete() ? 0 : robust::kPartialResultsExit;
 }

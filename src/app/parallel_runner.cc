@@ -5,6 +5,8 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -62,14 +64,43 @@ ParallelRunner::ParallelRunner(int jobs, ProgressFn progress)
   }
 }
 
+namespace {
+
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
 void ParallelRunner::for_each_index(
     std::size_t n, const std::function<void(std::size_t)>& task) const {
-  if (n == 0) return;
+  auto failures = for_each_index_collect(n, task);
+  if (failures.empty()) return;
+  if (failures.size() == 1) std::rethrow_exception(failures.front().error);
+  std::string message = std::to_string(failures.size()) + " of " +
+                        std::to_string(n) + " tasks failed:";
+  for (const auto& failure : failures) {
+    message += " [" + std::to_string(failure.index) + "] " + failure.message +
+               ";";
+  }
+  message.pop_back();
+  throw std::runtime_error(message);
+}
+
+std::vector<TaskFailure> ParallelRunner::for_each_index_collect(
+    std::size_t n, const std::function<void(std::size_t)>& task) const {
+  std::vector<TaskFailure> failures;
+  if (n == 0) return failures;
 
   std::atomic<std::size_t> completed{0};
   std::mutex progress_mu;
   std::mutex error_mu;
-  std::exception_ptr first_error;
 
   auto run_one = [&](std::size_t index) {
     // lint-allow: wall-clock (progress reporting only; never feeds results)
@@ -77,8 +108,9 @@ void ParallelRunner::for_each_index(
     try {
       task(index);
     } catch (...) {
+      auto error = std::current_exception();
       std::lock_guard<std::mutex> lock(error_mu);
-      if (!first_error) first_error = std::current_exception();
+      failures.push_back(TaskFailure{index, describe(error), error});
     }
     const std::size_t done = completed.fetch_add(1) + 1;
     if (progress_) {
@@ -91,11 +123,20 @@ void ParallelRunner::for_each_index(
     }
   };
 
+  // Failures are sorted by index before returning, so the report reads in
+  // task order whatever the completion order was.
+  auto sorted = [&failures] {
+    std::sort(failures.begin(), failures.end(),
+              [](const TaskFailure& a, const TaskFailure& b) {
+                return a.index < b.index;
+              });
+    return std::move(failures);
+  };
+
   const auto workers = std::min(static_cast<std::size_t>(jobs_), n);
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) run_one(i);
-    if (first_error) std::rethrow_exception(first_error);
-    return;
+    return sorted();
   }
 
   // Worker w starts owning the contiguous slice [w*n/W, (w+1)*n/W).
@@ -128,7 +169,7 @@ void ParallelRunner::for_each_index(
   threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker_loop, w);
   for (auto& thread : threads) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
+  return sorted();
 }
 
 }  // namespace greencc::app

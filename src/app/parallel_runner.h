@@ -2,7 +2,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace greencc::app {
 
@@ -24,6 +27,15 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t cell_index,
 /// print to stderr without further locking.
 using ProgressFn =
     std::function<void(std::size_t, std::size_t, std::size_t, double)>;
+
+/// One task's failure, as collected by for_each_index_collect: the index
+/// it ran as, the exception text, and the original exception for callers
+/// that need to rethrow it.
+struct TaskFailure {
+  std::size_t index = 0;
+  std::string message;
+  std::exception_ptr error;
+};
 
 /// A small work-stealing thread pool for embarrassingly parallel experiment
 /// sweeps (repeat loops, CCA x MTU grids).
@@ -48,10 +60,20 @@ class ParallelRunner {
   int jobs() const { return jobs_; }
 
   /// Run task(i) for every i in [0, n); blocks until all tasks completed.
-  /// The first exception thrown by any task is rethrown on the calling
-  /// thread after the remaining tasks finish.
+  /// Failures no longer vanish: a single failing task rethrows its
+  /// original exception after the pool drains; multiple failures throw a
+  /// std::runtime_error aggregating every task's index and message (in
+  /// index order), so a sweep's second and third crashes are never
+  /// silently discarded behind the first.
   void for_each_index(std::size_t n,
                       const std::function<void(std::size_t)>& task) const;
+
+  /// Like for_each_index, but never throws for task failures: every task
+  /// runs and every failure is returned (index-ordered; empty means all
+  /// succeeded). The sweep supervisor consumes this full list; bare-pool
+  /// callers get the aggregated throw above.
+  std::vector<TaskFailure> for_each_index_collect(
+      std::size_t n, const std::function<void(std::size_t)>& task) const;
 
  private:
   int jobs_;

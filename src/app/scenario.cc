@@ -505,6 +505,21 @@ ScenarioResult Scenario::run() {
                 result.profile.wall_seconds
           : 0.0;
   result.all_completed = completed_flows_ == static_cast<int>(flows_.size());
+  // Outcome taxonomy for the sweep supervisor (and anyone else reading a
+  // partial run): normal completion also calls sim_.stop(), so it must be
+  // classified first; an external stop only shows once completion is ruled
+  // out. The end-of-run audit above ran in every case — a cut cell still
+  // has its books checked, so a quarantined cell cannot silently hide an
+  // unbalanced packet ledger.
+  if (result.all_completed) {
+    result.stop_reason = "completed";
+  } else if (sim_.budget_exhausted()) {
+    result.stop_reason = "budget_exhausted";
+  } else if (sim_.stop_requested()) {
+    result.stop_reason = "stopped";
+  } else {
+    result.stop_reason = "deadline";
+  }
   const sim::SimTime end =
       result.all_completed ? last_completion_ : sim_.now();
   result.duration_sec = (end - experiment_start_).sec();

@@ -165,6 +165,13 @@ struct ScenarioResult {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   /// Simulator execution profile of this run.
   RunProfile profile;
+  /// Why the run ended: "completed" (every flow finished), "deadline"
+  /// (sim-time deadline hit first), "stopped" (Simulator::stop() from
+  /// outside — the supervisor watchdog's wall-deadline cut), or
+  /// "budget_exhausted" (the Simulator event budget ran out). Anything but
+  /// "completed" means the measurements cover a truncated run; the sweep
+  /// supervisor never journals or aggregates such cells.
+  std::string stop_reason = "completed";
 };
 
 /// Builds and runs the paper's testbed: N sender hosts with bonded NICs, a

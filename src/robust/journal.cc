@@ -1,0 +1,162 @@
+#include "robust/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/json.h"
+
+namespace greencc::robust {
+
+namespace {
+
+std::string header_line(std::uint64_t config_hash) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"journal\":\"greencc-sweep\",\"schema\":%d,"
+                "\"config\":\"%016llx\"}",
+                SweepJournal::kSchemaVersion,
+                static_cast<unsigned long long>(config_hash));
+  return buf;
+}
+
+/// Inverse of stats::JsonWriter::escape for the subset it emits. Returns
+/// false on malformed input (a torn line).
+bool unescape(std::string_view in, std::string& out) {
+  out.clear();
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '\\') {
+      out += in[i];
+      continue;
+    }
+    if (++i >= in.size()) return false;
+    switch (in[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'u': {
+        if (i + 4 >= in.size()) return false;
+        unsigned code = 0;
+        for (int k = 1; k <= 4; ++k) {
+          const char c = in[i + k];
+          code <<= 4;
+          if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+          else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+          else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+          else return false;
+        }
+        if (code > 0xFF) return false;  // the writer only escapes controls
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return true;
+}
+
+/// Parse one `{"task":N,"payload":"..."}` line. A crash can only tear the
+/// final line, but the parser rejects any malformed one.
+bool parse_entry(const std::string& line, std::size_t& task,
+                 std::string& payload) {
+  constexpr std::string_view kTask = "{\"task\":";
+  constexpr std::string_view kPayload = ",\"payload\":\"";
+  if (line.rfind(kTask, 0) != 0) return false;
+  std::size_t pos = kTask.size();
+  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') return false;
+  task = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    task = task * 10 + static_cast<std::size_t>(line[pos++] - '0');
+  }
+  if (line.compare(pos, kPayload.size(), kPayload) != 0) return false;
+  pos += kPayload.size();
+  // Find the closing unescaped quote; the line must end exactly with "}.
+  std::size_t end = pos;
+  while (end < line.size() && line[end] != '"') {
+    end += line[end] == '\\' ? 2 : 1;
+  }
+  if (end >= line.size() || line.compare(end, 2, "\"}") != 0 ||
+      end + 2 != line.size()) {
+    return false;
+  }
+  return unescape(std::string_view(line).substr(pos, end - pos), payload);
+}
+
+}  // namespace
+
+std::map<std::size_t, std::string> SweepJournal::load(
+    const std::string& path, std::uint64_t config_hash) {
+  std::map<std::size_t, std::string> entries;
+  std::ifstream in(path);
+  if (!in) return entries;
+  std::string line;
+  if (!std::getline(in, line) || line != header_line(config_hash)) {
+    return entries;  // stale schema or different sweep config: ignore all
+  }
+  // Read the rest wholesale so a file without a trailing newline (torn
+  // final write) still splits the same way getline would.
+  std::string payload;
+  while (std::getline(in, line)) {
+    std::size_t task = 0;
+    if (parse_entry(line, task, payload)) entries[task] = payload;
+  }
+  return entries;
+}
+
+SweepJournal::SweepJournal(std::string path, std::uint64_t config_hash,
+                           bool preserve)
+    : path_(std::move(path)) {
+  bool append_existing = false;
+  if (preserve) {
+    // Keep completed lines only when the header proves they belong to this
+    // exact sweep; anything else is regenerated from scratch.
+    std::ifstream in(path_);
+    std::string first;
+    append_existing =
+        in && std::getline(in, first) && first == header_line(config_hash);
+  }
+  const int flags =
+      O_WRONLY | O_CREAT | (append_existing ? O_APPEND : O_TRUNC);
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("SweepJournal: cannot open " + path_);
+  }
+  if (!append_existing) {
+    const std::string header = header_line(config_hash) + "\n";
+    if (::write(fd_, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size())) {
+      throw std::runtime_error("SweepJournal: cannot write header to " +
+                               path_);
+    }
+    ::fsync(fd_);
+  }
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+void SweepJournal::append(std::size_t task, const std::string& payload) {
+  std::string line = "{\"task\":" + std::to_string(task) + ",\"payload\":\"" +
+                     stats::JsonWriter::escape(payload) + "\"}\n";
+  // One write(2) per line (O_APPEND appends are atomic at this size), then
+  // fsync so a completed cell survives power loss, not just a process kill.
+  if (::write(fd_, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    throw std::runtime_error("SweepJournal: short write to " + path_);
+  }
+  ::fsync(fd_);
+}
+
+}  // namespace greencc::robust

@@ -1,0 +1,51 @@
+#include "robust/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace greencc::robust {
+
+namespace {
+
+std::atomic<int> g_shutdown_signal{0};
+
+// Async-signal-safe: only atomics and sigaction-family calls. On the
+// second delivery of the same signal the default disposition is restored
+// and the signal re-raised, so an operator's second Ctrl-C kills a process
+// whose graceful path is itself stuck.
+void on_signal(int sig) {
+  int expected = 0;
+  if (!g_shutdown_signal.compare_exchange_strong(expected, sig)) {
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking reads promptly
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int shutdown_signal() {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+void request_shutdown(int sig) {
+  int expected = 0;
+  g_shutdown_signal.compare_exchange_strong(expected, sig);
+}
+
+void reset_shutdown_for_test() { g_shutdown_signal.store(0); }
+
+}  // namespace greencc::robust

@@ -1,0 +1,39 @@
+#pragma once
+
+// Graceful-shutdown plumbing for long sweeps: a SIGINT/SIGTERM handler that
+// flips one process-wide atomic flag. The SweepSupervisor polls it — it
+// stops dispatching new cells, budget-cuts in-flight ones, flushes the
+// journal and returns a partial report — and the driving tool exits with
+// kPartialResultsExit so scripts can distinguish "rerun with --resume"
+// from a hard failure. A second signal restores the default disposition,
+// so a second Ctrl-C still force-kills a wedged process.
+
+namespace greencc::robust {
+
+/// Exit status of a tool whose sweep finished with partial results
+/// (quarantined / timed-out cells, or an interrupting signal). 75 is
+/// sysexits.h EX_TEMPFAIL — "temporary failure, retrying may succeed",
+/// which is exactly what `--resume` offers. Distinct from 0 (complete),
+/// 1 (hard error) and 2 (usage).
+constexpr int kPartialResultsExit = 75;
+
+/// Install the SIGINT/SIGTERM handler (idempotent; call once from main
+/// before starting a sweep). Without this, signals keep their default
+/// kill-the-process behavior and shutdown_requested() never fires.
+void install_shutdown_handler();
+
+/// True once SIGINT/SIGTERM was delivered (or request_shutdown() called).
+bool shutdown_requested();
+
+/// The signal number that triggered shutdown, or 0 when none.
+int shutdown_signal();
+
+/// Programmatic trigger with the same effect as receiving `sig` — the test
+/// hook for the supervisor's shutdown path, and usable by embedders that
+/// manage signals themselves.
+void request_shutdown(int sig);
+
+/// Clear the flag (tests only; real shutdowns are one-way).
+void reset_shutdown_for_test();
+
+}  // namespace greencc::robust

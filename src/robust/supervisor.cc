@@ -1,0 +1,379 @@
+#include "robust/supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "robust/journal.h"
+#include "robust/shutdown.h"
+#include "stats/json.h"
+
+namespace greencc::robust {
+
+namespace {
+
+constexpr std::string_view kSupervisorSrc = "supervisor";
+
+/// Watchdog poll cadence: the deadline-enforcement granularity. Cheap —
+/// the thread scans a handful of pointers per tick — and fine-grained
+/// enough that a 1 s cell deadline means "about a second".
+constexpr std::chrono::milliseconds kWatchdogTick{20};
+
+std::string describe_exception(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+std::string_view outcome_name(CellOutcome outcome) {
+  switch (outcome) {
+    case CellOutcome::kOk: return "ok";
+    case CellOutcome::kRetried: return "retried";
+    case CellOutcome::kTimedOut: return "timed_out";
+    case CellOutcome::kQuarantined: return "quarantined";
+    case CellOutcome::kResumed: return "resumed";
+    case CellOutcome::kNotRun: return "not_run";
+  }
+  return "unknown";
+}
+
+std::size_t SweepReport::count(CellOutcome outcome) const {
+  std::size_t n = 0;
+  for (const auto& cell : cells) {
+    if (cell.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+std::vector<const CellRecord*> SweepReport::quarantine() const {
+  std::vector<const CellRecord*> failed;
+  for (const auto& cell : cells) {
+    if (cell.outcome == CellOutcome::kTimedOut ||
+        cell.outcome == CellOutcome::kQuarantined) {
+      failed.push_back(&cell);
+    }
+  }
+  return failed;
+}
+
+bool SweepReport::complete() const {
+  if (interrupted) return false;
+  for (const auto& cell : cells) {
+    if (cell.outcome == CellOutcome::kTimedOut ||
+        cell.outcome == CellOutcome::kQuarantined ||
+        cell.outcome == CellOutcome::kNotRun) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string SweepReport::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "supervisor: ok=%zu retried=%zu timed_out=%zu "
+                "quarantined=%zu resumed=%zu not_run=%zu%s",
+                count(CellOutcome::kOk), count(CellOutcome::kRetried),
+                count(CellOutcome::kTimedOut),
+                count(CellOutcome::kQuarantined),
+                count(CellOutcome::kResumed), count(CellOutcome::kNotRun),
+                interrupted ? " (interrupted)" : "");
+  return buf;
+}
+
+void SweepReport::write_json(stats::JsonWriter& json) const {
+  json.begin_object();
+  json.field("ok", static_cast<std::int64_t>(count(CellOutcome::kOk)));
+  json.field("retried",
+             static_cast<std::int64_t>(count(CellOutcome::kRetried)));
+  json.field("timed_out",
+             static_cast<std::int64_t>(count(CellOutcome::kTimedOut)));
+  json.field("quarantined",
+             static_cast<std::int64_t>(count(CellOutcome::kQuarantined)));
+  json.field("resumed",
+             static_cast<std::int64_t>(count(CellOutcome::kResumed)));
+  json.field("not_run",
+             static_cast<std::int64_t>(count(CellOutcome::kNotRun)));
+  json.field("interrupted", interrupted);
+  json.key("cells").begin_array();
+  for (const auto& cell : cells) {
+    // Per-cell wall time for every executed cell; full failure records
+    // (seed, error, events) for the quarantine list.
+    if (cell.outcome == CellOutcome::kResumed) continue;
+    json.begin_object();
+    json.field("index", static_cast<std::int64_t>(cell.index));
+    json.field("outcome", std::string(outcome_name(cell.outcome)));
+    json.field("attempts", cell.attempts);
+    json.field("wall_sec", cell.wall_sec);
+    json.field("events_executed", cell.events_executed);
+    if (cell.outcome == CellOutcome::kTimedOut ||
+        cell.outcome == CellOutcome::kQuarantined) {
+      json.field("seed", cell.seed);
+      json.field("error", cell.error);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+double backoff_ms(int failed_attempts, double base_ms, double cap_ms) {
+  if (failed_attempts <= 0 || base_ms <= 0.0) return 0.0;
+  // Exponent is clamped before exp2 so huge attempt counts cannot
+  // overflow to inf; the cap governs anyway.
+  const double doublings = std::min(failed_attempts - 1, 40);
+  return std::min(base_ms * std::exp2(doublings), cap_ms);
+}
+
+// --- CellContext -----------------------------------------------------------
+
+CellContext::WatchGuard::WatchGuard(CellContext& ctx, sim::Simulator& sim)
+    : ctx_(ctx) {
+  if (ctx_.owner_.options_.event_budget != 0) {
+    sim.set_event_budget(ctx_.owner_.options_.event_budget);
+  }
+  std::lock_guard<std::mutex> lock(ctx_.mu_);
+  ctx_.sim_ = &sim;
+  // lint-allow: wall-clock (watchdog deadline; never feeds sim results)
+  ctx_.started_ = std::chrono::steady_clock::now();
+}
+
+CellContext::WatchGuard::~WatchGuard() {
+  std::lock_guard<std::mutex> lock(ctx_.mu_);
+  if (ctx_.sim_ != nullptr) {
+    // Snapshot while the simulator is still alive: the supervisor reads
+    // these after the task returns, when the scenario is long destroyed.
+    ctx_.events_ = ctx_.sim_->events_executed();
+    ctx_.budget_exhausted_ = ctx_.sim_->budget_exhausted();
+    ctx_.sim_ = nullptr;
+  }
+}
+
+void CellContext::set_seed(std::uint64_t seed) { seed_ = seed; }
+
+bool CellContext::cut() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cut_;
+}
+
+// --- SweepSupervisor -------------------------------------------------------
+
+SweepSupervisor::SweepSupervisor(SupervisorOptions options)
+    : options_(std::move(options)) {}
+
+SweepSupervisor::~SweepSupervisor() = default;
+
+void SweepSupervisor::register_context(CellContext* ctx) {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  active_.push_back(ctx);
+}
+
+void SweepSupervisor::deregister_context(CellContext* ctx) {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  active_.erase(std::remove(active_.begin(), active_.end(), ctx),
+                active_.end());
+}
+
+void SweepSupervisor::watchdog_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu_);
+      watchdog_cv_.wait_for(lock, kWatchdogTick,
+                            [this] { return watchdog_exit_; });
+      if (watchdog_exit_) return;
+    }
+    // lint-allow: wall-clock (watchdog deadline; never feeds sim results)
+    const auto now = std::chrono::steady_clock::now();
+    const bool shutdown = shutdown_requested();
+    std::lock_guard<std::mutex> lock(active_mu_);
+    for (CellContext* ctx : active_) {
+      std::lock_guard<std::mutex> ctx_lock(ctx->mu_);
+      if (ctx->sim_ == nullptr || ctx->cut_) continue;
+      const double elapsed =
+          std::chrono::duration<double>(now - ctx->started_).count();
+      if (shutdown || (options_.cell_deadline_sec > 0.0 &&
+                       elapsed > options_.cell_deadline_sec)) {
+        ctx->cut_ = true;
+        ctx->sim_->stop();  // atomic; the run loop exits after this event
+      }
+    }
+  }
+}
+
+void SweepSupervisor::emit(trace::EventClass cls, std::size_t index,
+                           double value, const std::string& detail) {
+  if (options_.trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace::Event event;
+  // lint-allow: wall-clock (supervisor events are wall-time stamped)
+  event.t = sim::SimTime::seconds(
+      std::chrono::duration<double>(
+          // lint-allow: wall-clock (supervisor events are wall-time stamped)
+          std::chrono::steady_clock::now() - sweep_start_)
+          .count());
+  event.cls = cls;
+  event.src = kSupervisorSrc;
+  event.seq = static_cast<std::int64_t>(index);
+  event.value = value;
+  event.detail = detail;
+  options_.trace->emit(event);
+}
+
+void SweepSupervisor::run_cell(std::size_t index, const CellHooks& hooks,
+                               CellRecord& record) {
+  const int max_attempts = std::max(options_.max_attempts, 1);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (shutdown_requested()) {
+      // Could be attempt 1 (never dispatched) or a retry abandoned by the
+      // shutdown — either way the cell has no result and resume re-runs it.
+      record.outcome = CellOutcome::kNotRun;
+      if (record.error.empty()) record.error = "interrupted by shutdown";
+      return;
+    }
+    record.attempts = attempt;
+    CellContext ctx(*this);
+    register_context(&ctx);
+    // lint-allow: wall-clock (per-cell wall time for the health report)
+    const auto started = std::chrono::steady_clock::now();
+    std::string payload;
+    std::exception_ptr error;
+    try {
+      payload = hooks.run(index, ctx);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    deregister_context(&ctx);
+    record.wall_sec =
+        std::chrono::duration<double>(
+            // lint-allow: wall-clock (per-cell wall time for health report)
+            std::chrono::steady_clock::now() - started)
+            .count();
+    record.events_executed = ctx.events_;
+    record.seed = ctx.seed_;
+
+    if (!error) {
+      if (ctx.cut()) {
+        if (shutdown_requested()) {
+          record.outcome = CellOutcome::kNotRun;
+          record.error = "interrupted by shutdown";
+        } else {
+          record.outcome = CellOutcome::kTimedOut;
+          char buf[128];
+          std::snprintf(buf, sizeof(buf),
+                        "wall deadline (%.3fs) exceeded after %.3fs",
+                        options_.cell_deadline_sec, record.wall_sec);
+          record.error = buf;
+          emit(trace::EventClass::kSupervisorTimeout, index, record.wall_sec,
+               record.error);
+        }
+        return;  // deterministic sim: retrying would stall again
+      }
+      if (ctx.budget_exhausted_) {
+        record.outcome = CellOutcome::kTimedOut;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "event budget (%llu) exhausted after %llu events",
+                      static_cast<unsigned long long>(options_.event_budget),
+                      static_cast<unsigned long long>(record.events_executed));
+        record.error = buf;
+        emit(trace::EventClass::kSupervisorTimeout, index,
+             static_cast<double>(record.events_executed), record.error);
+        return;
+      }
+      record.outcome =
+          attempt > 1 ? CellOutcome::kRetried : CellOutcome::kOk;
+      record.error.clear();
+      if (journal_) {
+        std::lock_guard<std::mutex> lock(journal_mu_);
+        journal_->append(index, payload);
+      }
+      return;
+    }
+
+    record.error = describe_exception(error);
+    if (attempt == max_attempts) {
+      record.outcome = CellOutcome::kQuarantined;
+      emit(trace::EventClass::kSupervisorQuarantine, index,
+           static_cast<double>(attempt), record.error);
+      return;
+    }
+    emit(trace::EventClass::kSupervisorRetry, index,
+         static_cast<double>(attempt), record.error);
+    // Capped exponential backoff, sliced so a shutdown interrupts the
+    // sleep within one watchdog tick.
+    double remaining =
+        backoff_ms(attempt, options_.backoff_base_ms, options_.backoff_cap_ms);
+    while (remaining > 0.0 && !shutdown_requested()) {
+      const double slice = std::min(remaining, 20.0);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slice));
+      remaining -= slice;
+    }
+  }
+}
+
+SweepReport SweepSupervisor::run(std::size_t n, const CellHooks& hooks) {
+  SweepReport report;
+  report.cells.resize(n);
+  for (std::size_t i = 0; i < n; ++i) report.cells[i].index = i;
+  // lint-allow: wall-clock (timestamps supervisor trace events only)
+  sweep_start_ = std::chrono::steady_clock::now();
+
+  // Resume: replay the journal, restore completed cells, run the rest.
+  std::vector<char> done(n, 0);
+  if (options_.resume && !options_.journal_path.empty()) {
+    const auto entries =
+        SweepJournal::load(options_.journal_path, options_.config_hash);
+    for (const auto& [task, payload] : entries) {
+      if (task >= n) continue;
+      if (hooks.restore) hooks.restore(task, payload);
+      report.cells[task].outcome = CellOutcome::kResumed;
+      done[task] = 1;
+    }
+  }
+  if (!options_.journal_path.empty()) {
+    journal_ = std::make_unique<SweepJournal>(
+        options_.journal_path, options_.config_hash, options_.resume);
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!done[i]) pending.push_back(i);
+  }
+
+  watchdog_exit_ = false;
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+
+  app::ProgressFn progress;
+  if (options_.progress) {
+    progress = [this, &pending](std::size_t completed, std::size_t total,
+                                std::size_t pending_index, double secs) {
+      options_.progress(completed, total, pending[pending_index], secs);
+    };
+  }
+  app::ParallelRunner pool(options_.jobs, std::move(progress));
+  // run_cell never throws, so the pool's own failure path stays idle.
+  pool.for_each_index(pending.size(), [&](std::size_t j) {
+    run_cell(pending[j], hooks, report.cells[pending[j]]);
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_exit_ = true;
+  }
+  watchdog_cv_.notify_all();
+  watchdog_.join();
+
+  report.interrupted = shutdown_requested();
+  journal_.reset();  // final fsync + close: the journal is flushed on exit
+  return report;
+}
+
+}  // namespace greencc::robust

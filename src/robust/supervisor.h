@@ -1,0 +1,225 @@
+#pragma once
+
+// SweepSupervisor — a supervised, restartable experiment orchestrator
+// layered over app::ParallelRunner.
+//
+// The bare pool gives a grid sweep throughput; the supervisor gives it
+// survival. Every cell runs under:
+//
+//   watchdog     a wall-clock deadline enforced by a monitor thread that
+//                cuts a stalled cell via the (atomic) Simulator stop flag,
+//                combined with a Simulator event budget so a scenario that
+//                spins without advancing wall time still terminates;
+//   retry        throwing cells are re-attempted with capped exponential
+//                backoff, then quarantined after max_attempts with a
+//                structured failure record — the sweep completes and
+//                reports partial results instead of rethrowing the first
+//                exception and discarding every finished cell;
+//   journal      each completed cell's payload is append-fsync'd to a
+//                crash-safe JSONL journal (see journal.h); resume replays
+//                it and re-runs only missing cells, bit-identically
+//                because seeds derive from coordinates, never order;
+//   shutdown     SIGINT/SIGTERM (via shutdown.h) stops dispatch, cuts
+//                in-flight cells, flushes the journal, and surfaces
+//                `interrupted` so tools exit kPartialResultsExit.
+//
+// Retrying is deliberately limited to *throwing* cells: simulations are
+// deterministic, so a cell that hit its deadline or budget would stall
+// again — it is recorded as timed out (and listed in the quarantine
+// report) on the first attempt.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "app/parallel_runner.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace greencc::stats {
+class JsonWriter;
+}
+
+namespace greencc::robust {
+
+enum class CellOutcome : int {
+  kOk = 0,      ///< completed on the first attempt
+  kRetried,     ///< completed after at least one failed attempt
+  kTimedOut,    ///< cut by the watchdog (wall deadline or event budget)
+  kQuarantined, ///< threw on every attempt; structured record kept
+  kResumed,     ///< restored from the journal, not re-run
+  kNotRun,      ///< never completed: shutdown before/while it ran
+};
+
+std::string_view outcome_name(CellOutcome outcome);
+
+/// Per-cell entry of the sweep health report.
+struct CellRecord {
+  std::size_t index = 0;
+  CellOutcome outcome = CellOutcome::kOk;
+  int attempts = 0;
+  double wall_sec = 0.0;  ///< wall time of the final attempt
+  std::uint64_t events_executed = 0;  ///< simulator events of final attempt
+  std::uint64_t seed = 0;  ///< derived seed (CellContext::set_seed)
+  std::string error;       ///< last exception text / cut reason
+};
+
+/// The per-sweep health report: one record per cell plus the
+/// ok/retried/timed_out/quarantined tally surfaced in --json output.
+struct SweepReport {
+  std::vector<CellRecord> cells;  ///< index-ordered, one per task
+  bool interrupted = false;       ///< a shutdown signal stopped the sweep
+
+  std::size_t count(CellOutcome outcome) const;
+  /// Cells that terminally failed (timed out or quarantined) — the list a
+  /// partial grid must disclose next to its numbers.
+  std::vector<const CellRecord*> quarantine() const;
+  /// True when every cell completed (fresh or from the journal) and no
+  /// shutdown interrupted the sweep — the "exit 0" condition.
+  bool complete() const;
+  /// One line for stderr: "supervisor: ok=38 retried=1 ... (interrupted)".
+  std::string summary() const;
+  /// Emit the report as a JSON object (counts + quarantine records) into
+  /// an open writer; the caller supplies the surrounding key.
+  void write_json(stats::JsonWriter& json) const;
+};
+
+/// Capped exponential backoff before retry number `failed_attempts + 1`:
+/// base * 2^(failed_attempts - 1), clamped to cap. Pure, so the schedule
+/// is unit-testable without sleeping.
+double backoff_ms(int failed_attempts, double base_ms, double cap_ms);
+
+struct SupervisorOptions {
+  /// Worker threads (ParallelRunner semantics: 1 serial, <= 0 all cores).
+  int jobs = 1;
+  /// Attempts per cell before quarantine (>= 1; 1 = no retries).
+  int max_attempts = 1;
+  double backoff_base_ms = 10.0;
+  double backoff_cap_ms = 2000.0;
+  /// Wall-clock deadline per cell attempt; 0 = none. Enforced by the
+  /// watchdog thread, so granularity is its poll interval (~20 ms).
+  double cell_deadline_sec = 0.0;
+  /// Simulator event budget per cell attempt; 0 = none. Applied to every
+  /// simulator the cell registers via CellContext::watch.
+  std::uint64_t event_budget = 0;
+  /// Journal file; empty disables journaling (and resume).
+  std::string journal_path;
+  /// Binds journal lines to this sweep's configuration; a journal written
+  /// under a different hash (other flags, other binary schema) is ignored
+  /// and regenerated.
+  std::uint64_t config_hash = 0;
+  /// Replay a matching journal and skip completed cells.
+  bool resume = false;
+  /// Forwarded per-completed-cell progress callback (original task index).
+  app::ProgressFn progress;
+  /// Sweep-level sink for supervisor-* events (retry/timeout/quarantine).
+  /// Unlike scenario sinks this one is shared across workers; the
+  /// supervisor serializes emission internally. Event timestamps are wall
+  /// seconds since the sweep started (there is no sweep-global sim clock).
+  trace::TraceSink* trace = nullptr;
+};
+
+class SweepSupervisor;
+
+/// Handed to each cell attempt. The cell registers its simulator so the
+/// watchdog can cut it, and reports its derived seed for failure records.
+class CellContext {
+ public:
+  /// RAII registration: while alive, the watchdog may stop() the
+  /// simulator; the destructor snapshots events_executed / budget state
+  /// (while the simulator is still alive) and deregisters. Construct it
+  /// *after* the scenario so it is destroyed first.
+  class WatchGuard {
+   public:
+    WatchGuard(CellContext& ctx, sim::Simulator& sim);
+    ~WatchGuard();
+    WatchGuard(const WatchGuard&) = delete;
+    WatchGuard& operator=(const WatchGuard&) = delete;
+
+   private:
+    CellContext& ctx_;
+  };
+
+  WatchGuard watch(sim::Simulator& sim) { return WatchGuard(*this, sim); }
+
+  /// Record the cell's derived seed for the health report.
+  void set_seed(std::uint64_t seed);
+
+  /// True when the watchdog (deadline or shutdown) cut this attempt.
+  /// Usable from inside the task to skip publishing a truncated result.
+  bool cut() const;
+
+ private:
+  friend class SweepSupervisor;
+  explicit CellContext(SweepSupervisor& owner) : owner_(owner) {}
+
+  SweepSupervisor& owner_;
+  mutable std::mutex mu_;
+  sim::Simulator* sim_ = nullptr;                 // guarded by mu_
+  // lint-allow: wall-clock (watchdog deadline bookkeeping; guarded by mu_)
+  std::chrono::steady_clock::time_point started_;
+  bool cut_ = false;                              // guarded by mu_
+  bool budget_exhausted_ = false;  // snapshot, written by WatchGuard dtor
+  std::uint64_t events_ = 0;       // snapshot, written by WatchGuard dtor
+  std::uint64_t seed_ = 0;
+};
+
+/// The two integration points of a sweep. `run` executes cell `index` and
+/// returns the payload to journal (ignored for cut attempts); `restore`
+/// (optional) rebuilds the cell's in-memory result from a journaled
+/// payload on resume.
+struct CellHooks {
+  std::function<std::string(std::size_t index, CellContext& ctx)> run;
+  std::function<void(std::size_t index, const std::string& payload)> restore;
+};
+
+class SweepSupervisor {
+ public:
+  explicit SweepSupervisor(SupervisorOptions options);
+  ~SweepSupervisor();
+
+  SweepSupervisor(const SweepSupervisor&) = delete;
+  SweepSupervisor& operator=(const SweepSupervisor&) = delete;
+
+  /// Run cells [0, n) under supervision and return the health report.
+  /// Never throws for cell failures (that is the point); throws only for
+  /// supervisor-level errors (an unwritable journal).
+  SweepReport run(std::size_t n, const CellHooks& hooks);
+
+ private:
+  friend class CellContext;
+
+  void watchdog_loop();
+  void register_context(CellContext* ctx);
+  void deregister_context(CellContext* ctx);
+  void emit(trace::EventClass cls, std::size_t index, double value,
+            const std::string& detail);
+  void run_cell(std::size_t index, const CellHooks& hooks,
+                CellRecord& record);
+
+  SupervisorOptions options_;
+
+  std::mutex active_mu_;
+  std::vector<CellContext*> active_;
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_exit_ = false;
+  std::thread watchdog_;
+
+  std::mutex journal_mu_;
+  std::unique_ptr<class SweepJournal> journal_;
+
+  std::mutex trace_mu_;
+  // lint-allow: wall-clock (timestamps supervisor trace events only)
+  std::chrono::steady_clock::time_point sweep_start_;
+};
+
+}  // namespace greencc::robust

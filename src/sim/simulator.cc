@@ -34,17 +34,20 @@ bool Simulator::dispatch_next() {
 }
 
 void Simulator::run() {
-  stopped_ = false;
-  while (!stopped_ && dispatch_next()) {
+  stopped_.store(false, std::memory_order_relaxed);
+  while (!budget_exhausted() && !stop_requested() && dispatch_next()) {
   }
 }
 
 void Simulator::run_until(SimTime deadline) {
-  stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.top().when <= deadline) {
+  stopped_.store(false, std::memory_order_relaxed);
+  while (!budget_exhausted() && !stop_requested() && !queue_.empty() &&
+         queue_.top().when <= deadline) {
     dispatch_next();
   }
-  if (now_ < deadline && !stopped_) now_ = deadline;
+  if (now_ < deadline && !stop_requested() && !budget_exhausted()) {
+    now_ = deadline;
+  }
 }
 
 void Timer::arm(SimTime delay) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -43,8 +44,29 @@ class Simulator {
   /// still execute) or the queue drains.
   void run_until(SimTime deadline);
 
-  /// Abort the run loop after the current event returns.
-  void stop() { stopped_ = true; }
+  /// Abort the run loop after the current event returns. Safe to call from
+  /// another thread (the sweep supervisor's watchdog cutting a stalled
+  /// run): the flag is atomic and the loop re-reads it before every
+  /// dispatch. Everything else on this class stays single-threaded.
+  void stop() { stopped_.store(true, std::memory_order_relaxed); }
+
+  /// True once stop() has been requested and no run has started since.
+  /// (run()/run_until() clear the flag on entry, so after a run this
+  /// reports whether that run was cut short by stop().)
+  bool stop_requested() const {
+    return stopped_.load(std::memory_order_relaxed);
+  }
+
+  /// Cap the total number of events this simulator may execute (counted by
+  /// `events_executed()`, i.e. over the simulator's lifetime, not per run).
+  /// When the cap is reached, run()/run_until() return instead of spinning
+  /// forever on a pathological scenario, and `budget_exhausted()` reports
+  /// why. 0 (the default) means unlimited.
+  void set_event_budget(std::uint64_t budget) { event_budget_ = budget; }
+  std::uint64_t event_budget() const { return event_budget_; }
+  bool budget_exhausted() const {
+    return event_budget_ != 0 && events_executed_ >= event_budget_;
+  }
 
   /// Number of events executed so far (instrumentation / microbenchmarks).
   std::uint64_t events_executed() const { return events_executed_; }
@@ -75,8 +97,10 @@ class Simulator {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t event_budget_ = 0;  // 0 = unlimited
   std::size_t peak_pending_ = 0;
-  bool stopped_ = false;
+  // Atomic so a watchdog thread can cut a run; see stop().
+  std::atomic<bool> stopped_{false};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

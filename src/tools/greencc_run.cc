@@ -4,26 +4,40 @@
 //   greencc_run --cca cubic --mtu 9000 --bytes 2e9
 //   greencc_run --cca cubic,bbr,dctcp --flows 2 --schedule fsi --repeats 5
 //   greencc_run --schedule srpt --sizes 1e9,2.5e8,2.5e8 --json out.json
+//   greencc_run --cca cubic --repeats 10 --journal runs.jsonl --resume
 //   greencc_run --list-ccas
 //
 // Prints the paper-style measurement summary per run (energy, power, FCT,
 // retransmissions) and optionally a machine-readable JSON document.
+//
+// The (CCA x repeat) sweep runs under the robust::SweepSupervisor: a run
+// that throws is retried (--retries) then quarantined instead of aborting
+// the whole sweep, --deadline/--event-budget bound each run, --journal
+// persists finished runs crash-safely and --resume replays them. Partial
+// results exit 75.
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "app/runner.h"
+#include "app/parallel_runner.h"
+#include "app/scenario.h"
 #include "cca/cca.h"
 #include "core/scheduler.h"
 #include "fault/plan.h"
+#include "robust/journal.h"
+#include "robust/shutdown.h"
+#include "robust/supervisor.h"
 #include "stats/json.h"
+#include "stats/stats.h"
 #include "stats/table.h"
 #include "trace/trace.h"
 
@@ -52,6 +66,11 @@ struct Options {
   trace::ClassMask trace_mask = trace::kAllClasses;
   bool audit = false;
   bool counters = false;
+  double deadline_sec = 0.0;
+  std::uint64_t event_budget = 0;
+  int retries = 0;
+  std::string journal_path;
+  bool resume = false;
   bool list_ccas = false;
   bool help = false;
 };
@@ -74,19 +93,35 @@ void print_usage() {
       "derived\n"
       "                       from (seed, cca index, repeat)\n"
       "  --seed S             base RNG seed (default 1)\n"
-      "  --jobs N             worker threads for the repeats (default 1; "
+      "  --jobs N             worker threads for the sweep (default 1; "
       "0 = all\n"
       "                       cores); results identical for any N\n"
       "  --progress           print one wall-clock line per finished run\n"
+      "  --deadline SEC       wall-clock watchdog per run (0 = none); a cut\n"
+      "                       run is reported timed_out, not aggregated\n"
+      "  --event-budget N     simulator event budget per run (0 = none)\n"
+      "  --retries K          re-attempt a throwing run K times (capped\n"
+      "                       exponential backoff) before quarantining it\n"
+      "  --journal FILE       crash-safe journal of finished runs (JSONL,\n"
+      "                       fsync per line)\n"
+      "  --resume             replay a matching journal, re-run only what\n"
+      "                       is missing; results are bit-identical to an\n"
+      "                       uninterrupted sweep (restored runs have empty\n"
+      "                       counters and a zero profile — only work done\n"
+      "                       in this invocation is profiled)\n"
       "  --json FILE          write machine-readable results (includes run\n"
-      "                       profile and counters)\n"
+      "                       profile, counters and the supervisor health\n"
+      "                       report)\n"
       "  --trace-out FILE     write a JSONL event trace; with multiple runs\n"
-      "                       each gets FILE.<cca>-r<repeat>\n"
+      "                       each gets FILE.<cca>-r<repeat>, and the sweep\n"
+      "                       supervisor's events go to FILE.supervisor\n"
       "  --trace-filter C,..  event classes to trace (default all): enqueue\n"
       "                       drop ecn_mark retransmit rto recovery_enter\n"
       "                       recovery_exit cwnd tlp flow_start flow_finish\n"
       "                       ack_sent invariant fault_loss fault_corrupt\n"
       "                       fault_reorder fault_duplicate fault_link\n"
+      "                       supervisor_retry supervisor_timeout\n"
+      "                       supervisor_quarantine\n"
       "  --impair SPEC        impair the bottleneck link, e.g.\n"
       "                       'loss=1e-3,reorder=0.01' (keys: loss corrupt\n"
       "                       reorder reorder_delay_us dup jitter_us ge_p\n"
@@ -96,7 +131,9 @@ void print_usage() {
       "  --audit              run the invariant auditor every 10 ms of sim\n"
       "                       time (aborts the run on the first violation)\n"
       "  --counters           print per-scenario counters after the summary\n"
-      "  --list-ccas          list available algorithms and exit\n");
+      "  --list-ccas          list available algorithms and exit\n\n"
+      "exit codes: 0 complete, 1 I/O error, 2 usage, 75 partial results\n"
+      "(quarantined/timed-out runs or an interrupting signal)\n");
 }
 
 std::int64_t parse_bytes(const std::string& s) {
@@ -176,6 +213,24 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.jobs = std::atoi(v);
     } else if (arg == "--progress") {
       opt.progress = true;
+    } else if (arg == "--deadline") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.deadline_sec = std::atof(v);
+    } else if (arg == "--event-budget") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.event_budget = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.retries = std::atoi(v);
+    } else if (arg == "--journal") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.journal_path = v;
+    } else if (arg == "--resume") {
+      opt.resume = true;
     } else if (arg == "--json") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -210,6 +265,9 @@ std::optional<Options> parse(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return std::nullopt;
     }
+  }
+  if (opt.resume && opt.journal_path.empty()) {
+    opt.journal_path = "greencc_run_journal.jsonl";
   }
   return opt;
 }
@@ -252,6 +310,49 @@ std::string trace_file_name(const Options& opt, const std::string& cca,
   return opt.trace_out + "." + cca + "-r" + std::to_string(run_index);
 }
 
+/// Journal payload for one run: the scalars the summary/JSON below read,
+/// %.17g so a resumed sweep reproduces them bit-identically. Per-flow
+/// counters and the execution profile are deliberately not journaled — a
+/// restored run has empty counters and a zero profile.
+std::string encode_run(const app::ScenarioResult& run) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%.17g %.17g %.17g %d %zu",
+                run.total_joules, run.avg_watts, run.duration_sec,
+                run.all_completed ? 1 : 0, run.flows.size());
+  std::string payload = buf;
+  for (const auto& flow : run.flows) {
+    std::snprintf(buf, sizeof buf,
+                  " %" PRId64 " %.17g %.17g %.17g %" PRId64,
+                  flow.bytes, flow.fct_sec, flow.finished_at_sec,
+                  flow.avg_gbps, flow.retransmissions);
+    payload += buf;
+  }
+  return payload;
+}
+
+bool decode_run(const std::string& payload, const std::string& cca,
+                app::ScenarioResult& run) {
+  std::istringstream in(payload);
+  int completed = 0;
+  std::size_t nflows = 0;
+  if (!(in >> run.total_joules >> run.avg_watts >> run.duration_sec >>
+        completed >> nflows) ||
+      nflows > 10'000) {
+    return false;
+  }
+  run.all_completed = completed != 0;
+  run.stop_reason = completed ? "completed" : "deadline";
+  run.flows.resize(nflows);
+  for (auto& flow : run.flows) {
+    if (!(in >> flow.bytes >> flow.fct_sec >> flow.finished_at_sec >>
+          flow.avg_gbps >> flow.retransmissions)) {
+      return false;
+    }
+    flow.cca = cca;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,6 +377,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  robust::install_shutdown_handler();
+
   fault::FaultPlan fault_plan;
   try {
     if (opt.have_impair) {
@@ -290,6 +393,114 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The (CCA x repeat) sweep, flattened: task t is repeat (t % reps) of
+  // algorithm (t / reps). Seeds derive from (seed, cca index, repeat) —
+  // exactly the pre-supervisor derivation, so existing results reproduce.
+  const auto reps = static_cast<std::size_t>(std::max(opt.repeats, 1));
+  const std::size_t total = opt.ccas.size() * reps;
+  std::vector<app::ScenarioResult> runs(total);
+  std::vector<char> present(total, 0);
+
+  // Binds the journal to every option that can change the numbers (jobs,
+  // output and supervision knobs excluded).
+  std::ostringstream canon;
+  canon << "greencc_run mtu=" << opt.mtu << " bytes=" << opt.bytes
+        << " flows=" << opt.flows << " schedule=" << opt.schedule
+        << " load=" << opt.load_pct << " repeats=" << reps
+        << " seed=" << opt.seed << " rate=" << opt.rate_limit_gbps
+        << " impair=" << opt.impair_spec
+        << " events=" << opt.fault_events_spec << " ccas=";
+  for (const auto& name : opt.ccas) canon << name << ",";
+  canon << " sizes=";
+  for (const auto size : opt.sizes) canon << size << ",";
+
+  robust::SupervisorOptions sup;
+  sup.jobs = opt.jobs;
+  sup.max_attempts = std::max(opt.retries, 0) + 1;
+  sup.cell_deadline_sec = opt.deadline_sec;
+  sup.event_budget = opt.event_budget;
+  sup.journal_path = opt.journal_path;
+  sup.config_hash = robust::fnv1a64(canon.str());
+  sup.resume = opt.resume;
+  std::unique_ptr<trace::JsonlTraceSink> sup_sink;
+  if (!opt.trace_out.empty()) {
+    sup_sink = std::make_unique<trace::JsonlTraceSink>(
+        opt.trace_out + ".supervisor", opt.trace_mask);
+    sup.trace = sup_sink.get();
+  }
+  if (opt.progress) {
+    sup.progress = [&](std::size_t done, std::size_t n, std::size_t index,
+                       double secs) {
+      const std::string& cca_name = opt.ccas[index / reps];
+      const app::RunProfile& prof = runs[index].profile;
+      std::fprintf(stderr,
+                   "  %s: [%zu/%zu] repeat %zu seed=%llu  %.2fs  "
+                   "%llu events (%.2fM ev/s, peak queue %llu)\n",
+                   cca_name.c_str(), done, n, index % reps,
+                   static_cast<unsigned long long>(app::derive_seed(
+                       opt.seed, index / reps, index % reps)),
+                   secs,
+                   static_cast<unsigned long long>(prof.events_executed),
+                   prof.events_per_sec / 1e6,
+                   static_cast<unsigned long long>(prof.peak_pending_events));
+    };
+  }
+
+  robust::CellHooks hooks;
+  hooks.run = [&](std::size_t t, robust::CellContext& ctx) -> std::string {
+    const std::size_t ci = t / reps;
+    const std::size_t rep = t % reps;
+    const std::string& cca_name = opt.ccas[ci];
+    const std::uint64_t seed = app::derive_seed(opt.seed, ci, rep);
+    ctx.set_seed(seed);
+    // Sink before scenario: the scenario (holding the raw sink pointer)
+    // must be destroyed first, flushing through a still-live sink.
+    std::unique_ptr<trace::TraceSink> sink;
+    if (!opt.trace_out.empty()) {
+      sink = std::make_unique<trace::JsonlTraceSink>(
+          trace_file_name(opt, cca_name, rep), opt.trace_mask);
+    }
+    app::ScenarioConfig config;
+    config.tcp.mtu_bytes = opt.mtu;
+    config.seed = seed;
+    config.stress_cores = opt.load_pct * 32 / 100;
+    config.faults = fault_plan;
+    if (opt.audit) {
+      config.audit_interval = sim::SimTime::milliseconds(10);
+    }
+    app::Scenario scenario(std::move(config));
+    for (const auto& spec : build_flows(opt, cca_name)) {
+      scenario.add_flow(spec);
+    }
+    if (sink) scenario.set_trace_sink(sink.get());
+    auto watch = ctx.watch(scenario.simulator());
+    app::ScenarioResult result = scenario.run();
+    if (ctx.cut() || result.stop_reason == "stopped" ||
+        result.stop_reason == "budget_exhausted") {
+      return {};  // truncated run: neither published nor journaled
+    }
+    std::string payload = encode_run(result);
+    runs[t] = std::move(result);
+    present[t] = 1;
+    return payload;
+  };
+  hooks.restore = [&](std::size_t t, const std::string& payload) {
+    app::ScenarioResult run;
+    if (!decode_run(payload, opt.ccas[t / reps], run)) return;
+    runs[t] = std::move(run);
+    present[t] = 1;
+  };
+
+  robust::SweepSupervisor supervisor(std::move(sup));
+  const robust::SweepReport report = supervisor.run(total, hooks);
+  std::fprintf(stderr, "%s\n", report.summary().c_str());
+  for (const auto* rec : report.quarantine()) {
+    std::fprintf(stderr, "  %s: %s rep %zu (seed=%" PRIu64 "): %s\n",
+                 std::string(robust::outcome_name(rec->outcome)).c_str(),
+                 opt.ccas[rec->index / reps].c_str(), rec->index % reps,
+                 rec->seed, rec->error.c_str());
+  }
+
   stats::JsonWriter json;
   json.begin_object();
   json.key("runs").begin_array();
@@ -298,56 +509,37 @@ int main(int argc, char** argv) {
                       "retx", "completed"});
   std::string counters_text;
 
-  std::uint64_t cca_index = 0;
-  for (const auto& cca_name : opt.ccas) {
-    auto builder = [&](std::uint64_t seed) {
-      app::ScenarioConfig config;
-      config.tcp.mtu_bytes = opt.mtu;
-      config.seed = seed;
-      config.stress_cores = opt.load_pct * 32 / 100;
-      config.faults = fault_plan;
-      if (opt.audit) {
-        config.audit_interval = sim::SimTime::milliseconds(10);
-      }
-      auto scenario = std::make_unique<app::Scenario>(config);
-      for (const auto& spec : build_flows(opt, cca_name)) {
-        scenario->add_flow(spec);
-      }
-      return scenario;
-    };
-
-    app::RepeatOptions repeat_options;
-    repeat_options.repeats = opt.repeats;
-    repeat_options.base_seed = opt.seed;
-    repeat_options.cell_index = cca_index++;  // one cell per algorithm
-    repeat_options.jobs = opt.jobs;
-    repeat_options.progress = opt.progress;
-    repeat_options.label = cca_name;
-    if (!opt.trace_out.empty()) {
-      repeat_options.trace_sink_factory =
-          [&opt, cca_name](std::size_t run_index)
-          -> std::unique_ptr<trace::TraceSink> {
-        return std::make_unique<trace::JsonlTraceSink>(
-            trace_file_name(opt, cca_name, run_index), opt.trace_mask);
-      };
-    }
-
-    app::RepeatResult agg;
-    try {
-      agg = app::run_repeated(builder, repeat_options);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s: %s\n", cca_name.c_str(), e.what());
-      return 1;
-    }
-
+  // Aggregate serially in (cca, repeat) order after the sweep drained:
+  // bit-identical for any --jobs value, with or without --resume. Absent
+  // runs (quarantined/timed-out/not-run) are skipped — the health report
+  // above discloses them, and the cca's "completed" column reads NO.
+  for (std::size_t ci = 0; ci < opt.ccas.size(); ++ci) {
+    const std::string& cca_name = opt.ccas[ci];
+    stats::Summary joules, watts, duration_sec, retransmissions;
+    std::vector<const app::ScenarioResult*> cca_runs;
     bool all_done = true;
-    for (const auto& run : agg.runs) all_done &= run.all_completed;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const std::size_t t = ci * reps + rep;
+      if (!present[t]) {
+        all_done = false;
+        continue;
+      }
+      const auto& run = runs[t];
+      cca_runs.push_back(&run);
+      all_done &= run.all_completed;
+      joules.add(run.total_joules);
+      watts.add(run.avg_watts);
+      duration_sec.add(run.duration_sec);
+      std::int64_t retx = 0;
+      for (const auto& flow : run.flows) retx += flow.retransmissions;
+      retransmissions.add(static_cast<double>(retx));
+    }
 
-    table.add_row({cca_name, stats::Table::num(agg.joules.mean(), 1),
-                   stats::Table::num(agg.joules.stddev(), 2),
-                   stats::Table::num(agg.watts.mean(), 2),
-                   stats::Table::num(agg.duration_sec.mean(), 3),
-                   stats::Table::num(agg.retransmissions.mean(), 0),
+    table.add_row({cca_name, stats::Table::num(joules.mean(), 1),
+                   stats::Table::num(joules.stddev(), 2),
+                   stats::Table::num(watts.mean(), 2),
+                   stats::Table::num(duration_sec.mean(), 3),
+                   stats::Table::num(retransmissions.mean(), 0),
                    all_done ? "yes" : "NO"});
 
     json.begin_object();
@@ -356,22 +548,23 @@ int main(int argc, char** argv) {
     json.field("schedule", opt.schedule);
     json.field("load_pct", opt.load_pct);
     json.field("repeats", opt.repeats);
-    json.field("energy_joules_mean", agg.joules.mean());
-    json.field("energy_joules_stddev", agg.joules.stddev());
-    json.field("power_watts_mean", agg.watts.mean());
-    json.field("duration_sec_mean", agg.duration_sec.mean());
-    json.field("retransmissions_mean", agg.retransmissions.mean());
+    json.field("energy_joules_mean", joules.mean());
+    json.field("energy_joules_stddev", joules.stddev());
+    json.field("power_watts_mean", watts.mean());
+    json.field("duration_sec_mean", duration_sec.mean());
+    json.field("retransmissions_mean", retransmissions.mean());
     json.field("all_completed", all_done);
 
     // Simulator execution profile, aggregated over the repeats: total work
-    // and the worst event-queue high-water mark.
+    // and the worst event-queue high-water mark. Covers only runs executed
+    // by this invocation — journal-restored runs did no work here.
     double wall_total = 0.0;
     std::uint64_t events_total = 0;
     std::uint64_t peak_pending = 0;
-    for (const auto& run : agg.runs) {
-      wall_total += run.profile.wall_seconds;
-      events_total += run.profile.events_executed;
-      peak_pending = std::max(peak_pending, run.profile.peak_pending_events);
+    for (const auto* run : cca_runs) {
+      wall_total += run->profile.wall_seconds;
+      events_total += run->profile.events_executed;
+      peak_pending = std::max(peak_pending, run->profile.peak_pending_events);
     }
     json.key("profile").begin_object();
     json.field("wall_seconds", wall_total);
@@ -382,40 +575,48 @@ int main(int argc, char** argv) {
                               : 0.0);
     json.end_object();
 
+    // Counters and per-flow detail come from the cca's first surviving
+    // repeat (empty counters when that repeat was restored from a journal).
     json.key("counters").begin_object();
-    for (const auto& [name, v] : agg.runs.front().counters) {
-      json.field(name, v);
+    if (!cca_runs.empty()) {
+      for (const auto& [name, v] : cca_runs.front()->counters) {
+        json.field(name, v);
+      }
     }
     json.end_object();
 
     json.key("flows").begin_array();
-    for (const auto& flow : agg.runs.front().flows) {
-      json.begin_object();
-      json.field("cca", flow.cca);
-      json.field("bytes", flow.bytes);
-      json.field("fct_sec", flow.fct_sec);
-      json.field("finished_at_sec", flow.finished_at_sec);
-      json.field("avg_gbps", flow.avg_gbps);
-      json.field("retransmissions", flow.retransmissions);
-      json.key("counters").begin_object();
-      for (const auto& [name, v] : flow.counters) {
-        json.field(name, v);
+    if (!cca_runs.empty()) {
+      for (const auto& flow : cca_runs.front()->flows) {
+        json.begin_object();
+        json.field("cca", flow.cca);
+        json.field("bytes", flow.bytes);
+        json.field("fct_sec", flow.fct_sec);
+        json.field("finished_at_sec", flow.finished_at_sec);
+        json.field("avg_gbps", flow.avg_gbps);
+        json.field("retransmissions", flow.retransmissions);
+        json.key("counters").begin_object();
+        for (const auto& [name, v] : flow.counters) {
+          json.field(name, v);
+        }
+        json.end_object();
+        json.end_object();
       }
-      json.end_object();
-      json.end_object();
     }
     json.end_array();
     json.end_object();
 
-    if (opt.counters) {
-      counters_text += "\ncounters (" + cca_name + ", repeat 0):\n";
-      for (const auto& [name, v] : agg.runs.front().counters) {
+    if (opt.counters && !cca_runs.empty()) {
+      counters_text += "\ncounters (" + cca_name + ", first repeat):\n";
+      for (const auto& [name, v] : cca_runs.front()->counters) {
         counters_text += "  " + name + " = " + std::to_string(v) + "\n";
       }
     }
   }
 
   json.end_array();
+  json.key("supervisor");
+  report.write_json(json);
   json.end_object();
 
   table.print(std::cout);
@@ -426,5 +627,5 @@ int main(int argc, char** argv) {
     out << json.str() << "\n";
     std::printf("\nwrote %s\n", opt.json_path.c_str());
   }
-  return 0;
+  return report.complete() ? 0 : robust::kPartialResultsExit;
 }

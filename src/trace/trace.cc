@@ -19,7 +19,8 @@ constexpr std::array<std::string_view, kNumClasses> kClassNames = {
     "rto",            "recovery_enter", "recovery_exit", "cwnd",
     "tlp",            "flow_start",    "flow_finish",   "ack_sent",
     "invariant",      "fault_loss",    "fault_corrupt", "fault_reorder",
-    "fault_duplicate", "fault_link",
+    "fault_duplicate", "fault_link",   "supervisor_retry",
+    "supervisor_timeout", "supervisor_quarantine",
 };
 
 }  // namespace

@@ -34,6 +34,10 @@ enum class EventClass : std::uint32_t {
   kFaultDuplicate, ///< duplicate copy injected (value = extra copies)
   kFaultLink,      ///< scheduled link event (value = 1 down / 0 up,
                    ///< detail = down/up/rate/delay; aux = new rate or us)
+  kSupervisorRetry,      ///< sweep cell attempt failed, retrying (seq =
+                         ///< cell index, value = attempt, detail = error)
+  kSupervisorTimeout,    ///< cell cut by watchdog deadline / event budget
+  kSupervisorQuarantine, ///< cell quarantined after max attempts
   kNumClasses,     // sentinel, keep last
 };
 

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -14,6 +16,30 @@ int run_cli(const std::string& args) {
   const std::string cmd =
       std::string(GREENCC_RUN_PATH) + " " + args + " > /dev/null 2>&1";
   return std::system(cmd.c_str());
+}
+
+// std::system returns a wait status; the CLI's documented exit codes
+// (0 complete, 2 usage, 75 partial results) live in WEXITSTATUS.
+int exit_code(int status) {
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The raw text of `"key":<value>` up to the next comma/brace — exact
+// string comparison, so two runs agree only if the doubles are identical.
+std::string json_field(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = doc.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  const auto end = doc.find_first_of(",}", start);
+  return doc.substr(start, end - start);
 }
 
 TEST(Cli, HelpAndListExitCleanly) {
@@ -110,6 +136,60 @@ TEST(Cli, PerRepeatTraceFiles) {
 
 TEST(Cli, SrptScheduleWithSizes) {
   EXPECT_EQ(run_cli("--schedule srpt --sizes 5e7,2e7,1e7"), 0);
+}
+
+// --- the supervised sweep path ---
+
+TEST(Cli, QuarantinedCcaExitsPartialButKeepsGoodRuns) {
+  // One bad algorithm must not abort the sweep: cubic's runs complete, the
+  // bad cell quarantines, and the process exits 75 (partial results).
+  const std::string json = ::testing::TempDir() + "/cli_partial.json";
+  const int status =
+      run_cli("--cca cubic,not-a-cca --bytes 2e7 --json " + json);
+  EXPECT_EQ(exit_code(status), 75);
+  const std::string doc = slurp(json);
+  EXPECT_NE(doc.find("\"cca\":\"cubic\""), std::string::npos);
+  EXPECT_EQ(json_field(doc, "quarantined"), "1") << doc;
+  EXPECT_NE(doc.find("\"outcome\":\"quarantined\""), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST(Cli, EventBudgetExitsPartial) {
+  // A budget far below what the transfer needs cuts the run; the health
+  // report calls it timed_out and the exit code flags partial results.
+  const std::string json = ::testing::TempDir() + "/cli_budget.json";
+  const int status =
+      run_cli("--cca cubic --bytes 5e7 --event-budget 1000 --json " + json);
+  EXPECT_EQ(exit_code(status), 75);
+  const std::string doc = slurp(json);
+  EXPECT_EQ(json_field(doc, "timed_out"), "1") << doc;
+  EXPECT_NE(doc.find("event budget"), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST(Cli, JournalResumeReproducesEnergiesExactly) {
+  const std::string journal = ::testing::TempDir() + "/cli_journal.jsonl";
+  const std::string json_a = ::testing::TempDir() + "/cli_resume_a.json";
+  const std::string json_b = ::testing::TempDir() + "/cli_resume_b.json";
+  std::remove(journal.c_str());
+  const std::string common = "--cca cubic --bytes 2e7 --repeats 2 --journal " +
+                             journal;
+  ASSERT_EQ(run_cli(common + " --json " + json_a), 0);
+  // Second invocation restores every run from the journal instead of
+  // simulating, and must aggregate bit-identical numbers.
+  ASSERT_EQ(run_cli(common + " --resume --json " + json_b), 0);
+  const std::string a = slurp(json_a);
+  const std::string b = slurp(json_b);
+  EXPECT_EQ(json_field(b, "resumed"), "2") << b;
+  for (const char* key : {"energy_joules_mean", "energy_joules_stddev",
+                          "power_watts_mean", "duration_sec_mean",
+                          "retransmissions_mean"}) {
+    EXPECT_EQ(json_field(a, key), json_field(b, key)) << key;
+    EXPECT_FALSE(json_field(a, key).empty()) << key;
+  }
+  std::remove(journal.c_str());
+  std::remove(json_a.c_str());
+  std::remove(json_b.c_str());
 }
 
 TEST(Cli, FsiScheduleMultiFlow) {

@@ -1,0 +1,215 @@
+// Crash/resume against the real cca_grid binary. A sweep is SIGKILLed (and
+// separately SIGINTed) mid-flight, then resumed from its journal; the
+// resumed CSV must be byte-identical to an uninterrupted serial run, because
+// per-run seeds derive from (base_seed, cell, repeat) and journal payloads
+// round-trip doubles exactly (%.17g).
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Small enough that the full grid takes seconds, large enough that a poll
+// loop reliably catches the sweep mid-flight.
+std::vector<std::string> grid_args(const std::string& csv_path) {
+  return {CCA_GRID_PATH, "--bytes", "2000000",  "--repeats", "2",
+          "--seed",      "7",       "--cache",  "",          "--csv",
+          csv_path};
+}
+
+/// fork/exec with stdout+stderr captured to `log_path`. No shell: empty
+/// arguments (--cache "") must survive verbatim.
+pid_t spawn(std::vector<std::string> args, const std::string& log_path) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Wait for the child with a deadline; on timeout, SIGKILL and fail.
+int wait_for_exit(pid_t pid, int timeout_sec) {
+  const auto deadline =
+      // lint-allow: wall-clock (subprocess timeout; never feeds results)
+      std::chrono::steady_clock::now() + std::chrono::seconds(timeout_sec);
+  for (;;) {
+    int status = 0;
+    const pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == pid) return status;
+    // lint-allow: wall-clock (subprocess timeout; never feeds results)
+    if (std::chrono::steady_clock::now() > deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      ADD_FAILURE() << "subprocess " << pid << " exceeded " << timeout_sec
+                    << "s";
+      return status;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+int run_sync(const std::vector<std::string>& args, const std::string& log_path,
+             int timeout_sec = 240) {
+  return wait_for_exit(spawn(args, log_path), timeout_sec);
+}
+
+std::size_t journal_entries(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::size_t entries = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"task\":", 0) == 0) ++entries;
+  }
+  return entries;
+}
+
+/// Poll the journal until it holds at least `want` completed-cell entries.
+/// Returns false if the child exits first (sweep finished too fast to be
+/// interrupted — a test-environment problem, not a product one).
+bool wait_for_entries(pid_t pid, const std::string& journal, std::size_t want,
+                      int timeout_sec) {
+  const auto deadline =
+      // lint-allow: wall-clock (subprocess timeout; never feeds results)
+      std::chrono::steady_clock::now() + std::chrono::seconds(timeout_sec);
+  // lint-allow: wall-clock (subprocess timeout; never feeds results)
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (journal_entries(journal) >= want) return true;
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+/// The uninterrupted serial reference CSV, computed once per test binary.
+const std::string& reference_csv() {
+  static std::string contents;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const std::string csv = temp_path("grid_reference.csv");
+    const int status =
+        run_sync(grid_args(csv), temp_path("grid_reference.log"));
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << read_file(temp_path("grid_reference.log"));
+    contents = read_file(csv);
+    ASSERT_GT(contents.size(), 100u);
+  });
+  return contents;
+}
+
+int parse_summary_count(const std::string& log, const char* key) {
+  const auto pos = log.find(key);
+  if (pos == std::string::npos) return -1;
+  return std::atoi(log.c_str() + pos + std::strlen(key));
+}
+
+TEST(CrashResume, SigkillMidSweepThenResumeIsByteIdentical) {
+  const std::string journal = temp_path("grid_kill_journal.jsonl");
+  const std::string csv = temp_path("grid_kill.csv");
+  std::remove(journal.c_str());
+
+  auto args = grid_args(csv);
+  args.insert(args.end(), {"--jobs", "2", "--journal", journal});
+  const pid_t pid = spawn(args, temp_path("grid_kill.log"));
+  // SIGKILL once at least two cells are journaled but (with dozens of
+  // tasks pending) the sweep is far from done: the hard-crash case — no
+  // handler runs, no flush beyond the per-append fsync.
+  ASSERT_TRUE(wait_for_entries(pid, journal, 2, 120))
+      << "sweep finished before it could be killed; raise --bytes";
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  const int status = wait_for_exit(pid, 60);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  const std::size_t survived = journal_entries(journal);
+  EXPECT_GE(survived, 2u);
+
+  auto resume_args = args;
+  resume_args.push_back("--resume");
+  const std::string resume_log = temp_path("grid_kill_resume.log");
+  const int resume_status = run_sync(resume_args, resume_log);
+  ASSERT_TRUE(WIFEXITED(resume_status) && WEXITSTATUS(resume_status) == 0)
+      << read_file(resume_log);
+
+  // The resume actually reused the journal rather than re-running the
+  // sweep from scratch. A torn final line may drop one entry, never more.
+  const std::string log = read_file(resume_log);
+  const int resumed = parse_summary_count(log, "resumed=");
+  EXPECT_GE(resumed, static_cast<int>(survived) - 1) << log;
+
+  EXPECT_EQ(read_file(csv), reference_csv())
+      << "resumed CSV differs from the uninterrupted serial run";
+  std::remove(journal.c_str());
+}
+
+TEST(CrashResume, SigintFlushesJournalAndExitsPartial) {
+  const std::string journal = temp_path("grid_int_journal.jsonl");
+  const std::string csv = temp_path("grid_int.csv");
+  std::remove(journal.c_str());
+
+  auto args = grid_args(csv);
+  args.insert(args.end(), {"--jobs", "2", "--journal", journal});
+  const pid_t pid = spawn(args, temp_path("grid_int.log"));
+  ASSERT_TRUE(wait_for_entries(pid, journal, 2, 120))
+      << "sweep finished before it could be interrupted; raise --bytes";
+  ASSERT_EQ(::kill(pid, SIGINT), 0);
+  const int status = wait_for_exit(pid, 120);
+
+  // Graceful shutdown: normal exit with the partial-results code, not a
+  // signal death, and the health summary says it was interrupted.
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 75);
+  const std::string log = read_file(temp_path("grid_int.log"));
+  EXPECT_NE(log.find("(interrupted)"), std::string::npos) << log;
+  EXPECT_GE(journal_entries(journal), 2u);
+
+  auto resume_args = args;
+  resume_args.push_back("--resume");
+  const std::string resume_log = temp_path("grid_int_resume.log");
+  const int resume_status = run_sync(resume_args, resume_log);
+  ASSERT_TRUE(WIFEXITED(resume_status) && WEXITSTATUS(resume_status) == 0)
+      << read_file(resume_log);
+  EXPECT_EQ(read_file(csv), reference_csv())
+      << "resumed CSV differs from the uninterrupted serial run";
+  std::remove(journal.c_str());
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "app/runner.h"
@@ -73,14 +74,66 @@ TEST(ParallelRunner, NonPositiveJobsSelectsHardwareConcurrency) {
   EXPECT_GE(pool.jobs(), 1);
 }
 
-TEST(ParallelRunner, PropagatesTheFirstTaskException) {
+TEST(ParallelRunner, SingleFailureRethrowsTheOriginalException) {
   ParallelRunner pool(4);
-  EXPECT_THROW(pool.for_each_index(
-                   8,
-                   [](std::size_t i) {
-                     if (i == 5) throw std::runtime_error("boom");
-                   }),
-               std::runtime_error);
+  std::atomic<int> ran{0};
+  try {
+    pool.for_each_index(8, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 5) throw std::out_of_range("boom at 5");
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::out_of_range& e) {
+    // The original type survives, not a generic wrapper.
+    EXPECT_STREQ(e.what(), "boom at 5");
+  }
+  // The pool drains before throwing: the failure cancels nothing.
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ParallelRunner, MultipleFailuresAggregateEveryMessage) {
+  ParallelRunner pool(2);
+  try {
+    pool.for_each_index(10, [](std::size_t i) {
+      if (i == 2 || i == 7) {
+        throw std::runtime_error("boom at " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    // The second failure is not silently discarded behind the first.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("boom at 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom at 7"), std::string::npos) << what;
+  }
+}
+
+TEST(ParallelRunner, CollectReturnsEveryFailureInIndexOrder) {
+  for (int jobs : {1, 4}) {
+    ParallelRunner pool(jobs);
+    std::atomic<int> ran{0};
+    const auto failures =
+        pool.for_each_index_collect(12, [&](std::size_t i) {
+          ran.fetch_add(1);
+          if (i % 3 == 0) {
+            throw std::runtime_error("fail " + std::to_string(i));
+          }
+        });
+    EXPECT_EQ(ran.load(), 12);
+    ASSERT_EQ(failures.size(), 4u) << "jobs=" << jobs;
+    for (std::size_t k = 0; k < failures.size(); ++k) {
+      EXPECT_EQ(failures[k].index, k * 3);
+      EXPECT_EQ(failures[k].message, "fail " + std::to_string(k * 3));
+      ASSERT_TRUE(failures[k].error);
+      EXPECT_THROW(std::rethrow_exception(failures[k].error),
+                   std::runtime_error);
+    }
+  }
+}
+
+TEST(ParallelRunner, CollectReturnsEmptyOnSuccess) {
+  ParallelRunner pool(4);
+  EXPECT_TRUE(pool.for_each_index_collect(6, [](std::size_t) {}).empty());
 }
 
 TEST(ParallelRunner, ReportsProgressForEveryTask) {

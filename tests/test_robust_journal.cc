@@ -1,0 +1,168 @@
+// SweepJournal: the crash-safety contract. Lines survive round trips
+// exactly, later lines win, a torn tail is ignored, and a journal written
+// under a different schema/config is never reused.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "robust/journal.h"
+
+namespace {
+
+using greencc::robust::SweepJournal;
+using greencc::robust::fnv1a64;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+  // Distinct configs must land on distinct hashes (the whole point).
+  EXPECT_NE(fnv1a64("grid bytes=1"), fnv1a64("grid bytes=2"));
+}
+
+TEST(SweepJournal, RoundTripsPayloads) {
+  const std::string path = temp_path("journal_roundtrip.jsonl");
+  const std::uint64_t hash = fnv1a64("config-a");
+  {
+    SweepJournal journal(path, hash, false);
+    journal.append(0, "1.5 2.25 0.125");
+    journal.append(7, "plain text");
+    journal.append(3, "");
+  }
+  const auto entries = SweepJournal::load(path, hash);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries.at(0), "1.5 2.25 0.125");
+  EXPECT_EQ(entries.at(7), "plain text");
+  EXPECT_EQ(entries.at(3), "");
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, EscapedPayloadsSurvive) {
+  const std::string path = temp_path("journal_escape.jsonl");
+  const std::uint64_t hash = fnv1a64("config-esc");
+  const std::string nasty = "a\"b\\c\nnewline\ttab\rcr\x01ctl";
+  {
+    SweepJournal journal(path, hash, false);
+    journal.append(1, nasty);
+  }
+  const auto entries = SweepJournal::load(path, hash);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.at(1), nasty);
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, LaterLinesWin) {
+  const std::string path = temp_path("journal_idempotent.jsonl");
+  const std::uint64_t hash = fnv1a64("config-b");
+  {
+    SweepJournal journal(path, hash, false);
+    journal.append(4, "first");
+    journal.append(4, "second");
+    journal.append(4, "third");
+  }
+  const auto entries = SweepJournal::load(path, hash);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.at(4), "third");
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, TruncatedTailLineIsIgnored) {
+  const std::string path = temp_path("journal_torn.jsonl");
+  const std::uint64_t hash = fnv1a64("config-c");
+  {
+    SweepJournal journal(path, hash, false);
+    journal.append(0, "intact");
+    journal.append(1, "will be torn");
+  }
+  // Simulate the only tear a crash can produce: the final append cut short.
+  std::string contents = read_file(path);
+  ASSERT_GT(contents.size(), 10u);
+  contents.resize(contents.size() - 10);
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << contents;
+  }
+  const auto entries = SweepJournal::load(path, hash);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.at(0), "intact");
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, ConfigHashMismatchIgnoresJournal) {
+  const std::string path = temp_path("journal_config.jsonl");
+  {
+    SweepJournal journal(path, fnv1a64("old flags"), false);
+    journal.append(0, "stale");
+  }
+  EXPECT_TRUE(SweepJournal::load(path, fnv1a64("new flags")).empty());
+  // Re-opening with preserve=true under the new hash regenerates the file.
+  {
+    SweepJournal journal(path, fnv1a64("new flags"), true);
+    journal.append(2, "fresh");
+  }
+  const auto entries = SweepJournal::load(path, fnv1a64("new flags"));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.at(2), "fresh");
+  EXPECT_TRUE(SweepJournal::load(path, fnv1a64("old flags")).empty());
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, PreserveAppendsToMatchingJournal) {
+  const std::string path = temp_path("journal_resume.jsonl");
+  const std::uint64_t hash = fnv1a64("config-d");
+  {
+    SweepJournal journal(path, hash, false);
+    journal.append(0, "before crash");
+  }
+  {
+    SweepJournal journal(path, hash, true);  // the resume path
+    journal.append(1, "after resume");
+  }
+  const auto entries = SweepJournal::load(path, hash);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at(0), "before crash");
+  EXPECT_EQ(entries.at(1), "after resume");
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, MissingFileLoadsEmpty) {
+  EXPECT_TRUE(
+      SweepJournal::load(temp_path("does_not_exist.jsonl"), 1).empty());
+}
+
+TEST(SweepJournal, GarbageLinesAreSkipped) {
+  const std::string path = temp_path("journal_garbage.jsonl");
+  const std::uint64_t hash = fnv1a64("config-e");
+  {
+    SweepJournal journal(path, hash, false);
+    journal.append(0, "good");
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "not json at all\n";
+    out << "{\"task\":oops,\"payload\":\"x\"}\n";
+    out << "{\"task\":9,\"payload\":\"unterminated\n";
+  }
+  const auto entries = SweepJournal::load(path, hash);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.at(0), "good");
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 namespace greencc::sim {
@@ -105,6 +108,61 @@ TEST(Simulator, CountsExecutedEvents) {
   for (int i = 0; i < 42; ++i) sim.schedule(SimTime::microseconds(i), [] {});
   sim.run();
   EXPECT_EQ(sim.events_executed(), 42u);
+}
+
+TEST(Simulator, EventBudgetStopsRun) {
+  // A scenario that reschedules itself forever terminates exactly at the
+  // budget — the supervisor's backstop for spinning cells.
+  Simulator sim;
+  std::function<void()> tick = [&] {
+    sim.schedule(SimTime::microseconds(1), tick);
+  };
+  sim.schedule(SimTime::microseconds(1), tick);
+  sim.set_event_budget(500);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 500u);
+  EXPECT_TRUE(sim.budget_exhausted());
+  EXPECT_FALSE(sim.stop_requested());  // budget, not stop(), ended the run
+}
+
+TEST(Simulator, EventBudgetCountsAcrossRuns) {
+  // The budget caps lifetime events (what events_executed() counts), so a
+  // second run() resumes against the same cap rather than a fresh one.
+  Simulator sim;
+  for (int i = 1; i <= 10; ++i) sim.schedule(SimTime::microseconds(i), [] {});
+  sim.set_event_budget(7);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+  EXPECT_TRUE(sim.budget_exhausted());
+  sim.run();  // still exhausted: no further events execute
+  EXPECT_EQ(sim.events_executed(), 7u);
+  EXPECT_EQ(sim.pending_events(), 3u);
+  // Raising the cap lets the remaining events through.
+  sim.set_event_budget(0);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 10u);
+  EXPECT_FALSE(sim.budget_exhausted());
+}
+
+TEST(Simulator, StopFromAnotherThreadCutsRun) {
+  // The watchdog pattern: a monitor thread stop()s a simulator whose run
+  // loop would otherwise never drain. Carries the `concurrency` label so
+  // the tsan build checks the flag's cross-thread handshake.
+  Simulator sim;
+  std::atomic<bool> running{false};
+  std::function<void()> tick = [&] {
+    running.store(true);
+    sim.schedule(SimTime::microseconds(1), tick);
+  };
+  sim.schedule(SimTime::microseconds(1), tick);
+  std::thread watchdog([&] {
+    while (!running.load()) std::this_thread::yield();
+    sim.stop();
+  });
+  sim.run();
+  watchdog.join();
+  EXPECT_TRUE(sim.stop_requested());
+  EXPECT_GE(sim.events_executed(), 1u);
 }
 
 // --- Timer ---

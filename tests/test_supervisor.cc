@@ -1,0 +1,330 @@
+// SweepSupervisor: retry/backoff/quarantine, the watchdog (wall deadline
+// and event budget), journal-backed resume, graceful shutdown, and the
+// determinism contract under worker threads.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <functional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/parallel_runner.h"
+#include "robust/journal.h"
+#include "robust/shutdown.h"
+#include "robust/supervisor.h"
+#include "sim/simulator.h"
+#include "stats/json.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace greencc;
+using robust::CellHooks;
+using robust::CellOutcome;
+using robust::SupervisorOptions;
+using robust::SweepReport;
+using robust::SweepSupervisor;
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  // Shutdown state is process-wide and one-way in production; tests that
+  // trigger it must not poison the rest of the suite.
+  void TearDown() override { robust::reset_shutdown_for_test(); }
+};
+
+TEST(Backoff, CappedExponentialSchedule) {
+  EXPECT_DOUBLE_EQ(robust::backoff_ms(0, 10.0, 2000.0), 0.0);
+  EXPECT_DOUBLE_EQ(robust::backoff_ms(1, 10.0, 2000.0), 10.0);
+  EXPECT_DOUBLE_EQ(robust::backoff_ms(2, 10.0, 2000.0), 20.0);
+  EXPECT_DOUBLE_EQ(robust::backoff_ms(3, 10.0, 2000.0), 40.0);
+  EXPECT_DOUBLE_EQ(robust::backoff_ms(9, 10.0, 2000.0), 2000.0);  // capped
+  EXPECT_DOUBLE_EQ(robust::backoff_ms(1000, 10.0, 2000.0), 2000.0);  // no inf
+  EXPECT_DOUBLE_EQ(robust::backoff_ms(3, 0.0, 2000.0), 0.0);  // disabled
+}
+
+TEST_F(SupervisorTest, AllCellsOkOnCleanSweep) {
+  SupervisorOptions options;
+  options.jobs = 1;
+  SweepSupervisor supervisor(std::move(options));
+  CellHooks hooks;
+  hooks.run = [](std::size_t index, robust::CellContext&) {
+    return "cell " + std::to_string(index);
+  };
+  const SweepReport report = supervisor.run(5, hooks);
+  ASSERT_EQ(report.cells.size(), 5u);
+  EXPECT_EQ(report.count(CellOutcome::kOk), 5u);
+  EXPECT_TRUE(report.complete());
+  EXPECT_FALSE(report.interrupted);
+  EXPECT_TRUE(report.quarantine().empty());
+  for (const auto& cell : report.cells) EXPECT_EQ(cell.attempts, 1);
+}
+
+TEST_F(SupervisorTest, ThrowingCellRetriesThenSucceeds) {
+  std::atomic<int> attempts{0};
+  SupervisorOptions options;
+  options.max_attempts = 3;
+  options.backoff_base_ms = 1.0;  // keep the test fast
+  trace::VectorTraceSink sink;
+  options.trace = &sink;
+  SweepSupervisor supervisor(std::move(options));
+  CellHooks hooks;
+  hooks.run = [&](std::size_t, robust::CellContext&) -> std::string {
+    if (attempts.fetch_add(1) < 2) {
+      throw std::runtime_error("transient failure");
+    }
+    return "ok";
+  };
+  const SweepReport report = supervisor.run(1, hooks);
+  EXPECT_EQ(report.cells[0].outcome, CellOutcome::kRetried);
+  EXPECT_EQ(report.cells[0].attempts, 3);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(sink.count(trace::EventClass::kSupervisorRetry), 2u);
+  EXPECT_EQ(sink.count(trace::EventClass::kSupervisorQuarantine), 0u);
+}
+
+TEST_F(SupervisorTest, QuarantineAfterMaxAttempts) {
+  std::atomic<int> attempts{0};
+  SupervisorOptions options;
+  options.max_attempts = 3;
+  options.backoff_base_ms = 1.0;
+  trace::VectorTraceSink sink;
+  options.trace = &sink;
+  SweepSupervisor supervisor(std::move(options));
+  CellHooks hooks;
+  hooks.run = [&](std::size_t index, robust::CellContext& ctx) -> std::string {
+    if (index == 1) {
+      attempts.fetch_add(1);
+      ctx.set_seed(4242);
+      throw std::runtime_error("deterministic bug in cell 1");
+    }
+    return "ok";
+  };
+  const SweepReport report = supervisor.run(3, hooks);
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(report.cells[1].outcome, CellOutcome::kQuarantined);
+  EXPECT_EQ(report.cells[1].attempts, 3);
+  EXPECT_EQ(report.cells[1].seed, 4242u);
+  EXPECT_EQ(report.cells[1].error, "deterministic bug in cell 1");
+  EXPECT_EQ(report.count(CellOutcome::kOk), 2u);
+  EXPECT_FALSE(report.complete());
+  ASSERT_EQ(report.quarantine().size(), 1u);
+  EXPECT_EQ(report.quarantine()[0]->index, 1u);
+  EXPECT_EQ(sink.count(trace::EventClass::kSupervisorRetry), 2u);
+  EXPECT_EQ(sink.count(trace::EventClass::kSupervisorQuarantine), 1u);
+  // The health report serializes without throwing and carries the record.
+  stats::JsonWriter json;
+  report.write_json(json);
+  const std::string doc = json.str();
+  EXPECT_NE(doc.find("\"quarantined\":1"), std::string::npos);
+  EXPECT_NE(doc.find("deterministic bug in cell 1"), std::string::npos);
+}
+
+TEST_F(SupervisorTest, WatchdogCutsStalledCell) {
+  SupervisorOptions options;
+  options.cell_deadline_sec = 0.15;
+  trace::VectorTraceSink sink;
+  options.trace = &sink;
+  SweepSupervisor supervisor(std::move(options));
+  CellHooks hooks;
+  hooks.run = [](std::size_t, robust::CellContext& ctx) -> std::string {
+    // A scenario that never finishes: every event re-schedules itself and
+    // burns a little wall time, so only the watchdog can end the run.
+    sim::Simulator sim;
+    std::function<void()> tick = [&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      sim.schedule(sim::SimTime::microseconds(1), tick);
+    };
+    sim.schedule(sim::SimTime::zero(), tick);
+    auto watch = ctx.watch(sim);
+    sim.run();
+    EXPECT_TRUE(ctx.cut());
+    return {};
+  };
+  const SweepReport report = supervisor.run(1, hooks);
+  EXPECT_EQ(report.cells[0].outcome, CellOutcome::kTimedOut);
+  EXPECT_EQ(report.cells[0].attempts, 1);  // cuts are terminal, no retry
+  EXPECT_NE(report.cells[0].error.find("wall deadline"), std::string::npos);
+  EXPECT_GT(report.cells[0].events_executed, 0u);
+  EXPECT_FALSE(report.complete());
+  EXPECT_EQ(sink.count(trace::EventClass::kSupervisorTimeout), 1u);
+}
+
+TEST_F(SupervisorTest, EventBudgetStopsRunawayCell) {
+  SupervisorOptions options;
+  options.event_budget = 1000;
+  SweepSupervisor supervisor(std::move(options));
+  CellHooks hooks;
+  hooks.run = [](std::size_t, robust::CellContext& ctx) -> std::string {
+    sim::Simulator sim;
+    std::function<void()> tick = [&] {
+      sim.schedule(sim::SimTime::microseconds(1), tick);
+    };
+    sim.schedule(sim::SimTime::zero(), tick);
+    auto watch = ctx.watch(sim);
+    sim.run();  // returns once the budget is exhausted
+    return {};
+  };
+  const SweepReport report = supervisor.run(1, hooks);
+  EXPECT_EQ(report.cells[0].outcome, CellOutcome::kTimedOut);
+  EXPECT_EQ(report.cells[0].events_executed, 1000u);
+  EXPECT_NE(report.cells[0].error.find("event budget"), std::string::npos);
+  EXPECT_FALSE(report.complete());
+}
+
+TEST_F(SupervisorTest, ResumeSkipsJournaledCells) {
+  const std::string path = ::testing::TempDir() + "/supervisor_resume.jsonl";
+  std::remove(path.c_str());
+  const std::uint64_t hash = robust::fnv1a64("resume-test");
+
+  std::set<std::size_t> executed;
+  CellHooks hooks;
+  hooks.run = [&](std::size_t index, robust::CellContext&) {
+    executed.insert(index);
+    return "payload " + std::to_string(index);
+  };
+
+  {
+    SupervisorOptions options;
+    options.journal_path = path;
+    options.config_hash = hash;
+    SweepSupervisor supervisor(std::move(options));
+    EXPECT_TRUE(supervisor.run(4, hooks).complete());
+  }
+  ASSERT_EQ(executed.size(), 4u);
+
+  executed.clear();
+  std::vector<std::pair<std::size_t, std::string>> restored;
+  hooks.restore = [&](std::size_t index, const std::string& payload) {
+    restored.emplace_back(index, payload);
+  };
+  {
+    SupervisorOptions options;
+    options.journal_path = path;
+    options.config_hash = hash;
+    options.resume = true;
+    SweepSupervisor supervisor(std::move(options));
+    const SweepReport report = supervisor.run(4, hooks);
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(report.count(CellOutcome::kResumed), 4u);
+  }
+  EXPECT_TRUE(executed.empty()) << "resume re-ran a journaled cell";
+  ASSERT_EQ(restored.size(), 4u);
+  EXPECT_EQ(restored[0].second, "payload 0");
+  EXPECT_EQ(restored[3].second, "payload 3");
+  std::remove(path.c_str());
+}
+
+TEST_F(SupervisorTest, ResumeRunsOnlyMissingCells) {
+  const std::string path = ::testing::TempDir() + "/supervisor_partial.jsonl";
+  std::remove(path.c_str());
+  const std::uint64_t hash = robust::fnv1a64("partial-resume-test");
+  {
+    robust::SweepJournal journal(path, hash, false);
+    journal.append(0, "done 0");
+    journal.append(2, "done 2");
+  }
+  std::set<std::size_t> executed;
+  CellHooks hooks;
+  hooks.run = [&](std::size_t index, robust::CellContext&) {
+    executed.insert(index);
+    return "fresh " + std::to_string(index);
+  };
+  SupervisorOptions options;
+  options.journal_path = path;
+  options.config_hash = hash;
+  options.resume = true;
+  SweepSupervisor supervisor(std::move(options));
+  const SweepReport report = supervisor.run(4, hooks);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.count(CellOutcome::kResumed), 2u);
+  EXPECT_EQ(report.count(CellOutcome::kOk), 2u);
+  EXPECT_EQ(executed, (std::set<std::size_t>{1, 3}));
+  // The journal now covers every cell: a second resume re-runs nothing.
+  EXPECT_EQ(robust::SweepJournal::load(path, hash).size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST_F(SupervisorTest, ShutdownStopsDispatchAndFlushesJournal) {
+  const std::string path = ::testing::TempDir() + "/supervisor_shutdown.jsonl";
+  std::remove(path.c_str());
+  const std::uint64_t hash = robust::fnv1a64("shutdown-test");
+  SupervisorOptions options;
+  options.journal_path = path;
+  options.config_hash = hash;
+  SweepSupervisor supervisor(std::move(options));
+  CellHooks hooks;
+  hooks.run = [&](std::size_t index, robust::CellContext&) -> std::string {
+    if (index == 1) robust::request_shutdown(SIGINT);
+    return "cell " + std::to_string(index);
+  };
+  const SweepReport report = supervisor.run(4, hooks);
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_FALSE(report.complete());
+  EXPECT_EQ(robust::shutdown_signal(), SIGINT);
+  // Serial dispatch: cells 0 and 1 completed (the signal lands after cell
+  // 1's payload is produced), the rest were never dispatched.
+  EXPECT_EQ(report.count(CellOutcome::kOk), 2u);
+  EXPECT_EQ(report.count(CellOutcome::kNotRun), 2u);
+  // Completed cells reached the journal before exit; a resume would pick
+  // up exactly where the sweep stopped.
+  EXPECT_EQ(robust::SweepJournal::load(path, hash).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(SupervisorTest, ReportsIdenticalAcrossJobCounts) {
+  // The supervised analogue of the pool's determinism contract: outcomes
+  // and payloads depend only on cell coordinates, never on thread count —
+  // including for cells that go through the retry path.
+  auto sweep = [](int jobs) {
+    SupervisorOptions options;
+    options.jobs = jobs;
+    options.max_attempts = 2;
+    options.backoff_base_ms = 1.0;
+    SweepSupervisor supervisor(std::move(options));
+    std::vector<std::string> payloads(16);
+    std::array<std::atomic<int>, 16> attempts{};
+    CellHooks hooks;
+    hooks.run = [&](std::size_t index, robust::CellContext& ctx) {
+      const std::uint64_t seed = app::derive_seed(99, index, 0);
+      ctx.set_seed(seed);
+      // Cells 3 and 11 throw on their first attempt — whichever worker
+      // gets there — and succeed on retry. The payload still depends only
+      // on the cell's coordinates.
+      if ((index == 3 || index == 11) &&
+          attempts[index].fetch_add(1) == 0) {
+        throw std::runtime_error("transient");
+      }
+      sim::Simulator sim;
+      std::uint64_t fired = 0;
+      sim.schedule(sim::SimTime::microseconds(1),
+                   [&] { fired = seed % 1000; });
+      auto watch = ctx.watch(sim);
+      sim.run();
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%016llx %llu",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(fired));
+      std::string payload = buf;
+      payloads[index] = payload;
+      return payload;
+    };
+    const SweepReport report = supervisor.run(16, hooks);
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(report.count(CellOutcome::kRetried), 2u);
+    EXPECT_EQ(report.count(CellOutcome::kOk), 14u);
+    return payloads;
+  };
+  const auto serial = sweep(1);
+  const auto parallel = sweep(4);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
