@@ -1,0 +1,413 @@
+// Extension: fleet-scale stress — 100k..1M concurrent TCP flows of the
+// production-workload mix (web-search + data-mining flow sizes, §5's ask)
+// through a shared rack/core fabric, driven on one simulator. This is the
+// scale the calendar-queue event core, the slab scoreboard/flow state and
+// the batched pacing path exist for: the binary-heap core pays O(log n)
+// per event at n ≈ flows pending timers, the calendar queue O(1).
+//
+//   ext_fleet [--flows N] [--racks R] [--repeats K] [--jobs N] [--seed S]
+//             [--max-flow-kb N] [--ramp-ms M] [--horizon-sec S] [--mtu N]
+//             [--cca NAME] [--queue calendar|heap] [--json FILE]
+//             [--deadline SEC] [--event-budget N] [--retries K]
+//             [--journal FILE] [--resume]
+//
+// Topology: flows are spread round-robin over R rack uplinks (DRR-scheduled
+// — the per-flow state slab is exercised at fleet width), which feed one
+// shared core port to the receivers; ACKs return over a shared reverse
+// port. All flows start within the ramp window, so the fleet is genuinely
+// concurrent: peak open flows ≈ N.
+//
+// Reported per repeat: events executed, wall seconds, events/sec, peak
+// pending events, peak concurrently-open flows, completions, and process
+// peak RSS. `--json` additionally writes the BENCH_fleet.json baseline,
+// including the hold-model simcore section (calendar vs binary-heap
+// events/sec at 10k pending) that ablation_simcore's --check-baseline gate
+// compares against. Runs under robust::SweepSupervisor: deadline, event
+// budget, retry, journal/resume all apply per repeat.
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/parallel_runner.h"
+#include "app/workload.h"
+#include "cca/cca.h"
+#include "common.h"
+#include "energy/cpu.h"
+#include "net/drr.h"
+#include "net/packet.h"
+#include "net/port.h"
+#include "queue_hold.h"
+#include "robust/journal.h"
+#include "robust/shutdown.h"
+#include "robust/supervisor.h"
+#include "sim/simulator.h"
+#include "stats/json.h"
+#include "stats/table.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+
+using namespace greencc;
+
+namespace {
+
+/// Route packets to the per-flow endpoint. Flow ids are dense [0, n), so
+/// this is one indexed load — no hash map on the fleet's fast path.
+class Demux : public net::PacketHandler {
+ public:
+  explicit Demux(std::size_t n) : sinks_(n, nullptr) {}
+  void set(net::FlowId flow, net::PacketHandler* sink) {
+    sinks_[static_cast<std::size_t>(flow)] = sink;
+  }
+  void handle(net::Packet pkt) override {
+    sinks_[static_cast<std::size_t>(pkt.flow)]->handle(pkt);
+  }
+
+ private:
+  std::vector<net::PacketHandler*> sinks_;
+};
+
+/// Linux reports ru_maxrss in KiB; monotone over the process lifetime.
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct FleetConfig {
+  std::int64_t flows = 100'000;
+  std::int64_t racks = 64;
+  std::int64_t max_flow_bytes = 256 * 1024;
+  std::int64_t ramp_ms = 20;
+  double horizon_sec = 60.0;
+  std::int32_t mtu = 9000;
+  std::string cca = "cubic";
+  sim::EventQueueKind queue = sim::Simulator::default_queue_kind();
+  std::uint64_t seed = 1;
+};
+
+struct FleetResult {
+  std::int64_t flows = 0;
+  std::int64_t completed = 0;
+  std::int64_t peak_open = 0;       ///< max concurrently-open flows
+  std::uint64_t events = 0;
+  std::uint64_t peak_pending = 0;   ///< max simultaneously-pending events
+  double sim_sec = 0.0;
+  double wall_sec = 0.0;
+  double events_per_sec = 0.0;
+  double rss_mb = 0.0;              ///< process peak (monotone across reps)
+};
+
+/// One fleet run: build the fabric, ramp every flow in, drain to the
+/// horizon. Endpoint state lives in parallel vectors of unique_ptrs so a
+/// million-flow build stays a handful of big allocations plus the slabs.
+FleetResult run_fleet(const FleetConfig& config, robust::CellContext& ctx) {
+  sim::Simulator sim(config.queue);
+  const auto n = static_cast<std::size_t>(config.flows);
+  const auto racks = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, std::min(config.racks, config.flows)));
+
+  tcp::TcpConfig tcp_config;
+  tcp_config.mtu_bytes = config.mtu;
+  cca::CcaConfig cca_config;
+  cca_config.mss_bytes = tcp_config.mss_bytes();
+
+  // Fabric: rack DRR uplinks (40G) -> shared 400G core -> receivers;
+  // ACKs converge on one shared 400G reverse port. The core is heavily
+  // oversubscribed during the ramp — by design: a fleet-wide incast is
+  // what pins 100k+ flows open (and their timers pending) at once.
+  Demux rx_demux(n);
+  Demux tx_demux(n);
+  net::PortConfig core_config;
+  core_config.rate_bps = 400e9;
+  core_config.queue_capacity_bytes = 8 << 20;
+  net::QueuedPort core(sim, "core", core_config, &rx_demux);
+  net::PortConfig ack_config;
+  ack_config.rate_bps = 400e9;
+  ack_config.queue_capacity_bytes = 8 << 20;
+  net::QueuedPort ack_port(sim, "ack", ack_config, &tx_demux);
+
+  net::DrrPort::Config rack_config;
+  rack_config.rate_bps = 40e9;
+  rack_config.per_flow_queue_bytes = 1 << 16;  // bound fleet-wide buffering
+  std::vector<std::unique_ptr<net::DrrPort>> uplinks;
+  uplinks.reserve(racks);
+  for (std::size_t r = 0; r < racks; ++r) {
+    uplinks.push_back(std::make_unique<net::DrrPort>(
+        sim, "rack" + std::to_string(r), rack_config, &core));
+  }
+
+  std::vector<energy::CpuCore> cores(n);
+  std::vector<std::unique_ptr<tcp::TcpSender>> senders(n);
+  std::vector<std::unique_ptr<tcp::TcpReceiver>> receivers(n);
+
+  // Production mix: even flows web-search, odd flows data-mining, sizes
+  // capped (a fleet probe, not a bulk-transfer study) and rounded up to
+  // whole segments so every flow can report completion.
+  const auto websearch = app::websearch_workload();
+  const auto datamining = app::datamining_workload();
+  sim::Rng size_rng(config.seed);
+  const std::int64_t mss = tcp_config.mss_bytes();
+
+  std::int64_t open = 0;
+  std::int64_t peak_open = 0;
+  std::int64_t completed = 0;
+  const std::int64_t ramp_ns = config.ramp_ms * 1'000'000;
+  for (std::size_t f = 0; f < n; ++f) {
+    const app::FlowSizeDistribution& dist =
+        (f % 2 == 0) ? *websearch : *datamining;
+    std::int64_t bytes =
+        std::clamp(dist.sample(size_rng), mss, config.max_flow_bytes);
+    bytes = (bytes + mss - 1) / mss * mss;
+
+    auto cc = cca::make_cca(config.cca, cca_config);
+    senders[f] = std::make_unique<tcp::TcpSender>(
+        sim, static_cast<net::FlowId>(f), /*src=*/static_cast<net::HostId>(f),
+        /*dst=*/static_cast<net::HostId>(f + n), tcp_config, std::move(cc),
+        &cores[f], uplinks[f % racks].get());
+    receivers[f] = std::make_unique<tcp::TcpReceiver>(
+        sim, static_cast<net::FlowId>(f),
+        /*self=*/static_cast<net::HostId>(f + n), tcp_config, &ack_port);
+    rx_demux.set(f, receivers[f].get());
+    tx_demux.set(f, senders[f].get());
+
+    tcp::TcpSender* sender = senders[f].get();
+    sender->add_app_data(bytes);
+    sender->mark_app_eof();
+    sender->set_on_complete([&open, &completed] {
+      --open;
+      ++completed;
+    });
+    // Deterministic stagger across the ramp window: distinct start
+    // instants, no thundering single-tick herd, full overlap.
+    const sim::SimTime start = sim::SimTime::nanoseconds(
+        n > 1 ? ramp_ns * static_cast<std::int64_t>(f) /
+                    static_cast<std::int64_t>(n - 1)
+              : 0);
+    sim.schedule_at(start, [sender, &open, &peak_open] {
+      ++open;
+      peak_open = std::max(peak_open, open);
+      sender->start();
+    });
+  }
+
+  auto watch = ctx.watch(sim);
+  // lint-allow: wall-clock (events/sec throughput measurement only)
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(sim::SimTime::seconds(config.horizon_sec));
+  // lint-allow: wall-clock (events/sec throughput measurement only)
+  const auto t1 = std::chrono::steady_clock::now();
+
+  FleetResult result;
+  result.flows = config.flows;
+  result.completed = completed;
+  result.peak_open = peak_open;
+  result.events = sim.events_executed();
+  result.peak_pending = sim.peak_pending_events();
+  result.sim_sec = sim.now().sec();
+  result.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+  result.events_per_sec =
+      result.wall_sec > 0
+          ? static_cast<double>(result.events) / result.wall_sec
+          : 0.0;
+  result.rss_mb = peak_rss_mb();
+  return result;
+}
+
+constexpr std::size_t kHoldPending = 10'000;
+constexpr std::size_t kHoldOps = 2'000'000;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  robust::install_shutdown_handler();
+
+  FleetConfig config;
+  config.flows = bench::flag_i64(argc, argv, "--flows", config.flows);
+  config.racks = bench::flag_i64(argc, argv, "--racks", config.racks);
+  config.max_flow_bytes =
+      bench::flag_i64(argc, argv, "--max-flow-kb", 256) * 1024;
+  config.ramp_ms = bench::flag_i64(argc, argv, "--ramp-ms", config.ramp_ms);
+  config.horizon_sec =
+      bench::flag_double(argc, argv, "--horizon-sec", config.horizon_sec);
+  config.mtu =
+      static_cast<std::int32_t>(bench::flag_i64(argc, argv, "--mtu", 9000));
+  config.cca = bench::flag_str(argc, argv, "--cca", config.cca);
+  config.seed =
+      static_cast<std::uint64_t>(bench::flag_i64(argc, argv, "--seed", 1));
+  const std::string queue_flag = bench::flag_str(argc, argv, "--queue", "");
+  if (queue_flag == "heap") {
+    config.queue = sim::EventQueueKind::kBinaryHeap;
+  } else if (queue_flag == "calendar") {
+    config.queue = sim::EventQueueKind::kCalendar;
+  }
+  const int repeats =
+      static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 1));
+  const int jobs = bench::flag_jobs(argc, argv);
+  const std::string json_path = bench::flag_str(argc, argv, "--json", "");
+
+  bench::print_header(
+      "Extension — fleet-scale event-core stress (calendar queue)",
+      "\"test with the sorts of workloads used in production data "
+      "centers\" — here at fleet width: 100k+ concurrent flows on one "
+      "simulator");
+
+  const auto reps = static_cast<std::size_t>(std::max(repeats, 1));
+  std::vector<FleetResult> runs(reps);
+  std::vector<char> present(reps, 0);
+
+  std::ostringstream canon;
+  canon << "fleet flows=" << config.flows << " racks=" << config.racks
+        << " max=" << config.max_flow_bytes << " ramp=" << config.ramp_ms
+        << " horizon=" << config.horizon_sec << " mtu=" << config.mtu
+        << " cca=" << config.cca << " seed=" << config.seed
+        << " repeats=" << repeats;
+
+  robust::SupervisorOptions sup;
+  sup.jobs = jobs;
+  sup.max_attempts =
+      static_cast<int>(bench::flag_i64(argc, argv, "--retries", 0)) + 1;
+  sup.cell_deadline_sec = bench::flag_double(argc, argv, "--deadline", 0.0);
+  sup.event_budget = static_cast<std::uint64_t>(
+      bench::flag_i64(argc, argv, "--event-budget", 0));
+  sup.journal_path = bench::flag_str(argc, argv, "--journal", "");
+  sup.config_hash = robust::fnv1a64(canon.str());
+  sup.resume = bench::flag_set(argc, argv, "--resume");
+  if (sup.resume && sup.journal_path.empty()) {
+    sup.journal_path = "ext_fleet_journal.jsonl";
+  }
+  sup.progress = [](std::size_t done, std::size_t total, std::size_t index,
+                    double secs) {
+    std::fprintf(stderr, "  fleet: [%zu/%zu] rep=%zu  %6.2fs\n", done, total,
+                 index, secs);
+  };
+
+  robust::CellHooks hooks;
+  hooks.run = [&](std::size_t rep, robust::CellContext& ctx) -> std::string {
+    FleetConfig cell = config;
+    cell.seed = app::derive_seed(config.seed, rep, 0);
+    ctx.set_seed(cell.seed);
+    FleetResult result = run_fleet(cell, ctx);
+    if (ctx.cut()) return {};
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%" PRId64 " %" PRId64 " %" PRId64 " %" PRIu64 " %" PRIu64
+                  " %.17g %.17g %.17g %.17g",
+                  result.flows, result.completed, result.peak_open,
+                  result.events, result.peak_pending, result.sim_sec,
+                  result.wall_sec, result.events_per_sec, result.rss_mb);
+    runs[rep] = result;
+    present[rep] = 1;
+    return buf;
+  };
+  hooks.restore = [&](std::size_t rep, const std::string& payload) {
+    FleetResult r;
+    if (std::sscanf(payload.c_str(),
+                    "%" SCNd64 " %" SCNd64 " %" SCNd64 " %" SCNu64 " %" SCNu64
+                    " %lg %lg %lg %lg",
+                    &r.flows, &r.completed, &r.peak_open, &r.events,
+                    &r.peak_pending, &r.sim_sec, &r.wall_sec,
+                    &r.events_per_sec, &r.rss_mb) != 9) {
+      return;
+    }
+    runs[rep] = r;
+    present[rep] = 1;
+  };
+
+  robust::SweepSupervisor supervisor(std::move(sup));
+  const robust::SweepReport report = supervisor.run(reps, hooks);
+  std::fprintf(stderr, "  %s\n", report.summary().c_str());
+
+  stats::Table table({"rep", "flows", "completed", "peak_open", "events",
+                      "peak_pending", "sim[s]", "wall[s]", "events/s",
+                      "rss[MB]"});
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    if (!present[rep]) continue;
+    const FleetResult& r = runs[rep];
+    table.add_row({std::to_string(rep), std::to_string(r.flows),
+                   std::to_string(r.completed), std::to_string(r.peak_open),
+                   std::to_string(static_cast<long long>(r.events)),
+                   std::to_string(static_cast<long long>(r.peak_pending)),
+                   stats::Table::num(r.sim_sec, 3),
+                   stats::Table::num(r.wall_sec, 2),
+                   stats::Table::num(r.events_per_sec, 0),
+                   stats::Table::num(r.rss_mb, 1)});
+  }
+  table.print(std::cout);
+
+  // The committed baseline pairs the fleet numbers with the hold-model
+  // simcore comparison the ablation gate replays.
+  if (!json_path.empty()) {
+    std::fprintf(stderr, "  fleet: measuring simcore hold baseline...\n");
+    const bench::HoldResult hold =
+        bench::hold_head_to_head(kHoldPending, kHoldOps, /*seed=*/1,
+                                 /*reps=*/5);
+    const double calendar_eps = hold.calendar_eps;
+    const double heap_eps = hold.heap_eps;
+
+    stats::JsonWriter json;
+    json.begin_object();
+    json.field("schema", 1);
+    json.key("config").begin_object();
+    json.field("flows", config.flows);
+    json.field("racks", config.racks);
+    json.field("max_flow_bytes", config.max_flow_bytes);
+    json.field("ramp_ms", config.ramp_ms);
+    json.field("mtu", config.mtu);
+    json.field("cca", config.cca);
+    json.field("seed", config.seed);
+    json.field("queue", sim::Simulator(config.queue).queue_name());
+    json.end_object();
+    json.key("reps").begin_array();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      if (!present[rep]) continue;
+      const FleetResult& r = runs[rep];
+      json.begin_object();
+      json.field("rep", static_cast<std::int64_t>(rep));
+      json.field("flows", r.flows);
+      json.field("completed", r.completed);
+      json.field("peak_open_flows", r.peak_open);
+      json.field("events_executed", r.events);
+      json.field("peak_pending_events", r.peak_pending);
+      json.field("sim_sec", r.sim_sec);
+      json.field("wall_sec", r.wall_sec);
+      json.field("events_per_sec", r.events_per_sec);
+      json.field("peak_rss_mb", r.rss_mb);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("simcore").begin_object();
+    json.field("hold_pending_events", static_cast<std::int64_t>(kHoldPending));
+    json.field("hold_ops", static_cast<std::int64_t>(kHoldOps));
+    json.field("calendar_events_per_sec", calendar_eps);
+    json.field("heap_events_per_sec", heap_eps);
+    json.field("calendar_speedup",
+               heap_eps > 0 ? calendar_eps / heap_eps : 0.0);
+    json.end_object();
+    json.end_object();
+    std::ofstream out(json_path);
+    out << json.str() << "\n";
+    std::printf("\nwrote %s (simcore hold @%zu pending: calendar %.2fM/s, "
+                "heap %.2fM/s, speedup %.2fx)\n",
+                json_path.c_str(), kHoldPending, calendar_eps / 1e6,
+                heap_eps / 1e6, heap_eps > 0 ? calendar_eps / heap_eps : 0.0);
+  }
+
+  std::printf(
+      "\n(One simulator, %" PRId64 " flows over %" PRId64
+      " DRR rack uplinks into a shared core; peak_open is the high-water "
+      "mark of concurrently active flows, peak_pending the event queue's. "
+      "events/s is wall-clock throughput — compare --queue calendar vs "
+      "heap.)\n",
+      config.flows, config.racks);
+  return report.complete() ? 0 : robust::kPartialResultsExit;
+}

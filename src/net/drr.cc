@@ -9,20 +9,19 @@
 namespace greencc::net {
 
 DrrPort::FlowState& DrrPort::flow_state(FlowId flow) {
-  auto it = flows_.find(flow);
-  if (it == flows_.end()) {
-    FlowState state;
+  FlowState& state = flows_[flow];
+  if (!state.queue) {
     state.queue =
         std::make_unique<DropTailQueue>(config_.per_flow_queue_bytes);
     state.queue->set_ledger(ledger_);
-    it = flows_.emplace(flow, std::move(state)).first;
   }
-  return it->second;
+  return state;
 }
 
 void DrrPort::set_ledger(check::PacketLedger* ledger) {
   ledger_ = ledger;
-  for (auto& [flow, state] : flows_) state.queue->set_ledger(ledger);
+  flows_.for_each(
+      [ledger](FlowId, FlowState& state) { state.queue->set_ledger(ledger); });
 }
 
 void DrrPort::set_weight(FlowId flow, double weight) {
@@ -33,34 +32,36 @@ void DrrPort::set_weight(FlowId flow, double weight) {
 }
 
 std::int64_t DrrPort::queued_bytes(FlowId flow) const {
-  auto it = flows_.find(flow);
-  return it == flows_.end() ? 0 : it->second.queue->bytes();
+  const FlowState* state = flows_.find(flow);
+  return state == nullptr ? 0 : state->queue->bytes();
 }
 
 std::int64_t DrrPort::total_queued_bytes() const {
   std::int64_t total = 0;
-  for (const auto& [flow, state] : flows_) total += state.queue->bytes();
+  flows_.for_each([&total](FlowId, const FlowState& state) {
+    total += state.queue->bytes();
+  });
   return total;
 }
 
 std::int64_t DrrPort::total_queued_packets() const {
   std::int64_t total = 0;
-  for (const auto& [flow, state] : flows_) {
+  flows_.for_each([&total](FlowId, const FlowState& state) {
     total += static_cast<std::int64_t>(state.queue->packets());
-  }
+  });
   return total;
 }
 
 void DrrPort::audit(std::vector<std::string>& problems) const {
   for (std::size_t i = 0; i < active_.size(); ++i) {
     const FlowId flow = active_[i];
-    const auto it = flows_.find(flow);
-    if (it == flows_.end()) {
+    const FlowState* state = flows_.find(flow);
+    if (state == nullptr) {
       problems.push_back("active list holds unknown flow " +
                          std::to_string(flow));
       continue;
     }
-    if (!it->second.in_round) {
+    if (!state->in_round) {
       problems.push_back("flow " + std::to_string(flow) +
                          " on the active list but not marked in_round");
     }
@@ -69,7 +70,7 @@ void DrrPort::audit(std::vector<std::string>& problems) const {
                          " appears more than once on the active list");
     }
   }
-  for (const auto& [flow, state] : flows_) {
+  flows_.for_each([&](FlowId flow, const FlowState& state) {
     const bool listed =
         std::find(active_.begin(), active_.end(), flow) != active_.end();
     if (state.in_round != listed) {
@@ -105,7 +106,7 @@ void DrrPort::audit(std::vector<std::string>& problems) const {
     for (std::size_t i = before; i < problems.size(); ++i) {
       problems[i] = "flow " + std::to_string(flow) + " queue: " + problems[i];
     }
-  }
+  });
   if (round_index_ > active_.size()) {
     problems.push_back("round index " + std::to_string(round_index_) +
                        " beyond active list size " +

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "net/flow_map.h"
 #include "net/packet.h"
 #include "net/queue.h"
 #include "sim/simulator.h"
@@ -74,7 +74,7 @@ class DrrPort : public PacketHandler {
   std::string name_;
   Config config_;
   PacketHandler* next_;
-  std::map<FlowId, FlowState> flows_;
+  FlowMap<FlowState> flows_;  ///< slab-backed; flows are never removed
   check::PacketLedger* ledger_ = nullptr;
   std::vector<FlowId> active_;  ///< round-robin list of backlogged flows
   std::size_t round_index_ = 0;

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/check.h"
+#include "net/packet.h"
+
+namespace greencc::net {
+
+/// Insert-only map from FlowId to per-flow state, backed by a chunked slab.
+///
+/// A fair-queueing port tracks state for every flow it has ever seen and
+/// never removes any; `std::map` spends a node allocation and a pointer
+/// chase per flow for what is really an append-mostly table. This container
+/// keeps values in fixed-size slab chunks (stable addresses, one allocation
+/// per kChunk flows) with a sorted (FlowId -> slot) index on the side:
+/// appends of increasing FlowIds — the common case, flows are numbered in
+/// creation order — are O(1), lookups are a binary search over a dense
+/// vector, and key-order iteration (audits, ledger propagation, totals)
+/// walks the index.
+template <typename V>
+class FlowMap {
+ public:
+  bool empty() const { return index_.empty(); }
+  std::size_t size() const { return index_.size(); }
+
+  bool contains(FlowId flow) const { return find(flow) != nullptr; }
+
+  V* find(FlowId flow) {
+    const auto it = lower_bound(flow);
+    if (it == index_.end() || it->first != flow) return nullptr;
+    return &slot(it->second);
+  }
+  const V* find(FlowId flow) const {
+    const auto it = lower_bound(flow);
+    if (it == index_.end() || it->first != flow) return nullptr;
+    return &slot(it->second);
+  }
+
+  V& at(FlowId flow) {
+    V* v = find(flow);
+    GREENCC_CHECK(v != nullptr) << "FlowMap::at: unknown flow " << flow;
+    return *v;
+  }
+  const V& at(FlowId flow) const {
+    V* v = const_cast<FlowMap*>(this)->find(flow);
+    GREENCC_CHECK(v != nullptr) << "FlowMap::at: unknown flow " << flow;
+    return *v;
+  }
+
+  /// The entry for `flow`, default-constructed on first use. References
+  /// stay valid forever (values never move between chunks).
+  V& operator[](FlowId flow) {
+    const auto it = lower_bound(flow);
+    if (it != index_.end() && it->first == flow) return slot(it->second);
+    const std::uint32_t new_slot = static_cast<std::uint32_t>(next_slot_++);
+    if (new_slot % kChunk == 0) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    index_.insert(it, {flow, new_slot});
+    return slot(new_slot);
+  }
+
+  /// Key-order traversal: calls fn(FlowId, V&) for every flow.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (const auto& [flow, s] : index_) fn(flow, slot(s));
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [flow, s] : index_) fn(flow, slot(s));
+  }
+
+ private:
+  static constexpr std::size_t kChunk = 64;
+  struct Chunk {
+    V values[kChunk];
+  };
+
+  std::vector<std::pair<FlowId, std::uint32_t>>::const_iterator lower_bound(
+      FlowId flow) const {
+    // Fast path: append of the largest FlowId so far (flows are numbered in
+    // creation order, so lazy first-touch insertions arrive ascending).
+    if (index_.empty() || index_.back().first < flow) return index_.end();
+    return std::lower_bound(
+        index_.begin(), index_.end(), flow,
+        [](const auto& entry, FlowId f) { return entry.first < f; });
+  }
+  std::vector<std::pair<FlowId, std::uint32_t>>::iterator lower_bound(
+      FlowId flow) {
+    if (index_.empty() || index_.back().first < flow) return index_.end();
+    return std::lower_bound(
+        index_.begin(), index_.end(), flow,
+        [](const auto& entry, FlowId f) { return entry.first < f; });
+  }
+
+  V& slot(std::uint32_t s) { return chunks_[s / kChunk]->values[s % kChunk]; }
+  const V& slot(std::uint32_t s) const {
+    return chunks_[s / kChunk]->values[s % kChunk];
+  }
+
+  std::vector<std::pair<FlowId, std::uint32_t>> index_;  ///< sorted by FlowId
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t next_slot_ = 0;
+};
+
+}  // namespace greencc::net

@@ -1,0 +1,389 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "check/check.h"
+
+namespace greencc::sim {
+
+namespace detail {
+
+void EventHeap::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!event_before(v_[i], v_[parent])) break;
+    std::swap(v_[i], v_[parent]);
+    i = parent;
+  }
+}
+
+void EventHeap::sift_down(std::size_t i) {
+  const std::size_t n = v_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    if (left < n && event_before(v_[left], v_[smallest])) smallest = left;
+    if (right < n && event_before(v_[right], v_[smallest])) smallest = right;
+    if (smallest == i) return;
+    std::swap(v_[i], v_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace detail
+
+// --- BinaryHeapQueue ---
+
+void BinaryHeapQueue::push(Event ev) {
+  heap_.push(std::move(ev));
+  ++live_;
+}
+
+void BinaryHeapQueue::prune() {
+  while (!heap_.empty() && detail::contains(cancelled_, heap_.top().seq)) {
+    cancelled_.erase(heap_.top().seq);
+    heap_.pop_move();  // destroys the tombstoned callback
+  }
+}
+
+EventQueue::Event BinaryHeapQueue::pop_move() {
+  prune();
+  GREENCC_DCHECK(!heap_.empty()) << "pop_move on an empty event queue";
+  --live_;
+  return heap_.pop_move();
+}
+
+SimTime BinaryHeapQueue::next_when() {
+  prune();
+  GREENCC_DCHECK(!heap_.empty()) << "next_when on an empty event queue";
+  return heap_.top().when;
+}
+
+bool BinaryHeapQueue::cancel(EventId id) {
+  GREENCC_DCHECK(live_ > 0) << "cancel " << id << " on an empty event queue";
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+// --- CalendarQueue ---
+
+CalendarQueue::CalendarQueue()
+    : buckets_(kMinBuckets),
+      mask_(kMinBuckets - 1),
+      width_ns_(std::int64_t{1} << kInitialWidthShift),
+      width_shift_(kInitialWidthShift) {
+  reset_horizon_end();
+}
+
+void CalendarQueue::push(Event ev) {
+  GREENCC_DCHECK(ev.when.ns() >= 0)
+      << "calendar queue requires non-negative times, got " << ev.when.ns();
+  ++live_;
+  const std::int64_t t = ev.when.ns();
+  if (t < cal_start_ns_ + width_ns_) {
+    // Due within the cursor bucket's window (or behind a cursor that ran
+    // ahead during run_until): joins the sorted ready run directly.
+    insert_ready(std::move(ev));
+    // A window much wider than the schedule's spacing funnels every push
+    // through this sorted insert — O(run length) each. Re-derive the
+    // width once the run is long and spreads over more than one ns (a
+    // same-instant burst cannot be split by any width; anything wider
+    // can, because in-window spreads are always below the current width).
+    if (ready_.size() - ready_pos_ > kMaxBucketLoad &&
+        ready_.back().when.ns() - ready_[ready_pos_].when.ns() >= 1) {
+      rebuild();
+    }
+    return;
+  }
+  if (t < horizon_end_ns_) {
+    buckets_[static_cast<std::size_t>(t >> width_shift_) & mask_].push_back(
+        std::move(ev));
+    ++wheel_count_;
+    // Rebuild when occupancy passes ~2 events per bucket — unless the ring
+    // is already at its size cap, where a rebuild would change nothing and
+    // the trigger would otherwise fire on every subsequent push.
+    if (wheel_count_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+      rebuild();
+    }
+    return;
+  }
+  if (t < overflow_min_ns_) overflow_min_ns_ = t;
+  overflow_.push(std::move(ev));
+}
+
+void CalendarQueue::insert_ready(Event ev) {
+  const auto begin = ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos_);
+  const auto it =
+      std::lower_bound(begin, ready_.end(), ev, detail::event_before);
+  ready_.insert(it, std::move(ev));
+}
+
+void CalendarQueue::load_bucket() {
+  // Every event still in the cursor bucket lies inside its current window
+  // (earlier laps were drained when the cursor last passed, later laps are
+  // still beyond the horizon), so the whole bucket becomes the ready run.
+  std::vector<Event>& bucket = buckets_[cursor_];
+  wheel_count_ -= bucket.size();
+  ready_pos_ = 0;
+  if (cancelled_.empty()) {
+    // Common case (no tombstones outstanding anywhere): adopt the bucket's
+    // storage wholesale — the old ready run holds only moved-out husks, so
+    // the swap trades allocations instead of moving events one by one.
+    ready_.swap(bucket);
+    bucket.clear();
+  } else {
+    ready_.clear();
+    for (Event& ev : bucket) {
+      if (is_cancelled(ev.seq)) {
+        cancelled_.erase(ev.seq);  // reclaim the tombstone
+        continue;
+      }
+      ready_.push_back(std::move(ev));
+    }
+    bucket.clear();
+  }
+  // Steady-state occupancy is 1-2 events per bucket; handle those without
+  // std::sort's call and dispatch overhead.
+  if (ready_.size() <= 2) {
+    if (ready_.size() == 2 && detail::event_before(ready_[1], ready_[0])) {
+      std::swap(ready_[0], ready_[1]);
+    }
+    return;
+  }
+  std::sort(ready_.begin(), ready_.end(), detail::event_before);
+  // A width left over from a sparser era concentrates a compressed live
+  // set into a few heavy buckets; re-derive it while the evidence (one
+  // overloaded, genuinely multi-ns bucket) is in hand. A bucket spanning
+  // even 2 ns can be split by a narrower width (its span is always below
+  // the current width); only a same-instant burst is unsplittable.
+  if (ready_.size() > kMaxBucketLoad &&
+      ready_.back().when.ns() - ready_.front().when.ns() >= 1) {
+    rebuild();
+  }
+}
+
+void CalendarQueue::migrate_overflow() {
+  if (overflow_min_ns_ >= horizon_end_ns_) return;  // nothing due yet
+  while (!overflow_.empty()) {
+    if (detail::contains(cancelled_, overflow_.top().seq)) {
+      cancelled_.erase(overflow_.top().seq);
+      overflow_.pop_move();
+      continue;
+    }
+    if (overflow_.top().when.ns() >= horizon_end_ns_) break;
+    Event ev = overflow_.pop_move();
+    const std::int64_t t = ev.when.ns();
+    if (t < cal_start_ns_ + width_ns_) {
+      insert_ready(std::move(ev));
+    } else {
+      buckets_[static_cast<std::size_t>(t >> width_shift_) & mask_].push_back(
+          std::move(ev));
+      ++wheel_count_;
+    }
+  }
+  overflow_min_ns_ = overflow_.empty() ? kNoOverflow : overflow_.top().when.ns();
+}
+
+bool CalendarQueue::ensure_ready() {
+  std::size_t empty_steps = 0;
+  for (;;) {
+    // Skip tombstoned events at the front of the ready run.
+    while (ready_pos_ < ready_.size() &&
+           is_cancelled(ready_[ready_pos_].seq)) {
+      cancelled_.erase(ready_[ready_pos_].seq);
+      ready_[ready_pos_].cb = nullptr;  // destroy the callback now
+      ++ready_pos_;
+    }
+    if (ready_pos_ < ready_.size()) return true;
+
+    if (wheel_count_ == 0) {
+      // Ring empty: jump the cursor straight to the first overflow event
+      // instead of stepping through (possibly millions of) empty buckets.
+      ready_.clear();
+      ready_pos_ = 0;
+      while (!overflow_.empty() &&
+             detail::contains(cancelled_, overflow_.top().seq)) {
+        cancelled_.erase(overflow_.top().seq);
+        overflow_.pop_move();
+      }
+      if (overflow_.empty()) {
+        overflow_min_ns_ = kNoOverflow;
+        return false;  // no live events anywhere
+      }
+      overflow_min_ns_ = overflow_.top().when.ns();
+      const std::int64_t t = overflow_min_ns_;
+      cal_start_ns_ = (t >> width_shift_) << width_shift_;
+      reset_horizon_end();
+      cursor_ = static_cast<std::size_t>(t >> width_shift_) & mask_;
+      // migrate_overflow() inserts in-window events into the ready run, so
+      // the (empty) cursor bucket must be loaded first — load_bucket()
+      // resets the run.
+      load_bucket();
+      migrate_overflow();
+      continue;
+    }
+
+    // A stale (too narrow) width can leave the cursor crawling across a
+    // long idle gap one empty bucket at a time; after enough fruitless
+    // steps, rebuild — it re-derives the width and re-anchors the window
+    // at the next live event, making the following iteration terminal.
+    if (++empty_steps > kMaxEmptySteps) {
+      rebuild();
+      empty_steps = 0;
+      continue;
+    }
+
+    // Advance the cursor one bucket; the horizon moves with it, so any
+    // overflow events that just came inside migrate into the ring. Order
+    // matters: load_bucket() resets the ready run, migrate_overflow()
+    // appends to it.
+    cal_start_ns_ += width_ns_;
+    horizon_end_ns_ += width_ns_;
+    cursor_ = (cursor_ + 1) & mask_;
+    if (buckets_[cursor_].empty()) {
+      ready_.clear();
+      ready_pos_ = 0;
+    } else {
+      load_bucket();
+    }
+    migrate_overflow();
+  }
+}
+
+EventQueue::Event CalendarQueue::pop_move() {
+  const bool have = ensure_ready();
+  GREENCC_DCHECK(have) << "pop_move on an empty event queue";
+  (void)have;
+  --live_;
+  Event out = std::move(ready_[ready_pos_]);
+  ++ready_pos_;
+  // Compact a long consumed prefix so the ready run cannot grow without
+  // bound while events keep chaining inside one bucket window.
+  if (ready_pos_ > 1024 && ready_pos_ * 2 > ready_.size()) {
+    ready_.erase(ready_.begin(),
+                 ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos_));
+    ready_pos_ = 0;
+  }
+  return out;
+}
+
+SimTime CalendarQueue::next_when() {
+  const bool have = ensure_ready();
+  GREENCC_DCHECK(have) << "next_when on an empty event queue";
+  (void)have;
+  return ready_[ready_pos_].when;
+}
+
+bool CalendarQueue::cancel(EventId id) {
+  GREENCC_DCHECK(live_ > 0) << "cancel " << id << " on an empty event queue";
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+void CalendarQueue::rebuild() {
+  // Gather the ring's live events plus the un-popped tail of the ready
+  // run, dropping tombstones (this is where cancel-heavy workloads
+  // physically reclaim their slots). The ready run must be folded in: the
+  // rebuilt window can shrink, and a ready event beyond the new window
+  // would otherwise order-invert against later pushes that land in
+  // buckets. The overflow heap stays where it is — migrate_overflow()
+  // pulls in whatever the new horizon covers at the end — so a rebuild
+  // costs O(wheel), not O(everything pending), and the schedule's far
+  // tail never gets re-sorted just because the near cluster changed
+  // density.
+  std::vector<Event> events;
+  events.reserve(wheel_count_ + (ready_.size() - ready_pos_));
+  const auto take = [&](Event& ev) {
+    if (is_cancelled(ev.seq)) {
+      cancelled_.erase(ev.seq);
+      return;
+    }
+    events.push_back(std::move(ev));
+  };
+  std::size_t remaining = wheel_count_;
+  for (auto& bucket : buckets_) {
+    if (remaining == 0) break;
+    if (bucket.empty()) continue;
+    remaining -= bucket.size();
+    for (Event& ev : bucket) take(ev);
+    bucket.clear();
+  }
+  for (std::size_t i = ready_pos_; i < ready_.size(); ++i) take(ready_[i]);
+  ready_.clear();
+  ready_pos_ = 0;
+  std::sort(events.begin(), events.end(), detail::event_before);
+
+  // Brown's rule, sampled at the head of the schedule: bucket width ~ 3x
+  // the mean gap among the next events due, bucket count ~ the event
+  // population, so occupancy stays near one and both insert and dequeue
+  // stay O(1). Sampling the head (not the full span) keeps a dense
+  // working set fast even when sparse far-future timers would stretch the
+  // global mean gap by orders of magnitude; the far tail just stays in
+  // the overflow heap, where it belongs.
+  if (events.size() >= 2) {
+    const std::size_t sample = std::min<std::size_t>(events.size(), 256);
+    const std::int64_t span =
+        events[sample - 1].when.ns() - events.front().when.ns();
+    const std::int64_t mean_gap =
+        span / static_cast<std::int64_t>(sample - 1);
+    const std::int64_t want = std::max<std::int64_t>(1, mean_gap);
+    width_shift_ = 0;
+    while ((std::int64_t{1} << width_shift_) < want && width_shift_ < 62) {
+      ++width_shift_;
+    }
+    width_ns_ = std::int64_t{1} << width_shift_;
+  }
+  // Size the ring for the whole pending population (live_ counts the
+  // overflow heap too — O(1) to know), not just the gathered near set:
+  // overflow events stream into the ring as the cursor advances, and an
+  // undersized ring would shunt them right back out. When the target
+  // matches the current size the array is left alone — every bucket is
+  // already empty after the gather, and keeping them preserves their
+  // capacity (a full reassign frees and reallocates thousands of vectors).
+  std::size_t target = kMinBuckets;
+  while (target < live_ && target < kMaxBuckets) target *= 2;
+  if (target != buckets_.size()) {
+    buckets_.assign(target, {});
+    mask_ = target - 1;
+  }
+  wheel_count_ = 0;
+
+  // Anchor the cursor window at the earliest pending event so everything
+  // redistributes at or ahead of it. (Pushes behind the window — possible
+  // when the earliest pending event is ahead of the simulated clock — go
+  // straight to the ready run, so a forward-anchored window stays safe.)
+  // With nothing gathered the earliest pending event is the overflow top:
+  // anchor there so migrate_overflow() can pull the head straight in.
+  if (!events.empty()) {
+    cal_start_ns_ = (events.front().when.ns() >> width_shift_) << width_shift_;
+  } else if (!overflow_.empty()) {
+    cal_start_ns_ =
+        (overflow_.top().when.ns() >> width_shift_) << width_shift_;
+  } else {
+    cal_start_ns_ = (cal_start_ns_ >> width_shift_) << width_shift_;
+  }
+  cursor_ = static_cast<std::size_t>(cal_start_ns_ >> width_shift_) & mask_;
+  reset_horizon_end();
+
+  for (Event& ev : events) {
+    const std::int64_t t = ev.when.ns();
+    if (t < cal_start_ns_ + width_ns_) {
+      insert_ready(std::move(ev));  // due within the cursor window
+    } else if (t < horizon_end_ns_) {
+      buckets_[static_cast<std::size_t>(t >> width_shift_) & mask_].push_back(
+          std::move(ev));
+      ++wheel_count_;
+    } else {
+      if (t < overflow_min_ns_) overflow_min_ns_ = t;
+      overflow_.push(std::move(ev));
+    }
+  }
+  // A wider ring may now cover events that waited in the overflow heap.
+  migrate_overflow();
+}
+
+}  // namespace greencc::sim

@@ -1,0 +1,254 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace greencc::sim {
+
+/// Handle of a scheduled event, issued by Simulator::schedule/schedule_at.
+/// Handles are unique over a simulator's lifetime (they are the FIFO
+/// tie-break sequence numbers) and never reused, so a handle unambiguously
+/// names one event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = ~EventId{0};
+
+/// Priority queue of simulator events, totally ordered by (when, seq):
+/// earliest deadline first, FIFO among events scheduled for the same
+/// instant. Both implementations honour that exact order, which is what
+/// makes them interchangeable bit-for-bit (the cross-queue determinism
+/// suite holds them to it).
+///
+/// Cancellation contract: cancel(id) may only be called for an event that
+/// is still pending (pushed, not yet popped). The queue tombstones it —
+/// the callback is destroyed without running, the event stops counting in
+/// size(), and the slot is physically reclaimed lazily (at the point the
+/// queue would have surfaced it, or during compaction/rebuild). Callers
+/// that may race an event's execution must track pending-ness themselves;
+/// Timer does.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  struct Event {
+    SimTime when;
+    EventId seq = 0;  ///< tie-breaker: FIFO among same-time events
+    Callback cb;
+  };
+
+  virtual ~EventQueue() = default;
+
+  /// Insert an event. `ev.seq` must be strictly greater than every seq
+  /// pushed before (the simulator's monotone counter guarantees this).
+  virtual void push(Event ev) = 0;
+
+  /// Remove and return the minimum live event by (when, seq). The event is
+  /// *moved* out — no const_cast of a frozen heap node, the callback's
+  /// ownership transfers to the caller. Requires !empty().
+  virtual Event pop_move() = 0;
+
+  /// Deadline of the next live event. Requires !empty(). (Non-const: the
+  /// queue may prune tombstones while looking.)
+  virtual SimTime next_when() = 0;
+
+  /// Tombstone a pending event; see the class comment for the contract.
+  /// Returns true (the event will never run) for a pending id.
+  virtual bool cancel(EventId id) = 0;
+
+  /// Number of live (non-cancelled, not yet popped) events.
+  virtual std::size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  virtual const char* name() const = 0;
+};
+
+namespace detail {
+
+/// Ascending (when, seq) — the queue's total order. A struct rather than a
+/// free function so sorts receive a stateless functor the optimizer inlines
+/// (passing a function pointer keeps every comparison an indirect call —
+/// measurably the hold model's single largest cost).
+struct EventBefore {
+  bool operator()(const EventQueue::Event& a,
+                  const EventQueue::Event& b) const {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+};
+inline constexpr EventBefore event_before{};
+
+/// Tombstone-set membership with the common-case (no cancellations
+/// outstanding) short-circuited to one branch.
+inline bool contains(const std::unordered_set<EventId>& s, EventId id) {
+  return !s.empty() && s.count(id) != 0;
+}
+
+/// Binary min-heap over a vector, ordered by event_before. Unlike
+/// std::priority_queue it exposes its root for moving out, so popping an
+/// event never needs to const_cast away a frozen node.
+class EventHeap {
+ public:
+  void push(EventQueue::Event ev) {
+    v_.push_back(std::move(ev));
+    sift_up(v_.size() - 1);
+  }
+  /// Requires !empty().
+  EventQueue::Event pop_move() {
+    EventQueue::Event out = std::move(v_.front());
+    v_.front() = std::move(v_.back());
+    v_.pop_back();
+    if (!v_.empty()) sift_down(0);
+    return out;
+  }
+  const EventQueue::Event& top() const { return v_.front(); }
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  /// Destructive drain into `out` (heap order, not sorted).
+  void drain_into(std::vector<EventQueue::Event>& out) {
+    for (auto& ev : v_) out.push_back(std::move(ev));
+    v_.clear();
+  }
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  std::vector<EventQueue::Event> v_;
+};
+
+}  // namespace detail
+
+/// The pre-calendar event core: one O(log n) heap op per event. Kept as the
+/// reference implementation for the cross-queue determinism suite and as
+/// the baseline ablation_simcore measures the calendar queue against.
+class BinaryHeapQueue final : public EventQueue {
+ public:
+  void push(Event ev) override;
+  Event pop_move() override;
+  SimTime next_when() override;
+  bool cancel(EventId id) override;
+  std::size_t size() const override { return live_; }
+  const char* name() const override { return "binary-heap"; }
+
+ private:
+  void prune();  ///< pop tombstoned events off the root
+
+  detail::EventHeap heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;
+};
+
+/// Calendar queue (Brown 1988) with an overflow heap for far-future events
+/// — the event core sized for million-flow sweeps.
+///
+/// Simulated time is monotone and packet-event horizons are short (a
+/// serialization plus a propagation delay), the textbook conditions for a
+/// calendar queue: a power-of-two ring of `nbuckets` buckets, each
+/// `width` ns wide, covers the near future; an event lands in bucket
+/// (when / width) mod nbuckets in O(1). Dequeue keeps a cursor bucket
+/// whose due events are sorted once into a ready run and then popped off
+/// the front, preserving the exact (when, seq) order of the binary heap.
+/// Events beyond the ring's horizon (long RTO and idle timers) wait in a
+/// small overflow heap and migrate into the ring as the cursor advances.
+///
+/// The ring resizes itself: when occupancy exceeds ~2 events per bucket it
+/// doubles the bucket count and re-derives the bucket width from the
+/// observed event spacing (3x the mean gap, Brown's rule), so both the
+/// 2-flow dumbbell and the 1M-flow fleet see ~O(1) per event.
+class CalendarQueue final : public EventQueue {
+ public:
+  CalendarQueue();
+
+  void push(Event ev) override;
+  Event pop_move() override;
+  SimTime next_when() override;
+  bool cancel(EventId id) override;
+  std::size_t size() const override { return live_; }
+  const char* name() const override { return "calendar"; }
+
+  // Introspection for tests / the resize policy's own asserts.
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::int64_t bucket_width_ns() const { return width_ns_; }
+  std::size_t overflow_size() const { return overflow_.size(); }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 256;
+  /// Ring growth cap: 2^18 buckets keeps the (empty-bucket) footprint a
+  /// few MB; beyond it occupancy grows past one event per bucket, which
+  /// only flattens the constant, not the O(1).
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 18;
+  static constexpr int kInitialWidthShift = 10;  // 1024 ns buckets
+  /// Empty cursor advances tolerated per dequeue before a rebuild
+  /// re-anchors the window at the next live event (guards against a
+  /// stale tiny width making the cursor crawl across a long idle gap).
+  static constexpr std::size_t kMaxEmptySteps = 1024;
+  /// Cursor-bucket population that triggers a width re-derivation (guards
+  /// against a stale wide width concentrating the live set in a few
+  /// buckets, where every in-window push pays an O(bucket) sorted
+  /// insert). Only fires when the bucket's events span more than one ns —
+  /// a same-instant burst cannot be split by any width.
+  static constexpr std::size_t kMaxBucketLoad = 64;
+
+  /// End of the ring's coverage, kept incrementally (cursor advances add
+  /// one width; rebuilds recompute) so the hot paths compare against a
+  /// member instead of recomputing size * width.
+  std::int64_t horizon_end_ns() const { return horizon_end_ns_; }
+  void reset_horizon_end() {
+    horizon_end_ns_ = cal_start_ns_ +
+                      static_cast<std::int64_t>(buckets_.size()) * width_ns_;
+  }
+  bool is_cancelled(EventId id) const {
+    return detail::contains(cancelled_, id);
+  }
+  /// Make ready_[ready_pos_] the global minimum live event, advancing the
+  /// cursor / migrating overflow as needed. Returns false iff no live
+  /// events remain.
+  bool ensure_ready();
+  void insert_ready(Event ev);
+  void load_bucket();
+  /// Double the ring and re-derive the width from observed event spacing.
+  void rebuild();
+  void migrate_overflow();
+
+  std::vector<std::vector<Event>> buckets_;
+  std::size_t mask_;               ///< buckets_.size() - 1 (power of two)
+  std::int64_t width_ns_;          ///< always 1 << width_shift_
+  /// Bucket widths are powers of two so the per-push bucket index is a
+  /// shift, not a 64-bit division (which alone costs a third of the
+  /// hold-model budget at fleet densities).
+  int width_shift_;
+  std::int64_t cal_start_ns_ = 0;  ///< cursor bucket covers
+                                   ///< [cal_start, cal_start + width)
+  std::int64_t horizon_end_ns_;    ///< cal_start + nbuckets * width
+  std::size_t cursor_ = 0;
+  std::size_t wheel_count_ = 0;    ///< events stored in buckets_
+
+  std::vector<Event> ready_;       ///< sorted due run; front at ready_pos_
+  std::size_t ready_pos_ = 0;
+
+  detail::EventHeap overflow_;     ///< events at/beyond the horizon
+  /// Deadline of the overflow root (INT64_MAX when empty), mirrored here
+  /// so the once-per-cursor-advance "anything due to migrate?" test reads
+  /// a member instead of the heap. May be stale-low for a tombstoned root
+  /// — conservative: the extra migrate call just prunes it.
+  std::int64_t overflow_min_ns_ = kNoOverflow;
+  static constexpr std::int64_t kNoOverflow =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;
+};
+
+/// Which event core a Simulator uses. The calendar queue is the default;
+/// the binary heap remains selectable (GREENCC_EVENT_QUEUE=heap or an
+/// explicit constructor argument) so the determinism suite can hold the
+/// two to byte-identical results.
+enum class EventQueueKind {
+  kCalendar,
+  kBinaryHeap,
+};
+
+}  // namespace greencc::sim

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace greencc::sim {
@@ -17,25 +17,56 @@ namespace greencc::sim {
 /// the same instant execute in scheduling order (a monotonically increasing
 /// sequence number breaks ties), which makes every run fully deterministic.
 ///
+/// The event store is pluggable (EventQueueKind): a calendar queue with
+/// O(1) amortized operations by default, with the former binary heap kept
+/// selectable so the determinism suite can hold both to byte-identical
+/// results. Scheduling returns an EventId; cancel_event(id) reclaims a
+/// pending event instead of leaving it to fire as a no-op (Timer relies on
+/// this for true cancellation).
+///
 /// Ownership: callbacks are `std::function<void()>`; any state they capture
 /// must outlive the simulator run. Network elements typically capture `this`
 /// and are owned by the experiment scenario, which also owns the simulator.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventQueue::Callback;
 
-  Simulator() = default;
+  /// `kind` selects the event core; the default is the calendar queue
+  /// unless overridden process-wide (set_default_queue_kind or the
+  /// GREENCC_EVENT_QUEUE environment variable — "heap" or "calendar").
+  explicit Simulator(EventQueueKind kind = default_queue_kind());
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Process-wide default event core. Resolved once from the
+  /// GREENCC_EVENT_QUEUE environment variable ("heap" selects the binary
+  /// heap; anything else, or unset, the calendar queue).
+  static EventQueueKind default_queue_kind();
+  /// Override the process-wide default (tests; takes effect for Simulators
+  /// constructed afterwards). Thread-safe.
+  static void set_default_queue_kind(EventQueueKind kind);
+
+  /// Which event core this simulator runs on.
+  EventQueueKind queue_kind() const { return kind_; }
+  /// The event core's self-description ("calendar", "binary-heap").
+  const char* queue_name() const { return queue_->name(); }
 
   /// Current simulated time.
   SimTime now() const { return now_; }
 
-  /// Schedule `cb` to run `delay` after the current time.
-  void schedule(SimTime delay, Callback cb) { schedule_at(now_ + delay, std::move(cb)); }
+  /// Schedule `cb` to run `delay` after the current time. Returns a handle
+  /// usable with cancel_event() while the event is pending.
+  EventId schedule(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
 
   /// Schedule `cb` at an absolute time (must not be in the past).
-  void schedule_at(SimTime when, Callback cb);
+  EventId schedule_at(SimTime when, Callback cb);
+
+  /// Reclaim a pending event: its callback is destroyed without running and
+  /// it stops counting in pending_events(). Must only be called for an
+  /// event that has not yet fired (callers track pending-ness; see Timer).
+  void cancel_event(EventId id);
 
   /// Run until the event queue drains or `stop()` is called.
   void run();
@@ -69,49 +100,45 @@ class Simulator {
   }
 
   /// Number of events executed so far (instrumentation / microbenchmarks).
+  /// Cancelled events never execute and never count.
   std::uint64_t events_executed() const { return events_executed_; }
 
-  /// Number of events waiting in the queue.
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Number of live events waiting in the queue. Cancelled events stop
+  /// counting the moment cancel_event() reclaims them.
+  std::size_t pending_events() const { return queue_->size(); }
 
   /// High-water mark of `pending_events()` over the simulator's lifetime —
-  /// the run-profiling figure that bounds event-queue memory and heap-op
-  /// cost (push/pop are O(log pending)).
+  /// the run-profiling figure that bounds event-queue memory and per-event
+  /// cost.
   std::size_t peak_pending_events() const { return peak_pending_; }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
   bool dispatch_next();
 
   SimTime now_ = SimTime::zero();
+  EventQueueKind kind_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t event_budget_ = 0;  // 0 = unlimited
   std::size_t peak_pending_ = 0;
   // Atomic so a watchdog thread can cut a run; see stop().
   std::atomic<bool> stopped_{false};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unique_ptr<EventQueue> queue_;
 };
 
 /// One-shot, re-armable timer (the pattern used for TCP retransmission
 /// timeouts).
 ///
-/// Re-arming a timer on every ACK would flood the event queue with stale
-/// events. Instead the timer keeps at most one pending simulator event: when
-/// that event fires before the desired expiry (because the deadline was
-/// pushed out in the meantime) it silently re-schedules itself for the
-/// current deadline.
+/// Re-arming a timer on every ACK would flood the event queue with events.
+/// Instead the timer keeps at most one pending simulator event: when the
+/// deadline is pushed *out*, the pending event is kept and silently
+/// re-schedules itself on firing (one event per deadline horizon, not per
+/// arm); when the deadline is pulled *in* or the timer is cancelled, the
+/// pending event is reclaimed through Simulator::cancel_event — nothing
+/// stale stays behind to distort pending-event counts or queue costs.
+///
+/// Lifetime: the timer must not outlive the simulator. Destruction cancels
+/// the pending event, so the callback can safely capture `this`.
 class Timer {
  public:
   /// `on_expire` runs when the armed deadline passes. The callback must
@@ -125,8 +152,8 @@ class Timer {
   /// (Re)arm to fire `delay` from now. Replaces any previous deadline.
   void arm(SimTime delay);
 
-  /// Disarm; a pending simulator event becomes a no-op.
-  void cancel() { armed_ = false; }
+  /// Disarm and reclaim the pending simulator event, if any.
+  void cancel();
 
   bool armed() const { return armed_; }
   SimTime expiry() const { return expiry_; }
@@ -141,10 +168,7 @@ class Timer {
   SimTime expiry_ = SimTime::zero();
   bool event_pending_ = false;
   SimTime event_time_ = SimTime::zero();
-  // Liveness guard: a pending simulator event holds a weak reference to this
-  // flag, so an event firing after the timer's destruction is a no-op rather
-  // than a use-after-free.
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  EventId event_id_ = kInvalidEventId;
 };
 
 }  // namespace greencc::sim

@@ -109,7 +109,7 @@ void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
   pkt.app_limited = app_limited_now_;
   pkt.is_retx = is_retx;
 
-  auto& seg = scoreboard_[seq];
+  SegState& seg = is_retx ? scoreboard_.at(seq) : scoreboard_.append(seq);
   if (is_retx) {
     ++seg.transmissions;
     ++stats_.retransmissions;
@@ -128,7 +128,6 @@ void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
       ++pipe_;
     }
   } else {
-    seg = SegState{};
     seg.in_pipe = true;
     ++pipe_;
     unsacked_.insert(seq);
@@ -144,7 +143,11 @@ void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
   seg.app_limited = app_limited_now_;
   ++stats_.segments_sent;
 
-  sim_.schedule_at(release, [this, pkt] { nic_->handle(pkt); });
+  // One event per packet keeps the (when, seq) schedule identical to the
+  // direct form, but the packet rides in the tx ring: a release event that
+  // finds earlier same-instant deliveries already done simply no-ops.
+  txq_.emplace_back(release, pkt);
+  sim_.schedule_at(release, [this] { on_tx_event(); });
 
   if (cc_->pacing_rate_bps() > 0.0) {
     const double interval = pacing_interval_ns(wire_bytes);
@@ -153,6 +156,17 @@ void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
         base + sim::SimTime::nanoseconds(static_cast<std::int64_t>(interval));
   }
   arm_rto();
+}
+
+void TcpSender::on_tx_event() {
+  // Release times are monotone (the CPU core serializes send work), so the
+  // due packets are exactly the front run of the ring.
+  const sim::SimTime now = sim_.now();
+  while (!txq_.empty() && txq_.front().first <= now) {
+    const net::Packet pkt = txq_.front().second;
+    txq_.pop_front();
+    nic_->handle(pkt);
+  }
 }
 
 void TcpSender::handle(net::Packet pkt) {
@@ -179,9 +193,9 @@ void TcpSender::process_ack(const net::Packet& ack) {
 
   // --- cumulative advance ---
   if (ack.ack_seq > snd_una_) {
-    for (auto it = scoreboard_.begin();
-         it != scoreboard_.end() && it->first < ack.ack_seq;) {
-      SegState& seg = it->second;
+    while (!scoreboard_.empty() && scoreboard_.begin_seq() < ack.ack_seq) {
+      const std::int64_t seq = scoreboard_.begin_seq();
+      SegState& seg = scoreboard_.front();
       if (!seg.sacked) {
         ++newly_delivered;
         if (seg.transmissions == 1) {
@@ -192,9 +206,9 @@ void TcpSender::process_ack(const net::Packet& ack) {
       if (seg.in_pipe) --pipe_;
       if (seg.sacked) --sacked_out_;
       if (seg.lost) --lost_out_;
-      retx_queue_.erase(it->first);
-      unsacked_.erase(it->first);
-      it = scoreboard_.erase(it);
+      retx_queue_.erase(seq);
+      unsacked_.erase(seq);
+      scoreboard_.pop_front();
     }
     snd_una_ = ack.ack_seq;
     GREENCC_DCHECK(pipe_ >= 0 && sacked_out_ >= 0 && lost_out_ >= 0)
@@ -209,12 +223,12 @@ void TcpSender::process_ack(const net::Packet& ack) {
     for (auto it = unsacked_.lower_bound(block.start);
          it != unsacked_.end() && *it < block.end;) {
       const std::int64_t seq = *it;
-      auto seg_it = scoreboard_.find(seq);
-      if (seg_it == scoreboard_.end()) {
+      SegState* seg_ptr = scoreboard_.find(seq);
+      if (seg_ptr == nullptr) {
         it = unsacked_.erase(it);  // stale (should not happen)
         continue;
       }
-      SegState& seg = seg_it->second;
+      SegState& seg = *seg_ptr;
       seg.sacked = true;
       ++sacked_out_;
       ++newly_delivered;
@@ -335,9 +349,9 @@ std::int64_t TcpSender::detect_losses_rack() {
     if (it->first + reo_wnd >= rack_xmit_time_) break;
     const XmitRecord rec = it->second;
     xmit_order_.erase(it);
-    auto seg_it = scoreboard_.find(rec.seq);
-    if (seg_it == scoreboard_.end()) continue;         // already cum-acked
-    SegState& seg = seg_it->second;
+    SegState* seg_ptr = scoreboard_.find(rec.seq);
+    if (seg_ptr == nullptr) continue;                  // already cum-acked
+    SegState& seg = *seg_ptr;
     if (seg.sacked || seg.lost) continue;              // delivered or queued
     if (seg.transmissions != rec.transmission) continue;  // stale record
     mark_lost(rec.seq, seg);
@@ -406,8 +420,8 @@ void TcpSender::on_tlp() {
   if (completed_ || !tlp_allowed_) return;
   // Probe with the highest unsacked in-flight segment, if any.
   for (auto it = unsacked_.rbegin(); it != unsacked_.rend(); ++it) {
-    const auto seg_it = scoreboard_.find(*it);
-    if (seg_it == scoreboard_.end() || seg_it->second.lost) continue;
+    const SegState* seg = scoreboard_.find(*it);
+    if (seg == nullptr || seg->lost) continue;
     tlp_allowed_ = false;
     if (trace_) {
       trace_->emit({sim_.now(), trace::EventClass::kTlp, flow_, kTraceSrc,
@@ -446,12 +460,17 @@ void TcpSender::audit(std::vector<std::string>& problems) const {
 
   // Re-derive the cached aggregates from the per-segment flags.
   std::int64_t sacked = 0, lost = 0, in_pipe = 0;
-  for (const auto& [seq, seg] : scoreboard_) {
-    if (seq < snd_una_ || seq >= snd_nxt_) {
-      problems.push_back(tag("scoreboard entry " + std::to_string(seq) +
-                             " outside [snd_una " + std::to_string(snd_una_) +
-                             ", snd_nxt " + std::to_string(snd_nxt_) + ")"));
-    }
+  if (!scoreboard_.empty() && (scoreboard_.begin_seq() < snd_una_ ||
+                               scoreboard_.end_seq() > snd_nxt_)) {
+    problems.push_back(tag(
+        "scoreboard window [" + std::to_string(scoreboard_.begin_seq()) +
+        ", " + std::to_string(scoreboard_.end_seq()) + ") outside [snd_una " +
+        std::to_string(snd_una_) + ", snd_nxt " + std::to_string(snd_nxt_) +
+        ")"));
+  }
+  for (std::int64_t seq = scoreboard_.begin_seq();
+       seq < scoreboard_.end_seq(); ++seq) {
+    const SegState& seg = scoreboard_.at(seq);
     if (seg.sacked) ++sacked;
     if (seg.lost) ++lost;
     if (seg.in_pipe) ++in_pipe;
@@ -492,24 +511,24 @@ void TcpSender::audit(std::vector<std::string>& problems) const {
 
   // Index sets point back into the scoreboard with the matching flags.
   for (const std::int64_t seq : unsacked_) {
-    const auto it = scoreboard_.find(seq);
-    if (it == scoreboard_.end()) {
+    const SegState* seg = scoreboard_.find(seq);
+    if (seg == nullptr) {
       problems.push_back(tag("unsacked index holds " + std::to_string(seq) +
                              " which is not on the scoreboard"));
-    } else if (it->second.sacked) {
+    } else if (seg->sacked) {
       problems.push_back(tag("unsacked index holds sacked segment " +
                              std::to_string(seq)));
     }
   }
   for (const std::int64_t seq : retx_queue_) {
-    const auto it = scoreboard_.find(seq);
-    if (it == scoreboard_.end()) {
+    const SegState* seg = scoreboard_.find(seq);
+    if (seg == nullptr) {
       problems.push_back(tag("retransmission queue holds " +
                              std::to_string(seq) +
                              " which is not on the scoreboard"));
       continue;
     }
-    if (!it->second.lost || it->second.sacked || it->second.in_pipe) {
+    if (!seg->lost || seg->sacked || seg->in_pipe) {
       problems.push_back(tag("retransmission queue holds segment " +
                              std::to_string(seq) +
                              " that is not (lost, un-sacked, out of pipe)"));

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "net/packet.h"
 #include "sim/simulator.h"
 #include "tcp/rtt.h"
+#include "tcp/seq_window.h"
 #include "tcp/tcp_config.h"
 #include "trace/counters.h"
 #include "trace/trace.h"
@@ -126,6 +128,8 @@ class TcpSender : public net::PacketHandler {
   void mark_lost(std::int64_t seq, SegState& seg);
   void on_rto();
   void on_tlp();
+  /// Deliver every queued transmission whose release time has arrived.
+  void on_tx_event();
   void arm_rto();
   double pacing_interval_ns(std::int32_t wire_bytes) const;
   /// Emit a cwnd event if the controller's window moved since last emit.
@@ -148,7 +152,10 @@ class TcpSender : public net::PacketHandler {
   std::int64_t leftover_bytes_ = 0;      ///< sub-segment remainder
 
   // --- scoreboard ---
-  std::map<std::int64_t, SegState> scoreboard_;  ///< un-cum-acked segments
+  /// Per-segment state over [snd_una, snd_nxt): the keys are dense (new
+  /// sends append at snd_nxt, cumulative ACKs pop the front), so the
+  /// scoreboard lives in a ring buffer instead of a node-per-segment map.
+  SeqWindow<SegState> scoreboard_;
   /// Segments in the scoreboard that are not (yet) SACKed. SACK blocks can
   /// span thousands of already-delivered segments; iterating this index
   /// instead of the raw range keeps ACK processing O(newly-sacked), not
@@ -189,6 +196,14 @@ class TcpSender : public net::PacketHandler {
   bool tlp_allowed_ = true;  ///< one probe per stall episode
   int rto_backoff_ = 0;
   sim::SimTime next_pacing_time_ = sim::SimTime::zero();
+
+  /// Transmissions awaiting their CPU-gated release time, in release order
+  /// (core release times are monotone). Keeping the ~280-byte packets here
+  /// instead of inside per-event closures keeps each release event down to
+  /// a `this` capture — small enough for std::function's inline storage, so
+  /// the pacing hot path stops heap-allocating per packet — and lets one
+  /// event deliver every packet that shares its release instant.
+  std::deque<std::pair<sim::SimTime, net::Packet>> txq_;
 
   bool app_limited_now_ = false;
   bool cwnd_limited_now_ = false;  ///< last send attempt hit the window

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/check.h"
+
+namespace greencc::tcp {
+
+/// Dense per-segment window state: a ring buffer over the contiguous
+/// sequence range [begin_seq, end_seq).
+///
+/// The SACK scoreboard's keys are exactly the un-cum-acked segments — new
+/// sends append at snd_nxt, cumulative ACKs pop a prefix, everything in
+/// between stays put — so a node-per-segment `std::map` pays an allocation,
+/// red-black rebalance, and pointer chase per segment for what is really a
+/// sliding array. This ring gives O(1) append/lookup/pop-front with one
+/// allocation per capacity doubling, and per-flow memory that tracks the
+/// window high-water mark instead of the allocator's node heap.
+template <typename T>
+class SeqWindow {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  /// Lowest stored sequence number (== snd_una for the scoreboard).
+  std::int64_t begin_seq() const { return base_; }
+  /// One past the highest stored sequence number (== snd_nxt).
+  std::int64_t end_seq() const {
+    return base_ + static_cast<std::int64_t>(count_);
+  }
+  bool contains(std::int64_t seq) const {
+    return seq >= begin_seq() && seq < end_seq();
+  }
+
+  /// Pointer to the entry for `seq`, or nullptr when it is outside the
+  /// window (already cum-acked or never sent).
+  T* find(std::int64_t seq) {
+    return contains(seq) ? &slot(seq - base_) : nullptr;
+  }
+  const T* find(std::int64_t seq) const {
+    return contains(seq) ? &slot(seq - base_) : nullptr;
+  }
+
+  /// Entry for `seq`; must be inside the window.
+  T& at(std::int64_t seq) {
+    GREENCC_DCHECK(contains(seq))
+        << "seq " << seq << " outside window [" << begin_seq() << ", "
+        << end_seq() << ")";
+    return slot(seq - base_);
+  }
+  const T& at(std::int64_t seq) const {
+    GREENCC_DCHECK(contains(seq))
+        << "seq " << seq << " outside window [" << begin_seq() << ", "
+        << end_seq() << ")";
+    return slot(seq - base_);
+  }
+
+  /// Entry for begin_seq(); the window must be non-empty.
+  T& front() { return at(begin_seq()); }
+
+  /// Append a fresh (value-initialized) entry for `seq`, which must extend
+  /// the window by exactly one: the next sequence number, or any value when
+  /// the window is empty (it becomes the new base).
+  T& append(std::int64_t seq) {
+    if (empty()) base_ = seq;
+    GREENCC_DCHECK(seq == end_seq())
+        << "append of seq " << seq << " would leave a gap (window end is "
+        << end_seq() << ")";
+    if (count_ == data_.size()) grow();
+    T& entry = slot(count_);
+    entry = T{};
+    ++count_;
+    return entry;
+  }
+
+  /// Drop the entry at begin_seq(); the window must be non-empty.
+  void pop_front() {
+    GREENCC_DCHECK(!empty()) << "pop_front on an empty window";
+    slot(0) = T{};  // release anything the entry owns
+    head_ = (head_ + 1) & (data_.size() - 1);
+    ++base_;
+    --count_;
+  }
+
+ private:
+  T& slot(std::int64_t offset) {
+    return data_[(head_ + static_cast<std::size_t>(offset)) &
+                 (data_.size() - 1)];
+  }
+  const T& slot(std::int64_t offset) const {
+    return data_[(head_ + static_cast<std::size_t>(offset)) &
+                 (data_.size() - 1)];
+  }
+
+  void grow() {
+    const std::size_t new_cap = data_.empty() ? 16 : data_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) next[i] = std::move(slot(i));
+    data_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> data_;  ///< power-of-two capacity ring storage
+  std::size_t head_ = 0;  ///< index of base_'s slot
+  std::size_t count_ = 0;
+  std::int64_t base_ = 0;
+};
+
+}  // namespace greencc::tcp

@@ -1,0 +1,73 @@
+#include "net/flow_map.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace greencc::net {
+namespace {
+
+TEST(FlowMap, CreatesOnFirstTouch) {
+  FlowMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), nullptr);
+  m[7] = 70;
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(7), 70);
+  EXPECT_TRUE(m.contains(7));
+  m[7] = 71;  // second touch reuses the entry
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(7), 71);
+}
+
+TEST(FlowMap, ReferencesStayStableAcrossGrowth) {
+  FlowMap<int> m;
+  int& first = m[0];
+  first = 1;
+  // Push far past several chunk boundaries; `first` must not move.
+  for (FlowId f = 1; f < 1000; ++f) m[f] = static_cast<int>(f);
+  EXPECT_EQ(&first, &m.at(0));
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(m.at(999), 999);
+}
+
+TEST(FlowMap, ForEachVisitsInKeyOrder) {
+  FlowMap<int> m;
+  // Insert out of order: the audit/ledger paths depend on key-order
+  // traversal for deterministic output.
+  for (FlowId f : {50, 10, 90, 30, 70}) m[f] = static_cast<int>(f);
+  std::vector<FlowId> seen;
+  m.for_each([&](FlowId f, int& v) {
+    EXPECT_EQ(v, static_cast<int>(f));
+    seen.push_back(f);
+  });
+  EXPECT_EQ(seen, (std::vector<FlowId>{10, 30, 50, 70, 90}));
+}
+
+TEST(FlowMap, AscendingInsertFastPathMatchesRandomOrder) {
+  FlowMap<int> ascending;
+  FlowMap<int> shuffled;
+  for (FlowId f = 0; f < 300; ++f) ascending[f] = static_cast<int>(f * 3);
+  for (FlowId f = 0; f < 300; f += 2) shuffled[f] = static_cast<int>(f * 3);
+  for (std::int64_t f = 299; f >= 1; f -= 2) {
+    shuffled[static_cast<FlowId>(f)] = static_cast<int>(f * 3);
+  }
+  for (FlowId f = 0; f < 300; ++f) {
+    ASSERT_EQ(ascending.at(f), shuffled.at(f)) << "flow " << f;
+  }
+}
+
+TEST(FlowMap, ConstLookups) {
+  FlowMap<int> m;
+  m[3] = 33;
+  const FlowMap<int>& cm = m;
+  EXPECT_EQ(cm.at(3), 33);
+  EXPECT_EQ(*cm.find(3), 33);
+  EXPECT_EQ(cm.find(4), nullptr);
+  int sum = 0;
+  cm.for_each([&](FlowId, const int& v) { sum += v; });
+  EXPECT_EQ(sum, 33);
+}
+
+}  // namespace
+}  // namespace greencc::net

@@ -1,0 +1,248 @@
+// Cross-queue determinism: the calendar queue and the binary heap must be
+// observationally indistinguishable. Both keep the same (when, seq) total
+// order, so every simulated quantity — flow completion times, retransmit
+// counts, joules, queue drops — must come out bit-identical regardless of
+// which event store ran the experiment. In-process scenario runs compare
+// full results under Simulator::set_default_queue_kind; subprocess runs
+// byte-compare the CSVs of the real sweep binaries under the
+// GREENCC_EVENT_QUEUE override and different --jobs values.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/scenario.h"
+#include "sim/simulator.h"
+
+namespace greencc::app {
+namespace {
+
+using sim::EventQueueKind;
+using sim::Simulator;
+
+/// Flip the process-wide default queue kind for one scope; restore on exit
+/// so test order never leaks a kind into unrelated tests.
+class ScopedQueueKind {
+ public:
+  explicit ScopedQueueKind(EventQueueKind kind)
+      : saved_(Simulator::default_queue_kind()) {
+    Simulator::set_default_queue_kind(kind);
+  }
+  ~ScopedQueueKind() { Simulator::set_default_queue_kind(saved_); }
+
+ private:
+  EventQueueKind saved_;
+};
+
+/// A deliberately messy testbed: three CCAs contending a FIFO bottleneck,
+/// small enough to run in well under a second but congested enough to
+/// exercise drops, retransmissions, RTO arm/cancel storms, and pacing —
+/// the timer-heavy paths where an event-order divergence would surface.
+ScenarioResult run_contended(EventQueueKind kind) {
+  ScopedQueueKind scoped(kind);
+  ScenarioConfig config;
+  config.tcp.mtu_bytes = 9000;
+  config.seed = 11;
+  config.switch_queue_bytes = 1 << 17;  // shallow buffer: force loss
+  Scenario s(config);
+  for (const char* cca : {"cubic", "reno", "bbr"}) {
+    FlowSpec flow;
+    flow.cca = cca;
+    flow.bytes = 40'000'000;
+    s.add_flow(flow);
+  }
+  return s.run();
+}
+
+/// DRR bottleneck with unequal weights and a rate-limited flow — the other
+/// scheduling/timer code path (token buckets, per-flow quantums).
+ScenarioResult run_weighted_drr(EventQueueKind kind) {
+  ScopedQueueKind scoped(kind);
+  ScenarioConfig config;
+  config.tcp.mtu_bytes = 9000;
+  config.seed = 23;
+  config.use_drr_bottleneck = true;
+  Scenario s(config);
+  FlowSpec heavy;
+  heavy.cca = "cubic";
+  heavy.bytes = 30'000'000;
+  heavy.weight = 3.0;
+  s.add_flow(heavy);
+  FlowSpec light;
+  light.cca = "dctcp";
+  light.bytes = 30'000'000;
+  light.rate_limit_bps = 2e9;
+  s.add_flow(light);
+  return s.run();
+}
+
+/// Bit-exact equality over everything a paper figure could be built from.
+/// EXPECT_EQ on doubles deliberately: the contract is identical event
+/// order, hence identical arithmetic, hence identical bits — not "close".
+void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.duration_sec, b.duration_sec);
+  EXPECT_EQ(a.total_joules, b.total_joules);
+  EXPECT_EQ(a.avg_watts, b.avg_watts);
+  EXPECT_EQ(a.all_completed, b.all_completed);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  EXPECT_EQ(a.bottleneck.enqueued, b.bottleneck.enqueued);
+  EXPECT_EQ(a.bottleneck.dropped, b.bottleneck.dropped);
+  EXPECT_EQ(a.bottleneck.ecn_marked, b.bottleneck.ecn_marked);
+  EXPECT_EQ(a.rx_backlog.dropped, b.rx_backlog.dropped);
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  for (std::size_t i = 0; i < a.hosts.size(); ++i) {
+    EXPECT_EQ(a.hosts[i].joules, b.hosts[i].joules);
+  }
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    SCOPED_TRACE("flow " + std::to_string(i));
+    EXPECT_EQ(a.flows[i].delivered_bytes, b.flows[i].delivered_bytes);
+    EXPECT_EQ(a.flows[i].fct_sec, b.flows[i].fct_sec);
+    EXPECT_EQ(a.flows[i].finished_at_sec, b.flows[i].finished_at_sec);
+    EXPECT_EQ(a.flows[i].avg_gbps, b.flows[i].avg_gbps);
+    EXPECT_EQ(a.flows[i].retransmissions, b.flows[i].retransmissions);
+    EXPECT_EQ(a.flows[i].timeouts, b.flows[i].timeouts);
+    EXPECT_EQ(a.flows[i].segments_sent, b.flows[i].segments_sent);
+    EXPECT_EQ(a.flows[i].counters, b.flows[i].counters);
+  }
+}
+
+TEST(QueueDeterminism, ContendedScenarioIdenticalAcrossQueueKinds) {
+  const auto calendar = run_contended(EventQueueKind::kCalendar);
+  const auto heap = run_contended(EventQueueKind::kBinaryHeap);
+  // The mix must actually stress the loss path, or the comparison is weak.
+  std::int64_t retransmissions = 0;
+  for (const auto& flow : calendar.flows) {
+    retransmissions += flow.retransmissions;
+  }
+  EXPECT_GT(retransmissions, 0);
+  expect_identical(calendar, heap);
+}
+
+TEST(QueueDeterminism, WeightedDrrScenarioIdenticalAcrossQueueKinds) {
+  const auto calendar = run_weighted_drr(EventQueueKind::kCalendar);
+  const auto heap = run_weighted_drr(EventQueueKind::kBinaryHeap);
+  expect_identical(calendar, heap);
+}
+
+TEST(QueueDeterminism, ExplicitCtorKindOverridesDefault) {
+  ScopedQueueKind scoped(EventQueueKind::kBinaryHeap);
+  Simulator sim(EventQueueKind::kCalendar);
+  EXPECT_EQ(sim.queue_kind(), EventQueueKind::kCalendar);
+  EXPECT_STREQ(sim.queue_name(), "calendar");
+  Simulator defaulted;
+  EXPECT_EQ(defaulted.queue_kind(), EventQueueKind::kBinaryHeap);
+}
+
+// ---------------------------------------------------------------------------
+// Subprocess half: the real sweep binaries, byte-compared CSV against CSV.
+// GREENCC_EVENT_QUEUE is set in the forked child (never in this process),
+// and --jobs varies too: queue kind and worker count must both be
+// invisible in the output.
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// fork/exec with `GREENCC_EVENT_QUEUE=queue_env` (when non-empty) in the
+/// child environment; stdout+stderr to `log_path`. No shell: empty
+/// arguments (--cache "") must survive verbatim.
+int run_with_queue(std::vector<std::string> args, const std::string& queue_env,
+                   const std::string& log_path) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    if (!queue_env.empty()) {
+      ::setenv("GREENCC_EVENT_QUEUE", queue_env.c_str(), 1);
+    } else {
+      ::unsetenv("GREENCC_EVENT_QUEUE");
+    }
+    const int fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+/// Run one sweep config under (queue kind, jobs) variants and demand every
+/// CSV is byte-identical to the first. Returns the reference CSV so tests
+/// can sanity-check it is non-trivial.
+std::string sweep_csv_invariant(
+    const std::string& binary, std::vector<std::string> base_args,
+    const std::string& tag) {
+  struct Variant {
+    const char* queue;
+    const char* jobs;
+  };
+  const Variant variants[] = {
+      {"calendar", "1"}, {"heap", "1"}, {"calendar", "2"}, {"heap", "2"}};
+  std::string reference;
+  for (const auto& v : variants) {
+    const std::string label =
+        tag + "_" + v.queue + "_j" + v.jobs;
+    const std::string csv = temp_path(label + ".csv");
+    std::vector<std::string> args = {binary};
+    args.insert(args.end(), base_args.begin(), base_args.end());
+    args.insert(args.end(), {"--jobs", v.jobs, "--csv", csv});
+    const int status =
+        run_with_queue(args, v.queue, temp_path(label + ".log"));
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << label << ": " << read_file(temp_path(label + ".log"));
+    const std::string text = read_file(csv);
+    EXPECT_FALSE(text.empty()) << label;
+    if (reference.empty()) {
+      reference = text;
+    } else {
+      EXPECT_EQ(reference, text)
+          << "CSV diverged for " << label
+          << " — queue kind or worker count leaked into results";
+    }
+  }
+  return reference;
+}
+
+TEST(QueueDeterminism, CcaGridCsvIdenticalAcrossQueueKindsAndJobs) {
+  const std::string csv = sweep_csv_invariant(
+      CCA_GRID_PATH,
+      {"--bytes", "2000000", "--repeats", "2", "--seed", "7", "--cache", ""},
+      "grid");
+  // More than a header: the full grid of cells made it out.
+  EXPECT_GT(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(QueueDeterminism, LossSweepCsvIdenticalAcrossQueueKindsAndJobs) {
+  const std::string csv = sweep_csv_invariant(
+      EXT_LOSS_PATH, {"--bytes", "2000000", "--repeats", "1", "--seed", "7"},
+      "loss");
+  EXPECT_GT(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace greencc::app

@@ -1,0 +1,88 @@
+#include "tcp/seq_window.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace greencc::tcp {
+namespace {
+
+TEST(SeqWindow, StartsEmpty) {
+  SeqWindow<int> w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.find(0), nullptr);
+  EXPECT_FALSE(w.contains(0));
+}
+
+TEST(SeqWindow, AppendAndLookup) {
+  SeqWindow<int> w;
+  w.append(100) = 1;
+  w.append(101) = 2;
+  w.append(102) = 3;
+  EXPECT_EQ(w.begin_seq(), 100);
+  EXPECT_EQ(w.end_seq(), 103);
+  EXPECT_EQ(w.at(101), 2);
+  EXPECT_EQ(*w.find(102), 3);
+  EXPECT_EQ(w.find(99), nullptr);
+  EXPECT_EQ(w.find(103), nullptr);
+}
+
+TEST(SeqWindow, PopFrontSlides) {
+  SeqWindow<int> w;
+  for (int i = 0; i < 5; ++i) w.append(i) = i * 10;
+  w.pop_front();
+  w.pop_front();
+  EXPECT_EQ(w.begin_seq(), 2);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.front(), 20);
+  EXPECT_EQ(w.find(0), nullptr);  // cum-acked segments are gone
+  EXPECT_EQ(w.at(4), 40);
+}
+
+TEST(SeqWindow, AppendReturnsFreshEntry) {
+  SeqWindow<int> w;
+  w.append(0) = 7;
+  w.pop_front();
+  // The slot is recycled once the ring wraps; the new entry must not see
+  // the stale value.
+  for (int i = 1; i <= 32; ++i) EXPECT_EQ(w.append(i), 0) << "seq " << i;
+}
+
+TEST(SeqWindow, ReanchorsAfterDraining) {
+  SeqWindow<int> w;
+  w.append(0) = 1;
+  w.pop_front();
+  EXPECT_TRUE(w.empty());
+  // An empty window accepts any next base (snd_una jumped forward).
+  w.append(500) = 9;
+  EXPECT_EQ(w.begin_seq(), 500);
+  EXPECT_EQ(w.at(500), 9);
+}
+
+TEST(SeqWindow, GrowsPastInitialCapacityWithWrap) {
+  SeqWindow<std::int64_t> w;
+  // Interleave pops so the live range wraps the ring before each growth.
+  std::int64_t next = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 37; ++i) w.append(next) = next, ++next;
+    for (int i = 0; i < 11; ++i) w.pop_front();
+  }
+  for (std::int64_t seq = w.begin_seq(); seq < w.end_seq(); ++seq) {
+    ASSERT_EQ(w.at(seq), seq);
+  }
+  EXPECT_EQ(w.size(), 100u * (37 - 11));
+}
+
+TEST(SeqWindow, PopReleasesOwnedResources) {
+  SeqWindow<std::shared_ptr<int>> w;
+  auto tracked = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = tracked;
+  w.append(0) = std::move(tracked);
+  EXPECT_FALSE(watch.expired());
+  w.pop_front();
+  EXPECT_TRUE(watch.expired());  // pop_front must not pin the old value
+}
+
+}  // namespace
+}  // namespace greencc::tcp

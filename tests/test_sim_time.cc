@@ -67,5 +67,20 @@ TEST(SimTime, ToStringPicksUnit) {
   EXPECT_EQ(SimTime::microseconds(42).to_string(), "42.000us");
 }
 
+TEST(SimTime, ToStringUnitBoundariesDoNotCarry) {
+  // Values whose %.3f rendering rounds up a unit must switch to the larger
+  // unit: 999,999,999 ns is 999.999999 ms, which would print "1000.000ms"
+  // if the unit were chosen from the raw nanosecond count.
+  EXPECT_EQ(SimTime::nanoseconds(999'999'999).to_string(), "1.000s");
+  EXPECT_EQ(SimTime::nanoseconds(999'999'499).to_string(), "999.999ms");
+  EXPECT_EQ(SimTime::nanoseconds(1'000'000'000).to_string(), "1.000s");
+  EXPECT_EQ(SimTime::nanoseconds(1'000'000).to_string(), "1.000ms");
+  EXPECT_EQ(SimTime::nanoseconds(999'999).to_string(), "999.999us");
+  // Negative values mirror the positive boundaries.
+  EXPECT_EQ(SimTime::nanoseconds(-999'999'999).to_string(), "-1.000s");
+  EXPECT_EQ(SimTime::nanoseconds(-999'999'499).to_string(), "-999.999ms");
+  EXPECT_EQ(SimTime::nanoseconds(-999'999).to_string(), "-999.999us");
+}
+
 }  // namespace
 }  // namespace greencc::sim

@@ -231,6 +231,81 @@ TEST(Timer, ArmAfterFireWorks) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Timer, CancelReclaimsPendingEvent) {
+  // The stale-timer leak regression: cancel() must reclaim the scheduled
+  // event, not leave it to fire as a no-op.
+  Simulator sim;
+  Timer timer(sim, [] {});
+  timer.arm(SimTime::milliseconds(3));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  timer.cancel();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 0u);  // nothing left behind to dispatch
+}
+
+TEST(Timer, ArmCancelStormLeavesNoStaleEvents) {
+  // At fleet scale every ACK arms and every completion cancels; thousands
+  // of arm/cancel rounds must leave pending_events() exact (previously each
+  // cancelled arm leaked its heap event until the deadline passed).
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&] { ++fired; });
+  for (int i = 0; i < 10'000; ++i) {
+    timer.arm(SimTime::milliseconds(10));
+    EXPECT_EQ(sim.pending_events(), 1u);
+    timer.cancel();
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+  EXPECT_EQ(sim.peak_pending_events(), 1u);  // never more than one live
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+  EXPECT_EQ(sim.now(), SimTime::zero());  // no stale event dragged the clock
+}
+
+TEST(Timer, PullInReclaimsSupersededEvent) {
+  // Re-arming to an *earlier* deadline replaces the pending event instead
+  // of stacking a second one.
+  Simulator sim;
+  std::vector<SimTime> fire_times;
+  Timer timer(sim, [&] { fire_times.push_back(sim.now()); });
+  timer.arm(SimTime::milliseconds(10));
+  sim.schedule(SimTime::milliseconds(1),
+               [&] { timer.arm(SimTime::milliseconds(1)); });
+  sim.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], SimTime::milliseconds(2));
+  // Both the pull-in arm and the fire consumed their events; the original
+  // 10ms event was cancelled, so only the helper + timer event executed.
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, CancelEventReclaimsScheduledCallback) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule(SimTime::milliseconds(1), [&] { ++fired; });
+  sim.schedule(SimTime::milliseconds(2), [&] { ++fired; });
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel_event(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_executed(), 1u);
+  EXPECT_EQ(sim.now(), SimTime::milliseconds(2));
+}
+
+TEST(Simulator, QueueKindIsSelectable) {
+  Simulator cal(EventQueueKind::kCalendar);
+  Simulator heap(EventQueueKind::kBinaryHeap);
+  EXPECT_STREQ(cal.queue_name(), "calendar");
+  EXPECT_STREQ(heap.queue_name(), "binary-heap");
+  const EventQueueKind prior = Simulator::default_queue_kind();
+  Simulator::set_default_queue_kind(EventQueueKind::kBinaryHeap);
+  EXPECT_EQ(Simulator().queue_kind(), EventQueueKind::kBinaryHeap);
+  Simulator::set_default_queue_kind(prior);
+}
+
 TEST(Timer, DestructionWithPendingEventIsSafe) {
   Simulator sim;
   int fired = 0;

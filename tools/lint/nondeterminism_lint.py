@@ -24,6 +24,12 @@ are cheap to catch with a grep-shaped scan, so this lint bans them outright:
                    subsystem's per-stage streams must never inherit. Derive
                    with sim::mix_seed(seed, site, stream) /
                    app::derive_seed instead.
+  const-cast       const_cast under src/sim: the event core once popped
+                   events by const_cast-ing std::priority_queue::top() —
+                   mutating a node the container believes frozen, UB the
+                   moment an implementation caches anything about it. The
+                   queue now exposes pop_move(); nothing in the simulator
+                   core gets to strip const again.
 
 A finding is suppressed by a `lint-allow: <rule>` comment on the same line
 or the line above, which doubles as documentation for why the site is safe:
@@ -61,11 +67,20 @@ SEED_ARITH = re.compile(r"\bRng\b[^();=]*\(\s*[^()]*seed\b[^()]*[-+*^%][^()]*\)"
 UNORDERED_DECL = re.compile(r"\bunordered_(?:multi)?(?:map|set)\s*<[^;=()]*>\s+(\w+)\s*[;{{=]")
 RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*\*?(\w+)\s*\)")
 
+CONST_CAST = re.compile(r"\bconst_cast\s*<")
+
 RULES = (
     ("wall-clock", WALL_CLOCK),
     ("libc-rand", LIBC_RAND),
     ("float-eq", FLOAT_EQ),
     ("seed-arith", SEED_ARITH),
+)
+
+# Rules that apply only under particular subtrees (relative to the repo
+# root). const_cast is banned in the simulator core specifically: that is
+# where it once produced the UB-adjacent frozen-heap-node pop.
+SCOPED_RULES = (
+    ("src/sim", ("const-cast", CONST_CAST)),
 )
 
 
@@ -99,10 +114,14 @@ def unordered_names(path: pathlib.Path, text: str) -> set:
     return names
 
 
-def lint_file(path: pathlib.Path) -> list:
+def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list:
     text = path.read_text()
     lines = text.splitlines()
     unordered = unordered_names(path, text)
+    rules = list(RULES)
+    for prefix, scoped in SCOPED_RULES:
+        if str(rel).startswith(prefix):
+            rules.append(scoped)
     findings = []
     in_block_comment = False
     for i, raw in enumerate(lines):
@@ -115,7 +134,7 @@ def lint_file(path: pathlib.Path) -> list:
                 in_block_comment = True
             continue
         code = strip_code_noise(raw)
-        for rule, pattern in RULES:
+        for rule, pattern in rules:
             if pattern.search(code) and not allowed(rule, lines, i):
                 findings.append((i + 1, rule, raw.strip()))
         for_match = RANGE_FOR.search(code)
@@ -137,8 +156,8 @@ def main() -> int:
         for path in sorted(base.rglob("*")):
             if path.suffix not in SUFFIXES or not path.is_file():
                 continue
-            for line_no, rule, snippet in lint_file(path):
-                rel = path.relative_to(repo)
+            rel = path.relative_to(repo)
+            for line_no, rule, snippet in lint_file(path, rel):
                 print(f"{rel}:{line_no}: [{rule}] {snippet}")
                 failed += 1
     if failed:
