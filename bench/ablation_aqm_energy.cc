@@ -24,9 +24,9 @@ struct Outcome {
   std::int64_t max_queue = 0;
 };
 
-Outcome run(const std::string& cca, net::AqmMode mode, std::int64_t bytes) {
+Outcome run(const std::string& cca, net::AqmMode mode, units::Bytes bytes) {
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = 23;
   config.bottleneck_aqm.mode = mode;
   app::Scenario scenario(config);
@@ -36,10 +36,10 @@ Outcome run(const std::string& cca, net::AqmMode mode, std::int64_t bytes) {
   scenario.add_flow(flow);
   const auto r = scenario.run();
   Outcome o;
-  o.joules = r.total_joules;
-  o.gbps = r.flows[0].avg_gbps;
+  o.joules = r.total_energy.joules();
+  o.gbps = r.flows[0].avg_rate.gbps();
   o.retx = r.flows[0].retransmissions;
-  o.max_queue = r.bottleneck.max_bytes_seen;
+  o.max_queue = r.bottleneck.max_bytes_seen.count();
   return o;
 }
 
@@ -60,8 +60,8 @@ const char* mode_name(net::AqmMode mode) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t bytes =
-      bench::flag_i64(argc, argv, "--bytes", 1'000'000'000);
+  const units::Bytes bytes{
+      bench::flag_i64(argc, argv, "--bytes", 1'000'000'000)};
 
   bench::print_header(
       "Ablation — AQM at the bottleneck vs. transport energy",

@@ -22,9 +22,9 @@ struct Outcome {
 };
 
 Outcome run(const std::string& cca, int backlog_packets,
-            std::int64_t bytes) {
+            units::Bytes bytes) {
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 1500;
+  config.tcp.mtu_bytes = units::Bytes{1500};
   config.seed = 5;
   config.work.rx_backlog_packets = backlog_packets;
   app::Scenario scenario(config);
@@ -33,15 +33,15 @@ Outcome run(const std::string& cca, int backlog_packets,
   flow.bytes = bytes;
   scenario.add_flow(flow);
   const auto r = scenario.run();
-  return {r.flows[0].avg_gbps, r.total_joules,
+  return {r.flows[0].avg_rate.gbps(), r.total_energy.joules(),
           r.flows[0].retransmissions};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t bytes =
-      bench::flag_i64(argc, argv, "--bytes", 500'000'000);
+  const units::Bytes bytes{
+      bench::flag_i64(argc, argv, "--bytes", 500'000'000)};
 
   bench::print_header(
       "Ablation — baseline (no congestion control) collapse",

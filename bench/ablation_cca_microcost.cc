@@ -18,7 +18,7 @@ namespace {
 
 void BM_CcaOnAck(benchmark::State& state, const std::string& name) {
   cca::CcaConfig config;
-  config.mss_bytes = 1448;
+  config.mss_bytes = units::Bytes{1448};
   auto cc = cca::make_cca(name, config);
   cca::AckEvent ev;
   ev.rtt = sim::SimTime::microseconds(100);
@@ -26,7 +26,7 @@ void BM_CcaOnAck(benchmark::State& state, const std::string& name) {
   ev.min_rtt = sim::SimTime::microseconds(100);
   ev.acked_segments = 2;
   ev.inflight = 50;
-  ev.delivery_rate_bps = 5e9;
+  ev.delivery_rate = units::BitRate::bps(5e9);
   std::int64_t delivered = 0;
   std::int64_t t = 0;
   for (auto _ : state) {

@@ -19,10 +19,10 @@ using namespace greencc;
 
 namespace {
 
-app::ScenarioResult run_weighted(double fraction, std::int64_t bytes,
+app::ScenarioResult run_weighted(double fraction, units::Bytes bytes,
                                  std::uint64_t seed) {
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = seed;
   config.use_drr_bottleneck = true;
   app::Scenario scenario(config);
@@ -43,8 +43,8 @@ app::ScenarioResult run_weighted(double fraction, std::int64_t bytes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t bytes =
-      bench::flag_i64(argc, argv, "--bytes", 1'250'000'000);  // 10 Gbit
+  const units::Bytes bytes{
+      bench::flag_i64(argc, argv, "--bytes", 1'250'000'000)};  // 10 Gbit
 
   bench::print_header(
       "Ablation — Fig 1 enforced by switch scheduling (DRR weights)",
@@ -52,12 +52,13 @@ int main(int argc, char** argv) {
       "result is about the allocation, not the enforcement mechanism");
 
   const energy::PowerCalibration calib;
-  core::AllocationAnalysis closed_form(energy::PackagePowerModel{}, 10e9,
+  core::AllocationAnalysis closed_form(energy::PackagePowerModel{},
+                                       units::BitRate::gbps(10),
                                        calib.fig2_util_per_gbps,
                                        calib.fig2_pps_per_gbps);
 
   const auto fair = run_weighted(0.5, bytes, 1);
-  const double fair_joules = fair.total_joules;
+  const units::Energy fair_energy = fair.total_energy;
 
   stats::Table table({"weight frac", "achieved", "energy[J]", "savings[%]",
                       "closed-form[%]"});
@@ -70,13 +71,15 @@ int main(int argc, char** argv) {
     }
     // Flow 1's achieved share while both flows were active: use its rate
     // relative to the link during its own lifetime.
-    const double achieved = r.flows[0].avg_gbps / 10.0;
-    const double savings = (fair_joules - r.total_joules) / fair_joules;
+    const double achieved = r.flows[0].avg_rate.gbps() / 10.0;
+    const double savings =
+        (fair_energy - r.total_energy).joules() / fair_energy.joules();
     const double predicted =
-        closed_form.energy_at_fraction(f, static_cast<double>(bytes) * 8.0)
+        closed_form
+            .energy_at_fraction(f, units::Bits{bytes.count() * units::kBitsPerByte})
             .savings_vs_fair;
     table.add_row({stats::Table::num(f, 2), stats::Table::num(achieved, 3),
-                   stats::Table::num(r.total_joules, 1),
+                   stats::Table::num(r.total_energy.joules(), 1),
                    stats::Table::num(100.0 * savings, 2),
                    stats::Table::num(100.0 * predicted, 2)});
   }

@@ -14,9 +14,9 @@ using namespace greencc;
 
 namespace {
 
-double measured_tput(int mtu, std::int64_t bytes) {
+double measured_tput(int mtu, units::Bytes bytes) {
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = mtu;
+  config.tcp.mtu_bytes = units::Bytes{mtu};
   config.seed = 11;
   app::Scenario scenario(config);
   app::FlowSpec flow;
@@ -24,14 +24,14 @@ double measured_tput(int mtu, std::int64_t bytes) {
   flow.bytes = bytes;
   scenario.add_flow(flow);
   const auto result = scenario.run();
-  return result.flows[0].avg_gbps;
+  return result.flows[0].avg_rate.gbps();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t bytes =
-      bench::flag_i64(argc, argv, "--bytes", 1'000'000'000);
+  const units::Bytes bytes{
+      bench::flag_i64(argc, argv, "--bytes", 1'000'000'000)};
 
   bench::print_header(
       "Ablation — MTU vs. host packet-processing limits",

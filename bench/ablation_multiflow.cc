@@ -18,23 +18,24 @@ using namespace greencc;
 
 namespace {
 
-double run_schedule(core::Schedule schedule, int flows, std::int64_t bytes) {
+double run_schedule(core::Schedule schedule, int flows, units::Bytes bytes) {
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = 21;
   app::Scenario scenario(config);
   for (const auto& spec :
-       core::make_schedule(schedule, flows, bytes, "cubic", 10e9)) {
+       core::make_schedule(schedule, flows, bytes, "cubic",
+                           units::BitRate::gbps(10))) {
     scenario.add_flow(spec);
   }
-  return scenario.run().total_joules;
+  return scenario.run().total_energy.joules();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t bytes =
-      bench::flag_i64(argc, argv, "--bytes", 625'000'000);  // 5 Gbit/flow
+  const units::Bytes bytes{
+      bench::flag_i64(argc, argv, "--bytes", 625'000'000)};  // 5 Gbit/flow
 
   bench::print_header(
       "Ablation — full-speed-then-idle savings vs. flow count",
@@ -44,8 +45,10 @@ int main(int argc, char** argv) {
   energy::PackagePowerModel model;
   const energy::PowerCalibration calib;
   const auto p = [&](double x) {
-    return model.single_flow_watts(x, calib.fig2_util_per_gbps,
-                                   calib.fig2_pps_per_gbps);
+    return model
+        .single_flow_watts(units::BitRate::gbps(x), calib.fig2_util_per_gbps,
+                           calib.fig2_pps_per_gbps)
+        .watts();
   };
 
   stats::Table table({"flows", "fair[J]", "fsi[J]", "savings[%]",
@@ -65,6 +68,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::printf("\n(each flow carries %.1f Gbit; fair runs all flows "
               "concurrently, FSI serializes them at line rate)\n",
-              static_cast<double>(bytes) * 8.0 / 1e9);
+              static_cast<double>(bytes.count()) * 8.0 / 1e9);
   return 0;
 }

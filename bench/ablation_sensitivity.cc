@@ -8,6 +8,7 @@
 // the magnitude moves modestly around 16%.
 
 #include <cstdio>
+#include <functional>
 #include <iostream>
 
 #include "common.h"
@@ -22,8 +23,10 @@ namespace {
 double fsi_savings(const energy::PowerCalibration& calib) {
   energy::PackagePowerModel model(calib);
   const auto p = [&](double x) {
-    return model.single_flow_watts(x, calib.fig2_util_per_gbps,
-                                   calib.fig2_pps_per_gbps);
+    return model
+        .single_flow_watts(units::BitRate::gbps(x), calib.fig2_util_per_gbps,
+                           calib.fig2_pps_per_gbps)
+        .watts();
   };
   return core::Theorem1::fsi_savings(10.0, 2, p);
 }
@@ -31,8 +34,10 @@ double fsi_savings(const energy::PowerCalibration& calib) {
 bool still_concave(const energy::PowerCalibration& calib) {
   energy::PackagePowerModel model(calib);
   const auto p = [&](double x) {
-    return model.single_flow_watts(x, calib.fig2_util_per_gbps,
-                                   calib.fig2_pps_per_gbps);
+    return model
+        .single_flow_watts(units::BitRate::gbps(x), calib.fig2_util_per_gbps,
+                           calib.fig2_pps_per_gbps)
+        .watts();
   };
   return core::Theorem1::is_strictly_concave(10.0, p);
 }
@@ -52,20 +57,26 @@ int main(int, char**) {
 
   struct Knob {
     const char* name;
-    double energy::PowerCalibration::*member;
+    std::function<void(energy::PowerCalibration&, double)> scale;
   };
   const Knob knobs[] = {
-      {"idle_watts", &energy::PowerCalibration::idle_watts},
+      {"idle_watts",
+       [](energy::PowerCalibration& c, double f) { c.idle_watts *= f; }},
       {"net_amplitude_watts",
-       &energy::PowerCalibration::net_amplitude_watts},
-      {"net_util_scale", &energy::PowerCalibration::net_util_scale},
+       [](energy::PowerCalibration& c, double f) {
+         c.net_amplitude_watts *= f;
+       }},
+      {"net_util_scale",
+       [](energy::PowerCalibration& c, double f) { c.net_util_scale *= f; }},
       {"omega_watts_per_pps",
-       &energy::PowerCalibration::omega_watts_per_pps},
+       [](energy::PowerCalibration& c, double f) {
+         c.omega_watts_per_pps *= f;
+       }},
   };
   for (const auto& knob : knobs) {
     for (double factor : {0.8, 1.2}) {
       auto calib = base;
-      calib.*knob.member *= factor;
+      knob.scale(calib, factor);
       char label[64];
       snprintf(label, sizeof(label), "%s x%.1f", knob.name, factor);
       table.add_row({label, stats::Table::num(100.0 * fsi_savings(calib), 2),

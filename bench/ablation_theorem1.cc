@@ -27,8 +27,10 @@ int main(int argc, char** argv) {
   energy::PackagePowerModel model;
   const energy::PowerCalibration calib;
   const auto calibrated = [&](double x) {
-    return model.single_flow_watts(x, calib.fig2_util_per_gbps,
-                                   calib.fig2_pps_per_gbps);
+    return model
+        .single_flow_watts(units::BitRate::gbps(x), calib.fig2_util_per_gbps,
+                           calib.fig2_pps_per_gbps)
+        .watts();
   };
 
   struct Curve {

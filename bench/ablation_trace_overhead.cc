@@ -25,10 +25,10 @@ namespace {
 // code paths), small enough for benchmark iterations.
 std::unique_ptr<app::Scenario> make_scenario() {
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   auto scenario = std::make_unique<app::Scenario>(config);
   app::FlowSpec flow;
-  flow.bytes = 25'000'000;
+  flow.bytes = units::Bytes{25'000'000};
   scenario->add_flow(flow);
   return scenario;
 }
@@ -37,7 +37,7 @@ void BM_ScenarioUntraced(benchmark::State& state) {
   for (auto _ : state) {
     auto scenario = make_scenario();
     const auto r = scenario->run();
-    benchmark::DoNotOptimize(r.total_joules);
+    benchmark::DoNotOptimize(r.total_energy);
   }
 }
 BENCHMARK(BM_ScenarioUntraced)->Unit(benchmark::kMillisecond);
@@ -48,7 +48,7 @@ void BM_ScenarioFilteredOut(benchmark::State& state) {
     trace::VectorTraceSink sink(0);  // wants() nothing
     scenario->set_trace_sink(&sink);
     const auto r = scenario->run();
-    benchmark::DoNotOptimize(r.total_joules);
+    benchmark::DoNotOptimize(r.total_energy);
     benchmark::DoNotOptimize(sink.events_emitted());
   }
 }
@@ -60,7 +60,7 @@ void BM_ScenarioCounted(benchmark::State& state) {
     trace::VectorTraceSink sink;
     scenario->set_trace_sink(&sink);
     const auto r = scenario->run();
-    benchmark::DoNotOptimize(r.total_joules);
+    benchmark::DoNotOptimize(r.total_energy);
     benchmark::DoNotOptimize(sink.events().size());
   }
 }

@@ -12,6 +12,7 @@
 #include "common.h"
 #include "robust/journal.h"
 #include "stats/stats.h"
+#include "units/units.h"
 
 namespace greencc::bench {
 
@@ -98,7 +99,7 @@ std::string encode_run(const app::ScenarioResult& run) {
   const double fct = run.flows.empty() ? 0.0 : run.flows[0].fct_sec;
   char buf[160];
   std::snprintf(buf, sizeof buf, "%.17g %.17g %.17g %" PRId64 " %d",
-                run.total_joules, run.avg_watts, fct, retx,
+                run.total_energy.joules(), run.avg_power.watts(), fct, retx,
                 run.all_completed ? 1 : 0);
   return buf;
 }
@@ -111,8 +112,8 @@ bool decode_run(const std::string& payload, app::ScenarioResult& run) {
                   &fct, &retx, &completed) != 5) {
     return false;
   }
-  run.total_joules = joules;
-  run.avg_watts = watts;
+  run.total_energy = units::Energy::joules(joules);
+  run.avg_power = units::Power::watts(watts);
   run.flows.resize(1);
   run.flows[0].fct_sec = fct;
   run.flows[0].retransmissions = retx;
@@ -194,14 +195,14 @@ std::vector<core::GridCell> run_cca_grid(const GridOptions& options,
     const std::size_t cell = t / repeats;
     const std::size_t rep = t % repeats;
     app::ScenarioConfig config;
-    config.tcp.mtu_bytes = specs[cell].mtu;
+    config.tcp.mtu_bytes = units::Bytes{specs[cell].mtu};
     config.seed = app::derive_seed(options.base_seed, cell, rep);
     config.audit_interval = options.audit_interval;
     ctx.set_seed(config.seed);
     app::Scenario scenario(std::move(config));
     app::FlowSpec flow;
     flow.cca = specs[cell].cca;
-    flow.bytes = options.bytes;
+    flow.bytes = units::Bytes{options.bytes};
     scenario.add_flow(flow);
     // The guard is constructed after the scenario so it is destroyed first,
     // while the simulator is still alive for its snapshot.
@@ -240,8 +241,8 @@ std::vector<core::GridCell> run_cca_grid(const GridOptions& options,
       const std::size_t t = c * repeats + rep;
       if (!present[t]) continue;
       const auto& run = runs[t];
-      joules.add(run.total_joules);
-      watts.add(run.avg_watts);
+      joules.add(run.total_energy.joules());
+      watts.add(run.avg_power.watts());
       std::int64_t retx = 0;
       for (const auto& flow : run.flows) retx += flow.retransmissions;
       retxs.add(static_cast<double>(retx));

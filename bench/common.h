@@ -56,9 +56,9 @@ inline bool flag_set(int argc, char** argv, const char* name) {
 constexpr std::int64_t kPaperBytes = 50'000'000'000;   // 50 GB
 constexpr std::int64_t kDefaultBytes = 2'000'000'000;  // 2 GB simulated
 
-inline double scale_to_paper(std::int64_t simulated_bytes) {
+inline double scale_to_paper(std::int64_t simulated) {
   return static_cast<double>(kPaperBytes) /
-         static_cast<double>(simulated_bytes);
+         static_cast<double>(simulated);
 }
 
 inline void print_header(const char* figure, const char* paper_claim) {

@@ -48,12 +48,12 @@ int main(int argc, char** argv) {
     for (const auto& name : ccas) {
       auto builder = [&](std::uint64_t seed) {
         app::ScenarioConfig config;
-        config.tcp.mtu_bytes = mtu;
+        config.tcp.mtu_bytes = units::Bytes{mtu};
         config.seed = seed;
         auto scenario = std::make_unique<app::Scenario>(config);
         app::FlowSpec flow;
         flow.cca = name;
-        flow.bytes = bytes;
+        flow.bytes = units::Bytes{bytes};
         scenario->add_flow(flow);
         return scenario;
       };

@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
   // Binds the journal to everything that can change the numbers (`jobs`
   // and the supervision knobs deliberately excluded).
   std::ostringstream canon;
-  canon << "loss-sweep bytes=" << bytes << " repeats=" << repeats
+  // "/2" tags the journal payload format (rates journaled in bps).
+  canon << "loss-sweep/2 bytes=" << bytes << " repeats=" << repeats
         << " seed=" << base_seed << " cells=";
   for (const auto& spec : specs) canon << spec.loss << ":" << spec.cca << ",";
 
@@ -116,12 +117,12 @@ int main(int argc, char** argv) {
     app::Scenario scenario(std::move(config));
     app::FlowSpec flow;
     flow.cca = specs[cell].cca;
-    flow.bytes = bytes;
+    flow.bytes = units::Bytes{bytes};
     // Pace at 90% of line rate so the bottleneck queue never overflows:
     // every retransmission is then attributable to the injected loss (the
     // non-congestive axis this sweep isolates), which also makes the retx
     // column monotone in the loss rate.
-    flow.rate_limit_bps = 9e9;
+    flow.rate_limit = units::BitRate::bps(9e9);
     scenario.add_flow(flow);
     auto watch = ctx.watch(scenario.simulator());
     app::ScenarioResult result = scenario.run();
@@ -134,8 +135,8 @@ int main(int argc, char** argv) {
     char buf[200];
     std::snprintf(buf, sizeof buf,
                   "%.17g %.17g %.17g %" PRId64 " %" PRId64 " %d",
-                  result.total_joules, result.flows[0].avg_gbps,
-                  result.flows[0].fct_sec, result.flows[0].delivered_bytes,
+                  result.total_energy.joules(), result.flows[0].avg_rate.bps(),
+                  result.flows[0].fct_sec, result.flows[0].delivered_bytes.count(),
                   result.flows[0].retransmissions,
                   result.all_completed ? 1 : 0);
     runs[t] = std::move(result);
@@ -143,19 +144,20 @@ int main(int argc, char** argv) {
     return buf;
   };
   hooks.restore = [&](std::size_t t, const std::string& payload) {
-    double joules = 0.0, gbps = 0.0, fct = 0.0;
+    // The rate is journaled in bps so restore rebuilds the exact double.
+    double joules = 0.0, rate_bps = 0.0, fct = 0.0;  // lint-allow: unit-suffix (journal wire field)
     long long delivered = 0, retx = 0;
     int completed = 0;
     if (std::sscanf(payload.c_str(), "%lg %lg %lg %lld %lld %d", &joules,
-                    &gbps, &fct, &delivered, &retx, &completed) != 6) {
+                    &rate_bps, &fct, &delivered, &retx, &completed) != 6) {
       return;  // malformed: cell stays absent and is not aggregated
     }
     app::ScenarioResult run;
-    run.total_joules = joules;
+    run.total_energy = units::Energy::joules(joules);
     run.flows.resize(1);
-    run.flows[0].avg_gbps = gbps;
+    run.flows[0].avg_rate = units::BitRate::bps(rate_bps);
     run.flows[0].fct_sec = fct;
-    run.flows[0].delivered_bytes = delivered;
+    run.flows[0].delivered_bytes = units::Bytes{delivered};
     run.flows[0].retransmissions = retx;
     run.all_completed = completed != 0;
     runs[t] = std::move(run);
@@ -182,9 +184,10 @@ int main(int argc, char** argv) {
       }
       const auto& run = runs[t];
       all_done &= run.all_completed;
-      const double gb = static_cast<double>(run.flows[0].delivered_bytes) / 1e9;
-      jpgb.add(gb > 0 ? run.total_joules / gb : 0.0);
-      gbps.add(run.flows[0].avg_gbps);
+      const double gb =
+          static_cast<double>(run.flows[0].delivered_bytes.count()) / 1e9;
+      jpgb.add(gb > 0 ? run.total_energy.joules() / gb : 0.0);
+      gbps.add(run.flows[0].avg_rate.gbps());
       retxs.add(static_cast<double>(run.flows[0].retransmissions));
       fct.add(run.flows[0].fct_sec);
     }

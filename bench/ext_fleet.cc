@@ -86,7 +86,7 @@ double peak_rss_mb() {
 struct FleetConfig {
   std::int64_t flows = 100'000;
   std::int64_t racks = 64;
-  std::int64_t max_flow_bytes = 256 * 1024;
+  units::Bytes max_flow_bytes{256 * 1024};
   std::int64_t ramp_ms = 20;
   double horizon_sec = 60.0;
   std::int32_t mtu = 9000;
@@ -117,7 +117,7 @@ FleetResult run_fleet(const FleetConfig& config, robust::CellContext& ctx) {
       std::max<std::int64_t>(1, std::min(config.racks, config.flows)));
 
   tcp::TcpConfig tcp_config;
-  tcp_config.mtu_bytes = config.mtu;
+  tcp_config.mtu_bytes = units::Bytes{config.mtu};
   cca::CcaConfig cca_config;
   cca_config.mss_bytes = tcp_config.mss_bytes();
 
@@ -128,17 +128,17 @@ FleetResult run_fleet(const FleetConfig& config, robust::CellContext& ctx) {
   Demux rx_demux(n);
   Demux tx_demux(n);
   net::PortConfig core_config;
-  core_config.rate_bps = 400e9;
-  core_config.queue_capacity_bytes = 8 << 20;
+  core_config.rate = units::BitRate::bps(400e9);
+  core_config.queue_capacity_bytes = units::Bytes{8 << 20};
   net::QueuedPort core(sim, "core", core_config, &rx_demux);
   net::PortConfig ack_config;
-  ack_config.rate_bps = 400e9;
-  ack_config.queue_capacity_bytes = 8 << 20;
+  ack_config.rate = units::BitRate::bps(400e9);
+  ack_config.queue_capacity_bytes = units::Bytes{8 << 20};
   net::QueuedPort ack_port(sim, "ack", ack_config, &tx_demux);
 
   net::DrrPort::Config rack_config;
-  rack_config.rate_bps = 40e9;
-  rack_config.per_flow_queue_bytes = 1 << 16;  // bound fleet-wide buffering
+  rack_config.rate = units::BitRate::bps(40e9);
+  rack_config.per_flow_queue_bytes = units::Bytes{1 << 16};  // bound fleet-wide buffering
   std::vector<std::unique_ptr<net::DrrPort>> uplinks;
   uplinks.reserve(racks);
   for (std::size_t r = 0; r < racks; ++r) {
@@ -156,7 +156,7 @@ FleetResult run_fleet(const FleetConfig& config, robust::CellContext& ctx) {
   const auto websearch = app::websearch_workload();
   const auto datamining = app::datamining_workload();
   sim::Rng size_rng(config.seed);
-  const std::int64_t mss = tcp_config.mss_bytes();
+  const std::int64_t mss = tcp_config.mss_bytes().count();
 
   std::int64_t open = 0;
   std::int64_t peak_open = 0;
@@ -166,7 +166,7 @@ FleetResult run_fleet(const FleetConfig& config, robust::CellContext& ctx) {
     const app::FlowSizeDistribution& dist =
         (f % 2 == 0) ? *websearch : *datamining;
     std::int64_t bytes =
-        std::clamp(dist.sample(size_rng), mss, config.max_flow_bytes);
+        std::clamp(dist.sample(size_rng), mss, config.max_flow_bytes.count());
     bytes = (bytes + mss - 1) / mss * mss;
 
     auto cc = cca::make_cca(config.cca, cca_config);
@@ -181,7 +181,7 @@ FleetResult run_fleet(const FleetConfig& config, robust::CellContext& ctx) {
     tx_demux.set(f, senders[f].get());
 
     tcp::TcpSender* sender = senders[f].get();
-    sender->add_app_data(bytes);
+    sender->add_app_data(units::Bytes{bytes});
     sender->mark_app_eof();
     sender->set_on_complete([&open, &completed] {
       --open;
@@ -235,7 +235,7 @@ int main(int argc, char** argv) {
   config.flows = bench::flag_i64(argc, argv, "--flows", config.flows);
   config.racks = bench::flag_i64(argc, argv, "--racks", config.racks);
   config.max_flow_bytes =
-      bench::flag_i64(argc, argv, "--max-flow-kb", 256) * 1024;
+      units::Bytes{bench::flag_i64(argc, argv, "--max-flow-kb", 256) * 1024};
   config.ramp_ms = bench::flag_i64(argc, argv, "--ramp-ms", config.ramp_ms);
   config.horizon_sec =
       bench::flag_double(argc, argv, "--horizon-sec", config.horizon_sec);
@@ -267,7 +267,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream canon;
   canon << "fleet flows=" << config.flows << " racks=" << config.racks
-        << " max=" << config.max_flow_bytes << " ramp=" << config.ramp_ms
+        << " max=" << config.max_flow_bytes.count() << " ramp=" << config.ramp_ms
         << " horizon=" << config.horizon_sec << " mtu=" << config.mtu
         << " cca=" << config.cca << " seed=" << config.seed
         << " repeats=" << repeats;
@@ -360,7 +360,7 @@ int main(int argc, char** argv) {
     json.key("config").begin_object();
     json.field("flows", config.flows);
     json.field("racks", config.racks);
-    json.field("max_flow_bytes", config.max_flow_bytes);
+    json.field("max_flow_bytes", config.max_flow_bytes.count());
     json.field("ramp_ms", config.ramp_ms);
     json.field("mtu", config.mtu);
     json.field("cca", config.cca);

@@ -28,19 +28,20 @@ struct Outcome {
   bool done = false;
 };
 
-Outcome run(core::Schedule schedule, int fan_in, std::int64_t total_bytes) {
+Outcome run(core::Schedule schedule, int fan_in, units::Bytes total_bytes) {
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = 77;
   app::Scenario scenario(config);
   for (const auto& spec : core::make_schedule(
-           schedule, fan_in, total_bytes / fan_in, "cubic", 10e9)) {
+           schedule, fan_in, total_bytes / fan_in, "cubic",
+           units::BitRate::gbps(10))) {
     scenario.add_flow(spec);
   }
   const auto r = scenario.run();
   Outcome o;
   o.done = r.all_completed;
-  o.joules = r.total_joules;
+  o.joules = r.total_energy.joules();
   o.duration = r.duration_sec;
   o.drops = r.bottleneck.dropped + r.rx_backlog.dropped;
   for (const auto& f : r.flows) o.retx += f.retransmissions;
@@ -50,8 +51,8 @@ Outcome run(core::Schedule schedule, int fan_in, std::int64_t total_bytes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t total_bytes =
-      bench::flag_i64(argc, argv, "--bytes", 2'500'000'000);  // 20 Gbit total
+  const units::Bytes total_bytes{
+      bench::flag_i64(argc, argv, "--bytes", 2'500'000'000)};  // 20 Gbit total
 
   bench::print_header(
       "Extension — incast: does unfairness stay green at high fan-in? (§5)",
@@ -81,6 +82,6 @@ int main(int argc, char** argv) {
       "accounting; the aggregate transfer is %.1f Gbit split across the "
       "fan-in. Savings persist — and the drop/retransmission burden of "
       "synchronized fair-share incast disappears under serialization.)\n",
-      static_cast<double>(total_bytes) * 8.0 / 1e9);
+      static_cast<double>(total_bytes.count()) * 8.0 / 1e9);
   return 0;
 }

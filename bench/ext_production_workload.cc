@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
         table.add_row({workload.label, cca, stats::Table::num(load, 1),
                        std::to_string(r.flows_completed) + "/" +
                            std::to_string(r.flows_started),
-                       stats::Table::num(r.goodput_gbps, 2),
-                       stats::Table::num(r.joules_per_gb, 1),
+                       stats::Table::num(r.goodput.gbps(), 2),
+                       stats::Table::num(r.energy_intensity.joules_per_gb(), 1),
                        stats::Table::num(r.p99_slowdown, 1),
                        stats::Table::num(r.mice_p99_slowdown, 1)});
         std::fprintf(stderr, "  workload: %s %s load=%.1f done\n",

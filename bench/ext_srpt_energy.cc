@@ -34,9 +34,9 @@ struct Outcome {
 };
 
 Outcome run(core::SizedSchedule schedule,
-            const std::vector<std::int64_t>& sizes) {
+            const std::vector<units::Bytes>& sizes) {
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = 31;
   app::Scenario scenario(config);
   for (const auto& spec : core::make_sized_schedule(schedule, sizes, "cubic")) {
@@ -45,7 +45,7 @@ Outcome run(core::SizedSchedule schedule,
   const auto r = scenario.run();
   Outcome o;
   o.done = r.all_completed;
-  o.joules = r.total_joules;
+  o.joules = r.total_energy.joules();
   o.duration = r.duration_sec;
   // SRPT optimizes time-to-completion from the experiment's start (a
   // serialized flow "waits" before it runs), not the per-flow transfer time.
@@ -59,8 +59,8 @@ Outcome run(core::SizedSchedule schedule,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t unit =
-      bench::flag_i64(argc, argv, "--unit", 125'000'000);  // 1 Gbit
+  const units::Bytes unit{
+      bench::flag_i64(argc, argv, "--unit", 125'000'000)};  // 1 Gbit
 
   bench::print_header(
       "Extension — energy of SRPT-like flow scheduling (§5)",
@@ -68,12 +68,12 @@ int main(int argc, char** argv) {
       "SRPT ordering additionally minimizes *mean* FCT");
 
   // 2 elephants + 6 mice (sizes in 1 Gbit units: 8, 6, 1 x6).
-  std::vector<std::int64_t> sizes = {8 * unit, unit, unit, 6 * unit,
-                                     unit,     unit, unit, unit};
+  std::vector<units::Bytes> sizes = {unit * 8, unit, unit, unit * 6,
+                                     unit,    unit, unit, unit};
 
   stats::Table table({"schedule", "energy[J]", "duration[s]", "mean completion[s]",
                       "last completion[s]"});
-  double fair_joules = 0.0;
+  units::Energy fair_energy;
   for (auto schedule :
        {core::SizedSchedule::kFairShare, core::SizedSchedule::kFifoSerial,
         core::SizedSchedule::kLongestFirst,
@@ -83,7 +83,9 @@ int main(int argc, char** argv) {
       std::printf("%s did not complete\n", to_string(schedule).c_str());
       return 1;
     }
-    if (schedule == core::SizedSchedule::kFairShare) fair_joules = o.joules;
+    if (schedule == core::SizedSchedule::kFairShare) {
+      fair_energy = units::Energy::joules(o.joules);
+    }
     table.add_row({to_string(schedule), stats::Table::num(o.joules, 1),
                    stats::Table::num(o.duration, 2),
                    stats::Table::num(o.mean_fct, 3),
@@ -94,7 +96,7 @@ int main(int argc, char** argv) {
   const auto srpt = run(core::SizedSchedule::kSrptSerial, sizes);
   std::printf("\nSRPT saves %.1f%% energy over fair sharing and has the "
               "lowest mean FCT of the serial orders\n",
-              100.0 * (fair_joules - srpt.joules) / fair_joules);
+              100.0 * (fair_energy.joules() - srpt.joules) / fair_energy.joules());
   std::printf("(total duration is schedule-invariant — the bottleneck is "
               "work-conserving — so the energy gap is pure idle-vs-active "
               "host time, and the FCT gap is pure ordering)\n");

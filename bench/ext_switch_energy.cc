@@ -42,11 +42,11 @@ class FlowDemux : public net::PacketHandler {
 
 /// Two senders, two parallel 10 Gb/s paths, a static flow->path placement.
 struct TwoPathFabric {
-  TwoPathFabric(sim::Simulator& sim, bool packed, std::int64_t bytes,
-                double rate_bps)
-      : sim_(&sim), total_bytes_(bytes), rate_bps_(rate_bps) {
+  TwoPathFabric(sim::Simulator& sim, bool packed, units::Bytes bytes,
+                units::BitRate rate)
+      : sim_(&sim), total_bytes_(bytes.count()), app_rate_(rate) {
     net::PortConfig path_config;
-    path_config.rate_bps = 10e9;
+    path_config.rate = units::BitRate::bps(10e9);
     path_config.propagation = sim::SimTime::microseconds(5);
     net::PortConfig return_config = path_config;
 
@@ -100,12 +100,13 @@ struct TwoPathFabric {
 
  private:
   void pump(int i) {
-    const auto grant = static_cast<std::int64_t>(rate_bps_ / 8.0 * 500e-6);
+    const auto grant =
+        static_cast<std::int64_t>(app_rate_.bps() / 8.0 * 500e-6);
     const auto left = total_bytes_ - granted_[i];
     const auto now_grant = std::min<std::int64_t>(grant, left);
     if (now_grant > 0) {
       granted_[i] += now_grant;
-      senders[i]->add_app_data(now_grant);
+      senders[i]->add_app_data(units::Bytes{now_grant});
       if (granted_[i] >= total_bytes_) senders[i]->mark_app_eof();
       senders[i]->start();
     }
@@ -118,20 +119,20 @@ struct TwoPathFabric {
   std::unique_ptr<FlowDemux> ack_demux;
   sim::Simulator* sim_;
   std::int64_t total_bytes_;
-  double rate_bps_;
+  units::BitRate app_rate_;
   std::int64_t granted_[2] = {0, 0};
 };
 
 struct Outcome {
-  double switch_joules = 0.0;
+  units::Energy switch_energy;
   double duration = 0.0;
   bool done = false;
 };
 
 Outcome run(bool packed, energy::PortPowerProfile profile,
-            std::int64_t bytes) {
+            units::Bytes bytes) {
   sim::Simulator sim;
-  TwoPathFabric fabric(sim, packed, bytes, 5e9);
+  TwoPathFabric fabric(sim, packed, bytes, units::BitRate::bps(5e9));
   energy::SwitchEnergyMeter meter(sim, energy::SwitchPowerConfig{}, profile);
   meter.attach_port(fabric.paths[0].get());
   meter.attach_port(fabric.paths[1].get());
@@ -147,7 +148,7 @@ Outcome run(bool packed, energy::PortPowerProfile profile,
   sim.run_until(sim::SimTime::seconds(30.0));
   meter.stop();
   Outcome o;
-  o.switch_joules = meter.joules();
+  o.switch_energy = meter.energy();
   o.duration = sim.now().sec();
   o.done = fabric.complete();
   return o;
@@ -156,8 +157,8 @@ Outcome run(bool packed, energy::PortPowerProfile profile,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t bytes =
-      bench::flag_i64(argc, argv, "--bytes", 1'250'000'000);  // 10 Gbit/flow
+  const units::Bytes bytes{
+      bench::flag_i64(argc, argv, "--bytes", 1'250'000'000)};  // 10 Gbit/flow
 
   bench::print_header(
       "Extension — load imbalance across links with rate-adaptive switches",
@@ -185,18 +186,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     const double savings = 100.0 *
-                           (balanced.switch_joules - packed.switch_joules) /
-                           balanced.switch_joules;
+                           (balanced.switch_energy.joules() - packed.switch_energy.joules()) /
+                           balanced.switch_energy.joules();
     // Per-port energy with the (placement-invariant) chassis removed: the
     // number a full-fabric deployment would multiply by its port count.
-    const double b_ports = balanced.switch_joules -
-                           power_config.chassis_watts * balanced.duration;
-    const double p_ports = packed.switch_joules -
-                           power_config.chassis_watts * packed.duration;
+    const double b_ports =
+        balanced.switch_energy.joules() -
+        power_config.chassis_watts.watts() * balanced.duration;
+    const double p_ports =
+        packed.switch_energy.joules() -
+        power_config.chassis_watts.watts() * packed.duration;
     const double port_savings =
         b_ports > 0 ? 100.0 * (b_ports - p_ports) / b_ports : 0.0;
-    table.add_row({row.profile, stats::Table::num(balanced.switch_joules, 1),
-                   stats::Table::num(packed.switch_joules, 1),
+    table.add_row({row.profile, stats::Table::num(balanced.switch_energy.joules(), 1),
+                   stats::Table::num(packed.switch_energy.joules(), 1),
                    stats::Table::num(savings, 2),
                    stats::Table::num(port_savings, 1)});
   }

@@ -17,27 +17,28 @@
 #include "core/allocation.h"
 #include "core/scheduler.h"
 #include "stats/table.h"
+#include "units/units.h"
 
 using namespace greencc;
 
 namespace {
 
-app::RepeatResult run_fraction(double fraction, std::int64_t bytes,
+app::RepeatResult run_fraction(double fraction, units::Bytes bytes,
                                int repeats, int jobs) {
   auto builder = [&](std::uint64_t seed) {
     app::ScenarioConfig config;
-    config.tcp.mtu_bytes = 9000;
+    config.tcp.mtu_bytes = units::Bytes{9000};
     config.seed = seed;
     auto scenario = std::make_unique<app::Scenario>(config);
     const auto schedule = fraction >= 1.0 ? core::Schedule::kFullSpeedThenIdle
                           : fraction <= 0.5 ? core::Schedule::kFairShare
                                             : core::Schedule::kWeighted;
-    auto specs =
-        core::make_schedule(schedule, 2, bytes, "cubic", 10e9, fraction);
+    auto specs = core::make_schedule(schedule, 2, bytes, "cubic",
+                                     units::BitRate::gbps(10), fraction);
     if (schedule == core::Schedule::kWeighted) {
       // Enforce the split while flow 1 runs: flow 2 is held to the leftover
       // bandwidth, then released to "use the rest of the link" (§4.1).
-      specs[1].rate_limit_bps = (1.0 - fraction) * 10e9;
+      specs[1].rate_limit = units::BitRate::bps((1.0 - fraction) * 10e9);
       specs[1].unlimit_after_flow = 0;
     }
     for (const auto& spec : specs) scenario->add_flow(spec);
@@ -55,8 +56,8 @@ app::RepeatResult run_fraction(double fraction, std::int64_t bytes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t bytes =
-      bench::flag_i64(argc, argv, "--bytes", 1'250'000'000);  // 10 Gbit
+  const units::Bytes bytes{
+      bench::flag_i64(argc, argv, "--bytes", 1'250'000'000)};  // 10 Gbit
   const int repeats =
       static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 5));
   const int jobs = bench::flag_jobs(argc, argv);
@@ -66,7 +67,8 @@ int main(int argc, char** argv) {
       "fair 50/50 split is least efficient; full-speed-then-idle saves ~16%");
 
   const energy::PowerCalibration calib;
-  core::AllocationAnalysis closed_form(energy::PackagePowerModel{}, 10e9,
+  core::AllocationAnalysis closed_form(energy::PackagePowerModel{},
+                                       units::BitRate::gbps(10),
                                        calib.fig2_util_per_gbps,
                                        calib.fig2_pps_per_gbps);
 
@@ -74,7 +76,7 @@ int main(int argc, char** argv) {
                       "savings[%]", "closed-form[%]"});
 
   const auto fair = run_fraction(0.5, bytes, repeats, jobs);
-  const double fair_joules = fair.joules.mean();
+  const units::Energy fair_energy = units::Energy::joules(fair.joules.mean());
 
   for (double f : {0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95,
                    1.0}) {
@@ -83,11 +85,13 @@ int main(int argc, char** argv) {
     // Achieved fraction: flow 1's average share of the link while it ran.
     stats::Summary achieved;
     for (const auto& run : agg.runs) {
-      achieved.add(run.flows[0].avg_gbps / 10.0);
+      achieved.add(run.flows[0].avg_rate.gbps() / 10.0);
     }
-    const double savings = (fair_joules - agg.joules.mean()) / fair_joules;
+    const double savings =
+        (fair_energy.joules() - agg.joules.mean()) / fair_energy.joules();
     const double predicted =
-        closed_form.energy_at_fraction(f, static_cast<double>(bytes) * 8.0)
+        closed_form
+            .energy_at_fraction(f, units::Bits{bytes.count() * units::kBitsPerByte})
             .savings_vs_fair;
     table.add_row({stats::Table::num(f, 2),
                    stats::Table::num(f >= 1.0 ? 1.0 : achieved.mean(), 3),
@@ -101,7 +105,8 @@ int main(int argc, char** argv) {
   table.write_csv(bench::flag_str(argc, argv, "--csv", "fig1.csv"));
 
   const auto fsi = run_fraction(1.0, bytes, repeats, jobs);
-  const double headline = (fair_joules - fsi.joules.mean()) / fair_joules;
+  const double headline =
+      (fair_energy.joules() - fsi.joules.mean()) / fair_energy.joules();
   std::printf(
       "\nfull-speed-then-idle saves %.1f%% over the fair allocation "
       "(paper: 16%%)\n",

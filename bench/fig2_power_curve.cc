@@ -15,22 +15,23 @@
 #include "common.h"
 #include "stats/stats.h"
 #include "stats/table.h"
+#include "units/units.h"
 
 using namespace greencc;
 
 namespace {
 
-double measured_power(double gbps, std::int64_t bytes, int repeats,
+double measured_power(double gbps, units::Bytes bytes, int repeats,
                       int jobs) {
   auto builder = [&](std::uint64_t seed) {
     app::ScenarioConfig config;
-    config.tcp.mtu_bytes = 9000;
+    config.tcp.mtu_bytes = units::Bytes{9000};
     config.seed = seed;
     auto scenario = std::make_unique<app::Scenario>(config);
     app::FlowSpec flow;
     flow.cca = "cubic";
     flow.bytes = bytes;
-    flow.rate_limit_bps = gbps * 1e9;  // 0 = unlimited (line rate)
+    flow.rate_limit = units::BitRate::gbps(gbps);  // 0 = unlimited
     scenario->add_flow(flow);
     return scenario;
   };
@@ -48,7 +49,7 @@ double idle_power(int repeats) {
   // point the way the paper reads RAPL on a quiet server.
   (void)repeats;
   energy::PackagePowerModel model;
-  return model.watts(energy::HostActivity{});
+  return model.watts(energy::HostActivity{}).watts();
 }
 
 }  // namespace
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<double, double>> rows;
   for (double gbps : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0}) {
     // Scale bytes so each point simulates ~1.5 s of traffic.
-    const auto bytes = static_cast<std::int64_t>(gbps * 1e9 * 1.5 / 8.0);
+    const units::Bytes bytes{static_cast<std::int64_t>(gbps * 1e9 * 1.5 / 8.0)};
     const double rate_limit = gbps >= 10.0 ? 0.0 : gbps;
     const double watts =
         measured_power(rate_limit, bytes, repeats, jobs);

@@ -12,20 +12,22 @@
 #include "common.h"
 #include "core/scheduler.h"
 #include "stats/table.h"
+#include "units/units.h"
 
 using namespace greencc;
 
 namespace {
 
 app::ScenarioResult run_schedule(core::Schedule schedule,
-                                 std::int64_t bytes) {
+                                 units::Bytes bytes) {
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = 3;
   config.report_interval = sim::SimTime::milliseconds(50);
   app::Scenario scenario(config);
   for (const auto& spec :
-       core::make_schedule(schedule, 2, bytes, "cubic", 10e9)) {
+       core::make_schedule(schedule, 2, bytes, "cubic",
+                           units::BitRate::gbps(10))) {
     scenario.add_flow(spec);
   }
   return scenario.run();
@@ -34,7 +36,7 @@ app::ScenarioResult run_schedule(core::Schedule schedule,
 void print_panel(const char* title, const app::ScenarioResult& result,
                  const std::string& csv) {
   std::printf("--- %s (total energy %.1f J over %.2f s) ---\n", title,
-              result.total_joules, result.duration_sec);
+              result.total_energy.joules(), result.duration_sec);
   stats::Table table({"t[s]", "flow1[Gbps]", "flow2[Gbps]"});
   const auto& a = result.flows[0].series;
   const auto& b = result.flows[1].series;
@@ -52,8 +54,8 @@ void print_panel(const char* title, const app::ScenarioResult& result,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t bytes =
-      bench::flag_i64(argc, argv, "--bytes", 1'250'000'000);  // 10 Gbit
+  const units::Bytes bytes{
+      bench::flag_i64(argc, argv, "--bytes", 1'250'000'000)};  // 10 Gbit
 
   bench::print_header(
       "Figure 3 — throughput vs. time, fair share vs. full-speed-then-idle",
@@ -69,8 +71,8 @@ int main(int argc, char** argv) {
               bench::flag_str(argc, argv, "--csv-fsi", "fig3_fsi.csv"));
 
   std::printf("energy: fair %.1f J vs FSI %.1f J -> FSI saves %.1f%%\n",
-              fair.total_joules, fsi.total_joules,
-              100.0 * (fair.total_joules - fsi.total_joules) /
-                  fair.total_joules);
+              fair.total_energy.joules(), fsi.total_energy.joules(),
+              100.0 * (fair.total_energy - fsi.total_energy).joules() /
+                  fair.total_energy.joules());
   return 0;
 }

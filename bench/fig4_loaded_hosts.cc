@@ -14,6 +14,7 @@
 #include "common.h"
 #include "core/estimator.h"
 #include "stats/table.h"
+#include "units/units.h"
 
 using namespace greencc;
 
@@ -22,14 +23,16 @@ namespace {
 double measured_power(double gbps, int stress_cores, int repeats, int jobs) {
   auto builder = [&](std::uint64_t seed) {
     app::ScenarioConfig config;
-    config.tcp.mtu_bytes = 9000;
+    config.tcp.mtu_bytes = units::Bytes{9000};
     config.seed = seed;
     config.stress_cores = stress_cores;
     auto scenario = std::make_unique<app::Scenario>(config);
     app::FlowSpec flow;
     flow.cca = "cubic";
-    flow.bytes = static_cast<std::int64_t>(std::max(gbps, 0.5) * 1e9 / 8.0);
-    flow.rate_limit_bps = gbps >= 10.0 ? 0.0 : gbps * 1e9;
+    flow.bytes =
+        units::Bytes{static_cast<std::int64_t>(std::max(gbps, 0.5) * 1e9 / 8.0)};
+    flow.rate_limit = gbps >= 10.0 ? units::BitRate::zero()
+                                   : units::BitRate::gbps(gbps);
     scenario->add_flow(flow);
     return scenario;
   };
@@ -46,7 +49,7 @@ double idle_power(int stress_cores) {
   energy::PackagePowerModel model;
   energy::HostActivity activity;
   activity.stress_cores = stress_cores;
-  return model.watts(activity);
+  return model.watts(activity).watts();
 }
 
 }  // namespace

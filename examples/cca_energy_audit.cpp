@@ -37,12 +37,12 @@ int main(int argc, char** argv) {
 
   for (const auto& name : cca::all_names()) {
     app::ScenarioConfig config;
-    config.tcp.mtu_bytes = mtu;
+    config.tcp.mtu_bytes = units::Bytes{mtu};
     config.seed = 42;
     app::Scenario scenario(config);
     app::FlowSpec flow;
     flow.cca = name;
-    flow.bytes = static_cast<std::int64_t>(gigabytes * 1e9);
+    flow.bytes = units::Bytes{static_cast<std::int64_t>(gigabytes * 1e9)};
     scenario.add_flow(flow);
     const auto result = scenario.run();
     if (!result.all_completed) {
@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
                   name.c_str());
       continue;
     }
-    rows.push_back({name, result.total_joules / gigabytes,
-                    result.avg_watts, result.flows[0].avg_gbps,
+    rows.push_back({name, result.total_energy.joules() / gigabytes,
+                    result.avg_power.watts(), result.flows[0].avg_rate.gbps(),
                     static_cast<long long>(result.flows[0].retransmissions)});
   }
 

@@ -18,13 +18,13 @@ int main(int argc, char** argv) {
   const std::string csv = argc > 2 ? argv[2] : "cwnd_" + cca + ".csv";
 
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = 4;
   config.trace_interval = sim::SimTime::milliseconds(2);
   app::Scenario scenario(config);
   app::FlowSpec flow;
   flow.cca = cca;
-  flow.bytes = 1'000'000'000;
+  flow.bytes = units::Bytes{1'000'000'000};
   scenario.add_flow(flow);
   const auto result = scenario.run();
 
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     srtt_max = std::max(srtt_max, s.srtt_us);
   }
   std::printf("%s: %.2f Gb/s, %zu trace samples -> %s\n", cca.c_str(),
-              result.flows[0].avg_gbps, trace.size(), csv.c_str());
+              result.flows[0].avg_rate.gbps(), trace.size(), csv.c_str());
   std::printf("cwnd range [%.0f, %.0f] segments, peak srtt %.0f us, "
               "bottleneck drops %llu\n",
               cwnd_min, cwnd_max, srtt_max,

@@ -24,25 +24,25 @@ int main(int argc, char** argv) {
   double baseline_j_per_gb = 0.0;
   for (int mtu : {1500, 3000, 4500, 6000, 9000}) {
     app::ScenarioConfig config;
-    config.tcp.mtu_bytes = mtu;
+    config.tcp.mtu_bytes = units::Bytes{mtu};
     config.seed = 17;
     app::Scenario scenario(config);
     app::FlowSpec flow;
     flow.cca = cca;
-    flow.bytes = bytes;
+    flow.bytes = units::Bytes{bytes};
     scenario.add_flow(flow);
     const auto result = scenario.run();
     const double j_per_gb =
-        result.total_joules / (static_cast<double>(bytes) / 1e9);
+        result.total_energy.joules() / (static_cast<double>(bytes) / 1e9);
     if (mtu == 1500) baseline_j_per_gb = j_per_gb;
     const double saved = 100.0 * (baseline_j_per_gb - j_per_gb) /
                          baseline_j_per_gb;
     char note[64];
     snprintf(note, sizeof(note), "%+.1f%% vs 1500", saved);
     table.add_row({std::to_string(mtu),
-                   stats::Table::num(result.flows[0].avg_gbps, 2),
+                   stats::Table::num(result.flows[0].avg_rate.gbps(), 2),
                    stats::Table::num(j_per_gb, 2),
-                   stats::Table::num(result.avg_watts, 2),
+                   stats::Table::num(result.avg_power.watts(), 2),
                    std::to_string(result.flows[0].retransmissions),
                    mtu == 1500 ? "reference" : note});
   }

@@ -15,7 +15,7 @@ int main() {
   // Testbed from §3: 10 Gb/s bottleneck behind a switch, bonded 2x10G
   // sender NIC, jumbo frames.
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = 42;
 
   app::Scenario scenario(config);
@@ -23,19 +23,19 @@ int main() {
   // One iperf3-like flow: 2 GB of bulk data over CUBIC.
   app::FlowSpec flow;
   flow.cca = "cubic";
-  flow.bytes = 2'000'000'000;
+  flow.bytes = units::Bytes{2'000'000'000};
   scenario.add_flow(flow);
 
   app::ScenarioResult result = scenario.run();
 
   const auto& f = result.flows.front();
   std::printf("transfer      : %.2f GB over %s\n",
-              static_cast<double>(f.bytes) / 1e9, f.cca.c_str());
-  std::printf("completion    : %.3f s (%.2f Gb/s)\n", f.fct_sec, f.avg_gbps);
+              static_cast<double>(f.bytes.count()) / 1e9, f.cca.c_str());
+  std::printf("completion    : %.3f s (%.2f Gb/s)\n", f.fct_sec, f.avg_rate.gbps());
   std::printf("retransmits   : %lld segments\n",
               static_cast<long long>(f.retransmissions));
-  std::printf("energy        : %.1f J (avg %.2f W)\n", result.total_joules,
-              result.avg_watts);
+  std::printf("energy        : %.1f J (avg %.2f W)\n", result.total_energy.joules(),
+              result.avg_power.watts());
   std::printf("bottleneck    : %llu drops, %llu ECN marks\n",
               static_cast<unsigned long long>(result.bottleneck.dropped),
               static_cast<unsigned long long>(result.bottleneck.ecn_marked));

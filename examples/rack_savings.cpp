@@ -19,16 +19,17 @@ int main(int argc, char** argv) {
 
   const int flows = argc > 1 ? std::atoi(argv[1]) : 2;
   const int load_pct = argc > 2 ? std::atoi(argv[2]) : 0;
-  const std::int64_t bytes = 1'250'000'000;  // 10 Gbit per flow
+  const units::Bytes bytes{1'250'000'000};  // 10 Gbit per flow
 
   auto run_schedule = [&](core::Schedule schedule) {
     app::ScenarioConfig config;
-    config.tcp.mtu_bytes = 9000;
+    config.tcp.mtu_bytes = units::Bytes{9000};
     config.seed = 9;
     config.stress_cores = load_pct * 32 / 100;
     app::Scenario scenario(config);
     for (const auto& spec :
-         core::make_schedule(schedule, flows, bytes, "cubic", 10e9)) {
+         core::make_schedule(schedule, flows, bytes, "cubic",
+                             units::BitRate::gbps(10))) {
       scenario.add_flow(spec);
     }
     return scenario.run();
@@ -41,12 +42,12 @@ int main(int argc, char** argv) {
   const auto fsi = run_schedule(core::Schedule::kFullSpeedThenIdle);
 
   std::printf("  fair share           : %8.1f J over %.2f s (%.2f W avg)\n",
-              fair.total_joules, fair.duration_sec, fair.avg_watts);
+              fair.total_energy.joules(), fair.duration_sec, fair.avg_power.watts());
   std::printf("  full speed, then idle: %8.1f J over %.2f s (%.2f W avg)\n",
-              fsi.total_joules, fsi.duration_sec, fsi.avg_watts);
+              fsi.total_energy.joules(), fsi.duration_sec, fsi.avg_power.watts());
 
   const double savings =
-      (fair.total_joules - fsi.total_joules) / fair.total_joules;
+      (fair.total_energy - fsi.total_energy).joules() / fair.total_energy.joules();
   std::printf("\n  unfair scheduling saves %.2f%% energy\n", 100.0 * savings);
 
   core::SavingsEstimator fleet;

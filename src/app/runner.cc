@@ -49,8 +49,8 @@ RepeatResult run_repeated(
   // to the jobs=1 path regardless of completion order.
   RepeatResult agg;
   for (auto& result : runs) {
-    agg.joules.add(result.total_joules);
-    agg.watts.add(result.avg_watts);
+    agg.joules.add(result.total_energy.joules());
+    agg.watts.add(result.avg_power.watts());
     agg.duration_sec.add(result.duration_sec);
     std::int64_t retx = 0;
     for (const auto& flow : result.flows) retx += flow.retransmissions;

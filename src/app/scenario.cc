@@ -42,7 +42,7 @@ struct Scenario::FlowState {
   FlowSpec spec;
   net::FlowId id = 0;
   int host_index = 0;
-  double current_rate_bps = 0.0;  ///< live copy; 0 = unlimited
+  units::BitRate current_rate_limit;  ///< live copy; zero = unlimited
   std::unique_ptr<tcp::TcpSender> sender;
   std::unique_ptr<tcp::TcpReceiver> receiver;
   sim::SimTime started = sim::SimTime::zero();
@@ -50,7 +50,9 @@ struct Scenario::FlowState {
   bool has_started = false;
   bool done = false;
   std::int64_t bytes_granted = 0;
-  double rate_carry_bytes = 0.0;  ///< token-bucket fractional remainder
+  /// Token-bucket fractional remainder; deliberately a raw double because
+  /// units::Bytes is integral and the carry is sub-byte.
+  double rate_carry_bytes = 0.0;  // lint-allow: unit-suffix (fractional carry)
   std::int64_t last_report_segments = 0;
   sim::SimTime last_report_time = sim::SimTime::zero();
   std::vector<std::pair<double, double>> series;
@@ -82,10 +84,12 @@ void Scenario::build_receiver_host() {
   // on the MTU via the per-packet overhead; the backlog queue in front of
   // it tail-drops, which is the end-host loss source at small MTUs.
   net::PortConfig rx_proc;
-  rx_proc.rate_bps = 8.0 / config_.work.rx_byte_ns * 1e9;
+  rx_proc.rate = units::BitRate::bps(units::kBitsPerByteF /
+                                     config_.work.rx_byte_ns *
+                                     units::kNanosPerSecond);
   rx_proc.per_packet_ns = config_.work.rx_pkt_ns;
   rx_proc.propagation = sim::SimTime::zero();
-  rx_proc.queue_capacity_bytes = 1 << 30;  // packet cap governs
+  rx_proc.queue_capacity_bytes = units::Bytes{1 << 30};  // packet cap governs
   rx_proc.queue_capacity_packets =
       static_cast<std::size_t>(config_.work.rx_backlog_packets);
   rx_proc.drop_service_ns = config_.work.rx_drop_ns;
@@ -93,7 +97,7 @@ void Scenario::build_receiver_host() {
   // host), at half the backlog depth — without this, ECN-driven algorithms
   // are blind to the receiver-CPU bottleneck at small MTUs.
   rx_proc.ecn_threshold_bytes =
-      config_.work.rx_backlog_packets / 2 * config_.tcp.mtu_bytes;
+      (config_.work.rx_backlog_packets / 2) * config_.tcp.mtu_bytes;
   rx_backlog_ = std::make_unique<net::QueuedPort>(
       sim_, "receiver:softirq", rx_proc, receiver_stack_.get());
 
@@ -118,19 +122,19 @@ void Scenario::build_receiver_host() {
   // instead (Fig 1's split enforced in the network).
   if (config_.use_drr_bottleneck) {
     net::DrrPort::Config drr;
-    drr.rate_bps = config_.bottleneck_bps;
+    drr.rate = config_.bottleneck_rate;
     drr.propagation = config_.link_delay;
     drr.per_flow_queue_bytes = config_.switch_queue_bytes / 2;
     drr_bottleneck_ = std::make_unique<net::DrrPort>(sim_, "switch:drr", drr,
                                                      bottleneck_sink);
     net::PortConfig ingress;  // wire-speed hop in front of the scheduler
-    ingress.rate_bps = config_.bottleneck_bps * 4;
+    ingress.rate = config_.bottleneck_rate * 4.0;
     ingress.propagation = sim::SimTime::zero();
     bottleneck_port_ = &switch_->add_egress(kReceiverHost, ingress,
                                             drr_bottleneck_.get());
   } else {
     net::PortConfig bottleneck;
-    bottleneck.rate_bps = config_.bottleneck_bps;
+    bottleneck.rate = config_.bottleneck_rate;
     bottleneck.propagation = config_.link_delay;
     bottleneck.queue_capacity_bytes = config_.switch_queue_bytes;
     bottleneck.ecn_threshold_bytes = config_.ecn_threshold_bytes;
@@ -144,7 +148,7 @@ void Scenario::build_receiver_host() {
 
   // Receiver -> switch: ACK return path, never congested.
   net::PortConfig ack_port;
-  ack_port.rate_bps = config_.bottleneck_bps;
+  ack_port.rate = config_.bottleneck_rate;
   ack_port.propagation = config_.link_delay;
   receiver_nic_ = std::make_unique<net::QueuedPort>(
       sim_, "receiver:nic", ack_port, switch_.get());
@@ -178,16 +182,16 @@ void Scenario::build_receiver_host() {
     auto* core = receiver_core_.get();
     const auto* work = &config_.work;
     auto* sim = &sim_;
-    rx_backlog_->set_on_transmit([meter, core, sim, work](std::int64_t b) {
+    rx_backlog_->set_on_transmit([meter, core, sim, work](units::Bytes b) {
       meter->on_packet_sent(b);  // drives the pps/Gb/s power terms
       core->charge(sim->now(),
                    work->rx_pkt_ns +
-                       work->rx_byte_ns * static_cast<double>(b));
+                       work->rx_byte_ns * static_cast<double>(b.count()));
     });
-    rx_backlog_->set_on_drop([core, sim, work](std::int64_t) {
+    rx_backlog_->set_on_drop([core, sim, work](units::Bytes) {
       core->charge(sim->now(), work->rx_drop_ns);
     });
-    receiver_nic_->set_on_transmit([core, sim, work](std::int64_t) {
+    receiver_nic_->set_on_transmit([core, sim, work](units::Bytes) {
       core->charge(sim->now(), work->ack_ns);  // ACK generation
     });
   }
@@ -200,7 +204,7 @@ Scenario::SenderHost& Scenario::sender_host(int index) {
     host->ack_stack = std::make_unique<Demux>();
 
     net::PortConfig nic_port;
-    nic_port.rate_bps = config_.bottleneck_bps;
+    nic_port.rate = config_.bottleneck_rate;
     nic_port.propagation = config_.link_delay;
     host->nic = std::make_unique<net::BondedNic>(
         sim_, "sender" + std::to_string(host->id),
@@ -211,11 +215,11 @@ Scenario::SenderHost& Scenario::sender_host(int index) {
     host->meter->set_stress_cores(config_.stress_cores);
     auto* meter = host->meter.get();
     host->nic->set_on_transmit(
-        [meter](std::int64_t bytes) { meter->on_packet_sent(bytes); });
+        [meter](units::Bytes bytes) { meter->on_packet_sent(bytes); });
 
     // ACK return egress from the switch to this host.
     net::PortConfig return_port;
-    return_port.rate_bps = config_.bottleneck_bps;
+    return_port.rate = config_.bottleneck_rate;
     return_port.propagation = config_.link_delay;
     net::QueuedPort& ret =
         switch_->add_egress(host->id, return_port, host->ack_stack.get());
@@ -253,7 +257,7 @@ void Scenario::add_flow(const FlowSpec& spec) {
 
   cca::CcaConfig cca_config;
   cca_config.mss_bytes = config_.tcp.mss_bytes();
-  cca_config.line_rate_bps = config_.bottleneck_bps;
+  cca_config.line_rate = config_.bottleneck_rate;
   cca_config.initial_cwnd = config_.tcp.initial_cwnd;
   auto cc = cca::make_cca(spec.cca, cca_config);
 
@@ -313,17 +317,17 @@ void Scenario::on_flow_complete(FlowState& flow) {
     }
     // Release rate caps held only while this flow was running.
     if (!next->done && next->spec.unlimit_after_flow == this_index &&
-        next.get() != &flow && next->current_rate_bps > 0.0) {
-      next->current_rate_bps = 0.0;
+        next.get() != &flow && next->current_rate_limit.bps() > 0.0) {
+      next->current_rate_limit = units::BitRate::zero();
       if (next->has_started) {
         // Grant everything still owed and let TCP rip.
-        const std::int64_t mss = config_.tcp.mss_bytes();
+        const std::int64_t mss = config_.tcp.mss_bytes().count();
         const std::int64_t total =
-            (next->spec.bytes + mss - 1) / mss * mss;
+            (next->spec.bytes.count() + mss - 1) / mss * mss;
         const std::int64_t owed = total - next->bytes_granted;
         if (owed > 0) {
           next->bytes_granted = total;
-          next->sender->add_app_data(owed);
+          next->sender->add_app_data(units::Bytes{owed});
           next->sender->mark_app_eof();
           next->sender->start();
         }
@@ -348,21 +352,21 @@ void Scenario::start_flow(FlowState& flow) {
   flow.started = sim_.now();
   flow.has_started = true;
   flow.last_report_time = sim_.now();
-  flow.current_rate_bps = flow.spec.rate_limit_bps;
+  flow.current_rate_limit = flow.spec.rate_limit;
   if (trace_) {
     trace_->emit({sim_.now(), trace::EventClass::kFlowStart, flow.id,
-                  kScenarioSrc, -1, static_cast<double>(flow.spec.bytes),
-                  0.0});
+                  kScenarioSrc, -1,
+                  static_cast<double>(flow.spec.bytes.count()), 0.0});
   }
   auto* state = &flow;
   flow.sender->set_on_complete([this, state] { on_flow_complete(*state); });
 
-  const std::int64_t mss = config_.tcp.mss_bytes();
+  const std::int64_t mss = config_.tcp.mss_bytes().count();
   const std::int64_t total =
-      (flow.spec.bytes + mss - 1) / mss * mss;  // whole segments
+      (flow.spec.bytes.count() + mss - 1) / mss * mss;  // whole segments
 
-  if (flow.spec.rate_limit_bps <= 0.0) {
-    flow.sender->add_app_data(total);
+  if (flow.spec.rate_limit.bps() <= 0.0) {
+    flow.sender->add_app_data(units::Bytes{total});
     flow.sender->mark_app_eof();
     flow.sender->start();
     return;
@@ -373,19 +377,21 @@ void Scenario::start_flow(FlowState& flow) {
 }
 
 void Scenario::pump_flow(FlowState& flow) {
-  const std::int64_t mss = config_.tcp.mss_bytes();
+  const std::int64_t mss = config_.tcp.mss_bytes().count();
   const std::int64_t total =
-      (flow.spec.bytes + mss - 1) / mss * mss;  // whole segments
+      (flow.spec.bytes.count() + mss - 1) / mss * mss;  // whole segments
   const sim::SimTime refill = sim::SimTime::microseconds(500);
   if (flow.done || flow.bytes_granted >= total) return;
-  if (flow.current_rate_bps <= 0.0) return;  // released: handled elsewhere
-  flow.rate_carry_bytes += flow.current_rate_bps / 8.0 * refill.sec();
+  // Released rate caps are handled elsewhere.
+  if (flow.current_rate_limit.bps() <= 0.0) return;
+  flow.rate_carry_bytes +=
+      flow.current_rate_limit.bps() / units::kBitsPerByteF * refill.sec();
   auto grant = static_cast<std::int64_t>(flow.rate_carry_bytes);
   grant = std::min(grant, total - flow.bytes_granted);
   if (grant > 0) {
     flow.rate_carry_bytes -= static_cast<double>(grant);
     flow.bytes_granted += grant;
-    flow.sender->add_app_data(grant);
+    flow.sender->add_app_data(units::Bytes{grant});
     if (flow.bytes_granted >= total) flow.sender->mark_app_eof();
     flow.sender->start();
   }
@@ -425,8 +431,10 @@ ScenarioResult Scenario::run() {
         const std::int64_t segs = flow->sender->snd_una();
         const double gbps =
             static_cast<double>(segs - flow->last_report_segments) *
-            config_.tcp.mss_bytes() * 8.0 /
-            (sim_.now() - flow->last_report_time).sec() / 1e9;
+            static_cast<double>(config_.tcp.mss_bytes().count()) *
+            units::kBitsPerByteF /
+            (sim_.now() - flow->last_report_time).sec() /
+            units::kBitsPerGigabit;
         flow->series.emplace_back(sim_.now().sec(), gbps);
         flow->last_report_segments = segs;
         flow->last_report_time = sim_.now();
@@ -458,7 +466,7 @@ ScenarioResult Scenario::run() {
         flow->trace.push_back(sample);
       }
       queue_series.emplace_back(sim_.now().sec(),
-                                bottleneck_port_->queue_bytes());
+                                bottleneck_port_->queue_bytes().count());
       if (auto self = weak.lock()) {
         sim_.schedule(config_.trace_interval, *self);
       }
@@ -528,30 +536,35 @@ ScenarioResult Scenario::run() {
     receiver_meter_->stop();
     ScenarioResult::HostEnergy he;
     he.host = 0;  // the receiver
-    he.joules = receiver_meter_->joules();
-    he.avg_watts =
-        result.duration_sec > 0 ? he.joules / result.duration_sec : 0.0;
-    result.total_joules += he.joules;
+    he.energy = receiver_meter_->energy();
+    he.avg_power = result.duration_sec > 0
+                       ? units::Power::watts(he.energy.joules() /
+                                             result.duration_sec)
+                       : units::Power::zero();
+    result.total_energy += he.energy;
     result.hosts.push_back(he);
   }
   for (auto& host : senders_) {
     host->meter->stop();
     ScenarioResult::HostEnergy he;
     he.host = static_cast<int>(host->id);
-    he.joules = host->meter->joules();
-    he.avg_watts =
-        result.duration_sec > 0 ? he.joules / result.duration_sec : 0.0;
-    result.total_joules += he.joules;
+    he.energy = host->meter->energy();
+    he.avg_power = result.duration_sec > 0
+                       ? units::Power::watts(he.energy.joules() /
+                                             result.duration_sec)
+                       : units::Power::zero();
+    result.total_energy += he.energy;
     result.hosts.push_back(he);
     if (host->id == 1) {
       for (const auto& s : host->meter->samples()) {
-        result.power_series.emplace_back(s.when.sec(), s.watts);
+        result.power_series.emplace_back(s.when.sec(), s.power.watts());
       }
     }
   }
-  result.avg_watts =
-      result.duration_sec > 0 ? result.total_joules / result.duration_sec
-                              : 0.0;
+  result.avg_power = result.duration_sec > 0
+                         ? units::Power::watts(result.total_energy.joules() /
+                                               result.duration_sec)
+                         : units::Power::zero();
 
   for (auto& flow : flows_) {
     FlowResult fr;
@@ -561,11 +574,16 @@ ScenarioResult Scenario::run() {
     fr.fct_sec = flow->done ? (flow->completed - flow->started).sec() : -1.0;
     fr.finished_at_sec =
         flow->done ? (flow->completed - experiment_start_).sec() : -1.0;
-    fr.avg_gbps = fr.fct_sec > 0
-                      ? static_cast<double>(fr.bytes) * 8.0 / fr.fct_sec / 1e9
-                      : 0.0;
-    fr.delivered_bytes = std::min<std::int64_t>(
-        flow->sender->snd_una() * config_.tcp.mss_bytes(), flow->spec.bytes);
+    // The bps representation is the exact `bytes * 8 / fct` double; readers
+    // reporting Gb/s divide by 1e9 exactly as the raw arithmetic here did.
+    fr.avg_rate = fr.fct_sec > 0
+                      ? units::BitRate::bps(
+                            static_cast<double>(fr.bytes.count()) *
+                            units::kBitsPerByteF / fr.fct_sec)
+                      : units::BitRate::zero();
+    fr.delivered_bytes = units::Bytes{std::min<std::int64_t>(
+        flow->sender->snd_una() * config_.tcp.mss_bytes().count(),
+        flow->spec.bytes.count())};
     fr.retransmissions = flow->sender->stats().retransmissions;
     fr.timeouts = flow->sender->stats().timeouts;
     fr.segments_sent = flow->sender->stats().segments_sent;

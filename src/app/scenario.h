@@ -21,6 +21,7 @@
 #include "tcp/tcp_config.h"
 #include "trace/counters.h"
 #include "trace/trace.h"
+#include "units/units.h"
 
 namespace greencc::app {
 
@@ -28,8 +29,8 @@ namespace greencc::app {
 /// rate-limited (iperf3 -b) with an application-level token bucket.
 struct FlowSpec {
   std::string cca = "cubic";
-  std::int64_t bytes = 1'250'000'000;  ///< 10 Gbit, the Fig 1 default
-  double rate_limit_bps = 0.0;         ///< 0 = unlimited
+  units::Bytes bytes{1'250'000'000};   ///< 10 Gbit, the Fig 1 default
+  units::BitRate rate_limit;           ///< zero = unlimited
   sim::SimTime start_time = sim::SimTime::zero();
   /// Host to place the sender on; -1 allocates a dedicated host (the
   /// default — each flow then has its own RAPL domain, the accounting the
@@ -51,12 +52,12 @@ struct FlowSpec {
 /// Testbed parameters mirroring §3 of the paper.
 struct ScenarioConfig {
   tcp::TcpConfig tcp;
-  double bottleneck_bps = 10e9;
+  units::BitRate bottleneck_rate = units::BitRate::gbps(10);
   sim::SimTime link_delay = sim::SimTime::microseconds(5);
-  std::int64_t switch_queue_bytes = 1 << 20;
+  units::Bytes switch_queue_bytes{1 << 20};
   /// ECN step-marking threshold at the bottleneck, applied to ECN-capable
   /// packets (only DCTCP sets ECT). ~65 full-size 1500B frames.
-  std::int64_t ecn_threshold_bytes = 100'000;
+  units::Bytes ecn_threshold_bytes{100'000};
   /// Full AQM override for the bottleneck queue (RED, CoDel); when mode is
   /// kNone the step threshold above applies.
   net::AqmConfig bottleneck_aqm;
@@ -103,12 +104,12 @@ struct ScenarioConfig {
 struct FlowResult {
   net::FlowId flow = 0;
   std::string cca;
-  std::int64_t bytes = 0;
-  std::int64_t delivered_bytes = 0;  ///< cumulatively ACKed (<= bytes)
+  units::Bytes bytes;
+  units::Bytes delivered_bytes;  ///< cumulatively ACKed (<= bytes)
   double fct_sec = 0.0;      ///< completion minus this flow's own start
   double finished_at_sec = 0.0;  ///< completion relative to experiment start
                                  ///< (what SRPT-style orderings optimize)
-  double avg_gbps = 0.0;
+  units::BitRate avg_rate;
   std::int64_t retransmissions = 0;
   std::int64_t timeouts = 0;
   std::int64_t segments_sent = 0;
@@ -133,7 +134,9 @@ struct FlowResult {
 /// Execution profile of one scenario run — how hard the simulator worked,
 /// as opposed to what the simulated network did.
 struct RunProfile {
-  double wall_seconds = 0.0;            ///< host wall-clock spent in run()
+  /// Host wall-clock spent in run() — profiling of the simulator process
+  /// itself, not a simulated quantity, so it stays a raw double.
+  double wall_seconds = 0.0;  // lint-allow: unit-suffix (host wall-clock profiling)
   std::uint64_t events_executed = 0;    ///< simulator events dispatched
   std::uint64_t peak_pending_events = 0;  ///< event-queue high-water mark
   double events_per_sec = 0.0;          ///< executed / wall_seconds
@@ -143,12 +146,12 @@ struct RunProfile {
 struct ScenarioResult {
   std::vector<FlowResult> flows;
   double duration_sec = 0.0;      ///< start of experiment to last completion
-  double total_joules = 0.0;      ///< summed over sender hosts
-  double avg_watts = 0.0;         ///< total_joules / duration
+  units::Energy total_energy;     ///< summed over sender hosts
+  units::Power avg_power;         ///< total_energy / duration
   struct HostEnergy {
     int host = 0;
-    double joules = 0.0;
-    double avg_watts = 0.0;
+    units::Energy energy;
+    units::Power avg_power;
   };
   std::vector<HostEnergy> hosts;
   /// Bottleneck-port statistics (drops, marks).

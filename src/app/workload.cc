@@ -126,9 +126,10 @@ std::unique_ptr<FlowSizeDistribution> fixed_size(std::int64_t bytes) {
 }
 
 std::unique_ptr<FlowSizeDistribution> bounded_pareto(double alpha,
-                                                     std::int64_t min_bytes,
-                                                     std::int64_t max_bytes) {
-  return std::make_unique<BoundedPareto>(alpha, min_bytes, max_bytes);
+                                                     units::Bytes min_bytes,
+                                                     units::Bytes max_bytes) {
+  return std::make_unique<BoundedPareto>(alpha, min_bytes.count(),
+                                         max_bytes.count());
 }
 
 std::unique_ptr<FlowSizeDistribution> empirical_cdf(
@@ -170,12 +171,12 @@ WorkloadResult run_workload(const WorkloadConfig& config) {
   if (config.load <= 0.0 || config.load >= 1.0) {
     throw std::invalid_argument("run_workload: load must be in (0, 1)");
   }
-  if (config.bottleneck_bps <= 0.0) {
-    throw std::invalid_argument("run_workload: bottleneck_bps must be > 0");
+  if (config.bottleneck_rate.bps() <= 0.0) {
+    throw std::invalid_argument("run_workload: bottleneck rate must be > 0");
   }
 
   ScenarioConfig scenario_config;
-  scenario_config.bottleneck_bps = config.bottleneck_bps;
+  scenario_config.bottleneck_rate = config.bottleneck_rate;
   scenario_config.tcp.mtu_bytes = config.mtu_bytes;
   scenario_config.seed = config.seed;
   scenario_config.deadline = config.horizon;
@@ -187,7 +188,8 @@ WorkloadResult run_workload(const WorkloadConfig& config) {
   // scenario's internal streams (or the fault subsystem's) at nearby seeds.
   sim::Rng rng(sim::mix_seed(config.seed,
                              sim::site_hash("workload:arrivals"), 0));
-  const double lambda = config.load * config.bottleneck_bps / 8.0 /
+  const double lambda = config.load * config.bottleneck_rate.bps() /
+                        units::kBitsPerByteF /
                         config.sizes->mean_bytes();  // flows/sec
 
   auto& sim = scenario.simulator();
@@ -203,7 +205,7 @@ WorkloadResult run_workload(const WorkloadConfig& config) {
              lambda] {
     FlowSpec spec;
     spec.cca = cca;
-    spec.bytes = std::max<std::int64_t>(sizes->sample(rng), 1);
+    spec.bytes = units::Bytes{std::max<std::int64_t>(sizes->sample(rng), 1)};
     spec.sender_host = next_host++ % pool;
     scenario.spawn_flow(spec);
     sim.schedule(sim::SimTime::seconds(rng.exponential(1.0 / lambda)),
@@ -216,11 +218,11 @@ WorkloadResult run_workload(const WorkloadConfig& config) {
 
   WorkloadResult out;
   out.flows_started = static_cast<int>(result.flows.size());
-  out.total_joules = result.total_joules;
+  out.total_energy = result.total_energy;
 
   const double base_rtt_sec = 30e-6;  // topology's unloaded RTT
   std::vector<double> slowdowns, mice, elephants;
-  std::int64_t delivered_bytes = 0;
+  units::Bytes delivered_bytes;
   for (const auto& flow : result.flows) {
     WorkloadFlowStats stats;
     stats.bytes = flow.bytes;
@@ -228,23 +230,26 @@ WorkloadResult run_workload(const WorkloadConfig& config) {
     delivered_bytes += flow.delivered_bytes;
     if (flow.fct_sec > 0) {
       ++out.flows_completed;
-      const double ideal = static_cast<double>(flow.bytes) * 8.0 /
-                               config.bottleneck_bps +
+      const double ideal = static_cast<double>(flow.bytes.count()) *
+                               units::kBitsPerByteF /
+                               config.bottleneck_rate.bps() +
                            base_rtt_sec;
       stats.slowdown = flow.fct_sec / ideal;
       slowdowns.push_back(stats.slowdown);
-      if (flow.bytes < 100'000) mice.push_back(stats.slowdown);
-      if (flow.bytes >= 1'000'000) elephants.push_back(stats.slowdown);
+      if (flow.bytes < units::Bytes{100'000}) mice.push_back(stats.slowdown);
+      if (flow.bytes >= units::Bytes{1'000'000}) {
+        elephants.push_back(stats.slowdown);
+      }
     }
     out.flows.push_back(stats);
   }
   const double horizon_sec = config.horizon.sec();
-  out.goodput_gbps =
-      static_cast<double>(delivered_bytes) * 8.0 / horizon_sec / 1e9;
-  out.joules_per_gb = delivered_bytes > 0
-                          ? out.total_joules /
-                                (static_cast<double>(delivered_bytes) / 1e9)
-                          : 0.0;
+  out.goodput = units::BitRate::bps(
+      static_cast<double>(delivered_bytes.count()) * units::kBitsPerByteF /
+      horizon_sec);
+  out.energy_intensity = delivered_bytes > units::Bytes::zero()
+                             ? out.total_energy / delivered_bytes
+                             : units::JoulesPerByte::zero();
   out.mean_slowdown = stats::mean(slowdowns);
   out.p99_slowdown = stats::percentile(slowdowns, 99.0);
   out.mice_p99_slowdown = stats::percentile(mice, 99.0);

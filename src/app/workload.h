@@ -7,6 +7,7 @@
 
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "units/units.h"
 
 namespace greencc::app {
 
@@ -25,8 +26,8 @@ std::unique_ptr<FlowSizeDistribution> fixed_size(std::int64_t bytes);
 
 /// Bounded Pareto — the classic heavy tail.
 std::unique_ptr<FlowSizeDistribution> bounded_pareto(double alpha,
-                                                     std::int64_t min_bytes,
-                                                     std::int64_t max_bytes);
+                                                     units::Bytes min_bytes,
+                                                     units::Bytes max_bytes);
 
 /// Piecewise-linear empirical CDF given (bytes, cumulative probability)
 /// points sorted by bytes, ending at probability 1.
@@ -44,19 +45,19 @@ std::unique_ptr<FlowSizeDistribution> datamining_workload();
 
 /// One finished (or unfinished) flow of an open-loop run.
 struct WorkloadFlowStats {
-  std::int64_t bytes = 0;
+  units::Bytes bytes;
   double fct_sec = -1.0;   ///< -1: still running at the horizon
   double slowdown = 0.0;   ///< fct / ideal (line-rate serialization + RTT)
 };
 
 struct WorkloadConfig {
   std::string cca = "cubic";
-  int mtu_bytes = 9000;
+  units::Bytes mtu_bytes{9000};
   /// Bottleneck line rate. Drives the scenario topology, the Poisson
   /// arrival rate (load is a fraction of *this* rate) and the ideal-FCT
   /// baseline slowdowns are computed against.
-  double bottleneck_bps = 10e9;
-  double load = 0.5;            ///< offered load, fraction of bottleneck_bps
+  units::BitRate bottleneck_rate = units::BitRate::gbps(10);
+  double load = 0.5;        ///< offered load, fraction of the line rate
   int sender_hosts = 8;         ///< arrivals round-robin across this pool
   sim::SimTime horizon = sim::SimTime::seconds(2.0);
   std::uint64_t seed = 1;
@@ -66,9 +67,9 @@ struct WorkloadConfig {
 struct WorkloadResult {
   int flows_started = 0;
   int flows_completed = 0;
-  double goodput_gbps = 0.0;     ///< delivered bytes over the horizon
-  double total_joules = 0.0;     ///< all sender hosts, horizon-long
-  double joules_per_gb = 0.0;
+  units::BitRate goodput;        ///< delivered bytes over the horizon
+  units::Energy total_energy;    ///< all sender hosts, horizon-long
+  units::JoulesPerByte energy_intensity;  ///< total energy / delivered bytes
   double mean_slowdown = 0.0;
   double p99_slowdown = 0.0;
   double mice_p99_slowdown = 0.0;      ///< flows < 100 KB

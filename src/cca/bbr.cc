@@ -17,15 +17,18 @@ Bbr::Bbr(const CcaConfig& config) : config_(config) {
   cwnd_gain_ = startup_gain();
   // Until the first bandwidth sample, pace at an initial-window estimate,
   // as the kernel does (IW over the initial RTT estimate).
-  btl_bw_bps_ = static_cast<double>(config.initial_cwnd) * config.mss_bytes *
-                8.0 / config.expected_rtt.sec();
+  btl_bw_bps_ = static_cast<double>(config.initial_cwnd) *
+                static_cast<double>(config.mss_bytes.count()) *
+                units::kBitsPerByteF / config.expected_rtt.sec();
 }
 
 double Bbr::bdp_segments() const {
   if (btl_bw_bps_ <= 0.0 || rt_prop_ == sim::SimTime::zero()) {
     return static_cast<double>(config_.initial_cwnd);
   }
-  return btl_bw_bps_ * rt_prop_.sec() / (config_.mss_bytes * 8.0);
+  return btl_bw_bps_ * rt_prop_.sec() /
+         (static_cast<double>(config_.mss_bytes.count()) *
+          units::kBitsPerByteF);
 }
 
 void Bbr::update_filters(const AckEvent& ev) {
@@ -53,13 +56,13 @@ void Bbr::update_filters(const AckEvent& ev) {
 
   // BtlBw max filter over the last 10 rounds. App-limited samples only
   // raise the estimate, never refresh it (they understate capacity).
-  if (ev.delivery_rate_bps > 0.0 &&
-      (!ev.app_limited || ev.delivery_rate_bps > btl_bw_bps_)) {
+  if (ev.delivery_rate.bps() > 0.0 &&
+      (!ev.app_limited || ev.delivery_rate.bps() > btl_bw_bps_)) {
     auto& slot = bw_window_[static_cast<std::size_t>(round_count_ % 10)];
     if (slot.round != round_count_) {
       slot = {0.0, round_count_};
     }
-    slot.bps = std::max(slot.bps, ev.delivery_rate_bps);
+    slot.bps = std::max(slot.bps, ev.delivery_rate.bps());
     double max_bw = 0.0;
     for (const auto& s : bw_window_) {
       if (round_count_ - s.round < 10) max_bw = std::max(max_bw, s.bps);
@@ -164,8 +167,8 @@ double Bbr::cwnd_segments() const {
   return std::max(kMinCwnd, cwnd_gain_ * bdp_segments());
 }
 
-double Bbr::pacing_rate_bps() const {
-  return std::max(1e6, pacing_gain_ * btl_bw_bps_);
+units::BitRate Bbr::pacing_rate() const {
+  return units::BitRate::bps(std::max(1e6, pacing_gain_ * btl_bw_bps_));
 }
 
 void Bbr2Alpha::on_ack(const AckEvent& ev) {

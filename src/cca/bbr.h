@@ -29,7 +29,7 @@ class Bbr : public CongestionControl {
   void on_rto(sim::SimTime now) override;
 
   double cwnd_segments() const override;
-  double pacing_rate_bps() const override;
+  units::BitRate pacing_rate() const override;
 
   energy::CcaCost cost() const override {
     // Max/min filter updates, BDP math and pacing-rate computation per

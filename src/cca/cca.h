@@ -9,6 +9,7 @@
 #include "energy/calibration.h"
 #include "net/packet.h"
 #include "sim/time.h"
+#include "units/units.h"
 
 namespace greencc::cca {
 
@@ -24,7 +25,7 @@ struct AckEvent {
   sim::SimTime min_rtt;              ///< windowed minimum RTT
   std::int64_t inflight = 0;         ///< packets outstanding after this ACK
   std::int64_t delivered = 0;        ///< total segments delivered so far
-  double delivery_rate_bps = 0.0;    ///< rate sample (0 if not available)
+  units::BitRate delivery_rate;      ///< rate sample (zero if not available)
   bool app_limited = false;          ///< rate sample taken while app-limited
   bool in_recovery = false;          ///< loss recovery in progress
   /// Whether the sender was actually constrained by cwnd when this ACK's
@@ -59,7 +60,7 @@ struct LossEvent {
 ///   * on_recovered  - recovery episode completed
 ///
 /// `cwnd_segments()` is sampled after every hook. A non-zero
-/// `pacing_rate_bps()` makes the sender space packets out instead of
+/// `pacing_rate()` makes the sender space packets out instead of
 /// transmitting cwnd-bursts (BBR-style).
 class CongestionControl {
  public:
@@ -73,8 +74,8 @@ class CongestionControl {
   /// Current congestion window in segments (>= 1).
   virtual double cwnd_segments() const = 0;
 
-  /// Pacing rate in bits/s; 0 disables pacing (pure window control).
-  virtual double pacing_rate_bps() const { return 0.0; }
+  /// Pacing rate; zero disables pacing (pure window control).
+  virtual units::BitRate pacing_rate() const { return units::BitRate::zero(); }
 
   /// Compute-cost model for the energy accounting (see calibration.h).
   virtual energy::CcaCost cost() const = 0;
@@ -90,8 +91,8 @@ class CongestionControl {
 
 /// Link parameters a CCA may want at construction time.
 struct CcaConfig {
-  std::int32_t mss_bytes = 8948;           ///< segment payload size
-  double line_rate_bps = 10e9;             ///< for initial pacing estimates
+  units::Bytes mss_bytes{8948};            ///< segment payload size
+  units::BitRate line_rate = units::BitRate::gbps(10);  ///< initial pacing
   sim::SimTime expected_rtt = sim::SimTime::microseconds(50);
   std::int64_t initial_cwnd = 10;          ///< Linux default IW10
 };

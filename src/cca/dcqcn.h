@@ -26,8 +26,8 @@ class Dcqcn final : public CongestionControl {
  public:
   explicit Dcqcn(const CcaConfig& config)
       : config_(config),
-        rc_bps_(config.line_rate_bps),
-        rt_bps_(config.line_rate_bps) {}
+        rc_bps_(config.line_rate.bps()),
+        rt_bps_(config.line_rate.bps()) {}
 
   bool wants_ecn() const override { return true; }
 
@@ -63,9 +63,9 @@ class Dcqcn final : public CongestionControl {
       if (stage_ > kFastRecoveryStages) {
         const double r_ai =
             stage_ > 2 * kFastRecoveryStages ? 10.0 * kRaiBps : kRaiBps;
-        rt_bps_ = std::min(config_.line_rate_bps, rt_bps_ + r_ai);
+        rt_bps_ = std::min(config_.line_rate.bps(), rt_bps_ + r_ai);
       }
-      rc_bps_ = std::min(config_.line_rate_bps, (rt_bps_ + rc_bps_) / 2.0);
+      rc_bps_ = std::min(config_.line_rate.bps(), (rt_bps_ + rc_bps_) / 2.0);
     }
   }
 
@@ -78,18 +78,20 @@ class Dcqcn final : public CongestionControl {
   }
 
   void on_rto(sim::SimTime) override {
-    rc_bps_ = rt_bps_ = std::max(kMinRateBps, config_.line_rate_bps * 0.01);
+    rc_bps_ = rt_bps_ = std::max(kMinRateBps, config_.line_rate.bps() * 0.01);
     stage_ = 0;
   }
 
   double cwnd_segments() const override {
     // Loose cap: two paced BDPs at an assumed worst-case RTT.
     const double bdp = rc_bps_ * (4.0 * config_.expected_rtt.sec()) /
-                       (config_.mss_bytes * 8.0);
+                       (static_cast<double>(config_.mss_bytes.count()) * units::kBitsPerByteF);
     return std::max(4.0, bdp);
   }
 
-  double pacing_rate_bps() const override { return rc_bps_; }
+  units::BitRate pacing_rate() const override {
+    return units::BitRate::bps(rc_bps_);
+  }
 
   energy::CcaCost cost() const override {
     // Timer bookkeeping + the rate math of the NIC firmware emulation.

@@ -71,9 +71,11 @@ class Hpcc final : public CongestionControl {
 
   double cwnd_segments() const override { return cwnd_; }
 
-  double pacing_rate_bps() const override {
+  units::BitRate pacing_rate() const override {
     // Pace the window over the base RTT (HPCC is window-limited + paced).
-    return cwnd_ * config_.mss_bytes * 8.0 / base_rtt_.sec();
+    return units::BitRate::bps(
+        cwnd_ * static_cast<double>(config_.mss_bytes.count()) *
+        units::kBitsPerByteF / base_rtt_.sec());
   }
 
   energy::CcaCost cost() const override {
@@ -88,8 +90,10 @@ class Hpcc final : public CongestionControl {
 
  private:
   double bdp_segments() const {
-    return std::max(kMinCwnd, config_.line_rate_bps * base_rtt_.sec() /
-                                  (config_.mss_bytes * 8.0));
+    return std::max(kMinCwnd,
+                    config_.line_rate.bps() * base_rtt_.sec() /
+                        (static_cast<double>(config_.mss_bytes.count()) *
+                         units::kBitsPerByteF));
   }
 
   /// Max over hops of the normalized inflight U_j; keeps the previous INT
@@ -100,12 +104,14 @@ class Hpcc final : public CongestionControl {
          ++i) {
       const auto& hop = ev.int_hops[i];
       const auto& prev = prev_hops_[i];
-      double u = static_cast<double>(hop.qlen_bytes) * 8.0 /
-                 (hop.link_bps * base_rtt_.sec());
+      double u = static_cast<double>(hop.qlen_bytes.count()) *
+                 units::kBitsPerByteF /
+                 (hop.link_rate.bps() * base_rtt_.sec());
       if (have_prev_ && hop.ts > prev.ts) {
-        const double tx_rate_bps = (hop.tx_bytes - prev.tx_bytes) * 8.0 /
-                                   (hop.ts - prev.ts).sec();
-        u += tx_rate_bps / hop.link_bps;
+        const units::BitRate tx_rate = units::BitRate::bps(
+            static_cast<double>((hop.tx_bytes - prev.tx_bytes).count()) *
+            units::kBitsPerByteF / (hop.ts - prev.ts).sec());
+        u += tx_rate / hop.link_rate;
       }
       max_u = std::max(max_u, u);
     }

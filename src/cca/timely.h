@@ -21,7 +21,7 @@ class Timely final : public CongestionControl {
  public:
   explicit Timely(const CcaConfig& config)
       : config_(config),
-        rate_bps_(config.line_rate_bps * 0.1),
+        rate_bps_(config.line_rate.bps() * 0.1),
         t_low_(config.expected_rtt * 2),
         t_high_(config.expected_rtt * 10) {}
 
@@ -53,7 +53,7 @@ class Timely final : public CongestionControl {
       rate_bps_ *= 1.0 - kBeta * std::min(gradient, 1.0);
       hai_count_ = 0;
     }
-    rate_bps_ = std::clamp(rate_bps_, kMinRateBps, config_.line_rate_bps);
+    rate_bps_ = std::clamp(rate_bps_, kMinRateBps, config_.line_rate.bps());
   }
 
   void on_loss(const LossEvent&) override {
@@ -62,17 +62,19 @@ class Timely final : public CongestionControl {
   }
 
   void on_rto(sim::SimTime) override {
-    rate_bps_ = std::max(kMinRateBps, config_.line_rate_bps * 0.01);
+    rate_bps_ = std::max(kMinRateBps, config_.line_rate.bps() * 0.01);
     hai_count_ = 0;
   }
 
   double cwnd_segments() const override {
     const double bdp = rate_bps_ * (4.0 * config_.expected_rtt.sec()) /
-                       (config_.mss_bytes * 8.0);
+                       (static_cast<double>(config_.mss_bytes.count()) * units::kBitsPerByteF);
     return std::max(4.0, bdp);
   }
 
-  double pacing_rate_bps() const override { return rate_bps_; }
+  units::BitRate pacing_rate() const override {
+    return units::BitRate::bps(rate_bps_);
+  }
 
   energy::CcaCost cost() const override {
     // Gradient filter + rate update per completion event.

@@ -40,7 +40,9 @@ class Westwood final : public LossBasedCca {
       return std::max(static_cast<double>(ev.inflight), cwnd_) / 2.0;
     }
     const double bdp_segments =
-        bw_est_bps_ * min_rtt_.sec() / (config_.mss_bytes * 8.0);
+        bw_est_bps_ * min_rtt_.sec() /
+        (static_cast<double>(config_.mss_bytes.count()) *
+         units::kBitsPerByteF);
     return bdp_segments;
   }
 
@@ -54,13 +56,16 @@ class Westwood final : public LossBasedCca {
     // One bandwidth sample per RTT, as in westwood_update_window().
     const sim::SimTime interval = ev.now - last_sample_time_;
     if (ev.srtt > sim::SimTime::zero() && interval >= ev.srtt) {
-      const double sample_bps = static_cast<double>(acked_since_sample_) *
-                                config_.mss_bytes * 8.0 / interval.sec();
+      // Raw bps: feeds the trailing-underscore filter state below.
+      const double bw_sample =
+          static_cast<double>(acked_since_sample_) *
+          static_cast<double>(config_.mss_bytes.count()) *
+          units::kBitsPerByteF / interval.sec();
       // First-order filter: new = 7/8 old + 1/8 sample (after seeding).
       // lint-allow: float-eq (0.0 is the exact "unseeded filter" sentinel)
       bw_est_bps_ = bw_est_bps_ == 0.0
-                        ? sample_bps
-                        : 0.875 * bw_est_bps_ + 0.125 * sample_bps;
+                        ? bw_sample
+                        : 0.875 * bw_est_bps_ + 0.125 * bw_sample;
       acked_since_sample_ = 0;
       last_sample_time_ = ev.now;
     }

@@ -167,7 +167,7 @@ void InvariantAuditor::audit_cca(net::FlowId flow,
                    "cwnd " + std::to_string(cwnd) +
                        " absurdly large (> 1e9 segments)"});
   }
-  const double pacing = cc.pacing_rate_bps();
+  const double pacing = cc.pacing_rate().bps();
   if (!std::isfinite(pacing) || pacing < 0.0) {
     out.push_back({component, "cca.pacing_sane",
                    "pacing rate " + std::to_string(pacing) +

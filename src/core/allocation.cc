@@ -6,40 +6,45 @@
 namespace greencc::core {
 
 AllocationAnalysis::Result AllocationAnalysis::energy_at_fraction(
-    double fraction, double bits_per_flow, double load_fraction) const {
+    double fraction, units::Bits bits_per_flow, double load_fraction) const {
   if (fraction < 0.5 || fraction > 1.0) {
     throw std::invalid_argument(
         "energy_at_fraction: fraction must be in [0.5, 1]");
   }
-  const double c_gbps = capacity_bps_ / 1e9;
-  const double x1 = fraction * c_gbps;         // flow 1's limited rate
-  const double x2 = (1.0 - fraction) * c_gbps; // flow 2 while flow 1 runs
+  const double bits = static_cast<double>(bits_per_flow.count());
+  const double c = capacity_.gbps();  // closed form works in Gb/s
+  const double x1 = fraction * c;         // flow 1's limited rate
+  const double x2 = (1.0 - fraction) * c; // flow 2 while flow 1 runs
 
   // Flow 1 finishes at t1; flow 2 then runs at full speed. Total duration
   // is always 2*bits/C because the bottleneck is work-conserving.
-  const double t1 = bits_per_flow / (x1 * 1e9);
-  const double total = 2.0 * bits_per_flow / capacity_bps_;
+  const double t1 = bits / (x1 * units::kBitsPerGigabit);
+  const double total = 2.0 * bits / capacity_.bps();
 
   // Host 1: sends at x1 until t1, idles after.
-  const double e1 = power_watts(x1, load_fraction) * t1 +
-                    power_watts(0.0, load_fraction) * (total - t1);
+  const double e1 =
+      power(units::BitRate::gbps(x1), load_fraction).watts() * t1 +
+      power(units::BitRate::zero(), load_fraction).watts() * (total - t1);
   // Host 2: sends at x2 until t1, then at line rate until total.
   // (fraction == 1 means host 2 idles first, then bursts — same energy.)
-  const double e2 = power_watts(x2, load_fraction) * t1 +
-                    power_watts(c_gbps, load_fraction) * (total - t1);
+  const double e2 =
+      power(units::BitRate::gbps(x2), load_fraction).watts() * t1 +
+      power(units::BitRate::gbps(c), load_fraction).watts() *
+          (total - t1);
 
   Result r;
   r.fraction = fraction;
   r.duration_sec = total;
-  r.energy_joules = e1 + e2;
+  r.energy = units::Energy::joules(e1 + e2);
   const double fair =
-      2.0 * power_watts(c_gbps / 2.0, load_fraction) * total;
-  r.savings_vs_fair = (fair - r.energy_joules) / fair;
+      2.0 * power(units::BitRate::gbps(c / 2.0), load_fraction).watts() *
+      total;
+  r.savings_vs_fair = (fair - r.energy.joules()) / fair;
   return r;
 }
 
 std::vector<AllocationAnalysis::Result> AllocationAnalysis::sweep(
-    const std::vector<double>& fractions, double bits_per_flow,
+    const std::vector<double>& fractions, units::Bits bits_per_flow,
     double load_fraction) const {
   std::vector<Result> out;
   out.reserve(fractions.size());

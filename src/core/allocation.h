@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "energy/power_model.h"
+#include "units/units.h"
 
 namespace greencc::core {
 
@@ -12,44 +13,47 @@ namespace greencc::core {
 ///
 /// Flow 1 is limited to `fraction` of the capacity; flow 2 (work-conserving)
 /// uses the rest and, once flow 1 finishes, the full link. Each flow sends
-/// `bits` and runs on its own host whose power follows the calibrated p(x).
+/// a fixed number of bits and runs on its own host whose power follows the
+/// calibrated p(x).
 class AllocationAnalysis {
  public:
-  AllocationAnalysis(energy::PackagePowerModel model, double capacity_bps,
+  AllocationAnalysis(energy::PackagePowerModel model, units::BitRate capacity,
                      double util_per_gbps, double pps_per_gbps)
       : model_(std::move(model)),
-        capacity_bps_(capacity_bps),
+        capacity_(capacity),
         util_per_gbps_(util_per_gbps),
         pps_per_gbps_(pps_per_gbps) {}
 
-  /// Per-host power at `gbps` (the Fig 2 curve).
-  double power_watts(double gbps, double load_fraction = 0.0) const {
-    return model_.single_flow_watts(gbps, util_per_gbps_, pps_per_gbps_,
+  /// Per-host power at `rate` (the Fig 2 curve).
+  units::Power power(units::BitRate rate, double load_fraction = 0.0) const {
+    return model_.single_flow_watts(rate, util_per_gbps_, pps_per_gbps_,
                                     load_fraction);
   }
 
   struct Result {
     double fraction = 0.5;
     double duration_sec = 0.0;
-    double energy_joules = 0.0;
+    units::Energy energy;
     double savings_vs_fair = 0.0;  ///< (E_fair - E) / E_fair
   };
 
   /// Energy of the two-host experiment at a given split; `fraction` in
   /// [0.5, 1.0]. fraction == 1 is "full speed, then idle".
-  Result energy_at_fraction(double fraction, double bits_per_flow,
+  Result energy_at_fraction(double fraction, units::Bits bits_per_flow,
                             double load_fraction = 0.0) const;
 
   /// Sweep Fig 1's x-axis.
   std::vector<Result> sweep(const std::vector<double>& fractions,
-                            double bits_per_flow,
+                            units::Bits bits_per_flow,
                             double load_fraction = 0.0) const;
 
  private:
   energy::PackagePowerModel model_;
-  double capacity_bps_;
-  double util_per_gbps_;
-  double pps_per_gbps_;
+  units::BitRate capacity_;
+  /// Paper-fit ratio coefficients (see PowerCalibration): raw doubles on
+  /// purpose.
+  double util_per_gbps_;  // lint-allow: unit-suffix (paper-fit ratio coefficient)
+  double pps_per_gbps_;  // lint-allow: unit-suffix (paper-fit ratio coefficient)
 };
 
 }  // namespace greencc::core

@@ -11,11 +11,11 @@ namespace greencc::core {
 namespace {
 std::pair<std::vector<double>, std::vector<double>> columns(
     const std::vector<GridCell>& cells, double GridCell::*x,
-    double GridCell::*y, const std::string& exclude, int mtu_bytes = 0) {
+    double GridCell::*y, const std::string& exclude, int mtu = 0) {
   std::vector<double> xs, ys;
   for (const auto& cell : cells) {
     if (!exclude.empty() && cell.cca == exclude) continue;
-    if (mtu_bytes != 0 && cell.mtu_bytes != mtu_bytes) continue;
+    if (mtu != 0 && cell.mtu_bytes != mtu) continue;
     xs.push_back(cell.*x);
     ys.push_back(cell.*y);
   }
@@ -23,9 +23,9 @@ std::pair<std::vector<double>, std::vector<double>> columns(
 }
 }  // namespace
 
-double EfficiencyReport::corr_energy_power(int mtu_bytes) const {
+double EfficiencyReport::corr_energy_power(int mtu) const {
   auto [xs, ys] = columns(cells_, &GridCell::energy_joules,
-                          &GridCell::power_watts, "", mtu_bytes);
+                          &GridCell::power_watts, "", mtu);
   return stats::pearson(xs, ys);
 }
 
@@ -69,9 +69,9 @@ double EfficiencyReport::mtu_savings(const std::string& cca) const {
 
 double EfficiencyReport::savings_vs(const std::string& cca,
                                     const std::string& baseline_cca,
-                                    int mtu_bytes) const {
-  const GridCell* a = find(cca, mtu_bytes);
-  const GridCell* b = find(baseline_cca, mtu_bytes);
+                                    int mtu) const {
+  const GridCell* a = find(cca, mtu);
+  const GridCell* b = find(baseline_cca, mtu);
   if (a == nullptr || b == nullptr) {
     throw std::invalid_argument("savings_vs: missing grid cell");
   }

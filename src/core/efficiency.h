@@ -9,10 +9,10 @@ namespace greencc::core {
 /// the repeated runs of one (algorithm, MTU) scenario.
 struct GridCell {
   std::string cca;
-  int mtu_bytes = 0;
-  double energy_joules = 0.0;
+  int mtu_bytes = 0;        // lint-allow: unit-suffix (CSV wire-format row)
+  double energy_joules = 0.0;  // lint-allow: unit-suffix (CSV wire-format row)
   double energy_stddev = 0.0;
-  double power_watts = 0.0;
+  double power_watts = 0.0;    // lint-allow: unit-suffix (CSV wire-format row)
   double fct_sec = 0.0;
   double retransmissions = 0.0;
 };
@@ -31,7 +31,7 @@ class EfficiencyReport {
   /// MTU, where the (energy, power) relation is inverse; pooling MTUs
   /// instead lets the MTU effect (small MTU -> more power *and* more
   /// energy) dominate with the opposite sign.
-  double corr_energy_power(int mtu_bytes = 0) const;
+  double corr_energy_power(int mtu = 0) const;
   double corr_energy_fct() const;
   /// `exclude` names a CCA left out (the paper excludes the "highly
   /// variable BBR2 measurements"); empty string excludes nothing.
@@ -44,7 +44,7 @@ class EfficiencyReport {
   /// Energy of `cca` relative to `baseline_cca` at the given MTU:
   /// (E_base - E_cca) / E_base (§4.3: 8.2%..14.2% for everything but BBR2).
   double savings_vs(const std::string& cca, const std::string& baseline_cca,
-                    int mtu_bytes) const;
+                    int mtu) const;
 
  private:
   const GridCell* find(const std::string& cca, int mtu) const;

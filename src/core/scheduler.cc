@@ -19,9 +19,9 @@ std::string to_string(Schedule schedule) {
 }
 
 std::vector<app::FlowSpec> make_schedule(Schedule schedule, int flows,
-                                         std::int64_t bytes_per_flow,
+                                         units::Bytes bytes_per_flow,
                                          const std::string& cca,
-                                         double bottleneck_bps,
+                                         units::BitRate bottleneck_rate,
                                          double fraction) {
   if (flows < 1) throw std::invalid_argument("make_schedule: flows < 1");
   std::vector<app::FlowSpec> specs;
@@ -38,7 +38,7 @@ std::vector<app::FlowSpec> make_schedule(Schedule schedule, int flows,
         }
         // Flow 0 takes `fraction` of the link; flow 1 is work-conserving
         // and mops up the rest (and the whole link once flow 0 is done).
-        if (i == 0) spec.rate_limit_bps = fraction * bottleneck_bps;
+        if (i == 0) spec.rate_limit = bottleneck_rate * fraction;
         break;
       case Schedule::kFullSpeedThenIdle:
         if (i > 0) spec.start_after_flow = i - 1;
@@ -64,7 +64,7 @@ std::string to_string(SizedSchedule schedule) {
 }
 
 std::vector<app::FlowSpec> make_sized_schedule(
-    SizedSchedule schedule, const std::vector<std::int64_t>& bytes,
+    SizedSchedule schedule, const std::vector<units::Bytes>& bytes,
     const std::string& cca) {
   if (bytes.empty()) {
     throw std::invalid_argument("make_sized_schedule: no transfers");

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "app/scenario.h"
+#include "units/units.h"
 
 namespace greencc::core {
 
@@ -26,9 +27,9 @@ std::string to_string(Schedule schedule);
 /// using `cca`, under the given schedule. `fraction` only applies to
 /// kWeighted.
 std::vector<app::FlowSpec> make_schedule(Schedule schedule, int flows,
-                                         std::int64_t bytes_per_flow,
+                                         units::Bytes bytes_per_flow,
                                          const std::string& cca,
-                                         double bottleneck_bps,
+                                         units::BitRate bottleneck_rate,
                                          double fraction = 0.5);
 
 /// How to order transfers of *different* sizes — the §5 direction of
@@ -48,7 +49,7 @@ std::string to_string(SizedSchedule schedule);
 /// Build FlowSpecs for transfers of the given sizes under the policy.
 /// Serial policies chain flows via start_after_flow in the chosen order.
 std::vector<app::FlowSpec> make_sized_schedule(
-    SizedSchedule schedule, const std::vector<std::int64_t>& bytes,
+    SizedSchedule schedule, const std::vector<units::Bytes>& bytes,
     const std::string& cca);
 
 }  // namespace greencc::core

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "units/units.h"
+
 namespace greencc::energy {
 
 /// Calibration constants for the host power / CPU-work model.
@@ -40,22 +42,25 @@ namespace greencc::energy {
 ///  * Fig 4 power levels (~100 W at 75% load with idle network, ~120 W at
 ///    10 Gb/s) pin stress_core_watts = 3.3 W/core and chi = 2.6 W/(Gb/s).
 struct PowerCalibration {
-  double idle_watts = 21.49;
-  double net_amplitude_watts = 13.013;
+  units::Power idle_watts = units::Power::watts(21.49);
+  units::Power net_amplitude_watts = units::Power::watts(13.013);
   double net_util_scale = 0.13754;
-  double omega_watts_per_pps = 10.0 / 1e6;
-  double stress_core_watts = 3.3;
+  /// Mixed-dimension fit coefficients (W per pps, W per Gb/s, utilization
+  /// per Gb/s, pps per Gb/s). These are regression slopes against the
+  /// paper's figures, not first-class quantities, so they stay raw doubles.
+  double omega_watts_per_pps = 10.0 / 1e6;  // lint-allow: unit-suffix (paper-fit ratio coefficient, W/pps)
+  units::Power stress_core_watts = units::Power::watts(3.3);
   double phi_decay_amp = 0.968;
   double phi_floor = 0.032;
   double phi_decay_rate = 10.19;
-  double chi_watts_per_gbps = 2.6;
+  double chi_watts_per_gbps = 2.6;  // lint-allow: unit-suffix (paper-fit ratio coefficient, W/(Gb/s))
   int total_cores = 32;
 
   /// Utilization and packet rate per Gb/s of a CUBIC sender at MTU 9000 —
   /// the operating point of the Fig 2 fit; used by the closed-form
   /// analyses to evaluate p(x) without running the simulator.
-  double fig2_util_per_gbps = 0.35754 / 5.0;
-  double fig2_pps_per_gbps = 13'888.9;
+  double fig2_util_per_gbps = 0.35754 / 5.0;  // lint-allow: unit-suffix (paper-fit ratio coefficient)
+  double fig2_pps_per_gbps = 13'888.9;  // lint-allow: unit-suffix (paper-fit ratio coefficient)
 };
 
 /// CPU work costs for the transmit/receive path, in nanoseconds of core time.

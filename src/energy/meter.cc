@@ -40,8 +40,8 @@ void HostEnergyMeter::tick() {
   sim_.schedule(tick_len_, [this] { tick(); });
 }
 
-double HostEnergyMeter::instantaneous_watts(sim::SimTime window_start,
-                                            sim::SimTime now) {
+units::Power HostEnergyMeter::instantaneous_power(sim::SimTime window_start,
+                                                  sim::SimTime now) {
   const double window_ns = static_cast<double>((now - window_start).ns());
   HostActivity activity;
   activity.stress_cores = stress_cores_;
@@ -52,13 +52,19 @@ double HostEnergyMeter::instantaneous_watts(sim::SimTime window_start,
     last_busy_ns_[i] = busy;
     activity.net_core_utils.push_back(window_ns > 0 ? delta / window_ns : 0.0);
   }
-  const double bytes = static_cast<double>(tx_bytes_ - last_tx_bytes_);
+  const double bytes =
+      static_cast<double>((tx_bytes_ - last_tx_bytes_).count());
   const double packets = static_cast<double>(tx_packets_ - last_tx_packets_);
   last_tx_bytes_ = tx_bytes_;
   last_tx_packets_ = tx_packets_;
-  activity.net_gbps =
-      window_ns > 0 ? bytes * 8.0 / window_ns : 0.0;  // B/ns == Gb/s / 8
-  activity.net_pps = window_ns > 0 ? packets * 1e9 / window_ns : 0.0;
+  activity.net_rate =
+      window_ns > 0
+          ? units::BitRate::gbps(bytes * units::kBitsPerByteF / window_ns)
+          : units::BitRate::zero();  // B/ns == Gb/s / 8
+  activity.net_pkt_rate =
+      window_ns > 0
+          ? units::PacketRate::pps(packets * units::kNanosPerSecond / window_ns)
+          : units::PacketRate::zero();
   return model_.watts(activity);
 }
 
@@ -68,8 +74,8 @@ void HostEnergyMeter::integrate_to_now() {
   // The window's power is computed from the utilization over the window and
   // applied retroactively across it (RAPL's own model updates are similarly
   // windowed, at ~1 ms granularity).
-  last_watts_ = instantaneous_watts(last_tick_, now);
-  rapl_.advance(now, last_watts_);
+  last_watts_ = instantaneous_power(last_tick_, now);
+  rapl_.advance(now, last_watts_.watts());
   if (record_samples_) samples_.push_back({now, last_watts_});
   last_tick_ = now;
 }
@@ -79,15 +85,15 @@ std::uint64_t HostEnergyMeter::read_energy_uj() {
   return rapl_.energy_uj();
 }
 
-double HostEnergyMeter::joules() {
+units::Energy HostEnergyMeter::energy() {
   if (running_) integrate_to_now();
-  return rapl_.joules();
+  return units::Energy::joules(rapl_.joules());
 }
 
-double HostEnergyMeter::average_watts() {
-  const double elapsed = (sim_.now() - start_time_).sec();
-  if (elapsed <= 0.0) return last_watts_;
-  return joules() / elapsed;
+units::Power HostEnergyMeter::average_power() {
+  const sim::SimTime elapsed = sim_.now() - start_time_;
+  if (elapsed <= sim::SimTime::zero()) return last_watts_;
+  return energy() / elapsed;
 }
 
 void HostEnergyMeter::register_counters(trace::CounterRegistry& reg,

@@ -10,6 +10,7 @@
 #include "sim/simulator.h"
 #include "sim/time.h"
 #include "trace/counters.h"
+#include "units/units.h"
 
 namespace greencc::energy {
 
@@ -35,7 +36,7 @@ class HostEnergyMeter {
 
   /// Called by the NIC for every transmitted packet (drives the Gb/s and
   /// packet-rate power terms).
-  void on_packet_sent(std::int64_t bytes) {
+  void on_packet_sent(units::Bytes bytes) {
     tx_bytes_ += bytes;
     ++tx_packets_;
   }
@@ -50,18 +51,18 @@ class HostEnergyMeter {
   std::uint64_t read_energy_uj();
 
   /// Total energy integrated so far, including a partial final tick.
-  double joules();
+  units::Energy energy();
 
   /// Mean power over the sampled interval so far.
-  double average_watts();
+  units::Power average_power();
 
   /// Most recent instantaneous power sample.
-  double last_watts() const { return last_watts_; }
+  units::Power last_power() const { return last_watts_; }
 
-  /// Power samples recorded each tick (time, watts) — Fig 2/4 series.
+  /// Power samples recorded each tick (time, power) — Fig 2/4 series.
   struct PowerSample {
     sim::SimTime when;
-    double watts;
+    units::Power power;
   };
   const std::vector<PowerSample>& samples() const { return samples_; }
   void set_record_samples(bool record) { record_samples_ = record; }
@@ -75,7 +76,7 @@ class HostEnergyMeter {
  private:
   void tick();
   void integrate_to_now();
-  double instantaneous_watts(sim::SimTime window_start, sim::SimTime now);
+  units::Power instantaneous_power(sim::SimTime window_start, sim::SimTime now);
 
   sim::Simulator& sim_;
   PackagePowerModel model_;
@@ -83,14 +84,14 @@ class HostEnergyMeter {
   std::vector<CpuCore*> cores_;
   std::vector<double> last_busy_ns_;
   int stress_cores_ = 0;
-  std::int64_t tx_bytes_ = 0;
-  std::int64_t last_tx_bytes_ = 0;
+  units::Bytes tx_bytes_;
+  units::Bytes last_tx_bytes_;
   std::int64_t tx_packets_ = 0;
   std::int64_t last_tx_packets_ = 0;
   RaplCounter rapl_;
   sim::SimTime last_tick_ = sim::SimTime::zero();
   sim::SimTime start_time_ = sim::SimTime::zero();
-  double last_watts_ = 0.0;
+  units::Power last_watts_;
   bool running_ = false;
   bool record_samples_ = false;
   std::vector<PowerSample> samples_;

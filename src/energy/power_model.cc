@@ -5,7 +5,7 @@
 
 namespace greencc::energy {
 
-double PackagePowerModel::core_power(double utilization) const {
+units::Power PackagePowerModel::core_power(double utilization) const {
   const double u = std::clamp(utilization, 0.0, 1.0);
   return calib_.net_amplitude_watts *
          (1.0 - std::exp(-u / calib_.net_util_scale));
@@ -17,29 +17,33 @@ double PackagePowerModel::phi(double load_fraction) const {
          calib_.phi_floor;
 }
 
-double PackagePowerModel::watts(const HostActivity& activity) const {
+units::Power PackagePowerModel::watts(const HostActivity& activity) const {
   const double load =
       static_cast<double>(activity.stress_cores) / calib_.total_cores;
-  double p = calib_.idle_watts;
-  p += calib_.stress_core_watts * activity.stress_cores;
+  units::Power p = calib_.idle_watts;
+  p += calib_.stress_core_watts * static_cast<double>(activity.stress_cores);
   const double attenuation = phi(load);
   for (double u : activity.net_core_utils) {
     p += attenuation * core_power(u);
   }
-  p += calib_.omega_watts_per_pps * activity.net_pps;
-  p += calib_.chi_watts_per_gbps * load * activity.net_gbps;
+  p += units::Power::watts(calib_.omega_watts_per_pps *
+                           activity.net_pkt_rate.pps());
+  p += units::Power::watts(calib_.chi_watts_per_gbps * load *
+                           activity.net_rate.gbps());
   return p;
 }
 
-double PackagePowerModel::single_flow_watts(double gbps, double util_per_gbps,
-                                            double pps_per_gbps,
-                                            double load_fraction) const {
+units::Power PackagePowerModel::single_flow_watts(units::BitRate rate,
+                                                  double util_per_gbps,
+                                                  double pps_per_gbps,
+                                                  double load_fraction) const {
+  const double gbps = rate.gbps();
   HostActivity a;
   a.net_core_utils = {gbps * util_per_gbps};
   a.stress_cores = static_cast<int>(
       std::lround(load_fraction * calib_.total_cores));
-  a.net_gbps = gbps;
-  a.net_pps = gbps * pps_per_gbps;
+  a.net_rate = rate;
+  a.net_pkt_rate = units::PacketRate::pps(gbps * pps_per_gbps);
   return watts(a);
 }
 

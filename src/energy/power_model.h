@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "energy/calibration.h"
+#include "units/units.h"
 
 namespace greencc::energy {
 
@@ -14,10 +15,12 @@ struct HostActivity {
   std::vector<double> net_core_utils;
   /// Number of cores kept busy by the background `stress` workload (§4.2).
   int stress_cores = 0;
-  /// Aggregate transmit rate in Gb/s (drives the load/network interaction).
-  double net_gbps = 0.0;
+  /// Aggregate transmit rate (drives the load/network interaction). A
+  /// distinct type from the packet rate below so the two same-shaped model
+  /// inputs cannot be swapped at a construction site.
+  units::BitRate net_rate;
   /// Aggregate transmit packet rate (drives the interrupt/wakeup term).
-  double net_pps = 0.0;
+  units::PacketRate net_pkt_rate;
 };
 
 /// Package power model for one server, calibrated to the paper (see
@@ -27,20 +30,20 @@ class PackagePowerModel {
  public:
   explicit PackagePowerModel(PowerCalibration calib = {}) : calib_(calib) {}
 
-  /// Total package power in watts for the given activity.
-  double watts(const HostActivity& activity) const;
+  /// Total package power for the given activity.
+  units::Power watts(const HostActivity& activity) const;
 
-  /// Power of a single-flow sender at `gbps` average throughput with the
+  /// Power of a single-flow sender at `rate` average throughput with the
   /// given work-per-Gbps and packets-per-Gb ratios (utilization =
   /// gbps * util_per_gbps, pps = gbps * pps_per_gbps). This is the
   /// closed-form p(x) of Fig 2, used by the analysis library; the simulator
   /// computes the same quantity from measured work instead.
-  double single_flow_watts(double gbps, double util_per_gbps,
-                           double pps_per_gbps = 0.0,
-                           double load_fraction = 0.0) const;
+  units::Power single_flow_watts(units::BitRate rate, double util_per_gbps,
+                                 double pps_per_gbps = 0.0,
+                                 double load_fraction = 0.0) const;
 
   /// Concave per-core network power component f(u), u in [0,1].
-  double core_power(double utilization) const;
+  units::Power core_power(double utilization) const;
 
   /// Marginal-network-power attenuation on loaded packages, phi(L) in (0,1].
   double phi(double load_fraction) const;

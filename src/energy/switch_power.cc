@@ -35,8 +35,8 @@ void SwitchEnergyMeter::stop() {
   running_ = false;
 }
 
-double SwitchEnergyMeter::port_watts(double utilization,
-                                     sim::SimTime idle_for) const {
+units::Power SwitchEnergyMeter::port_power(double utilization,
+                                           sim::SimTime idle_for) const {
   switch (profile_) {
     case PortPowerProfile::kConstant:
       return config_.port_full_watts;
@@ -60,18 +60,19 @@ double SwitchEnergyMeter::port_watts(double utilization,
 void SwitchEnergyMeter::integrate_to_now() {
   const sim::SimTime now = sim_.now();
   if (now <= last_tick_) return;
-  const double window_sec = (now - last_tick_).sec();
-  double watts = config_.chassis_watts;
+  const sim::SimTime window = now - last_tick_;
+  const double window_sec = window.sec();
+  units::Power watts = config_.chassis_watts;
   for (auto& p : ports_) {
-    const std::int64_t bytes = p.port->bytes_sent();
-    const double delta = static_cast<double>(bytes - p.last_bytes);
+    const units::Bytes bytes = p.port->bytes_sent();
+    const double delta = static_cast<double>((bytes - p.last_bytes).count());
     p.last_bytes = bytes;
-    const double util =
-        delta * 8.0 / (p.port->config().rate_bps * window_sec);
+    const double util = delta * units::kBitsPerByteF /
+                        (p.port->config().rate.bps() * window_sec);
     if (delta > 0) p.last_active = now;
-    watts += port_watts(util, now - p.last_active);
+    watts += port_power(util, now - p.last_active);
   }
-  joules_ += watts * window_sec;
+  joules_ += watts * window;
   last_tick_ = now;
 }
 
@@ -81,15 +82,15 @@ void SwitchEnergyMeter::tick() {
   sim_.schedule(tick_len_, [this] { tick(); });
 }
 
-double SwitchEnergyMeter::joules() {
+units::Energy SwitchEnergyMeter::energy() {
   if (running_) integrate_to_now();
   return joules_;
 }
 
-double SwitchEnergyMeter::average_watts() {
-  const double elapsed = (sim_.now() - start_time_).sec();
-  if (elapsed <= 0.0) return config_.chassis_watts;
-  return joules() / elapsed;
+units::Power SwitchEnergyMeter::average_power() {
+  const sim::SimTime elapsed = sim_.now() - start_time_;
+  if (elapsed <= sim::SimTime::zero()) return config_.chassis_watts;
+  return energy() / elapsed;
 }
 
 }  // namespace greencc::energy

@@ -6,6 +6,7 @@
 #include "net/port.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "units/units.h"
 
 namespace greencc::energy {
 
@@ -26,10 +27,14 @@ enum class PortPowerProfile {
 };
 
 struct SwitchPowerConfig {
-  double chassis_watts = 150.0;     ///< fans, CPU, fabric (Tofino-class)
-  double port_full_watts = 2.5;     ///< port in its full-rate mode
-  double port_low_watts = 0.5;      ///< port stepped down to its low rate
-  double port_sleep_watts = 0.1;    ///< port in deep sleep
+  /// Fans, CPU, fabric (Tofino-class).
+  units::Power chassis_watts = units::Power::watts(150.0);
+  /// Port in its full-rate mode.
+  units::Power port_full_watts = units::Power::watts(2.5);
+  /// Port stepped down to its low rate.
+  units::Power port_low_watts = units::Power::watts(0.5);
+  /// Port in deep sleep.
+  units::Power port_sleep_watts = units::Power::watts(0.1);
   double low_rate_fraction = 0.1;   ///< low mode serves up to this load
   sim::SimTime sleep_after = sim::SimTime::milliseconds(1);
 };
@@ -48,12 +53,12 @@ class SwitchEnergyMeter {
   void start();
   void stop();
 
-  double joules();
-  double average_watts();
+  units::Energy energy();
+  units::Power average_power();
 
   /// Power of one port at the given utilization/idle time, exposed for
   /// tests and analytical use.
-  double port_watts(double utilization, sim::SimTime idle_for) const;
+  units::Power port_power(double utilization, sim::SimTime idle_for) const;
 
  private:
   void tick();
@@ -61,7 +66,7 @@ class SwitchEnergyMeter {
 
   struct PortState {
     const net::QueuedPort* port;
-    std::int64_t last_bytes = 0;
+    units::Bytes last_bytes;
     sim::SimTime last_active;
   };
 
@@ -70,7 +75,7 @@ class SwitchEnergyMeter {
   PortPowerProfile profile_;
   sim::SimTime tick_len_;
   std::vector<PortState> ports_;
-  double joules_ = 0.0;
+  units::Energy joules_;
   sim::SimTime start_time_;
   sim::SimTime last_tick_;
   bool running_ = false;

@@ -107,8 +107,8 @@ FaultSchedule parse_fault_events(const std::string& spec) {
       event.kind = FaultEvent::Kind::kLinkUp;
     } else if (what.rfind("rate=", 0) == 0) {
       event.kind = FaultEvent::Kind::kRate;
-      event.rate_bps = parse_number("rate", what.substr(5));
-      if (event.rate_bps <= 0.0) {
+      event.rate = units::BitRate::bps(parse_number("rate", what.substr(5)));
+      if (event.rate.bps() <= 0.0) {
         throw std::invalid_argument("fault events: rate must be > 0 in '" +
                                     item + "'");
       }

@@ -17,7 +17,7 @@ void FaultSchedule::arm(sim::Simulator& sim, net::QueuedPort* port,
         }
         break;
       case FaultEvent::Kind::kRate:
-        if (port == nullptr || event.rate_bps <= 0.0) {
+        if (port == nullptr || event.rate.bps() <= 0.0) {
           throw std::logic_error(
               "FaultSchedule: rate event needs a port and a positive rate");
         }
@@ -40,10 +40,10 @@ void FaultSchedule::arm(sim::Simulator& sim, net::QueuedPort* port,
           link->set_link_down(false);
           break;
         case FaultEvent::Kind::kRate:
-          port->set_rate(event.rate_bps);
+          port->set_rate(event.rate);
           if (sink != nullptr) {
             sink->emit({sim.now(), trace::EventClass::kFaultLink, 0,
-                        port->name(), -1, 0.0, event.rate_bps, "rate"});
+                        port->name(), -1, 0.0, event.rate.bps(), "rate"});
           }
           break;
         case FaultEvent::Kind::kDelay:

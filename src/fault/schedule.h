@@ -6,6 +6,7 @@
 #include "sim/simulator.h"
 #include "sim/time.h"
 #include "trace/trace.h"
+#include "units/units.h"
 
 #include "fault/impairment.h"
 
@@ -16,13 +17,13 @@ struct FaultEvent {
   enum class Kind {
     kLinkDown,  ///< discard everything arriving at the impairment stage
     kLinkUp,    ///< restore forwarding
-    kRate,      ///< re-rate the bottleneck port to `rate_bps`
+    kRate,      ///< re-rate the bottleneck port to `rate`
     kDelay,     ///< change the bottleneck propagation delay to `delay`
   };
 
   sim::SimTime at;            ///< absolute simulated time
   Kind kind = Kind::kLinkDown;
-  double rate_bps = 0.0;      ///< kRate only
+  units::BitRate rate;        ///< kRate only
   sim::SimTime delay;         ///< kDelay only
 };
 

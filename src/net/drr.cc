@@ -31,13 +31,13 @@ void DrrPort::set_weight(FlowId flow, double weight) {
   flow_state(flow).weight = weight;
 }
 
-std::int64_t DrrPort::queued_bytes(FlowId flow) const {
+units::Bytes DrrPort::queued_bytes(FlowId flow) const {
   const FlowState* state = flows_.find(flow);
-  return state == nullptr ? 0 : state->queue->bytes();
+  return state == nullptr ? units::Bytes::zero() : state->queue->bytes();
 }
 
-std::int64_t DrrPort::total_queued_bytes() const {
-  std::int64_t total = 0;
+units::Bytes DrrPort::total_queued_bytes() const {
+  units::Bytes total;
   flows_.for_each([&total](FlowId, const FlowState& state) {
     total += state.queue->bytes();
   });
@@ -86,14 +86,14 @@ void DrrPort::audit(std::vector<std::string>& problems) const {
       problems.push_back("flow " + std::to_string(flow) +
                          " backlogged but absent from an idle scheduler");
     }
-    if (state.deficit < 0) {
+    if (state.deficit < units::Bytes::zero()) {
       problems.push_back("flow " + std::to_string(flow) +
                          " has negative deficit " +
-                         std::to_string(state.deficit));
+                         std::to_string(state.deficit.count()));
     }
-    if (!state.in_round && state.deficit != 0) {
-      problems.push_back("flow " + std::to_string(flow) +
-                         " carries deficit " + std::to_string(state.deficit) +
+    if (!state.in_round && state.deficit != units::Bytes::zero()) {
+      problems.push_back("flow " + std::to_string(flow) + " carries deficit " +
+                         std::to_string(state.deficit.count()) +
                          " while out of the round");
     }
     if (state.weight <= 0.0) {
@@ -122,7 +122,7 @@ void DrrPort::handle(Packet pkt) {
   }
   if (!state.in_round) {
     state.in_round = true;
-    state.deficit = 0;
+    state.deficit = units::Bytes::zero();
     active_.push_back(pkt.flow);
   }
   if (!transmitting_) start_transmission();
@@ -140,7 +140,7 @@ void DrrPort::start_transmission() {
     GREENCC_CHECK(safety > 0)
         << "DrrPort " << name_ << ": scheduler failed to make progress with "
         << active_.size() << " active flow(s), round_index=" << round_index_
-        << ", total backlog " << total_queued_bytes() << " bytes";
+        << ", total backlog " << total_queued_bytes().count() << " bytes";
     if (safety <= 0) break;
     if (round_index_ >= active_.size()) round_index_ = 0;
     const FlowId flow = active_[round_index_];
@@ -148,7 +148,7 @@ void DrrPort::start_transmission() {
 
     if (state.queue->empty()) {
       state.in_round = false;
-      state.deficit = 0;
+      state.deficit = units::Bytes::zero();
       active_.erase(active_.begin() +
                     static_cast<std::ptrdiff_t>(round_index_));
       topped_up_ = false;
@@ -156,8 +156,9 @@ void DrrPort::start_transmission() {
     }
 
     if (!topped_up_) {
-      state.deficit += static_cast<std::int64_t>(
-          state.weight * static_cast<double>(config_.base_quantum_bytes));
+      state.deficit += units::Bytes{static_cast<std::int64_t>(
+          state.weight *
+          static_cast<double>(config_.base_quantum_bytes.count()))};
       topped_up_ = true;
     }
 
@@ -167,15 +168,14 @@ void DrrPort::start_transmission() {
       state.deficit -= pkt.size_bytes;
       if (state.queue->empty()) {
         state.in_round = false;
-        state.deficit = 0;
+        state.deficit = units::Bytes::zero();
         active_.erase(active_.begin() +
                       static_cast<std::ptrdiff_t>(round_index_));
         topped_up_ = false;
       }
       transmitting_ = true;
       ++packets_sent_;
-      const sim::SimTime ser =
-          sim::serialization_delay(pkt.size_bytes, config_.rate_bps);
+      const sim::SimTime ser = pkt.size_bytes / config_.rate;
       sim_.schedule(ser, [this, pkt] {
         sim_.schedule(config_.propagation,
                       [this, pkt] { next_->handle(pkt); });

@@ -24,10 +24,10 @@ namespace greencc::net {
 class DrrPort : public PacketHandler {
  public:
   struct Config {
-    double rate_bps = 10e9;
+    units::BitRate rate = units::BitRate::gbps(10);
     sim::SimTime propagation = sim::SimTime::microseconds(5);
-    std::int64_t per_flow_queue_bytes = 1 << 19;  ///< 512 KiB per flow
-    std::int64_t base_quantum_bytes = 9'018;      ///< ~1 max-size frame
+    units::Bytes per_flow_queue_bytes{1 << 19};   ///< 512 KiB per flow
+    units::Bytes base_quantum_bytes{9'018};       ///< ~1 max-size frame
   };
 
   DrrPort(sim::Simulator& sim, std::string name, const Config& config,
@@ -53,8 +53,8 @@ class DrrPort : public PacketHandler {
 
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t dropped() const { return dropped_; }
-  std::int64_t queued_bytes(FlowId flow) const;
-  std::int64_t total_queued_bytes() const;
+  units::Bytes queued_bytes(FlowId flow) const;
+  units::Bytes total_queued_bytes() const;
   std::int64_t total_queued_packets() const;
 
  private:
@@ -63,7 +63,7 @@ class DrrPort : public PacketHandler {
   struct FlowState {
     std::unique_ptr<DropTailQueue> queue;
     double weight = 1.0;
-    std::int64_t deficit = 0;
+    units::Bytes deficit;
     bool in_round = false;  ///< currently on the active list
   };
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "sim/time.h"
+#include "units/units.h"
 
 namespace greencc::net {
 
@@ -22,10 +23,10 @@ struct SackBlock {
 /// egress port, its queue depth, the local timestamp and the port speed.
 /// HPCC computes per-link utilization from consecutive records.
 struct IntRecord {
-  double tx_bytes = 0.0;        ///< cumulative bytes sent by this port
-  std::int64_t qlen_bytes = 0;  ///< queue depth when this packet departed
+  units::Bytes tx_bytes;        ///< cumulative bytes sent by this port
+  units::Bytes qlen_bytes;      ///< queue depth when this packet departed
   sim::SimTime ts;              ///< departure timestamp
-  double link_bps = 0.0;        ///< port speed
+  units::BitRate link_rate;     ///< effective port speed
 };
 
 /// A simulated packet. Sequence numbers index MSS-sized segments rather than
@@ -43,7 +44,7 @@ struct Packet {
   bool is_ack = false;
   std::int64_t seq = 0;        ///< data: segment index being carried
   std::int64_t ack_seq = 0;    ///< ack: next expected segment (cumulative)
-  std::int32_t size_bytes = 0; ///< wire size incl. headers
+  units::Bytes size_bytes;     ///< wire size incl. headers
 
   /// Up to 3 SACK blocks (the TCP option also fits at most 3-4).
   std::array<SackBlock, 3> sack{};

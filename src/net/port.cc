@@ -15,7 +15,7 @@ void QueuedPort::handle(Packet pkt) {
   }
   if (trace_) {
     trace_->emit({sim_.now(), trace::EventClass::kEnqueue, pkt.flow, name_,
-                  pkt.seq, static_cast<double>(queue_.bytes())});
+                  pkt.seq, static_cast<double>(queue_.bytes().count())});
   }
   if (!transmitting_) start_transmission();
 }
@@ -41,9 +41,9 @@ void QueuedPort::audit(std::vector<std::string>& problems) const {
                        " != queue dequeued " + std::to_string(expected_sent));
   }
   if (bytes_sent_ != stats.dequeued_bytes) {
-    problems.push_back("bytes_sent " + std::to_string(bytes_sent_) +
+    problems.push_back("bytes_sent " + std::to_string(bytes_sent_.count()) +
                        " != queue dequeued_bytes " +
-                       std::to_string(stats.dequeued_bytes));
+                       std::to_string(stats.dequeued_bytes.count()));
   }
   // Work-conserving transmitter: an idle port implies an empty queue (the
   // converse does not hold — the last packet may still be serializing).
@@ -68,20 +68,22 @@ void QueuedPort::start_transmission() {
   // Stamp in-band telemetry at departure (INT sink is the receiver).
   if (pkt->int_enabled && pkt->int_count < pkt->int_hops.size()) {
     auto& hop = pkt->int_hops[pkt->int_count++];
-    hop.tx_bytes = static_cast<double>(bytes_sent_);
+    hop.tx_bytes = bytes_sent_;
     hop.qlen_bytes = queue_.bytes();
     hop.ts = sim_.now();
     // Report the *effective* service rate for this packet size: a
     // processing stage with per-packet overhead drains slower than its
     // nominal bit rate, and that is the utilization INT readers must see.
-    const double bits = static_cast<double>(pkt->size_bytes) * 8.0;
-    hop.link_bps = config_.per_packet_ns > 0.0
-                       ? bits / (bits / config_.rate_bps +
-                                 config_.per_packet_ns * 1e-9)
-                       : config_.rate_bps;
+    const double bits =
+        static_cast<double>(pkt->size_bytes.count()) * units::kBitsPerByteF;
+    hop.link_rate =
+        config_.per_packet_ns > 0.0
+            ? units::BitRate::bps(bits / (bits / config_.rate.bps() +
+                                          config_.per_packet_ns * 1e-9))
+            : config_.rate;
   }
   const sim::SimTime ser =
-      sim::serialization_delay(pkt->size_bytes, config_.rate_bps) +
+      pkt->size_bytes / config_.rate +
       sim::SimTime::nanoseconds(static_cast<std::int64_t>(
           config_.per_packet_ns + pending_drop_penalty_ns_));
   pending_drop_penalty_ns_ = 0.0;

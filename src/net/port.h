@@ -16,10 +16,10 @@ namespace greencc::net {
 
 /// Configuration of a queued transmission port (NIC port or switch egress).
 struct PortConfig {
-  double rate_bps = 10e9;                              ///< line rate
+  units::BitRate rate = units::BitRate::gbps(10);      ///< line rate
   sim::SimTime propagation = sim::SimTime::microseconds(5);
-  std::int64_t queue_capacity_bytes = 1 << 20;         ///< 1 MiB buffer
-  std::int64_t ecn_threshold_bytes = 0;                ///< 0 = no marking
+  units::Bytes queue_capacity_bytes{1 << 20};          ///< 1 MiB buffer
+  units::Bytes ecn_threshold_bytes;                    ///< 0 = no marking
   /// Full AQM configuration; used when `aqm.mode != kNone`, otherwise the
   /// legacy ecn_threshold_bytes shorthand applies.
   AqmConfig aqm;
@@ -35,9 +35,9 @@ struct PortConfig {
   double drop_service_ns = 0.0;
 };
 
-inline AqmConfig step_ecn_config(std::int64_t threshold_bytes) {
+inline AqmConfig step_ecn_config(units::Bytes threshold_bytes) {
   AqmConfig aqm;
-  if (threshold_bytes > 0) {
+  if (threshold_bytes > units::Bytes::zero()) {
     aqm.mode = AqmMode::kStepEcn;
     aqm.step_threshold_bytes = threshold_bytes;
   }
@@ -72,7 +72,7 @@ class QueuedPort : public PacketHandler {
 
   /// Invoked with the wire size of every packet that starts transmission
   /// (used by the host energy meter to track the Gb/s term).
-  void set_on_transmit(std::function<void(std::int64_t)> cb) {
+  void set_on_transmit(std::function<void(units::Bytes)> cb) {
     on_transmit_ = std::move(cb);
   }
 
@@ -81,20 +81,20 @@ class QueuedPort : public PacketHandler {
   /// work for these; the fault layer and tests subscribe too). Subscribers
   /// run in registration order and cannot be removed — components register
   /// once at wiring time.
-  void add_on_drop(std::function<void(std::int64_t)> cb) {
+  void add_on_drop(std::function<void(units::Bytes)> cb) {
     on_drop_.push_back(std::move(cb));
   }
 
   /// Backwards-compatible alias for add_on_drop (historically the port held
   /// a single callback; it now appends).
-  void set_on_drop(std::function<void(std::int64_t)> cb) {
+  void set_on_drop(std::function<void(units::Bytes)> cb) {
     add_on_drop(std::move(cb));
   }
 
   /// Change the line rate mid-run (FaultSchedule's bandwidth events). The
   /// packet currently serializing finishes at the old rate; the next
   /// transmission picks up the new one. Must be > 0.
-  void set_rate(double rate_bps) { config_.rate_bps = rate_bps; }
+  void set_rate(units::BitRate rate) { config_.rate = rate; }
 
   /// Change the propagation delay mid-run. Packets already serialized keep
   /// the delay they departed with; the next one to finish serialization
@@ -125,10 +125,10 @@ class QueuedPort : public PacketHandler {
   void audit(std::vector<std::string>& problems) const;
 
   const QueueStats& queue_stats() const { return queue_.stats(); }
-  std::int64_t queue_bytes() const { return queue_.bytes(); }
+  units::Bytes queue_bytes() const { return queue_.bytes(); }
   std::size_t queue_packets() const { return queue_.packets(); }
   std::uint64_t packets_sent() const { return packets_sent_; }
-  std::int64_t bytes_sent() const { return bytes_sent_; }
+  units::Bytes bytes_sent() const { return bytes_sent_; }
   bool transmitting() const { return transmitting_; }
   const std::string& name() const { return name_; }
   const PortConfig& config() const { return config_; }
@@ -144,12 +144,12 @@ class QueuedPort : public PacketHandler {
   DropTailQueue queue_;
   PacketHandler* next_;
   trace::TraceSink* trace_ = nullptr;
-  std::function<void(std::int64_t)> on_transmit_;
-  std::vector<std::function<void(std::int64_t)>> on_drop_;
+  std::function<void(units::Bytes)> on_transmit_;
+  std::vector<std::function<void(units::Bytes)>> on_drop_;
   bool transmitting_ = false;
   double pending_drop_penalty_ns_ = 0.0;
   std::uint64_t packets_sent_ = 0;
-  std::int64_t bytes_sent_ = 0;
+  units::Bytes bytes_sent_;
 };
 
 }  // namespace greencc::net

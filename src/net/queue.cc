@@ -7,19 +7,19 @@
 
 namespace greencc::net {
 
-DropTailQueue::DropTailQueue(std::int64_t capacity_bytes,
-                             std::int64_t ecn_threshold_bytes,
+DropTailQueue::DropTailQueue(units::Bytes capacity_bytes,
+                             units::Bytes ecn_threshold_bytes,
                              std::size_t capacity_packets)
     : capacity_bytes_(capacity_bytes),
       capacity_packets_(capacity_packets),
       rng_(AqmConfig{}.red_seed) {
-  if (ecn_threshold_bytes > 0) {
+  if (ecn_threshold_bytes > units::Bytes::zero()) {
     aqm_.mode = AqmMode::kStepEcn;
     aqm_.step_threshold_bytes = ecn_threshold_bytes;
   }
 }
 
-DropTailQueue::DropTailQueue(std::int64_t capacity_bytes,
+DropTailQueue::DropTailQueue(units::Bytes capacity_bytes,
                              const AqmConfig& aqm,
                              std::size_t capacity_packets)
     : capacity_bytes_(capacity_bytes),
@@ -30,7 +30,7 @@ DropTailQueue::DropTailQueue(std::int64_t capacity_bytes,
 void DropTailQueue::trace_event(trace::EventClass cls, const Packet& pkt,
                                 sim::SimTime now) const {
   trace_->emit(
-      {now, cls, pkt.flow, trace_src_, pkt.seq, static_cast<double>(bytes_)});
+      {now, cls, pkt.flow, trace_src_, pkt.seq, static_cast<double>(bytes_.count())});
 }
 
 bool DropTailQueue::fits(const Packet& pkt) const {
@@ -76,18 +76,18 @@ bool DropTailQueue::red_admit(Packet& pkt, sim::SimTime now) {
     red_empty_since_ = now;
   }
   red_avg_ = (1.0 - aqm_.red_weight) * red_avg_ +
-             aqm_.red_weight * static_cast<double>(bytes_);
-  if (red_avg_ < static_cast<double>(aqm_.red_min_bytes)) {
+             aqm_.red_weight * static_cast<double>(bytes_.count());
+  if (red_avg_ < static_cast<double>(aqm_.red_min_bytes.count())) {
     red_count_ = -1;
     return true;
   }
   double p;
-  if (red_avg_ >= static_cast<double>(aqm_.red_max_bytes)) {
+  if (red_avg_ >= static_cast<double>(aqm_.red_max_bytes.count())) {
     p = 1.0;
   } else {
     p = aqm_.red_max_probability *
-        (red_avg_ - static_cast<double>(aqm_.red_min_bytes)) /
-        static_cast<double>(aqm_.red_max_bytes - aqm_.red_min_bytes);
+        (red_avg_ - static_cast<double>(aqm_.red_min_bytes.count())) /
+        static_cast<double>((aqm_.red_max_bytes - aqm_.red_min_bytes).count());
     // Uniformize inter-mark spacing (the count correction of the paper).
     ++red_count_;
     const double denom = 1.0 - static_cast<double>(red_count_) * p;
@@ -95,8 +95,8 @@ bool DropTailQueue::red_admit(Packet& pkt, sim::SimTime now) {
   }
   if (rng_.next_double() < p) {
     red_count_ = 0;
-    if (pkt.ecn_capable && red_avg_ <
-        static_cast<double>(aqm_.red_max_bytes)) {
+    if (pkt.ecn_capable &&
+        red_avg_ < static_cast<double>(aqm_.red_max_bytes.count())) {
       pkt.ce = true;
       ++stats_.ecn_marked;
       if (trace_) trace_event(trace::EventClass::kEcnMark, pkt, now);
@@ -119,7 +119,7 @@ bool DropTailQueue::enqueue(Packet pkt, sim::SimTime now) {
     case AqmMode::kCodel:  // CoDel acts at dequeue time
       break;
     case AqmMode::kStepEcn:
-      if (aqm_.step_threshold_bytes > 0 && pkt.ecn_capable &&
+      if (aqm_.step_threshold_bytes > units::Bytes::zero() && pkt.ecn_capable &&
           bytes_ >= aqm_.step_threshold_bytes) {
         pkt.ce = true;
         ++stats_.ecn_marked;
@@ -191,14 +191,14 @@ std::optional<Packet> DropTailQueue::dequeue(sim::SimTime now) {
 }
 
 void DropTailQueue::audit(std::vector<std::string>& problems) const {
-  std::int64_t listed_bytes = 0;
+  units::Bytes listed_bytes;
   for (const auto& entry : entries_) listed_bytes += entry.pkt.size_bytes;
   if (listed_bytes != bytes_) {
-    problems.push_back("cached bytes " + std::to_string(bytes_) +
-                       " != sum over entries " + std::to_string(listed_bytes));
+    problems.push_back("cached bytes " + std::to_string(bytes_.count()) +
+                       " != sum over entries " + std::to_string(listed_bytes.count()));
   }
-  if (bytes_ < 0) {
-    problems.push_back("byte occupancy negative: " + std::to_string(bytes_));
+  if (bytes_ < units::Bytes::zero()) {
+    problems.push_back("byte occupancy negative: " + std::to_string(bytes_.count()));
   }
   const std::uint64_t accounted =
       stats_.dequeued + stats_.dropped_head +
@@ -211,15 +211,15 @@ void DropTailQueue::audit(std::vector<std::string>& problems) const {
         std::to_string(stats_.dropped_head) + " + queued " +
         std::to_string(entries_.size()));
   }
-  const std::int64_t accounted_bytes =
+  const units::Bytes accounted_bytes =
       stats_.dequeued_bytes + stats_.dropped_head_bytes + bytes_;
   if (stats_.enqueued_bytes != accounted_bytes) {
     problems.push_back(
         "byte books do not balance: enqueued " +
-        std::to_string(stats_.enqueued_bytes) + " != dequeued " +
-        std::to_string(stats_.dequeued_bytes) + " + head-dropped " +
-        std::to_string(stats_.dropped_head_bytes) + " + queued " +
-        std::to_string(bytes_));
+        std::to_string(stats_.enqueued_bytes.count()) + " != dequeued " +
+        std::to_string(stats_.dequeued_bytes.count()) + " + head-dropped " +
+        std::to_string(stats_.dropped_head_bytes.count()) + " + queued " +
+        std::to_string(bytes_.count()));
   }
   if (stats_.dropped_head > stats_.dropped) {
     problems.push_back("head drops " + std::to_string(stats_.dropped_head) +
@@ -227,8 +227,8 @@ void DropTailQueue::audit(std::vector<std::string>& problems) const {
   }
   if (stats_.max_bytes_seen < bytes_) {
     problems.push_back("byte high-water " +
-                       std::to_string(stats_.max_bytes_seen) +
-                       " below current occupancy " + std::to_string(bytes_));
+                       std::to_string(stats_.max_bytes_seen.count()) +
+                       " below current occupancy " + std::to_string(bytes_.count()));
   }
   if (stats_.max_packets_seen < entries_.size()) {
     problems.push_back("packet high-water " +
@@ -236,10 +236,10 @@ void DropTailQueue::audit(std::vector<std::string>& problems) const {
                        " below current occupancy " +
                        std::to_string(entries_.size()));
   }
-  if (capacity_bytes_ > 0 && bytes_ > capacity_bytes_) {
-    problems.push_back("occupancy " + std::to_string(bytes_) +
+  if (capacity_bytes_ > units::Bytes::zero() && bytes_ > capacity_bytes_) {
+    problems.push_back("occupancy " + std::to_string(bytes_.count()) +
                        " exceeds byte capacity " +
-                       std::to_string(capacity_bytes_));
+                       std::to_string(capacity_bytes_.count()));
   }
   if (capacity_packets_ > 0 && entries_.size() > capacity_packets_) {
     problems.push_back("occupancy " + std::to_string(entries_.size()) +

@@ -34,14 +34,14 @@ struct QueueStats {
   std::uint64_t dropped = 0;
   std::uint64_t dropped_head = 0;  ///< CoDel head drops (subset of dropped)
   std::uint64_t ecn_marked = 0;
-  std::int64_t enqueued_bytes = 0;
-  std::int64_t dequeued_bytes = 0;
-  std::int64_t dropped_head_bytes = 0;
+  units::Bytes enqueued_bytes;
+  units::Bytes dequeued_bytes;
+  units::Bytes dropped_head_bytes;
   /// Peak occupancy over the queue's lifetime, in both units. Queue-sizing
   /// claims (how much buffer a CCA actually needs) read these directly
   /// instead of requiring a trace run; the packet peak is what matters for
   /// packet-counted buffers like the receiver backlog.
-  std::int64_t max_bytes_seen = 0;
+  units::Bytes max_bytes_seen;
   std::uint64_t max_packets_seen = 0;
 };
 
@@ -62,11 +62,11 @@ struct AqmConfig {
   AqmMode mode = AqmMode::kNone;
 
   // kStepEcn
-  std::int64_t step_threshold_bytes = 0;
+  units::Bytes step_threshold_bytes;
 
   // kRed
-  std::int64_t red_min_bytes = 60'000;
-  std::int64_t red_max_bytes = 180'000;
+  units::Bytes red_min_bytes{60'000};
+  units::Bytes red_max_bytes{180'000};
   double red_max_probability = 0.1;
   double red_weight = 0.002;  ///< EWMA weight per arrival
   /// Typical packet transmission time, used to age the average across idle
@@ -87,7 +87,7 @@ struct AqmConfig {
   /// the 9018-byte jumbo frame, which silently disabled CoDel entirely for
   /// 1500-byte-MTU experiments (the queue never drained below ~18 KB of
   /// small frames while standing).
-  std::int64_t mtu_bytes = 1'500;
+  units::Bytes mtu_bytes{1'500};
 };
 
 /// Tail-drop FIFO with optional AQM, modelling one output queue.
@@ -97,11 +97,11 @@ struct AqmConfig {
 /// may pass the default zero.
 class DropTailQueue {
  public:
-  DropTailQueue(std::int64_t capacity_bytes,
-                std::int64_t ecn_threshold_bytes = 0,
+  DropTailQueue(units::Bytes capacity_bytes,
+                units::Bytes ecn_threshold_bytes = units::Bytes::zero(),
                 std::size_t capacity_packets = 0);
 
-  DropTailQueue(std::int64_t capacity_bytes, const AqmConfig& aqm,
+  DropTailQueue(units::Bytes capacity_bytes, const AqmConfig& aqm,
                 std::size_t capacity_packets = 0);
 
   /// Returns false (and counts a drop) if the packet did not fit or the
@@ -137,9 +137,9 @@ class DropTailQueue {
   void audit(std::vector<std::string>& problems) const;
 
   bool empty() const { return entries_.empty(); }
-  std::int64_t bytes() const { return bytes_; }
+  units::Bytes bytes() const { return bytes_; }
   std::size_t packets() const { return entries_.size(); }
-  std::int64_t capacity_bytes() const { return capacity_bytes_; }
+  units::Bytes capacity_bytes() const { return capacity_bytes_; }
   const QueueStats& stats() const { return stats_; }
   double red_average_bytes() const { return red_avg_; }
 
@@ -159,11 +159,11 @@ class DropTailQueue {
   void trace_event(trace::EventClass cls, const Packet& pkt,
                    sim::SimTime now) const;
 
-  std::int64_t capacity_bytes_;
+  units::Bytes capacity_bytes_;
   std::size_t capacity_packets_;  ///< 0 = unlimited (bytes cap only)
   AqmConfig aqm_;
   sim::Rng rng_;
-  std::int64_t bytes_ = 0;
+  units::Bytes bytes_;
   std::deque<Entry> entries_;
   QueueStats stats_;
   trace::TraceSink* trace_ = nullptr;

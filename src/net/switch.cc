@@ -99,7 +99,7 @@ void BondedNic::handle(Packet pkt) {
   next_port_ = (next_port_ + 1) % ports_.size();
 }
 
-void BondedNic::set_on_transmit(std::function<void(std::int64_t)> cb) {
+void BondedNic::set_on_transmit(std::function<void(units::Bytes)> cb) {
   for (auto& port : ports_) port->set_on_transmit(cb);
 }
 
@@ -111,8 +111,8 @@ void BondedNic::register_counters(trace::CounterRegistry& reg) const {
   for (const auto& port : ports_) port->register_counters(reg);
 }
 
-std::int64_t BondedNic::bytes_sent() const {
-  std::int64_t total = 0;
+units::Bytes BondedNic::bytes_sent() const {
+  units::Bytes total;
   for (const auto& port : ports_) total += port->bytes_sent();
   return total;
 }

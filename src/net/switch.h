@@ -70,7 +70,7 @@ class BondedNic : public PacketHandler {
   void handle(Packet pkt) override;
 
   /// Register a transmit-bytes callback across all member ports.
-  void set_on_transmit(std::function<void(std::int64_t)> cb);
+  void set_on_transmit(std::function<void(units::Bytes)> cb);
 
   /// Attach this run's event sink to every member port.
   void set_trace(trace::TraceSink* sink);
@@ -86,7 +86,7 @@ class BondedNic : public PacketHandler {
 
   QueuedPort& port(int i) { return *ports_.at(static_cast<std::size_t>(i)); }
   int num_ports() const { return static_cast<int>(ports_.size()); }
-  std::int64_t bytes_sent() const;
+  units::Bytes bytes_sent() const;
   std::int64_t total_queued_packets() const;
 
  private:

@@ -31,9 +31,10 @@ TcpSender::TcpSender(sim::Simulator& sim, net::FlowId flow, net::HostId src,
 
 TcpSender::~TcpSender() = default;
 
-void TcpSender::add_app_data(std::int64_t bytes) {
+void TcpSender::add_app_data(units::Bytes bytes) {
   leftover_bytes_ += bytes;
-  const std::int64_t segments = leftover_bytes_ / config_.mss_bytes();
+  const std::int64_t segments =
+      leftover_bytes_.count() / config_.mss_bytes().count();
   app_limit_segments_ += segments;
   leftover_bytes_ -= segments * config_.mss_bytes();
   app_limited_now_ = false;
@@ -47,15 +48,16 @@ bool TcpSender::can_send() const {
   return !retx_queue_.empty() || snd_nxt_ < app_limit_segments_;
 }
 
-double TcpSender::pacing_interval_ns(std::int32_t wire_bytes) const {
-  const double rate = cc_->pacing_rate_bps();
+double TcpSender::pacing_interval_ns(units::Bytes wire_bytes) const {
+  const double rate = cc_->pacing_rate().bps();
   if (rate <= 0.0) return 0.0;
-  return static_cast<double>(wire_bytes) * 8.0 * 1e9 / rate;
+  return static_cast<double>(wire_bytes.count()) * units::kBitsPerByteF *
+         units::kNanosPerSecond / rate;
 }
 
 void TcpSender::maybe_send() {
   while (can_send()) {
-    if (cc_->pacing_rate_bps() > 0.0 && sim_.now() < next_pacing_time_) {
+    if (cc_->pacing_rate().bps() > 0.0 && sim_.now() < next_pacing_time_) {
       // One coalesced wakeup; re-arming replaces any earlier deadline.
       pace_timer_.arm(next_pacing_time_ - sim_.now());
       return;
@@ -87,10 +89,10 @@ void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
       << " already cumulatively acked (snd_una " << snd_una_ << ")";
   cwnd_hw_ = std::max(cwnd_hw_,
                       static_cast<std::int64_t>(cc_->cwnd_segments()));
-  const std::int32_t wire_bytes = config_.mss_bytes() + config_.header_bytes;
+  const units::Bytes wire_bytes = config_.mss_bytes() + config_.header_bytes;
   const auto cost = cc_->cost();
   double work_ns = work_.pkt_ns +
-                   work_.byte_ns * static_cast<double>(wire_bytes) +
+                   work_.byte_ns * static_cast<double>(wire_bytes.count()) +
                    cost.per_packet_ns;
   if (is_retx) work_ns += work_.retx_ns;
   const sim::SimTime release = core_->acquire(sim_.now(), work_ns);
@@ -149,7 +151,7 @@ void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
   txq_.emplace_back(release, pkt);
   sim_.schedule_at(release, [this] { on_tx_event(); });
 
-  if (cc_->pacing_rate_bps() > 0.0) {
+  if (cc_->pacing_rate().bps() > 0.0) {
     const double interval = pacing_interval_ns(wire_bytes);
     const sim::SimTime base = std::max(next_pacing_time_, sim_.now());
     next_pacing_time_ =
@@ -277,14 +279,16 @@ void TcpSender::process_ack(const net::Packet& ack) {
   }
 
   // --- delivery-rate sample (tcp_rate_gen equivalent) ---
-  double delivery_rate_bps = 0.0;
+  units::BitRate delivery_rate = units::BitRate::zero();
   if (ack.delivered_time_at_send > sim::SimTime::zero() ||
       ack.delivered_at_send > 0) {
     const sim::SimTime interval = now - ack.delivered_time_at_send;
     const std::int64_t delta = delivered_ - ack.delivered_at_send;
     if (interval > sim::SimTime::zero() && delta > 0) {
-      delivery_rate_bps = static_cast<double>(delta) * config_.mss_bytes() *
-                          8.0 / interval.sec();
+      delivery_rate = units::BitRate::bps(
+          static_cast<double>(delta) *
+          static_cast<double>(config_.mss_bytes().count()) *
+          units::kBitsPerByteF / interval.sec());
     }
   }
 
@@ -298,7 +302,7 @@ void TcpSender::process_ack(const net::Packet& ack) {
   ev.min_rtt = rtt_.min_rtt();
   ev.inflight = pipe_;
   ev.delivered = delivered_;
-  ev.delivery_rate_bps = delivery_rate_bps;
+  ev.delivery_rate = delivery_rate;
   ev.app_limited = ack.app_limited;
   ev.in_recovery = in_recovery_;
   ev.cwnd_limited = cwnd_limited_now_;

@@ -32,7 +32,7 @@ namespace greencc::tcp {
 /// module: a SACK scoreboard, RFC 6675-style fast retransmit/recovery, RTO
 /// with exponential backoff, delivery-rate sampling (for BBR), optional
 /// pacing, and ECN negotiation. The congestion controller is a plug-in; the
-/// sender consults `cwnd_segments()` / `pacing_rate_bps()` after feeding it
+/// sender consults `cwnd_segments()` / `pacing_rate()` after feeding it
 /// the ACK/loss events.
 ///
 /// Energy coupling: every transmitted segment, processed ACK, retransmission
@@ -52,7 +52,7 @@ class TcpSender : public net::PacketHandler {
   ~TcpSender();
 
   /// Queue `bytes` of application data (converted to whole segments).
-  void add_app_data(std::int64_t bytes);
+  void add_app_data(units::Bytes bytes);
 
   /// Declare that no more application data is coming. Completion is only
   /// reported after this: a rate-limited app that has merely drained its
@@ -131,7 +131,7 @@ class TcpSender : public net::PacketHandler {
   /// Deliver every queued transmission whose release time has arrived.
   void on_tx_event();
   void arm_rto();
-  double pacing_interval_ns(std::int32_t wire_bytes) const;
+  double pacing_interval_ns(units::Bytes wire_bytes) const;
   /// Emit a cwnd event if the controller's window moved since last emit.
   void trace_cwnd();
 
@@ -149,7 +149,7 @@ class TcpSender : public net::PacketHandler {
   std::int64_t snd_una_ = 0;   ///< lowest unacked segment
   std::int64_t snd_nxt_ = 0;   ///< next never-sent segment
   std::int64_t app_limit_segments_ = 0;  ///< data available from the app
-  std::int64_t leftover_bytes_ = 0;      ///< sub-segment remainder
+  units::Bytes leftover_bytes_;          ///< sub-segment remainder
 
   // --- scoreboard ---
   /// Per-segment state over [snd_una, snd_nxt): the keys are dense (new

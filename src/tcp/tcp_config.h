@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "sim/time.h"
+#include "units/units.h"
 
 namespace greencc::tcp {
 
@@ -12,9 +13,9 @@ namespace greencc::tcp {
 /// the MSS is derived by subtracting the 52 bytes of IPv4 + TCP headers with
 /// timestamps, matching what iperf3 over Linux would use.
 struct TcpConfig {
-  std::int32_t mtu_bytes = 9000;
-  std::int32_t header_bytes = 52;
-  std::int32_t ack_bytes = 64;  ///< wire size of a pure ACK
+  units::Bytes mtu_bytes{9000};
+  units::Bytes header_bytes{52};
+  units::Bytes ack_bytes{64};  ///< wire size of a pure ACK
 
   sim::SimTime min_rto = sim::SimTime::milliseconds(200);  // Linux default
   sim::SimTime max_rto = sim::SimTime::seconds(30.0);
@@ -25,7 +26,7 @@ struct TcpConfig {
 
   std::int64_t initial_cwnd = 10;  // IW10
 
-  std::int32_t mss_bytes() const { return mtu_bytes - header_bytes; }
+  units::Bytes mss_bytes() const { return mtu_bytes - header_bytes; }
 };
 
 /// Per-flow transport statistics, the counters `iperf3 -J` would report.

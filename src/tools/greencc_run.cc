@@ -40,6 +40,7 @@
 #include "stats/stats.h"
 #include "stats/table.h"
 #include "trace/trace.h"
+#include "units/units.h"
 
 using namespace greencc;
 
@@ -48,8 +49,8 @@ namespace {
 struct Options {
   std::vector<std::string> ccas = {"cubic"};
   int mtu = 9000;
-  std::int64_t bytes = 2'000'000'000;
-  std::vector<std::int64_t> sizes;  // overrides bytes/flows when set
+  units::Bytes bytes{2'000'000'000};
+  std::vector<units::Bytes> sizes;  // overrides bytes/flows when set
   int flows = 1;
   std::string schedule = "fair";  // fair | fsi | srpt | weighted:<f>
   int load_pct = 0;
@@ -57,7 +58,7 @@ struct Options {
   std::uint64_t seed = 1;
   int jobs = 1;
   bool progress = false;
-  double rate_limit_gbps = 0.0;
+  units::BitRate rate_limit;
   std::string json_path;
   std::string trace_out;
   std::string impair_spec;
@@ -176,12 +177,12 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--bytes") {
       const char* v = next();
       if (!v) return std::nullopt;
-      opt.bytes = parse_bytes(v);
+      opt.bytes = units::Bytes{parse_bytes(v)};
     } else if (arg == "--sizes") {
       const char* v = next();
       if (!v) return std::nullopt;
       for (const auto& item : split(v, ',')) {
-        opt.sizes.push_back(parse_bytes(item));
+        opt.sizes.push_back(units::Bytes{parse_bytes(item)});
       }
     } else if (arg == "--flows") {
       const char* v = next();
@@ -194,7 +195,7 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--rate") {
       const char* v = next();
       if (!v) return std::nullopt;
-      opt.rate_limit_gbps = std::atof(v);
+      opt.rate_limit = units::BitRate::gbps(std::atof(v));
     } else if (arg == "--load") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -294,10 +295,12 @@ std::vector<app::FlowSpec> build_flows(const Options& opt,
   } else if (opt.schedule != "fair") {
     throw std::invalid_argument("unknown schedule: " + opt.schedule);
   }
-  auto specs =
-      core::make_schedule(policy, opt.flows, opt.bytes, cca, 10e9, fraction);
-  if (opt.rate_limit_gbps > 0.0) {
-    for (auto& spec : specs) spec.rate_limit_bps = opt.rate_limit_gbps * 1e9;
+  auto specs = core::make_schedule(policy, opt.flows, opt.bytes, cca,
+                                   units::BitRate::gbps(10), fraction);
+  if (!opt.rate_limit.is_zero()) {
+    for (auto& spec : specs) {
+      spec.rate_limit = opt.rate_limit;
+    }
   }
   return specs;
 }
@@ -317,14 +320,17 @@ std::string trace_file_name(const Options& opt, const std::string& cca,
 std::string encode_run(const app::ScenarioResult& run) {
   char buf[256];
   std::snprintf(buf, sizeof buf, "%.17g %.17g %.17g %d %zu",
-                run.total_joules, run.avg_watts, run.duration_sec,
-                run.all_completed ? 1 : 0, run.flows.size());
+                run.total_energy.joules(), run.avg_power.watts(),
+                run.duration_sec, run.all_completed ? 1 : 0,
+                run.flows.size());
   std::string payload = buf;
   for (const auto& flow : run.flows) {
+    // The rate is journaled in its bps representation (not Gb/s) so a
+    // resumed sweep restores the exact double without a unit conversion.
     std::snprintf(buf, sizeof buf,
                   " %" PRId64 " %.17g %.17g %.17g %" PRId64,
-                  flow.bytes, flow.fct_sec, flow.finished_at_sec,
-                  flow.avg_gbps, flow.retransmissions);
+                  flow.bytes.count(), flow.fct_sec, flow.finished_at_sec,
+                  flow.avg_rate.bps(), flow.retransmissions);
     payload += buf;
   }
   return payload;
@@ -335,19 +341,26 @@ bool decode_run(const std::string& payload, const std::string& cca,
   std::istringstream in(payload);
   int completed = 0;
   std::size_t nflows = 0;
-  if (!(in >> run.total_joules >> run.avg_watts >> run.duration_sec >>
-        completed >> nflows) ||
+  double joules = 0.0;
+  double watts = 0.0;
+  if (!(in >> joules >> watts >> run.duration_sec >> completed >> nflows) ||
       nflows > 10'000) {
     return false;
   }
+  run.total_energy = units::Energy::joules(joules);
+  run.avg_power = units::Power::watts(watts);
   run.all_completed = completed != 0;
   run.stop_reason = completed ? "completed" : "deadline";
   run.flows.resize(nflows);
   for (auto& flow : run.flows) {
-    if (!(in >> flow.bytes >> flow.fct_sec >> flow.finished_at_sec >>
-          flow.avg_gbps >> flow.retransmissions)) {
+    std::int64_t bytes = 0;
+    double rate_bps = 0.0;  // lint-allow: unit-suffix (journal wire field)
+    if (!(in >> bytes >> flow.fct_sec >> flow.finished_at_sec >> rate_bps >>
+          flow.retransmissions)) {
       return false;
     }
+    flow.bytes = units::Bytes{bytes};
+    flow.avg_rate = units::BitRate::bps(rate_bps);
     flow.cca = cca;
   }
   return true;
@@ -404,15 +417,17 @@ int main(int argc, char** argv) {
   // Binds the journal to every option that can change the numbers (jobs,
   // output and supervision knobs excluded).
   std::ostringstream canon;
-  canon << "greencc_run mtu=" << opt.mtu << " bytes=" << opt.bytes
+  // The "/2" tags the journal payload format (rates are journaled in bps);
+  // older journals hash differently and are not replayed.
+  canon << "greencc_run/2 mtu=" << opt.mtu << " bytes=" << opt.bytes.count()
         << " flows=" << opt.flows << " schedule=" << opt.schedule
         << " load=" << opt.load_pct << " repeats=" << reps
-        << " seed=" << opt.seed << " rate=" << opt.rate_limit_gbps
+        << " seed=" << opt.seed << " rate=" << opt.rate_limit.gbps()
         << " impair=" << opt.impair_spec
         << " events=" << opt.fault_events_spec << " ccas=";
   for (const auto& name : opt.ccas) canon << name << ",";
   canon << " sizes=";
-  for (const auto size : opt.sizes) canon << size << ",";
+  for (const auto size : opt.sizes) canon << size.count() << ",";
 
   robust::SupervisorOptions sup;
   sup.jobs = opt.jobs;
@@ -461,7 +476,7 @@ int main(int argc, char** argv) {
           trace_file_name(opt, cca_name, rep), opt.trace_mask);
     }
     app::ScenarioConfig config;
-    config.tcp.mtu_bytes = opt.mtu;
+    config.tcp.mtu_bytes = units::Bytes{opt.mtu};
     config.seed = seed;
     config.stress_cores = opt.load_pct * 32 / 100;
     config.faults = fault_plan;
@@ -527,8 +542,8 @@ int main(int argc, char** argv) {
       const auto& run = runs[t];
       cca_runs.push_back(&run);
       all_done &= run.all_completed;
-      joules.add(run.total_joules);
-      watts.add(run.avg_watts);
+      joules.add(run.total_energy.joules());
+      watts.add(run.avg_power.watts());
       duration_sec.add(run.duration_sec);
       std::int64_t retx = 0;
       for (const auto& flow : run.flows) retx += flow.retransmissions;
@@ -590,10 +605,10 @@ int main(int argc, char** argv) {
       for (const auto& flow : cca_runs.front()->flows) {
         json.begin_object();
         json.field("cca", flow.cca);
-        json.field("bytes", flow.bytes);
+        json.field("bytes", flow.bytes.count());
         json.field("fct_sec", flow.fct_sec);
         json.field("finished_at_sec", flow.finished_at_sec);
-        json.field("avg_gbps", flow.avg_gbps);
+        json.field("avg_gbps", flow.avg_rate.gbps());
         json.field("retransmissions", flow.retransmissions);
         json.key("counters").begin_object();
         for (const auto& [name, v] : flow.counters) {

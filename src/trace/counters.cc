@@ -25,6 +25,13 @@ void CounterRegistry::add(std::string name, const std::int64_t* value) {
   });
 }
 
+void CounterRegistry::add(std::string name, const units::Bytes* value) {
+  add(std::move(name), [value] {
+    const std::int64_t count = value->count();
+    return count > 0 ? static_cast<std::uint64_t>(count) : 0;
+  });
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
     const {
   std::vector<std::pair<std::string, std::uint64_t>> out;

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "units/units.h"
+
 namespace greencc::trace {
 
 /// Registry of named monotonic counters, pull-model (Prometheus-collector
@@ -33,6 +35,10 @@ class CounterRegistry {
   /// Convenience for signed counters (TcpStats et al.); negative values
   /// clamp to zero rather than wrapping.
   void add(std::string name, const std::int64_t* value);
+
+  /// Convenience for strongly-typed byte counters (reported as a raw byte
+  /// count, same clamping as the signed overload).
+  void add(std::string name, const units::Bytes* value);
 
   std::size_t size() const { return entries_.size(); }
 

@@ -1,0 +1,533 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/time.h"
+
+namespace greencc::units {
+
+/// Strongly-typed quantities for the dimensions the paper's claims live on:
+/// data (bytes vs bits), data rate, energy, power, packet rate, and the
+/// derived ratio joules-per-byte. The design follows `sim::SimTime`: one
+/// trivially-copyable class per dimension wrapping a single representation,
+/// explicit named construction, accessors that name the unit, and operator
+/// overloads restricted to the physically meaningful algebra. Anything not
+/// defined here — `Bytes + Bits`, `Power` where `Energy` is due, implicit
+/// narrowing from `double` — fails to compile (see tests/compile_fail/).
+///
+/// Representation choices are part of the contract, because the simulator's
+/// outputs must stay bit-identical across refactors:
+///  - `Bytes` / `Bits` wrap a signed 64-bit count. Integer counters never
+///    round, and 64 bits do not hit the 2^53 precision cliff that a
+///    `double` accumulator silently falls off at fleet scale.
+///  - `BitRate` wraps a `double` in bits/second, the unit every dynamics
+///    path (pacing, serialization, RED/ECN math) already computes in, so
+///    `BitRate::bps(x).bps() == x` exactly — wrapping a value and reading
+///    it back perturbs nothing. Constructing *from another unit*
+///    (`BitRate::gbps`) multiplies by a power of ten and may round by one
+///    ulp; do that only at configuration boundaries, never mid-trajectory.
+///  - `Energy` (joules), `Power` (watts), `PacketRate` (packets/s) and
+///    `JoulesPerByte` wrap a `double` in the named SI unit.
+///
+/// Conversion policy for existing code: wrap the established arithmetic at
+/// the boundary (`BitRate::bps(computed)`), never re-derive a value through
+/// a different unit — `(x * 1e9) / 1e9 != x` in general for IEEE doubles.
+
+// ---------------------------------------------------------------------------
+// Named conversion constants (replaces magic 8.0 / 1e9 literals).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::int64_t kBitsPerByte = 8;
+inline constexpr double kBitsPerByteF = 8.0;
+inline constexpr double kBitsPerGigabit = 1e9;
+inline constexpr double kBytesPerGigabyte = 1e9;
+inline constexpr double kNanosPerSecond = 1e9;
+
+class Bits;
+
+/// A count of bytes (payload sizes, queue depths, transmit counters).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  /// Construction is explicit and integral: `Bytes{1500}` compiles,
+  /// `Bytes b = 1500` and `Bytes{1500.5}` do not.
+  explicit constexpr Bytes(std::int64_t count) : count_(count) {}
+
+  static constexpr Bytes zero() { return Bytes{0}; }
+
+  constexpr std::int64_t count() const { return count_; }
+  /// The exact bit count (`count * 8`); defined after Bits.
+  constexpr Bits bits() const;
+
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.count_ + b.count_};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.count_ - b.count_};
+  }
+  constexpr Bytes& operator+=(Bytes o) {
+    count_ += o.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    count_ -= o.count_;
+    return *this;
+  }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) {
+    return Bytes{a.count_ * k};
+  }
+  friend constexpr Bytes operator*(std::int64_t k, Bytes a) { return a * k; }
+  /// Integer division (buffer splits, per-flow shares); truncates like the
+  /// raw int64 arithmetic it replaces.
+  friend constexpr Bytes operator/(Bytes a, std::int64_t k) {
+    return Bytes{a.count_ / k};
+  }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+/// A count of bits. A distinct type from Bytes on purpose: the paper's
+/// rate math is in bits, packet accounting is in bytes, and confusing the
+/// two is the canonical factor-of-8 bug. Convert explicitly via
+/// `Bytes::bits()` or `Bits::whole_bytes()`.
+class Bits {
+ public:
+  constexpr Bits() = default;
+  explicit constexpr Bits(std::int64_t count) : count_(count) {}
+
+  static constexpr Bits zero() { return Bits{0}; }
+
+  constexpr std::int64_t count() const { return count_; }
+  /// Truncating conversion; only exact multiples of 8 round-trip.
+  constexpr Bytes whole_bytes() const { return Bytes{count_ / kBitsPerByte}; }
+
+  friend constexpr auto operator<=>(Bits, Bits) = default;
+
+  friend constexpr Bits operator+(Bits a, Bits b) {
+    return Bits{a.count_ + b.count_};
+  }
+  friend constexpr Bits operator-(Bits a, Bits b) {
+    return Bits{a.count_ - b.count_};
+  }
+  constexpr Bits& operator+=(Bits o) {
+    count_ += o.count_;
+    return *this;
+  }
+  constexpr Bits& operator-=(Bits o) {
+    count_ -= o.count_;
+    return *this;
+  }
+  friend constexpr Bits operator*(Bits a, std::int64_t k) {
+    return Bits{a.count_ * k};
+  }
+  friend constexpr Bits operator*(std::int64_t k, Bits a) { return a * k; }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+constexpr Bits Bytes::bits() const { return Bits{count_ * kBitsPerByte}; }
+
+/// A data rate in bits per second. The representation *is* bits/second
+/// (`BitRate::bps(x).bps() == x` exactly); `gbps()`/`mbps()` accessors and
+/// factories scale by a decimal constant and are for configuration and
+/// reporting surfaces, not for round-tripping mid-simulation values.
+class BitRate {
+ public:
+  constexpr BitRate() = default;
+
+  static constexpr BitRate bps(double v) { return BitRate{v}; }
+  static constexpr BitRate kbps(double v) { return BitRate{v * 1e3}; }
+  static constexpr BitRate mbps(double v) { return BitRate{v * 1e6}; }
+  static constexpr BitRate gbps(double v) { return BitRate{v * 1e9}; }
+  static constexpr BitRate zero() { return BitRate{0.0}; }
+
+  constexpr double bps() const { return bps_; }
+  constexpr double kbps() const { return bps_ / 1e3; }
+  constexpr double mbps() const { return bps_ / 1e6; }
+  constexpr double gbps() const { return bps_ / 1e9; }
+  // Exact sentinel test: zero means "unlimited", never a computed value.
+  constexpr bool is_zero() const { return bps_ == 0.0; }  // lint-allow: float-eq (zero is a sentinel, not a computed value)
+
+  friend constexpr auto operator<=>(BitRate, BitRate) = default;
+
+  friend constexpr BitRate operator+(BitRate a, BitRate b) {
+    return BitRate{a.bps_ + b.bps_};
+  }
+  friend constexpr BitRate operator-(BitRate a, BitRate b) {
+    return BitRate{a.bps_ - b.bps_};
+  }
+  /// Dimensionless scaling (AIMD factors, utilization targets).
+  friend constexpr BitRate operator*(BitRate a, double f) {
+    return BitRate{a.bps_ * f};
+  }
+  friend constexpr BitRate operator*(double f, BitRate a) { return a * f; }
+  friend constexpr BitRate operator/(BitRate a, double f) {
+    return BitRate{a.bps_ / f};
+  }
+  /// Ratio of two rates (e.g. utilization = rate / line_rate).
+  friend constexpr double operator/(BitRate a, BitRate b) {
+    return a.bps_ / b.bps_;
+  }
+
+ private:
+  explicit constexpr BitRate(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+/// A packet rate in packets per second (the per-packet CPU cost axis of the
+/// host power model). A distinct type from BitRate so the two same-shaped
+/// model inputs cannot be swapped silently.
+class PacketRate {
+ public:
+  constexpr PacketRate() = default;
+
+  static constexpr PacketRate pps(double v) { return PacketRate{v}; }
+  static constexpr PacketRate zero() { return PacketRate{0.0}; }
+
+  constexpr double pps() const { return pps_; }
+
+  friend constexpr auto operator<=>(PacketRate, PacketRate) = default;
+
+  friend constexpr PacketRate operator+(PacketRate a, PacketRate b) {
+    return PacketRate{a.pps_ + b.pps_};
+  }
+  friend constexpr PacketRate operator-(PacketRate a, PacketRate b) {
+    return PacketRate{a.pps_ - b.pps_};
+  }
+  friend constexpr PacketRate operator*(PacketRate a, double f) {
+    return PacketRate{a.pps_ * f};
+  }
+  friend constexpr PacketRate operator*(double f, PacketRate a) {
+    return a * f;
+  }
+  friend constexpr double operator/(PacketRate a, PacketRate b) {
+    return a.pps_ / b.pps_;
+  }
+
+ private:
+  explicit constexpr PacketRate(double pps) : pps_(pps) {}
+  double pps_ = 0.0;
+};
+
+/// An amount of energy in joules — the paper's bottom line.
+class Energy {
+ public:
+  constexpr Energy() = default;
+
+  static constexpr Energy joules(double v) { return Energy{v}; }
+  static constexpr Energy millijoules(double v) { return Energy{v * 1e-3}; }
+  static constexpr Energy microjoules(double v) { return Energy{v * 1e-6}; }
+  static constexpr Energy zero() { return Energy{0.0}; }
+
+  constexpr double joules() const { return joules_; }
+  constexpr double millijoules() const { return joules_ * 1e3; }
+  constexpr double microjoules() const { return joules_ * 1e6; }
+
+  friend constexpr auto operator<=>(Energy, Energy) = default;
+
+  friend constexpr Energy operator+(Energy a, Energy b) {
+    return Energy{a.joules_ + b.joules_};
+  }
+  friend constexpr Energy operator-(Energy a, Energy b) {
+    return Energy{a.joules_ - b.joules_};
+  }
+  constexpr Energy& operator+=(Energy o) {
+    joules_ += o.joules_;
+    return *this;
+  }
+  constexpr Energy& operator-=(Energy o) {
+    joules_ -= o.joules_;
+    return *this;
+  }
+  friend constexpr Energy operator*(Energy a, double f) {
+    return Energy{a.joules_ * f};
+  }
+  friend constexpr Energy operator*(double f, Energy a) { return a * f; }
+  friend constexpr Energy operator/(Energy a, double f) {
+    return Energy{a.joules_ / f};
+  }
+  friend constexpr double operator/(Energy a, Energy b) {
+    return a.joules_ / b.joules_;
+  }
+
+ private:
+  explicit constexpr Energy(double joules) : joules_(joules) {}
+  double joules_ = 0.0;
+};
+
+/// Power in watts. `Power * SimTime` integrates to Energy; `Energy /
+/// SimTime` recovers average Power. Both use `SimTime::sec()` so converted
+/// call sites reproduce the pre-existing `watts * interval.sec()`
+/// arithmetic bit-for-bit.
+class Power {
+ public:
+  constexpr Power() = default;
+
+  static constexpr Power watts(double v) { return Power{v}; }
+  static constexpr Power milliwatts(double v) { return Power{v * 1e-3}; }
+  static constexpr Power zero() { return Power{0.0}; }
+
+  constexpr double watts() const { return watts_; }
+  constexpr double milliwatts() const { return watts_ * 1e3; }
+
+  friend constexpr auto operator<=>(Power, Power) = default;
+
+  friend constexpr Power operator+(Power a, Power b) {
+    return Power{a.watts_ + b.watts_};
+  }
+  friend constexpr Power operator-(Power a, Power b) {
+    return Power{a.watts_ - b.watts_};
+  }
+  constexpr Power& operator+=(Power o) {
+    watts_ += o.watts_;
+    return *this;
+  }
+  constexpr Power& operator*=(double f) {
+    watts_ *= f;
+    return *this;
+  }
+  friend constexpr Power operator*(Power a, double f) {
+    return Power{a.watts_ * f};
+  }
+  friend constexpr Power operator*(double f, Power a) { return a * f; }
+  friend constexpr Power operator/(Power a, double f) {
+    return Power{a.watts_ / f};
+  }
+  friend constexpr double operator/(Power a, Power b) {
+    return a.watts_ / b.watts_;
+  }
+
+ private:
+  explicit constexpr Power(double watts) : watts_(watts) {}
+  double watts_ = 0.0;
+};
+
+/// Energy intensity of data movement — the paper's headline ratio. The
+/// representation is joules per byte; `joules_per_gb()` reports the J/GB
+/// figure the paper quotes (decimal gigabytes, matching `kBytesPerGigabyte`).
+class JoulesPerByte {
+ public:
+  constexpr JoulesPerByte() = default;
+
+  static constexpr JoulesPerByte joules_per_byte(double v) {
+    return JoulesPerByte{v};
+  }
+  static constexpr JoulesPerByte joules_per_gb(double v) {
+    return JoulesPerByte{v / kBytesPerGigabyte};
+  }
+  static constexpr JoulesPerByte zero() { return JoulesPerByte{0.0}; }
+
+  constexpr double joules_per_byte() const { return jpb_; }
+  constexpr double joules_per_gb() const { return jpb_ * kBytesPerGigabyte; }
+
+  friend constexpr auto operator<=>(JoulesPerByte, JoulesPerByte) = default;
+
+  friend constexpr JoulesPerByte operator+(JoulesPerByte a, JoulesPerByte b) {
+    return JoulesPerByte{a.jpb_ + b.jpb_};
+  }
+  friend constexpr JoulesPerByte operator-(JoulesPerByte a, JoulesPerByte b) {
+    return JoulesPerByte{a.jpb_ - b.jpb_};
+  }
+  friend constexpr JoulesPerByte operator*(JoulesPerByte a, double f) {
+    return JoulesPerByte{a.jpb_ * f};
+  }
+  friend constexpr JoulesPerByte operator*(double f, JoulesPerByte a) {
+    return a * f;
+  }
+  friend constexpr double operator/(JoulesPerByte a, JoulesPerByte b) {
+    return a.jpb_ / b.jpb_;
+  }
+
+ private:
+  explicit constexpr JoulesPerByte(double jpb) : jpb_(jpb) {}
+  double jpb_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Cross-dimension algebra. Each operator reproduces the exact floating-point
+// expression the pre-units code used at the corresponding call sites, so
+// converting a site is a refactor, not a numerical change.
+// ---------------------------------------------------------------------------
+
+/// Average rate of moving `b` bytes over duration `t`
+/// (`bytes * 8e9 / ns`, exact for the int64 inputs; zero for empty windows).
+constexpr BitRate operator/(Bytes b, sim::SimTime t) {
+  if (t.ns() <= 0) return BitRate::zero();
+  return BitRate::bps(static_cast<double>(b.count()) * kBitsPerByteF *
+                      kNanosPerSecond / static_cast<double>(t.ns()));
+}
+
+/// Serialization delay of `b` bytes on a link of rate `r`. Identical
+/// arithmetic to `sim::serialization_delay` (which remains the low-level
+/// spelling for raw-count call sites).
+constexpr sim::SimTime operator/(Bytes b, BitRate r) {
+  return sim::serialization_delay(b.count(), r.bps());
+}
+
+/// Energy spent holding power `p` for duration `t` (`watts * t.sec()`).
+constexpr Energy operator*(Power p, sim::SimTime t) {
+  return Energy::joules(p.watts() * t.sec());
+}
+constexpr Energy operator*(sim::SimTime t, Power p) { return p * t; }
+
+/// Average power of spending energy `e` over duration `t`.
+constexpr Power operator/(Energy e, sim::SimTime t) {
+  return Power::watts(e.joules() / t.sec());
+}
+
+/// Energy intensity of moving `b` bytes at cost `e`.
+constexpr JoulesPerByte operator/(Energy e, Bytes b) {
+  return JoulesPerByte::joules_per_byte(e.joules() /
+                                        static_cast<double>(b.count()));
+}
+
+/// Energy per byte spent at power `p` while moving data at rate `r`
+/// (`watts / (bytes per second)`).
+constexpr JoulesPerByte operator/(Power p, BitRate r) {
+  return JoulesPerByte::joules_per_byte(p.watts() /
+                                        (r.bps() / kBitsPerByteF));
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time dimension checks. `can_add<A, B>` / `can_multiply<A, B>` /
+// `can_divide<A, B>` detect whether the algebra admits an expression; the
+// static_asserts below pin the intended shape of the algebra so a future
+// operator addition that opens an unintended dimensional hole fails right
+// here, in the header that introduced it.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+template <class A, class B, class = void>
+struct addable : std::false_type {};
+template <class A, class B>
+struct addable<A, B,
+               std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct multipliable : std::false_type {};
+template <class A, class B>
+struct multipliable<
+    A, B, std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct dividable : std::false_type {};
+template <class A, class B>
+struct dividable<A, B,
+                 std::void_t<decltype(std::declval<A>() / std::declval<B>())>>
+    : std::true_type {};
+}  // namespace detail
+
+template <class A, class B>
+inline constexpr bool can_add = detail::addable<A, B>::value;
+template <class A, class B>
+inline constexpr bool can_multiply = detail::multipliable<A, B>::value;
+template <class A, class B>
+inline constexpr bool can_divide = detail::dividable<A, B>::value;
+
+static_assert(can_add<Bytes, Bytes> && !can_add<Bytes, Bits>,
+              "bytes and bits must not add");
+static_assert(!can_add<Energy, Power>, "energy and power must not add");
+static_assert(!can_add<BitRate, PacketRate>,
+              "bit rate and packet rate must not add");
+static_assert(can_divide<Energy, Bytes> && can_divide<Bytes, BitRate> &&
+                  can_divide<Bytes, sim::SimTime>,
+              "the paper's derived ratios must exist");
+static_assert(can_multiply<Power, sim::SimTime> &&
+                  !can_multiply<Energy, sim::SimTime>,
+              "power integrates over time; energy does not");
+static_assert(!can_divide<sim::SimTime, BitRate> &&
+                  !can_multiply<Bytes, BitRate>,
+              "only bytes / rate is a serialization delay");
+
+static_assert(std::is_trivially_copyable_v<Bytes> &&
+                  std::is_trivially_copyable_v<Bits> &&
+                  std::is_trivially_copyable_v<BitRate> &&
+                  std::is_trivially_copyable_v<PacketRate> &&
+                  std::is_trivially_copyable_v<Energy> &&
+                  std::is_trivially_copyable_v<Power> &&
+                  std::is_trivially_copyable_v<JoulesPerByte>,
+              "unit types must stay register-sized value types");
+
+// ---------------------------------------------------------------------------
+// Literals: `using namespace greencc::units::literals;` then `9_gbps`,
+// `1500_bytes`, `50_mW`, `1_MiB`, ...
+// ---------------------------------------------------------------------------
+
+namespace literals {
+
+constexpr Bytes operator""_bytes(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v)};
+}
+constexpr Bytes operator""_KiB(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v) * 1024};
+}
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v) * 1024 * 1024};
+}
+constexpr Bits operator""_bits(unsigned long long v) {
+  return Bits{static_cast<std::int64_t>(v)};
+}
+
+constexpr BitRate operator""_bps(long double v) {
+  return BitRate::bps(static_cast<double>(v));
+}
+constexpr BitRate operator""_bps(unsigned long long v) {
+  return BitRate::bps(static_cast<double>(v));
+}
+constexpr BitRate operator""_mbps(long double v) {
+  return BitRate::mbps(static_cast<double>(v));
+}
+constexpr BitRate operator""_mbps(unsigned long long v) {
+  return BitRate::mbps(static_cast<double>(v));
+}
+constexpr BitRate operator""_gbps(long double v) {
+  return BitRate::gbps(static_cast<double>(v));
+}
+constexpr BitRate operator""_gbps(unsigned long long v) {
+  return BitRate::gbps(static_cast<double>(v));
+}
+
+constexpr PacketRate operator""_pps(long double v) {
+  return PacketRate::pps(static_cast<double>(v));
+}
+constexpr PacketRate operator""_pps(unsigned long long v) {
+  return PacketRate::pps(static_cast<double>(v));
+}
+
+constexpr Energy operator""_J(long double v) {
+  return Energy::joules(static_cast<double>(v));
+}
+constexpr Energy operator""_J(unsigned long long v) {
+  return Energy::joules(static_cast<double>(v));
+}
+constexpr Energy operator""_mJ(long double v) {
+  return Energy::millijoules(static_cast<double>(v));
+}
+constexpr Energy operator""_mJ(unsigned long long v) {
+  return Energy::millijoules(static_cast<double>(v));
+}
+
+constexpr Power operator""_W(long double v) {
+  return Power::watts(static_cast<double>(v));
+}
+constexpr Power operator""_W(unsigned long long v) {
+  return Power::watts(static_cast<double>(v));
+}
+constexpr Power operator""_mW(long double v) {
+  return Power::milliwatts(static_cast<double>(v));
+}
+constexpr Power operator""_mW(unsigned long long v) {
+  return Power::milliwatts(static_cast<double>(v));
+}
+
+}  // namespace literals
+
+}  // namespace greencc::units

@@ -1,0 +1,8 @@
+// Violation: BitRate + PacketRate (the two same-shaped host-model inputs)
+// must not compile.
+#include "units/units.h"
+using namespace greencc::units;
+int main() {
+  auto x = BitRate::bps(1.0) + PacketRate::pps(1.0);
+  return static_cast<int>(x.bps());
+}

@@ -1,0 +1,7 @@
+// Violation: Bytes + Bits (the canonical factor-of-8 bug) must not compile.
+#include "units/units.h"
+using namespace greencc::units;
+int main() {
+  auto x = Bytes{8} + Bits{8};
+  return static_cast<int>(x.count());
+}

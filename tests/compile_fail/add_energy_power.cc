@@ -1,0 +1,8 @@
+// Violation: Energy + Power (J vs W — the stock/flow confusion) must not
+// compile.
+#include "units/units.h"
+using namespace greencc::units;
+int main() {
+  auto x = Energy::joules(1.0) + Power::watts(1.0);
+  return static_cast<int>(x.joules());
+}

@@ -1,0 +1,8 @@
+// Violation: Bytes * BitRate must not compile — only Bytes / BitRate (a
+// serialization delay) is meaningful.
+#include "units/units.h"
+using namespace greencc::units;
+int main() {
+  auto x = Bytes{1500} * BitRate::gbps(10.0);
+  return static_cast<int>(x.count());
+}

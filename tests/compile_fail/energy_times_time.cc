@@ -1,0 +1,8 @@
+// Violation: Energy * SimTime is dimensionally meaningless (power
+// integrates over time; energy does not) and must not compile.
+#include "units/units.h"
+using namespace greencc;
+int main() {
+  auto x = units::Energy::joules(1.0) * sim::SimTime::seconds(1.0);
+  return static_cast<int>(x.joules());
+}

@@ -1,0 +1,7 @@
+// Violation: a fractional byte count must not compile (int64 rep; braced
+// init rejects the narrowing double).
+#include "units/units.h"
+int main() {
+  greencc::units::Bytes b{1500.5};
+  return static_cast<int>(b.count());
+}

@@ -1,0 +1,5 @@
+// Violation: implicit conversion from a raw count must not compile;
+// Bytes construction is explicit.
+#include "units/units.h"
+greencc::units::Bytes mtu = 1500;
+int main() { return static_cast<int>(mtu.count()); }

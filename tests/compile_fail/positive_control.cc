@@ -1,0 +1,21 @@
+// Positive control for the compile-fail harness: exercises the legal units
+// algebra. If THIS fails to syntax-check, the harness flags (include path,
+// -std=) are broken and every WILL_FAIL "pass" below is meaningless.
+#include "units/units.h"
+
+using namespace greencc;
+using namespace greencc::units::literals;
+
+int main() {
+  constexpr units::Bytes payload = 1500_bytes + 2_KiB;
+  constexpr units::Bits wire = payload.bits();
+  constexpr units::BitRate line = 10_gbps;
+  constexpr sim::SimTime txt = payload / line;
+  constexpr units::Power host = 50_W + 3500_mW;
+  constexpr units::Energy spent = host * sim::SimTime::seconds(2.0);
+  constexpr units::JoulesPerByte intensity = spent / payload;
+  static_assert(wire.count() == (1500 + 2048) * units::kBitsPerByte);
+  static_assert(txt.ns() > 0);
+  static_assert(intensity.joules_per_byte() > 0.0);
+  return 0;
+}

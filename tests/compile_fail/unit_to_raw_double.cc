@@ -1,0 +1,7 @@
+// Violation: a unit type must not decay to a raw double implicitly; leaving
+// the units layer requires a named accessor (.watts(), .bps(), ...).
+#include "units/units.h"
+int main() {
+  double w = greencc::units::Power::watts(5.0);
+  return static_cast<int>(w);
+}

@@ -15,7 +15,7 @@ using sim::SimTime;
 
 Packet pkt_of(std::int32_t size, bool ect = false) {
   Packet p;
-  p.size_bytes = size;
+  p.size_bytes = units::Bytes{size};
   p.ecn_capable = ect;
   return p;
 }
@@ -23,15 +23,15 @@ Packet pkt_of(std::int32_t size, bool ect = false) {
 AqmConfig red_config() {
   AqmConfig aqm;
   aqm.mode = AqmMode::kRed;
-  aqm.red_min_bytes = 10'000;
-  aqm.red_max_bytes = 30'000;
+  aqm.red_min_bytes = units::Bytes{10'000};
+  aqm.red_max_bytes = units::Bytes{30'000};
   aqm.red_max_probability = 0.2;
   aqm.red_weight = 0.2;  // fast-moving average for unit tests
   return aqm;
 }
 
 TEST(Red, NoActionBelowMinThreshold) {
-  DropTailQueue q(1 << 20, red_config());
+  DropTailQueue q(units::Bytes{1 << 20}, red_config());
   for (int i = 0; i < 5; ++i) {
     EXPECT_TRUE(q.enqueue(pkt_of(1'500, true)));
   }
@@ -40,13 +40,13 @@ TEST(Red, NoActionBelowMinThreshold) {
 }
 
 TEST(Red, MarksEctTrafficUnderPressure) {
-  DropTailQueue q(1 << 20, red_config());
+  DropTailQueue q(units::Bytes{1 << 20}, red_config());
   // Keep the queue standing between the thresholds: enqueue 20 KB and
   // never drain, then keep offering.
   int admitted = 0;
   for (int i = 0; i < 200; ++i) {
     if (q.enqueue(pkt_of(1'500, true))) ++admitted;
-    if (q.bytes() > 20'000) q.dequeue();
+    if (q.bytes() > units::Bytes{20'000}) q.dequeue();
   }
   EXPECT_GT(q.stats().ecn_marked, 0u);
   // ECT traffic between the thresholds is marked, not dropped.
@@ -54,17 +54,17 @@ TEST(Red, MarksEctTrafficUnderPressure) {
 }
 
 TEST(Red, DropsNonEctTrafficUnderPressure) {
-  DropTailQueue q(1 << 20, red_config());
+  DropTailQueue q(units::Bytes{1 << 20}, red_config());
   for (int i = 0; i < 200; ++i) {
     q.enqueue(pkt_of(1'500, false));
-    if (q.bytes() > 20'000) q.dequeue();
+    if (q.bytes() > units::Bytes{20'000}) q.dequeue();
   }
   EXPECT_GT(q.stats().dropped, 0u);
   EXPECT_EQ(q.stats().ecn_marked, 0u);
 }
 
 TEST(Red, AverageTracksOccupancy) {
-  DropTailQueue q(1 << 20, red_config());
+  DropTailQueue q(units::Bytes{1 << 20}, red_config());
   for (int i = 0; i < 50; ++i) q.enqueue(pkt_of(1'500));
   EXPECT_GT(q.red_average_bytes(), 5'000.0);
 }
@@ -78,7 +78,7 @@ AqmConfig codel_config() {
 }
 
 TEST(Codel, NoDropsWhenSojournBelowTarget) {
-  DropTailQueue q(1 << 20, codel_config());
+  DropTailQueue q(units::Bytes{1 << 20}, codel_config());
   for (int i = 0; i < 10; ++i) {
     q.enqueue(pkt_of(1'500), SimTime::microseconds(i));
   }
@@ -90,7 +90,7 @@ TEST(Codel, NoDropsWhenSojournBelowTarget) {
 }
 
 TEST(Codel, DropsAfterSustainedStandingQueue) {
-  DropTailQueue q(1 << 20, codel_config());
+  DropTailQueue q(units::Bytes{1 << 20}, codel_config());
   // 100 packets enqueued at t=0; drain slowly so sojourn >> target for
   // much longer than one interval.
   for (int i = 0; i < 100; ++i) q.enqueue(pkt_of(9'000), SimTime::zero());
@@ -104,7 +104,7 @@ TEST(Codel, DropsAfterSustainedStandingQueue) {
 }
 
 TEST(Codel, RecoversWhenQueueDrains) {
-  DropTailQueue q(1 << 20, codel_config());
+  DropTailQueue q(units::Bytes{1 << 20}, codel_config());
   for (int i = 0; i < 50; ++i) q.enqueue(pkt_of(9'000), SimTime::zero());
   for (int i = 0; i < 60; ++i) q.dequeue(SimTime::milliseconds(1 + i));
   const auto dropped_before = q.stats().dropped;
@@ -121,8 +121,8 @@ TEST(Codel, EngagesAt1500ByteMtu) {
   // jumbo frames, so at MTU 1500 a standing queue of ~12 KB (eight full
   // frames — far above two MTUs) never tripped CoDel at all.
   AqmConfig aqm = codel_config();
-  aqm.mtu_bytes = 1'500;
-  DropTailQueue q(1 << 20, aqm);
+  aqm.mtu_bytes = units::Bytes{1'500};
+  DropTailQueue q(units::Bytes{1 << 20}, aqm);
   for (int i = 0; i < 8; ++i) q.enqueue(pkt_of(1'500), SimTime::zero());
   // Drain slowly: sojourn is milliseconds against a 50 us target.
   int delivered = 0;
@@ -139,11 +139,11 @@ TEST(Red, DropDoesNotReapplyIdleDecay) {
   // red_avg_ for the same idle period a second time.
   AqmConfig aqm;
   aqm.mode = AqmMode::kRed;
-  aqm.red_min_bytes = 5'000;
-  aqm.red_max_bytes = 20'000;
+  aqm.red_min_bytes = units::Bytes{5'000};
+  aqm.red_max_bytes = units::Bytes{20'000};
   aqm.red_weight = 0.25;
   aqm.red_idle_packet_time = SimTime::milliseconds(1);
-  DropTailQueue q(1 << 20, aqm);
+  DropTailQueue q(units::Bytes{1 << 20}, aqm);
 
   // Pump the average well above red_max with ECT packets (marked, not
   // dropped, while the average is still below red_max), then drain fully.
@@ -173,27 +173,27 @@ TEST(Red, DropDoesNotReapplyIdleDecay) {
 
 TEST(AqmEndToEnd, RedMarkedBottleneckDrivesDctcp) {
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = 3;
   // Replace the step-ECN bottleneck with RED.
   config.bottleneck_aqm.mode = AqmMode::kRed;
-  config.bottleneck_aqm.red_min_bytes = 60'000;
-  config.bottleneck_aqm.red_max_bytes = 200'000;
+  config.bottleneck_aqm.red_min_bytes = units::Bytes{60'000};
+  config.bottleneck_aqm.red_max_bytes = units::Bytes{200'000};
   app::Scenario scenario(config);
   app::FlowSpec flow;
   flow.cca = "dctcp";
-  flow.bytes = 125'000'000;
+  flow.bytes = units::Bytes{125'000'000};
   scenario.add_flow(flow);
   const auto r = scenario.run();
   ASSERT_TRUE(r.all_completed);
-  EXPECT_GT(r.flows[0].avg_gbps, 8.0);
+  EXPECT_GT(r.flows[0].avg_rate.gbps(), 8.0);
   EXPECT_GT(r.bottleneck.ecn_marked, 0u);
 }
 
 TEST(AqmEndToEnd, CodelBoundsCubicQueueDelay) {
   auto run_with = [](AqmMode mode) {
     app::ScenarioConfig config;
-    config.tcp.mtu_bytes = 9000;
+    config.tcp.mtu_bytes = units::Bytes{9000};
     config.seed = 3;
     config.trace_interval = SimTime::milliseconds(5);
     if (mode == AqmMode::kCodel) {
@@ -202,7 +202,7 @@ TEST(AqmEndToEnd, CodelBoundsCubicQueueDelay) {
     app::Scenario scenario(config);
     app::FlowSpec flow;
     flow.cca = "cubic";
-    flow.bytes = 250'000'000;
+    flow.bytes = units::Bytes{250'000'000};
     scenario.add_flow(flow);
     return scenario.run();
   };
@@ -211,11 +211,11 @@ TEST(AqmEndToEnd, CodelBoundsCubicQueueDelay) {
   ASSERT_TRUE(fifo.all_completed);
   ASSERT_TRUE(codel.all_completed);
   auto max_queue = [](const app::ScenarioResult& r) {
-    std::int64_t max_bytes = 0;
+    std::int64_t peak = 0;
     for (const auto& [t, bytes] : r.queue_series) {
-      max_bytes = std::max(max_bytes, bytes);
+      peak = std::max(peak, bytes);
     }
-    return max_bytes;
+    return peak;
   };
   // CoDel keeps the standing queue far below the 1 MiB tail-drop point.
   EXPECT_LT(max_queue(codel), max_queue(fifo) / 2);

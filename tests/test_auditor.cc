@@ -34,7 +34,7 @@ namespace greencc::check {
 /// breaks one specific book so the matching invariant must fire.
 struct AuditCorruptor {
   static void add_phantom_bytes(net::DropTailQueue& q, std::int64_t delta) {
-    q.bytes_ += delta;
+    q.bytes_ += units::Bytes{delta};
   }
   static void forge_enqueue_count(net::DropTailQueue& q) {
     ++q.stats_.enqueued;
@@ -44,7 +44,7 @@ struct AuditCorruptor {
     p.transmitting_ = false;
   }
   static void set_negative_deficit(net::DrrPort& d, net::FlowId flow) {
-    d.flows_.at(flow).deficit = -5;
+    d.flows_.at(flow).deficit = units::Bytes{-5};
   }
   static void push_unknown_active_flow(net::DrrPort& d, net::FlowId flow) {
     d.active_.push_back(flow);
@@ -82,10 +82,10 @@ std::string render(const std::vector<Violation>& violations) {
   return out;
 }
 
-net::Packet data_packet(net::FlowId flow, std::int32_t size_bytes) {
+net::Packet data_packet(net::FlowId flow, std::int32_t size) {
   net::Packet pkt;
   pkt.flow = flow;
-  pkt.size_bytes = size_bytes;
+  pkt.size_bytes = units::Bytes{size};
   return pkt;
 }
 
@@ -112,7 +112,7 @@ struct Harness {
   }
 
   void transfer(std::int64_t bytes, SimTime deadline = SimTime::seconds(5)) {
-    sender->add_app_data(bytes);
+    sender->add_app_data(units::Bytes{bytes});
     sender->mark_app_eof();
     sender->start();
     sim.run_until(deadline);
@@ -133,7 +133,9 @@ class FakeCc : public cca::CongestionControl {
   void on_loss(const cca::LossEvent&) override {}
   void on_rto(SimTime) override {}
   double cwnd_segments() const override { return cwnd; }
-  double pacing_rate_bps() const override { return pacing; }
+  units::BitRate pacing_rate() const override {
+    return units::BitRate::bps(pacing);
+  }
   energy::CcaCost cost() const override { return {}; }
   std::string name() const override { return "fake"; }
 
@@ -172,7 +174,7 @@ TEST(Auditor, ScenarioWiresAuditorEndToEnd) {
   app::Scenario scenario(std::move(config));
   ASSERT_NE(scenario.auditor(), nullptr);
   app::FlowSpec flow;
-  flow.bytes = 20'000'000;
+  flow.bytes = units::Bytes{20'000'000};
   scenario.add_flow(flow);
   const auto result = scenario.run();
   EXPECT_TRUE(result.all_completed);
@@ -214,7 +216,7 @@ TEST(Auditor, FiresOnExecutedCountRegression) {
 // ----------------------------------------------------------------- queue
 
 TEST(Auditor, FiresOnQueuePhantomBytes) {
-  net::DropTailQueue queue(100'000);
+  net::DropTailQueue queue(units::Bytes{100'000});
   ASSERT_TRUE(queue.enqueue(data_packet(1, 1'000)));
   ASSERT_TRUE(queue.enqueue(data_packet(1, 1'000)));
   AuditCorruptor::add_phantom_bytes(queue, 37);
@@ -226,7 +228,7 @@ TEST(Auditor, FiresOnQueuePhantomBytes) {
 }
 
 TEST(Auditor, FiresOnQueueBookImbalance) {
-  net::DropTailQueue queue(100'000);
+  net::DropTailQueue queue(units::Bytes{100'000});
   ASSERT_TRUE(queue.enqueue(data_packet(1, 1'000)));
   AuditCorruptor::forge_enqueue_count(queue);  // enqueued++ with no packet
 
@@ -237,7 +239,7 @@ TEST(Auditor, FiresOnQueueBookImbalance) {
 }
 
 TEST(Auditor, HealthyQueueAuditsClean) {
-  net::DropTailQueue queue(100'000);
+  net::DropTailQueue queue(units::Bytes{100'000});
   ASSERT_TRUE(queue.enqueue(data_packet(1, 1'000)));
   (void)queue.dequeue();
 
@@ -476,7 +478,7 @@ TEST(Auditor, LedgerSeparatesDataAndAckDrops) {
 
 TEST(Auditor, CheckNowRaisesThroughFailureHandler) {
   ScopedFailureHandler guard(&throwing_failure_handler);
-  net::DropTailQueue queue(100'000);
+  net::DropTailQueue queue(units::Bytes{100'000});
   ASSERT_TRUE(queue.enqueue(data_packet(1, 1'000)));
   AuditCorruptor::add_phantom_bytes(queue, 1);
 
@@ -495,7 +497,7 @@ TEST(Auditor, CheckNowRaisesThroughFailureHandler) {
 
 TEST(Auditor, ViolationsEmitInvariantTraceEvents) {
   ScopedFailureHandler guard(&throwing_failure_handler);
-  net::DropTailQueue queue(100'000);
+  net::DropTailQueue queue(units::Bytes{100'000});
   ASSERT_TRUE(queue.enqueue(data_packet(1, 1'000)));
   AuditCorruptor::add_phantom_bytes(queue, 1);
 
@@ -525,7 +527,7 @@ TEST(Auditor, ArmedAuditorCatchesMidRunCorruption) {
   // cadence tick must catch it and abort the run through the handler.
   h.sim.schedule(SimTime::microseconds(500),
                  [&h] { AuditCorruptor::forge_pipe(*h.sender); });
-  h.sender->add_app_data(5'000'000);
+  h.sender->add_app_data(units::Bytes{5'000'000});
   h.sender->mark_app_eof();
   h.sender->start();
   EXPECT_THROW(h.sim.run_until(SimTime::seconds(5)), CheckFailedError);

@@ -9,14 +9,14 @@ using sim::SimTime;
 
 CcaConfig config() {
   CcaConfig c;
-  c.mss_bytes = 8948;
+  c.mss_bytes = units::Bytes{8948};
   c.initial_cwnd = 10;
-  c.line_rate_bps = 10e9;
+  c.line_rate = units::BitRate::bps(10e9);
   c.expected_rtt = SimTime::microseconds(50);
   return c;
 }
 
-AckEvent sample(SimTime now, double rate_bps, SimTime rtt,
+AckEvent sample(SimTime now, units::BitRate rate, SimTime rtt,
                 std::int64_t delivered, std::int64_t inflight = 20) {
   AckEvent ev;
   ev.now = now;
@@ -26,19 +26,19 @@ AckEvent sample(SimTime now, double rate_bps, SimTime rtt,
   ev.min_rtt = rtt;
   ev.inflight = inflight;
   ev.delivered = delivered;
-  ev.delivery_rate_bps = rate_bps;
+  ev.delivery_rate = rate;
   return ev;
 }
 
 // Drive the model with a constant delivery rate through STARTUP and DRAIN
 // into PROBE_BW. During DRAIN the reported inflight shrinks below the BDP,
 // as it would when the sender drains its queue.
-void drive_to_steady(Bbr& bbr, double rate_bps, SimTime rtt,
+void drive_to_steady(Bbr& bbr, units::BitRate rate, SimTime rtt,
                      SimTime& now, std::int64_t& delivered) {
   for (int i = 0; i < 600; ++i) {
     const std::int64_t inflight =
         bbr.mode() == Bbr::Mode::kDrain ? 2 : 20;
-    bbr.on_ack(sample(now, rate_bps, rtt, delivered, inflight));
+    bbr.on_ack(sample(now, rate, rtt, delivered, inflight));
     delivered += 2;
     now += rtt / 10;
     if (bbr.mode() == Bbr::Mode::kProbeBw) break;
@@ -48,14 +48,14 @@ void drive_to_steady(Bbr& bbr, double rate_bps, SimTime rtt,
 TEST(Bbr, StartsInStartupWithHighGain) {
   Bbr bbr(config());
   EXPECT_EQ(bbr.mode(), Bbr::Mode::kStartup);
-  EXPECT_GT(bbr.pacing_rate_bps(), 0.0);
+  EXPECT_GT(bbr.pacing_rate().bps(), 0.0);
 }
 
 TEST(Bbr, TracksBottleneckBandwidth) {
   Bbr bbr(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr, 9e9, SimTime::microseconds(50), now, delivered);
+  drive_to_steady(bbr, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
   EXPECT_NEAR(bbr.btl_bw_bps(), 9e9, 1e8);
 }
 
@@ -63,7 +63,7 @@ TEST(Bbr, ExitsStartupWhenBandwidthPlateaus) {
   Bbr bbr(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr, 9e9, SimTime::microseconds(50), now, delivered);
+  drive_to_steady(bbr, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
   EXPECT_EQ(bbr.mode(), Bbr::Mode::kProbeBw);
 }
 
@@ -71,8 +71,8 @@ TEST(Bbr, TracksMinRtt) {
   Bbr bbr(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr, 9e9, SimTime::microseconds(50), now, delivered);
-  bbr.on_ack(sample(now, 9e9, SimTime::microseconds(37), delivered));
+  drive_to_steady(bbr, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
+  bbr.on_ack(sample(now, units::BitRate::bps(9e9), SimTime::microseconds(37), delivered));
   EXPECT_EQ(bbr.rt_prop(), SimTime::microseconds(37));
 }
 
@@ -80,7 +80,7 @@ TEST(Bbr, CwndIsGainTimesBdp) {
   Bbr bbr(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr, 9e9, SimTime::microseconds(50), now, delivered);
+  drive_to_steady(bbr, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
   // BDP = 9e9 * 50us / (8948*8) ~= 6.3 segments; cwnd_gain = 2 in ProbeBw.
   EXPECT_NEAR(bbr.cwnd_segments(), 2.0 * 9e9 * 50e-6 / (8948 * 8), 1.0);
 }
@@ -89,15 +89,15 @@ TEST(Bbr, PacingRateFollowsGainCycle) {
   Bbr bbr(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr, 9e9, SimTime::microseconds(50), now, delivered);
+  drive_to_steady(bbr, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
   // Observe at least one 1.25 probe phase and one 0.75 drain phase over a
   // few cycles.
   bool saw_high = false, saw_low = false;
   for (int i = 0; i < 200; ++i) {
-    bbr.on_ack(sample(now, 9e9, SimTime::microseconds(50), delivered));
+    bbr.on_ack(sample(now, units::BitRate::bps(9e9), SimTime::microseconds(50), delivered));
     delivered += 2;
     now += SimTime::microseconds(10);
-    const double gain = bbr.pacing_rate_bps() / bbr.btl_bw_bps();
+    const double gain = bbr.pacing_rate().bps() / bbr.btl_bw_bps();
     if (gain > 1.2) saw_high = true;
     if (gain < 0.8) saw_low = true;
   }
@@ -109,11 +109,11 @@ TEST(Bbr, IgnoresAppLimitedSamples) {
   Bbr bbr(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr, 9e9, SimTime::microseconds(50), now, delivered);
+  drive_to_steady(bbr, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
   const double before = bbr.btl_bw_bps();
   // App-limited samples at a lower rate must not drag the estimate down.
   for (int i = 0; i < 100; ++i) {
-    auto ev = sample(now, 1e9, SimTime::microseconds(50), delivered);
+    auto ev = sample(now, units::BitRate::bps(1e9), SimTime::microseconds(50), delivered);
     ev.app_limited = true;
     bbr.on_ack(ev);
     delivered += 2;
@@ -126,7 +126,7 @@ TEST(Bbr, LossIsIgnored) {
   Bbr bbr(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr, 9e9, SimTime::microseconds(50), now, delivered);
+  drive_to_steady(bbr, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
   const double cwnd = bbr.cwnd_segments();
   LossEvent loss;
   loss.now = now;
@@ -139,10 +139,10 @@ TEST(Bbr, ProbeRttAfterStaleMin) {
   Bbr bbr(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr, 9e9, SimTime::microseconds(50), now, delivered);
+  drive_to_steady(bbr, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
   // Keep delivering with RTTs *above* the recorded min for >10 s.
   for (int i = 0; i < 300 && bbr.mode() != Bbr::Mode::kProbeRtt; ++i) {
-    bbr.on_ack(sample(now, 9e9, SimTime::microseconds(80), delivered));
+    bbr.on_ack(sample(now, units::BitRate::bps(9e9), SimTime::microseconds(80), delivered));
     delivered += 2;
     now += SimTime::milliseconds(50);
   }
@@ -154,7 +154,7 @@ TEST(Bbr, RtoRestartsStartup) {
   Bbr bbr(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr, 9e9, SimTime::microseconds(50), now, delivered);
+  drive_to_steady(bbr, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
   bbr.on_rto(now);
   EXPECT_EQ(bbr.mode(), Bbr::Mode::kStartup);
 }
@@ -165,7 +165,7 @@ TEST(Bbr2, LossBoundsInflight) {
   Bbr2Alpha bbr2(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr2, 9e9, SimTime::microseconds(50), now, delivered);
+  drive_to_steady(bbr2, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
   LossEvent loss;
   loss.now = now;
   loss.inflight = 10;
@@ -183,7 +183,7 @@ TEST(Bbr2, InflightBoundRelaxesWithCleanAcks) {
   bbr2.on_loss(loss);
   const double bounded = bbr2.cwnd_segments();
   for (int i = 0; i < 500; ++i) {
-    bbr2.on_ack(sample(now, 9e9, SimTime::microseconds(50), delivered));
+    bbr2.on_ack(sample(now, units::BitRate::bps(9e9), SimTime::microseconds(50), delivered));
     delivered += 2;
     now += SimTime::microseconds(5);
   }
@@ -196,11 +196,11 @@ TEST(Bbr2, FixedTimerProbeFiresDespiteFreshMins) {
   Bbr2Alpha bbr2(config());
   SimTime now = SimTime::microseconds(100);
   std::int64_t delivered = 0;
-  drive_to_steady(bbr2, 9e9, SimTime::microseconds(50), now, delivered);
+  drive_to_steady(bbr2, units::BitRate::bps(9e9), SimTime::microseconds(50), now, delivered);
   ASSERT_EQ(bbr2.mode(), Bbr::Mode::kProbeBw);
   bool probed = false;
   for (int i = 0; i < 4000; ++i) {
-    bbr2.on_ack(sample(now, 9e9, SimTime::microseconds(50), delivered));
+    bbr2.on_ack(sample(now, units::BitRate::bps(9e9), SimTime::microseconds(50), delivered));
     delivered += 2;
     now += SimTime::milliseconds(1);
     if (bbr2.mode() == Bbr::Mode::kProbeRtt) {

@@ -11,7 +11,7 @@ using sim::SimTime;
 
 CcaConfig config() {
   CcaConfig c;
-  c.mss_bytes = 1448;
+  c.mss_bytes = units::Bytes{1448};
   c.initial_cwnd = 10;
   return c;
 }

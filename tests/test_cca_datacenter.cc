@@ -17,9 +17,9 @@ using sim::SimTime;
 
 CcaConfig config() {
   CcaConfig c;
-  c.mss_bytes = 8948;
+  c.mss_bytes = units::Bytes{8948};
   c.initial_cwnd = 10;
-  c.line_rate_bps = 10e9;
+  c.line_rate = units::BitRate::bps(10e9);
   c.expected_rtt = SimTime::microseconds(50);
   return c;
 }
@@ -66,9 +66,9 @@ TEST(Datacenter, CapabilityFlags) {
   // The rate-based three pace; Swift is window-based (its sub-one-cwnd
   // pacing regime is clamped away, see swift.h).
   for (const char* name : {"dcqcn", "hpcc", "timely"}) {
-    EXPECT_GT(make_cca(name, config())->pacing_rate_bps(), 0.0) << name;
+    EXPECT_GT(make_cca(name, config())->pacing_rate().bps(), 0.0) << name;
   }
-  EXPECT_EQ(make_cca("swift", config())->pacing_rate_bps(), 0.0);
+  EXPECT_EQ(make_cca("swift", config())->pacing_rate().bps(), 0.0);
 }
 
 // --- Swift ---
@@ -127,13 +127,13 @@ TEST(Swift, FlowScalingRaisesTargetForSmallWindows) {
 
 TEST(Dcqcn, StartsAtLineRate) {
   Dcqcn d(config());
-  EXPECT_DOUBLE_EQ(d.pacing_rate_bps(), 10e9);
+  EXPECT_DOUBLE_EQ(d.pacing_rate().bps(), 10e9);
 }
 
 TEST(Dcqcn, CnpCutsRate) {
   Dcqcn d(config());
   d.on_ack(ack(SimTime::milliseconds(1), SimTime::microseconds(60), 2));
-  EXPECT_LT(d.pacing_rate_bps(), 10e9);
+  EXPECT_LT(d.pacing_rate().bps(), 10e9);
   // alpha rose towards 1.
   EXPECT_GT(d.alpha(), 0.9);
 }
@@ -141,30 +141,30 @@ TEST(Dcqcn, CnpCutsRate) {
 TEST(Dcqcn, CnpsCoalescedWithinWindow) {
   Dcqcn d(config());
   d.on_ack(ack(SimTime::milliseconds(1), SimTime::microseconds(60), 2));
-  const double after_one = d.pacing_rate_bps();
+  const double after_one = d.pacing_rate().bps();
   // 10 more marked ACKs within 50 us: no further cuts.
   for (int i = 1; i <= 10; ++i) {
     d.on_ack(ack(SimTime::milliseconds(1) + SimTime::microseconds(i),
                  SimTime::microseconds(60), 2));
   }
-  EXPECT_DOUBLE_EQ(d.pacing_rate_bps(), after_one);
+  EXPECT_DOUBLE_EQ(d.pacing_rate().bps(), after_one);
   // But a mark after the window cuts again.
   d.on_ack(ack(SimTime::milliseconds(1) + SimTime::microseconds(60),
                SimTime::microseconds(60), 2));
-  EXPECT_LT(d.pacing_rate_bps(), after_one);
+  EXPECT_LT(d.pacing_rate().bps(), after_one);
 }
 
 TEST(Dcqcn, RateRecoversWithoutMarks) {
   Dcqcn d(config());
   SimTime now = SimTime::milliseconds(1);
   d.on_ack(ack(now, SimTime::microseconds(60), 2));
-  const double cut = d.pacing_rate_bps();
+  const double cut = d.pacing_rate().bps();
   // Clean ACKs for several milliseconds: fast recovery + additive stages.
   for (int i = 0; i < 200; ++i) {
     now += SimTime::microseconds(55);
     d.on_ack(ack(now, SimTime::microseconds(60)));
   }
-  EXPECT_GT(d.pacing_rate_bps(), cut * 1.5);
+  EXPECT_GT(d.pacing_rate().bps(), cut * 1.5);
 }
 
 TEST(Dcqcn, AlphaDecaysWhenClean) {
@@ -183,13 +183,13 @@ TEST(Dcqcn, AlphaDecaysWhenClean) {
 
 TEST(Timely, AdditiveIncreaseBelowTlow) {
   Timely t(config());
-  const double r0 = t.rate_bps();
+  const double r0 = t.pacing_rate().bps();
   SimTime now = SimTime::milliseconds(1);
   for (int i = 0; i < 20; ++i) {
     t.on_ack(ack(now, SimTime::microseconds(60)));  // < T_low = 100 us
     now += SimTime::microseconds(20);
   }
-  EXPECT_GT(t.rate_bps(), r0);
+  EXPECT_GT(t.pacing_rate().bps(), r0);
 }
 
 TEST(Timely, MultiplicativeDecreaseAboveThigh) {
@@ -199,12 +199,12 @@ TEST(Timely, MultiplicativeDecreaseAboveThigh) {
     t.on_ack(ack(now, SimTime::microseconds(60)));
     now += SimTime::microseconds(20);
   }
-  const double grown = t.rate_bps();
+  const double grown = t.pacing_rate().bps();
   for (int i = 0; i < 10; ++i) {
     t.on_ack(ack(now, SimTime::milliseconds(2)));  // >> T_high = 500 us
     now += SimTime::microseconds(20);
   }
-  EXPECT_LT(t.rate_bps(), grown);
+  EXPECT_LT(t.pacing_rate().bps(), grown);
 }
 
 TEST(Timely, GradientReactsBetweenThresholds) {
@@ -220,7 +220,7 @@ TEST(Timely, GradientReactsBetweenThresholds) {
     t.on_ack(ack(now, SimTime::nanoseconds(
                           static_cast<std::int64_t>(rtt_us * 1000))));
   }
-  const double after_rising = t.rate_bps();
+  const double after_rising = t.pacing_rate().bps();
   // Falling RTTs -> negative gradient -> increase.
   for (int i = 0; i < 10; ++i) {
     now += SimTime::microseconds(20);
@@ -228,18 +228,19 @@ TEST(Timely, GradientReactsBetweenThresholds) {
     t.on_ack(ack(now, SimTime::nanoseconds(
                           static_cast<std::int64_t>(rtt_us * 1000))));
   }
-  EXPECT_GT(t.rate_bps(), after_rising);
+  EXPECT_GT(t.pacing_rate().bps(), after_rising);
 }
 
 // --- HPCC (unit level) ---
 
-AckEvent int_ack(SimTime now, double tx_bytes, std::int64_t qlen,
-                 double link_bps, std::int64_t delivered) {
+AckEvent int_ack(SimTime now, double tx, std::int64_t qlen,
+                 units::BitRate link, std::int64_t delivered) {
   AckEvent ev = ack(now, SimTime::microseconds(60));
   ev.delivered = delivered;
   ev.int_count = 1;
-  ev.int_hops[0] = {tx_bytes, qlen, now - SimTime::microseconds(30),
-                    link_bps};
+  ev.int_hops[0] = {units::Bytes{static_cast<std::int64_t>(tx)},
+                    units::Bytes{qlen}, now - SimTime::microseconds(30),
+                    link};
   return ev;
 }
 
@@ -251,7 +252,7 @@ TEST(Hpcc, ShrinksWhenLinkOverUtilized) {
   // Deep queue + txRate ~ link rate: U >> eta.
   for (int i = 0; i < 40; ++i) {
     tx += 125'000.0;  // 10G over 100 us intervals
-    h.on_ack(int_ack(now, tx, 200'000, 10e9, i * 2));
+    h.on_ack(int_ack(now, tx, 200'000, units::BitRate::bps(10e9), i * 2));
     now += SimTime::microseconds(100);
   }
   EXPECT_LT(h.cwnd_segments(), w0);
@@ -264,14 +265,14 @@ TEST(Hpcc, GrowsWhenLinkUnderUtilized) {
   // First drive it down...
   for (int i = 0; i < 40; ++i) {
     tx += 125'000.0;
-    h.on_ack(int_ack(now, tx, 200'000, 10e9, i * 2));
+    h.on_ack(int_ack(now, tx, 200'000, units::BitRate::bps(10e9), i * 2));
     now += SimTime::microseconds(100);
   }
   const double low = h.cwnd_segments();
   // ...then show an idle link: tiny txRate, empty queue.
   for (int i = 0; i < 200; ++i) {
     tx += 1'000.0;
-    h.on_ack(int_ack(now, tx, 0, 10e9, 100 + i * 2));
+    h.on_ack(int_ack(now, tx, 0, units::BitRate::bps(10e9), 100 + i * 2));
     now += SimTime::microseconds(100);
   }
   EXPECT_GT(h.cwnd_segments(), low);
@@ -291,16 +292,16 @@ class DatacenterEndToEnd : public ::testing::TestWithParam<std::string> {};
 TEST_P(DatacenterEndToEnd, CompletesAtBothMtus) {
   for (int mtu : {1500, 9000}) {
     app::ScenarioConfig cfg;
-    cfg.tcp.mtu_bytes = mtu;
+    cfg.tcp.mtu_bytes = units::Bytes{mtu};
     cfg.seed = 13;
     app::Scenario scenario(cfg);
     app::FlowSpec flow;
     flow.cca = GetParam();
-    flow.bytes = 125'000'000;
+    flow.bytes = units::Bytes{125'000'000};
     scenario.add_flow(flow);
     const auto r = scenario.run();
     ASSERT_TRUE(r.all_completed) << GetParam() << " mtu " << mtu;
-    EXPECT_GT(r.flows[0].avg_gbps, 1.0) << GetParam() << " mtu " << mtu;
+    EXPECT_GT(r.flows[0].avg_rate.gbps(), 1.0) << GetParam() << " mtu " << mtu;
   }
 }
 
@@ -313,12 +314,12 @@ TEST(Datacenter, HpccKeepsSwitchQueueShort) {
   // shallower than a loss-based CCA's.
   auto run = [](const std::string& cca) {
     app::ScenarioConfig cfg;
-    cfg.tcp.mtu_bytes = 9000;
+    cfg.tcp.mtu_bytes = units::Bytes{9000};
     cfg.seed = 13;
     app::Scenario scenario(cfg);
     app::FlowSpec flow;
     flow.cca = cca;
-    flow.bytes = 250'000'000;
+    flow.bytes = units::Bytes{250'000'000};
     scenario.add_flow(flow);
     return scenario.run();
   };

@@ -19,7 +19,7 @@ using sim::SimTime;
 
 CcaConfig config() {
   CcaConfig c;
-  c.mss_bytes = 1448;
+  c.mss_bytes = units::Bytes{1448};
   c.initial_cwnd = 10;
   return c;
 }
@@ -96,7 +96,7 @@ TEST_P(LossBasedContract, RecoveryFreezesGrowth) {
 }
 
 TEST_P(LossBasedContract, NoPacingByDefault) {
-  EXPECT_DOUBLE_EQ(cc_->pacing_rate_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(cc_->pacing_rate().bps(), 0.0);
 }
 
 TEST_P(LossBasedContract, CostIsPositive) {

@@ -42,7 +42,7 @@ TEST(Registry, OnlyDctcpWantsEcn) {
 TEST(Registry, OnlyBbrFamilyPaces) {
   for (const auto& name : all_names()) {
     auto cc = make_cca(name, CcaConfig{});
-    const bool paces = cc->pacing_rate_bps() > 0.0;
+    const bool paces = cc->pacing_rate().bps() > 0.0;
     EXPECT_EQ(paces, name == "bbr" || name == "bbr2") << name;
   }
 }

@@ -8,18 +8,20 @@
 #include "core/efficiency.h"
 #include "core/estimator.h"
 #include "core/scheduler.h"
+#include "units/units.h"
 
 namespace greencc::core {
 namespace {
 
 AllocationAnalysis analysis() {
   const energy::PowerCalibration calib;
-  return AllocationAnalysis(energy::PackagePowerModel{}, 10e9,
+  return AllocationAnalysis(energy::PackagePowerModel{},
+                            units::BitRate::bps(10e9),
                             calib.fig2_util_per_gbps,
                             calib.fig2_pps_per_gbps);
 }
 
-constexpr double kTenGbit = 10e9;  // bits per flow, as in Fig 1
+constexpr units::Bits kTenGbit{10'000'000'000};  // bits per flow, as in Fig 1
 
 // --- AllocationAnalysis (Fig 1 closed form) ---
 
@@ -66,7 +68,7 @@ TEST(Allocation, SweepMatchesPointQueries) {
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const auto point =
         analysis().energy_at_fraction(fractions[i], kTenGbit);
-    EXPECT_DOUBLE_EQ(sweep[i].energy_joules, point.energy_joules);
+    EXPECT_DOUBLE_EQ(sweep[i].energy.joules(), point.energy.joules());
   }
 }
 
@@ -87,10 +89,11 @@ TEST(Allocation, LoadedHostsShrinkSavings) {
 
 TEST(Scheduler, FairShareLeavesFlowsUnlimited) {
   const auto specs =
-      make_schedule(Schedule::kFairShare, 3, 1'000'000, "cubic", 10e9);
+      make_schedule(Schedule::kFairShare, 3, units::Bytes{1'000'000}, "cubic",
+                    units::BitRate::bps(10e9));
   ASSERT_EQ(specs.size(), 3u);
   for (const auto& s : specs) {
-    EXPECT_EQ(s.rate_limit_bps, 0.0);
+    EXPECT_EQ(s.rate_limit.bps(), 0.0);
     EXPECT_EQ(s.start_after_flow, -1);
     EXPECT_EQ(s.cca, "cubic");
   }
@@ -98,21 +101,24 @@ TEST(Scheduler, FairShareLeavesFlowsUnlimited) {
 
 TEST(Scheduler, WeightedLimitsFirstFlow) {
   const auto specs =
-      make_schedule(Schedule::kWeighted, 2, 1'000'000, "cubic", 10e9, 0.7);
+      make_schedule(Schedule::kWeighted, 2, units::Bytes{1'000'000}, "cubic",
+                    units::BitRate::bps(10e9), 0.7);
   ASSERT_EQ(specs.size(), 2u);
-  EXPECT_NEAR(specs[0].rate_limit_bps, 7e9, 1.0);
-  EXPECT_EQ(specs[1].rate_limit_bps, 0.0);
+  EXPECT_NEAR(specs[0].rate_limit.bps(), 7e9, 1.0);
+  EXPECT_EQ(specs[1].rate_limit.bps(), 0.0);
 }
 
 TEST(Scheduler, WeightedRequiresTwoFlows) {
   EXPECT_THROW(
-      make_schedule(Schedule::kWeighted, 3, 1'000'000, "cubic", 10e9),
+      make_schedule(Schedule::kWeighted, 3, units::Bytes{1'000'000}, "cubic",
+                    units::BitRate::bps(10e9)),
       std::invalid_argument);
 }
 
 TEST(Scheduler, FullSpeedThenIdleChains) {
   const auto specs = make_schedule(Schedule::kFullSpeedThenIdle, 4,
-                                   1'000'000, "cubic", 10e9);
+                                   units::Bytes{1'000'000}, "cubic",
+                                   units::BitRate::bps(10e9));
   ASSERT_EQ(specs.size(), 4u);
   EXPECT_EQ(specs[0].start_after_flow, -1);
   EXPECT_EQ(specs[1].start_after_flow, 0);
@@ -131,13 +137,13 @@ TEST(Scheduler, Names) {
 
 TEST(SizedScheduler, FairShareRunsAllConcurrently) {
   const auto specs = make_sized_schedule(SizedSchedule::kFairShare,
-                                         {100, 300, 200}, "cubic");
+                                         {units::Bytes{100}, units::Bytes{300}, units::Bytes{200}}, "cubic");
   for (const auto& s : specs) EXPECT_EQ(s.start_after_flow, -1);
 }
 
 TEST(SizedScheduler, FifoChainsInInputOrder) {
   const auto specs = make_sized_schedule(SizedSchedule::kFifoSerial,
-                                         {100, 300, 200}, "cubic");
+                                         {units::Bytes{100}, units::Bytes{300}, units::Bytes{200}}, "cubic");
   EXPECT_EQ(specs[0].start_after_flow, -1);
   EXPECT_EQ(specs[1].start_after_flow, 0);
   EXPECT_EQ(specs[2].start_after_flow, 1);
@@ -146,7 +152,7 @@ TEST(SizedScheduler, FifoChainsInInputOrder) {
 TEST(SizedScheduler, SrptChainsShortestFirst) {
   // Sizes 100 (idx 0), 300 (idx 1), 200 (idx 2): execution order 0, 2, 1.
   const auto specs = make_sized_schedule(SizedSchedule::kSrptSerial,
-                                         {100, 300, 200}, "cubic");
+                                         {units::Bytes{100}, units::Bytes{300}, units::Bytes{200}}, "cubic");
   EXPECT_EQ(specs[0].start_after_flow, -1);  // shortest starts first
   EXPECT_EQ(specs[2].start_after_flow, 0);   // then 200 after 100
   EXPECT_EQ(specs[1].start_after_flow, 2);   // then 300 after 200
@@ -154,7 +160,7 @@ TEST(SizedScheduler, SrptChainsShortestFirst) {
 
 TEST(SizedScheduler, LongestFirstReverses) {
   const auto specs = make_sized_schedule(SizedSchedule::kLongestFirst,
-                                         {100, 300, 200}, "cubic");
+                                         {units::Bytes{100}, units::Bytes{300}, units::Bytes{200}}, "cubic");
   EXPECT_EQ(specs[1].start_after_flow, -1);  // longest first
   EXPECT_EQ(specs[2].start_after_flow, 1);
   EXPECT_EQ(specs[0].start_after_flow, 2);
@@ -162,7 +168,7 @@ TEST(SizedScheduler, LongestFirstReverses) {
 
 TEST(SizedScheduler, StableForTies) {
   const auto specs = make_sized_schedule(SizedSchedule::kSrptSerial,
-                                         {100, 100, 100}, "cubic");
+                                         {units::Bytes{100}, units::Bytes{100}, units::Bytes{100}}, "cubic");
   EXPECT_EQ(specs[0].start_after_flow, -1);
   EXPECT_EQ(specs[1].start_after_flow, 0);
   EXPECT_EQ(specs[2].start_after_flow, 1);

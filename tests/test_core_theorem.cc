@@ -104,8 +104,10 @@ TEST(Theorem1, CalibratedModelSatisfiesHypothesis) {
   energy::PackagePowerModel model;
   const energy::PowerCalibration calib;
   const auto p = [&](double x) {
-    return model.single_flow_watts(x, calib.fig2_util_per_gbps,
-                                   calib.fig2_pps_per_gbps);
+    return model
+        .single_flow_watts(units::BitRate::gbps(x), calib.fig2_util_per_gbps,
+                           calib.fig2_pps_per_gbps)
+        .watts();
   };
   EXPECT_TRUE(Theorem1::is_strictly_concave(10.0, p));
   sim::Rng rng(5);

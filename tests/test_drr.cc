@@ -15,7 +15,7 @@ using sim::Simulator;
 class Counter : public PacketHandler {
  public:
   void handle(Packet pkt) override {
-    bytes[pkt.flow] += pkt.size_bytes;
+    bytes[pkt.flow] += pkt.size_bytes.count();
     ++packets[pkt.flow];
     order.push_back(pkt.flow);
   }
@@ -27,13 +27,13 @@ class Counter : public PacketHandler {
 Packet pkt_of(FlowId flow, std::int32_t size = 1500) {
   Packet p;
   p.flow = flow;
-  p.size_bytes = size;
+  p.size_bytes = units::Bytes{size};
   return p;
 }
 
 DrrPort::Config config() {
   DrrPort::Config c;
-  c.rate_bps = 10e9;
+  c.rate = units::BitRate::bps(10e9);
   c.propagation = SimTime::zero();
   return c;
 }
@@ -117,7 +117,7 @@ TEST(Drr, PerFlowQueueDropsIndependently) {
   Simulator sim;
   Counter sink;
   auto cfg = config();
-  cfg.per_flow_queue_bytes = 3'000;  // two 1500 B packets per flow
+  cfg.per_flow_queue_bytes = units::Bytes{3'000};  // two 1500 B packets per flow
   DrrPort port(sim, "drr", cfg, &sink);
   for (int i = 0; i < 10; ++i) port.handle(pkt_of(1));
   for (int i = 0; i < 2; ++i) port.handle(pkt_of(2));
@@ -141,7 +141,7 @@ TEST(Drr, FractionalWeightAccumulatesDeficit) {
   Simulator sim;
   Counter sink;
   auto cfg = config();
-  cfg.per_flow_queue_bytes = 8 << 20;  // keep both flows backlogged
+  cfg.per_flow_queue_bytes = units::Bytes{8 << 20};  // keep both flows backlogged
   DrrPort port(sim, "drr", cfg, &sink);
   port.set_weight(1, 0.2);
   port.set_weight(2, 1.0);

@@ -35,7 +35,7 @@ net::Packet pkt_of(std::int64_t seq, std::int32_t size = 1500) {
   net::Packet p;
   p.flow = 1;
   p.seq = seq;
-  p.size_bytes = size;
+  p.size_bytes = units::Bytes{size};
   return p;
 }
 
@@ -335,14 +335,14 @@ TEST(FaultSchedule, ReratesAndRedelaysThePortMidRun) {
   Simulator sim;
   Collector sink(sim);
   net::PortConfig port_cfg;
-  port_cfg.rate_bps = 10e9;  // 1500 B = 1.2 us serialization
+  port_cfg.rate = units::BitRate::bps(10e9);  // 1500 B = 1.2 us serialization
   port_cfg.propagation = SimTime::zero();
   net::QueuedPort port(sim, "p", port_cfg, &sink);
   FaultSchedule schedule;
   FaultEvent rate;
   rate.at = SimTime::microseconds(10);
   rate.kind = FaultEvent::Kind::kRate;
-  rate.rate_bps = 1e9;  // 10x slower: 12 us serialization
+  rate.rate = units::BitRate::bps(1e9);  // 10x slower: 12 us serialization
   schedule.add(rate);
   FaultEvent delay;
   delay.at = SimTime::microseconds(10);
@@ -372,7 +372,7 @@ TEST(FaultSchedule, ArmValidatesTargets) {
   FaultEvent event;
   event.at = SimTime::microseconds(1);
   event.kind = FaultEvent::Kind::kRate;
-  event.rate_bps = 0.0;
+  event.rate = units::BitRate::bps(0.0);
   bad_rate.add(event);
   Collector sink(sim);
   net::QueuedPort port(sim, "p", net::PortConfig{}, &sink);
@@ -416,7 +416,7 @@ TEST(FaultPlan, ParsesFaultEventSpec) {
   EXPECT_EQ(schedule.events()[0].at, SimTime::milliseconds(500));
   EXPECT_EQ(schedule.events()[1].kind, FaultEvent::Kind::kLinkUp);
   EXPECT_EQ(schedule.events()[2].kind, FaultEvent::Kind::kRate);
-  EXPECT_DOUBLE_EQ(schedule.events()[2].rate_bps, 5e9);
+  EXPECT_DOUBLE_EQ(schedule.events()[2].rate.bps(), 5e9);
   EXPECT_EQ(schedule.events()[3].kind, FaultEvent::Kind::kDelay);
   EXPECT_EQ(schedule.events()[3].delay, SimTime::microseconds(50));
 

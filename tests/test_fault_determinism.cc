@@ -35,7 +35,7 @@ std::unique_ptr<app::Scenario> build_impaired(std::uint64_t seed) {
   auto scenario = std::make_unique<app::Scenario>(std::move(config));
   app::FlowSpec flow;
   flow.cca = "cubic";
-  flow.bytes = 10'000'000;
+  flow.bytes = units::Bytes{10'000'000};
   scenario->add_flow(flow);
   return scenario;
 }
@@ -54,14 +54,14 @@ struct Fingerprint {
 Fingerprint fingerprint(const app::RepeatResult& result) {
   Fingerprint fp;
   for (const auto& run : result.runs) {
-    fp.doubles.push_back(run.total_joules);
+    fp.doubles.push_back(run.total_energy.joules());
     fp.doubles.push_back(run.duration_sec);
     for (const auto& flow : run.flows) {
       fp.doubles.push_back(flow.fct_sec);
       fp.counters.push_back(
           static_cast<std::uint64_t>(flow.retransmissions));
       fp.counters.push_back(
-          static_cast<std::uint64_t>(flow.delivered_bytes));
+          static_cast<std::uint64_t>(flow.delivered_bytes.count()));
     }
     fp.counters.push_back(run.bottleneck.dropped);
     for (const auto& [name, value] : run.counters) fp.counters.push_back(value);
@@ -92,14 +92,14 @@ TEST(FaultDeterminism, DisabledStageLeavesBaselineByteIdentical) {
     app::Scenario scenario(std::move(config));
     app::FlowSpec flow;
     flow.cca = "reno";
-    flow.bytes = 10'000'000;
+    flow.bytes = units::Bytes{10'000'000};
     scenario.add_flow(flow);
     return scenario.run();
   };
   const app::ScenarioResult with_stage = run_once(true);
   const app::ScenarioResult without = run_once(false);
   ASSERT_EQ(with_stage.flows.size(), without.flows.size());
-  EXPECT_EQ(with_stage.total_joules, without.total_joules);
+  EXPECT_EQ(with_stage.total_energy.joules(), without.total_energy.joules());
   EXPECT_EQ(with_stage.duration_sec, without.duration_sec);
   EXPECT_EQ(with_stage.flows[0].fct_sec, without.flows[0].fct_sec);
   EXPECT_EQ(with_stage.flows[0].retransmissions,
@@ -119,7 +119,7 @@ TEST(FaultDeterminism, ImpairmentSeedIsIsolatedFromScenarioRandomness) {
     app::Scenario scenario(std::move(config));
     app::FlowSpec flow;
     flow.cca = "cubic";
-    flow.bytes = 10'000'000;
+    flow.bytes = units::Bytes{10'000'000};
     scenario.add_flow(flow);
     return scenario.run();
   };

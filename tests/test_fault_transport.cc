@@ -32,7 +32,7 @@ struct ImpairedHarness {
   ImpairedHarness(const std::string& cca_name, ImpairmentConfig data_cfg,
                   ImpairmentConfig ack_cfg = {}) {
     net::PortConfig forward_config;
-    forward_config.rate_bps = 1e9;
+    forward_config.rate = units::BitRate::bps(1e9);
     forward_config.propagation = SimTime::microseconds(5);
     net::PortConfig reverse_config;
     reverse_config.propagation = SimTime::microseconds(5);
@@ -64,7 +64,7 @@ struct ImpairedHarness {
   }
 
   void transfer(std::int64_t bytes) {
-    sender->add_app_data(bytes);
+    sender->add_app_data(units::Bytes{bytes});
     sender->mark_app_eof();
     sender->start();
     sim.run_until(SimTime::seconds(60.0));
@@ -217,7 +217,7 @@ TEST(FaultTransport, ArmedAuditorPassesAnImpairedScenario) {
   app::Scenario scenario(std::move(config));
   app::FlowSpec flow;
   flow.cca = "cubic";
-  flow.bytes = 20'000'000;
+  flow.bytes = units::Bytes{20'000'000};
   scenario.add_flow(flow);
   const app::ScenarioResult result = scenario.run();
   EXPECT_TRUE(result.all_completed);

@@ -18,8 +18,8 @@ TEST(Meter, IdleHostDrawsIdlePower) {
   sim.run_until(SimTime::seconds(2.0));
   meter.stop();
   const PowerCalibration c;
-  EXPECT_NEAR(meter.joules(), c.idle_watts * 2.0, 0.01);
-  EXPECT_NEAR(meter.average_watts(), c.idle_watts, 0.01);
+  EXPECT_NEAR(meter.energy().joules(), c.idle_watts.watts() * 2.0, 0.01);
+  EXPECT_NEAR(meter.average_power().watts(), c.idle_watts.watts(), 0.01);
 }
 
 TEST(Meter, BusyCoreRaisesPower) {
@@ -39,7 +39,7 @@ TEST(Meter, BusyCoreRaisesPower) {
   PackagePowerModel model{};
   HostActivity half;
   half.net_core_utils = {0.5};
-  EXPECT_NEAR(meter.average_watts(), model.watts(half), 0.2);
+  EXPECT_NEAR(meter.average_power().watts(), model.watts(half).watts(), 0.2);
 }
 
 TEST(Meter, PacketAccountingDrivesPpsAndGbps) {
@@ -49,16 +49,16 @@ TEST(Meter, PacketAccountingDrivesPpsAndGbps) {
   // 100k packets of 1250 B over 1 s = 100 kpps, 1 Gb/s.
   for (int i = 0; i < 1000; ++i) {
     sim.schedule(SimTime::milliseconds(i), [&meter] {
-      for (int k = 0; k < 100; ++k) meter.on_packet_sent(1250);
+      for (int k = 0; k < 100; ++k) meter.on_packet_sent(units::Bytes{1250});
     });
   }
   sim.run_until(SimTime::seconds(1.0));
   meter.stop();
   PackagePowerModel model{};
   HostActivity expect;
-  expect.net_pps = 100'000;
-  expect.net_gbps = 1.0;
-  EXPECT_NEAR(meter.average_watts(), model.watts(expect), 0.2);
+  expect.net_pkt_rate = units::PacketRate::pps(100'000);
+  expect.net_rate = units::BitRate::gbps(1.0);
+  EXPECT_NEAR(meter.average_power().watts(), model.watts(expect).watts(), 0.2);
 }
 
 TEST(Meter, StressCoresCounted) {
@@ -69,7 +69,7 @@ TEST(Meter, StressCoresCounted) {
   sim.run_until(SimTime::seconds(1.0));
   meter.stop();
   const PowerCalibration c;
-  EXPECT_NEAR(meter.average_watts(), c.idle_watts + 8 * c.stress_core_watts,
+  EXPECT_NEAR(meter.average_power().watts(), c.idle_watts.watts() + 8 * c.stress_core_watts.watts(),
               0.05);
 }
 
@@ -82,8 +82,8 @@ TEST(Meter, ReadEnergyMidRunIsPartial) {
   sim.run_until(SimTime::seconds(2.0));
   const std::uint64_t end = meter.read_energy_uj();
   const PowerCalibration c;
-  EXPECT_NEAR(static_cast<double>(mid) / 1e6, c.idle_watts, 0.05);
-  EXPECT_NEAR(static_cast<double>(end - mid) / 1e6, c.idle_watts, 0.05);
+  EXPECT_NEAR(static_cast<double>(mid) / 1e6, c.idle_watts.watts(), 0.05);
+  EXPECT_NEAR(static_cast<double>(end - mid) / 1e6, c.idle_watts.watts(), 0.05);
 }
 
 TEST(Meter, StopFreezesIntegration) {
@@ -93,7 +93,7 @@ TEST(Meter, StopFreezesIntegration) {
   sim.schedule(SimTime::seconds(1.0), [&] { meter.stop(); });
   sim.run_until(SimTime::seconds(5.0));
   const PowerCalibration c;
-  EXPECT_NEAR(meter.joules(), c.idle_watts * 1.0, 0.05);
+  EXPECT_NEAR(meter.energy().joules(), c.idle_watts.watts() * 1.0, 0.05);
 }
 
 TEST(Meter, RecordsPowerSamples) {
@@ -106,7 +106,7 @@ TEST(Meter, RecordsPowerSamples) {
   meter.stop();
   EXPECT_GE(meter.samples().size(), 9u);
   for (const auto& s : meter.samples()) {
-    EXPECT_GT(s.watts, 0.0);
+    EXPECT_GT(s.power.watts(), 0.0);
   }
 }
 
@@ -118,7 +118,7 @@ TEST(Meter, SubTickAccuracy) {
   sim.run_until(SimTime::milliseconds(15));  // 1.5 ticks
   meter.stop();
   const PowerCalibration c;
-  EXPECT_NEAR(meter.joules(), c.idle_watts * 0.015, 1e-3);
+  EXPECT_NEAR(meter.energy().joules(), c.idle_watts.watts() * 0.015, 1e-3);
 }
 
 }  // namespace

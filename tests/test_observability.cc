@@ -26,7 +26,7 @@ using trace::EventClass;
 // bottleneck queue and force drops + retransmissions.
 ScenarioConfig lossy_config(std::uint64_t seed = 1) {
   ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = seed;
   return config;
 }
@@ -46,7 +46,7 @@ std::uint64_t find_counter(
 TEST(Observability, EventCountsMatchAggregateStats) {
   Scenario s(lossy_config());
   FlowSpec flow;
-  flow.bytes = kTransfer;
+  flow.bytes = units::Bytes{kTransfer};
   s.add_flow(flow);
   trace::VectorTraceSink sink;
   s.set_trace_sink(&sink);
@@ -78,7 +78,7 @@ TEST(Observability, EventCountsMatchAggregateStats) {
 TEST(Observability, EventsAreTimeOrdered) {
   Scenario s(lossy_config());
   FlowSpec flow;
-  flow.bytes = kTransfer;
+  flow.bytes = units::Bytes{kTransfer};
   s.add_flow(flow);
   trace::VectorTraceSink sink;
   s.set_trace_sink(&sink);
@@ -93,7 +93,7 @@ TEST(Observability, EventsAreTimeOrdered) {
 TEST(Observability, FilterMasksUnwantedClasses) {
   Scenario s(lossy_config());
   FlowSpec flow;
-  flow.bytes = kTransfer;
+  flow.bytes = units::Bytes{kTransfer};
   s.add_flow(flow);
   trace::VectorTraceSink sink(trace::class_bit(EventClass::kDrop) |
                               trace::class_bit(EventClass::kRetransmit));
@@ -109,7 +109,7 @@ TEST(Observability, FilterMasksUnwantedClasses) {
 TEST(Observability, CountersMatchFlowAndQueueStats) {
   Scenario s(lossy_config());
   FlowSpec flow;
-  flow.bytes = kTransfer;
+  flow.bytes = units::Bytes{kTransfer};
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
@@ -117,7 +117,7 @@ TEST(Observability, CountersMatchFlowAndQueueStats) {
   EXPECT_EQ(find_counter(r.counters, "switch:egress0.dropped"),
             r.bottleneck.dropped);
   EXPECT_EQ(find_counter(r.counters, "switch:egress0.peak_bytes"),
-            static_cast<std::uint64_t>(r.bottleneck.max_bytes_seen));
+            static_cast<std::uint64_t>(r.bottleneck.max_bytes_seen.count()));
   EXPECT_EQ(find_counter(r.counters, "receiver:softirq.dropped"),
             r.rx_backlog.dropped);
   EXPECT_EQ(find_counter(r.counters, "switch.unroutable_packets"), 0u);
@@ -142,7 +142,7 @@ TEST(Observability, CountersMatchFlowAndQueueStats) {
 TEST(Observability, RunProfilePopulated) {
   Scenario s(lossy_config());
   FlowSpec flow;
-  flow.bytes = kTransfer;
+  flow.bytes = units::Bytes{kTransfer};
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
@@ -158,7 +158,7 @@ TEST(Observability, JsonlStreamMatchesQueueStats) {
   {
     Scenario s(lossy_config());
     FlowSpec flow;
-    flow.bytes = kTransfer;
+    flow.bytes = units::Bytes{kTransfer};
     s.add_flow(flow);
     trace::JsonlTraceSink sink(path);
     s.set_trace_sink(&sink);
@@ -200,7 +200,7 @@ TEST(Observability, ParallelTracedRepeatsAreDeterministic) {
   auto builder = [](std::uint64_t seed) {
     auto s = std::make_unique<Scenario>(lossy_config(seed));
     FlowSpec flow;
-    flow.bytes = kTransfer;
+    flow.bytes = units::Bytes{kTransfer};
     s->add_flow(flow);
     return s;
   };
@@ -223,8 +223,8 @@ TEST(Observability, ParallelTracedRepeatsAreDeterministic) {
   const auto parallel = run_with_jobs(4, parallel_sinks);
 
   for (int i = 0; i < kRepeats; ++i) {
-    EXPECT_DOUBLE_EQ(serial.runs[i].total_joules,
-                     parallel.runs[i].total_joules);
+    EXPECT_DOUBLE_EQ(serial.runs[i].total_energy.joules(),
+                     parallel.runs[i].total_energy.joules());
     EXPECT_EQ(serial.runs[i].bottleneck.dropped,
               parallel.runs[i].bottleneck.dropped);
     // Identical event streams, run by run.

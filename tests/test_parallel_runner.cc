@@ -156,11 +156,11 @@ TEST(ParallelRunner, ReportsProgressForEveryTask) {
 
 std::unique_ptr<Scenario> build(std::uint64_t seed) {
   ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = seed;
   auto scenario = std::make_unique<Scenario>(config);
   FlowSpec flow;
-  flow.bytes = 62'500'000;  // 0.5 Gbit, keeps the test fast
+  flow.bytes = units::Bytes{62'500'000};  // 0.5 Gbit, keeps the test fast
   scenario->add_flow(flow);
   return scenario;
 }
@@ -171,8 +171,8 @@ std::vector<double> fingerprint(const RepeatResult& agg) {
                            agg.duration_sec.mean(),    agg.duration_sec.stddev(),
                            agg.retransmissions.mean()};
   for (const auto& run : agg.runs) {
-    v.push_back(run.total_joules);
-    v.push_back(run.avg_watts);
+    v.push_back(run.total_energy.joules());
+    v.push_back(run.avg_power.watts());
     v.push_back(run.duration_sec);
     v.push_back(run.flows[0].fct_sec);
     v.push_back(static_cast<double>(run.flows[0].retransmissions));

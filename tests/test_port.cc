@@ -27,7 +27,7 @@ class Collector : public PacketHandler {
 Packet pkt_of(std::int64_t seq, std::int32_t size) {
   Packet p;
   p.seq = seq;
-  p.size_bytes = size;
+  p.size_bytes = units::Bytes{size};
   return p;
 }
 
@@ -35,7 +35,7 @@ TEST(QueuedPort, SerializationPlusPropagation) {
   Simulator sim;
   Collector sink(sim);
   PortConfig cfg;
-  cfg.rate_bps = 10e9;
+  cfg.rate = units::BitRate::bps(10e9);
   cfg.propagation = SimTime::microseconds(5);
   QueuedPort port(sim, "p", cfg, &sink);
   port.handle(pkt_of(0, 1500));  // 1.2 us serialization
@@ -49,7 +49,7 @@ TEST(QueuedPort, BackToBackPacketsSpaceAtLineRate) {
   Simulator sim;
   Collector sink(sim);
   PortConfig cfg;
-  cfg.rate_bps = 10e9;
+  cfg.rate = units::BitRate::bps(10e9);
   cfg.propagation = SimTime::zero();
   QueuedPort port(sim, "p", cfg, &sink);
   for (int i = 0; i < 3; ++i) port.handle(pkt_of(i, 1500));
@@ -64,7 +64,7 @@ TEST(QueuedPort, PerPacketOverheadSlowsService) {
   Simulator sim;
   Collector sink(sim);
   PortConfig cfg;
-  cfg.rate_bps = 10e9;
+  cfg.rate = units::BitRate::bps(10e9);
   cfg.propagation = SimTime::zero();
   cfg.per_packet_ns = 800.0;
   QueuedPort port(sim, "p", cfg, &sink);
@@ -77,7 +77,7 @@ TEST(QueuedPort, IdlePortResumesCleanly) {
   Simulator sim;
   Collector sink(sim);
   PortConfig cfg;
-  cfg.rate_bps = 10e9;
+  cfg.rate = units::BitRate::bps(10e9);
   cfg.propagation = SimTime::zero();
   QueuedPort port(sim, "p", cfg, &sink);
   port.handle(pkt_of(0, 1500));
@@ -94,8 +94,8 @@ TEST(QueuedPort, TailDropWhenQueueFull) {
   Simulator sim;
   Collector sink(sim);
   PortConfig cfg;
-  cfg.rate_bps = 1e9;
-  cfg.queue_capacity_bytes = 3000;
+  cfg.rate = units::BitRate::bps(1e9);
+  cfg.queue_capacity_bytes = units::Bytes{3000};
   cfg.propagation = SimTime::zero();
   QueuedPort port(sim, "p", cfg, &sink);
   // First goes straight to the transmitter (leaves the queue immediately);
@@ -110,9 +110,9 @@ TEST(QueuedPort, DropServicePenaltyDelaysNextPacket) {
   Simulator sim;
   Collector sink(sim);
   PortConfig cfg;
-  cfg.rate_bps = 10e9;
+  cfg.rate = units::BitRate::bps(10e9);
   cfg.propagation = SimTime::zero();
-  cfg.queue_capacity_bytes = 1500;  // room for exactly one queued packet
+  cfg.queue_capacity_bytes = units::Bytes{1500};  // room for exactly one queued packet
   cfg.drop_service_ns = 1000.0;
   QueuedPort port(sim, "p", cfg, &sink);
   port.handle(pkt_of(0, 1500));  // transmitting
@@ -132,13 +132,13 @@ TEST(QueuedPort, AllDropSubscribersSeeEveryDrop) {
   Simulator sim;
   Collector sink(sim);
   PortConfig cfg;
-  cfg.rate_bps = 1e9;
-  cfg.queue_capacity_bytes = 3000;
+  cfg.rate = units::BitRate::bps(1e9);
+  cfg.queue_capacity_bytes = units::Bytes{3000};
   cfg.propagation = SimTime::zero();
   QueuedPort port(sim, "p", cfg, &sink);
   std::vector<std::pair<int, std::int64_t>> calls;
-  port.add_on_drop([&](std::int64_t b) { calls.emplace_back(1, b); });
-  port.set_on_drop([&](std::int64_t b) { calls.emplace_back(2, b); });
+  port.add_on_drop([&](units::Bytes b) { calls.emplace_back(1, b.count()); });
+  port.set_on_drop([&](units::Bytes b) { calls.emplace_back(2, b.count()); });
   for (int i = 0; i < 5; ++i) port.handle(pkt_of(i, 1500));
   sim.run();
   ASSERT_EQ(port.queue_stats().dropped, 2u);
@@ -153,12 +153,12 @@ TEST(QueuedPort, MidRunRerateAndRedelayApplyToNextTransmission) {
   Simulator sim;
   Collector sink(sim);
   PortConfig cfg;
-  cfg.rate_bps = 10e9;
+  cfg.rate = units::BitRate::bps(10e9);
   cfg.propagation = SimTime::zero();
   QueuedPort port(sim, "p", cfg, &sink);
   port.handle(pkt_of(0, 1500));  // 1.2 us at 10G
   sim.run();
-  port.set_rate(1e9);
+  port.set_rate(units::BitRate::bps(1e9));
   port.set_propagation(SimTime::microseconds(7));
   sim.schedule(SimTime::microseconds(10) - sim.now(),
                [&] { port.handle(pkt_of(1, 1500)); });
@@ -175,12 +175,12 @@ TEST(QueuedPort, TransmitCallbackSeesWireBytes) {
   PortConfig cfg;
   QueuedPort port(sim, "p", cfg, &sink);
   std::int64_t seen = 0;
-  port.set_on_transmit([&](std::int64_t b) { seen += b; });
+  port.set_on_transmit([&](units::Bytes b) { seen += b.count(); });
   port.handle(pkt_of(0, 1500));
   port.handle(pkt_of(1, 9000));
   sim.run();
   EXPECT_EQ(seen, 10'500);
-  EXPECT_EQ(port.bytes_sent(), 10'500);
+  EXPECT_EQ(port.bytes_sent().count(), 10'500);
   EXPECT_EQ(port.packets_sent(), 2u);
 }
 

@@ -14,8 +14,10 @@ PackagePowerModel model() { return PackagePowerModel{}; }
 
 double p(double gbps, double load = 0.0) {
   const PowerCalibration c;
-  return model().single_flow_watts(gbps, c.fig2_util_per_gbps,
-                                   c.fig2_pps_per_gbps, load);
+  return model()
+      .single_flow_watts(units::BitRate::gbps(gbps), c.fig2_util_per_gbps,
+                         c.fig2_pps_per_gbps, load)
+      .watts();
 }
 
 // --- The paper's published anchors (Fig 2 / §4.1) ---
@@ -69,18 +71,18 @@ TEST(PowerModel, StressCoresAddLinearly) {
   HostActivity stressed;
   stressed.stress_cores = 8;
   const PowerCalibration c;
-  EXPECT_NEAR(model().watts(stressed) - model().watts(idle),
-              8 * c.stress_core_watts, 1e-9);
+  EXPECT_NEAR(model().watts(stressed).watts() - model().watts(idle).watts(),
+              8 * c.stress_core_watts.watts(), 1e-9);
 }
 
 TEST(PowerModel, PpsTermIsLinear) {
   HostActivity a, b;
-  a.net_pps = 100'000;
-  b.net_pps = 200'000;
+  a.net_pkt_rate = units::PacketRate::pps(100'000);
+  b.net_pkt_rate = units::PacketRate::pps(200'000);
   const PowerCalibration c;
-  const double base = model().watts(HostActivity{});
-  EXPECT_NEAR(model().watts(a) - base, c.omega_watts_per_pps * 1e5, 1e-9);
-  EXPECT_NEAR(model().watts(b) - model().watts(a),
+  const double base = model().watts(HostActivity{}).watts();
+  EXPECT_NEAR(model().watts(a).watts() - base, c.omega_watts_per_pps * 1e5, 1e-9);
+  EXPECT_NEAR(model().watts(b).watts() - model().watts(a).watts(),
               c.omega_watts_per_pps * 1e5, 1e-9);
 }
 
@@ -88,17 +90,17 @@ TEST(PowerModel, MultipleCoresSum) {
   HostActivity one, two;
   one.net_core_utils = {0.5};
   two.net_core_utils = {0.5, 0.5};
-  const double base = model().watts(HostActivity{});
-  const double one_core = model().watts(one) - base;
-  const double two_cores = model().watts(two) - base;
+  const double base = model().watts(HostActivity{}).watts();
+  const double one_core = model().watts(one).watts() - base;
+  const double two_cores = model().watts(two).watts() - base;
   EXPECT_NEAR(two_cores, 2.0 * one_core, 1e-9);
 }
 
 TEST(PowerModel, UtilizationClamped) {
   // A core cannot contribute more than f(1).
-  EXPECT_DOUBLE_EQ(model().core_power(1.5), model().core_power(1.0));
-  EXPECT_DOUBLE_EQ(model().core_power(-0.5), model().core_power(0.0));
-  EXPECT_DOUBLE_EQ(model().core_power(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model().core_power(1.5).watts(), model().core_power(1.0).watts());
+  EXPECT_DOUBLE_EQ(model().core_power(-0.5).watts(), model().core_power(0.0).watts());
+  EXPECT_DOUBLE_EQ(model().core_power(0.0).watts(), 0.0);
 }
 
 // --- phi(L): the loaded-host attenuation (§4.2) ---
@@ -159,9 +161,43 @@ TEST(PowerModel, LoadedHostAbsoluteLevels) {
 
 TEST(PowerModel, CalibrationIsAdjustable) {
   PowerCalibration calib;
-  calib.idle_watts = 50.0;
+  calib.idle_watts = units::Power::watts(50.0);
   PackagePowerModel custom(calib);
-  EXPECT_NEAR(custom.watts(HostActivity{}), 50.0, 1e-9);
+  EXPECT_NEAR(custom.watts(HostActivity{}).watts(), 50.0, 1e-9);
+}
+
+// Pin watts() against hand-computed values of the documented formula
+// (idle + 3.3*stress + phi(load)*sum(core_power(u)) + omega*pps +
+// chi*load*gbps, with the default calibration). These are regression pins:
+// any refactor of watts() that changes these digits changes every energy
+// number the repo reports.
+TEST(PowerModel, WattsPinnedToHandComputedValues) {
+  const PackagePowerModel m;
+
+  HostActivity idle;
+  EXPECT_NEAR(m.watts(idle).watts(), 21.49, 1e-9);
+
+  HostActivity single;  // one net core at 0.5 util, 5 Gb/s, no stress
+  single.net_core_utils = {0.5};
+  single.net_rate = units::BitRate::gbps(5.0);
+  single.net_pkt_rate = units::PacketRate::pps(5.0 * 13'888.9);
+  EXPECT_NEAR(m.watts(single).watts(), 34.854215937832, 1e-9);
+
+  HostActivity loaded;  // 8 stress cores, two net cores, 10 Gb/s
+  loaded.net_core_utils = {0.3, 0.7};
+  loaded.stress_cores = 8;
+  loaded.net_rate = units::BitRate::gbps(10.0);
+  loaded.net_pkt_rate = units::PacketRate::pps(138'889.0);
+  EXPECT_NEAR(m.watts(loaded).watts(), 58.416782847849, 1e-9);
+
+  // single_flow_watts at the Fig 2 operating point must agree with the
+  // equivalent hand-built HostActivity.
+  const PowerCalibration calib;
+  EXPECT_NEAR(m.single_flow_watts(units::BitRate::gbps(5.0),
+                                  calib.fig2_util_per_gbps,
+                                  calib.fig2_pps_per_gbps)
+                  .watts(),
+              34.230473080786, 1e-9);
 }
 
 }  // namespace

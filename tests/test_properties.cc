@@ -40,8 +40,8 @@ TEST_P(Conservation, WireAccountingBalances) {
   cca_config.mss_bytes = tcp_config.mss_bytes();
 
   net::PortConfig forward_config;
-  forward_config.rate_bps = 1e9;  // slow bottleneck: creates loss
-  forward_config.queue_capacity_bytes = queue_bytes;
+  forward_config.rate = units::BitRate::bps(1e9);  // slow bottleneck: creates loss
+  forward_config.queue_capacity_bytes = units::Bytes{queue_bytes};
   forward_config.propagation = SimTime::microseconds(5);
   net::QueuedPort forward(sim, "fwd", forward_config, nullptr);
 
@@ -56,7 +56,7 @@ TEST_P(Conservation, WireAccountingBalances) {
   forward.set_next(&receiver);
   reverse.set_next(&sender);
 
-  sender.add_app_data(3'000'000);
+  sender.add_app_data(units::Bytes{3'000'000});
   sender.mark_app_eof();
   sender.start();
   sim.run_until(SimTime::seconds(60.0));
@@ -105,23 +105,23 @@ class EveryCcaEveryMtu
 TEST_P(EveryCcaEveryMtu, CompletesWithConsistentEnergy) {
   const auto& [cca_name, mtu] = GetParam();
   app::ScenarioConfig config;
-  config.tcp.mtu_bytes = mtu;
+  config.tcp.mtu_bytes = units::Bytes{mtu};
   config.seed = 5;
   app::Scenario scenario(config);
   app::FlowSpec flow;
   flow.cca = cca_name;
-  flow.bytes = 60'000'000;
+  flow.bytes = units::Bytes{60'000'000};
   scenario.add_flow(flow);
   const auto r = scenario.run();
 
   ASSERT_TRUE(r.all_completed) << cca_name << " mtu " << mtu;
-  EXPECT_GT(r.flows[0].avg_gbps, 0.5) << cca_name << " mtu " << mtu;
+  EXPECT_GT(r.flows[0].avg_rate.gbps(), 0.5) << cca_name << " mtu " << mtu;
   // Energy = integral of power: average power must lie between idle and
   // the model's plausible ceiling.
-  EXPECT_GT(r.avg_watts, 21.49);
-  EXPECT_LT(r.avg_watts, 60.0);
-  EXPECT_NEAR(r.total_joules, r.avg_watts * r.duration_sec,
-              0.02 * r.total_joules);
+  EXPECT_GT(r.avg_power.watts(), 21.49);
+  EXPECT_LT(r.avg_power.watts(), 60.0);
+  EXPECT_NEAR(r.total_energy.joules(), r.avg_power.watts() * r.duration_sec,
+              0.02 * r.total_energy.joules());
 }
 
 std::vector<std::tuple<std::string, int>> every_cca_every_mtu() {
@@ -156,18 +156,18 @@ class DeterminismByFamily : public ::testing::TestWithParam<std::string> {};
 TEST_P(DeterminismByFamily, SameSeedSameJoules) {
   auto run = [&] {
     app::ScenarioConfig config;
-    config.tcp.mtu_bytes = 3000;
+    config.tcp.mtu_bytes = units::Bytes{3000};
     config.seed = 99;
     app::Scenario scenario(config);
     app::FlowSpec flow;
     flow.cca = GetParam();
-    flow.bytes = 50'000'000;
+    flow.bytes = units::Bytes{50'000'000};
     scenario.add_flow(flow);
     return scenario.run();
   };
   const auto a = run();
   const auto b = run();
-  EXPECT_DOUBLE_EQ(a.total_joules, b.total_joules);
+  EXPECT_DOUBLE_EQ(a.total_energy.joules(), b.total_energy.joules());
   EXPECT_EQ(a.flows[0].retransmissions, b.flows[0].retransmissions);
   EXPECT_DOUBLE_EQ(a.flows[0].fct_sec, b.flows[0].fct_sec);
 }

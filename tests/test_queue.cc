@@ -8,13 +8,13 @@ namespace {
 Packet data_packet(std::int64_t seq, std::int32_t size, bool ect = false) {
   Packet p;
   p.seq = seq;
-  p.size_bytes = size;
+  p.size_bytes = units::Bytes{size};
   p.ecn_capable = ect;
   return p;
 }
 
 TEST(DropTailQueue, FifoOrder) {
-  DropTailQueue q(10'000);
+  DropTailQueue q(units::Bytes{10'000});
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.enqueue(data_packet(i, 100)));
   for (int i = 0; i < 5; ++i) {
     auto p = q.dequeue();
@@ -25,17 +25,17 @@ TEST(DropTailQueue, FifoOrder) {
 }
 
 TEST(DropTailQueue, ByteAccounting) {
-  DropTailQueue q(10'000);
+  DropTailQueue q(units::Bytes{10'000});
   q.enqueue(data_packet(0, 1500));
   q.enqueue(data_packet(1, 500));
-  EXPECT_EQ(q.bytes(), 2000);
+  EXPECT_EQ(q.bytes().count(), 2000);
   EXPECT_EQ(q.packets(), 2u);
   q.dequeue();
-  EXPECT_EQ(q.bytes(), 500);
+  EXPECT_EQ(q.bytes().count(), 500);
 }
 
 TEST(DropTailQueue, DropsWhenBytesFull) {
-  DropTailQueue q(3'000);
+  DropTailQueue q(units::Bytes{3'000});
   EXPECT_TRUE(q.enqueue(data_packet(0, 1500)));
   EXPECT_TRUE(q.enqueue(data_packet(1, 1500)));
   EXPECT_FALSE(q.enqueue(data_packet(2, 1500)));
@@ -44,7 +44,7 @@ TEST(DropTailQueue, DropsWhenBytesFull) {
 }
 
 TEST(DropTailQueue, DropsWhenPacketCapFull) {
-  DropTailQueue q(1 << 20, 0, 3);
+  DropTailQueue q(units::Bytes{1 << 20}, units::Bytes::zero(), 3);
   for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.enqueue(data_packet(i, 100)));
   EXPECT_FALSE(q.enqueue(data_packet(3, 100)));
   EXPECT_EQ(q.stats().dropped, 1u);
@@ -54,14 +54,14 @@ TEST(DropTailQueue, DropsWhenPacketCapFull) {
 }
 
 TEST(DropTailQueue, ZeroPacketCapMeansUnlimited) {
-  DropTailQueue q(1 << 20, 0, 0);
+  DropTailQueue q(units::Bytes{1 << 20}, units::Bytes::zero(), 0);
   for (int i = 0; i < 1000; ++i) {
     EXPECT_TRUE(q.enqueue(data_packet(i, 100)));
   }
 }
 
 TEST(DropTailQueue, EcnMarksAboveThreshold) {
-  DropTailQueue q(1 << 20, 3'000);
+  DropTailQueue q(units::Bytes{1 << 20}, units::Bytes{3'000});
   // Below threshold: no mark.
   q.enqueue(data_packet(0, 1500, true));
   q.enqueue(data_packet(1, 1500, true));
@@ -77,7 +77,7 @@ TEST(DropTailQueue, EcnMarksAboveThreshold) {
 }
 
 TEST(DropTailQueue, NonEctPacketsNeverMarked) {
-  DropTailQueue q(1 << 20, 100);
+  DropTailQueue q(units::Bytes{1 << 20}, units::Bytes{100});
   q.enqueue(data_packet(0, 1500, false));
   q.enqueue(data_packet(1, 1500, false));
   q.enqueue(data_packet(2, 1500, false));
@@ -85,16 +85,16 @@ TEST(DropTailQueue, NonEctPacketsNeverMarked) {
 }
 
 TEST(DropTailQueue, MaxBytesSeenTracksHighWater) {
-  DropTailQueue q(1 << 20);
+  DropTailQueue q(units::Bytes{1 << 20});
   q.enqueue(data_packet(0, 4000));
   q.enqueue(data_packet(1, 4000));
   q.dequeue();
   q.enqueue(data_packet(2, 1000));
-  EXPECT_EQ(q.stats().max_bytes_seen, 8000);
+  EXPECT_EQ(q.stats().max_bytes_seen.count(), 8000);
 }
 
 TEST(DropTailQueue, MaxPacketsSeenTracksHighWater) {
-  DropTailQueue q(1 << 20, 0, 8);
+  DropTailQueue q(units::Bytes{1 << 20}, units::Bytes::zero(), 8);
   for (int i = 0; i < 5; ++i) q.enqueue(data_packet(i, 100));
   for (int i = 0; i < 4; ++i) q.dequeue();
   q.enqueue(data_packet(5, 100));
@@ -106,7 +106,7 @@ TEST(DropTailQueue, MaxPacketsSeenTracksHighWater) {
 }
 
 TEST(DropTailQueue, EmptyReporting) {
-  DropTailQueue q(1000);
+  DropTailQueue q(units::Bytes{1000});
   EXPECT_TRUE(q.empty());
   q.enqueue(data_packet(0, 100));
   EXPECT_FALSE(q.empty());

@@ -50,14 +50,14 @@ class ScopedQueueKind {
 ScenarioResult run_contended(EventQueueKind kind) {
   ScopedQueueKind scoped(kind);
   ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = 11;
-  config.switch_queue_bytes = 1 << 17;  // shallow buffer: force loss
+  config.switch_queue_bytes = units::Bytes{1 << 17};  // shallow buffer: force loss
   Scenario s(config);
   for (const char* cca : {"cubic", "reno", "bbr"}) {
     FlowSpec flow;
     flow.cca = cca;
-    flow.bytes = 40'000'000;
+    flow.bytes = units::Bytes{40'000'000};
     s.add_flow(flow);
   }
   return s.run();
@@ -68,19 +68,19 @@ ScenarioResult run_contended(EventQueueKind kind) {
 ScenarioResult run_weighted_drr(EventQueueKind kind) {
   ScopedQueueKind scoped(kind);
   ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = 23;
   config.use_drr_bottleneck = true;
   Scenario s(config);
   FlowSpec heavy;
   heavy.cca = "cubic";
-  heavy.bytes = 30'000'000;
+  heavy.bytes = units::Bytes{30'000'000};
   heavy.weight = 3.0;
   s.add_flow(heavy);
   FlowSpec light;
   light.cca = "dctcp";
-  light.bytes = 30'000'000;
-  light.rate_limit_bps = 2e9;
+  light.bytes = units::Bytes{30'000'000};
+  light.rate_limit = units::BitRate::bps(2e9);
   s.add_flow(light);
   return s.run();
 }
@@ -90,8 +90,8 @@ ScenarioResult run_weighted_drr(EventQueueKind kind) {
 /// order, hence identical arithmetic, hence identical bits — not "close".
 void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
   EXPECT_EQ(a.duration_sec, b.duration_sec);
-  EXPECT_EQ(a.total_joules, b.total_joules);
-  EXPECT_EQ(a.avg_watts, b.avg_watts);
+  EXPECT_EQ(a.total_energy.joules(), b.total_energy.joules());
+  EXPECT_EQ(a.avg_power.watts(), b.avg_power.watts());
   EXPECT_EQ(a.all_completed, b.all_completed);
   EXPECT_EQ(a.stop_reason, b.stop_reason);
   EXPECT_EQ(a.bottleneck.enqueued, b.bottleneck.enqueued);
@@ -100,7 +100,7 @@ void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
   EXPECT_EQ(a.rx_backlog.dropped, b.rx_backlog.dropped);
   ASSERT_EQ(a.hosts.size(), b.hosts.size());
   for (std::size_t i = 0; i < a.hosts.size(); ++i) {
-    EXPECT_EQ(a.hosts[i].joules, b.hosts[i].joules);
+    EXPECT_EQ(a.hosts[i].energy.joules(), b.hosts[i].energy.joules());
   }
   ASSERT_EQ(a.flows.size(), b.flows.size());
   for (std::size_t i = 0; i < a.flows.size(); ++i) {
@@ -108,7 +108,7 @@ void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
     EXPECT_EQ(a.flows[i].delivered_bytes, b.flows[i].delivered_bytes);
     EXPECT_EQ(a.flows[i].fct_sec, b.flows[i].fct_sec);
     EXPECT_EQ(a.flows[i].finished_at_sec, b.flows[i].finished_at_sec);
-    EXPECT_EQ(a.flows[i].avg_gbps, b.flows[i].avg_gbps);
+    EXPECT_EQ(a.flows[i].avg_rate.gbps(), b.flows[i].avg_rate.gbps());
     EXPECT_EQ(a.flows[i].retransmissions, b.flows[i].retransmissions);
     EXPECT_EQ(a.flows[i].timeouts, b.flows[i].timeouts);
     EXPECT_EQ(a.flows[i].segments_sent, b.flows[i].segments_sent);

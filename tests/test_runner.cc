@@ -7,11 +7,11 @@ namespace {
 
 std::unique_ptr<Scenario> build(std::uint64_t seed) {
   ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = seed;
   auto scenario = std::make_unique<Scenario>(config);
   FlowSpec flow;
-  flow.bytes = 62'500'000;  // 0.5 Gbit, keeps the test fast
+  flow.bytes = units::Bytes{62'500'000};  // 0.5 Gbit, keeps the test fast
   scenario->add_flow(flow);
   return scenario;
 }

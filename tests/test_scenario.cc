@@ -16,7 +16,7 @@ using sim::SimTime;
 
 ScenarioConfig small_config(std::uint64_t seed = 1) {
   ScenarioConfig config;
-  config.tcp.mtu_bytes = 9000;
+  config.tcp.mtu_bytes = units::Bytes{9000};
   config.seed = seed;
   return config;
 }
@@ -27,14 +27,14 @@ TEST(Scenario, SingleFlowCompletesNearLineRate) {
   Scenario s(small_config());
   FlowSpec flow;
   flow.cca = "cubic";
-  flow.bytes = kSmallTransfer;
+  flow.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
-  EXPECT_GT(r.flows[0].avg_gbps, 8.0);
-  EXPECT_GT(r.total_joules, 0.0);
-  EXPECT_GT(r.avg_watts, 21.49);  // above idle
-  EXPECT_LT(r.avg_watts, 45.0);
+  EXPECT_GT(r.flows[0].avg_rate.gbps(), 8.0);
+  EXPECT_GT(r.total_energy.joules(), 0.0);
+  EXPECT_GT(r.avg_power.watts(), 21.49);  // above idle
+  EXPECT_LT(r.avg_power.watts(), 45.0);
 }
 
 TEST(Scenario, RunWithoutFlowsThrows) {
@@ -46,13 +46,13 @@ TEST(Scenario, DeterministicForSameSeed) {
   auto run_once = [] {
     Scenario s(small_config(7));
     FlowSpec flow;
-    flow.bytes = kSmallTransfer;
+    flow.bytes = units::Bytes{kSmallTransfer};
     s.add_flow(flow);
     return s.run();
   };
   const auto a = run_once();
   const auto b = run_once();
-  EXPECT_DOUBLE_EQ(a.total_joules, b.total_joules);
+  EXPECT_DOUBLE_EQ(a.total_energy.joules(), b.total_energy.joules());
   EXPECT_DOUBLE_EQ(a.duration_sec, b.duration_sec);
   EXPECT_EQ(a.flows[0].retransmissions, b.flows[0].retransmissions);
 }
@@ -61,25 +61,25 @@ TEST(Scenario, DifferentSeedsJitterResults) {
   auto run_once = [](std::uint64_t seed) {
     Scenario s(small_config(seed));
     FlowSpec flow;
-    flow.bytes = kSmallTransfer;
+    flow.bytes = units::Bytes{kSmallTransfer};
     s.add_flow(flow);
     return s.run();
   };
   const auto a = run_once(1);
   const auto b = run_once(2);
-  EXPECT_NE(a.total_joules, b.total_joules);
+  EXPECT_NE(a.total_energy.joules(), b.total_energy.joules());
   // ... but only slightly (the jitter is 2%).
-  EXPECT_NEAR(a.total_joules, b.total_joules, 0.1 * a.total_joules);
+  EXPECT_NEAR(a.total_energy.joules(), b.total_energy.joules(), 0.1 * a.total_energy.joules());
 }
 
 TEST(Scenario, EnergyEqualsPowerTimesTime) {
   Scenario s(small_config());
   FlowSpec flow;
-  flow.bytes = kSmallTransfer;
+  flow.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(flow);
   const auto r = s.run();
-  EXPECT_NEAR(r.total_joules, r.avg_watts * r.duration_sec,
-              0.01 * r.total_joules);
+  EXPECT_NEAR(r.total_energy.joules(), r.avg_power.watts() * r.duration_sec,
+              0.01 * r.total_energy.joules());
 }
 
 TEST(Scenario, StressCoresRaisePower) {
@@ -88,9 +88,9 @@ TEST(Scenario, StressCoresRaisePower) {
     config.stress_cores = cores;
     Scenario s(config);
     FlowSpec flow;
-    flow.bytes = kSmallTransfer;
+    flow.bytes = units::Bytes{kSmallTransfer};
     s.add_flow(flow);
-    return s.run().avg_watts;
+    return s.run().avg_power.watts();
   };
   const double idle = run_with_load(0);
   const double loaded = run_with_load(8);
@@ -105,13 +105,13 @@ TEST(Scenario, TwoFlowsShareFairly) {
   Scenario s(small_config());
   FlowSpec flow;
   flow.cca = "cubic";
-  flow.bytes = kSmallTransfer;
+  flow.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(flow);
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
-  const std::vector<double> rates = {r.flows[0].avg_gbps,
-                                     r.flows[1].avg_gbps};
+  const std::vector<double> rates = {r.flows[0].avg_rate.gbps(),
+                                     r.flows[1].avg_rate.gbps()};
   EXPECT_GT(stats::jain_index(rates), 0.85);
   // Two hosts metered.
   EXPECT_EQ(r.hosts.size(), 2u);
@@ -120,22 +120,22 @@ TEST(Scenario, TwoFlowsShareFairly) {
 TEST(Scenario, RateLimitIsRespected) {
   Scenario s(small_config());
   FlowSpec flow;
-  flow.bytes = kSmallTransfer;
-  flow.rate_limit_bps = 3e9;
+  flow.bytes = units::Bytes{kSmallTransfer};
+  flow.rate_limit = units::BitRate::bps(3e9);
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
-  EXPECT_NEAR(r.flows[0].avg_gbps, 3.0, 0.2);
+  EXPECT_NEAR(r.flows[0].avg_rate.gbps(), 3.0, 0.2);
 }
 
 TEST(Scenario, WorkConservingSecondFlowTakesRemainder) {
   Scenario s(small_config());
   FlowSpec limited;
-  limited.bytes = kSmallTransfer;
-  limited.rate_limit_bps = 6e9;
+  limited.bytes = units::Bytes{kSmallTransfer};
+  limited.rate_limit = units::BitRate::bps(6e9);
   s.add_flow(limited);
   FlowSpec greedy;
-  greedy.bytes = kSmallTransfer;
+  greedy.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(greedy);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
@@ -143,9 +143,9 @@ TEST(Scenario, WorkConservingSecondFlowTakesRemainder) {
   // whole link; its average must exceed the leftover share. The limited
   // flow concedes some throughput to queue contention with the greedy one,
   // so its achieved rate sits somewhat below the 6 Gb/s app offer.
-  EXPECT_GT(r.flows[1].avg_gbps, 3.0);
-  EXPECT_GT(r.flows[0].avg_gbps, 4.5);
-  EXPECT_LT(r.flows[0].avg_gbps, 6.3);
+  EXPECT_GT(r.flows[1].avg_rate.gbps(), 3.0);
+  EXPECT_GT(r.flows[0].avg_rate.gbps(), 4.5);
+  EXPECT_LT(r.flows[0].avg_rate.gbps(), 6.3);
 }
 
 // Regression for a family of leaks found by LeakSanitizer: the
@@ -160,12 +160,12 @@ TEST(Scenario, SelfReschedulingClosuresDoNotSelfOwn) {
   config.trace_interval = SimTime::milliseconds(5);
   Scenario s(config);
   FlowSpec flow;
-  flow.bytes = kSmallTransfer;
-  flow.rate_limit_bps = 3e9;
+  flow.bytes = units::Bytes{kSmallTransfer};
+  flow.rate_limit = units::BitRate::bps(3e9);
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
-  EXPECT_NEAR(r.flows[0].avg_gbps, 3.0, 0.2);
+  EXPECT_NEAR(r.flows[0].avg_rate.gbps(), 3.0, 0.2);
   EXPECT_FALSE(r.flows[0].series.empty());
   EXPECT_FALSE(r.flows[0].trace.empty());
 }
@@ -173,20 +173,20 @@ TEST(Scenario, SelfReschedulingClosuresDoNotSelfOwn) {
 TEST(Scenario, StartAfterFlowSerializes) {
   Scenario s(small_config());
   FlowSpec first;
-  first.bytes = kSmallTransfer;
+  first.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(first);
   FlowSpec second;
-  second.bytes = kSmallTransfer;
+  second.bytes = units::Bytes{kSmallTransfer};
   second.start_after_flow = 0;
   s.add_flow(second);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
   // Serialized flows both run at ~line rate; total duration is ~2x one
   // transfer.
-  EXPECT_GT(r.flows[0].avg_gbps, 8.0);
-  EXPECT_GT(r.flows[1].avg_gbps, 8.0);
+  EXPECT_GT(r.flows[0].avg_rate.gbps(), 8.0);
+  EXPECT_GT(r.flows[1].avg_rate.gbps(), 8.0);
   EXPECT_NEAR(r.duration_sec,
-              2.0 * kSmallTransfer * 8.0 / (r.flows[0].avg_gbps * 1e9), 0.1);
+              2.0 * kSmallTransfer * 8.0 / (r.flows[0].avg_rate.gbps() * 1e9), 0.1);
 }
 
 TEST(Scenario, ThroughputSeriesSumsToBytes) {
@@ -194,7 +194,7 @@ TEST(Scenario, ThroughputSeriesSumsToBytes) {
   config.report_interval = SimTime::milliseconds(10);
   Scenario s(config);
   FlowSpec flow;
-  flow.bytes = kSmallTransfer;
+  flow.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
@@ -213,7 +213,7 @@ TEST(Scenario, PowerSeriesRecordedOnRequest) {
   Scenario s(small_config());
   s.set_record_power(true);
   FlowSpec flow;
-  flow.bytes = kSmallTransfer;
+  flow.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_FALSE(r.power_series.empty());
@@ -227,7 +227,7 @@ TEST(Scenario, DctcpGetsEcnMarksInsteadOfDrops) {
   Scenario s(small_config());
   FlowSpec flow;
   flow.cca = "dctcp";
-  flow.bytes = kSmallTransfer;
+  flow.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
@@ -240,7 +240,7 @@ TEST(Scenario, DeadlineTerminatesStalledRun) {
   config.deadline = SimTime::seconds(1.0);
   Scenario s(config);
   FlowSpec flow;
-  flow.bytes = 1'000'000'000'000;  // 1 TB: cannot finish in 1 s
+  flow.bytes = units::Bytes{1'000'000'000'000};  // 1 TB: cannot finish in 1 s
   s.add_flow(flow);
   const auto r = s.run();
   EXPECT_FALSE(r.all_completed);
@@ -252,10 +252,10 @@ TEST(Scenario, MtuSweepMonotoneFct) {
   double prev_fct = 1e9;
   for (int mtu : {1500, 3000, 6000, 9000}) {
     auto config = small_config();
-    config.tcp.mtu_bytes = mtu;
+    config.tcp.mtu_bytes = units::Bytes{mtu};
     Scenario s(config);
     FlowSpec flow;
-    flow.bytes = kSmallTransfer;
+    flow.bytes = units::Bytes{kSmallTransfer};
     s.add_flow(flow);
     const auto r = s.run();
     ASSERT_TRUE(r.all_completed) << mtu;
@@ -270,7 +270,7 @@ TEST(Scenario, TracerSamplesTransportState) {
   Scenario s(config);
   FlowSpec flow;
   flow.cca = "cubic";
-  flow.bytes = kSmallTransfer;
+  flow.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
@@ -292,7 +292,7 @@ TEST(Scenario, TracerSamplesAtConfiguredCadence) {
   config.trace_interval = SimTime::milliseconds(5);
   Scenario s(config);
   FlowSpec flow;
-  flow.bytes = kSmallTransfer;
+  flow.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
@@ -313,7 +313,7 @@ TEST(Scenario, TracerTimestampsStrictlyIncrease) {
   config.trace_interval = SimTime::milliseconds(2);
   Scenario s(config);
   FlowSpec flow;
-  flow.bytes = kSmallTransfer;
+  flow.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
@@ -331,10 +331,10 @@ TEST(Scenario, TracerStopsSamplingCompletedFlows) {
   config.trace_interval = SimTime::milliseconds(2);
   Scenario s(config);
   FlowSpec big;
-  big.bytes = kSmallTransfer;
+  big.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(big);
   FlowSpec small;
-  small.bytes = kSmallTransfer / 10;
+  small.bytes = units::Bytes{kSmallTransfer / 10};
   small.sender_host = 1;
   s.add_flow(small);
   const auto r = s.run();
@@ -352,7 +352,7 @@ TEST(Scenario, TracerStopsSamplingCompletedFlows) {
 TEST(Scenario, NoTraceByDefault) {
   Scenario s(small_config());
   FlowSpec flow;
-  flow.bytes = kSmallTransfer / 10;
+  flow.bytes = units::Bytes{kSmallTransfer / 10};
   s.add_flow(flow);
   const auto r = s.run();
   EXPECT_TRUE(r.flows[0].trace.empty());
@@ -364,7 +364,7 @@ TEST(Scenario, ReceiverMeteringOptIn) {
   config.meter_receiver = true;
   Scenario s(config);
   FlowSpec flow;
-  flow.bytes = kSmallTransfer;
+  flow.bytes = units::Bytes{kSmallTransfer};
   s.add_flow(flow);
   const auto r = s.run();
   ASSERT_TRUE(r.all_completed);
@@ -374,8 +374,8 @@ TEST(Scenario, ReceiverMeteringOptIn) {
   // The receiver is busier per byte than the sender at this MTU's packet
   // rate but both draw at least idle power.
   for (const auto& host : r.hosts) {
-    EXPECT_GT(host.avg_watts, 21.0) << host.host;
-    EXPECT_LT(host.avg_watts, 45.0) << host.host;
+    EXPECT_GT(host.avg_power.watts(), 21.0) << host.host;
+    EXPECT_LT(host.avg_power.watts(), 45.0) << host.host;
   }
 }
 
@@ -385,9 +385,9 @@ TEST(Scenario, ReceiverMeteringRaisesTotalEnergy) {
     config.meter_receiver = meter_receiver;
     Scenario s(config);
     FlowSpec flow;
-    flow.bytes = kSmallTransfer;
+    flow.bytes = units::Bytes{kSmallTransfer};
     s.add_flow(flow);
-    return s.run().total_joules;
+    return s.run().total_energy.joules();
   };
   const double sender_only = run_with(false);
   const double both = run_with(true);
@@ -399,7 +399,7 @@ TEST(Scenario, ReceiverMeteringRaisesTotalEnergy) {
 TEST(Scenario, ColocatedFlowsShareOneHost) {
   Scenario s(small_config());
   FlowSpec flow;
-  flow.bytes = kSmallTransfer / 2;
+  flow.bytes = units::Bytes{kSmallTransfer / 2};
   flow.sender_host = 0;
   s.add_flow(flow);
   s.add_flow(flow);  // same host

@@ -22,7 +22,7 @@ Packet to_host(HostId dst, std::int64_t seq) {
   Packet p;
   p.dst = dst;
   p.seq = seq;
-  p.size_bytes = 1500;
+  p.size_bytes = units::Bytes{1500};
   return p;
 }
 
@@ -83,7 +83,7 @@ TEST(BondedNic, AggregateBandwidthIsSummed) {
   Simulator sim;
   Collector sink;
   PortConfig cfg;
-  cfg.rate_bps = 10e9;
+  cfg.rate = units::BitRate::bps(10e9);
   cfg.propagation = SimTime::zero();
   BondedNic nic(sim, "nic", 2, cfg, &sink);
   // 800 x 1500 B back to back = 9.6 Mbit; at 20 Gb/s aggregate ~480 us
@@ -118,11 +118,11 @@ TEST(BondedNic, TransmitCallbackCoversAllPorts) {
   PortConfig cfg;
   BondedNic nic(sim, "nic", 2, cfg, &sink);
   std::int64_t bytes = 0;
-  nic.set_on_transmit([&](std::int64_t b) { bytes += b; });
+  nic.set_on_transmit([&](units::Bytes b) { bytes += b.count(); });
   for (int i = 0; i < 4; ++i) nic.handle(to_host(0, i));
   sim.run();
   EXPECT_EQ(bytes, 4 * 1500);
-  EXPECT_EQ(nic.bytes_sent(), 4 * 1500);
+  EXPECT_EQ(nic.bytes_sent().count(), 4 * 1500);
 }
 
 }  // namespace

@@ -17,7 +17,7 @@ class Sink : public net::PacketHandler {
 
 net::Packet pkt(std::int32_t size) {
   net::Packet p;
-  p.size_bytes = size;
+  p.size_bytes = units::Bytes{size};
   return p;
 }
 
@@ -29,18 +29,18 @@ TEST(SwitchPower, PortWattsPerProfile) {
   const auto idle_short = SimTime::microseconds(10);
 
   SwitchEnergyMeter constant(sim, config(), PortPowerProfile::kConstant);
-  EXPECT_DOUBLE_EQ(constant.port_watts(0.0, idle_long), 2.5);
-  EXPECT_DOUBLE_EQ(constant.port_watts(1.0, idle_short), 2.5);
+  EXPECT_DOUBLE_EQ(constant.port_power(0.0, idle_long).watts(), 2.5);
+  EXPECT_DOUBLE_EQ(constant.port_power(1.0, idle_short).watts(), 2.5);
 
   SwitchEnergyMeter adaptive(sim, config(), PortPowerProfile::kRateAdaptive);
-  EXPECT_DOUBLE_EQ(adaptive.port_watts(0.0, idle_long), 0.5);   // low mode
-  EXPECT_DOUBLE_EQ(adaptive.port_watts(0.05, idle_short), 0.5); // low mode
-  EXPECT_DOUBLE_EQ(adaptive.port_watts(0.5, idle_short), 2.5);  // full mode
+  EXPECT_DOUBLE_EQ(adaptive.port_power(0.0, idle_long).watts(), 0.5);   // low mode
+  EXPECT_DOUBLE_EQ(adaptive.port_power(0.05, idle_short).watts(), 0.5); // low mode
+  EXPECT_DOUBLE_EQ(adaptive.port_power(0.5, idle_short).watts(), 2.5);  // full mode
 
   SwitchEnergyMeter sleepy(sim, config(), PortPowerProfile::kSleepCapable);
-  EXPECT_DOUBLE_EQ(sleepy.port_watts(0.0, idle_long), 0.1);    // asleep
-  EXPECT_DOUBLE_EQ(sleepy.port_watts(0.0, idle_short), 0.5);   // not yet
-  EXPECT_DOUBLE_EQ(sleepy.port_watts(0.5, idle_short), 2.5);
+  EXPECT_DOUBLE_EQ(sleepy.port_power(0.0, idle_long).watts(), 0.1);    // asleep
+  EXPECT_DOUBLE_EQ(sleepy.port_power(0.0, idle_short).watts(), 0.5);   // not yet
+  EXPECT_DOUBLE_EQ(sleepy.port_power(0.5, idle_short).watts(), 2.5);
 }
 
 TEST(SwitchPower, IdleSwitchDrawsChassisPlusPortFloor) {
@@ -54,14 +54,14 @@ TEST(SwitchPower, IdleSwitchDrawsChassisPlusPortFloor) {
   sim.run_until(SimTime::seconds(1.0));
   meter.stop();
   // Chassis 150 W + a sleeping port 0.1 W (after the first ms at low mode).
-  EXPECT_NEAR(meter.average_watts(), 150.1, 0.05);
+  EXPECT_NEAR(meter.average_power().watts(), 150.1, 0.05);
 }
 
 TEST(SwitchPower, BusyPortDrawsFullMode) {
   Simulator sim;
   Sink sink;
   net::PortConfig port_config;
-  port_config.rate_bps = 10e9;
+  port_config.rate = units::BitRate::bps(10e9);
   port_config.propagation = SimTime::zero();
   net::QueuedPort port(sim, "p", port_config, &sink);
   SwitchEnergyMeter meter(sim, config(), PortPowerProfile::kSleepCapable);
@@ -74,7 +74,7 @@ TEST(SwitchPower, BusyPortDrawsFullMode) {
   }
   sim.run_until(SimTime::milliseconds(240));
   meter.stop();
-  EXPECT_NEAR(meter.average_watts(), 150.0 + 2.5, 0.1);
+  EXPECT_NEAR(meter.average_power().watts(), 150.0 + 2.5, 0.1);
 }
 
 TEST(SwitchPower, ConstantProfileIsLoadInvariant) {
@@ -97,7 +97,7 @@ TEST(SwitchPower, ConstantProfileIsLoadInvariant) {
     }
     sim.run_until(SimTime::milliseconds(10));
     meter.stop();
-    EXPECT_NEAR(meter.average_watts(), 152.5, 0.01) << busy;
+    EXPECT_NEAR(meter.average_power().watts(), 152.5, 0.01) << busy;
   }
 }
 
@@ -118,7 +118,7 @@ TEST(SwitchPower, SleepRequiresSustainedIdle) {
   }
   sim.run_until(SimTime::milliseconds(20));
   meter.stop();
-  EXPECT_GT(meter.average_watts(), 150.4);  // never fell to 0.1 W floor
+  EXPECT_GT(meter.average_power().watts(), 150.4);  // never fell to 0.1 W floor
 }
 
 }  // namespace

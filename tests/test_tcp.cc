@@ -49,7 +49,7 @@ struct Harness {
   }
 
   void transfer(std::int64_t bytes) {
-    sender->add_app_data(bytes);
+    sender->add_app_data(units::Bytes{bytes});
     sender->mark_app_eof();
     sender->start();
     sim.run_until(SimTime::seconds(30.0));
@@ -84,13 +84,13 @@ TEST(Tcp, SubMssDataStaysQueued) {
   // add_app_data only releases whole segments; a sub-MSS remainder waits
   // for more data (like a Nagle-ish sender without a push).
   Harness h;
-  h.sender->add_app_data(1);
+  h.sender->add_app_data(units::Bytes{1});
   h.sender->start();
   h.sim.run_until(SimTime::seconds(1.0));
   EXPECT_FALSE(h.sender->complete());
   EXPECT_EQ(h.sender->snd_nxt(), 0);
   // Topping it up past one MSS releases the segment.
-  h.sender->add_app_data(9000);
+  h.sender->add_app_data(units::Bytes{9000});
   h.sender->mark_app_eof();
   h.sender->start();
   h.sim.run_until(SimTime::seconds(2.0));
@@ -101,7 +101,7 @@ TEST(Tcp, SubMssDataStaysQueued) {
 TEST(Tcp, NotCompleteWithoutAppEof) {
   // A drained token bucket is not a finished transfer.
   Harness h;
-  h.sender->add_app_data(100'000);
+  h.sender->add_app_data(units::Bytes{100'000});
   h.sender->start();
   h.sim.run_until(SimTime::seconds(1.0));
   EXPECT_FALSE(h.sender->complete());
@@ -121,8 +121,8 @@ TEST(Tcp, RecoversFromTailDropsWithoutSpuriousRetx) {
   // A shallow bottleneck queue forces drops; every retransmission should
   // correspond to a genuinely dropped packet (no spurious retx).
   net::PortConfig narrow;
-  narrow.rate_bps = 1e9;
-  narrow.queue_capacity_bytes = 30'000;
+  narrow.rate = units::BitRate::bps(1e9);
+  narrow.queue_capacity_bytes = units::Bytes{30'000};
   Harness h("reno", narrow);
   h.transfer(5'000'000);
   EXPECT_TRUE(h.sender->complete());
@@ -137,8 +137,8 @@ TEST(Tcp, RecoversFromTailDropsWithoutSpuriousRetx) {
 
 TEST(Tcp, SackRecoveryAvoidsRtoOnIsolatedLoss) {
   net::PortConfig narrow;
-  narrow.rate_bps = 1e9;
-  narrow.queue_capacity_bytes = 40'000;
+  narrow.rate = units::BitRate::bps(1e9);
+  narrow.queue_capacity_bytes = units::Bytes{40'000};
   Harness h("cubic", narrow);
   h.transfer(3'000'000);
   EXPECT_TRUE(h.sender->complete());
@@ -148,8 +148,8 @@ TEST(Tcp, SackRecoveryAvoidsRtoOnIsolatedLoss) {
 
 TEST(Tcp, DuplicateDataIsAckedNotDelivered) {
   net::PortConfig narrow;
-  narrow.rate_bps = 1e9;
-  narrow.queue_capacity_bytes = 30'000;
+  narrow.rate = units::BitRate::bps(1e9);
+  narrow.queue_capacity_bytes = units::Bytes{30'000};
   Harness h("reno", narrow);
   h.transfer(5'000'000);
   // Receiver counted some duplicates only if spurious retx occurred; either
@@ -172,7 +172,7 @@ TEST(Tcp, RtoFiresOnTotalBlackhole) {
   cca_config.mss_bytes = config.mss_bytes();
   TcpSender sender(sim, 1, 1, 2, config, cca::make_cca("reno", cca_config),
                    &core, &hole);
-  sender.add_app_data(100'000);
+  sender.add_app_data(units::Bytes{100'000});
   sender.start();
   sim.run_until(SimTime::seconds(5.0));
   EXPECT_FALSE(sender.complete());
@@ -183,8 +183,8 @@ TEST(Tcp, TlpConvertsTailLossIntoFastRecovery) {
   // Drop exactly the last packets of the transfer by shrinking the queue
   // late: easier variant — a queue sized so the final burst overflows.
   net::PortConfig narrow;
-  narrow.rate_bps = 500e6;
-  narrow.queue_capacity_bytes = 20'000;
+  narrow.rate = units::BitRate::bps(500e6);
+  narrow.queue_capacity_bytes = units::Bytes{20'000};
   Harness h("reno", narrow);
   h.transfer(400'000);
   EXPECT_TRUE(h.sender->complete());
@@ -194,8 +194,8 @@ TEST(Tcp, TlpConvertsTailLossIntoFastRecovery) {
 
 TEST(Tcp, EcnEchoReachesSender) {
   net::PortConfig marking;
-  marking.rate_bps = 1e9;
-  marking.ecn_threshold_bytes = 20'000;
+  marking.rate = units::BitRate::bps(1e9);
+  marking.ecn_threshold_bytes = units::Bytes{20'000};
   Harness h("dctcp", marking);
   h.transfer(5'000'000);
   EXPECT_TRUE(h.sender->complete());
@@ -207,8 +207,8 @@ TEST(Tcp, EcnEchoReachesSender) {
 
 TEST(Tcp, NonEcnFlowNeverMarked) {
   net::PortConfig marking;
-  marking.rate_bps = 1e9;
-  marking.ecn_threshold_bytes = 20'000;
+  marking.rate = units::BitRate::bps(1e9);
+  marking.ecn_threshold_bytes = units::Bytes{20'000};
   Harness h("reno", marking);
   h.transfer(2'000'000);
   EXPECT_EQ(h.forward->queue_stats().ecn_marked, 0u);
@@ -219,7 +219,7 @@ TEST(Tcp, PacedSenderSmoothsBursts) {
   // BBR paces: the forward queue should stay shallow compared to a
   // window-dumping sender.
   net::PortConfig cfg;
-  cfg.rate_bps = 10e9;
+  cfg.rate = units::BitRate::bps(10e9);
   Harness bbr_h("bbr", cfg);
   bbr_h.transfer(20'000'000);
   Harness reno_h("reno", cfg);
@@ -235,7 +235,7 @@ TEST(Tcp, InflightBoundedByLargestWindow) {
   // multiplicative decrease, but it can never exceed the largest window
   // granted so far (plus the one TLP probe).
   Harness h("reno");
-  h.sender->add_app_data(10'000'000);
+  h.sender->add_app_data(units::Bytes{10'000'000});
   h.sender->start();
   std::int64_t max_cwnd = 0;
   for (int t = 1; t < 200; ++t) {
@@ -259,7 +259,7 @@ TEST(Tcp, StatsCountSegmentsConsistently) {
 
 TEST(Tcp, AppLimitedFlowIdlesBetweenGrants) {
   Harness h;
-  h.sender->add_app_data(50'000);
+  h.sender->add_app_data(units::Bytes{50'000});
   h.sender->start();
   h.sim.run_until(SimTime::seconds(1.0));
   const auto sent_before = h.sender->stats().segments_sent;
@@ -267,7 +267,7 @@ TEST(Tcp, AppLimitedFlowIdlesBetweenGrants) {
   EXPECT_FALSE(h.sender->complete());
   EXPECT_GT(sent_before, 0);
   // Granting more data resumes the flow.
-  h.sender->add_app_data(50'000);
+  h.sender->add_app_data(units::Bytes{50'000});
   h.sender->mark_app_eof();
   h.sender->start();
   h.sim.run_until(SimTime::seconds(31.0));

@@ -1,0 +1,167 @@
+// Tests for the strongly-typed units layer (src/units/units.h): exactness
+// contracts (BitRate::bps passthrough, int64 byte counters past the double
+// 2^53 cliff), the cross-dimension algebra against the raw arithmetic it
+// replaces, and the literal suffixes. The *negative* half of the contract —
+// expressions that must not compile — lives in tests/compile_fail/.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "units/units.h"
+
+namespace greencc::units {
+namespace {
+
+using namespace greencc::units::literals;
+
+// --- Bytes: 64-bit counter precision (the fleet-scale regression) ---
+
+TEST(Bytes, CounterStaysExactPastDoublePrecisionCliff) {
+  // 2^53 is the largest integer a double can count by ones. A fleet sweep's
+  // aggregate tx counter crosses it (~9 PB); the old `double tx_bytes`
+  // IntRecord field silently stopped incrementing there.
+  constexpr std::int64_t cliff = std::int64_t{1} << 53;
+  Bytes counter{cliff};
+  counter += Bytes{1};
+  EXPECT_EQ(counter.count(), cliff + 1);  // int64: exact
+  // The double it replaced loses the increment at the same point.
+  const double as_double = static_cast<double>(cliff) + 1.0;
+  EXPECT_EQ(static_cast<std::int64_t>(as_double), cliff);
+
+  // And MTU-sized increments keep full precision well past the cliff.
+  counter += Bytes{1500};
+  EXPECT_EQ(counter.count(), cliff + 1501);
+}
+
+TEST(Bytes, Arithmetic) {
+  EXPECT_EQ((Bytes{1500} + Bytes{40}).count(), 1540);
+  EXPECT_EQ((Bytes{1500} - Bytes{40}).count(), 1460);
+  EXPECT_EQ((Bytes{1500} * 3).count(), 4500);
+  EXPECT_EQ((3 * Bytes{1500}).count(), 4500);
+  EXPECT_EQ((Bytes{1500} / 4).count(), 375);  // truncates like raw int64
+  EXPECT_LT(Bytes{100}, Bytes{200});
+  EXPECT_EQ(Bytes::zero().count(), 0);
+}
+
+TEST(BytesBits, ExplicitFactorOfEight) {
+  EXPECT_EQ(Bytes{1500}.bits().count(), 12000);
+  EXPECT_EQ(Bits{12000}.whole_bytes().count(), 1500);
+  EXPECT_EQ(Bits{7}.whole_bytes().count(), 0);  // truncating, documented
+  static_assert(kBitsPerByte == 8);
+}
+
+// --- BitRate: representation-passthrough exactness ---
+
+TEST(BitRate, BpsRoundTripsExactly) {
+  // The conversion policy rests on this: wrapping an existing bps value and
+  // reading it back is a bit-for-bit no-op, for every double.
+  for (double v : {0.0, 1.0, 9.6e9, 12345.6789, 2.5e10, 1e-3}) {
+    EXPECT_EQ(BitRate::bps(v).bps(), v);
+  }
+}
+
+TEST(BitRate, GbpsAccessorMatchesRawDivision) {
+  const double raw = 9'600'000'000.0;
+  EXPECT_EQ(BitRate::bps(raw).gbps(), raw / 1e9);
+  EXPECT_EQ(BitRate::gbps(10.0).bps(), 10.0 * 1e9);
+}
+
+TEST(BitRate, ZeroIsTheUnlimitedSentinel) {
+  EXPECT_TRUE(BitRate::zero().is_zero());
+  EXPECT_TRUE(BitRate{}.is_zero());
+  EXPECT_FALSE(BitRate::bps(1.0).is_zero());
+}
+
+TEST(BitRate, DimensionlessScalingAndRatio) {
+  EXPECT_EQ((BitRate::gbps(10.0) * 0.5).bps(), 5e9);
+  EXPECT_EQ((BitRate::gbps(10.0) / 2.0).bps(), 5e9);
+  EXPECT_EQ(BitRate::gbps(5.0) / BitRate::gbps(10.0), 0.5);
+}
+
+// --- cross-dimension algebra: must equal the raw arithmetic it replaced ---
+
+TEST(Algebra, SerializationDelayMatchesSimHelper) {
+  const Bytes b{1500};
+  const BitRate r = BitRate::gbps(10.0);
+  EXPECT_EQ((b / r).ns(), sim::serialization_delay(1500, 10e9).ns());
+}
+
+TEST(Algebra, AverageRateMatchesRawExpression) {
+  const Bytes b{50'000'000};
+  const sim::SimTime t = sim::SimTime::seconds(0.04);
+  const double raw = static_cast<double>(b.count()) * 8.0 * 1e9 /
+                     static_cast<double>(t.ns());
+  EXPECT_EQ((b / t).bps(), raw);
+  EXPECT_TRUE((Bytes{100} / sim::SimTime::zero()).is_zero());
+}
+
+TEST(Algebra, PowerIntegratesOverTime) {
+  const Power p = Power::watts(120.0);
+  const sim::SimTime dt = sim::SimTime::seconds(0.25);
+  EXPECT_EQ((p * dt).joules(), 120.0 * dt.sec());
+  EXPECT_EQ((dt * p).joules(), (p * dt).joules());
+  // And average power recovers the raw division.
+  EXPECT_EQ((Energy::joules(30.0) / dt).watts(), 30.0 / dt.sec());
+}
+
+TEST(Algebra, EnergyIntensity) {
+  const Energy e = Energy::joules(25.0);
+  const Bytes b{1'000'000'000};
+  EXPECT_EQ((e / b).joules_per_byte(), 25.0 / 1e9);
+  EXPECT_EQ((e / b).joules_per_gb(), 25.0);
+  // W / (Gb/s): 80 W at 10 Gb/s = 64 nJ/byte.
+  EXPECT_EQ((Power::watts(80.0) / BitRate::gbps(10.0)).joules_per_byte(),
+            80.0 / (10e9 / 8.0));
+}
+
+// --- energy/power bookkeeping ---
+
+TEST(EnergyPower, AccumulationMatchesRawDoubles) {
+  Energy total;
+  double raw = 0.0;
+  for (int i = 1; i <= 1000; ++i) {
+    const double j = 0.001 * i;
+    total += Energy::joules(j);
+    raw += j;
+  }
+  EXPECT_EQ(total.joules(), raw);  // identical op order -> identical bits
+  EXPECT_EQ(Energy::millijoules(1500.0).joules(), 1.5);
+  EXPECT_EQ(Power::milliwatts(500.0).watts(), 0.5);
+}
+
+// --- literals ---
+
+TEST(Literals, AllSuffixes) {
+  EXPECT_EQ((1500_bytes).count(), 1500);
+  EXPECT_EQ((64_KiB).count(), 65536);
+  EXPECT_EQ((2_MiB).count(), 2 * 1024 * 1024);
+  EXPECT_EQ((96_bits).count(), 96);
+  EXPECT_EQ((10_gbps).bps(), 10e9);
+  EXPECT_EQ((9.6_gbps).bps(), 9.6e9);
+  EXPECT_EQ((100_mbps).bps(), 1e8);
+  EXPECT_EQ((250000_pps).pps(), 250000.0);
+  EXPECT_EQ((2_J).joules(), 2.0);
+  EXPECT_EQ((500_mJ).joules(), 0.5);
+  EXPECT_EQ((50_W).watts(), 50.0);
+  EXPECT_EQ((3500_mW).watts(), 3.5);
+}
+
+// --- the compile-time dimension probes themselves ---
+
+TEST(DimensionProbes, AlgebraShapeIsPinned) {
+  static_assert(can_add<Bytes, Bytes>);
+  static_assert(!can_add<Bytes, Bits>);
+  static_assert(!can_add<Energy, Power>);
+  static_assert(!can_add<BitRate, PacketRate>);
+  static_assert(can_multiply<Power, sim::SimTime>);
+  static_assert(!can_multiply<Energy, sim::SimTime>);
+  static_assert(can_divide<Bytes, BitRate>);
+  static_assert(!can_multiply<Bytes, BitRate>);
+  static_assert(can_divide<Energy, Bytes>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace greencc::units

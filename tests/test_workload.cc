@@ -1,4 +1,5 @@
 #include "app/workload.h"
+#include "units/units.h"
 
 #include <gtest/gtest.h>
 
@@ -16,7 +17,7 @@ TEST(Distributions, FixedSizeIsConstant) {
 
 TEST(Distributions, BoundedParetoStaysInBounds) {
   sim::Rng rng(2);
-  const auto dist = bounded_pareto(1.2, 1'000, 10'000'000);
+  const auto dist = bounded_pareto(1.2, units::Bytes{1'000}, units::Bytes{10'000'000});
   for (int i = 0; i < 10'000; ++i) {
     const auto x = dist->sample(rng);
     ASSERT_GE(x, 1'000);
@@ -26,7 +27,7 @@ TEST(Distributions, BoundedParetoStaysInBounds) {
 
 TEST(Distributions, BoundedParetoSampleMeanMatchesAnalytic) {
   sim::Rng rng(3);
-  const auto dist = bounded_pareto(1.5, 1'000, 1'000'000);
+  const auto dist = bounded_pareto(1.5, units::Bytes{1'000}, units::Bytes{1'000'000});
   double sum = 0.0;
   const int n = 200'000;
   for (int i = 0; i < n; ++i) {
@@ -36,8 +37,8 @@ TEST(Distributions, BoundedParetoSampleMeanMatchesAnalytic) {
 }
 
 TEST(Distributions, BoundedParetoRejectsBadParameters) {
-  EXPECT_THROW(bounded_pareto(0.0, 1, 10), std::invalid_argument);
-  EXPECT_THROW(bounded_pareto(1.2, 10, 10), std::invalid_argument);
+  EXPECT_THROW(bounded_pareto(0.0, units::Bytes{1}, units::Bytes{10}), std::invalid_argument);
+  EXPECT_THROW(bounded_pareto(1.2, units::Bytes{10}, units::Bytes{10}), std::invalid_argument);
 }
 
 TEST(Distributions, EmpiricalCdfInterpolates) {
@@ -112,9 +113,9 @@ TEST(Workload, DeliversApproximatelyOfferedLoad) {
   config.seed = 9;
   const auto r = run_workload(config);
   EXPECT_GT(r.flows_started, 100);
-  EXPECT_NEAR(r.goodput_gbps, 4.0, 0.8);
-  EXPECT_GT(r.total_joules, 0.0);
-  EXPECT_GT(r.joules_per_gb, 0.0);
+  EXPECT_NEAR(r.goodput.gbps(), 4.0, 0.8);
+  EXPECT_GT(r.total_energy.joules(), 0.0);
+  EXPECT_GT(r.energy_intensity.joules_per_gb(), 0.0);
 }
 
 TEST(Workload, SlowdownsAreAtLeastOne) {
@@ -139,7 +140,7 @@ TEST(Workload, HigherLoadAmortizesIdleEnergy) {
     config.load = load;
     config.horizon = sim::SimTime::seconds(1.0);
     config.seed = 21;
-    return run_workload(config).joules_per_gb;
+    return run_workload(config).energy_intensity.joules_per_gb();
   };
   EXPECT_GT(run_at(0.2), run_at(0.7));
 }
@@ -156,14 +157,14 @@ TEST(Workload, BottleneckRateDrivesArrivalsAndIdealFct) {
   config.horizon = sim::SimTime::seconds(1.0);
   config.seed = 9;
   const auto fast = run_workload(config);
-  config.bottleneck_bps = 1e9;
+  config.bottleneck_rate = units::BitRate::bps(1e9);
   const auto slow = run_workload(config);
   EXPECT_GT(slow.flows_started, 10);
   EXPECT_LT(slow.flows_started, fast.flows_started / 5);
-  EXPECT_NEAR(slow.goodput_gbps, 0.4, 0.1);
+  EXPECT_NEAR(slow.goodput.gbps(), 0.4, 0.1);
   EXPECT_GE(slow.mean_slowdown, 1.0);
 
-  config.bottleneck_bps = 0.0;
+  config.bottleneck_rate = units::BitRate::bps(0.0);
   EXPECT_THROW(run_workload(config), std::invalid_argument);
 }
 
@@ -177,7 +178,7 @@ TEST(Workload, DeterministicPerSeed) {
   const auto a = run_workload(config);
   const auto b = run_workload(config);
   EXPECT_EQ(a.flows_started, b.flows_started);
-  EXPECT_DOUBLE_EQ(a.total_joules, b.total_joules);
+  EXPECT_DOUBLE_EQ(a.total_energy.joules(), b.total_energy.joules());
   EXPECT_DOUBLE_EQ(a.p99_slowdown, b.p99_slowdown);
 }
 

@@ -1,0 +1,69 @@
+#!/bin/sh
+# One-stop pre-merge gate: every static and dynamic check the repo defines,
+# in dependency order, with a single summary at the end. Keeps running after
+# a failure so one run reports *all* problems:
+#
+#   1. format        — clang-format via tools/lint/check_format.sh
+#   2. lints         — nondeterminism + unit-suffix + lint-allow ratchet
+#   3. lint fixtures — tools/lint/test_lint_rules.py (rules actually fire)
+#   4. default build — cmake --preset default, build, full ctest
+#   5. audit build   — cmake --preset audit, build, full ctest
+#
+# The sanitizer presets (asan/ubsan/tsan) are heavier and stay separate;
+# see ROADMAP.md for the full release checklist. Usage:
+#
+#   tools/ci/check_all.sh [repo_root]
+#
+# Also registered as the `check_all` ctest under the `ci` CONFIGURATION, so
+# a plain `ctest` run never nests a full build inside itself; CI drivers
+# invoke it explicitly: ctest --test-dir build -C ci -R check_all.
+set -u
+
+repo_root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)}
+cd "$repo_root"
+
+results=""
+overall=0
+
+step() {
+  name=$1
+  shift
+  echo ""
+  echo "=== $name ==="
+  if "$@"; then
+    results="$results
+  PASS  $name"
+  else
+    results="$results
+  FAIL  $name"
+    overall=1
+  fi
+}
+
+build_and_test() {
+  preset=$1
+  cmake --preset "$preset" >/dev/null &&
+    cmake --build --preset "$preset" -j "$(nproc)" &&
+    ctest --test-dir "build$(
+      [ "$preset" = default ] || echo "-$preset"
+    )" --output-on-failure -E '^check_all$'
+}
+
+step "format"        tools/lint/check_format.sh "$repo_root"
+step "lints"         sh -c "
+  python3 tools/lint/nondeterminism_lint.py &&
+  python3 tools/lint/unit_suffix_lint.py &&
+  python3 tools/lint/lint_allow_ratchet.py"
+step "lint-fixtures" python3 tools/lint/test_lint_rules.py
+step "build+test default" build_and_test default
+step "build+test audit"   build_and_test audit
+
+echo ""
+echo "=== check_all summary ==="
+echo "$results"
+if [ "$overall" -eq 0 ]; then
+  echo "check_all: ALL CLEAN"
+else
+  echo "check_all: FAILURES (see above)"
+fi
+exit "$overall"

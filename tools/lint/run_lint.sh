@@ -4,9 +4,14 @@
 #   1. nondeterminism lint  — bans wall-clock, libc rand, unordered-container
 #      iteration and float == (tools/lint/nondeterminism_lint.py). Fails the
 #      build on findings; requires only python3.
-#   2. clang-format check   — via check_format.sh; skipped when clang-format
+#   2. unit-suffix lint     — bans fresh raw double/int declarations whose
+#      names claim a unit (_bps, _bytes, _joules, ...) outside src/units/
+#      (tools/lint/unit_suffix_lint.py): use the units:: type instead.
+#   3. lint-allow ratchet   — the per-rule budget of lint-allow escape
+#      comments (tools/lint/lint_allow_budget.txt) only goes down.
+#   4. clang-format check   — via check_format.sh; skipped when clang-format
 #      is not installed.
-#   3. clang-tidy           — project .clang-tidy over src/, using the
+#   5. clang-tidy           — project .clang-tidy over src/, using the
 #      compile_commands.json exported by the default preset; skipped when
 #      clang-tidy (or the compilation database) is missing.
 #
@@ -27,8 +32,12 @@ status=0
 if command -v python3 >/dev/null 2>&1; then
   echo "== nondeterminism lint =="
   python3 "$script_dir/nondeterminism_lint.py" || status=1
+  echo "== unit-suffix lint =="
+  python3 "$script_dir/unit_suffix_lint.py" || status=1
+  echo "== lint-allow ratchet =="
+  python3 "$script_dir/lint_allow_ratchet.py" || status=1
 else
-  echo "run_lint: python3 not found - skipping nondeterminism lint"
+  echo "run_lint: python3 not found - skipping python lints"
 fi
 
 echo "== format check =="

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Unit-suffix lint for the greencc tree.
+
+src/units/ provides strongly-typed quantities (units::Bytes, units::BitRate,
+units::Energy, units::Power, ...). Once a quantity is typed, the compiler
+proves its dimension; a raw `double rate_bps` re-opens the bits-vs-bytes /
+J-vs-W hole the units layer closed. This lint bans *fresh* raw arithmetic
+declarations whose names claim a unit:
+
+  unit-suffix   a declaration of double/float/int-family type whose variable
+                name ends in _bps, _bytes, _bits, _joules, _watts, _gbps,
+                _pps or _seconds anywhere outside src/units/. Declare the
+                variable with the matching units:: type instead.
+
+Names that are *ratios* of units (containing `_per_`, e.g. the calibration
+fit coefficients `util_per_gbps`) are exempt: a W-per-Gb/s slope is a model
+parameter, not a quantity the units layer models. Private members with a
+trailing underscore (`rate_bps_`) do not end in a unit suffix and are
+likewise not matched — typed interfaces with raw internal representations
+are the intended pattern for hot-path code.
+
+Deliberate raw sites (journal wire fields, wall-clock profiling) are
+suppressed the same way as the nondeterminism lint, and the suppression
+documents why:
+
+    double rate_bps = 0.0;  // lint-allow: unit-suffix (journal wire field)
+
+Exit status: 0 when clean, 1 with one "file:line: [unit-suffix] ..." per
+finding. Stdlib only; no third-party dependencies.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOTS = ("src", "tests", "bench", "examples")
+EXEMPT_PREFIXES = ("src/units",)
+SUFFIXES = (".cc", ".h", ".cpp")
+ALLOW = "lint-allow:"
+RULE = "unit-suffix"
+
+# Raw arithmetic types a unit-named variable must not be declared with.
+_RAW_TYPE = (
+    r"(?:double|float"
+    r"|(?:std::)?u?int(?:8|16|32|64)?_t"
+    r"|(?:std::)?size_t"
+    r"|(?:unsigned\s+)?(?:long\s+long|long|int|short)"
+    r")"
+)
+_UNIT_SUFFIX = r"(?:bps|bytes|bits|joules|watts|gbps|pps|seconds)"
+
+# A declaration: optional qualifiers, a raw type, then a unit-suffixed name
+# that is not a function (no `(` after) and not a member with a trailing
+# underscore. `_per_` names are ratio coefficients and exempt by design.
+DECL = re.compile(
+    r"(?:^\s*|[;{(,]\s*|\breturn\s+)"
+    r"(?:(?:const|constexpr|static|inline|mutable|volatile)\s+)*"
+    rf"{_RAW_TYPE}\s*&?\s+"
+    rf"(\w*_{_UNIT_SUFFIX})\b(?!\s*\(|_)"
+)
+
+
+def strip_code_noise(line: str) -> str:
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def allowed(lines: list, index: int) -> bool:
+    for probe in (index, index - 1):
+        if probe < 0:
+            continue
+        comment = lines[probe].partition("//")[2]
+        if ALLOW in comment and RULE in comment.split(ALLOW, 1)[1]:
+            return True
+    return False
+
+
+def lint_file(path: pathlib.Path) -> list:
+    lines = path.read_text().splitlines()
+    findings = []
+    in_block_comment = False
+    for i, raw in enumerate(lines):
+        if in_block_comment:
+            if "*/" in raw:
+                in_block_comment = False
+            continue
+        if raw.lstrip().startswith("/*") or raw.lstrip().startswith("*"):
+            if "/*" in raw and "*/" not in raw:
+                in_block_comment = True
+            continue
+        code = strip_code_noise(raw)
+        for match in DECL.finditer(code):
+            name = match.group(1)
+            if "_per_" in name:
+                continue
+            if not allowed(lines, i):
+                findings.append((i + 1, raw.strip()))
+    return findings
+
+
+def main() -> int:
+    repo = pathlib.Path(__file__).resolve().parent.parent.parent
+    failed = 0
+    for root in ROOTS:
+        base = repo / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(repo)
+            if str(rel).startswith(EXEMPT_PREFIXES):
+                continue
+            for line_no, snippet in lint_file(path):
+                print(f"{rel}:{line_no}: [{RULE}] {snippet}")
+                failed += 1
+    if failed:
+        print(
+            f"\n{failed} unit-suffix finding(s). Use the matching units:: "
+            f"type, or mark a deliberate raw site with "
+            f"`// lint-allow: {RULE} (reason)`.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
