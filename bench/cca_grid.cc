@@ -6,6 +6,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "app/config_canon.h"
 #include "app/parallel_runner.h"
 #include "app/scenario.h"
 #include "cca/cca.h"
@@ -24,20 +25,35 @@ namespace {
 /// supervision knobs are deliberately absent — they cannot change what a
 /// *completed* cell measured.
 std::uint64_t grid_config_hash(const GridOptions& options) {
+  // Derived from the canonical serialization of every cell's full
+  // ScenarioConfig + flows (app/config_canon.h), not a hand-maintained
+  // field list: any config field that can change a number — including ones
+  // added after this bench was written — changes the hash automatically.
   std::ostringstream canon;
-  canon << "grid bytes=" << options.bytes << " repeats=" << options.repeats
-        << " seed=" << options.base_seed << " mtus=";
-  for (int mtu : options.mtus) canon << mtu << ",";
+  canon << "grid/v4 repeats=" << options.repeats
+        << " seed=" << options.base_seed << ";";
+  for (int mtu : options.mtus) {
+    for (const auto& name : cca::all_names()) {
+      app::ScenarioConfig config;
+      config.tcp.mtu_bytes = units::Bytes{mtu};
+      config.seed = options.base_seed;
+      config.audit_interval = options.audit_interval;
+      std::vector<app::FlowSpec> flows(1);
+      flows[0].cca = name;
+      flows[0].bytes = units::Bytes{options.bytes};
+      canon << app::canonical_string(config, flows);
+    }
+  }
   return robust::fnv1a64(canon.str());
 }
 
 std::string cache_tag(const GridOptions& options) {
-  // v3: the header now carries a schema version plus the config hash above,
-  // so staleness is detected even for parameters the old free-form tag did
-  // not spell out. v1/v2 caches (different seed derivation, no hash) fail
-  // the comparison and are regenerated.
+  // v4: the config hash is now derived from the canonical ScenarioConfig
+  // serialization, so staleness is detected even for config fields the old
+  // hand-listed hash did not cover. v1-v3 caches fail the comparison and
+  // are regenerated.
   std::ostringstream tag;
-  tag << "# greencc-grid v3 config=" << std::hex << std::setw(16)
+  tag << "# greencc-grid v4 config=" << std::hex << std::setw(16)
       << std::setfill('0') << grid_config_hash(options) << std::dec
       << " bytes=" << options.bytes << " repeats=" << options.repeats
       << " seed=" << options.base_seed;

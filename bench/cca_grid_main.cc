@@ -1,76 +1,91 @@
-// Standalone driver for the Figures 5-8 measurement grid: runs the full
-// CCA x MTU x repeat sweep — in parallel with --jobs N — and writes one CSV
-// row per cell. Output is deterministic: for a fixed (bytes, repeats, seed)
-// the CSV is byte-identical whatever the thread count.
+// Standalone driver for the Figures 5-8 measurement grid — now a thin
+// wrapper over the committed scenario file scenarios/cca_grid.toml,
+// executed by the scenario DSL runner (src/scenario_dsl/). The legacy CLI
+// is kept verbatim; each flag lowers onto a RunOptions override, so the
+// CSV stays byte-identical to the historical hand-written sweep (the
+// byte-identity suite pins this).
+//
+//   cca_grid --jobs 8 --repeats 3 --csv grid.csv \
+//            --journal grid_journal.jsonl --deadline 120 --retries 2
 //
 // The sweep runs supervised: `--deadline SEC` and `--event-budget N` bound
 // each run, `--retries K` re-attempts throwing cells before quarantine,
 // `--journal FILE` appends each finished run crash-safely and `--resume`
 // replays it, re-running only what is missing. SIGINT/SIGTERM stop
-// dispatch, flush the journal and exit 75 (partial results) instead of
-// dying mid-write.
-//
-//   cca_grid --jobs 8 --repeats 3 --csv grid.csv --cache "" \
-//            --journal grid_journal.jsonl --deadline 120 --retries 2
+// dispatch, flush the journal and exit 75 (partial results). `--cache` is
+// accepted for CLI compatibility and ignored (the journal subsumes it).
 
 #include <cstdio>
-#include <fstream>
+#include <string>
 
-#include "cca_grid.h"
 #include "common.h"
 #include "robust/shutdown.h"
+#include "scenario_dsl/doc.h"
+#include "scenario_dsl/runner.h"
+
+#ifndef GREENCC_SCENARIO_FILE
+#define GREENCC_SCENARIO_FILE "scenarios/cca_grid.toml"
+#endif
 
 using namespace greencc;
 
 int main(int argc, char** argv) {
   robust::install_shutdown_handler();
 
-  bench::GridOptions options;
-  options.bytes = bench::flag_i64(argc, argv, "--bytes", bench::kDefaultBytes);
-  options.repeats =
-      static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 3));
-  options.base_seed = static_cast<std::uint64_t>(
-      bench::flag_i64(argc, argv, "--seed", 1));
-  options.jobs = bench::flag_jobs(argc, argv);
-  options.cache_path =
-      bench::flag_str(argc, argv, "--cache", options.cache_path);
-  if (bench::flag_set(argc, argv, "--audit")) {
-    // Audited sweeps bypass the cache: the point is to re-run the
-    // simulations under the invariant checker, not to reload numbers.
-    options.audit_interval = sim::SimTime::milliseconds(10);
-    options.cache_path.clear();
+  dsl::RunOptions run;
+  run.overrides.push_back(
+      "flow.0.bytes=" +
+      std::to_string(bench::flag_i64(argc, argv, "--bytes",
+                                     bench::kDefaultBytes)));
+  run.repeats = static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 3));
+  run.have_seed = true;
+  run.seed =
+      static_cast<std::uint64_t>(bench::flag_i64(argc, argv, "--seed", 1));
+  run.jobs = bench::flag_jobs(argc, argv);
+  run.audit = bench::flag_set(argc, argv, "--audit");
+  run.csv_path = bench::flag_str(argc, argv, "--csv", "cca_grid.csv");
+  run.cell_deadline_sec = bench::flag_double(argc, argv, "--deadline", 0.0);
+  run.event_budget = static_cast<std::uint64_t>(
+      bench::flag_i64(argc, argv, "--event-budget", 0));
+  run.max_attempts =
+      static_cast<int>(bench::flag_i64(argc, argv, "--retries", 0)) + 1;
+  run.journal_path = bench::flag_str(argc, argv, "--journal", "");
+  run.resume = bench::flag_set(argc, argv, "--resume");
+  if (run.resume && run.journal_path.empty()) {
+    run.journal_path = "cca_grid_journal.jsonl";
   }
-  // --mtu M restricts the sweep to one MTU (used by the audit preset to
-  // keep the checked sweep cheap); default remains the full paper set.
-  if (const std::int64_t mtu = bench::flag_i64(argc, argv, "--mtu", 0); mtu) {
-    options.mtus = {static_cast<int>(mtu)};
-  }
-  bench::apply_supervisor_flags(argc, argv, options);
-  const std::string csv_path =
-      bench::flag_str(argc, argv, "--csv", "cca_grid.csv");
+  run.progress = true;
+  bench::flag_str(argc, argv, "--cache", "");  // accepted, ignored
+
+  const std::string scenario_file =
+      bench::flag_str(argc, argv, "--scenario", GREENCC_SCENARIO_FILE);
 
   bench::print_header(
       "CCA x MTU measurement grid (shared by Figures 5-8)",
       "energy, power, FCT and retransmissions per cell, 50 GB-equivalent");
 
-  robust::SweepReport report;
-  const auto cells = bench::run_cca_grid(options, &report);
-  std::fprintf(stderr, "  %s\n", report.summary().c_str());
-
-  std::ofstream out(csv_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+  try {
+    dsl::ScenarioDoc doc = dsl::load_scenario_file(scenario_file);
+    // --mtu M restricts the sweep to one MTU (used by the audit preset to
+    // keep the checked sweep cheap); default remains the full paper set.
+    if (const std::int64_t mtu = bench::flag_i64(argc, argv, "--mtu", 0);
+        mtu) {
+      for (dsl::AxisDoc& axis : doc.axes) {
+        if (axis.name != "mtu") continue;
+        dsl::TomlValue v;
+        v.kind = dsl::TomlValue::Kind::kInt;
+        v.integer = mtu;
+        v.number = static_cast<double>(mtu);
+        axis.values = {{v}};
+      }
+    }
+    const dsl::SweepOutcome outcome = dsl::run_sweep(doc, run);
+    std::fprintf(stderr, "  %s\n", outcome.report.summary().c_str());
+    std::printf("wrote %zu cells to %s (jobs=%d)\n", outcome.cells,
+                outcome.csv_path.c_str(), run.jobs);
+    return outcome.report.complete() ? 0 : robust::kPartialResultsExit;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cca_grid: %s\n", e.what());
     return 1;
   }
-  out.precision(12);
-  out << "cca,mtu_bytes,energy_joules,energy_stddev,power_watts,fct_sec,"
-         "retransmissions\n";
-  for (const auto& cell : cells) {
-    out << cell.cca << ',' << cell.mtu_bytes << ',' << cell.energy_joules
-        << ',' << cell.energy_stddev << ',' << cell.power_watts << ','
-        << cell.fct_sec << ',' << cell.retransmissions << "\n";
-  }
-  std::printf("wrote %zu cells to %s (jobs=%d)\n", cells.size(),
-              csv_path.c_str(), options.jobs);
-  return report.complete() ? 0 : robust::kPartialResultsExit;
 }

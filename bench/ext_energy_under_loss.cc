@@ -7,49 +7,61 @@
 // cut stretches the transfer, and idle-ish watts times a longer transfer is
 // more joules per delivered gigabyte.
 //
+// Now a thin wrapper over scenarios/ext_energy_under_loss.toml, executed
+// by the scenario DSL runner; the legacy CLI lowers onto RunOptions
+// overrides and the CSV stays byte-identical to the historical
+// hand-written sweep.
+//
 //   ext_energy_under_loss [--bytes N] [--repeats K] [--jobs N]
 //                         [--seed S] [--csv FILE] [--audit]
 //                         [--deadline SEC] [--event-budget N] [--retries K]
 //                         [--journal FILE] [--resume]
-//
-// One row per (loss rate, CCA): J/GB, goodput, retransmissions, FCT. The
-// CSV is byte-identical for any --jobs value (per-(cell,repeat) derived
-// seeds, serial aggregation), which the determinism suite asserts. The
-// sweep runs under the robust::SweepSupervisor — this is the supervised
-// impaired sweep the audit and tsan presets exercise.
 
-#include <algorithm>
-#include <cinttypes>
 #include <cstdio>
-#include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "app/parallel_runner.h"
-#include "app/scenario.h"
 #include "common.h"
-#include "robust/journal.h"
 #include "robust/shutdown.h"
-#include "robust/supervisor.h"
-#include "stats/stats.h"
-#include "stats/table.h"
+#include "scenario_dsl/doc.h"
+#include "scenario_dsl/runner.h"
+
+#ifndef GREENCC_SCENARIO_FILE
+#define GREENCC_SCENARIO_FILE "scenarios/ext_energy_under_loss.toml"
+#endif
 
 using namespace greencc;
 
 int main(int argc, char** argv) {
   robust::install_shutdown_handler();
 
-  // Loss stretches FCTs ~10x at the high end; a modest default transfer
-  // keeps the full sweep minutes, not hours. --bytes scales it back up.
-  const std::int64_t bytes =
-      bench::flag_i64(argc, argv, "--bytes", 200'000'000);
-  const int repeats =
-      static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 3));
-  const int jobs = bench::flag_jobs(argc, argv);
-  const auto base_seed =
+  dsl::RunOptions run;
+  // Loss stretches FCTs ~10x at the high end; the scenario's modest default
+  // transfer keeps the full sweep minutes, not hours. --bytes scales it.
+  run.overrides.push_back(
+      "flow.0.bytes=" +
+      std::to_string(bench::flag_i64(argc, argv, "--bytes", 200'000'000)));
+  run.repeats = static_cast<int>(bench::flag_i64(argc, argv, "--repeats", 3));
+  run.have_seed = true;
+  run.seed =
       static_cast<std::uint64_t>(bench::flag_i64(argc, argv, "--seed", 1));
-  const bool audit = bench::flag_set(argc, argv, "--audit");
+  run.jobs = bench::flag_jobs(argc, argv);
+  run.audit = bench::flag_set(argc, argv, "--audit");
+  run.csv_path =
+      bench::flag_str(argc, argv, "--csv", "ext_energy_under_loss.csv");
+  run.cell_deadline_sec = bench::flag_double(argc, argv, "--deadline", 0.0);
+  run.event_budget = static_cast<std::uint64_t>(
+      bench::flag_i64(argc, argv, "--event-budget", 0));
+  run.max_attempts =
+      static_cast<int>(bench::flag_i64(argc, argv, "--retries", 0)) + 1;
+  run.journal_path = bench::flag_str(argc, argv, "--journal", "");
+  run.resume = bench::flag_set(argc, argv, "--resume");
+  if (run.resume && run.journal_path.empty()) {
+    run.journal_path = "ext_energy_under_loss_journal.jsonl";
+  }
+  run.progress = true;
+
+  const std::string scenario_file =
+      bench::flag_str(argc, argv, "--scenario", GREENCC_SCENARIO_FILE);
 
   bench::print_header(
       "Extension — energy per delivered GB under injected random loss",
@@ -57,155 +69,20 @@ int main(int argc, char** argv) {
       "efficient\" — and so can loss-tolerant ones once the wire itself "
       "drops packets");
 
-  const std::vector<double> loss_rates = {0.0, 1e-4, 1e-3, 3e-3, 1e-2};
-  const std::vector<std::string> ccas = {"reno", "cubic", "bbr", "bbr2",
-                                         "westwood"};
-
-  struct CellSpec {
-    double loss = 0.0;
-    std::string cca;
-  };
-  std::vector<CellSpec> specs;
-  for (double loss : loss_rates) {
-    for (const auto& name : ccas) specs.push_back({loss, name});
+  try {
+    const dsl::ScenarioDoc doc = dsl::load_scenario_file(scenario_file);
+    const dsl::SweepOutcome outcome = dsl::run_sweep(doc, run);
+    std::fprintf(stderr, "  %s\n", outcome.report.summary().c_str());
+    std::printf(
+        "wrote %zu cells to %s\n"
+        "\n(J/GB = sender energy over delivered gigabytes; loss is the "
+        "bottleneck's injected i.i.d. drop rate. Loss-based CCAs pay for "
+        "every spurious cut with idle watts; model-based ones mostly "
+        "don't.)\n",
+        outcome.cells, outcome.csv_path.c_str());
+    return outcome.report.complete() ? 0 : robust::kPartialResultsExit;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ext_energy_under_loss: %s\n", e.what());
+    return 1;
   }
-  const auto reps = static_cast<std::size_t>(std::max(repeats, 1));
-  const std::size_t total = specs.size() * reps;
-  std::vector<app::ScenarioResult> runs(total);
-  std::vector<char> present(total, 0);
-
-  // Binds the journal to everything that can change the numbers (`jobs`
-  // and the supervision knobs deliberately excluded).
-  std::ostringstream canon;
-  // "/2" tags the journal payload format (rates journaled in bps).
-  canon << "loss-sweep/2 bytes=" << bytes << " repeats=" << repeats
-        << " seed=" << base_seed << " cells=";
-  for (const auto& spec : specs) canon << spec.loss << ":" << spec.cca << ",";
-
-  robust::SupervisorOptions sup;
-  sup.jobs = jobs;
-  sup.max_attempts =
-      static_cast<int>(bench::flag_i64(argc, argv, "--retries", 0)) + 1;
-  sup.cell_deadline_sec = bench::flag_double(argc, argv, "--deadline", 0.0);
-  sup.event_budget = static_cast<std::uint64_t>(
-      bench::flag_i64(argc, argv, "--event-budget", 0));
-  sup.journal_path = bench::flag_str(argc, argv, "--journal", "");
-  sup.config_hash = robust::fnv1a64(canon.str());
-  sup.resume = bench::flag_set(argc, argv, "--resume");
-  if (sup.resume && sup.journal_path.empty()) {
-    sup.journal_path = "ext_energy_under_loss_journal.jsonl";
-  }
-  sup.progress = [&specs, reps](std::size_t done, std::size_t n,
-                                std::size_t index, double secs) {
-    const CellSpec& spec = specs[index / reps];
-    std::fprintf(stderr,
-                 "  loss-sweep: [%3zu/%zu] loss=%-7g %-9s rep=%zu"
-                 "  %6.2fs\n",
-                 done, n, spec.loss, spec.cca.c_str(), index % reps, secs);
-  };
-
-  robust::CellHooks hooks;
-  hooks.run = [&](std::size_t t, robust::CellContext& ctx) -> std::string {
-    const std::size_t cell = t / reps;
-    const std::size_t rep = t % reps;
-    app::ScenarioConfig config;
-    config.seed = app::derive_seed(base_seed, cell, rep);
-    ctx.set_seed(config.seed);
-    if (audit) config.audit_interval = sim::SimTime::milliseconds(10);
-    config.faults.impair.loss_rate = specs[cell].loss;
-    config.faults.install = true;  // stage present even at loss 0
-    app::Scenario scenario(std::move(config));
-    app::FlowSpec flow;
-    flow.cca = specs[cell].cca;
-    flow.bytes = units::Bytes{bytes};
-    // Pace at 90% of line rate so the bottleneck queue never overflows:
-    // every retransmission is then attributable to the injected loss (the
-    // non-congestive axis this sweep isolates), which also makes the retx
-    // column monotone in the loss rate.
-    flow.rate_limit = units::BitRate::bps(9e9);
-    scenario.add_flow(flow);
-    auto watch = ctx.watch(scenario.simulator());
-    app::ScenarioResult result = scenario.run();
-    if (ctx.cut() || result.stop_reason == "stopped" ||
-        result.stop_reason == "budget_exhausted") {
-      return {};  // truncated run: neither published nor journaled
-    }
-    // %.17g round-trips doubles exactly: a resumed sweep aggregates
-    // bit-identical values to an uninterrupted one.
-    char buf[200];
-    std::snprintf(buf, sizeof buf,
-                  "%.17g %.17g %.17g %" PRId64 " %" PRId64 " %d",
-                  result.total_energy.joules(), result.flows[0].avg_rate.bps(),
-                  result.flows[0].fct_sec, result.flows[0].delivered_bytes.count(),
-                  result.flows[0].retransmissions,
-                  result.all_completed ? 1 : 0);
-    runs[t] = std::move(result);
-    present[t] = 1;
-    return buf;
-  };
-  hooks.restore = [&](std::size_t t, const std::string& payload) {
-    // The rate is journaled in bps so restore rebuilds the exact double.
-    double joules = 0.0, rate_bps = 0.0, fct = 0.0;  // lint-allow: unit-suffix (journal wire field)
-    long long delivered = 0, retx = 0;
-    int completed = 0;
-    if (std::sscanf(payload.c_str(), "%lg %lg %lg %lld %lld %d", &joules,
-                    &rate_bps, &fct, &delivered, &retx, &completed) != 6) {
-      return;  // malformed: cell stays absent and is not aggregated
-    }
-    app::ScenarioResult run;
-    run.total_energy = units::Energy::joules(joules);
-    run.flows.resize(1);
-    run.flows[0].avg_rate = units::BitRate::bps(rate_bps);
-    run.flows[0].fct_sec = fct;
-    run.flows[0].delivered_bytes = units::Bytes{delivered};
-    run.flows[0].retransmissions = retx;
-    run.all_completed = completed != 0;
-    runs[t] = std::move(run);
-    present[t] = 1;
-  };
-
-  robust::SweepSupervisor supervisor(std::move(sup));
-  const robust::SweepReport report = supervisor.run(total, hooks);
-  std::fprintf(stderr, "  %s\n", report.summary().c_str());
-
-  // Serial aggregation in cell order: byte-identical for any --jobs value.
-  // Absent repeats (cut/quarantined/not-run) are skipped; the health line
-  // above discloses them.
-  stats::Table table({"loss", "cca", "J/GB", "sd", "goodput[Gbps]", "retx",
-                      "fct[s]", "completed"});
-  for (std::size_t c = 0; c < specs.size(); ++c) {
-    stats::Summary jpgb, gbps, retxs, fct;
-    bool all_done = true;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      const std::size_t t = c * reps + rep;
-      if (!present[t]) {
-        all_done = false;
-        continue;
-      }
-      const auto& run = runs[t];
-      all_done &= run.all_completed;
-      const double gb =
-          static_cast<double>(run.flows[0].delivered_bytes.count()) / 1e9;
-      jpgb.add(gb > 0 ? run.total_energy.joules() / gb : 0.0);
-      gbps.add(run.flows[0].avg_rate.gbps());
-      retxs.add(static_cast<double>(run.flows[0].retransmissions));
-      fct.add(run.flows[0].fct_sec);
-    }
-    table.add_row({stats::Table::num(specs[c].loss, 4), specs[c].cca,
-                   stats::Table::num(jpgb.mean(), 2),
-                   stats::Table::num(jpgb.stddev(), 2),
-                   stats::Table::num(gbps.mean(), 3),
-                   stats::Table::num(retxs.mean(), 0),
-                   stats::Table::num(fct.mean(), 3),
-                   all_done ? "yes" : "NO"});
-  }
-  table.print(std::cout);
-  table.write_csv(
-      bench::flag_str(argc, argv, "--csv", "ext_energy_under_loss.csv"));
-  std::printf(
-      "\n(J/GB = sender energy over delivered gigabytes; loss is the "
-      "bottleneck's injected i.i.d. drop rate. Loss-based CCAs pay for "
-      "every spurious cut with idle watts; model-based ones mostly "
-      "don't.)\n");
-  return report.complete() ? 0 : robust::kPartialResultsExit;
 }

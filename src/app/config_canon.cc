@@ -1,0 +1,233 @@
+#include "app/config_canon.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace greencc::app {
+
+namespace {
+
+/// FNV-1a 64-bit, duplicated from robust/journal.h to keep app/ free of a
+/// dependency on the robust layer (robust already depends on app).
+constexpr std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Appends "key=value;" pairs in a fixed order. Doubles are %.17g so the
+/// canonical form distinguishes any two doubles that compare unequal.
+class Canon {
+ public:
+  void field(const char* key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    raw(key, buf);
+  }
+  void field(const char* key, std::int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    raw(key, buf);
+  }
+  void field(const char* key, std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    raw(key, buf);
+  }
+  void field(const char* key, int v) {
+    field(key, static_cast<std::int64_t>(v));
+  }
+  void field(const char* key, bool v) { raw(key, v ? "1" : "0"); }
+  void field(const char* key, const std::string& v) { raw(key, v.c_str()); }
+  void field(const char* key, units::Bytes v) { field(key, v.count()); }
+  void field(const char* key, units::BitRate v) { field(key, v.bps()); }
+  void field(const char* key, units::Power v) { field(key, v.watts()); }
+  void field(const char* key, sim::SimTime v) { field(key, v.ns()); }
+
+  void open(const char* section) { out_ << section << "{"; }
+  void close() { out_ << "}"; }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void raw(const char* key, const char* value) {
+    out_ << key << "=" << value << ";";
+  }
+  std::ostringstream out_;
+};
+
+void canon_tcp(Canon& c, const tcp::TcpConfig& tcp) {
+  c.open("tcp");
+  c.field("mtu", tcp.mtu_bytes);
+  c.field("header", tcp.header_bytes);
+  c.field("ack", tcp.ack_bytes);
+  c.field("min_rto", tcp.min_rto);
+  c.field("max_rto", tcp.max_rto);
+  c.field("dupack", tcp.dupack_threshold);
+  c.field("delack_segments", tcp.delack_segments);
+  c.field("delack_timeout", tcp.delack_timeout);
+  c.field("initial_cwnd", tcp.initial_cwnd);
+  c.close();
+}
+
+void canon_aqm(Canon& c, const net::AqmConfig& aqm) {
+  c.open("aqm");
+  c.field("mode", static_cast<int>(aqm.mode));
+  c.field("step", aqm.step_threshold_bytes);
+  c.field("red_min", aqm.red_min_bytes);
+  c.field("red_max", aqm.red_max_bytes);
+  c.field("red_maxp", aqm.red_max_probability);
+  c.field("red_weight", aqm.red_weight);
+  c.field("red_idle", aqm.red_idle_packet_time);
+  c.field("red_seed", aqm.red_seed);
+  c.field("codel_target", aqm.codel_target);
+  c.field("codel_interval", aqm.codel_interval);
+  c.field("mtu", aqm.mtu_bytes);
+  c.close();
+}
+
+void canon_power(Canon& c, const energy::PowerCalibration& p) {
+  c.open("power");
+  c.field("idle", p.idle_watts);
+  c.field("net_amp", p.net_amplitude_watts);
+  c.field("net_util_scale", p.net_util_scale);
+  c.field("omega", p.omega_watts_per_pps);
+  c.field("stress_core", p.stress_core_watts);
+  c.field("phi_amp", p.phi_decay_amp);
+  c.field("phi_floor", p.phi_floor);
+  c.field("phi_rate", p.phi_decay_rate);
+  c.field("chi", p.chi_watts_per_gbps);
+  c.field("cores", p.total_cores);
+  c.field("fig2_util", p.fig2_util_per_gbps);
+  c.field("fig2_pps", p.fig2_pps_per_gbps);
+  c.close();
+}
+
+void canon_work(Canon& c, const energy::WorkCalibration& w) {
+  c.open("work");
+  c.field("pkt", w.pkt_ns);
+  c.field("byte", w.byte_ns);
+  c.field("ack", w.ack_ns);
+  c.field("retx", w.retx_ns);
+  c.field("timeout", w.timeout_ns);
+  c.field("rx_pkt", w.rx_pkt_ns);
+  c.field("rx_byte", w.rx_byte_ns);
+  c.field("rx_drop", w.rx_drop_ns);
+  c.field("rx_backlog", w.rx_backlog_packets);
+  c.close();
+}
+
+void canon_faults(Canon& c, const fault::FaultPlan& plan) {
+  c.open("faults");
+  c.field("install", plan.install);
+  const fault::ImpairmentConfig& imp = plan.impair;
+  c.field("loss", imp.loss_rate);
+  c.field("ge_p_bad", imp.ge_p_bad);
+  c.field("ge_p_good", imp.ge_p_good);
+  c.field("ge_loss_bad", imp.ge_loss_bad);
+  c.field("corrupt", imp.corrupt_rate);
+  c.field("reorder", imp.reorder_rate);
+  c.field("reorder_delay", imp.reorder_delay);
+  c.field("dup", imp.duplicate_rate);
+  c.field("jitter", imp.jitter_max);
+  c.field("seed", imp.seed);
+  c.open("events");
+  for (const fault::FaultEvent& ev : plan.schedule.events()) {
+    c.field("at", ev.at);
+    c.field("kind", static_cast<int>(ev.kind));
+    c.field("rate", ev.rate);
+    c.field("delay", ev.delay);
+  }
+  c.close();
+  c.close();
+}
+
+void canon_flow(Canon& c, const FlowSpec& spec) {
+  c.open("flow");
+  c.field("cca", spec.cca);
+  c.field("bytes", spec.bytes);
+  c.field("rate_limit", spec.rate_limit);
+  c.field("start", spec.start_time);
+  c.field("sender_host", spec.sender_host);
+  c.field("start_after", spec.start_after_flow);
+  c.field("unlimit_after", spec.unlimit_after_flow);
+  c.field("weight", spec.weight);
+  c.close();
+}
+
+void canon_config(Canon& c, const ScenarioConfig& config) {
+  // Bump the version tag whenever a field is added or the rendering of an
+  // existing one changes: every cache and journal keyed off config_hash
+  // then regenerates instead of silently matching a stale fingerprint.
+  c.open("scenario/v1");
+  canon_tcp(c, config.tcp);
+  c.field("bottleneck", config.bottleneck_rate);
+  c.field("link_delay", config.link_delay);
+  c.field("switch_queue", config.switch_queue_bytes);
+  c.field("ecn_threshold", config.ecn_threshold_bytes);
+  canon_aqm(c, config.bottleneck_aqm);
+  c.field("nic_ports", config.sender_nic_ports);
+  c.field("drr", config.use_drr_bottleneck);
+  c.field("stress_cores", config.stress_cores);
+  canon_power(c, config.power);
+  canon_work(c, config.work);
+  c.field("meter_tick", config.meter_tick);
+  c.field("report_interval", config.report_interval);
+  c.field("trace_interval", config.trace_interval);
+  c.field("meter_receiver", config.meter_receiver);
+  c.field("work_jitter", config.work_jitter);
+  c.field("seed", config.seed);
+  c.field("deadline", config.deadline);
+  c.field("audit_interval", config.audit_interval);
+  canon_faults(c, config.faults);
+  c.close();
+}
+
+}  // namespace
+
+std::string canonical_string(const FlowSpec& spec) {
+  Canon c;
+  canon_flow(c, spec);
+  return c.str();
+}
+
+std::string canonical_string(const ScenarioConfig& config) {
+  Canon c;
+  canon_config(c, config);
+  return c.str();
+}
+
+std::string canonical_string(const ScenarioConfig& config,
+                             const std::vector<FlowSpec>& flows) {
+  Canon c;
+  canon_config(c, config);
+  for (const FlowSpec& spec : flows) canon_flow(c, spec);
+  return c.str();
+}
+
+std::uint64_t config_hash(const ScenarioConfig& config) {
+  return fnv1a64(canonical_string(config));
+}
+
+std::uint64_t config_hash(const ScenarioConfig& config,
+                          const std::vector<FlowSpec>& flows) {
+  return fnv1a64(canonical_string(config, flows));
+}
+
+bool operator==(const FlowSpec& a, const FlowSpec& b) {
+  return canonical_string(a) == canonical_string(b);
+}
+bool operator!=(const FlowSpec& a, const FlowSpec& b) { return !(a == b); }
+
+bool operator==(const ScenarioConfig& a, const ScenarioConfig& b) {
+  return canonical_string(a) == canonical_string(b);
+}
+bool operator!=(const ScenarioConfig& a, const ScenarioConfig& b) {
+  return !(a == b);
+}
+
+}  // namespace greencc::app

@@ -1,0 +1,43 @@
+#include "app/scenario_builder.h"
+
+#include <stdexcept>
+
+namespace greencc::app {
+
+std::unique_ptr<Scenario> ScenarioBuilder::build() const {
+  auto scenario = std::make_unique<Scenario>(config_);
+  for (const FlowSpec& spec : flows_) scenario->add_flow(spec);
+  return scenario;
+}
+
+ScenarioResult ScenarioBuilder::run() const { return build()->run(); }
+
+WorkloadBuilder& WorkloadBuilder::sizes(const std::string& spec) {
+  if (spec.rfind("fixed:", 0) == 0) {
+    const std::int64_t bytes = std::stoll(spec.substr(6));
+    if (bytes <= 0) {
+      throw std::invalid_argument("workload sizes: fixed size must be > 0");
+    }
+    sizes_ = fixed_size(bytes);
+  } else if (spec == "websearch") {
+    sizes_ = websearch_workload();
+  } else if (spec == "datamining") {
+    sizes_ = datamining_workload();
+  } else {
+    throw std::invalid_argument(
+        "workload sizes: expected fixed:<bytes>, websearch or datamining, "
+        "got '" +
+        spec + "'");
+  }
+  config_.sizes = sizes_.get();
+  return *this;
+}
+
+WorkloadResult WorkloadBuilder::run() const {
+  if (config_.sizes == nullptr) {
+    throw std::invalid_argument("workload: no flow-size distribution set");
+  }
+  return run_workload(config_);
+}
+
+}  // namespace greencc::app

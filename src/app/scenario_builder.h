@@ -1,0 +1,171 @@
+#pragma once
+
+// Fluent builders over ScenarioConfig / WorkloadConfig — the construction
+// API the scenario DSL compiler targets (src/scenario_dsl/compile.cc), and
+// a friendlier front door than struct-field poking for hand-written
+// experiments. A builder is a value: copy it to fork a family of variants
+// from a shared base, exactly what sweep expansion does per cell.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/scenario.h"
+#include "app/workload.h"
+
+namespace greencc::app {
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+  explicit ScenarioBuilder(ScenarioConfig base) : config_(std::move(base)) {}
+
+  ScenarioBuilder& seed(std::uint64_t s) {
+    config_.seed = s;
+    return *this;
+  }
+  ScenarioBuilder& mtu(units::Bytes bytes) {
+    config_.tcp.mtu_bytes = bytes;
+    return *this;
+  }
+  ScenarioBuilder& bottleneck(units::BitRate rate) {
+    config_.bottleneck_rate = rate;
+    return *this;
+  }
+  ScenarioBuilder& link_delay(sim::SimTime delay) {
+    config_.link_delay = delay;
+    return *this;
+  }
+  ScenarioBuilder& switch_queue(units::Bytes bytes) {
+    config_.switch_queue_bytes = bytes;
+    return *this;
+  }
+  ScenarioBuilder& ecn_threshold(units::Bytes bytes) {
+    config_.ecn_threshold_bytes = bytes;
+    return *this;
+  }
+  ScenarioBuilder& aqm(const net::AqmConfig& aqm) {
+    config_.bottleneck_aqm = aqm;
+    return *this;
+  }
+  ScenarioBuilder& nic_ports(int ports) {
+    config_.sender_nic_ports = ports;
+    return *this;
+  }
+  ScenarioBuilder& drr_bottleneck(bool on) {
+    config_.use_drr_bottleneck = on;
+    return *this;
+  }
+  ScenarioBuilder& stress_cores(int cores) {
+    config_.stress_cores = cores;
+    return *this;
+  }
+  ScenarioBuilder& meter_receiver(bool on) {
+    config_.meter_receiver = on;
+    return *this;
+  }
+  ScenarioBuilder& work_jitter(double jitter) {
+    config_.work_jitter = jitter;
+    return *this;
+  }
+  ScenarioBuilder& deadline(sim::SimTime t) {
+    config_.deadline = t;
+    return *this;
+  }
+  ScenarioBuilder& audit_interval(sim::SimTime t) {
+    config_.audit_interval = t;
+    return *this;
+  }
+  ScenarioBuilder& report_interval(sim::SimTime t) {
+    config_.report_interval = t;
+    return *this;
+  }
+  ScenarioBuilder& trace_interval(sim::SimTime t) {
+    config_.trace_interval = t;
+    return *this;
+  }
+  ScenarioBuilder& power(const energy::PowerCalibration& p) {
+    config_.power = p;
+    return *this;
+  }
+  ScenarioBuilder& work(const energy::WorkCalibration& w) {
+    config_.work = w;
+    return *this;
+  }
+  ScenarioBuilder& faults(const fault::FaultPlan& plan) {
+    config_.faults = plan;
+    return *this;
+  }
+
+  ScenarioBuilder& add_flow(FlowSpec spec) {
+    flows_.push_back(std::move(spec));
+    return *this;
+  }
+
+  /// Direct access for sweep-axis application (sweep cells mutate a copy
+  /// of the base builder through these).
+  ScenarioConfig& config() { return config_; }
+  const ScenarioConfig& config() const { return config_; }
+  std::vector<FlowSpec>& flows() { return flows_; }
+  const std::vector<FlowSpec>& flows() const { return flows_; }
+
+  /// Construct the Scenario with every flow added, ready to run().
+  std::unique_ptr<Scenario> build() const;
+
+  /// Build and run in one step.
+  ScenarioResult run() const;
+
+ private:
+  ScenarioConfig config_;
+  std::vector<FlowSpec> flows_;
+};
+
+class WorkloadBuilder {
+ public:
+  WorkloadBuilder() = default;
+
+  WorkloadBuilder& cca(std::string name) {
+    config_.cca = std::move(name);
+    return *this;
+  }
+  WorkloadBuilder& mtu(units::Bytes bytes) {
+    config_.mtu_bytes = bytes;
+    return *this;
+  }
+  WorkloadBuilder& bottleneck(units::BitRate rate) {
+    config_.bottleneck_rate = rate;
+    return *this;
+  }
+  WorkloadBuilder& load(double fraction) {
+    config_.load = fraction;
+    return *this;
+  }
+  WorkloadBuilder& sender_hosts(int hosts) {
+    config_.sender_hosts = hosts;
+    return *this;
+  }
+  WorkloadBuilder& horizon(sim::SimTime t) {
+    config_.horizon = t;
+    return *this;
+  }
+  WorkloadBuilder& seed(std::uint64_t s) {
+    config_.seed = s;
+    return *this;
+  }
+  /// Flow-size distribution by name: "fixed:<bytes>", "websearch",
+  /// "datamining". Throws std::invalid_argument on anything else.
+  WorkloadBuilder& sizes(const std::string& spec);
+
+  WorkloadConfig& config() { return config_; }
+  const WorkloadConfig& config() const { return config_; }
+
+  /// Run the open-loop workload (keeps the distribution alive for the
+  /// duration of the call).
+  WorkloadResult run() const;
+
+ private:
+  WorkloadConfig config_;
+  std::shared_ptr<FlowSizeDistribution> sizes_;
+};
+
+}  // namespace greencc::app

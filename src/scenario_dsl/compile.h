@@ -1,0 +1,36 @@
+#pragma once
+
+// Lowers a (binding-applied) ScenarioDoc onto the app-layer builders. The
+// topology kinds all compile to the existing single-bottleneck testbed
+// graph (app::Scenario); what differs is how the flow list is generated:
+//
+//   dumbbell      [[flow]] entries verbatim ("count" replicates a spec)
+//   incast        one template flow replicated fan_in times on distinct
+//                 hosts, all starting together; "aggregate" splits a total
+//                 transfer evenly across the fan-in
+//   parking_lot   main flow plus `hops` cross flows (template: the second
+//                 [[flow]] entry when present) staggered by `stagger`
+//   fat_tree_pod  racks*hosts_per_rack hosts share the pod uplink (the
+//                 bottleneck); expanded flows round-robin over the hosts
+//   workload      app::run_workload open-loop Poisson arrivals
+//
+// Seeds are NOT set here — the runner derives one per (cell, repeat) with
+// app::derive_seed, exactly like the legacy grid benches.
+
+#include "app/scenario_builder.h"
+#include "scenario_dsl/doc.h"
+
+namespace greencc::dsl {
+
+struct CompiledCell {
+  bool is_workload = false;
+  app::ScenarioBuilder scenario;
+  app::WorkloadBuilder open_loop;
+};
+
+/// Compiles one document (after sweep bindings) to runnable builders.
+/// Throws ParseError for semantic errors only expressible post-binding
+/// (e.g. flow.count driven out of range by an axis).
+CompiledCell compile_scenario(const ScenarioDoc& doc);
+
+}  // namespace greencc::dsl

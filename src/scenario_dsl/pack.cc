@@ -1,0 +1,70 @@
+#include "scenario_dsl/pack.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "robust/journal.h"
+#include "scenario_dsl/runner.h"
+
+namespace greencc::dsl {
+
+std::vector<std::string> list_scenarios(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(dir, ec);
+  if (ec) return files;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".toml") continue;
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+ValidationSummary validate_pack(const std::vector<std::string>& files) {
+  ValidationSummary summary;
+  summary.files = files.size();
+  for (const std::string& file : files) {
+    try {
+      const ScenarioDoc doc = load_scenario_file(file);
+      const PackPlan plan = plan_sweep(doc, RunOptions{});
+      summary.cells += plan.cells;
+      summary.runs += plan.runs;
+    } catch (const DslError& e) {
+      summary.issues.push_back({file, e.what()});
+    } catch (const std::exception& e) {
+      summary.issues.push_back({file, file + ": " + e.what()});
+    }
+  }
+  return summary;
+}
+
+std::vector<std::string> sample_pack(const std::vector<std::string>& files,
+                                     std::size_t count, std::uint64_t seed) {
+  if (count >= files.size()) return files;
+  struct Ranked {
+    std::uint64_t rank;
+    std::size_t index;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    ranked.push_back(
+        {robust::fnv1a64(files[i] + ":" + std::to_string(seed)), i});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    return a.rank != b.rank ? a.rank < b.rank : a.index < b.index;
+  });
+  std::vector<std::size_t> picked;
+  picked.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) picked.push_back(ranked[i].index);
+  std::sort(picked.begin(), picked.end());
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (const std::size_t i : picked) out.push_back(files[i]);
+  return out;
+}
+
+}  // namespace greencc::dsl

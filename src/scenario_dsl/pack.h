@@ -1,0 +1,43 @@
+#pragma once
+
+// Scenario-pack operations: enumerate a directory of .toml scenarios,
+// validate every file (parse + semantic checks + compile of every sweep
+// cell), and draw a deterministic sample — the subset the `scenario_pack`
+// ctest label executes so CI touches the pack without running all of it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace greencc::dsl {
+
+/// All regular files ending in ".toml" under `dir`, recursively,
+/// lexicographically sorted by path — the scan order is part of the
+/// deterministic-sample contract.
+std::vector<std::string> list_scenarios(const std::string& dir);
+
+struct ValidationIssue {
+  std::string file;
+  std::string error;  ///< the DslError text ("file:line: message")
+};
+
+struct ValidationSummary {
+  std::size_t files = 0;
+  std::size_t cells = 0;  ///< expanded sweep cells across valid files
+  std::size_t runs = 0;   ///< cells x repeats
+  std::vector<ValidationIssue> issues;  ///< empty = the whole pack is valid
+};
+
+/// Deep-validate every file: parse, semantic checks, sweep expansion, and
+/// compilation of every cell. Never throws for per-file problems — each
+/// becomes a ValidationIssue.
+ValidationSummary validate_pack(const std::vector<std::string>& files);
+
+/// A deterministic pseudo-random subset of `count` files: files are ranked
+/// by fnv1a64(path + ":" + seed) and the lowest ranks win, so the choice
+/// depends only on (paths, seed) — never on scan order quirks, wall time,
+/// or process state. Returns the winners in their original sorted order.
+std::vector<std::string> sample_pack(const std::vector<std::string>& files,
+                                     std::size_t count, std::uint64_t seed);
+
+}  // namespace greencc::dsl

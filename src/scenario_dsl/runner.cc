@@ -1,0 +1,441 @@
+#include "scenario_dsl/runner.h"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "app/config_canon.h"
+#include "app/parallel_runner.h"
+#include "robust/journal.h"
+#include "scenario_dsl/compile.h"
+#include "scenario_dsl/sweep.h"
+#include "stats/csv.h"
+#include "stats/stats.h"
+
+namespace greencc::dsl {
+
+namespace {
+
+// The aggregated metric slots. Scenario runs fill the first block,
+// workload runs the second; the journal stores the whole vector so one
+// payload format covers both modes.
+enum Metric : std::size_t {
+  kEnergyJoules = 0,
+  kPowerWatts,
+  kDurationSec,
+  kFctSec,
+  kGoodputGbps,
+  kDeliveredBytes,
+  kRetransmissions,
+  kTimeouts,
+  kSwitchDrops,
+  kRxDrops,
+  kEcnMarks,
+  kJoulesPerGb,
+  kMeanSlowdown,
+  kP99Slowdown,
+  kMiceP99Slowdown,
+  kElephantMeanSlowdown,
+  kFlowsStarted,
+  kFlowsCompleted,
+  kCompleted,
+  kMetricCount,
+};
+
+using MetricVec = std::array<double, kMetricCount>;
+
+struct MetricName {
+  const char* name;
+  Metric id;
+};
+
+constexpr MetricName kMetricNames[] = {
+    {"energy_joules", kEnergyJoules},
+    {"power_watts", kPowerWatts},
+    {"duration_sec", kDurationSec},
+    {"fct_sec", kFctSec},
+    {"goodput_gbps", kGoodputGbps},
+    {"delivered_bytes", kDeliveredBytes},
+    {"retransmissions", kRetransmissions},
+    {"timeouts", kTimeouts},
+    {"switch_drops", kSwitchDrops},
+    {"rx_drops", kRxDrops},
+    {"ecn_marks", kEcnMarks},
+    {"joules_per_gb", kJoulesPerGb},
+    {"mean_slowdown", kMeanSlowdown},
+    {"p99_slowdown", kP99Slowdown},
+    {"mice_p99_slowdown", kMiceP99Slowdown},
+    {"elephant_mean_slowdown", kElephantMeanSlowdown},
+    {"flows_started", kFlowsStarted},
+    {"flows_completed", kFlowsCompleted},
+    {"completed", kCompleted},
+};
+
+bool lookup_metric(const std::string& name, Metric* out) {
+  for (const MetricName& entry : kMetricNames) {
+    if (name == entry.name) {
+      *out = entry.id;
+      return true;
+    }
+  }
+  return false;
+}
+
+MetricVec metrics_from_scenario(const app::ScenarioResult& run) {
+  MetricVec m{};
+  m[kEnergyJoules] = run.total_energy.joules();
+  m[kPowerWatts] = run.avg_power.watts();
+  m[kDurationSec] = run.duration_sec;
+  m[kFctSec] = run.flows.empty() ? 0.0 : run.flows[0].fct_sec;
+  m[kGoodputGbps] = run.flows.empty() ? 0.0 : run.flows[0].avg_rate.gbps();
+  std::int64_t delivered = 0, retx = 0, timeouts = 0;
+  for (const app::FlowResult& flow : run.flows) {
+    delivered += flow.delivered_bytes.count();
+    retx += flow.retransmissions;
+    timeouts += flow.timeouts;
+  }
+  m[kDeliveredBytes] = static_cast<double>(delivered);
+  m[kRetransmissions] = static_cast<double>(retx);
+  m[kTimeouts] = static_cast<double>(timeouts);
+  m[kSwitchDrops] = static_cast<double>(run.bottleneck.dropped);
+  m[kRxDrops] = static_cast<double>(run.rx_backlog.dropped);
+  m[kEcnMarks] = static_cast<double>(run.bottleneck.ecn_marked);
+  const double gb = static_cast<double>(delivered) / 1e9;
+  m[kJoulesPerGb] = gb > 0 ? run.total_energy.joules() / gb : 0.0;
+  m[kCompleted] = run.all_completed ? 1.0 : 0.0;
+  return m;
+}
+
+MetricVec metrics_from_workload(const app::WorkloadResult& run) {
+  MetricVec m{};
+  m[kEnergyJoules] = run.total_energy.joules();
+  m[kGoodputGbps] = run.goodput.gbps();
+  m[kJoulesPerGb] = run.energy_intensity.joules_per_byte() * 1e9;
+  m[kMeanSlowdown] = run.mean_slowdown;
+  m[kP99Slowdown] = run.p99_slowdown;
+  m[kMiceP99Slowdown] = run.mice_p99_slowdown;
+  m[kElephantMeanSlowdown] = run.elephant_mean_slowdown;
+  m[kFlowsStarted] = static_cast<double>(run.flows_started);
+  m[kFlowsCompleted] = static_cast<double>(run.flows_completed);
+  // An open-loop run always covers its horizon; "completed" means every
+  // admitted flow finished inside it.
+  m[kCompleted] = run.flows_completed == run.flows_started ? 1.0 : 0.0;
+  return m;
+}
+
+/// Journal payload: the full metric vector, %.17g each, space-separated.
+/// %.17g round-trips IEEE doubles exactly, so resumed sweeps aggregate
+/// bit-identical values.
+std::string encode_metrics(const MetricVec& m) {
+  std::string out;
+  char buf[40];
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    std::snprintf(buf, sizeof buf, "%.17g", m[i]);
+    if (i != 0) out += ' ';
+    out += buf;
+  }
+  return out;
+}
+
+bool decode_metrics(const std::string& payload, MetricVec& m) {
+  std::istringstream in(payload);
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    std::string token;
+    if (!(in >> token)) return false;
+    char* end = nullptr;
+    m[i] = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+  }
+  return true;
+}
+
+/// Fingerprint binding journal and CSV to everything that can change a
+/// number: the canonical form of every compiled cell (config + flows via
+/// app::config_canon) plus base seed and repeats. Supervision knobs and
+/// jobs are deliberately absent — they cannot change what a completed
+/// cell measured.
+std::uint64_t sweep_config_hash(const ScenarioDoc& doc,
+                                const std::vector<CompiledCell>& cells) {
+  std::ostringstream canon;
+  canon << "dsl-sweep/1 name=" << doc.name << " seed=" << doc.seed
+        << " repeats=" << doc.repeats << ";";
+  for (const CompiledCell& cell : cells) {
+    if (cell.is_workload) {
+      const app::WorkloadConfig& wl = cell.open_loop.config();
+      char buf[200];
+      std::snprintf(buf, sizeof buf,
+                    "workload cca=%s mtu=%" PRId64 " rate=%.17g load=%.17g "
+                    "hosts=%d horizon=%" PRId64 " sizes=%s;",
+                    wl.cca.c_str(), wl.mtu_bytes.count(),
+                    wl.bottleneck_rate.bps(), wl.load, wl.sender_hosts,
+                    wl.horizon.ns(),
+                    wl.sizes != nullptr ? wl.sizes->name().c_str() : "?");
+      canon << buf;
+    } else {
+      canon << app::canonical_string(cell.scenario.config(),
+                                     cell.scenario.flows());
+    }
+  }
+  return robust::fnv1a64(canon.str());
+}
+
+int format_precision(const std::string& format, int fallback) {
+  if (format.size() < 2) return fallback;
+  return std::atoi(format.c_str() + 1);
+}
+
+/// Renders one axis-echo cell into the writer.
+void emit_axis_cell(stats::CsvWriter& csv, const TomlValue& v,
+                    const std::string& format) {
+  if (format.empty() || format == "str") {
+    switch (v.kind) {
+      case TomlValue::Kind::kString: csv.text(v.str); return;
+      case TomlValue::Kind::kInt: csv.integer(v.integer); return;
+      case TomlValue::Kind::kFloat: csv.general(v.number, 12); return;
+      case TomlValue::Kind::kBool: csv.yesno(v.boolean); return;
+      default: csv.text(""); return;
+    }
+  }
+  if (format == "int") {
+    csv.integer(v.is_int() ? v.integer
+                           : static_cast<std::int64_t>(v.as_number()));
+    return;
+  }
+  if (format == "yesno") {
+    csv.yesno(v.is_bool() ? v.boolean : v.as_number() != 0.0);  // lint-allow: float-eq (exact 0/1 flag)
+    return;
+  }
+  if (format[0] == 'f') {
+    csv.fixed(v.as_number(), format_precision(format, 2));
+    return;
+  }
+  csv.general(v.as_number(), format_precision(format, 12));
+}
+
+}  // namespace
+
+bool is_known_metric(const std::string& name) {
+  Metric ignored;
+  return lookup_metric(name, &ignored);
+}
+
+ScenarioDoc effective_doc(const ScenarioDoc& doc, const RunOptions& options) {
+  ScenarioDoc out = doc;
+  try {
+    for (const std::string& assignment : options.overrides) {
+      apply_override(out, assignment);
+    }
+  } catch (const ParseError& e) {
+    throw DslError(doc.source_file.empty() ? "<overrides>" : doc.source_file,
+                   0, e.message());
+  }
+  if (options.repeats > 0) out.repeats = options.repeats;
+  if (options.have_seed) out.seed = options.seed;
+  if (options.audit) {
+    out.audit_interval = sim::SimTime::milliseconds(10);
+  }
+  if (!options.csv_path.empty()) out.output.csv = options.csv_path;
+  return out;
+}
+
+PackPlan plan_sweep(const ScenarioDoc& doc, const RunOptions& options) {
+  const ScenarioDoc base = effective_doc(doc, options);
+  const SweepGrid grid = expand_sweep(base);
+
+  std::vector<CompiledCell> compiled;
+  compiled.reserve(grid.cells.size());
+  for (const SweepCell& cell : grid.cells) {
+    try {
+      compiled.push_back(compile_scenario(doc_for_cell(base, cell)));
+    } catch (const ParseError& e) {
+      throw DslError(base.source_file, e.line(),
+                     "cell " + std::to_string(cell.index) + ": " +
+                         e.message());
+    }
+  }
+
+  PackPlan plan;
+  plan.cells = grid.cells.size();
+  plan.repeats = static_cast<std::size_t>(base.repeats);
+  plan.runs = plan.cells * plan.repeats;
+  for (const AxisDoc& axis : base.axes) {
+    plan.axes.emplace_back(axis.name, axis.values.size());
+  }
+  plan.config_hash = sweep_config_hash(base, compiled);
+  plan.csv_path = base.output.csv;
+  return plan;
+}
+
+SweepOutcome run_sweep(const ScenarioDoc& doc, const RunOptions& options) {
+  const ScenarioDoc base = effective_doc(doc, options);
+  const SweepGrid grid = expand_sweep(base);
+  const auto repeats = static_cast<std::size_t>(base.repeats);
+  const std::size_t total = grid.cells.size() * repeats;
+
+  // Compile every cell up front: validates the whole pack before the
+  // first simulation starts, and gives the config hash its input.
+  std::vector<CompiledCell> compiled;
+  compiled.reserve(grid.cells.size());
+  for (const SweepCell& cell : grid.cells) {
+    try {
+      compiled.push_back(compile_scenario(doc_for_cell(base, cell)));
+    } catch (const ParseError& e) {
+      throw DslError(base.source_file, e.line(),
+                     "cell " + std::to_string(cell.index) + ": " +
+                         e.message());
+    }
+  }
+
+  std::vector<MetricVec> runs(total);
+  std::vector<char> present(total, 0);
+
+  robust::SupervisorOptions sup;
+  sup.jobs = options.jobs;
+  sup.max_attempts = std::max(options.max_attempts, 1);
+  sup.cell_deadline_sec = options.cell_deadline_sec;
+  sup.event_budget = options.event_budget;
+  sup.journal_path = options.journal_path;
+  sup.config_hash = sweep_config_hash(base, compiled);
+  sup.resume = options.resume;
+  if (options.progress) {
+    const std::string name = base.name;
+    sup.progress = [name, repeats](std::size_t done, std::size_t n,
+                                   std::size_t index, double secs) {
+      std::fprintf(stderr, "  %s: [%3zu/%zu] cell=%zu rep=%zu  %6.2fs\n",
+                   name.c_str(), done, n, index / repeats, index % repeats,
+                   secs);
+    };
+  }
+
+  robust::CellHooks hooks;
+  hooks.run = [&](std::size_t t, robust::CellContext& ctx) -> std::string {
+    const std::size_t cell = t / repeats;
+    const std::size_t rep = t % repeats;
+    const std::uint64_t seed = app::derive_seed(base.seed, cell, rep);
+    ctx.set_seed(seed);
+
+    if (compiled[cell].is_workload) {
+      app::WorkloadBuilder wl = compiled[cell].open_loop;
+      wl.seed(seed);
+      const app::WorkloadResult result = wl.run();
+      const MetricVec m = metrics_from_workload(result);
+      std::string payload = encode_metrics(m);
+      runs[t] = m;
+      present[t] = 1;
+      return payload;
+    }
+
+    app::ScenarioBuilder builder = compiled[cell].scenario;
+    builder.seed(seed);
+    const std::unique_ptr<app::Scenario> scenario = builder.build();
+    // The guard is constructed after the scenario so it is destroyed
+    // first, while the simulator is still alive for its snapshot.
+    auto watch = ctx.watch(scenario->simulator());
+    const app::ScenarioResult result = scenario->run();
+    if (ctx.cut() || result.stop_reason == "stopped" ||
+        result.stop_reason == "budget_exhausted") {
+      return {};  // truncated run: neither published nor journaled
+    }
+    const MetricVec m = metrics_from_scenario(result);
+    std::string payload = encode_metrics(m);
+    runs[t] = m;
+    present[t] = 1;
+    return payload;
+  };
+  hooks.restore = [&](std::size_t t, const std::string& payload) {
+    MetricVec m{};
+    if (!decode_metrics(payload, m)) return;  // malformed: stays absent
+    runs[t] = m;
+    present[t] = 1;
+  };
+
+  robust::SweepSupervisor supervisor(std::move(sup));
+
+  SweepOutcome outcome;
+  outcome.report = supervisor.run(total, hooks);
+  outcome.cells = grid.cells.size();
+  outcome.repeats = repeats;
+  outcome.csv_path = base.output.csv;
+
+  // Serial aggregation in cell order once the pool drained: independent
+  // of thread count and completion order. Absent repeats are skipped; a
+  // cell with no surviving repeat carries zeros — the health report, not
+  // the numbers, discloses the gap.
+  std::vector<std::string> headers;
+  headers.reserve(base.output.columns.size());
+  for (const OutputColumn& col : base.output.columns) {
+    headers.push_back(col.header);
+  }
+  stats::CsvWriter csv(headers);
+
+  // Axis name -> position, for axis echo columns.
+  std::vector<std::string> axis_names;
+  for (const AxisDoc& axis : base.axes) axis_names.push_back(axis.name);
+
+  for (const SweepCell& cell : grid.cells) {
+    std::array<stats::Summary, kMetricCount> agg;
+    bool all_done = true;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      const std::size_t t = cell.index * repeats + rep;
+      if (!present[t]) {
+        all_done = false;
+        continue;
+      }
+      all_done &= runs[t][kCompleted] != 0.0;  // lint-allow: float-eq (exact 0/1 flag)
+      for (std::size_t m = 0; m < kMetricCount; ++m) {
+        agg[m].add(runs[t][m]);
+      }
+    }
+
+    // Paper-scale factor: scale columns report the run as if the first
+    // flow had transferred scale_to bytes (the legacy 50 GB equivalent).
+    double factor = 1.0;
+    if (base.output.scale_to.count() > 0 && !compiled[cell.index].is_workload &&
+        !compiled[cell.index].scenario.flows().empty()) {
+      const std::int64_t basis =
+          compiled[cell.index].scenario.flows()[0].bytes.count();
+      if (basis > 0) {
+        factor = static_cast<double>(base.output.scale_to.count()) /
+                 static_cast<double>(basis);
+      }
+    }
+
+    for (const OutputColumn& col : base.output.columns) {
+      if (!col.axis.empty()) {
+        std::size_t a = 0;
+        while (a < axis_names.size() && axis_names[a] != col.axis) ++a;
+        emit_axis_cell(csv, axis_value(base, cell, a), col.format);
+        continue;
+      }
+      Metric id{};
+      lookup_metric(col.metric, &id);  // validated at parse time
+      if (id == kCompleted && (col.format.empty() || col.format == "yesno")) {
+        csv.yesno(all_done);
+        continue;
+      }
+      double value = col.agg == "stddev" ? agg[id].stddev() : agg[id].mean();
+      if (col.scale) value = value * factor;
+      const std::string& format = col.format;
+      if (format.empty() || format[0] == 'g') {
+        csv.general(value, format_precision(format, 12));
+      } else if (format[0] == 'f') {
+        csv.fixed(value, format_precision(format, 2));
+      } else if (format == "int") {
+        csv.integer(static_cast<std::int64_t>(value));
+      } else if (format == "yesno") {
+        csv.yesno(value != 0.0);  // lint-allow: float-eq (exact 0/1 flag)
+      } else {
+        csv.text("");
+      }
+    }
+    csv.end_row();
+  }
+
+  csv.write_file(outcome.csv_path);
+  return outcome;
+}
+
+}  // namespace greencc::dsl

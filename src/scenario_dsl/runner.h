@@ -1,0 +1,85 @@
+#pragma once
+
+// Pack execution: runs one scenario document's expanded sweep under the
+// robust::SweepSupervisor and emits the declared CSV.
+//
+// The contract inherited from the legacy grid benches, kept exactly:
+//
+//   tasks      every (cell, repeat) pair is one supervisor task, flattened
+//              cell-major (task = cell * repeats + rep);
+//   seeds      app::derive_seed(doc.seed, cell, rep) — coordinates, never
+//              completion order, so any --jobs value is bit-identical;
+//   journal    one "%.17g"-rendered metric vector per finished run,
+//              append-fsync'd; --resume replays matching journals and
+//              aggregates bit-identical values;
+//   hash       the journal/config fingerprint is derived from the
+//              app::config_canon canonical string of every compiled cell —
+//              any field that can change a number changes the hash;
+//   output     serial aggregation in cell order after the pool drains,
+//              rendered through the [output] column spec (stats::CsvWriter).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "robust/supervisor.h"
+#include "scenario_dsl/doc.h"
+
+namespace greencc::dsl {
+
+struct RunOptions {
+  int jobs = 1;
+  /// > 0 overrides scenario.repeats.
+  int repeats = 0;
+  bool have_seed = false;
+  std::uint64_t seed = 0;  ///< with have_seed, overrides scenario.seed
+  /// Non-empty overrides output.csv.
+  std::string csv_path;
+  /// Arm the invariant auditor (audit_interval = 10 ms) in every run.
+  bool audit = false;
+  /// --set path=value overrides, applied to the base document before
+  /// expansion (same paths as sweep axes).
+  std::vector<std::string> overrides;
+
+  // Supervision (robust::SupervisorOptions passthrough).
+  int max_attempts = 1;
+  double cell_deadline_sec = 0.0;
+  std::uint64_t event_budget = 0;
+  std::string journal_path;
+  bool resume = false;
+  bool progress = true;
+};
+
+/// The base document with every RunOptions override applied — what both
+/// plan_sweep and run_sweep actually expand. Throws ParseError/DslError
+/// for malformed overrides.
+ScenarioDoc effective_doc(const ScenarioDoc& doc, const RunOptions& options);
+
+/// Static description of an expanded sweep (the --explain surface).
+struct PackPlan {
+  std::size_t cells = 0;
+  std::size_t repeats = 0;
+  std::size_t runs = 0;  ///< cells * repeats
+  std::vector<std::pair<std::string, std::size_t>> axes;  ///< name, #values
+  std::uint64_t config_hash = 0;
+  std::string csv_path;
+};
+
+/// Expands and fingerprints without running anything. Compiles every cell
+/// (so it also functions as a deep validation pass).
+PackPlan plan_sweep(const ScenarioDoc& doc, const RunOptions& options);
+
+struct SweepOutcome {
+  robust::SweepReport report;
+  std::string csv_path;  ///< file actually written
+  std::size_t cells = 0;
+  std::size_t repeats = 0;
+};
+
+/// Runs the full sweep and writes the CSV. Cell failures never throw (the
+/// report discloses them); throws only for setup errors (bad overrides,
+/// uncompilable cells, unwritable CSV/journal).
+SweepOutcome run_sweep(const ScenarioDoc& doc, const RunOptions& options);
+
+}  // namespace greencc::dsl

@@ -1,0 +1,255 @@
+#include "scenario_dsl/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace greencc::dsl {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string fmt_time(sim::SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "\"%" PRId64 "ns\"", t.ns());
+  return buf;
+}
+
+std::string fmt_rate(units::BitRate r) {
+  return quoted(fmt_double(r.bps()) + "bps");
+}
+
+std::string fmt_size(units::Bytes b) { return std::to_string(b.count()); }
+
+std::string fmt_scalar(const TomlValue& v) {
+  switch (v.kind) {
+    case TomlValue::Kind::kString: return quoted(v.str);
+    case TomlValue::Kind::kInt: return std::to_string(v.integer);
+    case TomlValue::Kind::kFloat: return fmt_double(v.number);
+    case TomlValue::Kind::kBool: return v.boolean ? "true" : "false";
+    case TomlValue::Kind::kArray:
+    case TomlValue::Kind::kTable: break;
+  }
+  return "\"\"";
+}
+
+void emit_faults(std::ostringstream& out, const fault::FaultPlan& plan) {
+  out << "\n[faults]\n";
+  out << "install = " << (plan.install ? "true" : "false") << "\n";
+  const fault::ImpairmentConfig& imp = plan.impair;
+  out << "loss = " << fmt_double(imp.loss_rate) << "\n";
+  out << "ge_p_bad = " << fmt_double(imp.ge_p_bad) << "\n";
+  out << "ge_p_good = " << fmt_double(imp.ge_p_good) << "\n";
+  out << "ge_loss_bad = " << fmt_double(imp.ge_loss_bad) << "\n";
+  out << "corrupt = " << fmt_double(imp.corrupt_rate) << "\n";
+  out << "reorder = " << fmt_double(imp.reorder_rate) << "\n";
+  out << "reorder_delay = " << fmt_time(imp.reorder_delay) << "\n";
+  out << "duplicate = " << fmt_double(imp.duplicate_rate) << "\n";
+  out << "jitter = " << fmt_time(imp.jitter_max) << "\n";
+  out << "seed = " << imp.seed << "\n";
+  out << "events = [";
+  bool first = true;
+  for (const fault::FaultEvent& ev : plan.schedule.events()) {
+    if (!first) out << ", ";
+    first = false;
+    std::string what;
+    switch (ev.kind) {
+      case fault::FaultEvent::Kind::kLinkDown: what = "down"; break;
+      case fault::FaultEvent::Kind::kLinkUp: what = "up"; break;
+      case fault::FaultEvent::Kind::kRate:
+        what = "rate=" + fmt_double(ev.rate.bps()) + "bps";
+        break;
+      case fault::FaultEvent::Kind::kDelay:
+        what = "delay=" + std::to_string(ev.delay.ns()) + "ns";
+        break;
+    }
+    out << quoted(what + "@" + std::to_string(ev.at.ns()) + "ns");
+  }
+  out << "]\n";
+}
+
+const char* aqm_mode_name(net::AqmMode mode) {
+  switch (mode) {
+    case net::AqmMode::kNone: return "none";
+    case net::AqmMode::kStepEcn: return "step";
+    case net::AqmMode::kRed: return "red";
+    case net::AqmMode::kCodel: return "codel";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string serialize_scenario(const ScenarioDoc& doc) {
+  std::ostringstream out;
+
+  out << "[scenario]\n";
+  out << "name = " << quoted(doc.name) << "\n";
+  if (!doc.description.empty()) {
+    out << "description = " << quoted(doc.description) << "\n";
+  }
+  out << "seed = " << doc.seed << "\n";
+  out << "repeats = " << doc.repeats << "\n";
+  out << "deadline = " << fmt_time(doc.deadline) << "\n";
+  out << "work_jitter = " << fmt_double(doc.work_jitter) << "\n";
+  out << "meter_receiver = " << (doc.meter_receiver ? "true" : "false")
+      << "\n";
+  out << "stress_cores = " << doc.stress_cores << "\n";
+  out << "audit_interval = " << fmt_time(doc.audit_interval) << "\n";
+
+  const TopologyDoc& topo = doc.topology;
+  out << "\n[topology]\n";
+  out << "kind = " << quoted(to_string(topo.kind)) << "\n";
+  out << "bottleneck = " << fmt_rate(topo.bottleneck) << "\n";
+  out << "link_delay = " << fmt_time(topo.link_delay) << "\n";
+  out << "queue = " << fmt_size(topo.queue) << "\n";
+  out << "ecn_threshold = " << fmt_size(topo.ecn_threshold) << "\n";
+  out << "nic_ports = " << topo.nic_ports << "\n";
+  out << "drr = " << (topo.drr ? "true" : "false") << "\n";
+  out << "fan_in = " << topo.fan_in << "\n";
+  out << "aggregate = " << fmt_size(topo.aggregate) << "\n";
+  out << "hops = " << topo.hops << "\n";
+  out << "cross_bytes = " << fmt_size(topo.cross_bytes) << "\n";
+  out << "stagger = " << fmt_time(topo.stagger) << "\n";
+  out << "racks = " << topo.racks << "\n";
+  out << "hosts_per_rack = " << topo.hosts_per_rack << "\n";
+
+  const tcp::TcpConfig& tcp = doc.tcp;
+  out << "\n[tcp]\n";
+  out << "mtu = " << fmt_size(tcp.mtu_bytes) << "\n";
+  out << "header = " << fmt_size(tcp.header_bytes) << "\n";
+  out << "ack = " << fmt_size(tcp.ack_bytes) << "\n";
+  out << "min_rto = " << fmt_time(tcp.min_rto) << "\n";
+  out << "max_rto = " << fmt_time(tcp.max_rto) << "\n";
+  out << "dupack_threshold = " << tcp.dupack_threshold << "\n";
+  out << "delack_segments = " << tcp.delack_segments << "\n";
+  out << "delack_timeout = " << fmt_time(tcp.delack_timeout) << "\n";
+  out << "initial_cwnd = " << tcp.initial_cwnd << "\n";
+
+  const net::AqmConfig& aqm = doc.aqm;
+  out << "\n[aqm]\n";
+  out << "mode = " << quoted(aqm_mode_name(aqm.mode)) << "\n";
+  out << "step_threshold = " << fmt_size(aqm.step_threshold_bytes) << "\n";
+  out << "red_min = " << fmt_size(aqm.red_min_bytes) << "\n";
+  out << "red_max = " << fmt_size(aqm.red_max_bytes) << "\n";
+  out << "red_max_probability = " << fmt_double(aqm.red_max_probability)
+      << "\n";
+  out << "red_weight = " << fmt_double(aqm.red_weight) << "\n";
+  out << "codel_target = " << fmt_time(aqm.codel_target) << "\n";
+  out << "codel_interval = " << fmt_time(aqm.codel_interval) << "\n";
+
+  emit_faults(out, doc.faults);
+
+  const energy::PowerCalibration& p = doc.energy.power;
+  const energy::WorkCalibration& w = doc.energy.work;
+  out << "\n[energy]\n";
+  out << "idle = " << fmt_double(p.idle_watts.watts()) << "\n";
+  out << "net_amplitude = " << fmt_double(p.net_amplitude_watts.watts())
+      << "\n";
+  out << "net_util_scale = " << fmt_double(p.net_util_scale) << "\n";
+  out << "omega = " << fmt_double(p.omega_watts_per_pps) << "\n";
+  out << "stress_core = " << fmt_double(p.stress_core_watts.watts()) << "\n";
+  out << "chi = " << fmt_double(p.chi_watts_per_gbps) << "\n";
+  out << "total_cores = " << p.total_cores << "\n";
+  out << "\n[energy.work]\n";
+  out << "pkt_ns = " << fmt_double(w.pkt_ns) << "\n";
+  out << "byte_ns = " << fmt_double(w.byte_ns) << "\n";
+  out << "ack_ns = " << fmt_double(w.ack_ns) << "\n";
+  out << "retx_ns = " << fmt_double(w.retx_ns) << "\n";
+  out << "timeout_ns = " << fmt_double(w.timeout_ns) << "\n";
+  out << "rx_pkt_ns = " << fmt_double(w.rx_pkt_ns) << "\n";
+  out << "rx_byte_ns = " << fmt_double(w.rx_byte_ns) << "\n";
+  out << "rx_drop_ns = " << fmt_double(w.rx_drop_ns) << "\n";
+  out << "rx_backlog = " << w.rx_backlog_packets << "\n";
+
+  if (topo.kind == TopologyKind::kWorkload) {
+    const WorkloadDoc& wl = doc.workload;
+    out << "\n[workload]\n";
+    out << "cca = " << quoted(wl.cca) << "\n";
+    out << "load = " << fmt_double(wl.load) << "\n";
+    out << "sizes = " << quoted(wl.sizes) << "\n";
+    out << "hosts = " << wl.hosts << "\n";
+    out << "horizon = " << fmt_time(wl.horizon) << "\n";
+  } else {
+    for (const FlowDoc& flow : doc.flows) {
+      out << "\n[[flow]]\n";
+      out << "cca = " << quoted(flow.cca) << "\n";
+      out << "bytes = " << fmt_size(flow.bytes) << "\n";
+      out << "rate_limit = " << fmt_rate(flow.rate_limit) << "\n";
+      out << "start = " << fmt_time(flow.start) << "\n";
+      out << "weight = " << fmt_double(flow.weight) << "\n";
+      out << "host = " << flow.host << "\n";
+      out << "start_after = " << flow.start_after << "\n";
+      out << "unlimit_after = " << flow.unlimit_after << "\n";
+      out << "count = " << flow.count << "\n";
+    }
+  }
+
+  for (const AxisDoc& axis : doc.axes) {
+    out << "\n[[sweep.axis]]\n";
+    out << "name = " << quoted(axis.name) << "\n";
+    if (axis.paths.size() == 1) {
+      out << "path = " << quoted(axis.paths[0]) << "\n";
+    } else {
+      out << "paths = [";
+      for (std::size_t i = 0; i < axis.paths.size(); ++i) {
+        if (i != 0) out << ", ";
+        out << quoted(axis.paths[i]);
+      }
+      out << "]\n";
+    }
+    out << "values = [";
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      if (i != 0) out << ", ";
+      const std::vector<TomlValue>& tuple = axis.values[i];
+      if (axis.paths.size() == 1) {
+        out << fmt_scalar(tuple[0]);
+      } else {
+        out << "[";
+        for (std::size_t j = 0; j < tuple.size(); ++j) {
+          if (j != 0) out << ", ";
+          out << fmt_scalar(tuple[j]);
+        }
+        out << "]";
+      }
+    }
+    out << "]\n";
+  }
+
+  out << "\n[output]\n";
+  out << "csv = " << quoted(doc.output.csv) << "\n";
+  out << "scale_to = " << fmt_size(doc.output.scale_to) << "\n";
+  for (const OutputColumn& col : doc.output.columns) {
+    out << "\n[[output.column]]\n";
+    out << "header = " << quoted(col.header) << "\n";
+    if (!col.axis.empty()) {
+      out << "axis = " << quoted(col.axis) << "\n";
+    } else {
+      out << "metric = " << quoted(col.metric) << "\n";
+      out << "agg = " << quoted(col.agg) << "\n";
+    }
+    if (!col.format.empty()) {
+      out << "format = " << quoted(col.format) << "\n";
+    }
+    out << "scale = " << (col.scale ? "true" : "false") << "\n";
+  }
+
+  return out.str();
+}
+
+}  // namespace greencc::dsl

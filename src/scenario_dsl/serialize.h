@@ -1,0 +1,18 @@
+#pragma once
+
+// Canonical re-serialization of a ScenarioDoc back to DSL text. Every
+// exposed key is written explicitly (no reliance on defaults), times as
+// nanosecond counts, sizes as byte integers, rates in bps, doubles as
+// %.17g — so serialize(parse(text)) always re-parses, and re-parsing
+// compiles to a bit-identical app::ScenarioConfig. The round-trip property
+// test in tests/test_scenario_dsl.cc holds the DSL to exactly that.
+
+#include <string>
+
+#include "scenario_dsl/doc.h"
+
+namespace greencc::dsl {
+
+std::string serialize_scenario(const ScenarioDoc& doc);
+
+}  // namespace greencc::dsl

@@ -1,0 +1,438 @@
+#include "scenario_dsl/toml.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace greencc::dsl {
+
+namespace {
+
+bool is_bare_key_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-';
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t'; }
+
+/// Strips a trailing comment (a '#' outside any string literal) and
+/// trailing whitespace from one physical line.
+std::string strip_comment(std::string_view line, int line_no) {
+  std::string out;
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        out += c;
+        if (i + 1 < line.size()) out += line[++i];
+        continue;
+      }
+      if (c == '"') in_string = false;
+      out += c;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out += c;
+      continue;
+    }
+    if (c == '#') break;
+    out += c;
+  }
+  if (in_string) throw ParseError(line_no, "unterminated string");
+  while (!out.empty() && is_space(out.back())) out.pop_back();
+  return out;
+}
+
+/// Net bracket depth of a line, ignoring brackets inside strings. Used to
+/// detect arrays that continue onto the next physical line.
+int bracket_depth_delta(std::string_view line) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+        continue;
+      }
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '[') ++depth;
+    else if (c == ']') --depth;
+  }
+  return depth;
+}
+
+/// Recursive-descent parser for a single value (possibly spanning joined
+/// lines). `base_line` is the line the value starts on; embedded newlines
+/// from joined continuation lines advance the reported line.
+class ValueParser {
+ public:
+  ValueParser(std::string_view text, int base_line)
+      : text_(text), base_line_(base_line) {}
+
+  TomlValue parse() {
+    TomlValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ParseError(line(), "trailing characters after value");
+    }
+    return v;
+  }
+
+ private:
+  int line() const {
+    int n = base_line_;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++n;
+    }
+    return n;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (is_space(text_[pos_]) || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  TomlValue parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw ParseError(line(), "missing value");
+    const char c = text_[pos_];
+    if (c == '"') return parse_string();
+    if (c == '[') return parse_array();
+    if (c == '{') {
+      throw ParseError(line(), "inline tables are not supported");
+    }
+    return parse_scalar();
+  }
+
+  TomlValue parse_string() {
+    TomlValue v;
+    v.kind = TomlValue::Kind::kString;
+    v.line = line();
+    ++pos_;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          throw ParseError(v.line, "unterminated string");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default:
+            throw ParseError(v.line, std::string("unsupported escape '\\") +
+                                         esc + "' in string");
+        }
+      }
+      v.str += c;
+    }
+    if (pos_ >= text_.size()) throw ParseError(v.line, "unterminated string");
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  TomlValue parse_array() {
+    TomlValue v;
+    v.kind = TomlValue::Kind::kArray;
+    v.line = line();
+    ++pos_;  // '['
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        throw ParseError(v.line, "unterminated array");
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return v;
+      }
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        throw ParseError(v.line, "unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] != ']') {
+        throw ParseError(line(), "expected ',' or ']' in array");
+      }
+    }
+  }
+
+  TomlValue parse_scalar() {
+    const int at = line();
+    std::size_t end = pos_;
+    while (end < text_.size() && text_[end] != ',' && text_[end] != ']' &&
+           text_[end] != '\n') {
+      ++end;
+    }
+    std::string token(text_.substr(pos_, end - pos_));
+    while (!token.empty() && is_space(token.back())) token.pop_back();
+    pos_ += token.size();
+    if (token.empty()) throw ParseError(at, "missing value");
+
+    TomlValue v;
+    v.line = at;
+    if (token == "true" || token == "false") {
+      v.kind = TomlValue::Kind::kBool;
+      v.boolean = (token == "true");
+      return v;
+    }
+    // Numbers: TOML-style underscores are cosmetic separators.
+    std::string digits;
+    digits.reserve(token.size());
+    for (const char c : token) {
+      if (c != '_') digits += c;
+    }
+    const bool looks_int =
+        digits.find_first_not_of("+-0123456789") == std::string::npos &&
+        digits.find_first_of("0123456789") != std::string::npos;
+    char* endp = nullptr;
+    if (looks_int) {
+      const long long parsed = std::strtoll(digits.c_str(), &endp, 10);
+      if (endp != nullptr && *endp == '\0') {
+        v.kind = TomlValue::Kind::kInt;
+        v.integer = parsed;
+        v.number = static_cast<double>(parsed);
+        return v;
+      }
+    }
+    const double parsed = std::strtod(digits.c_str(), &endp);
+    if (endp != nullptr && *endp == '\0' && endp != digits.c_str()) {
+      v.kind = TomlValue::Kind::kFloat;
+      v.number = parsed;
+      return v;
+    }
+    throw ParseError(at, "invalid value '" + token + "'");
+  }
+
+  std::string_view text_;
+  int base_line_;
+  std::size_t pos_ = 0;
+};
+
+/// Splits a [table.header] path into bare-key parts.
+std::vector<std::string> split_path(std::string_view path, int line_no) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : path) {
+    if (c == '.') {
+      if (current.empty()) {
+        throw ParseError(line_no, "empty component in table name");
+      }
+      parts.push_back(current);
+      current.clear();
+      continue;
+    }
+    if (!is_bare_key_char(c)) {
+      throw ParseError(line_no, std::string("invalid character '") + c +
+                                    "' in table name");
+    }
+    current += c;
+  }
+  if (current.empty()) {
+    throw ParseError(line_no, "empty component in table name");
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string join_path(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '.';
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* TomlValue::kind_name() const {
+  switch (kind) {
+    case Kind::kString: return "string";
+    case Kind::kInt: return "integer";
+    case Kind::kFloat: return "float";
+    case Kind::kBool: return "boolean";
+    case Kind::kArray: return "array";
+    case Kind::kTable: return "table";
+  }
+  return "value";
+}
+
+double TomlValue::as_number() const {
+  if (!is_number()) {
+    throw ParseError(line, std::string("expected a number, got ") +
+                               kind_name());
+  }
+  return is_int() ? static_cast<double>(integer) : number;
+}
+
+TomlValue parse_toml(std::string_view text) {
+  TomlValue root;
+  root.kind = TomlValue::Kind::kTable;
+  root.line = 1;
+
+  TomlValue* current = &root;
+  std::set<std::string> defined_tables;
+
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    if (pos == text.size()) break;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    ++line_no;
+    const int start_line = line_no;
+    std::string line = strip_comment(text.substr(pos, eol - pos), line_no);
+    pos = eol + 1;
+
+    // Join continuation lines while an array literal is open.
+    int depth = bracket_depth_delta(line);
+    // A table header [x] / [[x]] is balanced on its own line; only a
+    // key = [ ... value can carry depth over.
+    while (depth > 0) {
+      if (pos > text.size() || line_no >= 100000) {
+        throw ParseError(start_line, "unterminated array");
+      }
+      std::size_t next_eol = text.find('\n', pos);
+      if (next_eol == std::string_view::npos) next_eol = text.size();
+      ++line_no;
+      const std::string more =
+          strip_comment(text.substr(pos, next_eol - pos), line_no);
+      const bool at_end = next_eol >= text.size();
+      pos = next_eol + 1;
+      line += '\n';
+      line += more;
+      depth += bracket_depth_delta(more);
+      if (at_end && depth > 0) {
+        throw ParseError(start_line, "unterminated array");
+      }
+    }
+
+    // Skip blank lines.
+    std::size_t i = 0;
+    while (i < line.size() && is_space(line[i])) ++i;
+    if (i == line.size()) continue;
+
+    if (line[i] == '[') {
+      const bool is_array_table =
+          i + 1 < line.size() && line[i + 1] == '[';
+      const std::size_t open = i + (is_array_table ? 2 : 1);
+      const std::string closer = is_array_table ? "]]" : "]";
+      const std::size_t close = line.find(closer, open);
+      if (close == std::string::npos) {
+        throw ParseError(start_line, "unterminated table header");
+      }
+      if (close + closer.size() != line.size()) {
+        throw ParseError(start_line,
+                         "trailing characters after table header");
+      }
+      std::string path_text = line.substr(open, close - open);
+      // Trim interior whitespace around the path.
+      while (!path_text.empty() && is_space(path_text.front())) {
+        path_text.erase(path_text.begin());
+      }
+      while (!path_text.empty() && is_space(path_text.back())) {
+        path_text.pop_back();
+      }
+      const std::vector<std::string> parts =
+          split_path(path_text, start_line);
+
+      // Walk/create intermediate tables (descending into the last element
+      // of any array-of-tables on the way).
+      TomlValue* node = &root;
+      for (std::size_t p = 0; p + 1 < parts.size(); ++p) {
+        TomlValue& child = node->table[parts[p]];
+        if (child.line == 0) {
+          child.kind = TomlValue::Kind::kTable;
+          child.line = start_line;
+        }
+        if (child.is_array()) {
+          if (child.array.empty() || !child.array.back().is_table()) {
+            throw ParseError(start_line,
+                             "'" + parts[p] + "' is not a table");
+          }
+          node = &child.array.back();
+        } else if (child.is_table()) {
+          node = &child;
+        } else {
+          throw ParseError(start_line, "'" + parts[p] + "' is not a table");
+        }
+      }
+
+      const std::string& leaf = parts.back();
+      TomlValue& slot = node->table[leaf];
+      if (is_array_table) {
+        if (slot.line == 0) {
+          slot.kind = TomlValue::Kind::kArray;
+          slot.line = start_line;
+        } else if (!slot.is_array()) {
+          throw ParseError(start_line, "cannot redefine '" +
+                                           join_path(parts) +
+                                           "' as an array of tables");
+        }
+        TomlValue element;
+        element.kind = TomlValue::Kind::kTable;
+        element.line = start_line;
+        slot.array.push_back(std::move(element));
+        current = &slot.array.back();
+      } else {
+        if (slot.line == 0) {
+          slot.kind = TomlValue::Kind::kTable;
+          slot.line = start_line;
+        } else if (!slot.is_table()) {
+          throw ParseError(start_line, "cannot redefine '" +
+                                           join_path(parts) +
+                                           "' as a table");
+        }
+        const std::string full = join_path(parts);
+        if (!defined_tables.insert(full).second) {
+          throw ParseError(start_line, "duplicate table [" + full + "]");
+        }
+        current = &slot;
+      }
+      continue;
+    }
+
+    // key = value
+    std::size_t key_end = i;
+    while (key_end < line.size() && is_bare_key_char(line[key_end])) {
+      ++key_end;
+    }
+    if (key_end == i) {
+      throw ParseError(start_line, "expected a key or table header");
+    }
+    const std::string key = line.substr(i, key_end - i);
+    std::size_t eq = key_end;
+    while (eq < line.size() && is_space(line[eq])) ++eq;
+    if (eq >= line.size() || line[eq] != '=') {
+      if (eq < line.size() && line[eq] == '.') {
+        throw ParseError(start_line, "dotted keys are not supported");
+      }
+      throw ParseError(start_line, "expected '=' after key '" + key + "'");
+    }
+    if (current->table.count(key) != 0) {
+      throw ParseError(start_line, "duplicate key '" + key + "'");
+    }
+    ValueParser vp(std::string_view(line).substr(eq + 1), start_line);
+    TomlValue value = vp.parse();
+    value.line = start_line;
+    current->table.emplace(key, std::move(value));
+  }
+
+  return root;
+}
+
+}  // namespace greencc::dsl

@@ -1,0 +1,92 @@
+#include "stats/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace greencc::stats {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+CsvWriter& CsvWriter::cell(std::string v) {
+  current_.push_back(std::move(v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::text(const std::string& v) { return cell(v); }
+
+CsvWriter& CsvWriter::integer(std::int64_t v) {
+  return cell(std::to_string(v));
+}
+
+CsvWriter& CsvWriter::general(double v, int precision) {
+  std::ostringstream out;
+  out.precision(precision);
+  out << v;
+  return cell(out.str());
+}
+
+CsvWriter& CsvWriter::fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return cell(buf);
+}
+
+CsvWriter& CsvWriter::yesno(bool v) { return cell(v ? "yes" : "NO"); }
+
+CsvWriter& CsvWriter::energy(units::Energy v, int precision) {
+  return general(v.joules(), precision);
+}
+
+CsvWriter& CsvWriter::power(units::Power v, int precision) {
+  return general(v.watts(), precision);
+}
+
+CsvWriter& CsvWriter::rate_gbps(units::BitRate v, int precision) {
+  return fixed(v.gbps(), precision);
+}
+
+CsvWriter& CsvWriter::size(units::Bytes v) { return integer(v.count()); }
+
+CsvWriter& CsvWriter::duration_sec(sim::SimTime v, int precision) {
+  return fixed(v.sec(), precision);
+}
+
+CsvWriter& CsvWriter::end_row() {
+  if (current_.size() != headers_.size()) {
+    throw std::invalid_argument(
+        "CsvWriter::end_row: " + std::to_string(current_.size()) +
+        " cells for " + std::to_string(headers_.size()) + " headers");
+  }
+  rows_.push_back(std::move(current_));
+  current_.clear();
+  return *this;
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      if (row[c].find(',') != std::string::npos) {
+        os << '"' << row[c] << '"';
+      } else {
+        os << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  write(out);
+}
+
+}  // namespace greencc::stats

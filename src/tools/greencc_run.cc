@@ -76,8 +76,9 @@ struct Options {
   bool help = false;
 };
 
-void print_usage() {
-  std::printf(
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
       "greencc_run — energy measurement of congestion-controlled "
       "transfers\n\n"
       "  --cca a[,b,...]      algorithms to run (default cubic); see "
@@ -263,9 +264,17 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--counters") {
       opt.counters = true;
     } else {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      std::fprintf(stderr, "greencc_run: unknown flag: %s\n\n", arg.c_str());
       return std::nullopt;
     }
+  }
+  // Validate the schedule here, not in build_flows: a typo'd --schedule is
+  // a usage error (exit 2), not something to quarantine per run.
+  if (opt.schedule != "fair" && opt.schedule != "fsi" &&
+      opt.schedule != "srpt" && opt.schedule.rfind("weighted:", 0) != 0) {
+    std::fprintf(stderr, "greencc_run: unknown schedule: %s\n\n",
+                 opt.schedule.c_str());
+    return std::nullopt;
   }
   if (opt.resume && opt.journal_path.empty()) {
     opt.journal_path = "greencc_run_journal.jsonl";
@@ -370,11 +379,14 @@ bool decode_run(const std::string& payload, const std::string& cca,
 
 int main(int argc, char** argv) {
   const auto parsed = parse(argc, argv);
-  if (!parsed) return 2;
+  if (!parsed) {
+    print_usage(stderr);
+    return 2;
+  }
   const Options& opt = *parsed;
 
   if (opt.help) {
-    print_usage();
+    print_usage(stdout);
     return 0;
   }
   if (opt.list_ccas) {

@@ -49,6 +49,20 @@ TEST(Cli, HelpAndListExitCleanly) {
 
 TEST(Cli, UnknownFlagFails) { EXPECT_NE(run_cli("--frobnicate"), 0); }
 
+// The usage contract: any flag-parse failure aborts with usage on stderr
+// and exit code 2 — never a half-configured run under defaults.
+TEST(Cli, UnknownFlagExitsUsageCode) {
+  EXPECT_EQ(exit_code(run_cli("--frobnicate")), 2);
+}
+
+TEST(Cli, UnknownScheduleExitsUsageCode) {
+  EXPECT_EQ(exit_code(run_cli("--schedule not-a-schedule --bytes 1e6")), 2);
+}
+
+TEST(Cli, WeightedSchedulePrefixStillParses) {
+  EXPECT_EQ(run_cli("--schedule weighted:3 --flows 2 --bytes 1e6"), 0);
+}
+
 TEST(Cli, UnknownCcaFails) {
   EXPECT_NE(run_cli("--cca not-a-cca --bytes 1e6"), 0);
 }

@@ -1,0 +1,241 @@
+// greencc_sweep CLI contract tests, against the real binary: validation of
+// the committed pack, line-accurate rejection of the malformed fixtures,
+// --explain plan output, exit codes, deterministic --sample, byte-identity
+// across --jobs, and SIGKILL + --resume byte-identity.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string scenario(const std::string& name) {
+  return std::string(GREENCC_SCENARIO_DIR) + "/" + name;
+}
+
+/// fork/exec with stdout+stderr captured to `log_path` (no shell).
+pid_t spawn(std::vector<std::string> args, const std::string& log_path) {
+  args.insert(args.begin(), GREENCC_SWEEP_PATH);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const int fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+int wait_for_exit(pid_t pid, int timeout_sec) {
+  const auto deadline =
+      // lint-allow: wall-clock (subprocess timeout; never feeds results)
+      std::chrono::steady_clock::now() + std::chrono::seconds(timeout_sec);
+  for (;;) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return status;
+    // lint-allow: wall-clock (subprocess timeout; never feeds results)
+    if (std::chrono::steady_clock::now() > deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      ADD_FAILURE() << "greencc_sweep exceeded " << timeout_sec << "s";
+      return status;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+int run_sweep(const std::vector<std::string>& args,
+              const std::string& log_path, int timeout_sec = 240) {
+  const int status = wait_for_exit(spawn(args, log_path), timeout_sec);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::size_t journal_entries(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::size_t entries = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"task\":", 0) == 0) ++entries;
+  }
+  return entries;
+}
+
+bool wait_for_entries(pid_t pid, const std::string& journal, std::size_t want,
+                      int timeout_sec) {
+  const auto deadline =
+      // lint-allow: wall-clock (subprocess timeout; never feeds results)
+      std::chrono::steady_clock::now() + std::chrono::seconds(timeout_sec);
+  // lint-allow: wall-clock (subprocess timeout; never feeds results)
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (journal_entries(journal) >= want) return true;
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+// Downscaled cca_grid invocation: 40 cells x 2 repeats of a 2 MB transfer
+// — seconds in total, with enough tasks to interrupt reliably.
+std::vector<std::string> grid_args(const std::string& csv) {
+  return {"--set",  "flow.0.bytes=2000000",
+          "--repeats", "2",
+          "--seed", "7",
+          "--quiet", "--csv", csv,
+          scenario("cca_grid.toml")};
+}
+
+// --- Exit codes -------------------------------------------------------------
+
+TEST(SweepCli, UnknownFlagExitsUsage) {
+  const std::string log = temp_path("sweep_unknown_flag.log");
+  EXPECT_EQ(run_sweep({"--frobnicate", scenario("cca_grid.toml")}, log), 2);
+  const std::string out = read_file(log);
+  EXPECT_NE(out.find("unknown flag: --frobnicate"), std::string::npos) << out;
+  EXPECT_NE(out.find("usage: greencc_sweep"), std::string::npos) << out;
+}
+
+TEST(SweepCli, NoInputsExitsUsage) {
+  EXPECT_EQ(run_sweep({"--jobs", "2"}, temp_path("sweep_no_inputs.log")), 2);
+}
+
+TEST(SweepCli, HelpExitsClean) {
+  const std::string log = temp_path("sweep_help.log");
+  EXPECT_EQ(run_sweep({"--help"}, log), 0);
+  EXPECT_NE(read_file(log).find("usage: greencc_sweep"), std::string::npos);
+}
+
+// --- Validation -------------------------------------------------------------
+
+TEST(SweepCli, ValidatesCommittedScenarioTree) {
+  const std::string log = temp_path("sweep_validate.log");
+  EXPECT_EQ(run_sweep({"--validate", GREENCC_SCENARIO_DIR}, log), 0);
+  EXPECT_NE(read_file(log).find(", 0 invalid"), std::string::npos)
+      << read_file(log);
+}
+
+TEST(SweepCli, RejectsMalformedFixturesWithLineAccurateErrors) {
+  const std::string log = temp_path("sweep_validate_bad.log");
+  EXPECT_EQ(run_sweep({"--validate", GREENCC_DSL_DATA_DIR}, log), 1);
+  const std::string out = read_file(log);
+  EXPECT_NE(
+      out.find("unknown_key.toml:5: unknown key 'frobnicate' in [scenario]"),
+      std::string::npos)
+      << out;
+  EXPECT_NE(out.find("bad_unit.toml:7: topology.link_delay"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("overlap_axes.toml:11: sweep axis 'b' binds path "
+                     "'tcp.mtu', already bound by axis 'a'"),
+            std::string::npos)
+      << out;
+}
+
+// --- Explain ----------------------------------------------------------------
+
+TEST(SweepCli, ExplainShowsPlan) {
+  const std::string log = temp_path("sweep_explain.log");
+  EXPECT_EQ(run_sweep({"--explain", scenario("cca_grid.toml")}, log), 0);
+  const std::string out = read_file(log);
+  EXPECT_NE(out.find("cells      40 (mtu=4 x cca=10)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("runs       120"), std::string::npos) << out;
+  EXPECT_NE(out.find("csv        cca_grid.csv"), std::string::npos) << out;
+  EXPECT_NE(out.find("hash       "), std::string::npos) << out;
+}
+
+TEST(SweepCli, SampleIsDeterministic) {
+  const std::string log_a = temp_path("sweep_sample_a.log");
+  const std::string log_b = temp_path("sweep_sample_b.log");
+  const std::vector<std::string> args = {
+      "--explain", "--sample", "3", "--sample-seed", "5",
+      std::string(GREENCC_SCENARIO_DIR) + "/pack"};
+  EXPECT_EQ(run_sweep(args, log_a), 0);
+  EXPECT_EQ(run_sweep(args, log_b), 0);
+  const std::string a = read_file(log_a);
+  EXPECT_EQ(a, read_file(log_b));
+  EXPECT_FALSE(a.empty());
+}
+
+// --- Determinism across --jobs, and crash/resume ---------------------------
+
+TEST(SweepCli, JobsByteIdentity) {
+  const std::string serial_csv = temp_path("sweep_serial.csv");
+  const std::string par_csv = temp_path("sweep_par.csv");
+  ASSERT_EQ(run_sweep(grid_args(serial_csv), temp_path("sweep_serial.log")),
+            0)
+      << read_file(temp_path("sweep_serial.log"));
+  auto par = grid_args(par_csv);
+  par.insert(par.begin(), {"--jobs", "4"});
+  ASSERT_EQ(run_sweep(par, temp_path("sweep_par.log")), 0)
+      << read_file(temp_path("sweep_par.log"));
+  const std::string serial = read_file(serial_csv);
+  ASSERT_GT(serial.size(), 100u);
+  EXPECT_EQ(serial, read_file(par_csv))
+      << "--jobs 4 CSV differs from the serial run";
+}
+
+TEST(SweepCli, SigkillThenResumeIsByteIdentical) {
+  const std::string serial_csv = temp_path("sweep_ref.csv");
+  ASSERT_EQ(run_sweep(grid_args(serial_csv), temp_path("sweep_ref.log")), 0)
+      << read_file(temp_path("sweep_ref.log"));
+  const std::string reference = read_file(serial_csv);
+  ASSERT_GT(reference.size(), 100u);
+
+  const std::string journal = temp_path("sweep_kill_journal.jsonl");
+  const std::string csv = temp_path("sweep_kill.csv");
+  std::remove(journal.c_str());
+
+  auto args = grid_args(csv);
+  args.insert(args.begin(), {"--jobs", "2", "--journal", journal});
+  const pid_t pid = spawn(args, temp_path("sweep_kill.log"));
+  ASSERT_TRUE(wait_for_entries(pid, journal, 2, 120))
+      << "pack finished before it could be killed; raise the transfer size";
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  const int status = wait_for_exit(pid, 60);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  auto resume_args = args;
+  resume_args.push_back("--resume");
+  const std::string resume_log = temp_path("sweep_kill_resume.log");
+  ASSERT_EQ(run_sweep(resume_args, resume_log), 0) << read_file(resume_log);
+  EXPECT_NE(read_file(resume_log).find("resumed="), std::string::npos)
+      << read_file(resume_log);
+  EXPECT_EQ(read_file(csv), reference)
+      << "resumed CSV differs from the uninterrupted serial run";
+  std::remove(journal.c_str());
+}
+
+}  // namespace

@@ -6,8 +6,9 @@
 #   1. format        — clang-format via tools/lint/check_format.sh
 #   2. lints         — nondeterminism + unit-suffix + lint-allow ratchet
 #   3. lint fixtures — tools/lint/test_lint_rules.py (rules actually fire)
-#   4. default build — cmake --preset default, build, full ctest
-#   5. audit build   — cmake --preset audit, build, full ctest
+#   4. scenario pack — greencc_sweep --validate over every scenarios/ file
+#   5. default build — cmake --preset default, build, full ctest
+#   6. audit build   — cmake --preset audit, build, full ctest
 #
 # The sanitizer presets (asan/ubsan/tsan) are heavier and stay separate;
 # see ROADMAP.md for the full release checklist. Usage:
@@ -49,12 +50,31 @@ build_and_test() {
     )" --output-on-failure -E '^check_all$'
 }
 
+validate_scenarios() {
+  # Every committed scenario file must parse, type-check and compile.
+  # Prefers the freshly built default-preset binary; falls back to any
+  # existing build so the step works standalone too.
+  sweep=""
+  for candidate in build/src/tools/greencc_sweep build-audit/src/tools/greencc_sweep; do
+    [ -x "$candidate" ] && sweep=$candidate && break
+  done
+  if [ -z "$sweep" ]; then
+    echo "greencc_sweep not built yet; building default preset first"
+    cmake --preset default >/dev/null &&
+      cmake --build --preset default -j "$(nproc)" --target greencc_sweep ||
+      return 1
+    sweep=build/src/tools/greencc_sweep
+  fi
+  "$sweep" --validate scenarios/
+}
+
 step "format"        tools/lint/check_format.sh "$repo_root"
 step "lints"         sh -c "
   python3 tools/lint/nondeterminism_lint.py &&
   python3 tools/lint/unit_suffix_lint.py &&
   python3 tools/lint/lint_allow_ratchet.py"
 step "lint-fixtures" python3 tools/lint/test_lint_rules.py
+step "scenario-pack-validate" validate_scenarios
 step "build+test default" build_and_test default
 step "build+test audit"   build_and_test audit
 
